@@ -1,0 +1,102 @@
+//! Criterion benchmarks of decoding throughput: the SFQ mesh decoder (both
+//! execution models) against the software baselines, across code distances.
+//!
+//! These benches measure host-CPU decode time; the hardware latency of the
+//! real SFQ mesh is reported separately by `table3_synthesis` /
+//! `table4_exec_time`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nisqplus_core::decoder::ExecutionModel;
+use nisqplus_core::{DecoderVariant, SfqMeshDecoder};
+use nisqplus_decoders::{Decoder, ExactMatchingDecoder, GreedyMatchingDecoder, UnionFindDecoder};
+use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::syndrome::Syndrome;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_syndromes(distance: usize, p: f64, count: usize) -> (Lattice, Vec<Syndrome>) {
+    let lattice = Lattice::new(distance).expect("valid distance");
+    let model = PureDephasing::new(p).expect("valid probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF + distance as u64);
+    let syndromes = (0..count)
+        .map(|_| {
+            let error = model.sample(&lattice, &mut rng);
+            lattice.syndrome_of(&error)
+        })
+        .collect();
+    (lattice, syndromes)
+}
+
+fn bench_decoder<D: Decoder>(
+    c: &mut Criterion,
+    group_name: &str,
+    mut decoder: D,
+    distances: &[usize],
+) {
+    let mut group = c.benchmark_group(group_name);
+    for &d in distances {
+        let (lattice, syndromes) = sample_syndromes(d, 0.05, 64);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let syndrome = &syndromes[i % syndromes.len()];
+                i += 1;
+                decoder.decode(&lattice, syndrome, Sector::X)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn decoder_benchmarks(c: &mut Criterion) {
+    let distances = [3usize, 5, 7, 9];
+    bench_decoder(c, "sfq_mesh_signal_timing", SfqMeshDecoder::final_design(), &distances);
+    bench_decoder(
+        c,
+        "sfq_mesh_pulse_level",
+        SfqMeshDecoder::final_design().with_execution_model(ExecutionModel::PulseLevel),
+        &[3, 5, 7],
+    );
+    bench_decoder(c, "mwpm_exact_matching", ExactMatchingDecoder::new(), &distances);
+    bench_decoder(c, "greedy_matching", GreedyMatchingDecoder::new(), &distances);
+    bench_decoder(c, "union_find", UnionFindDecoder::new(), &distances);
+}
+
+fn variant_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfq_mesh_variants_d5");
+    let (lattice, syndromes) = sample_syndromes(5, 0.05, 64);
+    for variant in DecoderVariant::ALL {
+        let mut decoder = SfqMeshDecoder::new(variant);
+        group.bench_with_input(BenchmarkId::from_parameter(variant.label()), &variant, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let syndrome = &syndromes[i % syndromes.len()];
+                i += 1;
+                decoder.decode(&lattice, syndrome, Sector::X)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn syndrome_extraction_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syndrome_extraction");
+    for d in [3usize, 5, 7, 9] {
+        let lattice = Lattice::new(d).expect("valid distance");
+        let model = PureDephasing::new(0.05).expect("valid probability");
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let error = model.sample(&lattice, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| lattice.syndrome_of(&error));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = decoder_benchmarks, variant_benchmarks, syndrome_extraction_benchmarks
+}
+criterion_main!(benches);

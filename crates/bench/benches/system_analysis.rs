@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the system-level analyses: backlog simulation,
+//! SFQ synthesis and the Monte-Carlo harness itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nisqplus_core::{DecoderModuleHardware, DecoderVariant};
+use nisqplus_qec::lattice::Lattice;
+use nisqplus_qec::PureDephasing;
+use nisqplus_sim::monte_carlo::{run_sfq_lifetime, MonteCarloConfig};
+use nisqplus_system::backlog::{BacklogModel, BacklogSimulation};
+use nisqplus_system::standard_benchmarks;
+
+fn backlog_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backlog_simulation");
+    for bench in standard_benchmarks() {
+        let sim = BacklogSimulation::new(BacklogModel::from_ratio(1.5));
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, bench| {
+            b.iter(|| sim.run(bench));
+        });
+    }
+    group.finish();
+}
+
+fn synthesis_benchmarks(c: &mut Criterion) {
+    c.bench_function("sfq_module_synthesis", |b| b.iter(DecoderModuleHardware::ersfq));
+}
+
+fn monte_carlo_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_500_trials");
+    group.sample_size(10);
+    for d in [3usize, 5] {
+        let lattice = Lattice::new(d).expect("valid distance");
+        let model = PureDephasing::new(0.04).expect("valid probability");
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let config = MonteCarloConfig::new(500).with_threads(1);
+                run_sfq_lifetime(&lattice, &model, &config, DecoderVariant::Final)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = backlog_benchmarks, synthesis_benchmarks, monte_carlo_benchmarks
+}
+criterion_main!(benches);

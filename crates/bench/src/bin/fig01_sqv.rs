@@ -1,0 +1,49 @@
+//! Regenerates Figure 1 and the Section VIII SQV analysis: the Simple Quantum
+//! Volume of a near-term machine with and without approximate QEC.
+
+use nisqplus_bench::{print_header, print_table};
+use nisqplus_system::sqv::{data_qubits_per_logical, ScalingModel, SqvAnalysis};
+
+fn main() {
+    print_header("Figure 1: Simple Quantum Volume with and without AQEC");
+    let analysis = SqvAnalysis::near_term_machine();
+
+    let physical = analysis.physical_machine();
+    let d3 = analysis.encoded_machine(3, &ScalingModel::sfq_paper(3), data_qubits_per_logical(3));
+    let d5 = analysis.encoded_machine(5, &ScalingModel::sfq_paper(5), data_qubits_per_logical(5));
+
+    let rows: Vec<Vec<String>> = [&physical, &d3, &d5]
+        .iter()
+        .map(|point| {
+            vec![
+                point.label.clone(),
+                point.qubits.to_string(),
+                format!("{:.3e}", point.gates_per_qubit),
+                format!("{:.3e}", point.sqv),
+                format!("{:.0}x", analysis.boost_factor(point)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["configuration", "# qubits", "gates per qubit", "SQV", "boost vs NISQ target (1e5)"],
+        &rows,
+    );
+
+    println!();
+    println!("Section VIII working points:");
+    for (d, paper_pl) in [(3usize, 2.94e-9), (5, 8.96e-10)] {
+        let model = ScalingModel::sfq_paper(d);
+        let pl = model.logical_error_rate(analysis.physical_error_rate, d);
+        println!(
+            "  d={d}: logical error rate {pl:.3e} (paper: {paper_pl:.2e}), \
+             SQV = 1/PL = {:.3e}",
+            1.0 / pl
+        );
+    }
+    println!();
+    println!(
+        "Paper reference: 1,024 physical qubits at p=1e-5 give SQV ~1e8; AQEC at d=3 packs 78 \
+         logical qubits and reaches SQV 3.4e8 (3,402x the 1e5 NISQ target); d=5 reaches 1.12e9 \
+         (11,163x)."
+    );
+}

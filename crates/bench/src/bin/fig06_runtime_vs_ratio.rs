@@ -1,0 +1,47 @@
+//! Regenerates Figure 6: running time of the Table I benchmarks as a function
+//! of the syndrome-data processing ratio r_gen / r_proc.
+
+use nisqplus_bench::{print_header, print_table};
+use nisqplus_system::backlog::{runtime_vs_ratio, BacklogModel};
+use nisqplus_system::standard_benchmarks;
+
+fn main() {
+    print_header("Figure 6: benchmark running time vs decoding ratio");
+    let ratios = [0.25, 0.5, 0.75, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0];
+    let benchmarks = standard_benchmarks();
+
+    let mut header = vec!["ratio".to_string()];
+    for bench in &benchmarks {
+        header.push(bench.name().to_string());
+    }
+    let mut rows = Vec::new();
+    let sweeps: Vec<_> = benchmarks
+        .iter()
+        .map(|b| runtime_vs_ratio(b, &ratios, BacklogModel::DEFAULT_SYNDROME_CYCLE_NS))
+        .collect();
+    for (i, &ratio) in ratios.iter().enumerate() {
+        let mut row = vec![format!("{ratio:.2}")];
+        for sweep in &sweeps {
+            let seconds = sweep[i].1.wall_clock_s;
+            row.push(if seconds.is_finite() {
+                format!("{seconds:.3e} s")
+            } else {
+                "overflow".to_string()
+            });
+        }
+        rows.push(row);
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+
+    println!();
+    println!(
+        "Our decoder: worst-case decode ~20 ns per round against a 400 ns syndrome cycle, i.e. a \
+         ratio of ~0.05 — firmly left of 1, where the running time equals the compute time."
+    );
+    println!(
+        "Paper reference: every benchmark's running time explodes combinatorially once the ratio \
+         exceeds 1 (ratios of 1.5-2 already give ~1e100+ second runtimes); at or below 1 the \
+         curves are flat."
+    );
+}

@@ -1,0 +1,89 @@
+//! Regenerates Figure 10 (a), (b) and the top-row ablation: logical vs
+//! physical error rate for each decoder design variant and code distance.
+//!
+//! Usage:
+//!   fig10_threshold [--variant baseline|reset|boundary|final] [--zoom]
+//!
+//! `NISQ_TRIALS` controls the Monte-Carlo trials per point (default 4000).
+
+use nisqplus_bench::{print_header, print_table, trials_from_env};
+use nisqplus_core::DecoderVariant;
+use nisqplus_sim::threshold::{accuracy_threshold, pseudo_threshold, ErrorRateCurve};
+
+fn variant_from_arg(arg: &str) -> DecoderVariant {
+    match arg {
+        "baseline" => DecoderVariant::Baseline,
+        "reset" => DecoderVariant::WithReset,
+        "boundary" => DecoderVariant::WithResetAndBoundary,
+        _ => DecoderVariant::Final,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut variant = DecoderVariant::Final;
+    let mut zoom = false;
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--variant" => {
+                if let Some(v) = iter.next() {
+                    variant = variant_from_arg(v);
+                }
+            }
+            "--zoom" => zoom = true,
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+
+    let trials = trials_from_env(4_000);
+    let physical_rates: Vec<f64> = if zoom {
+        vec![0.046, 0.048, 0.050, 0.052, 0.054, 0.056, 0.058, 0.060]
+    } else {
+        vec![0.01, 0.015, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.12]
+    };
+    let window = if zoom { "(b) zoomed 4.6%-6%" } else { "(a) full range" };
+    print_header(&format!(
+        "Figure 10 {window}: logical error rate, {} design, {trials} trials/point",
+        variant.label()
+    ));
+
+    let distances = [3usize, 5, 7, 9];
+    let mut curves = Vec::new();
+    for &d in &distances {
+        let curve = ErrorRateCurve::measure(d, &physical_rates, trials, variant, 0xF16_0A + d as u64)
+            .expect("valid distances and probabilities");
+        curves.push(curve);
+    }
+
+    let mut rows = Vec::new();
+    for (i, &p) in physical_rates.iter().enumerate() {
+        let mut row = vec![format!("{:.1}", p * 100.0)];
+        for curve in &curves {
+            row.push(format!("{:.3}", curve.points[i].logical * 100.0));
+        }
+        row.push(format!("{:.1}", p * 100.0));
+        rows.push(row);
+    }
+    print_table(
+        &["p (%)", "PL d=3 (%)", "PL d=5 (%)", "PL d=7 (%)", "PL d=9 (%)", "physical (%)"],
+        &rows,
+    );
+
+    println!();
+    for curve in &curves {
+        match pseudo_threshold(curve) {
+            Some(pt) => println!("  pseudo-threshold d={}: {:.2}%", curve.distance, pt * 100.0),
+            None => println!("  pseudo-threshold d={}: not reached in this window", curve.distance),
+        }
+    }
+    match accuracy_threshold(&curves) {
+        Some(th) => println!("  accuracy threshold: {:.2}%", th * 100.0),
+        None => println!("  accuracy threshold: not visible in this window"),
+    }
+    println!();
+    println!(
+        "Paper reference (final design): accuracy threshold ~5%, pseudo-thresholds ~5% (d=3), \
+         4.75% (d=5), 4.5% (d=7), 3.5% (d=9); baseline/reset-only variants show no threshold."
+    );
+}

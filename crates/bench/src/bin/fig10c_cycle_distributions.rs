@@ -1,0 +1,51 @@
+//! Regenerates Figure 10(c): the distribution of decoding cycles required by
+//! each code distance (truncated at 20 mesh cycles for comparison).
+
+use nisqplus_bench::{print_header, print_table, trials_from_env};
+use nisqplus_core::DecoderVariant;
+use nisqplus_qec::lattice::Lattice;
+use nisqplus_qec::PureDephasing;
+use nisqplus_sim::monte_carlo::{run_sfq_lifetime, MonteCarloConfig};
+use nisqplus_sim::timing::CycleDistribution;
+
+fn main() {
+    let trials = trials_from_env(5_000);
+    print_header("Figure 10(c): probability distribution of decode cycles (final design)");
+    println!("({trials} trials per distance at p = 5%)");
+    println!();
+
+    let bins = 10;
+    let window = 120usize;
+    let mut rows = Vec::new();
+    let mut header = vec!["cycles bin".to_string()];
+    let mut columns = Vec::new();
+    for d in [3usize, 5, 7, 9] {
+        let lattice = Lattice::new(d).expect("valid distance");
+        let model = PureDephasing::new(0.05).expect("valid probability");
+        let config = MonteCarloConfig::new(trials).with_seed(0xC1C1E + d as u64);
+        let result = run_sfq_lifetime(&lattice, &model, &config, DecoderVariant::Final);
+        let dist = CycleDistribution::from_cycles(d, &result.cycle_samples, bins, window);
+        header.push(format!("d={d}"));
+        columns.push(dist);
+    }
+    for bin in 0..bins {
+        let lo = columns[0].bin_edges[bin];
+        let hi = columns[0].bin_edges[bin + 1];
+        let mut row = vec![format!("{lo:.0}-{hi:.0}")];
+        for dist in &columns {
+            row.push(format!("{:.3}", dist.densities[bin]));
+        }
+        rows.push(row);
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    println!();
+    for dist in &columns {
+        println!("  d={}: most probable bin starts at {:.0} cycles", dist.distance, dist.mode_cycles());
+    }
+    println!();
+    println!(
+        "Paper reference: the distributions for d = 3, 5, 7, 9 peak at roughly 0, 5, 9 and 14 \
+         cycles respectively, with tails that grow with distance."
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table I: characteristics of the simulated benchmarks.
+
+use nisqplus_bench::{print_header, print_table};
+use nisqplus_system::standard_benchmarks;
+
+fn main() {
+    print_header("Table I: characteristics of the simulated benchmarks");
+    let rows: Vec<Vec<String>> = standard_benchmarks()
+        .iter()
+        .map(|b| {
+            vec![
+                b.name().to_string(),
+                b.qubits().to_string(),
+                b.total_gates().to_string(),
+                b.t_gates().to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["benchmark", "# qubits", "# total gates", "# T gates"], &rows);
+    println!();
+    println!(
+        "Paper reference: takahashi 40/740/266, barenco 39/1224/504, cnu 37/1156/476, \
+         cnx 39/629/259, cuccaro 42/821/280."
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table II: the ERSFQ cell library.
+
+use nisqplus_bench::{print_header, print_table};
+use nisqplus_sfq::cell::CellLibrary;
+
+fn main() {
+    print_header("Table II: ERSFQ cell library");
+    let library = CellLibrary::ersfq();
+    let rows: Vec<Vec<String>> = library
+        .iter()
+        .map(|(cell, spec)| {
+            vec![
+                cell.to_string(),
+                format!("{:.0}", spec.area_um2),
+                spec.jj_count.to_string(),
+                format!("{:.1}", spec.delay_ps),
+            ]
+        })
+        .collect();
+    print_table(&["Cell", "Area (um^2)", "JJ Count", "Delay (ps)"], &rows);
+    println!();
+    println!(
+        "Paper reference: AND2 4200/17/9.2, OR2 4200/12/7.2, XOR2 4200/12/5.7, NOT 4200/13/9.2, \
+         DRO DFF 3360/10/5.0."
+    );
+}

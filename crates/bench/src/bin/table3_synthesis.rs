@@ -1,0 +1,61 @@
+//! Regenerates Table III: synthesis results for the SFQ decoder module, plus
+//! the mesh scaling and refrigerator-budget analysis of Section VIII.
+
+use nisqplus_bench::{print_header, print_table};
+use nisqplus_core::{DecoderModuleHardware, ModuleSubcircuit};
+use nisqplus_sfq::report::RefrigeratorBudget;
+use nisqplus_system::cooling_feasibility;
+
+fn main() {
+    print_header("Table III: synthesis results for the SFQ decoder module");
+    let hardware = DecoderModuleHardware::ersfq();
+    let rows: Vec<Vec<String>> = hardware
+        .reports()
+        .iter()
+        .map(|(which, report)| {
+            vec![
+                which.to_string(),
+                report.logical_depth.to_string(),
+                format!("{:.2}", report.latency_ps),
+                format!("{:.0}", report.area_um2),
+                format!("{:.3}", report.power_uw),
+                report.jj_count.to_string(),
+                report.total_cells().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Circuit", "Logical Depth", "Latency (ps)", "Area (um^2)", "Power (uW)", "JJs", "Cells"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Paper reference (Full Circuit): depth 6, 162.72 ps, 1,279,320 um^2, 13.08 uW; \
+         sub-circuits ~5 deep, 85.6-96 ps, 0.34-0.45 mm^2 each."
+    );
+
+    print_header("Section VIII: mesh scaling and refrigerator budget");
+    let full = hardware.report(ModuleSubcircuit::FullModule);
+    println!(
+        "One module: {:.3} mm^2, {:.2} uW, cycle time {:.2} ps",
+        full.area_um2 * 1e-6,
+        full.power_uw,
+        hardware.cycle_time_ps()
+    );
+    for d in [3, 5, 7, 9] {
+        let mesh = hardware.mesh_for_distance(d);
+        println!("  d={d}: {mesh}");
+    }
+    println!("Paper reference: d=9 mesh (289 modules) = 369.72 mm^2, 3.78 mW.");
+    println!();
+    for (label, budget) in
+        [("typical (1 W)", RefrigeratorBudget::typical()), ("generous (2 W)", RefrigeratorBudget::generous())]
+    {
+        let report = cooling_feasibility(&hardware, 9, &budget);
+        println!(
+            "Budget {label}: max mesh {0}x{0} -> single logical qubit at d={1} or {2} logical qubits at d=5",
+            report.max_mesh_side, report.max_protected_distance, report.logical_qubits_at_d5
+        );
+    }
+    println!("Paper reference: 87x87 mesh, one qubit at d=44 or ~100 qubits at d=5.");
+}

@@ -1,0 +1,67 @@
+//! Plain-text table formatting used by every figure/table binary.
+
+/// Prints a section header in a consistent style.
+pub fn print_header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Prints a simple aligned table: a header row followed by data rows.
+///
+/// Column widths are chosen from the longest entry in each column.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .take(cols)
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    print_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Reads the Monte-Carlo trial count from the `NISQ_TRIALS` environment
+/// variable, falling back to `default` when unset or unparsable.
+#[must_use]
+pub fn trials_from_env(default: usize) -> usize {
+    std::env::var("NISQ_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_header("Table I");
+        print_table(
+            &["benchmark", "qubits"],
+            &[vec!["cuccaro adder".to_string(), "42".to_string()]],
+        );
+    }
+
+    #[test]
+    fn trials_default_is_used_when_env_is_missing() {
+        assert_eq!(trials_from_env(123), 123);
+    }
+}

@@ -1,0 +1,443 @@
+//! The greedy mesh decoding algorithm at the signal-timing level.
+//!
+//! Section V-C of the paper describes the decoder's behaviour as an
+//! algorithm: repeatedly find the pair of hot-syndrome modules whose grow
+//! waves meet first, report the chain of modules connecting them, reset their
+//! hot-syndrome inputs and start over, until no hot syndrome remains.
+//!
+//! [`MeshEngine`](crate::mesh::MeshEngine) simulates the individual SFQ
+//! pulses; this module implements the same algorithm one level up, computing
+//! for every candidate pairing the number of mesh cycles the grow /
+//! pair-request / pair-grant / pair exchange takes and executing the pairings
+//! in completion-time order.  The two levels agree on which pairings happen
+//! and on how many cycles they cost (see the cross-validation tests), but the
+//! timing model runs orders of magnitude faster, so it is what the
+//! Monte-Carlo accuracy studies use.
+//!
+//! The incremental design flaws that the paper's ablation (Figure 10, top
+//! row) attributes to the missing mechanisms are modelled explicitly:
+//!
+//! * without **reset**, the grow waves of already-paired modules keep
+//!   propagating, so live defects can erroneously pair with them ("ghosts");
+//! * without **boundary** modules, defects can only pair with other defects,
+//!   so lone defects are never cleared;
+//! * without the **equidistant handshake**, a defect pairs simultaneously
+//!   with *every* partner at the minimal distance instead of exactly one.
+
+use crate::config::MeshConfig;
+use crate::mesh::MeshDecodeResult;
+use nisqplus_qec::lattice::{Lattice, Sector};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How a single pairing's latency is modelled, in mesh clock cycles.
+///
+/// Grow pulses advance one module per cycle; the request, grant and pair
+/// pulses of the handshake each retrace the longest leg of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalTiming {
+    /// Cycle at which the pairing is first detected (grow waves meet).
+    pub detection: usize,
+    /// Cycle at which the pairing completes (both hot syndromes cleared).
+    pub completion: usize,
+}
+
+/// Computes the signal timing of a defect-defect pairing from the mesh-grid
+/// offsets between the two ancilla modules.
+#[must_use]
+pub fn pair_timing(config: &MeshConfig, delta_row: usize, delta_col: usize) -> SignalTiming {
+    let (detection, longest_leg) = if delta_row == 0 || delta_col == 0 {
+        // Head-on collision along a row or column: the waves meet in the
+        // middle of the separation.
+        let distance = delta_row + delta_col;
+        (distance.div_ceil(2), distance.div_ceil(2))
+    } else {
+        // The effective corner module sees one wave after `delta_col` cycles
+        // and the other after `delta_row` cycles.
+        (delta_row.max(delta_col), delta_row.max(delta_col))
+    };
+    let completion = if config.equidistant_handshake {
+        // Request, grant and pair each retrace the longest leg.
+        detection + 3 * longest_leg
+    } else {
+        // The intermediate module emits pair pulses immediately.
+        detection + longest_leg
+    };
+    SignalTiming { detection, completion }
+}
+
+/// Computes the signal timing of a defect-boundary pairing from the mesh-grid
+/// distance between the ancilla module and the boundary module.
+#[must_use]
+pub fn boundary_timing(config: &MeshConfig, distance: usize) -> SignalTiming {
+    let completion = if config.equidistant_handshake {
+        distance + 3 * distance
+    } else {
+        distance + distance
+    };
+    SignalTiming { detection: distance, completion }
+}
+
+/// One pairing chosen by the algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeshPairing {
+    /// Two live defects paired with each other (ancilla indices).
+    Defects(usize, usize),
+    /// A defect paired with the lattice boundary.
+    ToBoundary(usize),
+    /// A live defect paired with the lingering grow wave of an
+    /// already-cleared defect (only possible without the reset mechanism).
+    ToGhost {
+        /// The live defect that was cleared by the spurious pairing.
+        live: usize,
+        /// The already-cleared defect whose wave caused it.
+        ghost: usize,
+    },
+}
+
+/// The greedy signal-timing decoder.
+#[derive(Debug, Clone)]
+pub struct GreedyMeshAlgorithm {
+    config: MeshConfig,
+}
+
+impl GreedyMeshAlgorithm {
+    /// Creates the algorithm for a mesh configuration.
+    #[must_use]
+    pub fn new(config: MeshConfig) -> Self {
+        GreedyMeshAlgorithm { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Decodes the given defects, returning the chain, cycle count and the
+    /// list of pairings in the order they completed.
+    #[must_use]
+    pub fn decode_defects_with_pairings(
+        &self,
+        lattice: &Lattice,
+        sector: Sector,
+        defects: &[usize],
+    ) -> (MeshDecodeResult, Vec<MeshPairing>) {
+        let cfg = &self.config;
+        for &a in defects {
+            assert_eq!(
+                lattice.ancilla_sector(a),
+                sector,
+                "defect {a} does not belong to the {sector} sector"
+            );
+        }
+        let mut live: BTreeSet<usize> = defects.iter().copied().collect();
+        let mut ghosts: BTreeSet<usize> = BTreeSet::new();
+        let mut chain: BTreeSet<usize> = BTreeSet::new();
+        let mut pairings = Vec::new();
+        let mut cycles = 0usize;
+        let initial = live.len();
+        let max_cycles = cfg.max_cycles(lattice.size() + 2);
+
+        let mesh_delta = |a: usize, b: usize| {
+            let ca = lattice.ancilla_coord(a);
+            let cb = lattice.ancilla_coord(b);
+            (ca.row.abs_diff(cb.row), ca.col.abs_diff(cb.col))
+        };
+        // Distance (in mesh cells) from an ancilla module to the nearest
+        // boundary module of its sector: one cell beyond the last data qubit.
+        let boundary_mesh_distance = |a: usize| 2 * lattice.boundary_distance(a);
+
+        while !live.is_empty() && cycles < max_cycles {
+            // --- Find the earliest-completing candidate pairings ----------
+            let live_vec: Vec<usize> = live.iter().copied().collect();
+            let mut best_time = usize::MAX;
+            // (completion, pairing) candidates at the minimal completion time.
+            let mut candidates: Vec<(usize, MeshPairing)> = Vec::new();
+            let consider = |time: usize, pairing: MeshPairing, best: &mut usize,
+                            cands: &mut Vec<(usize, MeshPairing)>| {
+                if time < *best {
+                    *best = time;
+                    cands.clear();
+                }
+                if time == *best {
+                    cands.push((time, pairing));
+                }
+            };
+
+            for (i, &a) in live_vec.iter().enumerate() {
+                for &b in &live_vec[i + 1..] {
+                    let (dr, dc) = mesh_delta(a, b);
+                    let t = pair_timing(cfg, dr, dc).completion;
+                    consider(t, MeshPairing::Defects(a, b), &mut best_time, &mut candidates);
+                }
+                if cfg.boundary {
+                    let t = boundary_timing(cfg, boundary_mesh_distance(a)).completion;
+                    consider(t, MeshPairing::ToBoundary(a), &mut best_time, &mut candidates);
+                }
+                if !cfg.reset {
+                    for &g in &ghosts {
+                        let (dr, dc) = mesh_delta(a, g);
+                        let t = pair_timing(cfg, dr, dc).completion;
+                        consider(
+                            t,
+                            MeshPairing::ToGhost { live: a, ghost: g },
+                            &mut best_time,
+                            &mut candidates,
+                        );
+                    }
+                }
+            }
+
+            if candidates.is_empty() {
+                // No way to pair the remaining defects (e.g. a lone defect
+                // with no boundary modules): the decode stalls until the cap.
+                cycles = max_cycles;
+                break;
+            }
+
+            // --- Select which of the tied candidates actually complete ----
+            let mut cleared_this_round: BTreeSet<usize> = BTreeSet::new();
+            let mut selected: Vec<MeshPairing> = Vec::new();
+            for (_, pairing) in candidates {
+                let endpoints: Vec<usize> = match &pairing {
+                    MeshPairing::Defects(a, b) => vec![*a, *b],
+                    MeshPairing::ToBoundary(a) => vec![*a],
+                    MeshPairing::ToGhost { live, .. } => vec![*live],
+                };
+                let conflict = endpoints.iter().any(|e| cleared_this_round.contains(e));
+                if conflict && cfg.equidistant_handshake {
+                    // The request/grant handshake lets each hot module commit
+                    // to exactly one pairing; later ties are dropped.
+                    continue;
+                }
+                // Without the handshake, equidistant ties all fire (the flaw
+                // Figure 8(c) illustrates); with it, disjoint simultaneous
+                // pairings still complete concurrently.
+                for e in &endpoints {
+                    cleared_this_round.insert(*e);
+                }
+                selected.push(pairing);
+            }
+
+            // --- Apply the selected pairings -------------------------------
+            for pairing in &selected {
+                let path = match pairing {
+                    MeshPairing::Defects(a, b) => lattice.correction_path(*a, *b),
+                    MeshPairing::ToBoundary(a) => lattice.boundary_path(*a),
+                    MeshPairing::ToGhost { live, ghost } => lattice.correction_path(*live, *ghost),
+                };
+                for q in path {
+                    // Chains overlap-toggle rather than accumulate: two chains
+                    // crossing the same data qubit cancel, exactly like two
+                    // pair pulses flipping the same error output.
+                    if !chain.insert(q) {
+                        chain.remove(&q);
+                    }
+                }
+            }
+            for &e in &cleared_this_round {
+                live.remove(&e);
+                ghosts.insert(e);
+            }
+            pairings.extend(selected);
+
+            cycles += best_time;
+            if cfg.reset && !live.is_empty() {
+                cycles += usize::from(cfg.module_depth);
+            }
+            if cycles >= max_cycles {
+                cycles = max_cycles;
+                break;
+            }
+        }
+
+        let completed = live.is_empty();
+        let result = MeshDecodeResult {
+            chain_data_qubits: chain.into_iter().collect(),
+            cycles,
+            cleared_defects: initial - live.len(),
+            completed,
+        };
+        (result, pairings)
+    }
+
+    /// Decodes the given defects, returning only the decode result.
+    #[must_use]
+    pub fn decode_defects(
+        &self,
+        lattice: &Lattice,
+        sector: Sector,
+        defects: &[usize],
+    ) -> MeshDecodeResult {
+        self.decode_defects_with_pairings(lattice, sector, defects).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DecoderVariant;
+    use nisqplus_qec::lattice::Coord;
+    use nisqplus_qec::pauli::{Pauli, PauliString};
+
+    fn final_algorithm() -> GreedyMeshAlgorithm {
+        GreedyMeshAlgorithm::new(DecoderVariant::Final.config())
+    }
+
+    fn ancilla_at(lattice: &Lattice, row: usize, col: usize) -> usize {
+        lattice.cell(Coord::new(row, col)).index
+    }
+
+    #[test]
+    fn timing_model_basics() {
+        let cfg = DecoderVariant::Final.config();
+        // Adjacent pair (two mesh cells apart, head-on).
+        let t = pair_timing(&cfg, 2, 0);
+        assert_eq!(t.detection, 1);
+        assert_eq!(t.completion, 4);
+        // Diagonal pair.
+        let t = pair_timing(&cfg, 2, 4);
+        assert_eq!(t.detection, 4);
+        assert_eq!(t.completion, 16);
+        // Boundary pairing at mesh distance 2.
+        let t = boundary_timing(&cfg, 2);
+        assert_eq!(t.completion, 8);
+        // Without the handshake everything is cheaper.
+        let cfg = DecoderVariant::WithResetAndBoundary.config();
+        assert!(pair_timing(&cfg, 2, 4).completion < 16);
+    }
+
+    #[test]
+    fn empty_defects_decode_instantly() {
+        let lat = Lattice::new(5).unwrap();
+        let result = final_algorithm().decode_defects(&lat, Sector::X, &[]);
+        assert!(result.completed);
+        assert_eq!(result.cycles, 0);
+    }
+
+    #[test]
+    fn pair_and_boundary_chains_clear_the_syndrome() {
+        let lat = Lattice::new(7).unwrap();
+        let defects = vec![ancilla_at(&lat, 5, 4), ancilla_at(&lat, 7, 6), ancilla_at(&lat, 1, 12)];
+        let (result, pairings) =
+            final_algorithm().decode_defects_with_pairings(&lat, Sector::X, &defects);
+        assert!(result.completed);
+        assert_eq!(result.cleared_defects, 3);
+        assert_eq!(pairings.len(), 2);
+        let correction =
+            PauliString::from_sparse(lat.num_data(), &result.chain_data_qubits, Pauli::Z);
+        let syndrome = lat.syndrome_of(&correction);
+        let mut cleared = lat.defects(&syndrome, Sector::X);
+        cleared.sort_unstable();
+        let mut expected = defects.clone();
+        expected.sort_unstable();
+        assert_eq!(cleared, expected);
+    }
+
+    #[test]
+    fn lone_defect_without_boundary_never_completes() {
+        let lat = Lattice::new(5).unwrap();
+        let algorithm = GreedyMeshAlgorithm::new(DecoderVariant::WithReset.config());
+        let result = algorithm.decode_defects(&lat, Sector::X, &[ancilla_at(&lat, 1, 4)]);
+        assert!(!result.completed);
+        assert_eq!(result.cleared_defects, 0);
+        assert_eq!(result.cycles, algorithm.config().max_cycles(lat.size() + 2));
+    }
+
+    #[test]
+    fn equidistant_flaw_pairs_with_both_without_handshake() {
+        // Three colinear defects: the middle one is equidistant from both ends.
+        let lat = Lattice::new(9).unwrap();
+        let left = ancilla_at(&lat, 7, 2);
+        let middle = ancilla_at(&lat, 7, 6);
+        let right = ancilla_at(&lat, 7, 10);
+        let no_handshake = GreedyMeshAlgorithm::new(DecoderVariant::WithResetAndBoundary.config());
+        let (_, pairings) =
+            no_handshake.decode_defects_with_pairings(&lat, Sector::X, &[left, middle, right]);
+        // Both (left, middle) and (middle, right) complete simultaneously.
+        let defect_pairs = pairings
+            .iter()
+            .filter(|p| matches!(p, MeshPairing::Defects(_, _)))
+            .count();
+        assert_eq!(defect_pairs, 2, "pairings: {pairings:?}");
+
+        // The full design breaks the tie and pairs the middle with only one end.
+        let (_, pairings) =
+            final_algorithm().decode_defects_with_pairings(&lat, Sector::X, &[left, middle, right]);
+        let middle_pairs = pairings
+            .iter()
+            .filter(|p| match p {
+                MeshPairing::Defects(a, b) => *a == middle || *b == middle,
+                MeshPairing::ToBoundary(a) => *a == middle,
+                MeshPairing::ToGhost { live, .. } => *live == middle,
+            })
+            .count();
+        assert_eq!(middle_pairs, 1, "pairings: {pairings:?}");
+    }
+
+    #[test]
+    fn ghost_pairing_occurs_only_without_reset() {
+        // Two nearby defects pair first; a third defect closer to one of the
+        // ghosts than to the boundary then mis-pairs when reset is disabled.
+        let lat = Lattice::new(9).unwrap();
+        let a = ancilla_at(&lat, 7, 6);
+        let b = ancilla_at(&lat, 7, 8);
+        let c = ancilla_at(&lat, 7, 12);
+        let baseline = GreedyMeshAlgorithm::new(DecoderVariant::Baseline.config());
+        let (_, pairings) = baseline.decode_defects_with_pairings(&lat, Sector::X, &[a, b, c]);
+        assert!(
+            pairings.iter().any(|p| matches!(p, MeshPairing::ToGhost { .. })),
+            "expected a ghost pairing, got {pairings:?}"
+        );
+        let with_reset = GreedyMeshAlgorithm::new(DecoderVariant::WithReset.config());
+        let (_, pairings) = with_reset.decode_defects_with_pairings(&lat, Sector::X, &[a, b, c]);
+        assert!(
+            !pairings.iter().any(|p| matches!(p, MeshPairing::ToGhost { .. })),
+            "reset must prevent ghost pairings, got {pairings:?}"
+        );
+    }
+
+    #[test]
+    fn cycles_grow_with_separation() {
+        let lat = Lattice::new(9).unwrap();
+        let algorithm = final_algorithm();
+        let near = algorithm.decode_defects(
+            &lat,
+            Sector::X,
+            &[ancilla_at(&lat, 7, 6), ancilla_at(&lat, 9, 6)],
+        );
+        let far = algorithm.decode_defects(
+            &lat,
+            Sector::X,
+            &[ancilla_at(&lat, 7, 6), ancilla_at(&lat, 7, 12)],
+        );
+        assert!(far.cycles > near.cycles);
+    }
+
+    #[test]
+    fn overlapping_chains_cancel() {
+        // Two defects whose boundary paths share no qubits plus a defect pair
+        // whose path overlaps nothing: the chain is simply their union; but if
+        // two pairings ever produce the same qubit twice it must cancel.  The
+        // invariant checked here is that the correction always reproduces the
+        // defect syndrome exactly for the final design.
+        let lat = Lattice::new(9).unwrap();
+        let defects: Vec<usize> = vec![
+            ancilla_at(&lat, 1, 2),
+            ancilla_at(&lat, 3, 2),
+            ancilla_at(&lat, 1, 6),
+            ancilla_at(&lat, 15, 10),
+        ];
+        let result = final_algorithm().decode_defects(&lat, Sector::X, &defects);
+        assert!(result.completed);
+        let correction =
+            PauliString::from_sparse(lat.num_data(), &result.chain_data_qubits, Pauli::Z);
+        let syndrome = lat.syndrome_of(&correction);
+        let mut cleared = lat.defects(&syndrome, Sector::X);
+        cleared.sort_unstable();
+        let mut expected = defects;
+        expected.sort_unstable();
+        assert_eq!(cleared, expected);
+    }
+}

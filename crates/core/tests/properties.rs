@@ -1,0 +1,93 @@
+//! Property-based tests for the SFQ mesh decoder.
+
+use nisqplus_core::{DecoderVariant, SfqMeshDecoder};
+use nisqplus_decoders::Decoder;
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::logical::{classify_residual, LogicalState};
+use nisqplus_qec::pauli::{Pauli, PauliString};
+use proptest::prelude::*;
+
+fn arb_distance() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(3usize), Just(5), Just(7), Just(9)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The final design always clears the syndrome it was handed: the
+    /// approximation can produce logical errors, never residual defects.
+    #[test]
+    fn final_design_never_leaves_residual_syndrome(
+        d in arb_distance(),
+        raw in prop::collection::vec(0usize..1000, 0..14),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let support: Vec<usize> = raw.iter().map(|&q| q % lattice.num_data()).collect();
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let mut decoder = SfqMeshDecoder::final_design();
+        let correction = decoder.decode(&lattice, &syndrome, Sector::X);
+        let state = classify_residual(&lattice, &error, correction.pauli_string(), Sector::X);
+        prop_assert_ne!(state, LogicalState::InvalidCorrection);
+        let stats = decoder.last_stats().unwrap();
+        prop_assert!(stats.completed);
+    }
+
+    /// Every variant terminates within the configured cycle cap and reports
+    /// monotone statistics.
+    #[test]
+    fn all_variants_terminate(
+        d in prop_oneof![Just(3usize), Just(5)],
+        raw in prop::collection::vec(0usize..1000, 0..10),
+        variant_idx in 0usize..4,
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let support: Vec<usize> = raw.iter().map(|&q| q % lattice.num_data()).collect();
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let variant = DecoderVariant::ALL[variant_idx];
+        let mut decoder = SfqMeshDecoder::new(variant);
+        let _ = decoder.decode(&lattice, &syndrome, Sector::X);
+        let stats = decoder.last_stats().unwrap();
+        let cap = variant.config().max_cycles(lattice.size() + 2);
+        prop_assert!(stats.cycles <= cap);
+        prop_assert!(stats.time_ns >= 0.0);
+    }
+
+    /// Weight-one errors are corrected by the final design in both sectors,
+    /// at every distance.
+    #[test]
+    fn single_errors_always_corrected(d in arb_distance(), q in 0usize..1000) {
+        let lattice = Lattice::new(d).unwrap();
+        let q = q % lattice.num_data();
+        for (pauli, sector) in [(Pauli::Z, Sector::X), (Pauli::X, Sector::Z)] {
+            let error = PauliString::from_sparse(lattice.num_data(), &[q], pauli);
+            let syndrome = lattice.syndrome_of(&error);
+            let mut decoder = SfqMeshDecoder::final_design();
+            let correction = decoder.decode(&lattice, &syndrome, sector);
+            prop_assert_eq!(
+                classify_residual(&lattice, &error, correction.pauli_string(), sector),
+                LogicalState::Success
+            );
+        }
+    }
+
+    /// Decode time in nanoseconds stays within the paper's reported ceiling
+    /// (about 20 ns) for realistic defect densities at the studied distances.
+    #[test]
+    fn decode_time_stays_below_paper_ceiling(
+        d in arb_distance(),
+        raw in prop::collection::vec(0usize..1000, 0..8),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let support: Vec<usize> = raw.iter().map(|&q| q % lattice.num_data()).collect();
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let mut decoder = SfqMeshDecoder::final_design();
+        let _ = decoder.decode(&lattice, &syndrome, Sector::X);
+        let stats = decoder.last_stats().unwrap();
+        if stats.completed {
+            prop_assert!(stats.time_ns <= 60.0, "decode took {} ns", stats.time_ns);
+        }
+    }
+}

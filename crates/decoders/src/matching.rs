@@ -1,0 +1,397 @@
+//! Matching-based decoders: the greedy 2-approximation and exact
+//! minimum-weight matching.
+//!
+//! Decoding the surface code can be phrased as a matching problem over the
+//! detection events (Section V-A of the paper): build a complete graph on the
+//! hot ancillas (plus boundary nodes), weight each edge by the length of the
+//! shortest error chain that would connect the pair, and find the pairing of
+//! minimum total weight.
+//!
+//! * [`GreedyMatchingDecoder`] sorts all candidate edges by length and adds
+//!   them greedily — the same 2-approximation (Drake & Hougardy) that the
+//!   paper's hardware algorithm realizes in the mesh.
+//! * [`ExactMatchingDecoder`] finds the true minimum-weight matching by
+//!   dynamic programming over defect subsets, which is feasible for the
+//!   defect counts arising at the code distances studied (d ≤ 11).  It plays
+//!   the role of the software MWPM baseline [Fowler et al.].
+
+use crate::traits::{Correction, Decoder, MatchPair, Matching, sorted_defect_edges};
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::syndrome::Syndrome;
+use std::collections::HashMap;
+
+/// The greedy sorted-edge matching decoder (software reference model of the
+/// paper's hardware algorithm).
+///
+/// The algorithm of Section V-B: compute all pairwise defect distances plus
+/// each defect's distance to its nearest boundary, sort ascending, and accept
+/// each edge whose endpoints are still unmatched.  Every defect ends up
+/// matched because its boundary edge is always individually acceptable.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyMatchingDecoder {
+    _private: (),
+}
+
+impl GreedyMatchingDecoder {
+    /// Creates a greedy matching decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        GreedyMatchingDecoder { _private: () }
+    }
+
+    /// Computes the greedy matching for an explicit defect list.
+    #[must_use]
+    pub fn match_defects(&self, lattice: &Lattice, defects: &[usize]) -> Matching {
+        let mut matched = vec![false; defects.len()];
+        let index_of: HashMap<usize, usize> =
+            defects.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+        // Candidate edges: defect-defect and defect-boundary, sorted by length.
+        // Boundary edges are encoded with `usize::MAX` as the second endpoint.
+        let mut edges: Vec<(usize, usize, usize)> = sorted_defect_edges(lattice, defects);
+        for &a in defects {
+            edges.push((lattice.boundary_distance(a), a, usize::MAX));
+        }
+        edges.sort_unstable();
+
+        let mut matching = Matching::new();
+        for (_, a, b) in edges {
+            let ia = index_of[&a];
+            if matched[ia] {
+                continue;
+            }
+            if b == usize::MAX {
+                matched[ia] = true;
+                matching.push(MatchPair::ToBoundary(a));
+            } else {
+                let ib = index_of[&b];
+                if matched[ib] {
+                    continue;
+                }
+                matched[ia] = true;
+                matched[ib] = true;
+                matching.push(MatchPair::Defects(a, b));
+            }
+        }
+        matching
+    }
+}
+
+impl Decoder for GreedyMatchingDecoder {
+    fn name(&self) -> &str {
+        "greedy-matching"
+    }
+
+    fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
+        let defects = lattice.defects(syndrome, sector);
+        self.match_defects(lattice, &defects).to_correction(lattice, sector)
+    }
+}
+
+/// Exact minimum-weight matching decoder (the MWPM baseline).
+///
+/// The decoder minimises the total chain length over all ways of pairing
+/// defects with each other or with the boundary, by dynamic programming over
+/// subsets of defects.  The subset DP is exponential in the defect count, so
+/// syndromes with more than [`ExactMatchingDecoder::max_exact_defects`]
+/// defects fall back to the greedy matching (this only happens far above
+/// threshold, where every decoder has already failed).
+#[derive(Debug, Clone)]
+pub struct ExactMatchingDecoder {
+    max_exact_defects: usize,
+    greedy: GreedyMatchingDecoder,
+}
+
+impl Default for ExactMatchingDecoder {
+    fn default() -> Self {
+        ExactMatchingDecoder::new()
+    }
+}
+
+impl ExactMatchingDecoder {
+    /// Default cap on the defect count handled exactly.
+    pub const DEFAULT_MAX_EXACT_DEFECTS: usize = 22;
+
+    /// Creates an exact matching decoder with the default defect cap.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactMatchingDecoder {
+            max_exact_defects: Self::DEFAULT_MAX_EXACT_DEFECTS,
+            greedy: GreedyMatchingDecoder::new(),
+        }
+    }
+
+    /// Creates an exact matching decoder with a custom defect cap.
+    #[must_use]
+    pub fn with_max_exact_defects(max_exact_defects: usize) -> Self {
+        ExactMatchingDecoder { max_exact_defects, greedy: GreedyMatchingDecoder::new() }
+    }
+
+    /// The largest defect count decoded exactly before falling back to greedy.
+    #[must_use]
+    pub fn max_exact_defects(&self) -> usize {
+        self.max_exact_defects
+    }
+
+    /// Computes a minimum-weight matching of the given defects.
+    ///
+    /// Falls back to the greedy matching if there are more defects than the
+    /// configured cap.
+    #[must_use]
+    pub fn match_defects(&self, lattice: &Lattice, defects: &[usize]) -> Matching {
+        let n = defects.len();
+        if n == 0 {
+            return Matching::new();
+        }
+        if n > self.max_exact_defects {
+            return self.greedy.match_defects(lattice, defects);
+        }
+
+        // Pre-compute distances.
+        let mut pair_dist = vec![vec![0usize; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = lattice.ancilla_distance(defects[i], defects[j]);
+                pair_dist[i][j] = d;
+                pair_dist[j][i] = d;
+            }
+        }
+        let boundary_dist: Vec<usize> =
+            defects.iter().map(|&a| lattice.boundary_distance(a)).collect();
+
+        // DP over subsets: best[mask] = minimal weight to match every defect in `mask`.
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let mut memo: HashMap<u32, (usize, Option<(usize, Option<usize>)>)> = HashMap::new();
+        memo.insert(0, (0, None));
+
+        fn solve(
+            mask: u32,
+            n: usize,
+            pair_dist: &[Vec<usize>],
+            boundary_dist: &[usize],
+            memo: &mut HashMap<u32, (usize, Option<(usize, Option<usize>)>)>,
+        ) -> usize {
+            if let Some(&(cost, _)) = memo.get(&mask) {
+                return cost;
+            }
+            let first = mask.trailing_zeros() as usize;
+            // Option 1: match `first` to the boundary.
+            let rest = mask & !(1 << first);
+            let mut best = boundary_dist[first]
+                .saturating_add(solve(rest, n, pair_dist, boundary_dist, memo));
+            let mut choice = (first, None);
+            // Option 2: match `first` with another defect still in the mask.
+            for j in (first + 1)..n {
+                if rest & (1 << j) != 0 {
+                    let sub = rest & !(1 << j);
+                    let cost = pair_dist[first][j]
+                        .saturating_add(solve(sub, n, pair_dist, boundary_dist, memo));
+                    if cost < best {
+                        best = cost;
+                        choice = (first, Some(j));
+                    }
+                }
+            }
+            memo.insert(mask, (best, Some(choice)));
+            best
+        }
+
+        solve(full, n, &pair_dist, &boundary_dist, &mut memo);
+
+        // Reconstruct the optimal pairing.
+        let mut matching = Matching::new();
+        let mut mask = full;
+        while mask != 0 {
+            let (_, choice) = memo[&mask];
+            let (first, partner) = choice.expect("non-empty mask always has a recorded choice");
+            match partner {
+                Some(j) => {
+                    matching.push(MatchPair::Defects(defects[first], defects[j]));
+                    mask &= !(1 << first);
+                    mask &= !(1 << j);
+                }
+                None => {
+                    matching.push(MatchPair::ToBoundary(defects[first]));
+                    mask &= !(1 << first);
+                }
+            }
+        }
+        matching
+    }
+}
+
+impl Decoder for ExactMatchingDecoder {
+    fn name(&self) -> &str {
+        "mwpm"
+    }
+
+    fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
+        let defects = lattice.defects(syndrome, sector);
+        self.match_defects(lattice, &defects).to_correction(lattice, sector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisqplus_qec::lattice::Coord;
+    use nisqplus_qec::logical::{classify_residual, LogicalState};
+    use nisqplus_qec::pauli::{Pauli, PauliString};
+
+    fn decode_and_classify<D: Decoder>(
+        decoder: &mut D,
+        lattice: &Lattice,
+        error: &PauliString,
+    ) -> LogicalState {
+        let syndrome = lattice.syndrome_of(error);
+        let correction = decoder.decode(lattice, &syndrome, Sector::X);
+        classify_residual(lattice, error, correction.pauli_string(), Sector::X)
+    }
+
+    #[test]
+    fn empty_syndrome_produces_identity_correction() {
+        let lat = Lattice::new(5).unwrap();
+        let syndrome = Syndrome::new(lat.num_ancillas());
+        for decoder in [&mut ExactMatchingDecoder::new() as &mut dyn Decoder,
+                        &mut GreedyMatchingDecoder::new() as &mut dyn Decoder] {
+            let c = decoder.decode(&lat, &syndrome, Sector::X);
+            assert_eq!(c.weight(), 0);
+        }
+    }
+
+    #[test]
+    fn single_error_corrected_by_both_decoders() {
+        let lat = Lattice::new(5).unwrap();
+        for q in 0..lat.num_data() {
+            let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+            assert_eq!(
+                decode_and_classify(&mut ExactMatchingDecoder::new(), &lat, &error),
+                LogicalState::Success,
+                "exact failed on single error at data qubit {q}"
+            );
+            assert_eq!(
+                decode_and_classify(&mut GreedyMatchingDecoder::new(), &lat, &error),
+                LogicalState::Success,
+                "greedy failed on single error at data qubit {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_adjacent_errors_corrected_at_distance_five() {
+        let lat = Lattice::new(5).unwrap();
+        // A short chain in the bulk.
+        let q1 = lat.cell(Coord::new(4, 4)).index;
+        let q2 = lat.cell(Coord::new(6, 4)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q1, q2], Pauli::Z);
+        assert_eq!(
+            decode_and_classify(&mut ExactMatchingDecoder::new(), &lat, &error),
+            LogicalState::Success
+        );
+    }
+
+    #[test]
+    fn any_error_of_weight_at_most_half_distance_is_corrected_exactly() {
+        // The exact decoder must correct every error of weight <= (d-1)/2.
+        let lat = Lattice::new(5).unwrap();
+        let mut decoder = ExactMatchingDecoder::new();
+        // All single and a sample of double errors.
+        for a in 0..lat.num_data() {
+            for b in (a + 1)..lat.num_data() {
+                if (a + b) % 7 != 0 {
+                    continue; // sample to keep the test fast
+                }
+                let error = PauliString::from_sparse(lat.num_data(), &[a, b], Pauli::Z);
+                assert_eq!(
+                    decode_and_classify(&mut decoder, &lat, &error),
+                    LogicalState::Success,
+                    "exact decoder failed on weight-2 error ({a}, {b}) at d=5"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matching_weight_never_exceeds_greedy() {
+        let lat = Lattice::new(7).unwrap();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let exact = ExactMatchingDecoder::new();
+        let greedy = GreedyMatchingDecoder::new();
+        // Several defect configurations.
+        let configs: Vec<Vec<usize>> = vec![
+            vec![xs[0], xs[5], xs[11], xs[17]],
+            vec![xs[1], xs[2], xs[3], xs[4], xs[20], xs[21]],
+            vec![xs[0], xs[41]],
+            vec![xs[7]],
+            vec![xs[3], xs[9], xs[27], xs[33], xs[39], xs[40]],
+        ];
+        for defects in configs {
+            let we = exact.match_defects(&lat, &defects).total_weight(&lat);
+            let wg = greedy.match_defects(&lat, &defects).total_weight(&lat);
+            assert!(we <= wg, "exact {we} > greedy {wg} for defects {defects:?}");
+            assert!(wg <= 2 * we.max(1), "greedy exceeded its 2-approximation bound");
+        }
+    }
+
+    #[test]
+    fn matchings_cover_all_defects() {
+        let lat = Lattice::new(7).unwrap();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let defects = vec![xs[0], xs[5], xs[11], xs[17], xs[23]];
+        for matching in [
+            ExactMatchingDecoder::new().match_defects(&lat, &defects),
+            GreedyMatchingDecoder::new().match_defects(&lat, &defects),
+        ] {
+            assert!(matching.covers_exactly(&defects));
+        }
+    }
+
+    #[test]
+    fn fallback_to_greedy_above_defect_cap() {
+        let lat = Lattice::new(9).unwrap();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let decoder = ExactMatchingDecoder::with_max_exact_defects(4);
+        assert_eq!(decoder.max_exact_defects(), 4);
+        let defects: Vec<usize> = xs.iter().copied().take(10).collect();
+        let matching = decoder.match_defects(&lat, &defects);
+        assert!(matching.covers_exactly(&defects));
+    }
+
+    #[test]
+    fn boundary_pairing_is_chosen_when_cheaper() {
+        let lat = Lattice::new(9).unwrap();
+        // Two defects on opposite edges of the lattice: matching each to its
+        // own boundary is cheaper than matching them together.
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let top = *xs.iter().find(|&&a| lat.ancilla_coord(a).row == 1).unwrap();
+        let bottom = *xs
+            .iter()
+            .find(|&&a| lat.ancilla_coord(a).row == lat.size() - 2)
+            .unwrap();
+        let matching = ExactMatchingDecoder::new().match_defects(&lat, &[top, bottom]);
+        assert_eq!(matching.len(), 2);
+        for pair in matching.pairs() {
+            assert!(matches!(pair, MatchPair::ToBoundary(_)));
+        }
+    }
+
+    #[test]
+    fn decoder_names() {
+        assert_eq!(ExactMatchingDecoder::new().name(), "mwpm");
+        assert_eq!(GreedyMatchingDecoder::new().name(), "greedy-matching");
+    }
+
+    #[test]
+    fn decode_both_sectors_handles_y_errors() {
+        let lat = Lattice::new(5).unwrap();
+        let q = lat.cell(Coord::new(4, 4)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Y);
+        let syndrome = lat.syndrome_of(&error);
+        let mut decoder = ExactMatchingDecoder::new();
+        let correction = decoder.decode_both(&lat, &syndrome);
+        let (x_state, z_state) =
+            nisqplus_qec::logical::classify_both_sectors(&lat, &error, correction.pauli_string());
+        assert_eq!(x_state, LogicalState::Success);
+        assert_eq!(z_state, LogicalState::Success);
+    }
+}

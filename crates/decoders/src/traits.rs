@@ -1,0 +1,323 @@
+//! The common decoder interface and correction types.
+//!
+//! Every decoder in the workspace — the software baselines in this crate and
+//! the SFQ mesh decoder in `nisqplus-core` — consumes a syndrome for one
+//! stabilizer sector and produces a [`Correction`].  Decoders that work by
+//! pairing defects also report the [`Matching`] they chose, which the
+//! analysis code uses to study approximation quality.
+
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::pauli::{Pauli, PauliString};
+use nisqplus_qec::syndrome::Syndrome;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One element of a defect pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchPair {
+    /// Two detection events paired with each other (by ancilla index).
+    Defects(usize, usize),
+    /// A detection event paired with the nearest lattice boundary.
+    ToBoundary(usize),
+}
+
+impl MatchPair {
+    /// Returns a canonical form with defect indices in ascending order.
+    #[must_use]
+    pub fn canonical(self) -> MatchPair {
+        match self {
+            MatchPair::Defects(a, b) if a > b => MatchPair::Defects(b, a),
+            other => other,
+        }
+    }
+
+    /// The number of data qubits the corresponding correction chain crosses.
+    #[must_use]
+    pub fn chain_length(&self, lattice: &Lattice) -> usize {
+        match *self {
+            MatchPair::Defects(a, b) => lattice.ancilla_distance(a, b),
+            MatchPair::ToBoundary(a) => lattice.boundary_distance(a),
+        }
+    }
+}
+
+/// A complete pairing of the detection events of one sector.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Matching {
+    pairs: Vec<MatchPair>,
+}
+
+impl Matching {
+    /// Creates an empty matching.
+    #[must_use]
+    pub fn new() -> Self {
+        Matching { pairs: Vec::new() }
+    }
+
+    /// Creates a matching from a list of pairs.
+    #[must_use]
+    pub fn from_pairs(pairs: Vec<MatchPair>) -> Self {
+        Matching { pairs }
+    }
+
+    /// Adds one pair to the matching.
+    pub fn push(&mut self, pair: MatchPair) {
+        self.pairs.push(pair);
+    }
+
+    /// The pairs of the matching.
+    #[must_use]
+    pub fn pairs(&self) -> &[MatchPair] {
+        &self.pairs
+    }
+
+    /// The number of pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if the matching contains no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Total chain length (number of data qubits) of the matching.
+    #[must_use]
+    pub fn total_weight(&self, lattice: &Lattice) -> usize {
+        self.pairs.iter().map(|p| p.chain_length(lattice)).sum()
+    }
+
+    /// Returns `true` if every defect in `defects` appears exactly once.
+    #[must_use]
+    pub fn covers_exactly(&self, defects: &[usize]) -> bool {
+        let mut seen = Vec::new();
+        for pair in &self.pairs {
+            match *pair {
+                MatchPair::Defects(a, b) => {
+                    seen.push(a);
+                    seen.push(b);
+                }
+                MatchPair::ToBoundary(a) => seen.push(a),
+            }
+        }
+        seen.sort_unstable();
+        let mut expected = defects.to_vec();
+        expected.sort_unstable();
+        seen == expected
+    }
+
+    /// Converts the matching into a physical correction for the given sector.
+    ///
+    /// X-sector matchings correct Z errors (and vice versa), so the chain data
+    /// qubits receive `Z` flips in the X sector and `X` flips in the Z sector.
+    #[must_use]
+    pub fn to_correction(&self, lattice: &Lattice, sector: Sector) -> Correction {
+        let pauli = sector_correction_pauli(sector);
+        let mut flips = PauliString::identity(lattice.num_data());
+        for pair in &self.pairs {
+            let path = match *pair {
+                MatchPair::Defects(a, b) => lattice.correction_path(a, b),
+                MatchPair::ToBoundary(a) => lattice.boundary_path(a),
+            };
+            for q in path {
+                flips.apply(q, pauli);
+            }
+        }
+        Correction { flips, matching: Some(self.clone()) }
+    }
+}
+
+impl FromIterator<MatchPair> for Matching {
+    fn from_iter<T: IntoIterator<Item = MatchPair>>(iter: T) -> Self {
+        Matching { pairs: iter.into_iter().collect() }
+    }
+}
+
+/// The Pauli flip a correction applies in a given sector.
+///
+/// The X sector detects Z errors, so its corrections are Z flips; the Z
+/// sector detects X errors and corrects with X flips.
+#[must_use]
+pub fn sector_correction_pauli(sector: Sector) -> Pauli {
+    match sector {
+        Sector::X => Pauli::Z,
+        Sector::Z => Pauli::X,
+    }
+}
+
+/// A decoder's output: the physical correction plus optional pairing metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Correction {
+    flips: PauliString,
+    matching: Option<Matching>,
+}
+
+impl Correction {
+    /// Creates a correction directly from a Pauli string.
+    #[must_use]
+    pub fn from_pauli_string(flips: PauliString) -> Self {
+        Correction { flips, matching: None }
+    }
+
+    /// Creates an identity (do-nothing) correction on `num_data` qubits.
+    #[must_use]
+    pub fn identity(num_data: usize) -> Self {
+        Correction { flips: PauliString::identity(num_data), matching: None }
+    }
+
+    /// The Pauli flips to apply to the data qubits.
+    #[must_use]
+    pub fn pauli_string(&self) -> &PauliString {
+        &self.flips
+    }
+
+    /// The defect pairing that produced the correction, when available.
+    #[must_use]
+    pub fn matching(&self) -> Option<&Matching> {
+        self.matching.as_ref()
+    }
+
+    /// The number of data qubits flipped by the correction.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.flips.weight()
+    }
+
+    /// Consumes the correction, returning the underlying Pauli string.
+    #[must_use]
+    pub fn into_pauli_string(self) -> PauliString {
+        self.flips
+    }
+
+    /// Composes another correction into this one (e.g. X-sector then Z-sector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corrections act on different numbers of qubits.
+    pub fn compose_with(&mut self, other: &Correction) {
+        self.flips.compose_with(&other.flips);
+        self.matching = None;
+    }
+}
+
+impl fmt::Display for Correction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "correction of weight {}", self.weight())
+    }
+}
+
+/// A surface-code decoder operating on one stabilizer sector at a time.
+///
+/// Decoders may keep internal scratch state between calls (hence `&mut self`)
+/// but must not carry information from one syndrome to the next: every call
+/// is an independent decoding problem.
+pub trait Decoder {
+    /// A short human-readable name for reports ("mwpm", "union-find", "sfq-mesh", ...).
+    fn name(&self) -> &str;
+
+    /// Decodes one sector's syndrome into a correction.
+    fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction;
+
+    /// Decodes both sectors and composes the two corrections.
+    fn decode_both(&mut self, lattice: &Lattice, syndrome: &Syndrome) -> Correction {
+        let mut correction = self.decode(lattice, syndrome, Sector::X);
+        let z_part = self.decode(lattice, syndrome, Sector::Z);
+        correction.compose_with(&z_part);
+        correction
+    }
+}
+
+/// Sorts defect pairs by chain length (then lexicographically) — the shared
+/// edge ordering used by the greedy decoders.
+#[must_use]
+pub fn sorted_defect_edges(lattice: &Lattice, defects: &[usize]) -> Vec<(usize, usize, usize)> {
+    let mut edges = Vec::new();
+    for (i, &a) in defects.iter().enumerate() {
+        for &b in &defects[i + 1..] {
+            edges.push((lattice.ancilla_distance(a, b), a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisqplus_qec::lattice::Lattice;
+
+    fn lattice() -> Lattice {
+        Lattice::new(5).unwrap()
+    }
+
+    #[test]
+    fn match_pair_canonicalization() {
+        assert_eq!(MatchPair::Defects(5, 2).canonical(), MatchPair::Defects(2, 5));
+        assert_eq!(MatchPair::Defects(1, 4).canonical(), MatchPair::Defects(1, 4));
+        assert_eq!(MatchPair::ToBoundary(3).canonical(), MatchPair::ToBoundary(3));
+    }
+
+    #[test]
+    fn matching_covers_exactly() {
+        let m = Matching::from_pairs(vec![MatchPair::Defects(1, 4), MatchPair::ToBoundary(7)]);
+        assert!(m.covers_exactly(&[1, 4, 7]));
+        assert!(!m.covers_exactly(&[1, 4]));
+        assert!(!m.covers_exactly(&[1, 4, 7, 9]));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn matching_to_correction_clears_syndrome() {
+        let lat = lattice();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let (a, b) = (xs[2], xs[7]);
+        let m = Matching::from_pairs(vec![MatchPair::Defects(a, b)]);
+        let correction = m.to_correction(&lat, Sector::X);
+        let syndrome = lat.syndrome_of(correction.pauli_string());
+        let mut defects = lat.defects(&syndrome, Sector::X);
+        defects.sort_unstable();
+        let mut expected = vec![a, b];
+        expected.sort_unstable();
+        assert_eq!(defects, expected);
+        assert_eq!(correction.weight(), lat.ancilla_distance(a, b));
+        assert!(correction.matching().is_some());
+    }
+
+    #[test]
+    fn sector_correction_paulis() {
+        assert_eq!(sector_correction_pauli(Sector::X), Pauli::Z);
+        assert_eq!(sector_correction_pauli(Sector::Z), Pauli::X);
+    }
+
+    #[test]
+    fn correction_composition() {
+        let mut a = Correction::from_pauli_string(PauliString::from_sparse(4, &[0], Pauli::Z));
+        let b = Correction::from_pauli_string(PauliString::from_sparse(4, &[0, 1], Pauli::X));
+        a.compose_with(&b);
+        assert_eq!(a.weight(), 2);
+        assert_eq!(a.pauli_string()[0], Pauli::Y);
+        assert!(a.matching().is_none());
+        assert_eq!(a.to_string(), "correction of weight 2");
+    }
+
+    #[test]
+    fn sorted_edges_are_ascending() {
+        let lat = lattice();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let defects = vec![xs[0], xs[3], xs[10], xs[15]];
+        let edges = sorted_defect_edges(&lat, &defects);
+        assert_eq!(edges.len(), 6);
+        for w in edges.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn identity_correction_has_zero_weight() {
+        let c = Correction::identity(10);
+        assert_eq!(c.weight(), 0);
+        assert_eq!(c.pauli_string().len(), 10);
+    }
+}

@@ -1,0 +1,433 @@
+//! The union-find decoder (Delfosse & Nickerson, "Almost-linear time decoding
+//! algorithm for topological codes").
+//!
+//! Union-find is the fastest published *software* decoder the paper compares
+//! against (Section VIII, "Comparison to existing approximation techniques"):
+//! it trades a small amount of threshold (≈0.4%) for a large speed-up over
+//! MWPM, but its decoding time still exceeds the syndrome-generation time, so
+//! it remains exposed to the backlog problem.  We implement the standard
+//! two-phase algorithm — cluster growth with half-edges and weighted union,
+//! followed by peeling of the grown clusters — specialized to the
+//! code-capacity setting used throughout the paper's accuracy evaluation.
+
+use crate::traits::{sector_correction_pauli, Correction, Decoder};
+use nisqplus_qec::lattice::{Lattice, QubitKind, Sector};
+use nisqplus_qec::pauli::PauliString;
+use nisqplus_qec::syndrome::Syndrome;
+use std::collections::HashMap;
+
+/// An edge of the sector's decoding graph.
+#[derive(Debug, Clone, Copy)]
+struct GraphEdge {
+    u: usize,
+    v: usize,
+    /// The data qubit the edge crosses; flipping it toggles both endpoints.
+    data_qubit: usize,
+}
+
+/// The decoding graph of one sector: same-sector ancillas plus two virtual
+/// boundary vertices.
+#[derive(Debug, Clone)]
+struct SectorGraph {
+    /// Number of real (ancilla) vertices.
+    num_ancilla_vertices: usize,
+    /// Total vertices including the two boundary vertices.
+    num_vertices: usize,
+    /// Maps ancilla index -> local vertex index.
+    vertex_of_ancilla: HashMap<usize, usize>,
+    edges: Vec<GraphEdge>,
+}
+
+impl SectorGraph {
+    fn build(lattice: &Lattice, sector: Sector) -> Self {
+        let ancillas: Vec<usize> = lattice.ancillas_in_sector(sector).collect();
+        let vertex_of_ancilla: HashMap<usize, usize> =
+            ancillas.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let num_ancilla_vertices = ancillas.len();
+        let boundary_a = num_ancilla_vertices;
+        let boundary_b = num_ancilla_vertices + 1;
+        let size = lattice.size();
+        let mut edges = Vec::new();
+
+        // Map from grid coordinate to ancilla index for neighbour lookups.
+        let mut ancilla_at = HashMap::new();
+        for &a in &ancillas {
+            ancilla_at.insert(lattice.ancilla_coord(a), a);
+        }
+
+        for &a in &ancillas {
+            let c = lattice.ancilla_coord(a);
+            let u = vertex_of_ancilla[&a];
+            // Neighbour below (same column, +2 rows).
+            if c.row + 2 < size {
+                let below = nisqplus_qec::lattice::Coord::new(c.row + 2, c.col);
+                if let Some(&b) = ancilla_at.get(&below) {
+                    let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row + 1, c.col));
+                    debug_assert_eq!(data.kind, QubitKind::Data);
+                    edges.push(GraphEdge { u, v: vertex_of_ancilla[&b], data_qubit: data.index });
+                }
+            }
+            // Neighbour to the right (same row, +2 columns).
+            if c.col + 2 < size {
+                let right = nisqplus_qec::lattice::Coord::new(c.row, c.col + 2);
+                if let Some(&b) = ancilla_at.get(&right) {
+                    let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, c.col + 1));
+                    debug_assert_eq!(data.kind, QubitKind::Data);
+                    edges.push(GraphEdge { u, v: vertex_of_ancilla[&b], data_qubit: data.index });
+                }
+            }
+            // Boundary edges.
+            match sector {
+                Sector::X => {
+                    if c.row == 1 {
+                        let data = lattice.cell(nisqplus_qec::lattice::Coord::new(0, c.col));
+                        edges.push(GraphEdge { u, v: boundary_a, data_qubit: data.index });
+                    }
+                    if c.row == size - 2 {
+                        let data =
+                            lattice.cell(nisqplus_qec::lattice::Coord::new(size - 1, c.col));
+                        edges.push(GraphEdge { u, v: boundary_b, data_qubit: data.index });
+                    }
+                }
+                Sector::Z => {
+                    if c.col == 1 {
+                        let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, 0));
+                        edges.push(GraphEdge { u, v: boundary_a, data_qubit: data.index });
+                    }
+                    if c.col == size - 2 {
+                        let data =
+                            lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, size - 1));
+                        edges.push(GraphEdge { u, v: boundary_b, data_qubit: data.index });
+                    }
+                }
+            }
+        }
+
+        SectorGraph {
+            num_ancilla_vertices,
+            num_vertices: num_ancilla_vertices + 2,
+            vertex_of_ancilla,
+            edges,
+        }
+    }
+
+    fn is_boundary_vertex(&self, v: usize) -> bool {
+        v >= self.num_ancilla_vertices
+    }
+}
+
+/// Weighted union-find with parity and boundary tracking.
+#[derive(Debug, Clone)]
+struct Clusters {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    parity: Vec<bool>,
+    touches_boundary: Vec<bool>,
+}
+
+impl Clusters {
+    fn new(num_vertices: usize, defects: &[bool], boundary_from: usize) -> Self {
+        Clusters {
+            parent: (0..num_vertices).collect(),
+            rank: vec![0; num_vertices],
+            parity: defects.to_vec(),
+            touches_boundary: (0..num_vertices).map(|v| v >= boundary_from).collect(),
+        }
+    }
+
+    fn find(&mut self, v: usize) -> usize {
+        if self.parent[v] != v {
+            let root = self.find(self.parent[v]);
+            self.parent[v] = root;
+        }
+        self.parent[v]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (big, small) =
+            if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        if self.rank[big] == self.rank[small] {
+            self.rank[big] += 1;
+        }
+        self.parity[big] ^= self.parity[small];
+        self.touches_boundary[big] |= self.touches_boundary[small];
+    }
+
+    /// A cluster is *active* while it holds odd defect parity and does not
+    /// touch a boundary vertex.
+    fn is_active_root(&self, root: usize) -> bool {
+        self.parity[root] && !self.touches_boundary[root]
+    }
+}
+
+/// The union-find decoder.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFindDecoder {
+    _private: (),
+}
+
+impl UnionFindDecoder {
+    /// Creates a union-find decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        UnionFindDecoder { _private: () }
+    }
+
+    fn decode_sector(
+        &self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+    ) -> Vec<usize> {
+        let graph = SectorGraph::build(lattice, sector);
+        let defect_ancillas = lattice.defects(syndrome, sector);
+        if defect_ancillas.is_empty() {
+            return Vec::new();
+        }
+        let mut defects = vec![false; graph.num_vertices];
+        for a in &defect_ancillas {
+            defects[graph.vertex_of_ancilla[a]] = true;
+        }
+        let mut clusters =
+            Clusters::new(graph.num_vertices, &defects, graph.num_ancilla_vertices);
+        let mut support = vec![0u8; graph.edges.len()];
+
+        // ---- Growth phase ------------------------------------------------
+        // Grow every active cluster's incident edges by one half-edge per
+        // round, merging clusters whose connecting edge becomes fully grown.
+        let max_rounds = 4 * lattice.size() + 8;
+        for _ in 0..max_rounds {
+            let any_active = (0..graph.num_vertices).any(|v| {
+                let root = clusters.find(v);
+                root == v && clusters.is_active_root(root)
+            });
+            if !any_active {
+                break;
+            }
+            let mut newly_full = Vec::new();
+            for (i, edge) in graph.edges.iter().enumerate() {
+                if support[i] >= 2 {
+                    continue;
+                }
+                let ru = clusters.find(edge.u);
+                let rv = clusters.find(edge.v);
+                if clusters.is_active_root(ru) || clusters.is_active_root(rv) {
+                    support[i] += 1;
+                    if support[i] == 2 {
+                        newly_full.push(i);
+                    }
+                }
+            }
+            for i in newly_full {
+                let edge = graph.edges[i];
+                clusters.union(edge.u, edge.v);
+            }
+        }
+
+        // ---- Peeling phase -----------------------------------------------
+        // Within each cluster, build a spanning forest of the fully-grown
+        // edges (rooted at a boundary vertex when one is present) and peel
+        // leaves, emitting an edge whenever the leaf carries a defect.
+        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); graph.num_vertices];
+        for (i, edge) in graph.edges.iter().enumerate() {
+            if support[i] == 2 && clusters.find(edge.u) == clusters.find(edge.v) {
+                adjacency[edge.u].push((edge.v, i));
+                adjacency[edge.v].push((edge.u, i));
+            }
+        }
+
+        let mut correction = Vec::new();
+        let mut visited = vec![false; graph.num_vertices];
+        let mut charge = defects;
+
+        // Visit boundary vertices first so they become tree roots and can
+        // absorb unpaired charge.
+        let order: Vec<usize> = (graph.num_ancilla_vertices..graph.num_vertices)
+            .chain(0..graph.num_ancilla_vertices)
+            .collect();
+        for start in order {
+            if visited[start] {
+                continue;
+            }
+            // BFS spanning tree.
+            visited[start] = true;
+            let mut bfs = vec![start];
+            let mut parent_edge: HashMap<usize, (usize, usize)> = HashMap::new();
+            let mut head = 0;
+            while head < bfs.len() {
+                let v = bfs[head];
+                head += 1;
+                for &(w, edge_idx) in &adjacency[v] {
+                    if !visited[w] {
+                        visited[w] = true;
+                        parent_edge.insert(w, (v, edge_idx));
+                        bfs.push(w);
+                    }
+                }
+            }
+            // Peel in reverse BFS order: children before parents.  Boundary
+            // vertices absorb any charge pushed into them instead of relaying
+            // it (pairing the chain to the boundary).
+            for &v in bfs.iter().rev() {
+                if v == start {
+                    break;
+                }
+                if graph.is_boundary_vertex(v) {
+                    charge[v] = false;
+                    continue;
+                }
+                if charge[v] {
+                    let (parent, edge_idx) = parent_edge[&v];
+                    correction.push(graph.edges[edge_idx].data_qubit);
+                    charge[v] = false;
+                    charge[parent] ^= true;
+                }
+            }
+            // Any residual charge on the root must sit on a boundary vertex
+            // (odd clusters always grow until they absorb a boundary).
+            if charge[start] {
+                debug_assert!(
+                    graph.is_boundary_vertex(start),
+                    "non-boundary root left with residual charge"
+                );
+                charge[start] = false;
+            }
+        }
+        correction
+    }
+}
+
+impl Decoder for UnionFindDecoder {
+    fn name(&self) -> &str {
+        "union-find"
+    }
+
+    fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
+        let data_qubits = self.decode_sector(lattice, syndrome, sector);
+        let pauli = sector_correction_pauli(sector);
+        let mut flips = PauliString::identity(lattice.num_data());
+        for q in data_qubits {
+            flips.apply(q, pauli);
+        }
+        Correction::from_pauli_string(flips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
+    use nisqplus_qec::lattice::Coord;
+    use nisqplus_qec::logical::{classify_residual, LogicalState};
+    use nisqplus_qec::pauli::Pauli;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn graph_has_expected_vertex_and_edge_counts() {
+        let lat = Lattice::new(5).unwrap();
+        let graph = SectorGraph::build(&lat, Sector::X);
+        // d(d-1) ancilla vertices plus 2 boundary vertices.
+        assert_eq!(graph.num_ancilla_vertices, 5 * 4);
+        assert_eq!(graph.num_vertices, 22);
+        // Internal edges: vertical (d-2)*d + horizontal (d-1)*(d-1); boundary edges: 2*d.
+        let d = 5;
+        let expected = (d - 2) * d + (d - 1) * (d - 1) + 2 * d;
+        assert_eq!(graph.edges.len(), expected);
+    }
+
+    #[test]
+    fn empty_syndrome_gives_identity() {
+        let lat = Lattice::new(5).unwrap();
+        let mut decoder = UnionFindDecoder::new();
+        let c = decoder.decode(&lat, &Syndrome::new(lat.num_ancillas()), Sector::X);
+        assert_eq!(c.weight(), 0);
+    }
+
+    #[test]
+    fn corrects_every_single_qubit_error() {
+        for d in [3, 5, 7] {
+            let lat = Lattice::new(d).unwrap();
+            let mut decoder = UnionFindDecoder::new();
+            for q in 0..lat.num_data() {
+                for (pauli, sector) in [(Pauli::Z, Sector::X), (Pauli::X, Sector::Z)] {
+                    let error = PauliString::from_sparse(lat.num_data(), &[q], pauli);
+                    let syndrome = lat.syndrome_of(&error);
+                    let correction = decoder.decode(&lat, &syndrome, sector);
+                    assert_eq!(
+                        classify_residual(&lat, &error, correction.pauli_string(), sector),
+                        LogicalState::Success,
+                        "union-find failed on single {pauli} error at qubit {q}, d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_short_chains() {
+        let lat = Lattice::new(7).unwrap();
+        let mut decoder = UnionFindDecoder::new();
+        let q1 = lat.cell(Coord::new(6, 6)).index;
+        let q2 = lat.cell(Coord::new(6, 8)).index;
+        let q3 = lat.cell(Coord::new(8, 6)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q1, q2, q3], Pauli::Z);
+        let syndrome = lat.syndrome_of(&error);
+        let correction = decoder.decode(&lat, &syndrome, Sector::X);
+        assert_eq!(
+            classify_residual(&lat, &error, correction.pauli_string(), Sector::X),
+            LogicalState::Success
+        );
+    }
+
+    #[test]
+    fn correction_always_clears_syndrome_under_random_errors() {
+        // Even when union-find picks a logically wrong chain, its correction
+        // must always return the state to the codespace.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let model = PureDephasing::new(0.12).unwrap();
+        for d in [3, 5, 7] {
+            let lat = Lattice::new(d).unwrap();
+            let mut decoder = UnionFindDecoder::new();
+            for _ in 0..60 {
+                let error = model.sample(&lat, &mut rng);
+                let syndrome = lat.syndrome_of(&error);
+                let correction = decoder.decode(&lat, &syndrome, Sector::X);
+                let state =
+                    classify_residual(&lat, &error, correction.pauli_string(), Sector::X);
+                assert_ne!(
+                    state,
+                    LogicalState::InvalidCorrection,
+                    "union-find produced a syndrome-violating correction at d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_errors_are_matched_to_boundary() {
+        let lat = Lattice::new(5).unwrap();
+        let mut decoder = UnionFindDecoder::new();
+        // A single error adjacent to the top boundary produces one defect.
+        let q = lat.cell(Coord::new(0, 2)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+        let syndrome = lat.syndrome_of(&error);
+        assert_eq!(lat.defects(&syndrome, Sector::X).len(), 1);
+        let correction = decoder.decode(&lat, &syndrome, Sector::X);
+        assert_eq!(
+            classify_residual(&lat, &error, correction.pauli_string(), Sector::X),
+            LogicalState::Success
+        );
+    }
+
+    #[test]
+    fn decoder_name() {
+        assert_eq!(UnionFindDecoder::new().name(), "union-find");
+    }
+}

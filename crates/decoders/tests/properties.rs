@@ -1,0 +1,112 @@
+//! Property-based tests for the baseline decoders.
+
+use nisqplus_decoders::{Decoder, ExactMatchingDecoder, GreedyMatchingDecoder, UnionFindDecoder};
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::logical::{classify_residual, LogicalState};
+use nisqplus_qec::pauli::{Pauli, PauliString};
+use proptest::prelude::*;
+
+fn arb_distance() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(3usize), Just(5), Just(7)]
+}
+
+fn error_from(lattice: &Lattice, raw: &[usize], pauli: Pauli) -> PauliString {
+    let support: Vec<usize> = raw.iter().map(|&q| q % lattice.num_data()).collect();
+    PauliString::from_sparse(lattice.num_data(), &support, pauli)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every decoder's correction clears the syndrome it was given — no
+    /// decoder is allowed to produce an invalid correction in its own sector.
+    #[test]
+    fn corrections_always_return_to_codespace(
+        d in arb_distance(),
+        raw in prop::collection::vec(0usize..1000, 0..12),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let error = error_from(&lattice, &raw, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let decoders: Vec<Box<dyn Decoder>> = vec![
+            Box::new(ExactMatchingDecoder::new()),
+            Box::new(GreedyMatchingDecoder::new()),
+            Box::new(UnionFindDecoder::new()),
+        ];
+        for mut decoder in decoders {
+            let correction = decoder.decode(&lattice, &syndrome, Sector::X);
+            let state = classify_residual(&lattice, &error, correction.pauli_string(), Sector::X);
+            prop_assert_ne!(
+                state,
+                LogicalState::InvalidCorrection,
+                "{} left a residual syndrome",
+                decoder.name()
+            );
+        }
+    }
+
+    /// Errors of weight at most (d-1)/2 are always corrected by the exact
+    /// matching decoder (the defining property of a distance-d code).
+    #[test]
+    fn exact_decoder_corrects_low_weight_errors(
+        d in arb_distance(),
+        raw in prop::collection::vec(0usize..1000, 0..3),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let mut support: Vec<usize> = raw.iter().map(|&q| q % lattice.num_data()).collect();
+        support.sort_unstable();
+        support.dedup();
+        support.truncate((d - 1) / 2);
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let mut decoder = ExactMatchingDecoder::new();
+        let correction = decoder.decode(&lattice, &syndrome, Sector::X);
+        prop_assert_eq!(
+            classify_residual(&lattice, &error, correction.pauli_string(), Sector::X),
+            LogicalState::Success
+        );
+    }
+
+    /// Greedy matching weight is within a factor of two of exact matching
+    /// weight (it is a 2-approximation).
+    #[test]
+    fn greedy_is_a_two_approximation(
+        d in arb_distance(),
+        raw in prop::collection::vec(0usize..1000, 0..10),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let error = error_from(&lattice, &raw, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let defects = lattice.defects(&syndrome, Sector::X);
+        let exact = ExactMatchingDecoder::new().match_defects(&lattice, &defects);
+        let greedy = GreedyMatchingDecoder::new().match_defects(&lattice, &defects);
+        let we = exact.total_weight(&lattice);
+        let wg = greedy.total_weight(&lattice);
+        prop_assert!(we <= wg);
+        prop_assert!(wg <= 2 * we.max(1));
+        prop_assert!(exact.covers_exactly(&defects));
+        prop_assert!(greedy.covers_exactly(&defects));
+    }
+
+    /// Decoding is symmetric between the sectors: an X-error pattern decoded
+    /// in the Z sector behaves like the transposed Z-error pattern decoded in
+    /// the X sector.
+    #[test]
+    fn both_sectors_decode_single_errors(
+        d in arb_distance(),
+        q in 0usize..1000,
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let q = q % lattice.num_data();
+        for (pauli, sector) in [(Pauli::Z, Sector::X), (Pauli::X, Sector::Z)] {
+            let error = PauliString::from_sparse(lattice.num_data(), &[q], pauli);
+            let syndrome = lattice.syndrome_of(&error);
+            let mut decoder = UnionFindDecoder::new();
+            let correction = decoder.decode(&lattice, &syndrome, sector);
+            prop_assert_eq!(
+                classify_residual(&lattice, &error, correction.pauli_string(), sector),
+                LogicalState::Success
+            );
+        }
+    }
+}

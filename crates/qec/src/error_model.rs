@@ -1,0 +1,272 @@
+//! Stochastic error channels used by the Monte-Carlo lifetime simulations.
+//!
+//! The paper's methodology section (Section VII) evaluates the decoder under
+//! the **depolarizing channel** (Pauli X, Y, Z each with probability `p/3`)
+//! and presents its headline results under the **pure dephasing channel**
+//! (Pauli Z with probability `p`), sampled i.i.d. on every data qubit each
+//! cycle.  Both channels are provided here, together with a generic biased
+//! channel that interpolates between them.
+
+use crate::error::QecError;
+use crate::lattice::Lattice;
+use crate::pauli::{Pauli, PauliString};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic single-qubit error channel applied i.i.d. to every data qubit.
+pub trait ErrorModel {
+    /// The total probability that a given data qubit suffers *some* error in
+    /// one cycle.
+    fn physical_error_rate(&self) -> f64;
+
+    /// Samples the error applied to a single data qubit.
+    fn sample_single<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli;
+
+    /// Samples an error pattern over all data qubits of a lattice.
+    fn sample<R: Rng + ?Sized>(&self, lattice: &Lattice, rng: &mut R) -> PauliString {
+        (0..lattice.num_data()).map(|_| self.sample_single(rng)).collect()
+    }
+}
+
+fn validate_probability(p: f64) -> Result<f64, QecError> {
+    if (0.0..=1.0).contains(&p) && p.is_finite() {
+        Ok(p)
+    } else {
+        Err(QecError::InvalidProbability { value: p })
+    }
+}
+
+/// The symmetric depolarizing channel: X, Y and Z each occur with probability `p/3`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Depolarizing {
+    p: f64,
+}
+
+impl Depolarizing {
+    /// Creates a depolarizing channel of total error probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QecError::InvalidProbability`] if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, QecError> {
+        Ok(Depolarizing { p: validate_probability(p)? })
+    }
+
+    /// The total error probability `p`.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl ErrorModel for Depolarizing {
+    fn physical_error_rate(&self) -> f64 {
+        self.p
+    }
+
+    fn sample_single<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli {
+        let r: f64 = rng.gen();
+        if r < self.p / 3.0 {
+            Pauli::X
+        } else if r < 2.0 * self.p / 3.0 {
+            Pauli::Y
+        } else if r < self.p {
+            Pauli::Z
+        } else {
+            Pauli::I
+        }
+    }
+}
+
+/// The pure dephasing channel: Z occurs with probability `p`, nothing else.
+///
+/// This is the error model under which the paper reports its accuracy
+/// threshold (≈5%) and pseudo-thresholds (3.5%–5%).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PureDephasing {
+    p: f64,
+}
+
+impl PureDephasing {
+    /// Creates a pure dephasing channel of error probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QecError::InvalidProbability`] if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, QecError> {
+        Ok(PureDephasing { p: validate_probability(p)? })
+    }
+
+    /// The phase-flip probability `p`.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl ErrorModel for PureDephasing {
+    fn physical_error_rate(&self) -> f64 {
+        self.p
+    }
+
+    fn sample_single<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli {
+        if rng.gen::<f64>() < self.p {
+            Pauli::Z
+        } else {
+            Pauli::I
+        }
+    }
+}
+
+/// A biased Pauli channel with independent probabilities for X, Y and Z.
+///
+/// `BiasedChannel` generalizes both [`Depolarizing`] (`px = py = pz = p/3`)
+/// and [`PureDephasing`] (`px = py = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiasedChannel {
+    px: f64,
+    py: f64,
+    pz: f64,
+}
+
+impl BiasedChannel {
+    /// Creates a biased channel from individual X, Y and Z probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QecError::InvalidProbability`] if any probability is outside
+    /// `[0, 1]` or if they sum to more than 1.
+    pub fn new(px: f64, py: f64, pz: f64) -> Result<Self, QecError> {
+        validate_probability(px)?;
+        validate_probability(py)?;
+        validate_probability(pz)?;
+        validate_probability(px + py + pz)?;
+        Ok(BiasedChannel { px, py, pz })
+    }
+
+    /// The individual probabilities `(px, py, pz)`.
+    #[must_use]
+    pub fn probabilities(&self) -> (f64, f64, f64) {
+        (self.px, self.py, self.pz)
+    }
+}
+
+impl ErrorModel for BiasedChannel {
+    fn physical_error_rate(&self) -> f64 {
+        self.px + self.py + self.pz
+    }
+
+    fn sample_single<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli {
+        let r: f64 = rng.gen();
+        if r < self.px {
+            Pauli::X
+        } else if r < self.px + self.py {
+            Pauli::Y
+        } else if r < self.px + self.py + self.pz {
+            Pauli::Z
+        } else {
+            Pauli::I
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn invalid_probabilities_are_rejected() {
+        assert!(Depolarizing::new(-0.1).is_err());
+        assert!(Depolarizing::new(1.1).is_err());
+        assert!(Depolarizing::new(f64::NAN).is_err());
+        assert!(PureDephasing::new(2.0).is_err());
+        assert!(BiasedChannel::new(0.5, 0.5, 0.5).is_err());
+        assert!(BiasedChannel::new(0.1, 0.1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn zero_probability_never_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = PureDephasing::new(0.0).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(model.sample_single(&mut rng), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn unit_probability_always_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let model = PureDephasing::new(1.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(model.sample_single(&mut rng), Pauli::Z);
+        }
+        let depol = Depolarizing::new(1.0).unwrap();
+        for _ in 0..100 {
+            assert_ne!(depol.sample_single(&mut rng), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn dephasing_only_produces_z() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = PureDephasing::new(0.5).unwrap();
+        for _ in 0..1000 {
+            let p = model.sample_single(&mut rng);
+            assert!(p == Pauli::I || p == Pauli::Z);
+        }
+    }
+
+    #[test]
+    fn empirical_rates_are_close_to_nominal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = Depolarizing::new(0.3).unwrap();
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let idx = match model.sample_single(&mut rng) {
+                Pauli::I => 0,
+                Pauli::X => 1,
+                Pauli::Y => 2,
+                Pauli::Z => 3,
+            };
+            counts[idx] += 1;
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.7).abs() < 0.01);
+        for &c in &counts[1..] {
+            assert!((frac(c) - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn sample_covers_all_data_qubits() {
+        let lattice = Lattice::new(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = Depolarizing::new(0.2).unwrap();
+        let error = model.sample(&lattice, &mut rng);
+        assert_eq!(error.len(), lattice.num_data());
+    }
+
+    #[test]
+    fn biased_channel_matches_components() {
+        let model = BiasedChannel::new(0.0, 0.0, 0.25).unwrap();
+        assert!((model.physical_error_rate() - 0.25).abs() < 1e-12);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..500 {
+            let p = model.sample_single(&mut rng);
+            assert!(p == Pauli::I || p == Pauli::Z);
+        }
+        assert_eq!(model.probabilities(), (0.0, 0.0, 0.25));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let lattice = Lattice::new(7).unwrap();
+        let model = Depolarizing::new(0.1).unwrap();
+        let a = model.sample(&lattice, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = model.sample(&lattice, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Logical-error detection.
+//!
+//! After the decoder has produced a correction, the residual operator
+//! (physical error composed with the correction) must be classified:
+//!
+//! * if the residual still triggers detection events, the correction was not
+//!   even a valid pairing of the syndrome — the cycle *fails*;
+//! * if the residual is undetectable but anticommutes with a logical
+//!   operator, the chain crossed the lattice — a *logical error*
+//!   (Section II-C2 of the paper);
+//! * otherwise the correction returned the system to the correct logical
+//!   state and the cycle *succeeds*.
+
+use crate::lattice::{Lattice, Sector};
+use crate::pauli::PauliString;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of one decode-and-correct cycle for a single sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicalState {
+    /// The correction restored the logical state.
+    Success,
+    /// The residual operator implements a logical X or Z: the encoded
+    /// information was corrupted.
+    LogicalError,
+    /// The correction did not even clear the syndrome (possible with the
+    /// approximate decoder variants that lack reset/boundary handling).
+    InvalidCorrection,
+}
+
+impl LogicalState {
+    /// Returns `true` unless the state is [`LogicalState::Success`].
+    ///
+    /// Both logical errors and invalid corrections count as failures when
+    /// estimating the logical error rate `PL`.
+    #[must_use]
+    pub fn is_failure(self) -> bool {
+        !matches!(self, LogicalState::Success)
+    }
+}
+
+impl fmt::Display for LogicalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicalState::Success => write!(f, "success"),
+            LogicalState::LogicalError => write!(f, "logical error"),
+            LogicalState::InvalidCorrection => write!(f, "invalid correction"),
+        }
+    }
+}
+
+/// Classifies the residual operator left after applying a correction.
+///
+/// `error` is the injected physical error and `correction` the decoder's
+/// output; both are Pauli strings over the lattice's data qubits.  Only the
+/// components relevant to `sector` are examined (Z components for
+/// [`Sector::X`], X components for [`Sector::Z`]), matching the paper's
+/// symmetric, per-sector decoding.
+///
+/// # Panics
+///
+/// Panics if `error` or `correction` are not indexed by the lattice's data
+/// qubits.
+#[must_use]
+pub fn classify_residual(
+    lattice: &Lattice,
+    error: &PauliString,
+    correction: &PauliString,
+    sector: Sector,
+) -> LogicalState {
+    let residual = error.composed(correction);
+    let syndrome = lattice.syndrome_of(&residual);
+    if !lattice.defects(&syndrome, sector).is_empty() {
+        return LogicalState::InvalidCorrection;
+    }
+    let anticommutes = match sector {
+        // Z-type residuals anticommute with the logical X representative.
+        Sector::X => residual.z_overlap_parity(lattice.logical_x_support()),
+        // X-type residuals anticommute with the logical Z representative.
+        Sector::Z => residual.x_overlap_parity(lattice.logical_z_support()),
+    };
+    if anticommutes {
+        LogicalState::LogicalError
+    } else {
+        LogicalState::Success
+    }
+}
+
+/// Classifies a decode cycle across **both** sectors.
+///
+/// Returns the per-sector states `(x_sector, z_sector)`.
+#[must_use]
+pub fn classify_both_sectors(
+    lattice: &Lattice,
+    error: &PauliString,
+    correction: &PauliString,
+) -> (LogicalState, LogicalState) {
+    (
+        classify_residual(lattice, error, correction, Sector::X),
+        classify_residual(lattice, error, correction, Sector::Z),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Coord;
+    use crate::pauli::Pauli;
+
+    fn lattice() -> Lattice {
+        Lattice::new(5).unwrap()
+    }
+
+    #[test]
+    fn perfect_correction_is_success() {
+        let lat = lattice();
+        let q = lat.cell(Coord::new(2, 2)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+        let correction = error.clone();
+        assert_eq!(classify_residual(&lat, &error, &correction, Sector::X), LogicalState::Success);
+    }
+
+    #[test]
+    fn missing_correction_is_invalid() {
+        let lat = lattice();
+        let q = lat.cell(Coord::new(2, 2)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+        let correction = PauliString::identity(lat.num_data());
+        assert_eq!(
+            classify_residual(&lat, &error, &correction, Sector::X),
+            LogicalState::InvalidCorrection
+        );
+    }
+
+    #[test]
+    fn correction_through_other_side_is_logical_error() {
+        // Error and correction together form a full vertical chain.
+        let lat = lattice();
+        let col = 4;
+        let all: Vec<usize> =
+            (0..lat.size()).step_by(2).map(|r| lat.cell(Coord::new(r, col)).index).collect();
+        // The actual error is the top 2 qubits of the chain, the "correction"
+        // closes the chain through the bottom, creating a logical Z.
+        let error = PauliString::from_sparse(lat.num_data(), &all[..2], Pauli::Z);
+        let correction = PauliString::from_sparse(lat.num_data(), &all[2..], Pauli::Z);
+        assert_eq!(
+            classify_residual(&lat, &error, &correction, Sector::X),
+            LogicalState::LogicalError
+        );
+    }
+
+    #[test]
+    fn stabilizer_equivalent_correction_is_success() {
+        // Correcting an error with a different chain that differs by a
+        // stabilizer (the degeneracy of Figure 4(b)/(c)) is still a success.
+        let lat = lattice();
+        // Z error on two data qubits adjacent to the same Z-plaquette.
+        let za = lat.ancillas_in_sector(Sector::Z).find(|&a| lat.stabilizer_support(a).len() == 4).unwrap();
+        let support = lat.stabilizer_support(za);
+        let error = PauliString::from_sparse(lat.num_data(), &support[..2], Pauli::Z);
+        let correction = PauliString::from_sparse(lat.num_data(), &support[2..], Pauli::Z);
+        assert_eq!(classify_residual(&lat, &error, &correction, Sector::X), LogicalState::Success);
+    }
+
+    #[test]
+    fn x_sector_classification_uses_logical_z() {
+        let lat = lattice();
+        let row: Vec<usize> =
+            (0..lat.size()).step_by(2).map(|c| lat.cell(Coord::new(2, c)).index).collect();
+        let error = PauliString::from_sparse(lat.num_data(), &row, Pauli::X);
+        let correction = PauliString::identity(lat.num_data());
+        // A full horizontal X chain is undetected but logically fatal in the Z sector.
+        assert_eq!(
+            classify_residual(&lat, &error, &correction, Sector::Z),
+            LogicalState::LogicalError
+        );
+        // The X sector sees nothing wrong with it.
+        assert_eq!(classify_residual(&lat, &error, &correction, Sector::X), LogicalState::Success);
+    }
+
+    #[test]
+    fn both_sectors_reported_independently() {
+        let lat = lattice();
+        let q = lat.cell(Coord::new(2, 2)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Y);
+        let z_fix = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+        let (x_state, z_state) = classify_both_sectors(&lat, &error, &z_fix);
+        assert_eq!(x_state, LogicalState::Success);
+        assert_eq!(z_state, LogicalState::InvalidCorrection);
+    }
+
+    #[test]
+    fn failure_predicate() {
+        assert!(!LogicalState::Success.is_failure());
+        assert!(LogicalState::LogicalError.is_failure());
+        assert!(LogicalState::InvalidCorrection.is_failure());
+        assert_eq!(LogicalState::LogicalError.to_string(), "logical error");
+    }
+}

@@ -1,0 +1,472 @@
+//! Single-qubit Pauli operators and Pauli strings.
+//!
+//! The surface code discretizes arbitrary physical noise into the Pauli group
+//! `{I, X, Y, Z}` acting on data qubits (Section II-C of the paper).  This
+//! module provides a compact representation of Pauli operators on individual
+//! qubits and on the whole data-qubit register, together with the group
+//! operations the rest of the stack relies on (composition, commutation with
+//! stabilizers, weight counting).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, Mul};
+
+/// A single-qubit Pauli operator.
+///
+/// `Y` is tracked explicitly even though the decoder treats it as a
+/// simultaneous `X` and `Z` error, exactly as the paper describes for the
+/// stabilizer measurement (Section II-C1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Pauli {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The bit-flip operator.
+    X,
+    /// The combined bit- and phase-flip operator (`Y = iXZ`).
+    Y,
+    /// The phase-flip operator.
+    Z,
+}
+
+impl Pauli {
+    /// All four Pauli operators, in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Pauli operators.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns `true` if this operator is the identity.
+    #[must_use]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// Returns `true` if this operator has an `X` component (`X` or `Y`).
+    ///
+    /// X components are what the Z stabilizers of the surface code detect.
+    #[must_use]
+    pub fn has_x_component(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Returns `true` if this operator has a `Z` component (`Z` or `Y`).
+    ///
+    /// Z components are what the X stabilizers of the surface code detect.
+    #[must_use]
+    pub fn has_z_component(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+
+    /// Returns `true` if `self` and `other` commute as operators.
+    ///
+    /// Two single-qubit Paulis anticommute exactly when they are distinct and
+    /// both non-identity.
+    #[must_use]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// Composes two Paulis, ignoring the global phase.
+    ///
+    /// The Pauli group modulo phase is isomorphic to `Z_2 x Z_2`; composition
+    /// is component-wise XOR of the X and Z parts.
+    #[must_use]
+    pub fn compose(self, other: Pauli) -> Pauli {
+        Pauli::from_components(
+            self.has_x_component() ^ other.has_x_component(),
+            self.has_z_component() ^ other.has_z_component(),
+        )
+    }
+
+    /// Builds a Pauli from its X and Z component flags.
+    #[must_use]
+    pub fn from_components(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns the weight contribution of this operator (0 for `I`, 1 otherwise).
+    #[must_use]
+    pub fn weight(self) -> usize {
+        usize::from(!self.is_identity())
+    }
+}
+
+impl Mul for Pauli {
+    type Output = Pauli;
+
+    fn mul(self, rhs: Pauli) -> Pauli {
+        self.compose(rhs)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A Pauli operator on a register of qubits, stored densely.
+///
+/// The string is indexed by data-qubit index (see
+/// [`Lattice`](crate::lattice::Lattice) for the index convention).  It is the
+/// canonical representation of both injected physical errors and decoder
+/// corrections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PauliString {
+    ops: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Creates an identity Pauli string on `len` qubits.
+    #[must_use]
+    pub fn identity(len: usize) -> Self {
+        PauliString { ops: vec![Pauli::I; len] }
+    }
+
+    /// Creates a Pauli string from an explicit list of operators.
+    #[must_use]
+    pub fn from_ops(ops: Vec<Pauli>) -> Self {
+        PauliString { ops }
+    }
+
+    /// Creates a string with `pauli` applied on each listed qubit and identity elsewhere.
+    ///
+    /// Qubits listed more than once compose (so listing a qubit twice cancels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `qubits` is `>= len`.
+    #[must_use]
+    pub fn from_sparse(len: usize, qubits: &[usize], pauli: Pauli) -> Self {
+        let mut s = PauliString::identity(len);
+        for &q in qubits {
+            s.apply(q, pauli);
+        }
+        s
+    }
+
+    /// The number of qubits the string acts on.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the string acts on zero qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Returns the operator acting on qubit `index`, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Pauli> {
+        self.ops.get(index).copied()
+    }
+
+    /// Left-multiplies the operator on qubit `index` by `pauli` (composition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn apply(&mut self, index: usize, pauli: Pauli) {
+        let cur = self.ops[index];
+        self.ops[index] = cur.compose(pauli);
+    }
+
+    /// Sets the operator on qubit `index`, replacing whatever was there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, pauli: Pauli) {
+        self.ops[index] = pauli;
+    }
+
+    /// Composes `other` into `self` qubit-by-qubit (ignoring global phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two strings act on a different number of qubits.
+    pub fn compose_with(&mut self, other: &PauliString) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot compose pauli strings of lengths {} and {}",
+            self.len(),
+            other.len()
+        );
+        for (a, b) in self.ops.iter_mut().zip(other.ops.iter()) {
+            *a = a.compose(*b);
+        }
+    }
+
+    /// Returns the composition of `self` and `other` as a new string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two strings act on a different number of qubits.
+    #[must_use]
+    pub fn composed(&self, other: &PauliString) -> PauliString {
+        let mut out = self.clone();
+        out.compose_with(other);
+        out
+    }
+
+    /// The number of qubits on which the string acts non-trivially.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.ops.iter().map(|p| p.weight()).sum()
+    }
+
+    /// Returns `true` if the string is the identity on every qubit.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|p| p.is_identity())
+    }
+
+    /// Indices of qubits carrying an X component (`X` or `Y`).
+    #[must_use]
+    pub fn x_support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.has_x_component())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of qubits carrying a Z component (`Z` or `Y`).
+    #[must_use]
+    pub fn z_support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.has_z_component())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of qubits on which the string acts non-trivially.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_identity())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Parity (`true` = odd) of the overlap between this string's Z components
+    /// and the given qubit set.
+    ///
+    /// This is the measurement outcome of an X-type stabilizer or logical-X
+    /// operator supported on `qubits`.
+    #[must_use]
+    pub fn z_overlap_parity(&self, qubits: &[usize]) -> bool {
+        qubits
+            .iter()
+            .filter(|&&q| self.ops.get(q).is_some_and(|p| p.has_z_component()))
+            .count()
+            % 2
+            == 1
+    }
+
+    /// Parity (`true` = odd) of the overlap between this string's X components
+    /// and the given qubit set.
+    ///
+    /// This is the measurement outcome of a Z-type stabilizer or logical-Z
+    /// operator supported on `qubits`.
+    #[must_use]
+    pub fn x_overlap_parity(&self, qubits: &[usize]) -> bool {
+        qubits
+            .iter()
+            .filter(|&&q| self.ops.get(q).is_some_and(|p| p.has_x_component()))
+            .count()
+            % 2
+            == 1
+    }
+
+    /// Iterates over the per-qubit operators.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        self.ops.iter().copied()
+    }
+}
+
+impl Index<usize> for PauliString {
+    type Output = Pauli;
+
+    fn index(&self, index: usize) -> &Pauli {
+        &self.ops[index]
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.ops {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Pauli> for PauliString {
+    fn from_iter<T: IntoIterator<Item = Pauli>>(iter: T) -> Self {
+        PauliString { ops: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Pauli> for PauliString {
+    fn extend<T: IntoIterator<Item = Pauli>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_commutes_with_everything() {
+        for p in Pauli::ALL {
+            assert!(Pauli::I.commutes_with(p));
+            assert!(p.commutes_with(Pauli::I));
+        }
+    }
+
+    #[test]
+    fn distinct_nontrivial_paulis_anticommute() {
+        for a in Pauli::ERRORS {
+            for b in Pauli::ERRORS {
+                if a == b {
+                    assert!(a.commutes_with(b));
+                } else {
+                    assert!(!a.commutes_with(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_group_table() {
+        assert_eq!(Pauli::X * Pauli::Z, Pauli::Y);
+        assert_eq!(Pauli::Z * Pauli::X, Pauli::Y);
+        assert_eq!(Pauli::X * Pauli::X, Pauli::I);
+        assert_eq!(Pauli::Y * Pauli::Y, Pauli::I);
+        assert_eq!(Pauli::Z * Pauli::Z, Pauli::I);
+        assert_eq!(Pauli::X * Pauli::Y, Pauli::Z);
+        assert_eq!(Pauli::Y * Pauli::Z, Pauli::X);
+        assert_eq!(Pauli::I * Pauli::Z, Pauli::Z);
+    }
+
+    #[test]
+    fn components_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_components(p.has_x_component(), p.has_z_component()), p);
+        }
+    }
+
+    #[test]
+    fn y_has_both_components() {
+        assert!(Pauli::Y.has_x_component());
+        assert!(Pauli::Y.has_z_component());
+        assert!(!Pauli::X.has_z_component());
+        assert!(!Pauli::Z.has_x_component());
+    }
+
+    #[test]
+    fn string_weight_and_support() {
+        let mut s = PauliString::identity(5);
+        assert_eq!(s.weight(), 0);
+        assert!(s.is_identity());
+        s.apply(1, Pauli::X);
+        s.apply(3, Pauli::Z);
+        s.apply(4, Pauli::Y);
+        assert_eq!(s.weight(), 3);
+        assert_eq!(s.support(), vec![1, 3, 4]);
+        assert_eq!(s.x_support(), vec![1, 4]);
+        assert_eq!(s.z_support(), vec![3, 4]);
+    }
+
+    #[test]
+    fn applying_same_pauli_twice_cancels() {
+        let mut s = PauliString::identity(3);
+        s.apply(0, Pauli::Z);
+        s.apply(0, Pauli::Z);
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn apply_composes_rather_than_overwrites() {
+        let mut s = PauliString::identity(1);
+        s.apply(0, Pauli::X);
+        s.apply(0, Pauli::Z);
+        assert_eq!(s[0], Pauli::Y);
+        s.set(0, Pauli::Z);
+        assert_eq!(s[0], Pauli::Z);
+    }
+
+    #[test]
+    fn from_sparse_cancels_duplicates() {
+        let s = PauliString::from_sparse(4, &[0, 2, 2], Pauli::Z);
+        assert_eq!(s[0], Pauli::Z);
+        assert_eq!(s[2], Pauli::I);
+        assert_eq!(s.weight(), 1);
+    }
+
+    #[test]
+    fn overlap_parities() {
+        let s = PauliString::from_sparse(6, &[0, 2, 4], Pauli::Z);
+        assert!(s.z_overlap_parity(&[0, 1]));
+        assert!(!s.z_overlap_parity(&[0, 2]));
+        assert!(!s.x_overlap_parity(&[0, 2]));
+        let y = PauliString::from_sparse(6, &[1], Pauli::Y);
+        assert!(y.z_overlap_parity(&[1]));
+        assert!(y.x_overlap_parity(&[1]));
+    }
+
+    #[test]
+    fn composition_of_strings() {
+        let a = PauliString::from_sparse(4, &[0, 1], Pauli::X);
+        let b = PauliString::from_sparse(4, &[1, 2], Pauli::Z);
+        let c = a.composed(&b);
+        assert_eq!(c[0], Pauli::X);
+        assert_eq!(c[1], Pauli::Y);
+        assert_eq!(c[2], Pauli::Z);
+        assert_eq!(c[3], Pauli::I);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compose")]
+    fn composing_mismatched_lengths_panics() {
+        let mut a = PauliString::identity(3);
+        let b = PauliString::identity(4);
+        a.compose_with(&b);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let s = PauliString::from_ops(vec![Pauli::I, Pauli::X, Pauli::Y, Pauli::Z]);
+        assert_eq!(s.to_string(), "IXYZ");
+        assert_eq!(Pauli::Y.to_string(), "Y");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: PauliString = [Pauli::X, Pauli::I, Pauli::Z].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.weight(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Error syndromes and detection events.
+//!
+//! The error syndrome of the surface code is "a bit string of length equal to
+//! the total number of ancilla qubits" (Section II-C1 of the paper).  Ancillas
+//! reporting a `+1` measurement are called *hot syndromes* or *detection
+//! events*; decoding maps the hot syndromes to a set of corrections.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A full error syndrome: one bit per ancilla qubit.
+///
+/// Bit `i` corresponds to the ancilla with index `i` in the owning
+/// [`Lattice`](crate::lattice::Lattice); `true` means the ancilla reported a
+/// detection event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Syndrome {
+    bits: Vec<bool>,
+}
+
+impl Syndrome {
+    /// Creates an all-clear syndrome of the given length.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Syndrome { bits: vec![false; len] }
+    }
+
+    /// Creates a syndrome from an explicit bit vector.
+    #[must_use]
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Syndrome { bits }
+    }
+
+    /// Creates a syndrome of length `len` with the listed ancillas hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    #[must_use]
+    pub fn from_hot(len: usize, hot: &[usize]) -> Self {
+        let mut s = Syndrome::new(len);
+        for &i in hot {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// The number of ancilla bits in the syndrome.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if the syndrome has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Returns `true` if ancilla `index` reported a detection event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn is_hot(&self, index: usize) -> bool {
+        self.bits[index]
+    }
+
+    /// Sets the detection bit of ancilla `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize, hot: bool) {
+        self.bits[index] = hot;
+    }
+
+    /// Flips the detection bit of ancilla `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn flip(&mut self, index: usize) {
+        self.bits[index] = !self.bits[index];
+    }
+
+    /// Returns `true` if any ancilla reported a detection event.
+    #[must_use]
+    pub fn any_hot(&self) -> bool {
+        self.bits.iter().any(|&b| b)
+    }
+
+    /// The number of hot ancillas.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Indices of the hot ancillas, in ascending order.
+    #[must_use]
+    pub fn hot_indices(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// XORs another syndrome into this one (symmetric difference of hot sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &Syndrome) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot xor syndromes of lengths {} and {}",
+            self.len(),
+            other.len()
+        );
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Returns the XOR of two syndromes as a new syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn xor(&self, other: &Syndrome) -> Syndrome {
+        let mut out = self.clone();
+        out.xor_with(other);
+        out
+    }
+
+    /// Iterates over the detection bits in ancilla-index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// A view of the raw bit vector.
+    #[must_use]
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+impl fmt::Display for Syndrome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Syndrome {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Syndrome { bits: iter.into_iter().collect() }
+    }
+}
+
+/// Detection events accumulated across multiple stabilizer-measurement rounds.
+///
+/// In a lifetime (Monte-Carlo) simulation, each full iteration of the
+/// stabilizer circuit is one *cycle* (Section VII).  With noisy measurements
+/// a detection event is a *change* of an ancilla's value between consecutive
+/// rounds rather than the raw value itself; this type records per-round
+/// events for decoders that consume space-time syndromes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DetectionEvents {
+    rounds: Vec<Syndrome>,
+}
+
+impl DetectionEvents {
+    /// Creates an empty record.
+    #[must_use]
+    pub fn new() -> Self {
+        DetectionEvents { rounds: Vec::new() }
+    }
+
+    /// Appends the detection events of one measurement round.
+    pub fn push_round(&mut self, events: Syndrome) {
+        self.rounds.push(events);
+    }
+
+    /// The number of recorded rounds.
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Returns `true` if no rounds have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The detection events of round `round`, if recorded.
+    #[must_use]
+    pub fn round(&self, round: usize) -> Option<&Syndrome> {
+        self.rounds.get(round)
+    }
+
+    /// Collapses all rounds into a single syndrome by XOR.
+    ///
+    /// For code-capacity simulations with perfect measurements this recovers
+    /// the ordinary spatial syndrome.
+    #[must_use]
+    pub fn collapse(&self) -> Syndrome {
+        let Some(first) = self.rounds.first() else {
+            return Syndrome::new(0);
+        };
+        let mut acc = first.clone();
+        for round in &self.rounds[1..] {
+            acc.xor_with(round);
+        }
+        acc
+    }
+
+    /// Total number of detection events across all rounds.
+    #[must_use]
+    pub fn total_events(&self) -> usize {
+        self.rounds.iter().map(Syndrome::weight).sum()
+    }
+
+    /// Iterates over the recorded rounds.
+    pub fn iter(&self) -> impl Iterator<Item = &Syndrome> {
+        self.rounds.iter()
+    }
+}
+
+impl FromIterator<Syndrome> for DetectionEvents {
+    fn from_iter<T: IntoIterator<Item = Syndrome>>(iter: T) -> Self {
+        DetectionEvents { rounds: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_syndrome_is_all_clear() {
+        let s = Syndrome::new(12);
+        assert_eq!(s.len(), 12);
+        assert!(!s.any_hot());
+        assert_eq!(s.weight(), 0);
+        assert!(s.hot_indices().is_empty());
+    }
+
+    #[test]
+    fn set_flip_and_query() {
+        let mut s = Syndrome::new(4);
+        s.set(1, true);
+        s.flip(3);
+        s.flip(3);
+        assert!(s.is_hot(1));
+        assert!(!s.is_hot(3));
+        assert_eq!(s.weight(), 1);
+        assert_eq!(s.hot_indices(), vec![1]);
+        assert_eq!(s.to_string(), "0100");
+    }
+
+    #[test]
+    fn from_hot_builds_expected_pattern() {
+        let s = Syndrome::from_hot(6, &[0, 5]);
+        assert_eq!(s.hot_indices(), vec![0, 5]);
+        assert_eq!(s.weight(), 2);
+    }
+
+    #[test]
+    fn xor_is_symmetric_difference() {
+        let a = Syndrome::from_hot(5, &[0, 1, 3]);
+        let b = Syndrome::from_hot(5, &[1, 4]);
+        let c = a.xor(&b);
+        assert_eq!(c.hot_indices(), vec![0, 3, 4]);
+        // XOR with itself clears everything.
+        assert!(!a.xor(&a).any_hot());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot xor")]
+    fn xor_length_mismatch_panics() {
+        let mut a = Syndrome::new(3);
+        let b = Syndrome::new(4);
+        a.xor_with(&b);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: Syndrome = [true, false, true].into_iter().collect();
+        assert_eq!(s.weight(), 2);
+    }
+
+    #[test]
+    fn detection_events_collapse() {
+        let mut events = DetectionEvents::new();
+        events.push_round(Syndrome::from_hot(4, &[0, 2]));
+        events.push_round(Syndrome::from_hot(4, &[2, 3]));
+        assert_eq!(events.num_rounds(), 2);
+        assert_eq!(events.total_events(), 4);
+        let collapsed = events.collapse();
+        assert_eq!(collapsed.hot_indices(), vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_detection_events_collapse_to_empty() {
+        let events = DetectionEvents::new();
+        assert!(events.is_empty());
+        assert_eq!(events.collapse().len(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the surface-code substrate.
+
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::pauli::{Pauli, PauliString};
+use nisqplus_qec::syndrome::Syndrome;
+use proptest::prelude::*;
+
+fn arb_distance() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(3usize), Just(5), Just(7), Just(9)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every error pattern has an even number of defects in each sector once
+    /// boundary effects are accounted for — more precisely, the syndrome is
+    /// always reproducible and deterministic.
+    #[test]
+    fn syndrome_is_deterministic(d in arb_distance(), support in prop::collection::vec(0usize..100, 0..40)) {
+        let lattice = Lattice::new(d).unwrap();
+        let support: Vec<usize> = support.into_iter().map(|q| q % lattice.num_data()).collect();
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let s1 = lattice.syndrome_of(&error);
+        let s2 = lattice.syndrome_of(&error);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Pauli string composition is associative and self-inverse (group laws).
+    #[test]
+    fn pauli_composition_group_laws(
+        a in prop::collection::vec(0usize..4, 1..32),
+        b in prop::collection::vec(0usize..4, 1..32),
+    ) {
+        let n = a.len().min(b.len());
+        let to_pauli = |v: &[usize]| -> PauliString {
+            v.iter().take(n).map(|&i| Pauli::ALL[i]).collect()
+        };
+        let pa = to_pauli(&a);
+        let pb = to_pauli(&b);
+        // Self-inverse: P ∘ P = I.
+        prop_assert!(pa.composed(&pa).is_identity());
+        // Commutative modulo phase (component-wise XOR).
+        prop_assert_eq!(pa.composed(&pb), pb.composed(&pa));
+    }
+
+    /// The syndrome map is linear: syndrome(a ∘ b) = syndrome(a) XOR syndrome(b).
+    #[test]
+    fn syndrome_map_is_linear(d in arb_distance(), sa in prop::collection::vec(0usize..1000, 0..20), sb in prop::collection::vec(0usize..1000, 0..20)) {
+        let lattice = Lattice::new(d).unwrap();
+        let wrap = |v: Vec<usize>| -> Vec<usize> { v.into_iter().map(|q| q % lattice.num_data()).collect() };
+        let ea = PauliString::from_sparse(lattice.num_data(), &wrap(sa), Pauli::Z);
+        let eb = PauliString::from_sparse(lattice.num_data(), &wrap(sb), Pauli::X);
+        let combined = ea.composed(&eb);
+        let expect: Syndrome = lattice.syndrome_of(&ea).xor(&lattice.syndrome_of(&eb));
+        prop_assert_eq!(lattice.syndrome_of(&combined), expect);
+    }
+
+    /// Correction paths between any two same-sector ancillas fire exactly
+    /// those two ancillas — no more, no fewer.
+    #[test]
+    fn correction_paths_connect_exactly_their_endpoints(d in arb_distance(), ai in any::<prop::sample::Index>(), bi in any::<prop::sample::Index>()) {
+        let lattice = Lattice::new(d).unwrap();
+        for sector in Sector::ALL {
+            let ancillas: Vec<usize> = lattice.ancillas_in_sector(sector).collect();
+            let a = ancillas[ai.index(ancillas.len())];
+            let b = ancillas[bi.index(ancillas.len())];
+            if a == b {
+                continue;
+            }
+            let path = lattice.correction_path(a, b);
+            let pauli = match sector {
+                Sector::X => Pauli::Z,
+                Sector::Z => Pauli::X,
+            };
+            let error = PauliString::from_sparse(lattice.num_data(), &path, pauli);
+            let syndrome = lattice.syndrome_of(&error);
+            let mut defects = lattice.defects(&syndrome, sector);
+            defects.sort_unstable();
+            let mut expected = vec![a, b];
+            expected.sort_unstable();
+            prop_assert_eq!(defects, expected);
+        }
+    }
+
+    /// The weight of any error pattern bounds the number of defects it can
+    /// create (each error touches at most 2 same-sector stabilizers).
+    #[test]
+    fn defect_count_is_bounded_by_twice_error_weight(d in arb_distance(), support in prop::collection::vec(0usize..1000, 0..30)) {
+        let lattice = Lattice::new(d).unwrap();
+        let support: Vec<usize> = support.into_iter().map(|q| q % lattice.num_data()).collect();
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let defects = lattice.defects(&syndrome, Sector::X);
+        prop_assert!(defects.len() <= 2 * error.weight());
+    }
+
+    /// Boundary paths always clear their own defect.
+    #[test]
+    fn boundary_paths_clear_their_defect(d in arb_distance(), ai in any::<prop::sample::Index>()) {
+        let lattice = Lattice::new(d).unwrap();
+        let ancillas: Vec<usize> = lattice.ancillas_in_sector(Sector::X).collect();
+        let a = ancillas[ai.index(ancillas.len())];
+        let path = lattice.boundary_path(a);
+        prop_assert_eq!(path.len(), lattice.boundary_distance(a));
+        let error = PauliString::from_sparse(lattice.num_data(), &path, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        prop_assert_eq!(lattice.defects(&syndrome, Sector::X), vec![a]);
+    }
+
+    /// Ancilla distances obey the triangle inequality.
+    #[test]
+    fn ancilla_distance_triangle_inequality(d in arb_distance(), idx in prop::collection::vec(any::<prop::sample::Index>(), 3)) {
+        let lattice = Lattice::new(d).unwrap();
+        let ancillas: Vec<usize> = lattice.ancillas_in_sector(Sector::X).collect();
+        let a = ancillas[idx[0].index(ancillas.len())];
+        let b = ancillas[idx[1].index(ancillas.len())];
+        let c = ancillas[idx[2].index(ancillas.len())];
+        prop_assert!(
+            lattice.ancilla_distance(a, c)
+                <= lattice.ancilla_distance(a, b) + lattice.ancilla_distance(b, c)
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The ERSFQ standard-cell library (Table II of the paper).
+//!
+//! The library contains four clocked logic gates (AND2, OR2, XOR2, NOT) and a
+//! Destructive Read-Out D flip-flop (DRO DFF) used exclusively for path
+//! balancing.  Each cell is characterised by silicon area, Josephson-junction
+//! count (the SFQ measure of complexity/cost) and intrinsic delay.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The cell types available in the ERSFQ library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellType {
+    /// Two-input AND gate.
+    And2,
+    /// Two-input OR gate.
+    Or2,
+    /// Two-input XOR gate.
+    Xor2,
+    /// Inverter.
+    Not,
+    /// Destructive Read-Out D flip-flop, used for path balancing.
+    DroDff,
+}
+
+impl CellType {
+    /// All cell types, in Table II order.
+    pub const ALL: [CellType; 5] =
+        [CellType::And2, CellType::Or2, CellType::Xor2, CellType::Not, CellType::DroDff];
+
+    /// The number of logic inputs the cell consumes.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            CellType::And2 | CellType::Or2 | CellType::Xor2 => 2,
+            CellType::Not | CellType::DroDff => 1,
+        }
+    }
+
+    /// Returns `true` for combinational logic gates (everything except the DFF).
+    #[must_use]
+    pub fn is_logic(self) -> bool {
+        !matches!(self, CellType::DroDff)
+    }
+
+    /// Evaluates the cell's boolean function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    #[must_use]
+    pub fn evaluate(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            CellType::And2 => inputs[0] && inputs[1],
+            CellType::Or2 => inputs[0] || inputs[1],
+            CellType::Xor2 => inputs[0] ^ inputs[1],
+            CellType::Not => !inputs[0],
+            CellType::DroDff => inputs[0],
+        }
+    }
+}
+
+impl fmt::Display for CellType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellType::And2 => "AND2",
+            CellType::Or2 => "OR2",
+            CellType::Xor2 => "XOR2",
+            CellType::Not => "NOT",
+            CellType::DroDff => "DRO DFF",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Physical characteristics of one library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Cell area in square micrometres.
+    pub area_um2: f64,
+    /// Number of Josephson junctions.
+    pub jj_count: u32,
+    /// Intrinsic cell delay in picoseconds.
+    pub delay_ps: f64,
+    /// Dynamic power dissipation in microwatts at the nominal clock rate.
+    pub power_uw: f64,
+}
+
+/// A complete standard-cell library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    name: String,
+    specs: [CellSpec; 5],
+    /// Per-stage clock-distribution / interconnect overhead added on top of a
+    /// cell's intrinsic delay when estimating clocked-stage latency.
+    stage_overhead_ps: f64,
+}
+
+impl CellLibrary {
+    /// The ERSFQ library used throughout the paper (Table II).
+    ///
+    /// Area, JJ count and delay are taken verbatim from Table II.  Per-cell
+    /// power is calibrated so that the synthesized sub-circuit reports
+    /// reproduce the power column of Table III (0.026 µW per logic gate).
+    #[must_use]
+    pub fn ersfq() -> Self {
+        let spec = |area_um2: f64, jj_count: u32, delay_ps: f64, power_uw: f64| CellSpec {
+            area_um2,
+            jj_count,
+            delay_ps,
+            power_uw,
+        };
+        CellLibrary {
+            name: "ERSFQ".to_string(),
+            specs: [
+                // AND2
+                spec(4200.0, 17, 9.2, 0.026),
+                // OR2
+                spec(4200.0, 12, 7.2, 0.026),
+                // XOR2
+                spec(4200.0, 12, 5.7, 0.026),
+                // NOT
+                spec(4200.0, 13, 9.2, 0.026),
+                // DRO DFF
+                spec(3360.0, 10, 5.0, 0.0455),
+            ],
+            stage_overhead_ps: 10.0,
+        }
+    }
+
+    /// The library's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Characteristics of one cell type.
+    #[must_use]
+    pub fn spec(&self, cell: CellType) -> CellSpec {
+        self.specs[cell_index(cell)]
+    }
+
+    /// Per-stage overhead (clock distribution and passive interconnect) in
+    /// picoseconds, added to a cell's intrinsic delay when computing the
+    /// latency of a clocked pipeline stage.
+    #[must_use]
+    pub fn stage_overhead_ps(&self) -> f64 {
+        self.stage_overhead_ps
+    }
+
+    /// Returns a copy of the library with a different stage overhead, for
+    /// sensitivity studies.
+    #[must_use]
+    pub fn with_stage_overhead_ps(mut self, overhead: f64) -> Self {
+        self.stage_overhead_ps = overhead;
+        self
+    }
+
+    /// Iterates over `(cell type, spec)` pairs in Table II order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellType, CellSpec)> + '_ {
+        CellType::ALL.iter().map(move |&c| (c, self.spec(c)))
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::ersfq()
+    }
+}
+
+fn cell_index(cell: CellType) -> usize {
+    match cell {
+        CellType::And2 => 0,
+        CellType::Or2 => 1,
+        CellType::Xor2 => 2,
+        CellType::Not => 3,
+        CellType::DroDff => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_two_values_are_reproduced() {
+        let lib = CellLibrary::ersfq();
+        let and = lib.spec(CellType::And2);
+        assert_eq!(and.area_um2, 4200.0);
+        assert_eq!(and.jj_count, 17);
+        assert_eq!(and.delay_ps, 9.2);
+        let or = lib.spec(CellType::Or2);
+        assert_eq!(or.jj_count, 12);
+        assert_eq!(or.delay_ps, 7.2);
+        let xor = lib.spec(CellType::Xor2);
+        assert_eq!(xor.delay_ps, 5.7);
+        let not = lib.spec(CellType::Not);
+        assert_eq!(not.jj_count, 13);
+        let dff = lib.spec(CellType::DroDff);
+        assert_eq!(dff.area_um2, 3360.0);
+        assert_eq!(dff.jj_count, 10);
+        assert_eq!(dff.delay_ps, 5.0);
+    }
+
+    #[test]
+    fn logic_cells_share_area_but_dff_is_smaller() {
+        let lib = CellLibrary::ersfq();
+        for cell in [CellType::And2, CellType::Or2, CellType::Xor2, CellType::Not] {
+            assert_eq!(lib.spec(cell).area_um2, 4200.0);
+            assert!(cell.is_logic());
+        }
+        assert!(lib.spec(CellType::DroDff).area_um2 < 4200.0);
+        assert!(!CellType::DroDff.is_logic());
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert!(CellType::And2.evaluate(&[true, true]));
+        assert!(!CellType::And2.evaluate(&[true, false]));
+        assert!(CellType::Or2.evaluate(&[false, true]));
+        assert!(!CellType::Or2.evaluate(&[false, false]));
+        assert!(CellType::Xor2.evaluate(&[true, false]));
+        assert!(!CellType::Xor2.evaluate(&[true, true]));
+        assert!(CellType::Not.evaluate(&[false]));
+        assert!(CellType::DroDff.evaluate(&[true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn arity_is_enforced() {
+        let _ = CellType::And2.evaluate(&[true]);
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(CellType::And2.arity(), 2);
+        assert_eq!(CellType::Not.arity(), 1);
+        assert_eq!(CellType::DroDff.arity(), 1);
+    }
+
+    #[test]
+    fn display_names_match_table() {
+        assert_eq!(CellType::And2.to_string(), "AND2");
+        assert_eq!(CellType::DroDff.to_string(), "DRO DFF");
+    }
+
+    #[test]
+    fn stage_overhead_is_configurable() {
+        let lib = CellLibrary::ersfq().with_stage_overhead_ps(12.5);
+        assert_eq!(lib.stage_overhead_ps(), 12.5);
+        assert_eq!(CellLibrary::default().name(), "ERSFQ");
+    }
+
+    #[test]
+    fn iter_covers_all_cells() {
+        let lib = CellLibrary::ersfq();
+        assert_eq!(lib.iter().count(), 5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the SFQ hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or processing SFQ netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SfqError {
+    /// A gate references a net that no gate or primary input drives.
+    UndrivenNet {
+        /// The net in question (its numeric id).
+        net: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle,
+    /// The netlist declares no primary outputs.
+    NoOutputs,
+    /// A gate was given the wrong number of inputs for its cell type.
+    ArityMismatch {
+        /// The cell type name.
+        cell: &'static str,
+        /// Number of inputs provided.
+        got: usize,
+        /// Number of inputs expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SfqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfqError::UndrivenNet { net } => write!(f, "net {net} is not driven by any gate or input"),
+            SfqError::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
+            SfqError::NoOutputs => write!(f, "netlist declares no primary outputs"),
+            SfqError::ArityMismatch { cell, got, expected } => {
+                write!(f, "cell {cell} expects {expected} inputs but received {got}")
+            }
+        }
+    }
+}
+
+impl Error for SfqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SfqError::UndrivenNet { net: 3 }.to_string().contains("net 3"));
+        assert!(SfqError::CombinationalCycle.to_string().contains("cycle"));
+        assert!(SfqError::NoOutputs.to_string().contains("outputs"));
+        let err = SfqError::ArityMismatch { cell: "AND2", got: 3, expected: 2 };
+        assert!(err.to_string().contains("AND2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SfqError>();
+    }
+}

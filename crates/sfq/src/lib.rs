@@ -1,0 +1,61 @@
+//! Single-Flux-Quantum (SFQ) hardware modelling for the NISQ+ reproduction.
+//!
+//! The paper implements its approximate decoder as a mesh of modules built
+//! from an **ERSFQ cell library** (Table II), synthesized with path-balancing
+//! technology-mapping tools (Section VII) and characterised by logical depth,
+//! latency, area, Josephson-junction count and power (Table III).  This crate
+//! provides the classical-hardware substrate for that flow:
+//!
+//! * [`cell`] — the ERSFQ cell library with the paper's area / JJ / delay
+//!   figures,
+//! * [`netlist`] — gate-level netlists (DAGs) with levelisation and
+//!   validity checking,
+//! * [`synth`] — wide-gate decomposition and full path balancing with
+//!   DRO-DFF insertion, the property dc-biased SFQ logic requires,
+//! * [`sim`] — cycle-accurate simulation of clocked SFQ netlists (every gate
+//!   advances one level per clock pulse, no flip-flops needed),
+//! * [`report`] — circuit characterisation and mesh/refrigerator budget
+//!   reports (Table III and the Section VIII feasibility analysis).
+//!
+//! No quantum computation happens here: as the paper stresses, "Single Flux
+//! Quantum is classical logic implemented in superconducting hardware".
+//!
+//! # Example
+//!
+//! ```rust
+//! use nisqplus_sfq::cell::CellLibrary;
+//! use nisqplus_sfq::netlist::NetlistBuilder;
+//! use nisqplus_sfq::synth::synthesize;
+//!
+//! let library = CellLibrary::ersfq();
+//! let mut builder = NetlistBuilder::new("majority");
+//! let a = builder.input("a");
+//! let b = builder.input("b");
+//! let c = builder.input("c");
+//! let ab = builder.and2(a, b);
+//! let bc = builder.and2(b, c);
+//! let ca = builder.and2(c, a);
+//! let or1 = builder.or2(ab, bc);
+//! let out = builder.or2(or1, ca);
+//! builder.output("maj", out);
+//! let report = synthesize(&builder.build().unwrap(), &library);
+//! assert_eq!(report.logical_depth, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cell;
+pub mod error;
+pub mod netlist;
+pub mod report;
+pub mod sim;
+pub mod synth;
+
+pub use cell::{CellLibrary, CellSpec, CellType};
+pub use error::SfqError;
+pub use netlist::{GateId, NetId, Netlist, NetlistBuilder};
+pub use report::{CircuitCharacterization, MeshReport, RefrigeratorBudget};
+pub use sim::NetlistSimulator;
+pub use synth::{path_balance, synthesize, SynthesisReport};

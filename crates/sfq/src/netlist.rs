@@ -1,0 +1,446 @@
+//! Gate-level netlists.
+//!
+//! A netlist is a DAG of library cells connected by nets.  Primary inputs and
+//! outputs are named, so the decoder-module sub-circuits of the paper (grow,
+//! pair-request, pair-grant, pair, reset — Figure 9) can be assembled and
+//! characterised individually and then combined.
+
+use crate::cell::CellType;
+use crate::error::SfqError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a net (a wire) in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The raw index of the net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a gate instance in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// The raw index of the gate.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The library cell implementing the gate.
+    pub cell: CellType,
+    /// Input nets, in cell-pin order.
+    pub inputs: Vec<NetId>,
+    /// The net driven by the gate.
+    pub output: NetId,
+}
+
+/// A named primary input or output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// The net attached to the port.
+    pub net: NetId,
+}
+
+/// An immutable, validated gate-level netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    num_nets: usize,
+    gates: Vec<Gate>,
+    inputs: Vec<Port>,
+    outputs: Vec<Port>,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of nets in the netlist.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// The gate instances.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The primary inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[Port] {
+        &self.inputs
+    }
+
+    /// The primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[Port] {
+        &self.outputs
+    }
+
+    /// Number of gates of a given cell type.
+    #[must_use]
+    pub fn count_cells(&self, cell: CellType) -> usize {
+        self.gates.iter().filter(|g| g.cell == cell).count()
+    }
+
+    /// Computes the logic level of every net: primary inputs are level 0 and
+    /// every gate output is one more than the maximum level of its inputs.
+    ///
+    /// Returns a vector indexed by net id.  Nets that are neither inputs nor
+    /// gate outputs (impossible in a validated netlist) get level 0.
+    #[must_use]
+    pub fn net_levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.num_nets];
+        // Gates were appended in topological order by the builder, so one
+        // forward pass suffices.
+        for gate in &self.gates {
+            let max_in = gate.inputs.iter().map(|n| levels[n.0]).max().unwrap_or(0);
+            levels[gate.output.0] = max_in + 1;
+        }
+        levels
+    }
+
+    /// The logical depth: the maximum level over all primary outputs.
+    #[must_use]
+    pub fn logical_depth(&self) -> usize {
+        let levels = self.net_levels();
+        self.outputs.iter().map(|p| levels[p.net.0]).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if every gate's fan-ins arrive at the same logic level —
+    /// the *full path balancing* property dc-biased SFQ circuits require.
+    #[must_use]
+    pub fn is_path_balanced(&self) -> bool {
+        let levels = self.net_levels();
+        let gates_balanced = self.gates.iter().all(|gate| {
+            let lvls: Vec<usize> = gate.inputs.iter().map(|n| levels[n.0]).collect();
+            lvls.iter().all(|&l| l == lvls[0])
+        });
+        // All primary outputs must also be produced at the same level.
+        let out_levels: Vec<usize> = self.outputs.iter().map(|p| levels[p.net.0]).collect();
+        let outputs_balanced = out_levels.windows(2).all(|w| w[0] == w[1]);
+        gates_balanced && outputs_balanced
+    }
+
+    /// Looks up a primary input net by name.
+    #[must_use]
+    pub fn input_net(&self, name: &str) -> Option<NetId> {
+        self.inputs.iter().find(|p| p.name == name).map(|p| p.net)
+    }
+
+    /// Looks up a primary output net by name.
+    #[must_use]
+    pub fn output_net(&self, name: &str) -> Option<NetId> {
+        self.outputs.iter().find(|p| p.name == name).map(|p| p.net)
+    }
+}
+
+/// An incremental netlist builder.
+///
+/// Gates must be created after the nets that feed them (the builder only
+/// hands out net ids for existing signals), which guarantees the stored gate
+/// order is topological.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    num_nets: usize,
+    gates: Vec<Gate>,
+    inputs: Vec<Port>,
+    outputs: Vec<Port>,
+    driven: Vec<bool>,
+}
+
+impl NetlistBuilder {
+    /// Starts building a circuit with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            num_nets: 0,
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            driven: Vec::new(),
+        }
+    }
+
+    fn fresh_net(&mut self, driven: bool) -> NetId {
+        let id = NetId(self.num_nets);
+        self.num_nets += 1;
+        self.driven.push(driven);
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let net = self.fresh_net(true);
+        self.inputs.push(Port { name: name.into(), net });
+        net
+    }
+
+    /// Declares a primary output driven by `net`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.outputs.push(Port { name: name.into(), net });
+    }
+
+    /// Adds a gate of arbitrary cell type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the cell's arity.
+    pub fn gate(&mut self, cell: CellType, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            cell.arity(),
+            "cell {cell} expects {} inputs, got {}",
+            cell.arity(),
+            inputs.len()
+        );
+        let output = self.fresh_net(true);
+        self.gates.push(Gate { cell, inputs: inputs.to_vec(), output });
+        output
+    }
+
+    /// Adds a two-input AND gate.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellType::And2, &[a, b])
+    }
+
+    /// Adds a two-input OR gate.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellType::Or2, &[a, b])
+    }
+
+    /// Adds a two-input XOR gate.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellType::Xor2, &[a, b])
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(CellType::Not, &[a])
+    }
+
+    /// Adds a path-balancing DRO D flip-flop.
+    pub fn dff(&mut self, a: NetId) -> NetId {
+        self.gate(CellType::DroDff, &[a])
+    }
+
+    /// Adds a balanced OR tree over an arbitrary number of inputs.
+    ///
+    /// Wide OR gates (e.g. the 7-input OR of Table III) are decomposed into a
+    /// tree of OR2 cells of logarithmic depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn or_tree(&mut self, inputs: &[NetId]) -> NetId {
+        assert!(!inputs.is_empty(), "or_tree requires at least one input");
+        let mut layer: Vec<NetId> = inputs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                if chunk.len() == 2 {
+                    next.push(self.or2(chunk[0], chunk[1]));
+                } else {
+                    next.push(chunk[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Adds a balanced AND tree over an arbitrary number of inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn and_tree(&mut self, inputs: &[NetId]) -> NetId {
+        assert!(!inputs.is_empty(), "and_tree requires at least one input");
+        let mut layer: Vec<NetId> = inputs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                if chunk.len() == 2 {
+                    next.push(self.and2(chunk[0], chunk[1]));
+                } else {
+                    next.push(chunk[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Finalises the netlist, validating its structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has no outputs or references undriven
+    /// nets.
+    pub fn build(self) -> Result<Netlist, SfqError> {
+        if self.outputs.is_empty() {
+            return Err(SfqError::NoOutputs);
+        }
+        for gate in &self.gates {
+            for input in &gate.inputs {
+                if !self.driven.get(input.0).copied().unwrap_or(false) {
+                    return Err(SfqError::UndrivenNet { net: input.0 });
+                }
+            }
+        }
+        for port in &self.outputs {
+            if !self.driven.get(port.net.0).copied().unwrap_or(false) {
+                return Err(SfqError::UndrivenNet { net: port.net.0 });
+            }
+        }
+        Ok(Netlist {
+            name: self.name,
+            num_nets: self.num_nets,
+            gates: self.gates,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("test");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let y = b.not(x);
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_netlist() {
+        let n = small_circuit();
+        assert_eq!(n.name(), "test");
+        assert_eq!(n.gates().len(), 2);
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.count_cells(CellType::And2), 1);
+        assert_eq!(n.count_cells(CellType::Not), 1);
+        assert_eq!(n.count_cells(CellType::Or2), 0);
+        assert_eq!(n.logical_depth(), 2);
+    }
+
+    #[test]
+    fn no_outputs_is_an_error() {
+        let mut b = NetlistBuilder::new("empty");
+        let _ = b.input("a");
+        assert_eq!(b.build().unwrap_err(), SfqError::NoOutputs);
+    }
+
+    #[test]
+    fn levels_increase_monotonically() {
+        let n = small_circuit();
+        let levels = n.net_levels();
+        let and_out = n.gates()[0].output;
+        let not_out = n.gates()[1].output;
+        assert_eq!(levels[and_out.index()], 1);
+        assert_eq!(levels[not_out.index()], 2);
+    }
+
+    #[test]
+    fn or_tree_depth_is_logarithmic() {
+        let mut b = NetlistBuilder::new("or7");
+        let inputs: Vec<NetId> = (0..7).map(|i| b.input(format!("i{i}"))).collect();
+        let out = b.or_tree(&inputs);
+        b.output("out", out);
+        let n = b.build().unwrap();
+        // 7-input OR: ceil(log2 7) = 3 levels, 6 OR2 cells — matching Table III.
+        assert_eq!(n.logical_depth(), 3);
+        assert_eq!(n.count_cells(CellType::Or2), 6);
+    }
+
+    #[test]
+    fn and_tree_handles_single_input() {
+        let mut b = NetlistBuilder::new("and1");
+        let a = b.input("a");
+        let out = b.and_tree(&[a]);
+        b.output("out", out);
+        let n = b.build().unwrap();
+        assert_eq!(n.logical_depth(), 0);
+        assert_eq!(n.gates().len(), 0);
+    }
+
+    #[test]
+    fn unbalanced_circuit_is_detected() {
+        let mut b = NetlistBuilder::new("unbalanced");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        // `x` is level 1, `a` is level 0: this OR has unbalanced fan-ins.
+        let y = b.or2(x, a);
+        b.output("y", y);
+        let n = b.build().unwrap();
+        assert!(!n.is_path_balanced());
+    }
+
+    #[test]
+    fn balanced_circuit_is_detected() {
+        let mut b = NetlistBuilder::new("balanced");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let a_delayed = b.dff(a);
+        let y = b.or2(x, a_delayed);
+        b.output("y", y);
+        let n = b.build().unwrap();
+        assert!(n.is_path_balanced());
+    }
+
+    #[test]
+    fn port_lookup_by_name() {
+        let n = small_circuit();
+        assert!(n.input_net("a").is_some());
+        assert!(n.input_net("missing").is_none());
+        assert!(n.output_net("y").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let _ = b.gate(CellType::And2, &[a]);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(NetId(4).to_string(), "n4");
+        assert_eq!(GateId(2).index(), 2);
+    }
+}

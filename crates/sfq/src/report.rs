@@ -1,0 +1,243 @@
+//! Mesh-level and refrigerator-budget reports (the Section VIII feasibility
+//! analysis).
+//!
+//! The full decoder is a mesh of identical modules — one per physical qubit —
+//! so its area and power scale linearly with the qubit count.  The paper's
+//! numbers: a single module occupies 1.28 mm² and dissipates 13.1 µW; a
+//! distance-9 patch (289 qubits) therefore needs 369.72 mm² and 3.78 mW,
+//! and a typical dilution refrigerator with 1–2 W of cooling power at the
+//! 4 K stage can host a mesh of roughly 87 × 87 modules.
+
+use crate::synth::SynthesisReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Characterisation of a single circuit block in convenient units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircuitCharacterization {
+    /// Logical depth in clocked levels.
+    pub logical_depth: usize,
+    /// Latency in picoseconds.
+    pub latency_ps: f64,
+    /// Area in square millimetres.
+    pub area_mm2: f64,
+    /// Power in microwatts.
+    pub power_uw: f64,
+    /// Josephson-junction count.
+    pub jj_count: u64,
+}
+
+impl From<&SynthesisReport> for CircuitCharacterization {
+    fn from(report: &SynthesisReport) -> Self {
+        CircuitCharacterization {
+            logical_depth: report.logical_depth,
+            latency_ps: report.latency_ps,
+            area_mm2: report.area_um2 * 1e-6,
+            power_uw: report.power_uw,
+            jj_count: report.jj_count,
+        }
+    }
+}
+
+/// The cryogenic cooling budget available to the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefrigeratorBudget {
+    /// Cooling power available at the 4 K stage, in watts.
+    pub cooling_power_w: f64,
+    /// Usable area at the 4 K stage, in square millimetres.
+    pub area_mm2: f64,
+}
+
+impl RefrigeratorBudget {
+    /// A typical contemporary dilution refrigerator: 1 W of cooling at 4 K
+    /// (conservative end of the paper's 1–2 W range) and a 100 mm x 100 mm
+    /// mounting plate for the decoder stack.
+    #[must_use]
+    pub fn typical() -> Self {
+        RefrigeratorBudget { cooling_power_w: 1.0, area_mm2: 10_000.0 }
+    }
+
+    /// The generous end of the paper's range: 2 W of cooling at 4 K and twice
+    /// the mounting area.
+    #[must_use]
+    pub fn generous() -> Self {
+        RefrigeratorBudget { cooling_power_w: 2.0, area_mm2: 20_000.0 }
+    }
+}
+
+impl Default for RefrigeratorBudget {
+    fn default() -> Self {
+        RefrigeratorBudget::typical()
+    }
+}
+
+/// Area/power scaling of a full decoder mesh built from one module per qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeshReport {
+    /// Number of modules on one side of the (square) mesh.
+    pub side: usize,
+    /// Total number of modules.
+    pub modules: usize,
+    /// Total area in square millimetres.
+    pub area_mm2: f64,
+    /// Total power in milliwatts.
+    pub power_mw: f64,
+}
+
+impl MeshReport {
+    /// Builds the report for a `side x side` mesh of the given module.
+    #[must_use]
+    pub fn for_mesh(module: CircuitCharacterization, side: usize) -> Self {
+        let modules = side * side;
+        MeshReport {
+            side,
+            modules,
+            area_mm2: module.area_mm2 * modules as f64,
+            power_mw: module.power_uw * modules as f64 * 1e-3,
+        }
+    }
+
+    /// Builds the report for the mesh protecting a single code-distance-`d`
+    /// surface-code patch: one module per physical qubit, i.e. a
+    /// `(2d-1) x (2d-1)` mesh.
+    #[must_use]
+    pub fn for_code_distance(module: CircuitCharacterization, distance: usize) -> Self {
+        MeshReport::for_mesh(module, 2 * distance - 1)
+    }
+
+    /// Returns `true` if the mesh fits in the given refrigerator budget.
+    #[must_use]
+    pub fn fits(&self, budget: &RefrigeratorBudget) -> bool {
+        self.power_mw * 1e-3 <= budget.cooling_power_w && self.area_mm2 <= budget.area_mm2
+    }
+}
+
+impl fmt::Display for MeshReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} mesh ({} modules): {:.2} mm^2, {:.2} mW",
+            self.side, self.side, self.modules, self.area_mm2, self.power_mw
+        )
+    }
+}
+
+/// The largest square mesh that fits both the power and the area budget.
+#[must_use]
+pub fn max_mesh_side(module: CircuitCharacterization, budget: &RefrigeratorBudget) -> usize {
+    let per_module_w = module.power_uw * 1e-6;
+    if per_module_w <= 0.0 || module.area_mm2 <= 0.0 {
+        return 0;
+    }
+    let by_power = (budget.cooling_power_w / per_module_w).floor();
+    let by_area = (budget.area_mm2 / module.area_mm2).floor();
+    by_power.min(by_area).max(0.0).sqrt().floor() as usize
+}
+
+/// The code distance a `side x side` mesh can protect for one logical qubit
+/// (the inverse of `2d - 1 = side`).
+#[must_use]
+pub fn protected_distance(side: usize) -> usize {
+    (side + 1) / 2
+}
+
+/// How many logical qubits of code distance `d` fit in a mesh with the given
+/// number of modules (one module per physical qubit, `(2d-1)^2` per patch).
+#[must_use]
+pub fn logical_qubits_supported(total_modules: usize, distance: usize) -> usize {
+    let per_patch = (2 * distance - 1) * (2 * distance - 1);
+    total_modules / per_patch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The module characterisation reported in Table III of the paper.
+    fn paper_module() -> CircuitCharacterization {
+        CircuitCharacterization {
+            logical_depth: 6,
+            latency_ps: 162.72,
+            area_mm2: 1.279_32,
+            power_uw: 13.08,
+            jj_count: 4000,
+        }
+    }
+
+    #[test]
+    fn distance_nine_mesh_matches_paper_numbers() {
+        let report = MeshReport::for_code_distance(paper_module(), 9);
+        assert_eq!(report.modules, 289);
+        // Paper: 369.72 mm^2 and 3.78 mW for 289 modules.
+        assert!((report.area_mm2 - 369.72).abs() < 0.5, "area {}", report.area_mm2);
+        assert!((report.power_mw - 3.78).abs() < 0.05, "power {}", report.power_mw);
+    }
+
+    #[test]
+    fn mesh_of_87_fits_one_watt_budget() {
+        // Paper: a 1-2 W budget permits an 87x87 mesh.
+        let module = paper_module();
+        let side = max_mesh_side(module, &RefrigeratorBudget::typical());
+        assert!((85..=90).contains(&side), "side {side}");
+        let report = MeshReport::for_mesh(module, side);
+        assert!(report.fits(&RefrigeratorBudget::generous()));
+        // Such a mesh protects a single logical qubit of distance ~44.
+        assert!((42..=45).contains(&protected_distance(side)));
+    }
+
+    #[test]
+    fn logical_qubit_packing() {
+        // Paper: the 87x87 mesh can alternatively protect ~100 qubits at d=5.
+        let total = 87 * 87;
+        let at_d5 = logical_qubits_supported(total, 5);
+        assert!((90..=95).contains(&at_d5), "d=5 packing {at_d5}");
+        assert_eq!(logical_qubits_supported(289, 9), 1);
+        assert_eq!(logical_qubits_supported(288, 9), 0);
+    }
+
+    #[test]
+    fn fits_checks_both_power_and_area() {
+        let module = paper_module();
+        let small = MeshReport::for_mesh(module, 3);
+        assert!(small.fits(&RefrigeratorBudget::typical()));
+        let huge = MeshReport::for_mesh(module, 500);
+        assert!(!huge.fits(&RefrigeratorBudget::generous()));
+        assert!(small.to_string().contains("3x3"));
+    }
+
+    #[test]
+    fn characterization_from_synthesis_report() {
+        let report = SynthesisReport {
+            name: "x".into(),
+            logical_depth: 5,
+            latency_ps: 96.0,
+            area_um2: 347_760.0,
+            jj_count: 1000,
+            power_uw: 3.51,
+            cell_counts: vec![],
+            balancing_dffs: 0,
+        };
+        let ch = CircuitCharacterization::from(&report);
+        assert_eq!(ch.logical_depth, 5);
+        assert!((ch.area_mm2 - 0.347_76).abs() < 1e-9);
+        assert_eq!(ch.jj_count, 1000);
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert!(RefrigeratorBudget::generous().cooling_power_w > RefrigeratorBudget::typical().cooling_power_w);
+        assert_eq!(RefrigeratorBudget::default(), RefrigeratorBudget::typical());
+    }
+
+    #[test]
+    fn zero_power_module_gives_zero_mesh() {
+        let module = CircuitCharacterization {
+            logical_depth: 0,
+            latency_ps: 0.0,
+            area_mm2: 0.0,
+            power_uw: 0.0,
+            jj_count: 0,
+        };
+        assert_eq!(max_mesh_side(module, &RefrigeratorBudget::typical()), 0);
+    }
+}

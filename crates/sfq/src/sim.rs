@@ -1,0 +1,234 @@
+//! Cycle-accurate simulation of clocked SFQ netlists.
+//!
+//! SFQ gates are pulse-based and clocked: "we do not need to have flip-flops
+//! and signals can propagate one SFQ gate at each cycle" (Section VI-A).  The
+//! simulator models exactly that — on every clock cycle each gate consumes the
+//! values its fan-ins held during the *previous* cycle and produces a new
+//! output pulse (or absence of one).  It is used to verify the logical
+//! behaviour of the decoder-module sub-circuits before they are assembled
+//! into the mesh.
+
+use crate::cell::CellType;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// A cycle-accurate simulator for one netlist instance.
+#[derive(Debug, Clone)]
+pub struct NetlistSimulator<'a> {
+    netlist: &'a Netlist,
+    /// Current value of every net (pulse present this cycle).
+    values: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'a> NetlistSimulator<'a> {
+    /// Creates a simulator with all nets initially carrying no pulses.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        NetlistSimulator { netlist, values: vec![false; netlist.num_nets()], cycle: 0 }
+    }
+
+    /// The number of clock cycles simulated so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets all nets to the no-pulse state.
+    pub fn reset(&mut self) {
+        self.values.fill(false);
+        self.cycle = 0;
+    }
+
+    /// Advances the circuit by one clock cycle.
+    ///
+    /// `inputs` maps primary-input names to the pulse applied this cycle;
+    /// unnamed inputs default to `false`.  Returns the values of all primary
+    /// outputs after the clock edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` names a port that does not exist.
+    pub fn step(&mut self, inputs: &HashMap<&str, bool>) -> HashMap<String, bool> {
+        // Apply primary inputs for this cycle: the pulses are present on the
+        // input nets while this cycle's first-level gates fire.
+        let mut snapshot = self.values.clone();
+        for port in self.netlist.inputs() {
+            snapshot[port.net.index()] = false;
+        }
+        for (&name, &value) in inputs {
+            let net = self
+                .netlist
+                .input_net(name)
+                .unwrap_or_else(|| panic!("no primary input named {name}"));
+            snapshot[net.index()] = value;
+        }
+        // Every gate consumes the values its fan-ins held at the start of the
+        // cycle, so pulses advance exactly one gate level per clock.
+        let mut next = snapshot.clone();
+        for gate in self.netlist.gates() {
+            let in_values: Vec<bool> =
+                gate.inputs.iter().map(|n| snapshot[n.index()]).collect();
+            next[gate.output.index()] = gate.cell.evaluate(&in_values);
+        }
+        self.values = next;
+        self.cycle += 1;
+        self.outputs()
+    }
+
+    /// Runs the circuit for `cycles` cycles with constant inputs, returning
+    /// the outputs observed after the final cycle.
+    pub fn run(&mut self, inputs: &HashMap<&str, bool>, cycles: usize) -> HashMap<String, bool> {
+        let mut out = self.outputs();
+        for _ in 0..cycles {
+            out = self.step(inputs);
+        }
+        out
+    }
+
+    /// The current value of every primary output.
+    #[must_use]
+    pub fn outputs(&self) -> HashMap<String, bool> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|p| (p.name.clone(), self.values[p.net.index()]))
+            .collect()
+    }
+
+    /// The current value of an arbitrary net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn net_value(&self, net: crate::netlist::NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Number of cycles needed for a pulse to traverse the circuit: equal to
+    /// the logical depth because each clocked cell adds one cycle.
+    #[must_use]
+    pub fn pipeline_latency_cycles(&self) -> usize {
+        self.netlist.logical_depth()
+    }
+
+    /// Counts the gates whose output currently carries a pulse — a proxy for
+    /// switching activity used in dynamic-power discussions.
+    #[must_use]
+    pub fn active_gate_count(&self) -> usize {
+        self.netlist
+            .gates()
+            .iter()
+            .filter(|g| self.values[g.output.index()])
+            .count()
+    }
+
+    /// Counts flip-flops currently holding a pulse.
+    #[must_use]
+    pub fn active_dff_count(&self) -> usize {
+        self.netlist
+            .gates()
+            .iter()
+            .filter(|g| g.cell == CellType::DroDff && self.values[g.output.index()])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::synth::path_balance;
+
+    fn and_or_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("and-or");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.and2(a, c);
+        let d_delayed = b.dff(d);
+        let y = b.or2(x, d_delayed);
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn values_propagate_one_level_per_cycle() {
+        let n = and_or_circuit();
+        let mut sim = NetlistSimulator::new(&n);
+        let inputs: HashMap<&str, bool> = [("a", true), ("b", true), ("c", false)].into();
+        // After one cycle only the first-level gates have seen the inputs.
+        let out1 = sim.step(&inputs);
+        assert_eq!(out1["y"], false);
+        // After two cycles the pulse has reached the output.
+        let out2 = sim.step(&inputs);
+        assert_eq!(out2["y"], true);
+        assert_eq!(sim.cycle(), 2);
+        assert_eq!(sim.pipeline_latency_cycles(), 2);
+    }
+
+    #[test]
+    fn or_path_through_dff_also_works() {
+        let n = and_or_circuit();
+        let mut sim = NetlistSimulator::new(&n);
+        let inputs: HashMap<&str, bool> = [("a", false), ("b", false), ("c", true)].into();
+        sim.step(&inputs);
+        let out = sim.step(&inputs);
+        assert_eq!(out["y"], true);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let n = and_or_circuit();
+        let mut sim = NetlistSimulator::new(&n);
+        let inputs: HashMap<&str, bool> = [("a", true), ("b", true), ("c", true)].into();
+        sim.run(&inputs, 3);
+        assert!(sim.active_gate_count() > 0);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert_eq!(sim.active_gate_count(), 0);
+        assert_eq!(sim.active_dff_count(), 0);
+        assert_eq!(sim.outputs()["y"], false);
+    }
+
+    #[test]
+    fn pulse_train_fills_the_pipeline() {
+        // A constant "1" input produces a constant "1" output once the
+        // pipeline is full, exactly like a hot-syndrome module continuously
+        // emitting grow pulses.
+        let n = and_or_circuit();
+        let balanced = path_balance(&n);
+        let mut sim = NetlistSimulator::new(&balanced);
+        let inputs: HashMap<&str, bool> = [("a", true), ("b", true), ("c", false)].into();
+        let depth = balanced.logical_depth();
+        for cycle in 1..=depth + 3 {
+            let out = sim.step(&inputs);
+            if cycle >= depth {
+                assert!(out["y"], "output should be high from cycle {depth} onwards");
+            }
+        }
+    }
+
+    #[test]
+    fn single_pulse_travels_and_leaves() {
+        let n = and_or_circuit();
+        let mut sim = NetlistSimulator::new(&n);
+        let pulse: HashMap<&str, bool> = [("a", true), ("b", true), ("c", false)].into();
+        let quiet: HashMap<&str, bool> = [("a", false), ("b", false), ("c", false)].into();
+        sim.step(&pulse);
+        let out = sim.step(&quiet);
+        assert!(out["y"], "the pulse injected on cycle 1 arrives on cycle 2");
+        let out = sim.step(&quiet);
+        assert!(!out["y"], "with no new pulses the output goes quiet again");
+    }
+
+    #[test]
+    #[should_panic(expected = "no primary input named")]
+    fn unknown_input_panics() {
+        let n = and_or_circuit();
+        let mut sim = NetlistSimulator::new(&n);
+        let inputs: HashMap<&str, bool> = [("nope", true)].into();
+        sim.step(&inputs);
+    }
+}

@@ -1,0 +1,305 @@
+//! Path balancing and circuit characterisation (the synthesis flow of
+//! Section VII).
+//!
+//! Correct operation of dc-biased SFQ circuits requires *full path
+//! balancing*: in the DAG representing the circuit, every path from any
+//! primary input to any primary output must traverse the same number of
+//! clocked cells.  [`path_balance`] inserts the minimal per-edge chains of
+//! DRO DFFs needed to establish this property (the same role the paper's
+//! PBMap/SFQmap tools play), and [`synthesize`] produces the depth / area /
+//! JJ / power / latency characterisation reported in Table III.
+
+use crate::cell::{CellLibrary, CellType};
+use crate::netlist::{Netlist, NetlistBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Characterisation of a synthesized circuit (one row of Table III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Circuit name.
+    pub name: String,
+    /// Logical depth (clocked levels from any input to any output).
+    pub logical_depth: usize,
+    /// Worst-case combinational latency along the critical path, in picoseconds.
+    pub latency_ps: f64,
+    /// Total cell area in square micrometres.
+    pub area_um2: f64,
+    /// Total Josephson-junction count.
+    pub jj_count: u64,
+    /// Total power dissipation in microwatts.
+    pub power_uw: f64,
+    /// Number of cells of each type.
+    pub cell_counts: Vec<(CellType, usize)>,
+    /// Number of path-balancing DFFs that had to be inserted.
+    pub balancing_dffs: usize,
+}
+
+impl SynthesisReport {
+    /// Total number of cell instances.
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.cell_counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The count of one specific cell type.
+    #[must_use]
+    pub fn count_of(&self, cell: CellType) -> usize {
+        self.cell_counts.iter().find(|(c, _)| *c == cell).map_or(0, |(_, n)| *n)
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: depth {}, latency {:.2} ps, area {:.0} um^2, {} JJs, {:.3} uW",
+            self.name, self.logical_depth, self.latency_ps, self.area_um2, self.jj_count, self.power_uw
+        )
+    }
+}
+
+/// Fully path-balances a netlist by inserting DRO DFF chains.
+///
+/// For every gate, each fan-in arriving from a shallower logic level is padded
+/// with a chain of DFFs so that all fan-ins arrive at the same level; primary
+/// outputs are padded up to the overall circuit depth as well.  The number of
+/// inserted DFFs per edge is the minimum possible for this netlist structure
+/// (level difference), mirroring the dynamic-programming DFF-minimisation of
+/// the paper's mapping tools.
+#[must_use]
+pub fn path_balance(netlist: &Netlist) -> Netlist {
+    let levels = netlist.net_levels();
+    let mut builder = NetlistBuilder::new(netlist.name().to_string());
+
+    // Recreate primary inputs, remembering the mapping old net -> new net.
+    let mut net_map: HashMap<usize, crate::netlist::NetId> = HashMap::new();
+    for port in netlist.inputs() {
+        let new = builder.input(port.name.clone());
+        net_map.insert(port.net.index(), new);
+    }
+
+    // New level of every mapped net (after balancing).
+    let mut new_level: HashMap<usize, usize> = netlist.inputs().iter().map(|p| (p.net.index(), 0)).collect();
+
+    let mut inserted = 0usize;
+
+    // Gates are stored in topological order, so fan-ins are always mapped.
+    for gate in netlist.gates() {
+        let target_level =
+            gate.inputs.iter().map(|n| levels[n.index()]).max().unwrap_or(0);
+        let mut new_inputs = Vec::with_capacity(gate.inputs.len());
+        for input in &gate.inputs {
+            let mut net = net_map[&input.index()];
+            let mut level = new_level[&input.index()];
+            while level < target_level {
+                net = builder.dff(net);
+                level += 1;
+                inserted += 1;
+            }
+            new_inputs.push(net);
+        }
+        let out = builder.gate(gate.cell, &new_inputs);
+        net_map.insert(gate.output.index(), out);
+        new_level.insert(gate.output.index(), target_level + 1);
+    }
+
+    // Pad primary outputs to a common depth.
+    let depth = netlist.logical_depth();
+    for port in netlist.outputs() {
+        let mut net = net_map[&port.net.index()];
+        let mut level = new_level[&port.net.index()];
+        while level < depth {
+            net = builder.dff(net);
+            level += 1;
+            inserted += 1;
+        }
+        builder.output(port.name.clone(), net);
+    }
+
+    let _ = inserted;
+    builder.build().expect("rebalancing a valid netlist always yields a valid netlist")
+}
+
+/// Characterises a netlist against a cell library, path-balancing it first.
+///
+/// The returned latency is the sum, along the deepest path, of the slowest
+/// cell delay at each level plus the library's per-stage clock/interconnect
+/// overhead — i.e. the time from the arrival of the input pulses to the
+/// availability of the output pulses when the circuit is operated as a
+/// clocked pipeline.
+#[must_use]
+pub fn synthesize(netlist: &Netlist, library: &CellLibrary) -> SynthesisReport {
+    let original_dffs = netlist.count_cells(CellType::DroDff);
+    let balanced = path_balance(netlist);
+    let balancing_dffs = balanced.count_cells(CellType::DroDff) - original_dffs;
+
+    let mut cell_counts: Vec<(CellType, usize)> = CellType::ALL
+        .iter()
+        .map(|&c| (c, balanced.count_cells(c)))
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    if cell_counts.is_empty() {
+        cell_counts = vec![];
+    }
+
+    let mut area = 0.0;
+    let mut jj: u64 = 0;
+    let mut power = 0.0;
+    for &(cell, count) in &cell_counts {
+        let spec = library.spec(cell);
+        area += spec.area_um2 * count as f64;
+        jj += u64::from(spec.jj_count) * count as u64;
+        power += spec.power_uw * count as f64;
+    }
+
+    // Latency: per level, the slowest cell delay at that level plus the
+    // per-stage overhead.
+    let levels = balanced.net_levels();
+    let depth = balanced.logical_depth();
+    let max_gate_level = levels.iter().copied().max().unwrap_or(0).max(depth);
+    let mut slowest_per_level = vec![0.0f64; max_gate_level + 1];
+    for gate in balanced.gates() {
+        let level = levels[gate.output.index()];
+        let delay = library.spec(gate.cell).delay_ps;
+        if delay > slowest_per_level[level] {
+            slowest_per_level[level] = delay;
+        }
+    }
+    // Only levels on the way to a primary output contribute to latency.
+    let latency_ps: f64 = slowest_per_level
+        .iter()
+        .skip(1)
+        .take(depth)
+        .map(|&d| if d > 0.0 { d + library.stage_overhead_ps() } else { 0.0 })
+        .sum();
+
+    SynthesisReport {
+        name: balanced.name().to_string(),
+        logical_depth: depth,
+        latency_ps,
+        area_um2: area,
+        jj_count: jj,
+        power_uw: power,
+        cell_counts,
+        balancing_dffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn unbalanced_example() -> Netlist {
+        let mut b = NetlistBuilder::new("example");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.and2(a, c);
+        let y = b.or2(x, d); // d arrives one level early
+        b.output("y", y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn path_balance_establishes_the_property() {
+        let n = unbalanced_example();
+        assert!(!n.is_path_balanced());
+        let balanced = path_balance(&n);
+        assert!(balanced.is_path_balanced());
+        assert_eq!(balanced.logical_depth(), n.logical_depth());
+        // Exactly one DFF is needed (on the `d` fan-in of the OR).
+        assert_eq!(balanced.count_cells(CellType::DroDff), 1);
+    }
+
+    #[test]
+    fn already_balanced_circuits_gain_no_dffs() {
+        let mut b = NetlistBuilder::new("bal");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c);
+        b.output("x", x);
+        let n = b.build().unwrap();
+        let balanced = path_balance(&n);
+        assert_eq!(balanced.count_cells(CellType::DroDff), 0);
+        assert_eq!(balanced.gates().len(), n.gates().len());
+    }
+
+    #[test]
+    fn outputs_at_different_depths_are_padded() {
+        let mut b = NetlistBuilder::new("multi-out");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let y = b.not(x);
+        b.output("shallow", x);
+        b.output("deep", y);
+        let n = b.build().unwrap();
+        let balanced = path_balance(&n);
+        assert!(balanced.is_path_balanced());
+        let levels = balanced.net_levels();
+        let shallow = balanced.output_net("shallow").unwrap();
+        let deep = balanced.output_net("deep").unwrap();
+        assert_eq!(levels[shallow.index()], levels[deep.index()]);
+    }
+
+    #[test]
+    fn synthesis_report_totals_are_consistent() {
+        let lib = CellLibrary::ersfq();
+        let report = synthesize(&unbalanced_example(), &lib);
+        assert_eq!(report.logical_depth, 2);
+        assert_eq!(report.count_of(CellType::And2), 1);
+        assert_eq!(report.count_of(CellType::Or2), 1);
+        assert_eq!(report.count_of(CellType::DroDff), 1);
+        assert_eq!(report.balancing_dffs, 1);
+        assert_eq!(report.total_cells(), 3);
+        let expected_area = 4200.0 * 2.0 + 3360.0;
+        assert!((report.area_um2 - expected_area).abs() < 1e-9);
+        assert_eq!(report.jj_count, 17 + 12 + 10);
+        assert!((report.power_uw - (0.026 * 2.0 + 0.0455)).abs() < 1e-9);
+        assert!(report.latency_ps > 0.0);
+        assert!(report.to_string().contains("depth 2"));
+    }
+
+    #[test]
+    fn seven_input_or_matches_table_three_row() {
+        // Table III: "OR GATE 7 INPUTS" has logical depth 3 and area 38,640 um^2
+        // (6 OR2 cells + 4 path-balancing DFFs).
+        let lib = CellLibrary::ersfq();
+        let mut b = NetlistBuilder::new("or7");
+        let inputs: Vec<_> = (0..7).map(|i| b.input(format!("i{i}"))).collect();
+        let out = b.or_tree(&inputs);
+        b.output("out", out);
+        let report = synthesize(&b.build().unwrap(), &lib);
+        assert_eq!(report.logical_depth, 3);
+        assert_eq!(report.count_of(CellType::Or2), 6);
+        // The odd input needs DFF padding before it joins the tree.
+        assert!(report.count_of(CellType::DroDff) >= 1);
+        assert!(report.area_um2 >= 6.0 * 4200.0);
+    }
+
+    #[test]
+    fn latency_grows_with_depth() {
+        let lib = CellLibrary::ersfq();
+        let mut shallow = NetlistBuilder::new("shallow");
+        let a = shallow.input("a");
+        let b2 = shallow.input("b");
+        let o = shallow.and2(a, b2);
+        shallow.output("o", o);
+        let shallow_report = synthesize(&shallow.build().unwrap(), &lib);
+
+        let mut deep = NetlistBuilder::new("deep");
+        let a = deep.input("a");
+        let b2 = deep.input("b");
+        let mut o = deep.and2(a, b2);
+        for _ in 0..4 {
+            o = deep.not(o);
+        }
+        deep.output("o", o);
+        let deep_report = synthesize(&deep.build().unwrap(), &lib);
+        assert!(deep_report.latency_ps > shallow_report.latency_ps);
+        assert_eq!(deep_report.logical_depth, 5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the SFQ netlist and synthesis machinery.
+
+use nisqplus_sfq::cell::{CellLibrary, CellType};
+use nisqplus_sfq::netlist::{NetId, NetlistBuilder};
+use nisqplus_sfq::synth::{path_balance, synthesize};
+use proptest::prelude::*;
+
+/// Builds a random layered netlist from a compact recipe: each entry picks a
+/// cell type and two (wrapped) indices into the list of already-available
+/// nets.
+fn build_random_netlist(num_inputs: usize, recipe: &[(u8, usize, usize)]) -> nisqplus_sfq::Netlist {
+    let mut builder = NetlistBuilder::new("random");
+    let mut nets: Vec<NetId> = (0..num_inputs).map(|i| builder.input(format!("i{i}"))).collect();
+    for &(cell, a, b) in recipe {
+        let x = nets[a % nets.len()];
+        let y = nets[b % nets.len()];
+        let out = match cell % 4 {
+            0 => builder.and2(x, y),
+            1 => builder.or2(x, y),
+            2 => builder.xor2(x, y),
+            _ => builder.not(x),
+        };
+        nets.push(out);
+    }
+    let last = *nets.last().unwrap();
+    builder.output("out", last);
+    // Also expose a second output from the middle of the circuit so that
+    // output balancing is exercised.
+    builder.output("mid", nets[nets.len() / 2]);
+    builder.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Path balancing always establishes full path balance, never changes the
+    /// logical depth, and never removes logic gates.
+    #[test]
+    fn path_balancing_invariants(
+        num_inputs in 2usize..6,
+        recipe in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..24),
+    ) {
+        let netlist = build_random_netlist(num_inputs, &recipe);
+        let balanced = path_balance(&netlist);
+        prop_assert!(balanced.is_path_balanced());
+        prop_assert_eq!(balanced.logical_depth(), netlist.logical_depth());
+        for cell in [CellType::And2, CellType::Or2, CellType::Xor2, CellType::Not] {
+            prop_assert_eq!(balanced.count_cells(cell), netlist.count_cells(cell));
+        }
+        prop_assert!(balanced.count_cells(CellType::DroDff) >= netlist.count_cells(CellType::DroDff));
+    }
+
+    /// Synthesis totals are consistent: area, JJ count and power all equal the
+    /// sum over the reported per-cell counts.
+    #[test]
+    fn synthesis_totals_are_sums_over_cells(
+        num_inputs in 2usize..5,
+        recipe in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..16),
+    ) {
+        let library = CellLibrary::ersfq();
+        let netlist = build_random_netlist(num_inputs, &recipe);
+        let report = synthesize(&netlist, &library);
+        let mut area = 0.0;
+        let mut jj = 0u64;
+        let mut power = 0.0;
+        for &(cell, count) in &report.cell_counts {
+            let spec = library.spec(cell);
+            area += spec.area_um2 * count as f64;
+            jj += u64::from(spec.jj_count) * count as u64;
+            power += spec.power_uw * count as f64;
+        }
+        prop_assert!((report.area_um2 - area).abs() < 1e-6);
+        prop_assert_eq!(report.jj_count, jj);
+        prop_assert!((report.power_uw - power).abs() < 1e-9);
+        // Latency is bounded by depth * (slowest cell + overhead).
+        let max_stage = 9.2 + library.stage_overhead_ps();
+        prop_assert!(report.latency_ps <= report.logical_depth as f64 * max_stage + 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fitting the logical-error-rate scaling model of Section VIII.
+//!
+//! The achievable error rates of an ideal surface-code decoder scale as
+//! `PL ≈ 0.03 (p / pth)^(d/2)` [Fowler et al.]; the paper quantifies its
+//! approximation by fitting `PL ≈ c1 (p / pth)^(c2 · d)` to the measured
+//! curves and reporting the `c2` values (Table V).  A `c2` of 0.5 would be
+//! an ideal decoder; smaller values capture the accuracy the hardware trades
+//! away for speed.
+
+use crate::threshold::ErrorRateCurve;
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `PL ≈ c1 (p/pth)^(c2 d)` to one curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFit {
+    /// The code distance the fit was performed for.
+    pub distance: usize,
+    /// The threshold value `pth` used to normalise the physical error rate.
+    pub pth: f64,
+    /// Fitted prefactor `c1`.
+    pub c1: f64,
+    /// Fitted effective-distance factor `c2`.
+    pub c2: f64,
+    /// Number of points used in the fit.
+    pub points_used: usize,
+}
+
+impl ScalingFit {
+    /// Predicts the logical error rate at a physical error rate `p`.
+    #[must_use]
+    pub fn predict(&self, p: f64) -> f64 {
+        self.c1 * (p / self.pth).powf(self.c2 * self.distance as f64)
+    }
+}
+
+/// Least-squares linear regression through `(x, y)` points; returns
+/// `(intercept, slope)`.
+fn linear_regression(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-15 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((intercept, slope))
+}
+
+/// Fits the scaling model to the sub-threshold portion of a measured curve.
+///
+/// Only points with `p < pth` and a non-zero measured logical error rate are
+/// used (the model is linear in log-log space there).  Returns `None` when
+/// fewer than two usable points remain.
+#[must_use]
+pub fn fit_scaling_exponent(curve: &ErrorRateCurve, pth: f64) -> Option<ScalingFit> {
+    let log_points: Vec<(f64, f64)> = curve
+        .points
+        .iter()
+        .filter(|pt| pt.physical < pth && pt.logical > 0.0)
+        .map(|pt| ((pt.physical / pth).ln(), pt.logical.ln()))
+        .collect();
+    let (intercept, slope) = linear_regression(&log_points)?;
+    Some(ScalingFit {
+        distance: curve.distance,
+        pth,
+        c1: intercept.exp(),
+        c2: slope / curve.distance as f64,
+        points_used: log_points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ErrorRatePoint;
+
+    fn model_curve(distance: usize, c1: f64, c2: f64, pth: f64) -> ErrorRateCurve {
+        let points = (1..=20)
+            .map(|i| {
+                let p = pth * i as f64 / 22.0;
+                ErrorRatePoint {
+                    physical: p,
+                    logical: c1 * (p / pth).powf(c2 * distance as f64),
+                    trials: 100_000,
+                }
+            })
+            .collect();
+        ErrorRateCurve { distance, points }
+    }
+
+    #[test]
+    fn recovers_known_exponent() {
+        for (d, c2) in [(3, 0.65), (5, 0.43), (7, 0.31), (9, 0.32)] {
+            let curve = model_curve(d, 0.05, c2, 0.05);
+            let fit = fit_scaling_exponent(&curve, 0.05).unwrap();
+            assert!((fit.c2 - c2).abs() < 1e-6, "d={d}: fitted {} expected {c2}", fit.c2);
+            assert!((fit.c1 - 0.05).abs() < 1e-6);
+            assert_eq!(fit.distance, d);
+        }
+    }
+
+    #[test]
+    fn prediction_matches_the_model() {
+        let curve = model_curve(5, 0.03, 0.5, 0.05);
+        let fit = fit_scaling_exponent(&curve, 0.05).unwrap();
+        let expected = 0.03 * (0.01f64 / 0.05).powf(0.5 * 5.0);
+        assert!((fit.predict(0.01) - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn too_few_points_returns_none() {
+        let curve = ErrorRateCurve {
+            distance: 3,
+            points: vec![ErrorRatePoint { physical: 0.01, logical: 0.001, trials: 10 }],
+        };
+        assert!(fit_scaling_exponent(&curve, 0.05).is_none());
+    }
+
+    #[test]
+    fn zero_logical_rates_are_skipped() {
+        let mut curve = model_curve(3, 0.05, 0.5, 0.05);
+        curve.points[0].logical = 0.0;
+        curve.points[1].logical = 0.0;
+        let fit = fit_scaling_exponent(&curve, 0.05).unwrap();
+        assert_eq!(fit.points_used, curve.points.len() - 2);
+    }
+
+    #[test]
+    fn regression_degenerate_input() {
+        assert!(linear_regression(&[]).is_none());
+        assert!(linear_regression(&[(1.0, 1.0)]).is_none());
+        assert!(linear_regression(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+}

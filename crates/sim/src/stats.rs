@@ -1,0 +1,156 @@
+//! Summary statistics, histograms and confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population form, as the paper reports).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample; returns an all-zero summary for an
+    /// empty sample.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { count, mean, std_dev: variance.sqrt(), min, max }
+    }
+
+    /// Computes the summary of an integer-valued sample.
+    #[must_use]
+    pub fn of_counts(samples: &[usize]) -> Summary {
+        let as_f64: Vec<f64> = samples.iter().map(|&c| c as f64).collect();
+        Summary::of(&as_f64)
+    }
+}
+
+/// A fixed-width histogram over `[0, max)` with `bins` bins.
+///
+/// Returns `(bin_edges, densities)` where densities are normalised so they
+/// sum to 1 (an estimated probability mass per bin), matching the truncated
+/// probability-density plots of Figure 10(c).
+#[must_use]
+pub fn histogram(samples: &[f64], bins: usize, max: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(max > 0.0, "histogram range must be positive");
+    let width = max / bins as f64;
+    let edges: Vec<f64> = (0..=bins).map(|i| i as f64 * width).collect();
+    let mut counts = vec![0usize; bins];
+    let mut total = 0usize;
+    for &s in samples {
+        if s >= 0.0 && s < max {
+            let bin = ((s / width) as usize).min(bins - 1);
+            counts[bin] += 1;
+            total += 1;
+        }
+    }
+    let densities = counts
+        .iter()
+        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .collect();
+    (edges, densities)
+}
+
+/// The 95% Wilson score interval for a binomial proportion.
+#[must_use]
+pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96_f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_counts_matches_float_version() {
+        let a = Summary::of_counts(&[2, 4, 6]);
+        let b = Summary::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_densities_sum_to_one() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let (edges, dens) = histogram(&samples, 5, 10.0);
+        assert_eq!(edges.len(), 6);
+        assert_eq!(dens.len(), 5);
+        let sum: f64 = dens.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Uniform data -> roughly uniform bins.
+        for &d in &dens {
+            assert!((d - 0.2).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn histogram_ignores_out_of_range_samples() {
+        let (_, dens) = histogram(&[1.0, 2.0, 100.0, -5.0], 2, 10.0);
+        let sum: f64 = dens.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = histogram(&[1.0], 0, 10.0);
+    }
+
+    #[test]
+    fn wilson_interval_behaviour() {
+        let (lo, hi) = wilson_interval(0, 100);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.05);
+        let (lo, hi) = wilson_interval(100, 100);
+        assert!(lo > 0.95);
+        assert!(hi > 0.999);
+        let (lo, hi) = wilson_interval(0, 0);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && hi > 0.5);
+    }
+}

@@ -1,0 +1,236 @@
+//! Logical-error-rate curves, pseudo-thresholds and the accuracy threshold.
+//!
+//! The paper evaluates its decoder with two metrics (Section VII):
+//!
+//! * the **accuracy threshold** — the physical error rate below which
+//!   increasing the code distance decreases the logical error rate (the
+//!   curves for different `d` cross there), and
+//! * the **pseudo-threshold** of each distance — the physical error rate at
+//!   which `PL = p` for that particular lattice.
+
+use crate::monte_carlo::{run_sfq_lifetime, MonteCarloConfig};
+use nisqplus_core::DecoderVariant;
+use nisqplus_qec::error_model::PureDephasing;
+use nisqplus_qec::lattice::Lattice;
+use nisqplus_qec::QecError;
+use serde::{Deserialize, Serialize};
+
+/// One point of a logical-error-rate curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRatePoint {
+    /// Physical error rate `p`.
+    pub physical: f64,
+    /// Measured logical error rate `PL`.
+    pub logical: f64,
+    /// Number of Monte-Carlo trials behind the estimate.
+    pub trials: usize,
+}
+
+/// A logical-error-rate curve for one code distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRateCurve {
+    /// The code distance.
+    pub distance: usize,
+    /// Points ordered by increasing physical error rate.
+    pub points: Vec<ErrorRatePoint>,
+}
+
+impl ErrorRateCurve {
+    /// Measures a curve for the SFQ decoder under pure dephasing noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the distance or any physical error rate is invalid.
+    pub fn measure(
+        distance: usize,
+        physical_rates: &[f64],
+        trials_per_point: usize,
+        variant: DecoderVariant,
+        seed: u64,
+    ) -> Result<Self, QecError> {
+        let lattice = Lattice::new(distance)?;
+        let mut points = Vec::with_capacity(physical_rates.len());
+        for (i, &p) in physical_rates.iter().enumerate() {
+            let model = PureDephasing::new(p)?;
+            let config = MonteCarloConfig::new(trials_per_point).with_seed(seed ^ (i as u64) << 32);
+            let result = run_sfq_lifetime(&lattice, &model, &config, variant);
+            points.push(ErrorRatePoint {
+                physical: p,
+                logical: result.logical_error_rate(),
+                trials: trials_per_point,
+            });
+        }
+        points.sort_by(|a, b| a.physical.total_cmp(&b.physical));
+        Ok(ErrorRateCurve { distance, points })
+    }
+
+    /// Interpolates the logical error rate at an arbitrary physical rate
+    /// (linear interpolation between the nearest measured points).
+    #[must_use]
+    pub fn logical_at(&self, physical: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if physical <= pts[0].physical {
+            return Some(pts[0].logical);
+        }
+        if physical >= pts[pts.len() - 1].physical {
+            return Some(pts[pts.len() - 1].logical);
+        }
+        for w in pts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if (a.physical..=b.physical).contains(&physical) {
+                let t = (physical - a.physical) / (b.physical - a.physical);
+                return Some(a.logical + t * (b.logical - a.logical));
+            }
+        }
+        None
+    }
+}
+
+/// Estimates the pseudo-threshold of a curve: the physical error rate where
+/// `PL = p`.
+///
+/// Returns `None` when the curve never crosses the `PL = p` diagonal inside
+/// the measured range.
+#[must_use]
+pub fn pseudo_threshold(curve: &ErrorRateCurve) -> Option<f64> {
+    let mut prev: Option<&ErrorRatePoint> = None;
+    for point in &curve.points {
+        let diff = point.logical - point.physical;
+        if let Some(p) = prev {
+            let prev_diff = p.logical - p.physical;
+            if prev_diff <= 0.0 && diff >= 0.0 && (diff - prev_diff).abs() > f64::EPSILON {
+                // Linear interpolation of the crossing.
+                let t = -prev_diff / (diff - prev_diff);
+                return Some(p.physical + t * (point.physical - p.physical));
+            }
+            if prev_diff <= 0.0 && diff <= 0.0 {
+                // still below the diagonal
+            }
+        }
+        prev = Some(point);
+    }
+    // The curve may sit entirely below the diagonal (pseudo-threshold above
+    // the measured range) or entirely above it (no pseudo-threshold).
+    None
+}
+
+/// Estimates the accuracy threshold from a family of curves at different code
+/// distances: the physical error rate at which increasing the distance stops
+/// helping, estimated as the average pairwise crossing point of consecutive
+/// distances.
+///
+/// Returns `None` if fewer than two curves are given or no crossings are
+/// found in the measured range.
+#[must_use]
+pub fn accuracy_threshold(curves: &[ErrorRateCurve]) -> Option<f64> {
+    if curves.len() < 2 {
+        return None;
+    }
+    let mut sorted: Vec<&ErrorRateCurve> = curves.iter().collect();
+    sorted.sort_by_key(|c| c.distance);
+    let mut crossings = Vec::new();
+    for pair in sorted.windows(2) {
+        let (small, large) = (pair[0], pair[1]);
+        // Scan the overlapping physical range for the point where the larger
+        // distance stops outperforming the smaller one.
+        let mut prev: Option<(f64, f64)> = None;
+        for point in &small.points {
+            let p = point.physical;
+            let Some(pl_large) = large.logical_at(p) else { continue };
+            let diff = pl_large - point.logical;
+            if let Some((prev_p, prev_diff)) = prev {
+                if prev_diff <= 0.0 && diff > 0.0 {
+                    let t = -prev_diff / (diff - prev_diff);
+                    crossings.push(prev_p + t * (p - prev_p));
+                    break;
+                }
+            }
+            prev = Some((p, diff));
+        }
+    }
+    if crossings.is_empty() {
+        None
+    } else {
+        Some(crossings.iter().sum::<f64>() / crossings.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_curve(distance: usize, pth: f64, c2: f64) -> ErrorRateCurve {
+        // PL = 0.1 * (p / pth)^(c2 * d), the paper's scaling model.
+        let points = (1..=12)
+            .map(|i| {
+                let p = 0.01 * i as f64;
+                ErrorRatePoint {
+                    physical: p,
+                    logical: (0.1 * (p / pth).powf(c2 * distance as f64)).min(0.6),
+                    trials: 1000,
+                }
+            })
+            .collect();
+        ErrorRateCurve { distance, points }
+    }
+
+    #[test]
+    fn pseudo_threshold_of_synthetic_curve() {
+        let curve = synthetic_curve(5, 0.05, 0.4);
+        let pt = pseudo_threshold(&curve).expect("curve crosses the diagonal");
+        assert!(pt > 0.01 && pt < 0.08, "pseudo-threshold {pt}");
+        // Below the pseudo-threshold the code helps.
+        assert!(curve.logical_at(pt * 0.5).unwrap() < pt * 0.5);
+    }
+
+    #[test]
+    fn accuracy_threshold_is_near_the_model_pth() {
+        let curves: Vec<ErrorRateCurve> =
+            [3, 5, 7, 9].iter().map(|&d| synthetic_curve(d, 0.05, 0.4)).collect();
+        let th = accuracy_threshold(&curves).expect("curves cross");
+        assert!((th - 0.05).abs() < 0.01, "threshold {th}");
+    }
+
+    #[test]
+    fn accuracy_threshold_requires_two_curves() {
+        let curve = synthetic_curve(3, 0.05, 0.4);
+        assert!(accuracy_threshold(&[curve]).is_none());
+    }
+
+    #[test]
+    fn interpolation_is_monotone_on_monotone_data() {
+        let curve = synthetic_curve(3, 0.05, 0.5);
+        let a = curve.logical_at(0.021).unwrap();
+        let b = curve.logical_at(0.029).unwrap();
+        assert!(a < b);
+        assert_eq!(curve.logical_at(0.0001), Some(curve.points[0].logical));
+    }
+
+    #[test]
+    fn measured_curve_is_monotone_enough_at_small_sizes() {
+        // A quick end-to-end check of the measurement pipeline with few trials.
+        let curve = ErrorRateCurve::measure(
+            3,
+            &[0.01, 0.05, 0.12],
+            300,
+            DecoderVariant::Final,
+            11,
+        )
+        .unwrap();
+        assert_eq!(curve.points.len(), 3);
+        assert!(curve.points[0].logical <= curve.points[2].logical);
+    }
+
+    #[test]
+    fn pseudo_threshold_none_when_always_above_diagonal() {
+        // A hopeless decoder whose PL is always far above p.
+        let points = (1..=5)
+            .map(|i| ErrorRatePoint { physical: 0.01 * i as f64, logical: 0.5, trials: 10 })
+            .collect();
+        let curve = ErrorRateCurve { distance: 3, points };
+        assert!(pseudo_threshold(&curve).is_none());
+    }
+}

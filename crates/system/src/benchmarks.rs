@@ -1,0 +1,237 @@
+//! The quantum benchmark circuits of Table I.
+//!
+//! The paper's execution-time analysis (Figure 6) runs five Clifford+T
+//! subroutines drawn from Barenco et al.'s elementary-gate constructions:
+//! two reversible adders (Cuccaro and Takahashi) and three multi-controlled
+//! NOT constructions.  For the backlog analysis only the *schedule* of gates
+//! matters — how many gates there are and where the T gates fall — so each
+//! benchmark is represented by its gate counts plus a generated gate sequence
+//! with the T gates spread through the circuit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical gate in a Clifford+T schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogicalGate {
+    /// Any Clifford gate: commutes with the Pauli frame, never blocks on the decoder.
+    Clifford,
+    /// A T gate: requires the Pauli frame (and hence all outstanding
+    /// syndromes) to be resolved before it can execute.
+    T,
+}
+
+/// A benchmark circuit characterised by its gate counts (one row of Table I).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkCircuit {
+    name: String,
+    qubits: usize,
+    total_gates: usize,
+    t_gates: usize,
+}
+
+impl BenchmarkCircuit {
+    /// Creates a benchmark from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_gates > total_gates`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, qubits: usize, total_gates: usize, t_gates: usize) -> Self {
+        assert!(t_gates <= total_gates, "a circuit cannot have more T gates than gates");
+        BenchmarkCircuit { name: name.into(), qubits, total_gates, t_gates }
+    }
+
+    /// The Takahashi adder (optimised reversible adder): 40 qubits, 740 gates, 266 T gates.
+    #[must_use]
+    pub fn takahashi_adder() -> Self {
+        BenchmarkCircuit::new("takahashi adder", 40, 740, 266)
+    }
+
+    /// The Barenco half-dirty multi-control Toffoli: 39 qubits, 1224 gates, 504 T gates.
+    #[must_use]
+    pub fn barenco_half_dirty_toffoli() -> Self {
+        BenchmarkCircuit::new("barenco half dirty toffoli", 39, 1224, 504)
+    }
+
+    /// The multi-control Toffoli with O(n) dirty ancillas: 37 qubits, 1156 gates, 476 T gates.
+    #[must_use]
+    pub fn cnu_half_borrowed() -> Self {
+        BenchmarkCircuit::new("cnu half borrowed", 37, 1156, 476)
+    }
+
+    /// The logarithmic-depth multi-control NOT: 39 qubits, 629 gates, 259 T gates.
+    #[must_use]
+    pub fn cnx_log_depth() -> Self {
+        BenchmarkCircuit::new("cnx log depth", 39, 629, 259)
+    }
+
+    /// The Cuccaro linear-depth adder: 42 qubits, 821 gates, 280 T gates.
+    #[must_use]
+    pub fn cuccaro_adder() -> Self {
+        BenchmarkCircuit::new("cuccaro adder", 42, 821, 280)
+    }
+
+    /// The 100-qubit multiply-controlled NOT used in the Section III example:
+    /// roughly 2356 gates of which 686 are T gates after decomposition.
+    #[must_use]
+    pub fn multiply_controlled_not_100() -> Self {
+        BenchmarkCircuit::new("multiply-controlled not (100 qubits)", 100, 2356, 686)
+    }
+
+    /// The benchmark's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of logical qubits the benchmark uses.
+    #[must_use]
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// The total gate count.
+    #[must_use]
+    pub fn total_gates(&self) -> usize {
+        self.total_gates
+    }
+
+    /// The T-gate count.
+    #[must_use]
+    pub fn t_gates(&self) -> usize {
+        self.t_gates
+    }
+
+    /// The fraction of gates that are T gates.
+    #[must_use]
+    pub fn t_fraction(&self) -> f64 {
+        if self.total_gates == 0 {
+            0.0
+        } else {
+            self.t_gates as f64 / self.total_gates as f64
+        }
+    }
+
+    /// Generates a gate schedule with the benchmark's counts, spreading the T
+    /// gates as evenly as possible through the circuit.
+    #[must_use]
+    pub fn gate_sequence(&self) -> Vec<LogicalGate> {
+        let mut sequence = Vec::with_capacity(self.total_gates);
+        if self.total_gates == 0 {
+            return sequence;
+        }
+        let mut t_emitted = 0usize;
+        for i in 0..self.total_gates {
+            // Emit a T gate whenever the running T fraction falls behind.
+            let target = (i + 1) * self.t_gates / self.total_gates;
+            if t_emitted < target {
+                sequence.push(LogicalGate::T);
+                t_emitted += 1;
+            } else {
+                sequence.push(LogicalGate::Clifford);
+            }
+        }
+        // Fix up any rounding shortfall at the end of the schedule.
+        let mut idx = self.total_gates;
+        while t_emitted < self.t_gates && idx > 0 {
+            idx -= 1;
+            if sequence[idx] == LogicalGate::Clifford {
+                sequence[idx] = LogicalGate::T;
+                t_emitted += 1;
+            }
+        }
+        sequence
+    }
+}
+
+impl fmt::Display for BenchmarkCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} gates, {} T gates)",
+            self.name, self.qubits, self.total_gates, self.t_gates
+        )
+    }
+}
+
+/// The five benchmarks of Table I, in the paper's order.
+#[must_use]
+pub fn standard_benchmarks() -> Vec<BenchmarkCircuit> {
+    vec![
+        BenchmarkCircuit::takahashi_adder(),
+        BenchmarkCircuit::barenco_half_dirty_toffoli(),
+        BenchmarkCircuit::cnu_half_borrowed(),
+        BenchmarkCircuit::cnx_log_depth(),
+        BenchmarkCircuit::cuccaro_adder(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_counts_are_reproduced() {
+        let expected = [
+            ("takahashi adder", 40, 740, 266),
+            ("barenco half dirty toffoli", 39, 1224, 504),
+            ("cnu half borrowed", 37, 1156, 476),
+            ("cnx log depth", 39, 629, 259),
+            ("cuccaro adder", 42, 821, 280),
+        ];
+        let benchmarks = standard_benchmarks();
+        assert_eq!(benchmarks.len(), expected.len());
+        for (bench, (name, qubits, gates, t)) in benchmarks.iter().zip(expected) {
+            assert_eq!(bench.name(), name);
+            assert_eq!(bench.qubits(), qubits);
+            assert_eq!(bench.total_gates(), gates);
+            assert_eq!(bench.t_gates(), t);
+        }
+    }
+
+    #[test]
+    fn gate_sequence_has_exact_counts() {
+        for bench in standard_benchmarks() {
+            let sequence = bench.gate_sequence();
+            assert_eq!(sequence.len(), bench.total_gates());
+            let t_count = sequence.iter().filter(|g| **g == LogicalGate::T).count();
+            assert_eq!(t_count, bench.t_gates(), "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn t_gates_are_spread_out() {
+        let bench = BenchmarkCircuit::cuccaro_adder();
+        let sequence = bench.gate_sequence();
+        // No prefix of the schedule should contain a wildly disproportionate
+        // share of the T gates.
+        let half: usize = sequence[..sequence.len() / 2]
+            .iter()
+            .filter(|g| **g == LogicalGate::T)
+            .count();
+        let ratio = half as f64 / bench.t_gates() as f64;
+        assert!((0.4..=0.6).contains(&ratio), "half-point T ratio {ratio}");
+    }
+
+    #[test]
+    fn section_three_example_counts() {
+        let mcx = BenchmarkCircuit::multiply_controlled_not_100();
+        assert_eq!(mcx.qubits(), 100);
+        assert_eq!(mcx.t_gates(), 686);
+        assert!(mcx.t_fraction() > 0.25 && mcx.t_fraction() < 0.35);
+    }
+
+    #[test]
+    fn display_formats_counts() {
+        let s = BenchmarkCircuit::takahashi_adder().to_string();
+        assert!(s.contains("takahashi"));
+        assert!(s.contains("740"));
+    }
+
+    #[test]
+    #[should_panic(expected = "more T gates")]
+    fn invalid_counts_panic() {
+        let _ = BenchmarkCircuit::new("bad", 1, 5, 6);
+    }
+}

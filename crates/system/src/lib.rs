@@ -1,0 +1,34 @@
+//! System-level analysis for the NISQ+ reproduction.
+//!
+//! Beyond raw decoding accuracy, the paper's argument is a *system* argument:
+//! a decoder slower than syndrome generation creates an exponentially growing
+//! backlog (Section III), which inflates the effective code distance other
+//! decoders need (Figure 11) and caps the computation a near-term machine can
+//! perform; a fast online decoder avoids the backlog and expands the Simple
+//! Quantum Volume by thousands of times (Figure 1).  This crate implements
+//! those analyses:
+//!
+//! * [`backlog`] — the exponential-backlog execution-time model and a
+//!   discrete-event queue simulation that validates it (Figures 5 and 6),
+//! * [`benchmarks`] — the quantum benchmark circuits of Table I,
+//! * [`sqv`] — Simple Quantum Volume accounting and the Figure 1 expansion
+//!   factors,
+//! * [`comparison`] — required code distance across decoders with and
+//!   without backlog (Figure 11),
+//! * [`refrigerator`] — cryogenic feasibility of the decoder mesh.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backlog;
+pub mod benchmarks;
+pub mod comparison;
+pub mod refrigerator;
+pub mod sqv;
+
+pub use backlog::{BacklogModel, BacklogSimulation, ExecutionTimeline};
+pub use benchmarks::{standard_benchmarks, BenchmarkCircuit};
+pub use comparison::{required_code_distance, DecoderProfile};
+pub use refrigerator::cooling_feasibility;
+pub use sqv::{SqvAnalysis, SqvPoint};

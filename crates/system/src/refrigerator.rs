@@ -1,0 +1,90 @@
+//! Cryogenic feasibility of the decoder mesh (Section VIII).
+//!
+//! The decoder sits inside the dilution refrigerator, above the quantum chip,
+//! so its total area and power must fit the budget of the 4 K stage.  This
+//! module combines the synthesized module characterisation from
+//! `nisqplus-core` with the refrigerator budgets from `nisqplus-sfq` into a
+//! single feasibility report.
+
+use nisqplus_core::DecoderModuleHardware;
+use nisqplus_sfq::report::{logical_qubits_supported, protected_distance, MeshReport, RefrigeratorBudget};
+use serde::{Deserialize, Serialize};
+
+/// Feasibility of hosting a decoder mesh in a refrigerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// The mesh protecting a single patch of the requested code distance.
+    pub patch_mesh: MeshReport,
+    /// Whether that mesh fits the budget.
+    pub patch_fits: bool,
+    /// The largest square mesh the budget can host.
+    pub max_mesh_side: usize,
+    /// The code distance a single logical qubit could use on that mesh.
+    pub max_protected_distance: usize,
+    /// How many distance-5 logical qubits that mesh could protect instead.
+    pub logical_qubits_at_d5: usize,
+}
+
+/// Evaluates whether the decoder mesh for a distance-`d` patch fits a
+/// refrigerator budget, and how far the budget could be pushed.
+#[must_use]
+pub fn cooling_feasibility(
+    hardware: &DecoderModuleHardware,
+    distance: usize,
+    budget: &RefrigeratorBudget,
+) -> FeasibilityReport {
+    let patch_mesh = hardware.mesh_for_distance(distance);
+    let max_side = hardware.max_mesh_side(budget);
+    FeasibilityReport {
+        patch_fits: patch_mesh.fits(budget),
+        patch_mesh,
+        max_mesh_side: max_side,
+        max_protected_distance: protected_distance(max_side),
+        logical_qubits_at_d5: logical_qubits_supported(max_side * max_side, 5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_nine_patch_fits_a_typical_refrigerator() {
+        let hw = DecoderModuleHardware::ersfq();
+        let report = cooling_feasibility(&hw, 9, &RefrigeratorBudget::typical());
+        assert_eq!(report.patch_mesh.modules, 289);
+        assert!(report.patch_fits, "a d=9 patch must fit the 1 W budget");
+    }
+
+    #[test]
+    fn budget_limits_scale_as_in_the_paper() {
+        // Paper: a 1-2 W budget hosts a mesh of roughly 87x87 modules, which
+        // protects one logical qubit of d ~ 44 or about 100 qubits at d = 5.
+        let hw = DecoderModuleHardware::ersfq();
+        let report = cooling_feasibility(&hw, 9, &RefrigeratorBudget::typical());
+        assert!(
+            (60..=130).contains(&report.max_mesh_side),
+            "max mesh side {}",
+            report.max_mesh_side
+        );
+        assert!(
+            (30..=70).contains(&report.max_protected_distance),
+            "protected distance {}",
+            report.max_protected_distance
+        );
+        assert!(
+            report.logical_qubits_at_d5 >= 40,
+            "d=5 packing {}",
+            report.logical_qubits_at_d5
+        );
+    }
+
+    #[test]
+    fn generous_budget_is_never_worse() {
+        let hw = DecoderModuleHardware::ersfq();
+        let typical = cooling_feasibility(&hw, 9, &RefrigeratorBudget::typical());
+        let generous = cooling_feasibility(&hw, 9, &RefrigeratorBudget::generous());
+        assert!(generous.max_mesh_side >= typical.max_mesh_side);
+        assert!(generous.logical_qubits_at_d5 >= typical.logical_qubits_at_d5);
+    }
+}

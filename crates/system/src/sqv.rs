@@ -1,0 +1,233 @@
+//! Simple Quantum Volume accounting (Figure 1 and the Section VIII analysis).
+//!
+//! The paper defines the Simple Quantum Volume as the number of computational
+//! qubits times the number of gates each can execute before an error is
+//! expected.  A bare NISQ machine with physical error rate `p` can run about
+//! `1/p` gates per qubit; encoding with the surface code and decoding online
+//! pushes the per-gate error down to `PL ≈ c1 (p/pth)^(c2 d)`, multiplying
+//! the achievable volume by thousands even after paying the qubit overhead of
+//! the encoding.
+
+use serde::{Deserialize, Serialize};
+
+/// The logical-error-rate scaling model `PL = c1 (p/pth)^(c2 d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Prefactor `c1`.
+    pub c1: f64,
+    /// Accuracy threshold `pth`.
+    pub pth: f64,
+    /// Effective-distance factor `c2`.
+    pub c2: f64,
+}
+
+impl ScalingModel {
+    /// The ideal-decoder model of Fowler et al.: `PL ≈ 0.03 (p/pth)^(d/2)`.
+    #[must_use]
+    pub fn ideal_mwpm() -> Self {
+        ScalingModel { c1: 0.03, pth: 0.103, c2: 0.5 }
+    }
+
+    /// The paper-calibrated model for the SFQ decoder at a given code
+    /// distance, using the Table V `c2` values and the ≈5% accuracy
+    /// threshold.  The prefactor is chosen so the d = 3 working point of
+    /// Section VIII (`PL = 2.94e-9` at `p = 1e-5`) is reproduced.
+    #[must_use]
+    pub fn sfq_paper(distance: usize) -> Self {
+        let c2 = match distance {
+            3 => 0.650,
+            5 => 0.429,
+            7 => 0.306,
+            _ => 0.323,
+        };
+        ScalingModel { c1: 0.048, pth: 0.05, c2 }
+    }
+
+    /// The logical error rate at physical error rate `p` and code distance `d`.
+    #[must_use]
+    pub fn logical_error_rate(&self, p: f64, distance: usize) -> f64 {
+        (self.c1 * (p / self.pth).powf(self.c2 * distance as f64)).min(1.0)
+    }
+}
+
+/// One machine configuration and its Simple Quantum Volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqvPoint {
+    /// Human-readable label of the configuration.
+    pub label: String,
+    /// Number of computational (logical or physical) qubits exposed.
+    pub qubits: usize,
+    /// Expected number of gates each qubit can execute before failure.
+    pub gates_per_qubit: f64,
+    /// The Simple Quantum Volume: qubits × gates per qubit.
+    pub sqv: f64,
+}
+
+/// The Figure 1 analysis: a physical machine versus AQEC-encoded machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SqvAnalysis {
+    /// Number of faulty physical qubits available.
+    pub physical_qubits: usize,
+    /// Physical error rate per gate.
+    pub physical_error_rate: f64,
+    /// The paper's "NISQ target" reference volume (10^5).
+    pub nisq_target_sqv: f64,
+}
+
+impl SqvAnalysis {
+    /// The machine of Figure 1: about a thousand physical qubits at `p = 1e-5`.
+    #[must_use]
+    pub fn near_term_machine() -> Self {
+        SqvAnalysis { physical_qubits: 1024, physical_error_rate: 1e-5, nisq_target_sqv: 1e5 }
+    }
+
+    /// Creates an analysis for an arbitrary machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the error rate is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(physical_qubits: usize, physical_error_rate: f64) -> Self {
+        assert!(
+            physical_error_rate > 0.0 && physical_error_rate <= 1.0,
+            "physical error rate must be in (0, 1]"
+        );
+        SqvAnalysis { physical_qubits, physical_error_rate, nisq_target_sqv: 1e5 }
+    }
+
+    /// The unencoded machine: every physical qubit computes until it fails.
+    #[must_use]
+    pub fn physical_machine(&self) -> SqvPoint {
+        let gates = 1.0 / self.physical_error_rate;
+        SqvPoint {
+            label: format!("{} physical qubits", self.physical_qubits),
+            qubits: self.physical_qubits,
+            gates_per_qubit: gates,
+            sqv: self.physical_qubits as f64 * gates,
+        }
+    }
+
+    /// An AQEC-encoded machine at code distance `d`.
+    ///
+    /// `qubits_per_logical` is the number of physical qubits consumed per
+    /// logical qubit (the paper uses the data-qubit count `d^2 + (d-1)^2`);
+    /// the volume follows the paper's convention of counting the total number
+    /// of logical gates executable before the first expected logical error,
+    /// `SQV = 1 / PL`.
+    #[must_use]
+    pub fn encoded_machine(
+        &self,
+        distance: usize,
+        model: &ScalingModel,
+        qubits_per_logical: usize,
+    ) -> SqvPoint {
+        let logical_qubits = self.physical_qubits / qubits_per_logical.max(1);
+        let pl = model.logical_error_rate(self.physical_error_rate, distance);
+        let sqv = if logical_qubits == 0 { 0.0 } else { 1.0 / pl };
+        let gates_per_qubit = if logical_qubits == 0 { 0.0 } else { sqv / logical_qubits as f64 };
+        SqvPoint {
+            label: format!("{logical_qubits} logical qubits at d={distance}"),
+            qubits: logical_qubits,
+            gates_per_qubit,
+            sqv,
+        }
+    }
+
+    /// The expansion factor of a configuration relative to the NISQ target.
+    #[must_use]
+    pub fn boost_factor(&self, point: &SqvPoint) -> f64 {
+        point.sqv / self.nisq_target_sqv
+    }
+}
+
+/// Physical qubits per logical qubit when only the data qubits of a planar
+/// patch are counted, as the paper's packing argument does.
+#[must_use]
+pub fn data_qubits_per_logical(distance: usize) -> usize {
+    distance * distance + (distance - 1) * (distance - 1)
+}
+
+/// Physical qubits per logical qubit for a full planar patch including
+/// ancillas, `(2d - 1)^2`.
+#[must_use]
+pub fn full_patch_qubits_per_logical(distance: usize) -> usize {
+    (2 * distance - 1) * (2 * distance - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_machine_matches_figure_one() {
+        let analysis = SqvAnalysis::near_term_machine();
+        let physical = analysis.physical_machine();
+        assert_eq!(physical.qubits, 1024);
+        assert!((physical.gates_per_qubit - 1e5).abs() < 1.0);
+        assert!((physical.sqv - 1.024e8).abs() / 1.024e8 < 1e-9);
+    }
+
+    #[test]
+    fn d3_working_point_matches_section_viii() {
+        let analysis = SqvAnalysis::near_term_machine();
+        let model = ScalingModel::sfq_paper(3);
+        let pl = model.logical_error_rate(1e-5, 3);
+        assert!(
+            (pl - 2.94e-9).abs() / 2.94e-9 < 0.25,
+            "PL at the d=3 working point is {pl:.3e}, paper quotes 2.94e-9"
+        );
+        let point = analysis.encoded_machine(3, &model, data_qubits_per_logical(3));
+        assert_eq!(point.qubits, 78, "paper packs 78 logical qubits at d=3");
+        let boost = analysis.boost_factor(&point);
+        assert!(
+            (2000.0..6000.0).contains(&boost),
+            "d=3 SQV boost {boost:.0} should be in the thousands (paper: 3402)"
+        );
+    }
+
+    #[test]
+    fn d5_boost_exceeds_d3_boost() {
+        let analysis = SqvAnalysis::near_term_machine();
+        let d3 = analysis.encoded_machine(3, &ScalingModel::sfq_paper(3), data_qubits_per_logical(3));
+        let d5 = analysis.encoded_machine(5, &ScalingModel::sfq_paper(5), data_qubits_per_logical(5));
+        assert!(
+            d5.sqv > d3.sqv,
+            "moving to d=5 must increase the volume further (paper: 3402 -> 11163)"
+        );
+        assert!(analysis.boost_factor(&d5) > 5000.0);
+    }
+
+    #[test]
+    fn scaling_model_is_monotone_in_distance_below_threshold() {
+        let model = ScalingModel::ideal_mwpm();
+        let p = 1e-3;
+        assert!(model.logical_error_rate(p, 5) < model.logical_error_rate(p, 3));
+        assert!(model.logical_error_rate(p, 7) < model.logical_error_rate(p, 5));
+        // Above threshold increasing the distance no longer helps, and the
+        // rate saturates at 1 once the exponent grows.
+        assert!(model.logical_error_rate(0.5, 5) >= model.logical_error_rate(0.5, 3));
+        assert_eq!(model.logical_error_rate(0.5, 21), 1.0);
+    }
+
+    #[test]
+    fn qubit_packing_helpers() {
+        assert_eq!(data_qubits_per_logical(3), 13);
+        assert_eq!(data_qubits_per_logical(5), 41);
+        assert_eq!(full_patch_qubits_per_logical(3), 25);
+        assert_eq!(full_patch_qubits_per_logical(9), 289);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn invalid_error_rate_panics() {
+        let _ = SqvAnalysis::new(100, 0.0);
+    }
+
+    #[test]
+    fn zero_logical_qubits_gives_zero_volume() {
+        let analysis = SqvAnalysis::new(10, 1e-4);
+        let point = analysis.encoded_machine(9, &ScalingModel::sfq_paper(9), 289);
+        assert_eq!(point.qubits, 0);
+        assert_eq!(point.sqv, 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! The motivation experiment of Section III: run the Table I benchmarks
+//! against a fast online decoder and a slow offline decoder and watch the
+//! exponential wall-clock blow-up (and its effect on the Simple Quantum
+//! Volume).
+//!
+//! Run with `cargo run --example backlog_demo`.
+
+use nisqplus_system::backlog::{BacklogModel, BacklogSimulation};
+use nisqplus_system::sqv::{data_qubits_per_logical, ScalingModel, SqvAnalysis};
+use nisqplus_system::standard_benchmarks;
+
+fn main() {
+    let syndrome_cycle_ns = BacklogModel::DEFAULT_SYNDROME_CYCLE_NS;
+    // The SFQ mesh decoder finishes in at most ~20 ns per round; a software
+    // decoder behind a cryostat link takes ~800 ns.
+    let online = BacklogModel::new(syndrome_cycle_ns, 20.0);
+    let offline = BacklogModel::new(syndrome_cycle_ns, 800.0);
+
+    println!(
+        "decoding ratios: online f = {:.3}, offline f = {:.1}",
+        online.ratio(),
+        offline.ratio()
+    );
+    println!();
+    println!("{:<30} {:>10} {:>18} {:>18}", "benchmark", "T gates", "online wall clock", "offline wall clock");
+    for bench in standard_benchmarks() {
+        let fast = BacklogSimulation::new(online).run(&bench);
+        let slow = BacklogSimulation::new(offline).run(&bench);
+        println!(
+            "{:<30} {:>10} {:>16.2} ms {:>18}",
+            bench.name(),
+            bench.t_gates(),
+            fast.wall_clock_s * 1e3,
+            if slow.wall_clock_s.is_finite() {
+                format!("{:.2e} s", slow.wall_clock_s)
+            } else {
+                "overflow".to_string()
+            }
+        );
+    }
+
+    println!();
+    println!("Effect on the Simple Quantum Volume of a 1,024-qubit machine at p = 1e-5:");
+    let analysis = SqvAnalysis::near_term_machine();
+    let physical = analysis.physical_machine();
+    let encoded =
+        analysis.encoded_machine(3, &ScalingModel::sfq_paper(3), data_qubits_per_logical(3));
+    println!("  bare physical machine:        SQV = {:.2e}", physical.sqv);
+    println!(
+        "  with online AQEC at d=3:      SQV = {:.2e} ({:.0}x the 1e5 NISQ target)",
+        encoded.sqv,
+        analysis.boost_factor(&encoded)
+    );
+    println!(
+        "  with a backlogged decoder the machine spends its lifetime idle, so none of that \
+         volume is usable."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a surface code, inject errors, decode them online with
+//! the SFQ mesh decoder, and verify that the logical state survived.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use nisqplus_core::SfqMeshDecoder;
+use nisqplus_decoders::Decoder;
+use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::logical::{classify_residual, LogicalState};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A distance-5 planar surface code: 41 data qubits, 40 ancillas.
+    let lattice = Lattice::new(5)?;
+    println!(
+        "surface code d=5: {} data qubits, {} ancilla qubits ({} total)",
+        lattice.num_data(),
+        lattice.num_ancillas(),
+        lattice.num_qubits()
+    );
+
+    // Pure dephasing noise at a 3% physical error rate, as in the paper's
+    // headline evaluation.
+    let channel = PureDephasing::new(0.03)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(2020);
+    let mut decoder = SfqMeshDecoder::final_design();
+
+    let mut successes = 0;
+    let cycles = 20;
+    for cycle in 1..=cycles {
+        let error = channel.sample(&lattice, &mut rng);
+        let syndrome = lattice.syndrome_of(&error);
+        let defects = lattice.defects(&syndrome, Sector::X);
+        let correction = decoder.decode(&lattice, &syndrome, Sector::X);
+        let outcome = classify_residual(&lattice, &error, correction.pauli_string(), Sector::X);
+        let stats = decoder.last_stats().expect("decode just ran");
+        println!(
+            "cycle {cycle:2}: {} error(s), {} detection event(s), decoded in {} mesh cycles \
+             ({:.2} ns) -> {outcome}",
+            error.weight(),
+            defects.len(),
+            stats.cycles,
+            stats.time_ns,
+        );
+        if outcome == LogicalState::Success {
+            successes += 1;
+        }
+    }
+    println!();
+    println!("{successes}/{cycles} cycles preserved the logical state.");
+    println!(
+        "Every decode finished in tens of nanoseconds — far below the ~400 ns it takes to \
+         generate the next round of syndromes, so no decoding backlog ever forms."
+    );
+    Ok(())
+}

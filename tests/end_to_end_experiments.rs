@@ -1,0 +1,73 @@
+//! End-to-end smoke tests of the experiment pipelines behind each table and
+//! figure, run at reduced trial counts so the whole suite stays fast.
+
+use nisqplus_core::DecoderVariant;
+use nisqplus_sim::fit::fit_scaling_exponent;
+use nisqplus_sim::threshold::{pseudo_threshold, ErrorRateCurve};
+use nisqplus_system::comparison::{required_code_distance, ComparisonSetup, DecoderProfile};
+use nisqplus_system::sqv::{data_qubits_per_logical, ScalingModel, SqvAnalysis};
+
+/// Figure 10 pipeline: the final design has a pseudo-threshold in the few-%
+/// range at d = 5, and the baseline design has none.
+#[test]
+fn figure10_pipeline_produces_a_pseudo_threshold() {
+    let rates = [0.01, 0.02, 0.03, 0.04, 0.05, 0.07, 0.09];
+    let final_curve =
+        ErrorRateCurve::measure(5, &rates, 3_000, DecoderVariant::Final, 0xAB).unwrap();
+    let pt = pseudo_threshold(&final_curve);
+    assert!(pt.is_some(), "final design must have a pseudo-threshold: {final_curve:?}");
+    let pt = pt.unwrap();
+    assert!((0.01..=0.09).contains(&pt), "pseudo-threshold {pt}");
+
+    let baseline_curve =
+        ErrorRateCurve::measure(5, &rates, 1_500, DecoderVariant::Baseline, 0xAC).unwrap();
+    // The baseline either has no pseudo-threshold or a dramatically worse one.
+    match pseudo_threshold(&baseline_curve) {
+        None => {}
+        Some(b) => assert!(b < pt, "baseline pseudo-threshold {b} should be below final {pt}"),
+    }
+}
+
+/// Table V pipeline: the fitted c2 of the final design is positive and below
+/// the ideal 0.5 at d >= 5 (the decoder is approximate).
+#[test]
+fn table5_pipeline_fits_a_sub_ideal_exponent() {
+    let rates = [0.02, 0.025, 0.03, 0.035, 0.04, 0.045];
+    let curve = ErrorRateCurve::measure(5, &rates, 6_000, DecoderVariant::Final, 0xF1).unwrap();
+    let fit = fit_scaling_exponent(&curve, 0.05).expect("enough sub-threshold points");
+    assert!(fit.c2 > 0.05, "c2 {} must be positive", fit.c2);
+    assert!(fit.c2 < 0.9, "c2 {} should reflect an approximate decoder", fit.c2);
+}
+
+/// Figure 1 pipeline: the SQV boost factors land in the paper's range.
+#[test]
+fn figure1_pipeline_reproduces_the_boost_range() {
+    let analysis = SqvAnalysis::near_term_machine();
+    let d3 = analysis.encoded_machine(3, &ScalingModel::sfq_paper(3), data_qubits_per_logical(3));
+    let d5 = analysis.encoded_machine(5, &ScalingModel::sfq_paper(5), data_qubits_per_logical(5));
+    let b3 = analysis.boost_factor(&d3);
+    let b5 = analysis.boost_factor(&d5);
+    assert!((1_000.0..=10_000.0).contains(&b3), "d=3 boost {b3}");
+    assert!((5_000.0..=40_000.0).contains(&b5), "d=5 boost {b5}");
+    assert!(b5 > b3);
+}
+
+/// Figure 11 pipeline: the online decoder needs far smaller code distances
+/// than any backlogged decoder across the sweep.
+#[test]
+fn figure11_pipeline_shows_the_code_distance_gap() {
+    let setup = ComparisonSetup::default();
+    for p in [1e-4, 1e-3] {
+        let sfq = required_code_distance(&DecoderProfile::sfq(5), p, &setup).unwrap();
+        for slow in [DecoderProfile::mwpm(), DecoderProfile::neural_network(), DecoderProfile::union_find()] {
+            let needed = required_code_distance(&slow, p, &setup).unwrap();
+            assert!(
+                needed >= 5 * sfq,
+                "{} needs d={needed} vs SFQ d={sfq} at p={p}",
+                slow.name
+            );
+        }
+        let free = required_code_distance(&DecoderProfile::mwpm_without_backlog(), p, &setup).unwrap();
+        assert!(free <= sfq + 2);
+    }
+}
