@@ -51,15 +51,30 @@ fn bench_decoder<D: Decoder>(
 
 fn decoder_benchmarks(c: &mut Criterion) {
     let distances = [3usize, 5, 7, 9];
-    bench_decoder(c, "sfq_mesh_signal_timing", SfqMeshDecoder::final_design(), &distances);
+    bench_decoder(
+        c,
+        "sfq_mesh_signal_timing",
+        SfqMeshDecoder::final_design(),
+        &distances,
+    );
     bench_decoder(
         c,
         "sfq_mesh_pulse_level",
         SfqMeshDecoder::final_design().with_execution_model(ExecutionModel::PulseLevel),
         &[3, 5, 7],
     );
-    bench_decoder(c, "mwpm_exact_matching", ExactMatchingDecoder::new(), &distances);
-    bench_decoder(c, "greedy_matching", GreedyMatchingDecoder::new(), &distances);
+    bench_decoder(
+        c,
+        "mwpm_exact_matching",
+        ExactMatchingDecoder::new(),
+        &distances,
+    );
+    bench_decoder(
+        c,
+        "greedy_matching",
+        GreedyMatchingDecoder::new(),
+        &distances,
+    );
     bench_decoder(c, "union_find", UnionFindDecoder::new(), &distances);
 }
 
@@ -68,14 +83,18 @@ fn variant_benchmarks(c: &mut Criterion) {
     let (lattice, syndromes) = sample_syndromes(5, 0.05, 64);
     for variant in DecoderVariant::ALL {
         let mut decoder = SfqMeshDecoder::new(variant);
-        group.bench_with_input(BenchmarkId::from_parameter(variant.label()), &variant, |b, _| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let syndrome = &syndromes[i % syndromes.len()];
-                i += 1;
-                decoder.decode(&lattice, syndrome, Sector::X)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let syndrome = &syndromes[i % syndromes.len()];
+                    i += 1;
+                    decoder.decode(&lattice, syndrome, Sector::X)
+                });
+            },
+        );
     }
     group.finish();
 }

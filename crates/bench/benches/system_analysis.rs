@@ -13,15 +13,21 @@ fn backlog_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("backlog_simulation");
     for bench in standard_benchmarks() {
         let sim = BacklogSimulation::new(BacklogModel::from_ratio(1.5));
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, bench| {
-            b.iter(|| sim.run(bench));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, bench| {
+                b.iter(|| sim.run(bench));
+            },
+        );
     }
     group.finish();
 }
 
 fn synthesis_benchmarks(c: &mut Criterion) {
-    c.bench_function("sfq_module_synthesis", |b| b.iter(DecoderModuleHardware::ersfq));
+    c.bench_function("sfq_module_synthesis", |b| {
+        b.iter(DecoderModuleHardware::ersfq)
+    });
 }
 
 fn monte_carlo_benchmarks(c: &mut Criterion) {

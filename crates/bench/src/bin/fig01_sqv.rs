@@ -25,7 +25,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["configuration", "# qubits", "gates per qubit", "SQV", "boost vs NISQ target (1e5)"],
+        &[
+            "configuration",
+            "# qubits",
+            "gates per qubit",
+            "SQV",
+            "boost vs NISQ target (1e5)",
+        ],
         &rows,
     );
 

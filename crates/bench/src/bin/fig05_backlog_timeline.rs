@@ -30,7 +30,12 @@ fn main() {
             ]);
         }
         print_table(
-            &["T gate #", "compute time (us)", "stall at this T gate (us)", "wall clock (us)"],
+            &[
+                "T gate #",
+                "compute time (us)",
+                "stall at this T gate (us)",
+                "wall clock (us)",
+            ],
             &rows,
         );
         println!();

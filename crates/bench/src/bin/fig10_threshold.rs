@@ -42,7 +42,11 @@ fn main() {
     } else {
         vec![0.01, 0.015, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.12]
     };
-    let window = if zoom { "(b) zoomed 4.6%-6%" } else { "(a) full range" };
+    let window = if zoom {
+        "(b) zoomed 4.6%-6%"
+    } else {
+        "(a) full range"
+    };
     print_header(&format!(
         "Figure 10 {window}: logical error rate, {} design, {trials} trials/point",
         variant.label()
@@ -51,8 +55,9 @@ fn main() {
     let distances = [3usize, 5, 7, 9];
     let mut curves = Vec::new();
     for &d in &distances {
-        let curve = ErrorRateCurve::measure(d, &physical_rates, trials, variant, 0xF16_0A + d as u64)
-            .expect("valid distances and probabilities");
+        let curve =
+            ErrorRateCurve::measure(d, &physical_rates, trials, variant, 0xF160A + d as u64)
+                .expect("valid distances and probabilities");
         curves.push(curve);
     }
 
@@ -66,15 +71,29 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["p (%)", "PL d=3 (%)", "PL d=5 (%)", "PL d=7 (%)", "PL d=9 (%)", "physical (%)"],
+        &[
+            "p (%)",
+            "PL d=3 (%)",
+            "PL d=5 (%)",
+            "PL d=7 (%)",
+            "PL d=9 (%)",
+            "physical (%)",
+        ],
         &rows,
     );
 
     println!();
     for curve in &curves {
         match pseudo_threshold(curve) {
-            Some(pt) => println!("  pseudo-threshold d={}: {:.2}%", curve.distance, pt * 100.0),
-            None => println!("  pseudo-threshold d={}: not reached in this window", curve.distance),
+            Some(pt) => println!(
+                "  pseudo-threshold d={}: {:.2}%",
+                curve.distance,
+                pt * 100.0
+            ),
+            None => println!(
+                "  pseudo-threshold d={}: not reached in this window",
+                curve.distance
+            ),
         }
     }
     match accuracy_threshold(&curves) {

@@ -41,7 +41,11 @@ fn main() {
     print_table(&header_refs, &rows);
     println!();
     for dist in &columns {
-        println!("  d={}: most probable bin starts at {:.0} cycles", dist.distance, dist.mode_cycles());
+        println!(
+            "  d={}: most probable bin starts at {:.0} cycles",
+            dist.distance,
+            dist.mode_cycles()
+        );
     }
     println!();
     println!(

@@ -16,7 +16,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["benchmark", "# qubits", "# total gates", "# T gates"], &rows);
+    print_table(
+        &["benchmark", "# qubits", "# total gates", "# T gates"],
+        &rows,
+    );
     println!();
     println!(
         "Paper reference: takahashi 40/740/266, barenco 39/1224/504, cnu 37/1156/476, \

@@ -25,7 +25,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["Circuit", "Logical Depth", "Latency (ps)", "Area (um^2)", "Power (uW)", "JJs", "Cells"],
+        &[
+            "Circuit",
+            "Logical Depth",
+            "Latency (ps)",
+            "Area (um^2)",
+            "Power (uW)",
+            "JJs",
+            "Cells",
+        ],
         &rows,
     );
     println!();
@@ -48,9 +56,10 @@ fn main() {
     }
     println!("Paper reference: d=9 mesh (289 modules) = 369.72 mm^2, 3.78 mW.");
     println!();
-    for (label, budget) in
-        [("typical (1 W)", RefrigeratorBudget::typical()), ("generous (2 W)", RefrigeratorBudget::generous())]
-    {
+    for (label, budget) in [
+        ("typical (1 W)", RefrigeratorBudget::typical()),
+        ("generous (2 W)", RefrigeratorBudget::generous()),
+    ] {
         let report = cooling_feasibility(&hardware, 9, &budget);
         println!(
             "Budget {label}: max mesh {0}x{0} -> single logical qubit at d={1} or {2} logical qubits at d=5",

@@ -34,11 +34,17 @@ fn main() {
             format!("{:.2}", row.std_dev_ns),
         ]);
     }
-    print_table(&["Code Distance", "Max", "Average", "Standard Deviation"], &rows);
+    print_table(
+        &["Code Distance", "Max", "Average", "Standard Deviation"],
+        &rows,
+    );
     println!();
     println!(
         "Paper reference: d=3 3.74/0.28/0.58, d=5 9.28/0.72/1.09, d=7 14.2/2.00/1.99, \
          d=9 19.2/3.81/3.11 ns (at 162.72 ps per cycle)."
     );
-    println!("Cycle time used here: {:.2} ps per mesh cycle.", converter.cycle_time_ps());
+    println!(
+        "Cycle time used here: {:.2} ps per mesh cycle.",
+        converter.cycle_time_ps()
+    );
 }

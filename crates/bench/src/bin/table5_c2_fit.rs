@@ -17,9 +17,14 @@ fn main() {
     let pth = 0.05;
     let mut rows = Vec::new();
     for d in [3usize, 5, 7, 9] {
-        let curve =
-            ErrorRateCurve::measure(d, &physical_rates, trials, DecoderVariant::Final, 0x7AB5 + d as u64)
-                .expect("valid parameters");
+        let curve = ErrorRateCurve::measure(
+            d,
+            &physical_rates,
+            trials,
+            DecoderVariant::Final,
+            0x7AB5 + d as u64,
+        )
+        .expect("valid parameters");
         match fit_scaling_exponent(&curve, pth) {
             Some(fit) => rows.push(vec![
                 d.to_string(),

@@ -63,7 +63,10 @@ pub fn pair_timing(config: &MeshConfig, delta_row: usize, delta_col: usize) -> S
         // The intermediate module emits pair pulses immediately.
         detection + longest_leg
     };
-    SignalTiming { detection, completion }
+    SignalTiming {
+        detection,
+        completion,
+    }
 }
 
 /// Computes the signal timing of a defect-boundary pairing from the mesh-grid
@@ -75,7 +78,10 @@ pub fn boundary_timing(config: &MeshConfig, distance: usize) -> SignalTiming {
     } else {
         distance + distance
     };
-    SignalTiming { detection: distance, completion }
+    SignalTiming {
+        detection: distance,
+        completion,
+    }
 }
 
 /// One pairing chosen by the algorithm.
@@ -154,7 +160,9 @@ impl GreedyMeshAlgorithm {
             let mut best_time = usize::MAX;
             // (completion, pairing) candidates at the minimal completion time.
             let mut candidates: Vec<(usize, MeshPairing)> = Vec::new();
-            let consider = |time: usize, pairing: MeshPairing, best: &mut usize,
+            let consider = |time: usize,
+                            pairing: MeshPairing,
+                            best: &mut usize,
                             cands: &mut Vec<(usize, MeshPairing)>| {
                 if time < *best {
                     *best = time;
@@ -169,11 +177,21 @@ impl GreedyMeshAlgorithm {
                 for &b in &live_vec[i + 1..] {
                     let (dr, dc) = mesh_delta(a, b);
                     let t = pair_timing(cfg, dr, dc).completion;
-                    consider(t, MeshPairing::Defects(a, b), &mut best_time, &mut candidates);
+                    consider(
+                        t,
+                        MeshPairing::Defects(a, b),
+                        &mut best_time,
+                        &mut candidates,
+                    );
                 }
                 if cfg.boundary {
                     let t = boundary_timing(cfg, boundary_mesh_distance(a)).completion;
-                    consider(t, MeshPairing::ToBoundary(a), &mut best_time, &mut candidates);
+                    consider(
+                        t,
+                        MeshPairing::ToBoundary(a),
+                        &mut best_time,
+                        &mut candidates,
+                    );
                 }
                 if !cfg.reset {
                     for &g in &ghosts {
@@ -270,7 +288,8 @@ impl GreedyMeshAlgorithm {
         sector: Sector,
         defects: &[usize],
     ) -> MeshDecodeResult {
-        self.decode_defects_with_pairings(lattice, sector, defects).0
+        self.decode_defects_with_pairings(lattice, sector, defects)
+            .0
     }
 }
 
@@ -319,7 +338,11 @@ mod tests {
     #[test]
     fn pair_and_boundary_chains_clear_the_syndrome() {
         let lat = Lattice::new(7).unwrap();
-        let defects = vec![ancilla_at(&lat, 5, 4), ancilla_at(&lat, 7, 6), ancilla_at(&lat, 1, 12)];
+        let defects = vec![
+            ancilla_at(&lat, 5, 4),
+            ancilla_at(&lat, 7, 6),
+            ancilla_at(&lat, 1, 12),
+        ];
         let (result, pairings) =
             final_algorithm().decode_defects_with_pairings(&lat, Sector::X, &defects);
         assert!(result.completed);
@@ -387,13 +410,17 @@ mod tests {
         let baseline = GreedyMeshAlgorithm::new(DecoderVariant::Baseline.config());
         let (_, pairings) = baseline.decode_defects_with_pairings(&lat, Sector::X, &[a, b, c]);
         assert!(
-            pairings.iter().any(|p| matches!(p, MeshPairing::ToGhost { .. })),
+            pairings
+                .iter()
+                .any(|p| matches!(p, MeshPairing::ToGhost { .. })),
             "expected a ghost pairing, got {pairings:?}"
         );
         let with_reset = GreedyMeshAlgorithm::new(DecoderVariant::WithReset.config());
         let (_, pairings) = with_reset.decode_defects_with_pairings(&lat, Sector::X, &[a, b, c]);
         assert!(
-            !pairings.iter().any(|p| matches!(p, MeshPairing::ToGhost { .. })),
+            !pairings
+                .iter()
+                .any(|p| matches!(p, MeshPairing::ToGhost { .. })),
             "reset must prevent ghost pairings, got {pairings:?}"
         );
     }

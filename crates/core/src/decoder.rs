@@ -138,8 +138,7 @@ impl Decoder for SfqMeshDecoder {
             completed: result.completed,
         });
         let pauli = sector_correction_pauli(sector);
-        let flips =
-            PauliString::from_sparse(lattice.num_data(), &result.chain_data_qubits, pauli);
+        let flips = PauliString::from_sparse(lattice.num_data(), &result.chain_data_qubits, pauli);
         Correction::from_pauli_string(flips)
     }
 }
@@ -205,10 +204,15 @@ mod tests {
         for _ in 0..trials {
             let error = model.sample(&lat, &mut rng);
             let syndrome = lat.syndrome_of(&error);
-            for (slot, variant) in [DecoderVariant::Baseline, DecoderVariant::Final].iter().enumerate() {
+            for (slot, variant) in [DecoderVariant::Baseline, DecoderVariant::Final]
+                .iter()
+                .enumerate()
+            {
                 let mut decoder = SfqMeshDecoder::new(*variant);
                 let correction = decoder.decode(&lat, &syndrome, Sector::X);
-                if classify_residual(&lat, &error, correction.pauli_string(), Sector::X).is_failure() {
+                if classify_residual(&lat, &error, correction.pauli_string(), Sector::X)
+                    .is_failure()
+                {
                     failures[slot] += 1;
                 }
             }
@@ -236,7 +240,10 @@ mod tests {
         assert!(stats.completed);
         let expected_ns = stats.cycles as f64 * decoder.cycle_time_ps() * 1e-3;
         assert!((stats.time_ns - expected_ns).abs() < 1e-9);
-        assert!(stats.time_ns < 25.0, "simple decodes finish well under 25 ns");
+        assert!(
+            stats.time_ns < 25.0,
+            "simple decodes finish well under 25 ns"
+        );
     }
 
     #[test]
@@ -267,8 +274,14 @@ mod tests {
     #[test]
     fn decoder_names_include_variant() {
         assert_eq!(SfqMeshDecoder::final_design().name(), "sfq-mesh-final");
-        assert_eq!(SfqMeshDecoder::new(DecoderVariant::Baseline).name(), "sfq-mesh-baseline");
-        assert_eq!(SfqMeshDecoder::final_design().variant(), DecoderVariant::Final);
+        assert_eq!(
+            SfqMeshDecoder::new(DecoderVariant::Baseline).name(),
+            "sfq-mesh-baseline"
+        );
+        assert_eq!(
+            SfqMeshDecoder::final_design().variant(),
+            DecoderVariant::Final
+        );
     }
 
     #[test]

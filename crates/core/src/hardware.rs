@@ -113,7 +113,14 @@ fn declare_inputs(b: &mut NetlistBuilder, which: ModuleSubcircuit) -> ModuleInpu
         S::Pair | S::FullModule => named("pair_in"),
         _ => [hot; 4],
     };
-    ModuleInputs { hot, block, grow_in, pair_req_in, pair_grant_in, pair_in }
+    ModuleInputs {
+        hot,
+        block,
+        grow_in,
+        pair_req_in,
+        pair_grant_in,
+        pair_in,
+    }
 }
 
 /// Grow logic: `grow_out[d] = (hot OR grow_in[opposite(d)]) AND NOT block`.
@@ -134,8 +141,7 @@ fn add_pair_request_logic(b: &mut NetlistBuilder, io: &ModuleInputs) -> [NetId; 
     [0, 1, 2, 3].map(|d| {
         // Intersection component for this output direction: a grow pulse came
         // from `d` and at least one other direction.
-        let others: Vec<NetId> =
-            (0..4).filter(|&o| o != d).map(|o| io.grow_in[o]).collect();
+        let others: Vec<NetId> = (0..4).filter(|&o| o != d).map(|o| io.grow_in[o]).collect();
         let any_other = b.or_tree(&others);
         let intersect = b.and2(io.grow_in[d], any_other);
         // Pass-through component: forward a request travelling through us
@@ -185,14 +191,16 @@ fn add_pair_grant_logic(b: &mut NetlistBuilder, io: &ModuleInputs) -> [NetId; 4]
 fn add_pair_logic(b: &mut NetlistBuilder, io: &ModuleInputs) -> ([NetId; 4], NetId) {
     let not_hot = b.not(io.hot);
     let outs = [0, 1, 2, 3].map(|d| {
-        let others: Vec<NetId> =
-            (0..4).filter(|&o| o != d).map(|o| io.pair_grant_in[o]).collect();
+        let others: Vec<NetId> = (0..4)
+            .filter(|&o| o != d)
+            .map(|o| io.pair_grant_in[o])
+            .collect();
         let any_other = b.or_tree(&others);
         let meet = b.and2(io.pair_grant_in[d], any_other);
         let pass = b.and2(io.pair_in[opposite(d)], not_hot);
         b.or2(meet, pass)
     });
-    let any_pair = b.or_tree(&io.pair_in.to_vec());
+    let any_pair = b.or_tree(&io.pair_in);
     let reset_request = b.and2(any_pair, io.hot);
     (outs, reset_request)
 }
@@ -285,11 +293,12 @@ pub fn build_subcircuit(which: ModuleSubcircuit) -> Netlist {
             b.output("reset_request", reset_req);
             // The error output: this module is part of a correction chain
             // when any pair pulse reaches it.
-            let any_pair = b.or_tree(&io.pair_in.to_vec());
+            let any_pair = b.or_tree(&io.pair_in);
             b.output("error_output", any_pair);
         }
     }
-    b.build().expect("module sub-circuits are structurally valid by construction")
+    b.build()
+        .expect("module sub-circuits are structurally valid by construction")
 }
 
 /// Synthesized characterisation of the decoder module and its sub-circuits.
@@ -403,8 +412,16 @@ mod tests {
             }
         }
         // Same order of magnitude as the paper's 1.28 mm^2 / 13.08 uW module.
-        assert!(full.area_um2 > 1e5 && full.area_um2 < 3e6, "area {}", full.area_um2);
-        assert!(full.power_uw > 1.0 && full.power_uw < 40.0, "power {}", full.power_uw);
+        assert!(
+            full.area_um2 > 1e5 && full.area_um2 < 3e6,
+            "area {}",
+            full.area_um2
+        );
+        assert!(
+            full.power_uw > 1.0 && full.power_uw < 40.0,
+            "power {}",
+            full.power_uw
+        );
     }
 
     #[test]
@@ -439,7 +456,10 @@ mod tests {
                 high_cycles += 1;
             }
         }
-        assert!(high_cycles >= 3, "block was high for only {high_cycles} cycles");
+        assert!(
+            high_cycles >= 3,
+            "block was high for only {high_cycles} cycles"
+        );
     }
 
     #[test]
@@ -460,7 +480,10 @@ mod tests {
         .into();
         let out = sim.run(&inputs, depth);
         for dir in DIRECTIONS {
-            assert!(out[&format!("grow_out_{dir}")], "hot module must grow {dir}");
+            assert!(
+                out[&format!("grow_out_{dir}")],
+                "hot module must grow {dir}"
+            );
         }
         // A blocked module emits nothing even when hot.
         sim.reset();
@@ -475,7 +498,10 @@ mod tests {
         .into();
         let out = sim.run(&blocked, depth);
         for dir in DIRECTIONS {
-            assert!(!out[&format!("grow_out_{dir}")], "blocked module must not grow {dir}");
+            assert!(
+                !out[&format!("grow_out_{dir}")],
+                "blocked module must not grow {dir}"
+            );
         }
         // A passing pulse continues straight: in from the left, out to the right.
         sim.reset();
@@ -519,8 +545,14 @@ mod tests {
             .iter()
             .filter(|dir| out[&format!("pair_grant_out_{dir}")])
             .count();
-        assert_eq!(grants, 1, "a hot module must grant exactly one request: {out:?}");
-        assert!(out["pair_grant_out_up"], "the priority encoder grants the first direction");
+        assert_eq!(
+            grants, 1,
+            "a hot module must grant exactly one request: {out:?}"
+        );
+        assert!(
+            out["pair_grant_out_up"],
+            "the priority encoder grants the first direction"
+        );
     }
 
     #[test]
@@ -534,6 +566,9 @@ mod tests {
         assert!(d9.power_mw > d3.power_mw);
         assert!(d9.fits(&RefrigeratorBudget::typical()));
         let side = hw.max_mesh_side(&RefrigeratorBudget::typical());
-        assert!(side >= 50, "a 1 W budget should host a mesh of at least 50x50, got {side}");
+        assert!(
+            side >= 50,
+            "a 1 W budget should host a mesh of at least 50x50, got {side}"
+        );
     }
 }

@@ -447,7 +447,11 @@ mod tests {
         let above = data_at(&lat, 0, 4);
         let result = engine().decode_defects(&lat, Sector::X, &[a]);
         assert!(result.completed);
-        assert!(result.chain_data_qubits.contains(&above), "chain {:?}", result.chain_data_qubits);
+        assert!(
+            result.chain_data_qubits.contains(&above),
+            "chain {:?}",
+            result.chain_data_qubits
+        );
     }
 
     #[test]
@@ -456,7 +460,10 @@ mod tests {
         let a = ancilla_at(&lat, 1, 4);
         let engine = MeshEngine::new(DecoderVariant::WithReset.config());
         let result = engine.decode_defects(&lat, Sector::X, &[a]);
-        assert!(!result.completed, "a lone defect cannot pair without boundary modules");
+        assert!(
+            !result.completed,
+            "a lone defect cannot pair without boundary modules"
+        );
         assert_eq!(result.cleared_defects, 0);
     }
 
@@ -477,8 +484,16 @@ mod tests {
                 .iter()
                 .any(|q| result.chain_data_qubits.contains(q))
         };
-        assert!(touches(a), "chain {:?} does not touch defect {a}", result.chain_data_qubits);
-        assert!(touches(b), "chain {:?} does not touch defect {b}", result.chain_data_qubits);
+        assert!(
+            touches(a),
+            "chain {:?} does not touch defect {a}",
+            result.chain_data_qubits
+        );
+        assert!(
+            touches(b),
+            "chain {:?} does not touch defect {b}",
+            result.chain_data_qubits
+        );
     }
 
     #[test]

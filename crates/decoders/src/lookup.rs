@@ -14,7 +14,7 @@ use nisqplus_qec::error::QecError;
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A decoder backed by an exhaustive syndrome-to-correction table.
 ///
@@ -56,13 +56,18 @@ impl LookupDecoder {
     pub fn new(lattice: &Lattice) -> Result<Self, QecError> {
         let per_sector = lattice.ancillas_in_sector(Sector::X).count();
         if per_sector > Self::MAX_TABLE_BITS {
-            return Err(QecError::InvalidDistance { distance: lattice.distance() });
+            return Err(QecError::InvalidDistance {
+                distance: lattice.distance(),
+            });
         }
         let mut tables = HashMap::new();
         for sector in Sector::ALL {
             tables.insert(SectorKey::from(sector), Self::build_table(lattice, sector));
         }
-        Ok(LookupDecoder { distance: lattice.distance(), tables })
+        Ok(LookupDecoder {
+            distance: lattice.distance(),
+            tables,
+        })
     }
 
     /// The code distance the tables were built for.
@@ -89,7 +94,7 @@ impl LookupDecoder {
         let mut frontier: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new())];
         while remaining > 0 && !frontier.is_empty() {
             let mut next_frontier: Vec<(usize, Vec<usize>)> = Vec::new();
-            let mut seen_this_round: HashMap<usize, ()> = HashMap::new();
+            let mut seen_this_round: HashSet<usize> = HashSet::new();
             for (key, support) in &frontier {
                 let start = support.last().map_or(0, |&q| q + 1);
                 for q in start..num_data {
@@ -106,8 +111,7 @@ impl LookupDecoder {
                         table[new_key] = Some(new_support.clone());
                         remaining -= 1;
                     }
-                    if !seen_this_round.contains_key(&new_key) {
-                        seen_this_round.insert(new_key, ());
+                    if seen_this_round.insert(new_key) {
                         next_frontier.push((new_key, new_support));
                     }
                 }
@@ -150,7 +154,11 @@ impl Decoder for LookupDecoder {
             .cloned()
             .unwrap_or_default();
         let pauli = sector_correction_pauli(sector);
-        Correction::from_pauli_string(PauliString::from_sparse(lattice.num_data(), &support, pauli))
+        Correction::from_pauli_string(PauliString::from_sparse(
+            lattice.num_data(),
+            &support,
+            pauli,
+        ))
     }
 }
 

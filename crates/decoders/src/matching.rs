@@ -15,7 +15,7 @@
 //!   defect counts arising at the code distances studied (d ≤ 11).  It plays
 //!   the role of the software MWPM baseline [Fowler et al.].
 
-use crate::traits::{Correction, Decoder, MatchPair, Matching, sorted_defect_edges};
+use crate::traits::{sorted_defect_edges, Correction, Decoder, MatchPair, Matching};
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::syndrome::Syndrome;
 use std::collections::HashMap;
@@ -84,7 +84,8 @@ impl Decoder for GreedyMatchingDecoder {
 
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
         let defects = lattice.defects(syndrome, sector);
-        self.match_defects(lattice, &defects).to_correction(lattice, sector)
+        self.match_defects(lattice, &defects)
+            .to_correction(lattice, sector)
     }
 }
 
@@ -124,7 +125,10 @@ impl ExactMatchingDecoder {
     /// Creates an exact matching decoder with a custom defect cap.
     #[must_use]
     pub fn with_max_exact_defects(max_exact_defects: usize) -> Self {
-        ExactMatchingDecoder { max_exact_defects, greedy: GreedyMatchingDecoder::new() }
+        ExactMatchingDecoder {
+            max_exact_defects,
+            greedy: GreedyMatchingDecoder::new(),
+        }
     }
 
     /// The largest defect count decoded exactly before falling back to greedy.
@@ -156,12 +160,18 @@ impl ExactMatchingDecoder {
                 pair_dist[j][i] = d;
             }
         }
-        let boundary_dist: Vec<usize> =
-            defects.iter().map(|&a| lattice.boundary_distance(a)).collect();
+        let boundary_dist: Vec<usize> = defects
+            .iter()
+            .map(|&a| lattice.boundary_distance(a))
+            .collect();
 
         // DP over subsets: best[mask] = minimal weight to match every defect in `mask`.
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-        let mut memo: HashMap<u32, (usize, Option<(usize, Option<usize>)>)> = HashMap::new();
+        // Memo for the subset DP: mask -> (cost, step taken), where a step is
+        // (first defect, Some(partner) | None-for-boundary).
+        type MatchStep = (usize, Option<usize>);
+        type MatchMemo = HashMap<u32, (usize, Option<MatchStep>)>;
+        let mut memo: MatchMemo = HashMap::new();
         memo.insert(0, (0, None));
 
         fn solve(
@@ -169,7 +179,7 @@ impl ExactMatchingDecoder {
             n: usize,
             pair_dist: &[Vec<usize>],
             boundary_dist: &[usize],
-            memo: &mut HashMap<u32, (usize, Option<(usize, Option<usize>)>)>,
+            memo: &mut MatchMemo,
         ) -> usize {
             if let Some(&(cost, _)) = memo.get(&mask) {
                 return cost;
@@ -177,15 +187,20 @@ impl ExactMatchingDecoder {
             let first = mask.trailing_zeros() as usize;
             // Option 1: match `first` to the boundary.
             let rest = mask & !(1 << first);
-            let mut best = boundary_dist[first]
-                .saturating_add(solve(rest, n, pair_dist, boundary_dist, memo));
+            let mut best =
+                boundary_dist[first].saturating_add(solve(rest, n, pair_dist, boundary_dist, memo));
             let mut choice = (first, None);
             // Option 2: match `first` with another defect still in the mask.
             for j in (first + 1)..n {
                 if rest & (1 << j) != 0 {
                     let sub = rest & !(1 << j);
-                    let cost = pair_dist[first][j]
-                        .saturating_add(solve(sub, n, pair_dist, boundary_dist, memo));
+                    let cost = pair_dist[first][j].saturating_add(solve(
+                        sub,
+                        n,
+                        pair_dist,
+                        boundary_dist,
+                        memo,
+                    ));
                     if cost < best {
                         best = cost;
                         choice = (first, Some(j));
@@ -227,7 +242,8 @@ impl Decoder for ExactMatchingDecoder {
 
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
         let defects = lattice.defects(syndrome, sector);
-        self.match_defects(lattice, &defects).to_correction(lattice, sector)
+        self.match_defects(lattice, &defects)
+            .to_correction(lattice, sector)
     }
 }
 
@@ -252,8 +268,10 @@ mod tests {
     fn empty_syndrome_produces_identity_correction() {
         let lat = Lattice::new(5).unwrap();
         let syndrome = Syndrome::new(lat.num_ancillas());
-        for decoder in [&mut ExactMatchingDecoder::new() as &mut dyn Decoder,
-                        &mut GreedyMatchingDecoder::new() as &mut dyn Decoder] {
+        for decoder in [
+            &mut ExactMatchingDecoder::new() as &mut dyn Decoder,
+            &mut GreedyMatchingDecoder::new() as &mut dyn Decoder,
+        ] {
             let c = decoder.decode(&lat, &syndrome, Sector::X);
             assert_eq!(c.weight(), 0);
         }
@@ -329,7 +347,10 @@ mod tests {
             let we = exact.match_defects(&lat, &defects).total_weight(&lat);
             let wg = greedy.match_defects(&lat, &defects).total_weight(&lat);
             assert!(we <= wg, "exact {we} > greedy {wg} for defects {defects:?}");
-            assert!(wg <= 2 * we.max(1), "greedy exceeded its 2-approximation bound");
+            assert!(
+                wg <= 2 * we.max(1),
+                "greedy exceeded its 2-approximation bound"
+            );
         }
     }
 

@@ -125,13 +125,18 @@ impl Matching {
                 flips.apply(q, pauli);
             }
         }
-        Correction { flips, matching: Some(self.clone()) }
+        Correction {
+            flips,
+            matching: Some(self.clone()),
+        }
     }
 }
 
 impl FromIterator<MatchPair> for Matching {
     fn from_iter<T: IntoIterator<Item = MatchPair>>(iter: T) -> Self {
-        Matching { pairs: iter.into_iter().collect() }
+        Matching {
+            pairs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -158,13 +163,19 @@ impl Correction {
     /// Creates a correction directly from a Pauli string.
     #[must_use]
     pub fn from_pauli_string(flips: PauliString) -> Self {
-        Correction { flips, matching: None }
+        Correction {
+            flips,
+            matching: None,
+        }
     }
 
     /// Creates an identity (do-nothing) correction on `num_data` qubits.
     #[must_use]
     pub fn identity(num_data: usize) -> Self {
-        Correction { flips: PauliString::identity(num_data), matching: None }
+        Correction {
+            flips: PauliString::identity(num_data),
+            matching: None,
+        }
     }
 
     /// The Pauli flips to apply to the data qubits.
@@ -254,9 +265,18 @@ mod tests {
 
     #[test]
     fn match_pair_canonicalization() {
-        assert_eq!(MatchPair::Defects(5, 2).canonical(), MatchPair::Defects(2, 5));
-        assert_eq!(MatchPair::Defects(1, 4).canonical(), MatchPair::Defects(1, 4));
-        assert_eq!(MatchPair::ToBoundary(3).canonical(), MatchPair::ToBoundary(3));
+        assert_eq!(
+            MatchPair::Defects(5, 2).canonical(),
+            MatchPair::Defects(2, 5)
+        );
+        assert_eq!(
+            MatchPair::Defects(1, 4).canonical(),
+            MatchPair::Defects(1, 4)
+        );
+        assert_eq!(
+            MatchPair::ToBoundary(3).canonical(),
+            MatchPair::ToBoundary(3)
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl SectorGraph {
                 if let Some(&b) = ancilla_at.get(&below) {
                     let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row + 1, c.col));
                     debug_assert_eq!(data.kind, QubitKind::Data);
-                    edges.push(GraphEdge { u, v: vertex_of_ancilla[&b], data_qubit: data.index });
+                    edges.push(GraphEdge {
+                        u,
+                        v: vertex_of_ancilla[&b],
+                        data_qubit: data.index,
+                    });
                 }
             }
             // Neighbour to the right (same row, +2 columns).
@@ -73,7 +77,11 @@ impl SectorGraph {
                 if let Some(&b) = ancilla_at.get(&right) {
                     let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, c.col + 1));
                     debug_assert_eq!(data.kind, QubitKind::Data);
-                    edges.push(GraphEdge { u, v: vertex_of_ancilla[&b], data_qubit: data.index });
+                    edges.push(GraphEdge {
+                        u,
+                        v: vertex_of_ancilla[&b],
+                        data_qubit: data.index,
+                    });
                 }
             }
             // Boundary edges.
@@ -81,23 +89,37 @@ impl SectorGraph {
                 Sector::X => {
                     if c.row == 1 {
                         let data = lattice.cell(nisqplus_qec::lattice::Coord::new(0, c.col));
-                        edges.push(GraphEdge { u, v: boundary_a, data_qubit: data.index });
+                        edges.push(GraphEdge {
+                            u,
+                            v: boundary_a,
+                            data_qubit: data.index,
+                        });
                     }
                     if c.row == size - 2 {
-                        let data =
-                            lattice.cell(nisqplus_qec::lattice::Coord::new(size - 1, c.col));
-                        edges.push(GraphEdge { u, v: boundary_b, data_qubit: data.index });
+                        let data = lattice.cell(nisqplus_qec::lattice::Coord::new(size - 1, c.col));
+                        edges.push(GraphEdge {
+                            u,
+                            v: boundary_b,
+                            data_qubit: data.index,
+                        });
                     }
                 }
                 Sector::Z => {
                     if c.col == 1 {
                         let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, 0));
-                        edges.push(GraphEdge { u, v: boundary_a, data_qubit: data.index });
+                        edges.push(GraphEdge {
+                            u,
+                            v: boundary_a,
+                            data_qubit: data.index,
+                        });
                     }
                     if c.col == size - 2 {
-                        let data =
-                            lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, size - 1));
-                        edges.push(GraphEdge { u, v: boundary_b, data_qubit: data.index });
+                        let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, size - 1));
+                        edges.push(GraphEdge {
+                            u,
+                            v: boundary_b,
+                            data_qubit: data.index,
+                        });
                     }
                 }
             }
@@ -149,8 +171,11 @@ impl Clusters {
         if ra == rb {
             return;
         }
-        let (big, small) =
-            if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         if self.rank[big] == self.rank[small] {
             self.rank[big] += 1;
@@ -179,12 +204,7 @@ impl UnionFindDecoder {
         UnionFindDecoder { _private: () }
     }
 
-    fn decode_sector(
-        &self,
-        lattice: &Lattice,
-        syndrome: &Syndrome,
-        sector: Sector,
-    ) -> Vec<usize> {
+    fn decode_sector(&self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Vec<usize> {
         let graph = SectorGraph::build(lattice, sector);
         let defect_ancillas = lattice.defects(syndrome, sector);
         if defect_ancillas.is_empty() {
@@ -194,8 +214,7 @@ impl UnionFindDecoder {
         for a in &defect_ancillas {
             defects[graph.vertex_of_ancilla[a]] = true;
         }
-        let mut clusters =
-            Clusters::new(graph.num_vertices, &defects, graph.num_ancilla_vertices);
+        let mut clusters = Clusters::new(graph.num_vertices, &defects, graph.num_ancilla_vertices);
         let mut support = vec![0u8; graph.edges.len()];
 
         // ---- Growth phase ------------------------------------------------
@@ -399,8 +418,7 @@ mod tests {
                 let error = model.sample(&lat, &mut rng);
                 let syndrome = lat.syndrome_of(&error);
                 let correction = decoder.decode(&lat, &syndrome, Sector::X);
-                let state =
-                    classify_residual(&lat, &error, correction.pauli_string(), Sector::X);
+                let state = classify_residual(&lat, &error, correction.pauli_string(), Sector::X);
                 assert_ne!(
                     state,
                     LogicalState::InvalidCorrection,

@@ -39,16 +39,25 @@ impl fmt::Display for QecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QecError::InvalidDistance { distance } => {
-                write!(f, "invalid code distance {distance}: must be an odd integer >= 3")
+                write!(
+                    f,
+                    "invalid code distance {distance}: must be an odd integer >= 3"
+                )
             }
             QecError::InvalidProbability { value } => {
                 write!(f, "invalid probability {value}: must lie in [0, 1]")
             }
             QecError::QubitIndexOutOfRange { index, len } => {
-                write!(f, "qubit index {index} out of range for lattice with {len} qubits")
+                write!(
+                    f,
+                    "qubit index {index} out of range for lattice with {len} qubits"
+                )
             }
             QecError::SyndromeLengthMismatch { got, expected } => {
-                write!(f, "syndrome length {got} does not match expected {expected}")
+                write!(
+                    f,
+                    "syndrome length {got} does not match expected {expected}"
+                )
             }
         }
     }
@@ -74,7 +83,10 @@ mod tests {
         assert!(err.to_string().contains("10"));
         assert!(err.to_string().contains("5"));
 
-        let err = QecError::SyndromeLengthMismatch { got: 3, expected: 12 };
+        let err = QecError::SyndromeLengthMismatch {
+            got: 3,
+            expected: 12,
+        };
         assert!(err.to_string().contains("3"));
         assert!(err.to_string().contains("12"));
     }

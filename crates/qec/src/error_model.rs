@@ -24,7 +24,9 @@ pub trait ErrorModel {
 
     /// Samples an error pattern over all data qubits of a lattice.
     fn sample<R: Rng + ?Sized>(&self, lattice: &Lattice, rng: &mut R) -> PauliString {
-        (0..lattice.num_data()).map(|_| self.sample_single(rng)).collect()
+        (0..lattice.num_data())
+            .map(|_| self.sample_single(rng))
+            .collect()
     }
 }
 
@@ -49,7 +51,9 @@ impl Depolarizing {
     ///
     /// Returns [`QecError::InvalidProbability`] if `p` is outside `[0, 1]`.
     pub fn new(p: f64) -> Result<Self, QecError> {
-        Ok(Depolarizing { p: validate_probability(p)? })
+        Ok(Depolarizing {
+            p: validate_probability(p)?,
+        })
     }
 
     /// The total error probability `p`.
@@ -94,7 +98,9 @@ impl PureDephasing {
     ///
     /// Returns [`QecError::InvalidProbability`] if `p` is outside `[0, 1]`.
     pub fn new(p: f64) -> Result<Self, QecError> {
-        Ok(PureDephasing { p: validate_probability(p)? })
+        Ok(PureDephasing {
+            p: validate_probability(p)?,
+        })
     }
 
     /// The phase-flip probability `p`.

@@ -26,7 +26,10 @@ impl PauliFrame {
     /// Creates an empty frame over `num_data` qubits.
     #[must_use]
     pub fn new(num_data: usize) -> Self {
-        PauliFrame { frame: PauliString::identity(num_data), recorded_cycles: 0 }
+        PauliFrame {
+            frame: PauliString::identity(num_data),
+            recorded_cycles: 0,
+        }
     }
 
     /// The number of data qubits the frame tracks.

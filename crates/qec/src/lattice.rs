@@ -47,7 +47,9 @@ impl Coord {
     /// Chebyshev (L-infinity) distance between two grid coordinates.
     #[must_use]
     pub fn chebyshev(self, other: Coord) -> usize {
-        self.row.abs_diff(other.row).max(self.col.abs_diff(other.col))
+        self.row
+            .abs_diff(other.row)
+            .max(self.col.abs_diff(other.col))
     }
 }
 
@@ -171,19 +173,28 @@ impl Lattice {
                 let info = if (row + col) % 2 == 0 {
                     let index = data_coords.len();
                     data_coords.push(coord);
-                    CellInfo { kind: QubitKind::Data, index }
+                    CellInfo {
+                        kind: QubitKind::Data,
+                        index,
+                    }
                 } else if row % 2 == 1 {
                     // Odd row, even column: X ancilla.
                     let index = ancilla_coords.len();
                     ancilla_coords.push(coord);
                     ancilla_kinds.push(QubitKind::AncillaX);
-                    CellInfo { kind: QubitKind::AncillaX, index }
+                    CellInfo {
+                        kind: QubitKind::AncillaX,
+                        index,
+                    }
                 } else {
                     // Even row, odd column: Z ancilla.
                     let index = ancilla_coords.len();
                     ancilla_coords.push(coord);
                     ancilla_kinds.push(QubitKind::AncillaZ);
-                    CellInfo { kind: QubitKind::AncillaZ, index }
+                    CellInfo {
+                        kind: QubitKind::AncillaZ,
+                        index,
+                    }
                 };
                 cells.push(info);
             }
@@ -196,9 +207,15 @@ impl Lattice {
             let mut support = Vec::with_capacity(4);
             let neighbors = [
                 (coord.row.checked_sub(1), Some(coord.col)),
-                (coord.row.checked_add(1).filter(|&r| r < size), Some(coord.col)),
+                (
+                    coord.row.checked_add(1).filter(|&r| r < size),
+                    Some(coord.col),
+                ),
                 (Some(coord.row), coord.col.checked_sub(1)),
-                (Some(coord.row), coord.col.checked_add(1).filter(|&c| c < size)),
+                (
+                    Some(coord.row),
+                    coord.col.checked_add(1).filter(|&c| c < size),
+                ),
             ];
             for (r, c) in neighbors {
                 if let (Some(r), Some(c)) = (r, c) {
@@ -272,7 +289,10 @@ impl Lattice {
     /// Panics if `coord` lies outside the grid.
     #[must_use]
     pub fn cell(&self, coord: Coord) -> CellInfo {
-        assert!(coord.row < self.size && coord.col < self.size, "coordinate {coord} out of range");
+        assert!(
+            coord.row < self.size && coord.col < self.size,
+            "coordinate {coord} out of range"
+        );
         self.cells[coord.row * self.size + coord.col]
     }
 
@@ -429,12 +449,12 @@ impl Lattice {
         let coord = self.ancilla_coords[ancilla];
         match self.ancilla_kinds[ancilla] {
             QubitKind::AncillaX => {
-                let to_top = (coord.row + 1) / 2;
+                let to_top = coord.row.div_ceil(2);
                 let to_bottom = (self.size - coord.row) / 2;
                 to_top.min(to_bottom)
             }
             QubitKind::AncillaZ => {
-                let to_left = (coord.col + 1) / 2;
+                let to_left = coord.col.div_ceil(2);
                 let to_right = (self.size - coord.col) / 2;
                 to_left.min(to_right)
             }
@@ -490,7 +510,7 @@ impl Lattice {
         let mut path = Vec::new();
         match self.ancilla_kinds[ancilla] {
             QubitKind::AncillaX => {
-                let to_top = (coord.row + 1) / 2;
+                let to_top = coord.row.div_ceil(2);
                 let to_bottom = (self.size - coord.row) / 2;
                 if to_top <= to_bottom {
                     let mut row = coord.row;
@@ -510,7 +530,7 @@ impl Lattice {
                 }
             }
             QubitKind::AncillaZ => {
-                let to_left = (coord.col + 1) / 2;
+                let to_left = coord.col.div_ceil(2);
                 let to_right = (self.size - coord.col) / 2;
                 if to_left <= to_right {
                     let mut col = coord.col;
@@ -599,7 +619,11 @@ mod tests {
         let syndrome = lat.syndrome_of(&error);
         let x_defects = lat.defects(&syndrome, Sector::X);
         let z_defects = lat.defects(&syndrome, Sector::Z);
-        assert_eq!(x_defects.len(), 2, "an interior Z error fires two X ancillas");
+        assert_eq!(
+            x_defects.len(),
+            2,
+            "an interior Z error fires two X ancillas"
+        );
         assert!(z_defects.is_empty(), "a Z error never fires Z ancillas");
         for a in x_defects {
             assert!(lat.stabilizer_support(a).contains(&center));
@@ -638,7 +662,11 @@ mod tests {
         let error = PauliString::from_sparse(lat.num_data(), &[q1, q2], Pauli::Z);
         let syndrome = lat.syndrome_of(&error);
         let defects = lat.defects(&syndrome, Sector::X);
-        assert_eq!(defects.len(), 2, "a two-qubit chain has two endpoint defects");
+        assert_eq!(
+            defects.len(),
+            2,
+            "a two-qubit chain has two endpoint defects"
+        );
         // The shared ancilla between them must not fire.
         let shared = lat.cell(Coord::new(3, 4)).index;
         assert!(!syndrome.is_hot(shared));
@@ -647,12 +675,17 @@ mod tests {
     #[test]
     fn logical_z_chain_is_undetected() {
         let lat = Lattice::new(5).unwrap();
-        let column: Vec<usize> =
-            (0..lat.size()).step_by(2).map(|row| lat.cell(Coord::new(row, 4)).index).collect();
+        let column: Vec<usize> = (0..lat.size())
+            .step_by(2)
+            .map(|row| lat.cell(Coord::new(row, 4)).index)
+            .collect();
         assert_eq!(column.len(), 5);
         let error = PauliString::from_sparse(lat.num_data(), &column, Pauli::Z);
         let syndrome = lat.syndrome_of(&error);
-        assert!(!syndrome.any_hot(), "a full vertical Z chain commutes with all stabilizers");
+        assert!(
+            !syndrome.any_hot(),
+            "a full vertical Z chain commutes with all stabilizers"
+        );
         // ... and it anticommutes with logical X.
         assert!(error.z_overlap_parity(lat.logical_x_support()));
     }
@@ -660,8 +693,10 @@ mod tests {
     #[test]
     fn logical_x_chain_is_undetected() {
         let lat = Lattice::new(5).unwrap();
-        let row: Vec<usize> =
-            (0..lat.size()).step_by(2).map(|col| lat.cell(Coord::new(2, col)).index).collect();
+        let row: Vec<usize> = (0..lat.size())
+            .step_by(2)
+            .map(|col| lat.cell(Coord::new(2, col)).index)
+            .collect();
         let error = PauliString::from_sparse(lat.num_data(), &row, Pauli::X);
         let syndrome = lat.syndrome_of(&error);
         assert!(!syndrome.any_hot());
@@ -778,7 +813,10 @@ mod tests {
         let lat = Lattice::new(9).unwrap();
         for a in 0..lat.num_ancillas() {
             let bd = lat.boundary_distance(a);
-            assert!(bd >= 1 && bd <= lat.distance() / 2 + 1, "ancilla {a} boundary distance {bd}");
+            assert!(
+                bd >= 1 && bd <= lat.distance() / 2 + 1,
+                "ancilla {a} boundary distance {bd}"
+            );
         }
     }
 

@@ -118,7 +118,10 @@ mod tests {
         let q = lat.cell(Coord::new(2, 2)).index;
         let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
         let correction = error.clone();
-        assert_eq!(classify_residual(&lat, &error, &correction, Sector::X), LogicalState::Success);
+        assert_eq!(
+            classify_residual(&lat, &error, &correction, Sector::X),
+            LogicalState::Success
+        );
     }
 
     #[test]
@@ -138,8 +141,10 @@ mod tests {
         // Error and correction together form a full vertical chain.
         let lat = lattice();
         let col = 4;
-        let all: Vec<usize> =
-            (0..lat.size()).step_by(2).map(|r| lat.cell(Coord::new(r, col)).index).collect();
+        let all: Vec<usize> = (0..lat.size())
+            .step_by(2)
+            .map(|r| lat.cell(Coord::new(r, col)).index)
+            .collect();
         // The actual error is the top 2 qubits of the chain, the "correction"
         // closes the chain through the bottom, creating a logical Z.
         let error = PauliString::from_sparse(lat.num_data(), &all[..2], Pauli::Z);
@@ -156,18 +161,26 @@ mod tests {
         // stabilizer (the degeneracy of Figure 4(b)/(c)) is still a success.
         let lat = lattice();
         // Z error on two data qubits adjacent to the same Z-plaquette.
-        let za = lat.ancillas_in_sector(Sector::Z).find(|&a| lat.stabilizer_support(a).len() == 4).unwrap();
+        let za = lat
+            .ancillas_in_sector(Sector::Z)
+            .find(|&a| lat.stabilizer_support(a).len() == 4)
+            .unwrap();
         let support = lat.stabilizer_support(za);
         let error = PauliString::from_sparse(lat.num_data(), &support[..2], Pauli::Z);
         let correction = PauliString::from_sparse(lat.num_data(), &support[2..], Pauli::Z);
-        assert_eq!(classify_residual(&lat, &error, &correction, Sector::X), LogicalState::Success);
+        assert_eq!(
+            classify_residual(&lat, &error, &correction, Sector::X),
+            LogicalState::Success
+        );
     }
 
     #[test]
     fn x_sector_classification_uses_logical_z() {
         let lat = lattice();
-        let row: Vec<usize> =
-            (0..lat.size()).step_by(2).map(|c| lat.cell(Coord::new(2, c)).index).collect();
+        let row: Vec<usize> = (0..lat.size())
+            .step_by(2)
+            .map(|c| lat.cell(Coord::new(2, c)).index)
+            .collect();
         let error = PauliString::from_sparse(lat.num_data(), &row, Pauli::X);
         let correction = PauliString::identity(lat.num_data());
         // A full horizontal X chain is undetected but logically fatal in the Z sector.
@@ -176,7 +189,10 @@ mod tests {
             LogicalState::LogicalError
         );
         // The X sector sees nothing wrong with it.
-        assert_eq!(classify_residual(&lat, &error, &correction, Sector::X), LogicalState::Success);
+        assert_eq!(
+            classify_residual(&lat, &error, &correction, Sector::X),
+            LogicalState::Success
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::ops::{Index, Mul};
 /// `Y` is tracked explicitly even though the decoder treats it as a
 /// simultaneous `X` and `Z` error, exactly as the paper describes for the
 /// stabilizer measurement (Section II-C1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum Pauli {
     /// The identity operator.
     #[default]
@@ -132,7 +134,9 @@ impl PauliString {
     /// Creates an identity Pauli string on `len` qubits.
     #[must_use]
     pub fn identity(len: usize) -> Self {
-        PauliString { ops: vec![Pauli::I; len] }
+        PauliString {
+            ops: vec![Pauli::I; len],
+        }
     }
 
     /// Creates a Pauli string from an explicit list of operators.
@@ -324,7 +328,9 @@ impl fmt::Display for PauliString {
 
 impl FromIterator<Pauli> for PauliString {
     fn from_iter<T: IntoIterator<Item = Pauli>>(iter: T) -> Self {
-        PauliString { ops: iter.into_iter().collect() }
+        PauliString {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -374,7 +380,10 @@ mod tests {
     #[test]
     fn components_round_trip() {
         for p in Pauli::ALL {
-            assert_eq!(Pauli::from_components(p.has_x_component(), p.has_z_component()), p);
+            assert_eq!(
+                Pauli::from_components(p.has_x_component(), p.has_z_component()),
+                p
+            );
         }
     }
 

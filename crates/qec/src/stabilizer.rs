@@ -68,14 +68,20 @@ impl StabilizerCircuit {
                 // data neighbours, then H and measurement.
                 ops.push(GateOp::Hadamard(a));
                 for &d in lattice.stabilizer_support(ancilla) {
-                    ops.push(GateOp::Cnot { control: a, target: QubitRef::Data(d) });
+                    ops.push(GateOp::Cnot {
+                        control: a,
+                        target: QubitRef::Data(d),
+                    });
                 }
                 ops.push(GateOp::Hadamard(a));
             }
             QubitKind::AncillaZ => {
                 // "Z" circuit of Figure 3: data-controlled X onto the ancilla.
                 for &d in lattice.stabilizer_support(ancilla) {
-                    ops.push(GateOp::Cnot { control: QubitRef::Data(d), target: a });
+                    ops.push(GateOp::Cnot {
+                        control: QubitRef::Data(d),
+                        target: a,
+                    });
                 }
             }
             QubitKind::Data => unreachable!("ancilla index refers to a data qubit"),
@@ -111,7 +117,10 @@ impl StabilizerCircuit {
     /// Number of two-qubit gates in the circuit.
     #[must_use]
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, GateOp::Cnot { .. })).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, GateOp::Cnot { .. }))
+            .count()
     }
 }
 
@@ -155,7 +164,9 @@ impl SyndromeExtractor {
     pub fn new(lattice: &Lattice, mode: ExtractionMode) -> Result<Self, QecError> {
         if let ExtractionMode::Phenomenological { measurement_error } = mode {
             if !(0.0..=1.0).contains(&measurement_error) || !measurement_error.is_finite() {
-                return Err(QecError::InvalidProbability { value: measurement_error });
+                return Err(QecError::InvalidProbability {
+                    value: measurement_error,
+                });
             }
         }
         Ok(SyndromeExtractor {
@@ -255,7 +266,9 @@ impl SyndromeExtractor {
 /// Builds every ancilla's stabilizer circuit for a lattice.
 #[must_use]
 pub fn all_stabilizer_circuits(lattice: &Lattice) -> Vec<StabilizerCircuit> {
-    (0..lattice.num_ancillas()).map(|a| StabilizerCircuit::for_ancilla(lattice, a)).collect()
+    (0..lattice.num_ancillas())
+        .map(|a| StabilizerCircuit::for_ancilla(lattice, a))
+        .collect()
 }
 
 #[cfg(test)]
@@ -270,7 +283,10 @@ mod tests {
     #[test]
     fn x_circuit_structure_matches_figure_3() {
         let lat = Lattice::new(5).unwrap();
-        let a = lat.ancillas_in_sector(Sector::X).find(|&a| lat.stabilizer_support(a).len() == 4).unwrap();
+        let a = lat
+            .ancillas_in_sector(Sector::X)
+            .find(|&a| lat.stabilizer_support(a).len() == 4)
+            .unwrap();
         let circuit = StabilizerCircuit::for_ancilla(&lat, a);
         assert_eq!(circuit.kind(), QubitKind::AncillaX);
         assert_eq!(circuit.two_qubit_gate_count(), 4);
@@ -290,7 +306,10 @@ mod tests {
     #[test]
     fn z_circuit_structure_matches_figure_3() {
         let lat = Lattice::new(5).unwrap();
-        let a = lat.ancillas_in_sector(Sector::Z).find(|&a| lat.stabilizer_support(a).len() == 4).unwrap();
+        let a = lat
+            .ancillas_in_sector(Sector::Z)
+            .find(|&a| lat.stabilizer_support(a).len() == 4)
+            .unwrap();
         let circuit = StabilizerCircuit::for_ancilla(&lat, a);
         assert_eq!(circuit.kind(), QubitKind::AncillaZ);
         assert_eq!(circuit.two_qubit_gate_count(), 4);
@@ -311,7 +330,10 @@ mod tests {
         assert_eq!(circuits.len(), lat.num_ancillas());
         assert!(circuits.iter().any(|c| c.two_qubit_gate_count() < 4));
         for c in &circuits {
-            assert_eq!(c.two_qubit_gate_count(), lat.stabilizer_support(c.ancilla()).len());
+            assert_eq!(
+                c.two_qubit_gate_count(),
+                lat.stabilizer_support(c.ancilla()).len()
+            );
         }
     }
 
@@ -345,7 +367,9 @@ mod tests {
         let lat = Lattice::new(3).unwrap();
         assert!(SyndromeExtractor::new(
             &lat,
-            ExtractionMode::Phenomenological { measurement_error: 1.5 }
+            ExtractionMode::Phenomenological {
+                measurement_error: 1.5
+            }
         )
         .is_err());
     }
@@ -358,7 +382,9 @@ mod tests {
         // round reports all-hot, the second round reports no *changes*.
         let mut extractor = SyndromeExtractor::new(
             &lat,
-            ExtractionMode::Phenomenological { measurement_error: 1.0 },
+            ExtractionMode::Phenomenological {
+                measurement_error: 1.0,
+            },
         )
         .unwrap();
         let first = extractor.detection_events(&lat, &mut rng);

@@ -22,7 +22,9 @@ impl Syndrome {
     /// Creates an all-clear syndrome of the given length.
     #[must_use]
     pub fn new(len: usize) -> Self {
-        Syndrome { bits: vec![false; len] }
+        Syndrome {
+            bits: vec![false; len],
+        }
     }
 
     /// Creates a syndrome from an explicit bit vector.
@@ -161,7 +163,9 @@ impl fmt::Display for Syndrome {
 
 impl FromIterator<bool> for Syndrome {
     fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
-        Syndrome { bits: iter.into_iter().collect() }
+        Syndrome {
+            bits: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -237,7 +241,9 @@ impl DetectionEvents {
 
 impl FromIterator<Syndrome> for DetectionEvents {
     fn from_iter<T: IntoIterator<Item = Syndrome>>(iter: T) -> Self {
-        DetectionEvents { rounds: iter.into_iter().collect() }
+        DetectionEvents {
+            rounds: iter.into_iter().collect(),
+        }
     }
 }
 

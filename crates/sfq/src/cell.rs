@@ -25,8 +25,13 @@ pub enum CellType {
 
 impl CellType {
     /// All cell types, in Table II order.
-    pub const ALL: [CellType; 5] =
-        [CellType::And2, CellType::Or2, CellType::Xor2, CellType::Not, CellType::DroDff];
+    pub const ALL: [CellType; 5] = [
+        CellType::And2,
+        CellType::Or2,
+        CellType::Xor2,
+        CellType::Not,
+        CellType::DroDff,
+    ];
 
     /// The number of logic inputs the cell consumes.
     #[must_use]

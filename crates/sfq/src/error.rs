@@ -30,11 +30,20 @@ pub enum SfqError {
 impl fmt::Display for SfqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SfqError::UndrivenNet { net } => write!(f, "net {net} is not driven by any gate or input"),
+            SfqError::UndrivenNet { net } => {
+                write!(f, "net {net} is not driven by any gate or input")
+            }
             SfqError::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
             SfqError::NoOutputs => write!(f, "netlist declares no primary outputs"),
-            SfqError::ArityMismatch { cell, got, expected } => {
-                write!(f, "cell {cell} expects {expected} inputs but received {got}")
+            SfqError::ArityMismatch {
+                cell,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "cell {cell} expects {expected} inputs but received {got}"
+                )
             }
         }
     }
@@ -48,10 +57,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SfqError::UndrivenNet { net: 3 }.to_string().contains("net 3"));
+        assert!(SfqError::UndrivenNet { net: 3 }
+            .to_string()
+            .contains("net 3"));
         assert!(SfqError::CombinationalCycle.to_string().contains("cycle"));
         assert!(SfqError::NoOutputs.to_string().contains("outputs"));
-        let err = SfqError::ArityMismatch { cell: "AND2", got: 3, expected: 2 };
+        let err = SfqError::ArityMismatch {
+            cell: "AND2",
+            got: 3,
+            expected: 2,
+        };
         assert!(err.to_string().contains("AND2"));
     }
 

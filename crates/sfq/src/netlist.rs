@@ -128,7 +128,11 @@ impl Netlist {
     #[must_use]
     pub fn logical_depth(&self) -> usize {
         let levels = self.net_levels();
-        self.outputs.iter().map(|p| levels[p.net.0]).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|p| levels[p.net.0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns `true` if every gate's fan-ins arrive at the same logic level —
@@ -198,13 +202,19 @@ impl NetlistBuilder {
     /// Declares a primary input and returns its net.
     pub fn input(&mut self, name: impl Into<String>) -> NetId {
         let net = self.fresh_net(true);
-        self.inputs.push(Port { name: name.into(), net });
+        self.inputs.push(Port {
+            name: name.into(),
+            net,
+        });
         net
     }
 
     /// Declares a primary output driven by `net`.
     pub fn output(&mut self, name: impl Into<String>, net: NetId) {
-        self.outputs.push(Port { name: name.into(), net });
+        self.outputs.push(Port {
+            name: name.into(),
+            net,
+        });
     }
 
     /// Adds a gate of arbitrary cell type.
@@ -221,7 +231,11 @@ impl NetlistBuilder {
             inputs.len()
         );
         let output = self.fresh_net(true);
-        self.gates.push(Gate { cell, inputs: inputs.to_vec(), output });
+        self.gates.push(Gate {
+            cell,
+            inputs: inputs.to_vec(),
+            output,
+        });
         output
     }
 

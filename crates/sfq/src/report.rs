@@ -54,14 +54,20 @@ impl RefrigeratorBudget {
     /// mounting plate for the decoder stack.
     #[must_use]
     pub fn typical() -> Self {
-        RefrigeratorBudget { cooling_power_w: 1.0, area_mm2: 10_000.0 }
+        RefrigeratorBudget {
+            cooling_power_w: 1.0,
+            area_mm2: 10_000.0,
+        }
     }
 
     /// The generous end of the paper's range: 2 W of cooling at 4 K and twice
     /// the mounting area.
     #[must_use]
     pub fn generous() -> Self {
-        RefrigeratorBudget { cooling_power_w: 2.0, area_mm2: 20_000.0 }
+        RefrigeratorBudget {
+            cooling_power_w: 2.0,
+            area_mm2: 20_000.0,
+        }
     }
 }
 
@@ -138,7 +144,7 @@ pub fn max_mesh_side(module: CircuitCharacterization, budget: &RefrigeratorBudge
 /// (the inverse of `2d - 1 = side`).
 #[must_use]
 pub fn protected_distance(side: usize) -> usize {
-    (side + 1) / 2
+    side.div_ceil(2)
 }
 
 /// How many logical qubits of code distance `d` fit in a mesh with the given
@@ -169,8 +175,16 @@ mod tests {
         let report = MeshReport::for_code_distance(paper_module(), 9);
         assert_eq!(report.modules, 289);
         // Paper: 369.72 mm^2 and 3.78 mW for 289 modules.
-        assert!((report.area_mm2 - 369.72).abs() < 0.5, "area {}", report.area_mm2);
-        assert!((report.power_mw - 3.78).abs() < 0.05, "power {}", report.power_mw);
+        assert!(
+            (report.area_mm2 - 369.72).abs() < 0.5,
+            "area {}",
+            report.area_mm2
+        );
+        assert!(
+            (report.power_mw - 3.78).abs() < 0.05,
+            "power {}",
+            report.power_mw
+        );
     }
 
     #[test]
@@ -225,7 +239,10 @@ mod tests {
 
     #[test]
     fn budget_constructors() {
-        assert!(RefrigeratorBudget::generous().cooling_power_w > RefrigeratorBudget::typical().cooling_power_w);
+        assert!(
+            RefrigeratorBudget::generous().cooling_power_w
+                > RefrigeratorBudget::typical().cooling_power_w
+        );
         assert_eq!(RefrigeratorBudget::default(), RefrigeratorBudget::typical());
     }
 

@@ -25,7 +25,11 @@ impl<'a> NetlistSimulator<'a> {
     /// Creates a simulator with all nets initially carrying no pulses.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Self {
-        NetlistSimulator { netlist, values: vec![false; netlist.num_nets()], cycle: 0 }
+        NetlistSimulator {
+            netlist,
+            values: vec![false; netlist.num_nets()],
+            cycle: 0,
+        }
     }
 
     /// The number of clock cycles simulated so far.
@@ -67,8 +71,7 @@ impl<'a> NetlistSimulator<'a> {
         // cycle, so pulses advance exactly one gate level per clock.
         let mut next = snapshot.clone();
         for gate in self.netlist.gates() {
-            let in_values: Vec<bool> =
-                gate.inputs.iter().map(|n| snapshot[n.index()]).collect();
+            let in_values: Vec<bool> = gate.inputs.iter().map(|n| snapshot[n.index()]).collect();
             next[gate.output.index()] = gate.cell.evaluate(&in_values);
         }
         self.values = next;
@@ -160,10 +163,10 @@ mod tests {
         let inputs: HashMap<&str, bool> = [("a", true), ("b", true), ("c", false)].into();
         // After one cycle only the first-level gates have seen the inputs.
         let out1 = sim.step(&inputs);
-        assert_eq!(out1["y"], false);
+        assert!(!out1["y"]);
         // After two cycles the pulse has reached the output.
         let out2 = sim.step(&inputs);
-        assert_eq!(out2["y"], true);
+        assert!(out2["y"]);
         assert_eq!(sim.cycle(), 2);
         assert_eq!(sim.pipeline_latency_cycles(), 2);
     }
@@ -175,7 +178,7 @@ mod tests {
         let inputs: HashMap<&str, bool> = [("a", false), ("b", false), ("c", true)].into();
         sim.step(&inputs);
         let out = sim.step(&inputs);
-        assert_eq!(out["y"], true);
+        assert!(out["y"]);
     }
 
     #[test]
@@ -189,7 +192,7 @@ mod tests {
         assert_eq!(sim.cycle(), 0);
         assert_eq!(sim.active_gate_count(), 0);
         assert_eq!(sim.active_dff_count(), 0);
-        assert_eq!(sim.outputs()["y"], false);
+        assert!(!sim.outputs()["y"]);
     }
 
     #[test]

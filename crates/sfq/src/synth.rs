@@ -46,7 +46,10 @@ impl SynthesisReport {
     /// The count of one specific cell type.
     #[must_use]
     pub fn count_of(&self, cell: CellType) -> usize {
-        self.cell_counts.iter().find(|(c, _)| *c == cell).map_or(0, |(_, n)| *n)
+        self.cell_counts
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .map_or(0, |(_, n)| *n)
     }
 }
 
@@ -55,7 +58,12 @@ impl fmt::Display for SynthesisReport {
         write!(
             f,
             "{}: depth {}, latency {:.2} ps, area {:.0} um^2, {} JJs, {:.3} uW",
-            self.name, self.logical_depth, self.latency_ps, self.area_um2, self.jj_count, self.power_uw
+            self.name,
+            self.logical_depth,
+            self.latency_ps,
+            self.area_um2,
+            self.jj_count,
+            self.power_uw
         )
     }
 }
@@ -81,14 +89,20 @@ pub fn path_balance(netlist: &Netlist) -> Netlist {
     }
 
     // New level of every mapped net (after balancing).
-    let mut new_level: HashMap<usize, usize> = netlist.inputs().iter().map(|p| (p.net.index(), 0)).collect();
-
-    let mut inserted = 0usize;
+    let mut new_level: HashMap<usize, usize> = netlist
+        .inputs()
+        .iter()
+        .map(|p| (p.net.index(), 0))
+        .collect();
 
     // Gates are stored in topological order, so fan-ins are always mapped.
     for gate in netlist.gates() {
-        let target_level =
-            gate.inputs.iter().map(|n| levels[n.index()]).max().unwrap_or(0);
+        let target_level = gate
+            .inputs
+            .iter()
+            .map(|n| levels[n.index()])
+            .max()
+            .unwrap_or(0);
         let mut new_inputs = Vec::with_capacity(gate.inputs.len());
         for input in &gate.inputs {
             let mut net = net_map[&input.index()];
@@ -96,7 +110,6 @@ pub fn path_balance(netlist: &Netlist) -> Netlist {
             while level < target_level {
                 net = builder.dff(net);
                 level += 1;
-                inserted += 1;
             }
             new_inputs.push(net);
         }
@@ -113,13 +126,13 @@ pub fn path_balance(netlist: &Netlist) -> Netlist {
         while level < depth {
             net = builder.dff(net);
             level += 1;
-            inserted += 1;
         }
         builder.output(port.name.clone(), net);
     }
 
-    let _ = inserted;
-    builder.build().expect("rebalancing a valid netlist always yields a valid netlist")
+    builder
+        .build()
+        .expect("rebalancing a valid netlist always yields a valid netlist")
 }
 
 /// Characterises a netlist against a cell library, path-balancing it first.
@@ -135,14 +148,11 @@ pub fn synthesize(netlist: &Netlist, library: &CellLibrary) -> SynthesisReport {
     let balanced = path_balance(netlist);
     let balancing_dffs = balanced.count_cells(CellType::DroDff) - original_dffs;
 
-    let mut cell_counts: Vec<(CellType, usize)> = CellType::ALL
+    let cell_counts: Vec<(CellType, usize)> = CellType::ALL
         .iter()
         .map(|&c| (c, balanced.count_cells(c)))
         .filter(|(_, n)| *n > 0)
         .collect();
-    if cell_counts.is_empty() {
-        cell_counts = vec![];
-    }
 
     let mut area = 0.0;
     let mut jj: u64 = 0;
@@ -172,7 +182,13 @@ pub fn synthesize(netlist: &Netlist, library: &CellLibrary) -> SynthesisReport {
         .iter()
         .skip(1)
         .take(depth)
-        .map(|&d| if d > 0.0 { d + library.stage_overhead_ps() } else { 0.0 })
+        .map(|&d| {
+            if d > 0.0 {
+                d + library.stage_overhead_ps()
+            } else {
+                0.0
+            }
+        })
         .sum();
 
     SynthesisReport {

@@ -10,7 +10,9 @@ use proptest::prelude::*;
 /// nets.
 fn build_random_netlist(num_inputs: usize, recipe: &[(u8, usize, usize)]) -> nisqplus_sfq::Netlist {
     let mut builder = NetlistBuilder::new("random");
-    let mut nets: Vec<NetId> = (0..num_inputs).map(|i| builder.input(format!("i{i}"))).collect();
+    let mut nets: Vec<NetId> = (0..num_inputs)
+        .map(|i| builder.input(format!("i{i}")))
+        .collect();
     for &(cell, a, b) in recipe {
         let x = nets[a % nets.len()];
         let y = nets[b % nets.len()];

@@ -100,7 +100,11 @@ mod tests {
         for (d, c2) in [(3, 0.65), (5, 0.43), (7, 0.31), (9, 0.32)] {
             let curve = model_curve(d, 0.05, c2, 0.05);
             let fit = fit_scaling_exponent(&curve, 0.05).unwrap();
-            assert!((fit.c2 - c2).abs() < 1e-6, "d={d}: fitted {} expected {c2}", fit.c2);
+            assert!(
+                (fit.c2 - c2).abs() < 1e-6,
+                "d={d}: fitted {} expected {c2}",
+                fit.c2
+            );
             assert!((fit.c1 - 0.05).abs() < 1e-6);
             assert_eq!(fit.distance, d);
         }
@@ -118,7 +122,11 @@ mod tests {
     fn too_few_points_returns_none() {
         let curve = ErrorRateCurve {
             distance: 3,
-            points: vec![ErrorRatePoint { physical: 0.01, logical: 0.001, trials: 10 }],
+            points: vec![ErrorRatePoint {
+                physical: 0.01,
+                logical: 0.001,
+                trials: 10,
+            }],
         };
         assert!(fit_scaling_exponent(&curve, 0.05).is_none());
     }

@@ -34,7 +34,12 @@ impl MonteCarloConfig {
     /// A configuration with the given number of trials and defaults otherwise.
     #[must_use]
     pub fn new(trials: usize) -> Self {
-        MonteCarloConfig { trials, seed: 0x5158_u64, sector: Sector::X, threads: None }
+        MonteCarloConfig {
+            trials,
+            seed: 0x5158_u64,
+            sector: Sector::X,
+            threads: None,
+        }
     }
 
     /// Sets the RNG seed.
@@ -125,9 +130,15 @@ where
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .max(1)
         .min(config.trials.max(1));
-    let results: Mutex<Vec<(usize, usize, Vec<usize>, Vec<f64>)>> = Mutex::new(Vec::new());
+    struct WorkerResult {
+        failures: usize,
+        defects: usize,
+        cycles: Vec<usize>,
+        times: Vec<f64>,
+    }
+    let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker in 0..threads {
             let results = &results;
             let make_decoder = &make_decoder;
@@ -135,7 +146,7 @@ where
             let trials = config.trials / threads + usize::from(worker < config.trials % threads);
             let seed = config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1));
             let sector = config.sector;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let mut decoder = make_decoder();
                 let mut failures = 0usize;
@@ -157,11 +168,15 @@ where
                         times.push(stats.time_ns);
                     }
                 }
-                results.lock().push((failures, defects, cycles, times));
+                results.lock().push(WorkerResult {
+                    failures,
+                    defects,
+                    cycles,
+                    times,
+                });
             });
         }
-    })
-    .expect("monte-carlo worker thread panicked");
+    });
 
     let mut out = MonteCarloResult {
         trials: config.trials,
@@ -170,11 +185,11 @@ where
         cycle_samples: Vec::new(),
         time_ns_samples: Vec::new(),
     };
-    for (failures, defects, cycles, times) in results.into_inner() {
-        out.failures += failures;
-        out.total_defects += defects;
-        out.cycle_samples.extend(cycles);
-        out.time_ns_samples.extend(times);
+    for worker in results.into_inner() {
+        out.failures += worker.failures;
+        out.total_defects += worker.defects;
+        out.cycle_samples.extend(worker.cycles);
+        out.time_ns_samples.extend(worker.times);
     }
     out
 }
@@ -224,7 +239,11 @@ mod tests {
         let model = PureDephasing::new(0.5).unwrap();
         let config = MonteCarloConfig::new(200).with_threads(2).with_seed(7);
         let result = run_sfq_lifetime(&lattice, &model, &config, DecoderVariant::Final);
-        assert!(result.logical_error_rate() > 0.2, "rate {}", result.logical_error_rate());
+        assert!(
+            result.logical_error_rate() > 0.2,
+            "rate {}",
+            result.logical_error_rate()
+        );
         assert!(result.mean_defects() > 1.0);
     }
 
@@ -244,7 +263,9 @@ mod tests {
         let lattice = Lattice::new(3).unwrap();
         let model = PureDephasing::new(0.05).unwrap();
         let config = MonteCarloConfig::new(100).with_threads(2);
-        let result = run_lifetime(&lattice, &model, &config, ExactMatchingDecoder::new, |_| None);
+        let result = run_lifetime(&lattice, &model, &config, ExactMatchingDecoder::new, |_| {
+            None
+        });
         assert_eq!(result.trials, 100);
         assert!(result.cycle_samples.is_empty());
         assert!(result.logical_error_rate() < 0.2);

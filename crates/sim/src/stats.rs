@@ -23,15 +23,26 @@ impl Summary {
     #[must_use]
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
-            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
-        let variance =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { count, mean, std_dev: variance.sqrt(), min, max }
+        Summary {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Computes the summary of an integer-valued sample.
@@ -64,7 +75,13 @@ pub fn histogram(samples: &[f64], bins: usize, max: f64) -> (Vec<f64>, Vec<f64>)
     }
     let densities = counts
         .iter()
-        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
         .collect();
     (edges, densities)
 }

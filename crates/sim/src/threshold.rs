@@ -139,7 +139,9 @@ pub fn accuracy_threshold(curves: &[ErrorRateCurve]) -> Option<f64> {
         let mut prev: Option<(f64, f64)> = None;
         for point in &small.points {
             let p = point.physical;
-            let Some(pl_large) = large.logical_at(p) else { continue };
+            let Some(pl_large) = large.logical_at(p) else {
+                continue;
+            };
             let diff = pl_large - point.logical;
             if let Some((prev_p, prev_diff)) = prev {
                 if prev_diff <= 0.0 && diff > 0.0 {
@@ -188,8 +190,10 @@ mod tests {
 
     #[test]
     fn accuracy_threshold_is_near_the_model_pth() {
-        let curves: Vec<ErrorRateCurve> =
-            [3, 5, 7, 9].iter().map(|&d| synthetic_curve(d, 0.05, 0.4)).collect();
+        let curves: Vec<ErrorRateCurve> = [3, 5, 7, 9]
+            .iter()
+            .map(|&d| synthetic_curve(d, 0.05, 0.4))
+            .collect();
         let th = accuracy_threshold(&curves).expect("curves cross");
         assert!((th - 0.05).abs() < 0.01, "threshold {th}");
     }
@@ -212,14 +216,8 @@ mod tests {
     #[test]
     fn measured_curve_is_monotone_enough_at_small_sizes() {
         // A quick end-to-end check of the measurement pipeline with few trials.
-        let curve = ErrorRateCurve::measure(
-            3,
-            &[0.01, 0.05, 0.12],
-            300,
-            DecoderVariant::Final,
-            11,
-        )
-        .unwrap();
+        let curve = ErrorRateCurve::measure(3, &[0.01, 0.05, 0.12], 300, DecoderVariant::Final, 11)
+            .unwrap();
         assert_eq!(curve.points.len(), 3);
         assert!(curve.points[0].logical <= curve.points[2].logical);
     }
@@ -228,9 +226,16 @@ mod tests {
     fn pseudo_threshold_none_when_always_above_diagonal() {
         // A hopeless decoder whose PL is always far above p.
         let points = (1..=5)
-            .map(|i| ErrorRatePoint { physical: 0.01 * i as f64, logical: 0.5, trials: 10 })
+            .map(|i| ErrorRatePoint {
+                physical: 0.01 * i as f64,
+                logical: 0.5,
+                trials: 10,
+            })
             .collect();
-        let curve = ErrorRateCurve { distance: 3, points };
+        let curve = ErrorRateCurve {
+            distance: 3,
+            points,
+        };
         assert!(pseudo_threshold(&curve).is_none());
     }
 }

@@ -100,7 +100,11 @@ impl CycleDistribution {
     pub fn from_cycles(distance: usize, cycles: &[usize], bins: usize, max_cycles: usize) -> Self {
         let samples: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
         let (bin_edges, densities) = histogram(&samples, bins, max_cycles as f64);
-        CycleDistribution { distance, bin_edges, densities }
+        CycleDistribution {
+            distance,
+            bin_edges,
+            densities,
+        }
     }
 
     /// The bin (by lower edge, in cycles) with the highest probability mass.

@@ -64,14 +64,23 @@ impl BacklogModel {
     /// Panics if either time is not positive.
     #[must_use]
     pub fn new(syndrome_cycle_ns: f64, decode_time_ns: f64) -> Self {
-        assert!(syndrome_cycle_ns > 0.0 && decode_time_ns > 0.0, "times must be positive");
-        BacklogModel { syndrome_cycle_ns, decode_time_ns }
+        assert!(
+            syndrome_cycle_ns > 0.0 && decode_time_ns > 0.0,
+            "times must be positive"
+        );
+        BacklogModel {
+            syndrome_cycle_ns,
+            decode_time_ns,
+        }
     }
 
     /// Creates a model directly from the decoding ratio `f`.
     #[must_use]
     pub fn from_ratio(ratio: f64) -> Self {
-        BacklogModel::new(Self::DEFAULT_SYNDROME_CYCLE_NS, Self::DEFAULT_SYNDROME_CYCLE_NS * ratio)
+        BacklogModel::new(
+            Self::DEFAULT_SYNDROME_CYCLE_NS,
+            Self::DEFAULT_SYNDROME_CYCLE_NS * ratio,
+        )
     }
 
     /// The decoding ratio `f = r_gen / r_proc` (equivalently decode time over
@@ -91,7 +100,12 @@ impl BacklogModel {
         let k = benchmark.t_gates() as f64;
         let compute_s = total * cycle_s;
         if f <= 1.0 || k == 0.0 {
-            return ExecutionTimeline { ratio: f, compute_s, stall_s: 0.0, wall_clock_s: compute_s };
+            return ExecutionTimeline {
+                ratio: f,
+                compute_s,
+                stall_s: 0.0,
+                wall_clock_s: compute_s,
+            };
         }
         // Gap (in cycles) between consecutive T gates.
         let gap = total / k;
@@ -106,7 +120,12 @@ impl BacklogModel {
             }
         }
         let stall_s = stall_cycles * cycle_s;
-        ExecutionTimeline { ratio: f, compute_s, stall_s, wall_clock_s: compute_s + stall_s }
+        ExecutionTimeline {
+            ratio: f,
+            compute_s,
+            stall_s,
+            wall_clock_s: compute_s + stall_s,
+        }
     }
 
     /// The asymptotic backlog growth per T gate: the last stall is roughly
@@ -155,7 +174,12 @@ impl BacklogSimulation {
         let sequence = benchmark.gate_sequence();
         let compute_s = sequence.len() as f64 * cycle_s;
         if f <= 1.0 {
-            return ExecutionTimeline { ratio: f, compute_s, stall_s: 0.0, wall_clock_s: compute_s };
+            return ExecutionTimeline {
+                ratio: f,
+                compute_s,
+                stall_s: 0.0,
+                wall_clock_s: compute_s,
+            };
         }
 
         // Backlog measured in cycles-worth of undecoded syndrome data.
@@ -176,7 +200,12 @@ impl BacklogSimulation {
             backlog += 1.0 - 1.0 / f;
         }
         let stall_s = stall_cycles * cycle_s;
-        ExecutionTimeline { ratio: f, compute_s, stall_s, wall_clock_s: compute_s + stall_s }
+        ExecutionTimeline {
+            ratio: f,
+            compute_s,
+            stall_s,
+            wall_clock_s: compute_s + stall_s,
+        }
     }
 }
 
@@ -262,7 +291,10 @@ mod tests {
         let few = model.final_stall_cycles(&BenchmarkCircuit::cnx_log_depth());
         let many = model.final_stall_cycles(&BenchmarkCircuit::barenco_half_dirty_toffoli());
         assert!(many > few);
-        assert_eq!(BacklogModel::from_ratio(0.9).final_stall_cycles(&BenchmarkCircuit::cnx_log_depth()), 0.0);
+        assert_eq!(
+            BacklogModel::from_ratio(0.9).final_stall_cycles(&BenchmarkCircuit::cnx_log_depth()),
+            0.0
+        );
     }
 
     #[test]

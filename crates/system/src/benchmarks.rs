@@ -38,8 +38,16 @@ impl BenchmarkCircuit {
     /// Panics if `t_gates > total_gates`.
     #[must_use]
     pub fn new(name: impl Into<String>, qubits: usize, total_gates: usize, t_gates: usize) -> Self {
-        assert!(t_gates <= total_gates, "a circuit cannot have more T gates than gates");
-        BenchmarkCircuit { name: name.into(), qubits, total_gates, t_gates }
+        assert!(
+            t_gates <= total_gates,
+            "a circuit cannot have more T gates than gates"
+        );
+        BenchmarkCircuit {
+            name: name.into(),
+            qubits,
+            total_gates,
+            t_gates,
+        }
     }
 
     /// The Takahashi adder (optimised reversible adder): 40 qubits, 740 gates, 266 T gates.

@@ -60,7 +60,11 @@ impl DecoderProfile {
     pub fn neural_network() -> Self {
         DecoderProfile {
             name: "NNet".into(),
-            model: ScalingModel { c1: 0.03, pth: 0.08, c2: 0.45 },
+            model: ScalingModel {
+                c1: 0.03,
+                pth: 0.08,
+                c2: 0.45,
+            },
             decode_latency_ns: 800.0,
             subject_to_backlog: true,
         }
@@ -72,7 +76,11 @@ impl DecoderProfile {
     pub fn union_find() -> Self {
         DecoderProfile {
             name: "Union Find".into(),
-            model: ScalingModel { c1: 0.03, pth: 0.099, c2: 0.5 },
+            model: ScalingModel {
+                c1: 0.03,
+                pth: 0.099,
+                c2: 0.5,
+            },
             decode_latency_ns: 900.0,
             subject_to_backlog: true,
         }
@@ -174,6 +182,10 @@ pub fn required_code_distance(
     None
 }
 
+/// One decoder's Figure 11 curve: `(p, required distance)` points, where
+/// `None` means the decoder cannot reach the target at that error rate.
+pub type DistanceCurve = Vec<(f64, Option<usize>)>;
+
 /// Sweeps physical error rates for the whole Figure 11 panel.
 ///
 /// Returns, for each decoder, the list of `(p, required distance)` points
@@ -182,7 +194,7 @@ pub fn required_code_distance(
 pub fn figure_11_sweep(
     physical_error_rates: &[f64],
     setup: &ComparisonSetup,
-) -> Vec<(DecoderProfile, Vec<(f64, Option<usize>)>)> {
+) -> Vec<(DecoderProfile, DistanceCurve)> {
     DecoderProfile::figure_11_panel()
         .into_iter()
         .map(|profile| {

@@ -7,7 +7,9 @@
 //! single feasibility report.
 
 use nisqplus_core::DecoderModuleHardware;
-use nisqplus_sfq::report::{logical_qubits_supported, protected_distance, MeshReport, RefrigeratorBudget};
+use nisqplus_sfq::report::{
+    logical_qubits_supported, protected_distance, MeshReport, RefrigeratorBudget,
+};
 use serde::{Deserialize, Serialize};
 
 /// Feasibility of hosting a decoder mesh in a refrigerator.

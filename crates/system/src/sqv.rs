@@ -25,7 +25,11 @@ impl ScalingModel {
     /// The ideal-decoder model of Fowler et al.: `PL ≈ 0.03 (p/pth)^(d/2)`.
     #[must_use]
     pub fn ideal_mwpm() -> Self {
-        ScalingModel { c1: 0.03, pth: 0.103, c2: 0.5 }
+        ScalingModel {
+            c1: 0.03,
+            pth: 0.103,
+            c2: 0.5,
+        }
     }
 
     /// The paper-calibrated model for the SFQ decoder at a given code
@@ -40,7 +44,11 @@ impl ScalingModel {
             7 => 0.306,
             _ => 0.323,
         };
-        ScalingModel { c1: 0.048, pth: 0.05, c2 }
+        ScalingModel {
+            c1: 0.048,
+            pth: 0.05,
+            c2,
+        }
     }
 
     /// The logical error rate at physical error rate `p` and code distance `d`.
@@ -78,7 +86,11 @@ impl SqvAnalysis {
     /// The machine of Figure 1: about a thousand physical qubits at `p = 1e-5`.
     #[must_use]
     pub fn near_term_machine() -> Self {
-        SqvAnalysis { physical_qubits: 1024, physical_error_rate: 1e-5, nisq_target_sqv: 1e5 }
+        SqvAnalysis {
+            physical_qubits: 1024,
+            physical_error_rate: 1e-5,
+            nisq_target_sqv: 1e5,
+        }
     }
 
     /// Creates an analysis for an arbitrary machine.
@@ -92,7 +104,11 @@ impl SqvAnalysis {
             physical_error_rate > 0.0 && physical_error_rate <= 1.0,
             "physical error rate must be in (0, 1]"
         );
-        SqvAnalysis { physical_qubits, physical_error_rate, nisq_target_sqv: 1e5 }
+        SqvAnalysis {
+            physical_qubits,
+            physical_error_rate,
+            nisq_target_sqv: 1e5,
+        }
     }
 
     /// The unencoded machine: every physical qubit computes until it fails.
@@ -124,7 +140,11 @@ impl SqvAnalysis {
         let logical_qubits = self.physical_qubits / qubits_per_logical.max(1);
         let pl = model.logical_error_rate(self.physical_error_rate, distance);
         let sqv = if logical_qubits == 0 { 0.0 } else { 1.0 / pl };
-        let gates_per_qubit = if logical_qubits == 0 { 0.0 } else { sqv / logical_qubits as f64 };
+        let gates_per_qubit = if logical_qubits == 0 {
+            0.0
+        } else {
+            sqv / logical_qubits as f64
+        };
         SqvPoint {
             label: format!("{logical_qubits} logical qubits at d={distance}"),
             qubits: logical_qubits,
@@ -188,8 +208,10 @@ mod tests {
     #[test]
     fn d5_boost_exceeds_d3_boost() {
         let analysis = SqvAnalysis::near_term_machine();
-        let d3 = analysis.encoded_machine(3, &ScalingModel::sfq_paper(3), data_qubits_per_logical(3));
-        let d5 = analysis.encoded_machine(5, &ScalingModel::sfq_paper(5), data_qubits_per_logical(5));
+        let d3 =
+            analysis.encoded_machine(3, &ScalingModel::sfq_paper(3), data_qubits_per_logical(3));
+        let d5 =
+            analysis.encoded_machine(5, &ScalingModel::sfq_paper(5), data_qubits_per_logical(5));
         assert!(
             d5.sqv > d3.sqv,
             "moving to d=5 must increase the volume further (paper: 3402 -> 11163)"

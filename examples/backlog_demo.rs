@@ -22,7 +22,10 @@ fn main() {
         offline.ratio()
     );
     println!();
-    println!("{:<30} {:>10} {:>18} {:>18}", "benchmark", "T gates", "online wall clock", "offline wall clock");
+    println!(
+        "{:<30} {:>10} {:>18} {:>18}",
+        "benchmark", "T gates", "online wall clock", "offline wall clock"
+    );
     for bench in standard_benchmarks() {
         let fast = BacklogSimulation::new(online).run(&bench);
         let slow = BacklogSimulation::new(offline).run(&bench);

@@ -44,9 +44,10 @@ fn main() {
         hardware.mesh_for_distance(9).area_mm2,
         hardware.mesh_for_distance(9).power_mw
     );
-    for (label, budget) in
-        [("1 W / 100 cm^2", RefrigeratorBudget::typical()), ("2 W / 200 cm^2", RefrigeratorBudget::generous())]
-    {
+    for (label, budget) in [
+        ("1 W / 100 cm^2", RefrigeratorBudget::typical()),
+        ("2 W / 200 cm^2", RefrigeratorBudget::generous()),
+    ] {
         let report = cooling_feasibility(&hardware, 9, &budget);
         println!(
             "budget {label}: d=9 mesh fits = {}, max mesh {}x{} (one logical qubit at d={}, or {} \

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("logical error rates (%) from {trials} trials per point, pure dephasing noise");
     println!();
-    println!("{:>6} {:>4} {:>12} {:>12} {:>12}", "p (%)", "d", "sfq-mesh", "mwpm", "union-find");
+    println!(
+        "{:>6} {:>4} {:>12} {:>12} {:>12}",
+        "p (%)", "d", "sfq-mesh", "mwpm", "union-find"
+    );
     for &p in &physical_rates {
         for &d in &distances {
             let lattice = Lattice::new(d)?;
@@ -24,8 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let config = MonteCarloConfig::new(trials).with_seed(0xE0 + d as u64);
 
             let sfq = run_sfq_lifetime(&lattice, &model, &config, DecoderVariant::Final);
-            let mwpm =
-                run_lifetime(&lattice, &model, &config, ExactMatchingDecoder::new, |_| None);
+            let mwpm = run_lifetime(&lattice, &model, &config, ExactMatchingDecoder::new, |_| {
+                None
+            });
             let uf = run_lifetime(&lattice, &model, &config, UnionFindDecoder::new, |_| None);
 
             println!(

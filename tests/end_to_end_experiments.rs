@@ -15,7 +15,10 @@ fn figure10_pipeline_produces_a_pseudo_threshold() {
     let final_curve =
         ErrorRateCurve::measure(5, &rates, 3_000, DecoderVariant::Final, 0xAB).unwrap();
     let pt = pseudo_threshold(&final_curve);
-    assert!(pt.is_some(), "final design must have a pseudo-threshold: {final_curve:?}");
+    assert!(
+        pt.is_some(),
+        "final design must have a pseudo-threshold: {final_curve:?}"
+    );
     let pt = pt.unwrap();
     assert!((0.01..=0.09).contains(&pt), "pseudo-threshold {pt}");
 
@@ -24,7 +27,10 @@ fn figure10_pipeline_produces_a_pseudo_threshold() {
     // The baseline either has no pseudo-threshold or a dramatically worse one.
     match pseudo_threshold(&baseline_curve) {
         None => {}
-        Some(b) => assert!(b < pt, "baseline pseudo-threshold {b} should be below final {pt}"),
+        Some(b) => assert!(
+            b < pt,
+            "baseline pseudo-threshold {b} should be below final {pt}"
+        ),
     }
 }
 
@@ -36,7 +42,11 @@ fn table5_pipeline_fits_a_sub_ideal_exponent() {
     let curve = ErrorRateCurve::measure(5, &rates, 6_000, DecoderVariant::Final, 0xF1).unwrap();
     let fit = fit_scaling_exponent(&curve, 0.05).expect("enough sub-threshold points");
     assert!(fit.c2 > 0.05, "c2 {} must be positive", fit.c2);
-    assert!(fit.c2 < 0.9, "c2 {} should reflect an approximate decoder", fit.c2);
+    assert!(
+        fit.c2 < 0.9,
+        "c2 {} should reflect an approximate decoder",
+        fit.c2
+    );
 }
 
 /// Figure 1 pipeline: the SQV boost factors land in the paper's range.
@@ -59,7 +69,11 @@ fn figure11_pipeline_shows_the_code_distance_gap() {
     let setup = ComparisonSetup::default();
     for p in [1e-4, 1e-3] {
         let sfq = required_code_distance(&DecoderProfile::sfq(5), p, &setup).unwrap();
-        for slow in [DecoderProfile::mwpm(), DecoderProfile::neural_network(), DecoderProfile::union_find()] {
+        for slow in [
+            DecoderProfile::mwpm(),
+            DecoderProfile::neural_network(),
+            DecoderProfile::union_find(),
+        ] {
             let needed = required_code_distance(&slow, p, &setup).unwrap();
             assert!(
                 needed >= 5 * sfq,
@@ -67,7 +81,8 @@ fn figure11_pipeline_shows_the_code_distance_gap() {
                 slow.name
             );
         }
-        let free = required_code_distance(&DecoderProfile::mwpm_without_backlog(), p, &setup).unwrap();
+        let free =
+            required_code_distance(&DecoderProfile::mwpm_without_backlog(), p, &setup).unwrap();
         assert!(free <= sfq + 2);
     }
 }

@@ -2,7 +2,9 @@
 //! hardware characterisation and the system-level analyses working together.
 
 use nisqplus_core::{DecoderModuleHardware, DecoderVariant, SfqMeshDecoder};
-use nisqplus_decoders::{Decoder, ExactMatchingDecoder, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder};
+use nisqplus_decoders::{
+    Decoder, ExactMatchingDecoder, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder,
+};
 use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::logical::{classify_residual, LogicalState};
@@ -78,10 +80,22 @@ fn design_variants_improve_monotonically() {
         .map(|&v| run_sfq_lifetime(&lattice, &model, &config, v).logical_error_rate())
         .collect();
     let (baseline, reset, boundary, final_design) = (rates[0], rates[1], rates[2], rates[3]);
-    assert!(final_design <= boundary + 0.02, "final {final_design} vs boundary {boundary}");
-    assert!(boundary < baseline, "boundary {boundary} vs baseline {baseline}");
-    assert!(final_design < baseline / 2.0, "final {final_design} vs baseline {baseline}");
-    assert!(reset <= baseline + 0.05, "reset {reset} vs baseline {baseline}");
+    assert!(
+        final_design <= boundary + 0.02,
+        "final {final_design} vs boundary {boundary}"
+    );
+    assert!(
+        boundary < baseline,
+        "boundary {boundary} vs baseline {baseline}"
+    );
+    assert!(
+        final_design < baseline / 2.0,
+        "final {final_design} vs baseline {baseline}"
+    );
+    assert!(
+        reset <= baseline + 0.05,
+        "reset {reset} vs baseline {baseline}"
+    );
 }
 
 /// Below threshold, larger code distances give lower logical error rates for
@@ -117,7 +131,10 @@ fn decoder_speed_keeps_the_machine_backlog_free() {
         .iter()
         .map(|&c| converter.cycles_to_ns(c))
         .fold(0.0f64, f64::max);
-    assert!(worst_ns < 400.0, "worst decode {worst_ns} ns must beat the 400 ns syndrome cycle");
+    assert!(
+        worst_ns < 400.0,
+        "worst decode {worst_ns} ns must beat the 400 ns syndrome cycle"
+    );
 
     let online = BacklogModel::new(400.0, worst_ns.max(1.0));
     let offline = BacklogModel::new(400.0, 800.0);
@@ -125,7 +142,11 @@ fn decoder_speed_keeps_the_machine_backlog_free() {
         let fast = online.execution_time(&bench);
         let slow = offline.execution_time(&bench);
         assert_eq!(fast.stall_s, 0.0, "{}", bench.name());
-        assert!(slow.slowdown() > 1e6, "{} should blow up when backlogged", bench.name());
+        assert!(
+            slow.slowdown() > 1e6,
+            "{} should blow up when backlogged",
+            bench.name()
+        );
     }
 }
 

@@ -1,0 +1,255 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the group / `bench_with_input` / `Bencher::iter` API the
+//! workspace's benches use, backed by a simple but honest wall-clock
+//! measurement: a fixed warm-up, then `sample_size` samples of an adaptively
+//! chosen iteration count each, reporting min / mean / max ns per iteration
+//! in a criterion-like line format. There is no statistical regression
+//! testing, plotting or baseline persistence — the numbers print to stdout
+//! and are meant to be recorded manually (see CHANGES.md for the current
+//! baseline).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(20);
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(8);
+/// Ceiling on one benchmark point's total measuring time, so slow targets
+/// (e.g. Monte-Carlo batches) cannot stall the suite.
+const MAX_TOTAL_TIME: Duration = Duration::from_secs(5);
+
+/// The benchmark harness entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n{name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with the given input, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.repr);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` without an input, labelled by `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// An identifier for one benchmark point within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration nanoseconds for each sample, filled by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration timings.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and iteration-count calibration.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let iters = ((TARGET_SAMPLE_TIME.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+
+        let budget = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+            if budget.elapsed() > MAX_TOTAL_TIME {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        eprintln!("{label:<40} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let min = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    eprintln!(
+        "{label:<40} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(5).repr, "5");
+        assert_eq!(BenchmarkId::new("decode", 7).repr, "decode/7");
+    }
+}

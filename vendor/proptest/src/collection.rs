@@ -1,0 +1,63 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A length specification for collection strategies: either fixed or a
+/// half-open range, mirroring proptest's `SizeRange` conversions.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            start: len,
+            end: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(
+            range.start < range.end,
+            "empty vec-size range {}..{}",
+            range.start,
+            range.end
+        );
+        SizeRange {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from an inner strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Creates a strategy generating vectors of `element` values with a length
+/// drawn from `size` (a fixed `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + rng.below(span.max(1));
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

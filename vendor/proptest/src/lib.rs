@@ -1,0 +1,144 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Re-implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the [`Strategy`] trait over a deterministic RNG,
+//! `any::<T>()`, ranges, tuples, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop::sample::Index`, `ProptestConfig`, the
+//! `proptest!` test-declaration macro and the `prop_assert*` family.
+//!
+//! The one deliberate omission is *shrinking*: a failing case reports its
+//! case number and generated inputs' debug description is left to the
+//! assertion message, rather than searching for a minimal counterexample.
+//! Failures stay reproducible because case generation is deterministic — the
+//! RNG is seeded from the test name and case index only.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import for proptest users.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Module alias so that `prop::collection::vec` and `prop::sample::Index`
+    /// resolve after a glob import, as in the real crate.
+    pub use crate as prop;
+}
+
+/// Declares property tests. Each function body runs `ProptestConfig::cases`
+/// times with freshly generated inputs; generation is deterministic per
+/// (test name, case index).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = ( $($strat,)+ );
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let ( $($pat,)+ ) =
+                        $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        ::core::panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)*), left
+        );
+    }};
+}

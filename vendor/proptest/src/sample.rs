@@ -1,0 +1,26 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position into a not-yet-known collection: generated as raw entropy and
+/// projected onto a concrete length with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, as in the real crate.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index called with an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}

@@ -1,0 +1,101 @@
+//! Behavioural tests of the `proptest!` macro itself: case counts, strategy
+//! ranges, determinism, and failure reporting.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(37))]
+
+    /// Every configured case actually executes the body.
+    #[test]
+    fn body_runs_once_per_case(_x in 0usize..10) {
+        CASES_RUN.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn proptest_runs_the_configured_number_of_cases() {
+    CASES_RUN.store(0, Ordering::SeqCst);
+    body_runs_once_per_case();
+    assert_eq!(CASES_RUN.load(Ordering::SeqCst), 37);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 3usize..9, y in 0u8..2) {
+        prop_assert!((3..9).contains(&x));
+        prop_assert!(y < 2);
+    }
+
+    #[test]
+    fn oneof_only_yields_listed_values(d in prop_oneof![Just(3usize), Just(5), Just(7)]) {
+        prop_assert!(d == 3 || d == 5 || d == 7);
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range(
+        v in prop::collection::vec(0usize..100, 2..6),
+        w in prop::collection::vec(any::<u8>(), 3),
+    ) {
+        prop_assert!((2..6).contains(&v.len()));
+        prop_assert_eq!(w.len(), 3);
+        for &x in &v {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn index_projects_into_collections(i in any::<prop::sample::Index>()) {
+        let items = [10, 20, 30, 40, 50];
+        let picked = items[i.index(items.len())];
+        prop_assert!(items.contains(&picked));
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise(
+        (a, b, c) in (0usize..4, 10usize..14, any::<bool>()),
+    ) {
+        prop_assert!(a < 4);
+        prop_assert!((10..14).contains(&b));
+        let _ = c;
+    }
+}
+
+proptest! {
+    /// A deliberately failing property, invoked manually below — not named
+    /// with a `#[test]` attribute, so the harness does not run it directly.
+    fn always_fails(x in 0usize..10) {
+        prop_assert!(x > 100, "x was {}", x);
+    }
+}
+
+#[test]
+fn failing_property_panics_with_case_context() {
+    let result = catch_unwind(AssertUnwindSafe(always_fails));
+    let err = result.expect_err("property must fail");
+    let message = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(message.contains("always_fails"), "message was: {message}");
+    assert!(message.contains("failed at case"), "message was: {message}");
+}
+
+#[test]
+fn generation_is_deterministic_across_runs() {
+    let strategy = prop::collection::vec(0usize..1000, 0..20);
+    let a: Vec<Vec<usize>> = (0..10)
+        .map(|case| strategy.generate(&mut proptest::test_runner::TestRng::for_case("det", case)))
+        .collect();
+    let b: Vec<Vec<usize>> = (0..10)
+        .map(|case| strategy.generate(&mut proptest::test_runner::TestRng::for_case("det", case)))
+        .collect();
+    assert_eq!(a, b);
+}

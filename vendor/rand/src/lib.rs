@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build container has no network access, so this crate re-implements the
+//! small slice of the rand 0.8 API the workspace actually uses:
+//!
+//! * [`RngCore`] — the raw entropy source (`next_u32` / `next_u64` /
+//!   `fill_bytes`),
+//! * [`Rng`] — the user-facing extension trait providing `gen()`, object-safe
+//!   so that `R: Rng + ?Sized` bounds work,
+//! * [`SeedableRng`] — byte-seed construction plus the `seed_from_u64`
+//!   convenience, using the same PCG32-based seed expansion as rand_core
+//!   0.6's default implementation,
+//! * the [`distributions::Standard`]-equivalent sampling for the primitive
+//!   types the workspace draws (`f64`, `f32`, `bool`, and the integers).
+//!
+//! Compatibility with the real crates, for what this workspace uses:
+//! `seed_from_u64` reproduces rand_core 0.6's expansion and `f64` sampling
+//! uses rand 0.8's 53-bit mantissa construction, so
+//! `ChaCha8Rng::seed_from_u64(s).gen::<f64>()` streams match the real
+//! rand + rand_chacha pair. Other paths are self-consistent but NOT
+//! stream-compatible: integer `Standard` sampling always consumes a full
+//! `next_u64` (real rand draws `next_u32` for 32-bit-and-smaller types) and
+//! `gen_range` uses a simpler multiply-shift mapping than rand's
+//! widening-multiply-with-rejection. Seeded results recorded in CHANGES.md
+//! may therefore shift on those paths if the vendored shims are swapped for
+//! the crates.io versions.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: a source of random words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the `Standard`
+/// distribution of the real crate).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1), as rand 0.8 does.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+/// User-facing random value generation, auto-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` uniformly (the `Standard` distribution).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        self.gen::<f64>() < p
+    }
+
+    /// Samples an integer uniformly from `[low, high)`.
+    fn gen_range(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * span,
+        // negligible for the simulation workloads here.
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start + hi as usize
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, conventionally a byte array.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64`, expanding it into a full seed
+    /// with the PCG32 stream rand_core 0.6's default implementation uses,
+    /// so seeded generators match the real crates'.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Constants from rand_core 0.6 (PCG32 multiplier/increment).
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            // PCG output function (XSH-RR).
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            let bytes = word.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Commonly re-exported items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5..17);
+            assert!((5..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_matches_rand_core_06_expansion() {
+        // Golden output of rand_core 0.6's default `seed_from_u64` (PCG32
+        // expansion, XSH-RR output) for seed 0 — guards against drifting
+        // away from the real crates' seeded streams.
+        struct CaptureSeed([u8; 32]);
+        impl SeedableRng for CaptureSeed {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                CaptureSeed(seed)
+            }
+        }
+        let expanded = CaptureSeed::seed_from_u64(0).0;
+        let expect: [u8; 32] = [
+            236, 242, 115, 249, 129, 181, 205, 69, 135, 240, 70, 115, 6, 173, 108, 173, 208, 208,
+            163, 227, 51, 23, 231, 103, 242, 155, 234, 114, 215, 138, 125, 254,
+        ];
+        assert_eq!(expanded, expect);
+    }
+
+    #[test]
+    fn unsized_rng_is_usable() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = Counter(1);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let x = draw(dynamic);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The container this repository builds in has no network access, so the real
+//! serde cannot be fetched from crates.io. The workspace only ever uses serde
+//! through `#[derive(Serialize, Deserialize)]` — no bounds, no `#[serde(...)]`
+//! field attributes, no serializer back-ends — so this crate provides exactly
+//! that surface: two derive macros that expand to nothing. Swapping the
+//! `[workspace.dependencies]` entry back to the crates.io `serde` is a
+//! one-line change once the build environment has network access.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
