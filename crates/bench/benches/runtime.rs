@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the streaming runtime: ring-buffer hot path,
+//! packet codec, and short end-to-end streaming runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nisqplus_core::SfqMeshDecoder;
+use nisqplus_decoders::DynDecoder;
+use nisqplus_qec::syndrome::Syndrome;
+use nisqplus_runtime::{PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine, SyndromePacket};
+
+fn ring_benchmarks(c: &mut Criterion) {
+    let ring = SpmcRing::new(1024, 3);
+    let record = [7u64, 11, 13];
+    let mut out = [0u64; 3];
+    c.bench_function("ring_push_pop", |b| {
+        b.iter(|| {
+            ring.try_push(&record).expect("ring never fills");
+            assert!(ring.try_pop(&mut out));
+            out[0]
+        })
+    });
+}
+
+fn codec_benchmarks(c: &mut Criterion) {
+    // d=5: 40 ancillas, a typical 3-defect round.
+    let codec = PacketCodec::new(40);
+    let syndrome = Syndrome::from_hot(40, &[3, 17, 31]);
+    let packet = SyndromePacket::new(42, 123_456, &syndrome);
+    let mut record = vec![0u64; codec.words_per_packet()];
+    c.bench_function("packet_encode_decode", |b| {
+        b.iter(|| {
+            codec.encode(&packet, &mut record);
+            codec.decode(&record)
+        })
+    });
+}
+
+fn streaming_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_1k_rounds");
+    group.sample_size(10);
+    for workers in [1usize, 2] {
+        let mut config = RuntimeConfig::new(5);
+        config.rounds = 1_000;
+        config.workers = workers;
+        config.cadence_cycles = 0; // un-paced: measure pure pipeline throughput
+        config.queue_capacity = 256;
+        let engine = StreamingEngine::new(config).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| engine.run(&|| Box::new(SfqMeshDecoder::final_design()) as DynDecoder))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = ring_benchmarks, codec_benchmarks, streaming_benchmarks
+}
+criterion_main!(benches);

@@ -289,4 +289,16 @@ mod tests {
         let decoder = SfqMeshDecoder::final_design().with_cycle_time_ps(200.0);
         assert_eq!(decoder.cycle_time_ps(), 200.0);
     }
+
+    /// Compile-time assertion: the SFQ mesh decoder is `Send + Sync`, so the
+    /// streaming runtime can hand one instance to each worker thread (or
+    /// share a prototype to clone from) without wrappers.
+    #[test]
+    fn mesh_decoder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SfqMeshDecoder>();
+        assert_send_sync::<DecodeStats>();
+        fn assert_send<T: Send>() {}
+        assert_send::<nisqplus_decoders::DynDecoder>();
+    }
 }

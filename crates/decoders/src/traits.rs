@@ -224,7 +224,13 @@ impl fmt::Display for Correction {
 /// Decoders may keep internal scratch state between calls (hence `&mut self`)
 /// but must not carry information from one syndrome to the next: every call
 /// is an independent decoding problem.
-pub trait Decoder {
+///
+/// `Send` is a supertrait so that decoders can be moved onto worker threads
+/// (the streaming runtime hands one decoder instance to each worker) without
+/// wrapper types; all decoders in the workspace are also `Sync`, which the
+/// compile-time assertions in this crate's and `nisqplus-core`'s tests pin
+/// down.
+pub trait Decoder: Send {
     /// A short human-readable name for reports ("mwpm", "union-find", "sfq-mesh", ...).
     fn name(&self) -> &str;
 
@@ -237,6 +243,36 @@ pub trait Decoder {
         let z_part = self.decode(lattice, syndrome, Sector::Z);
         correction.compose_with(&z_part);
         correction
+    }
+}
+
+/// A boxed decoder, movable across worker threads.
+pub type DynDecoder = Box<dyn Decoder>;
+
+/// A thread-shareable factory producing fresh decoder instances.
+///
+/// Worker pools cannot share one `&mut` decoder, so instead each worker asks
+/// the factory for its own instance.  Any `Fn() -> DynDecoder` closure is a
+/// factory:
+///
+/// ```rust
+/// use nisqplus_decoders::{DecoderFactory, DynDecoder, GreedyMatchingDecoder};
+///
+/// let factory = || Box::new(GreedyMatchingDecoder::new()) as DynDecoder;
+/// let per_worker = factory.build();
+/// assert_eq!(per_worker.name(), "greedy-matching");
+/// ```
+pub trait DecoderFactory: Send + Sync {
+    /// Builds one fresh decoder instance (typically one per worker thread).
+    fn build(&self) -> DynDecoder;
+}
+
+impl<F> DecoderFactory for F
+where
+    F: Fn() -> DynDecoder + Send + Sync,
+{
+    fn build(&self) -> DynDecoder {
+        self()
     }
 }
 
@@ -339,5 +375,43 @@ mod tests {
         let c = Correction::identity(10);
         assert_eq!(c.weight(), 0);
         assert_eq!(c.pauli_string().len(), 10);
+    }
+
+    /// Compile-time assertion: every decoder in this crate is `Send + Sync`,
+    /// and boxed decoders can cross thread boundaries.  A decoder gaining a
+    /// non-thread-safe field (`Rc`, raw pointer, ...) fails this at compile
+    /// time, not at runtime inside the worker pool.
+    #[test]
+    fn decoders_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<crate::lookup::LookupDecoder>();
+        assert_send_sync::<crate::matching::GreedyMatchingDecoder>();
+        assert_send_sync::<crate::matching::ExactMatchingDecoder>();
+        assert_send_sync::<crate::union_find::UnionFindDecoder>();
+        assert_send::<super::DynDecoder>();
+    }
+
+    #[test]
+    fn closure_factories_build_fresh_decoders() {
+        use super::{DecoderFactory, DynDecoder};
+        use crate::matching::GreedyMatchingDecoder;
+        let factory = || Box::new(GreedyMatchingDecoder::new()) as DynDecoder;
+        let lat = lattice();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let syndrome =
+            nisqplus_qec::syndrome::Syndrome::from_hot(lat.num_ancillas(), &[xs[0], xs[1]]);
+        // Two workers building from the same factory decode independently and
+        // identically.
+        let mut a = factory.build();
+        let mut b = factory.build();
+        assert_eq!(a.name(), b.name());
+        assert_eq!(
+            a.decode(&lat, &syndrome, Sector::X),
+            b.decode(&lat, &syndrome, Sector::X)
+        );
+        // Factories are shareable across threads.
+        fn assert_factory<T: DecoderFactory>(_: &T) {}
+        assert_factory(&factory);
     }
 }

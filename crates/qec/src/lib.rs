@@ -54,4 +54,4 @@ pub use frame::PauliFrame;
 pub use lattice::{Coord, Lattice, QubitKind, Sector};
 pub use logical::LogicalState;
 pub use pauli::{Pauli, PauliString};
-pub use syndrome::{DetectionEvents, Syndrome};
+pub use syndrome::{DetectionEvents, PackedSyndrome, Syndrome};

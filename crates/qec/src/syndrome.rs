@@ -169,6 +169,211 @@ impl FromIterator<bool> for Syndrome {
     }
 }
 
+/// A bit-packed syndrome: one bit per ancilla, stored in `u64` words.
+///
+/// [`Syndrome`] stores one `bool` per ancilla, which is convenient for the
+/// decoders but wasteful on the wire: the streaming runtime moves syndromes
+/// through a lock-free ring buffer whose slots are fixed arrays of `u64`
+/// words, so a d=9 syndrome (144 ancillas) packs into three words instead of
+/// 144 bytes.  `PackedSyndrome` is the transport representation; it
+/// round-trips losslessly with [`Syndrome`] and iterates its detection
+/// events with popcount/trailing-zeros scans rather than a per-bit walk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PackedSyndrome {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedSyndrome {
+    /// The number of `u64` words needed to pack `len` ancilla bits.
+    #[must_use]
+    pub fn words_for(len: usize) -> usize {
+        len.div_ceil(64)
+    }
+
+    /// Creates an all-clear packed syndrome of the given bit length.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        PackedSyndrome {
+            len,
+            words: vec![0; Self::words_for(len)],
+        }
+    }
+
+    /// Packs an unpacked [`Syndrome`].
+    #[must_use]
+    pub fn from_syndrome(syndrome: &Syndrome) -> Self {
+        let mut packed = PackedSyndrome::new(syndrome.len());
+        for (i, hot) in syndrome.iter().enumerate() {
+            if hot {
+                packed.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        packed
+    }
+
+    /// Reconstructs a packed syndrome from raw words (e.g. read back out of
+    /// a ring-buffer slot).  Bits beyond `len` in the last word are masked
+    /// off, so slot padding cannot leak into the syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from [`PackedSyndrome::words_for`]`(len)`.
+    #[must_use]
+    pub fn from_words(len: usize, mut words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            Self::words_for(len),
+            "expected {} words for {len} bits, got {}",
+            Self::words_for(len),
+            words.len()
+        );
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+        PackedSyndrome { len, words }
+    }
+
+    /// Unpacks back into a [`Syndrome`].
+    #[must_use]
+    pub fn to_syndrome(&self) -> Syndrome {
+        (0..self.len).map(|i| self.is_hot(i)).collect()
+    }
+
+    /// The number of ancilla bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the syndrome has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if ancilla `index` reported a detection event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn is_hot(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit {index} out of range {}", self.len);
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Sets the detection bit of ancilla `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize, hot: bool) {
+        assert!(index < self.len, "bit {index} out of range {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if hot {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// The number of hot ancillas (one `popcount` per word).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if any ancilla reported a detection event.
+    #[must_use]
+    pub fn any_hot(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// The packed words, least-significant bit first.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the hot ancilla indices in ascending order using
+    /// trailing-zeros scans (skipping clear words wholesale), as the
+    /// riscv-qcu style streaming pipelines do.
+    #[must_use]
+    pub fn defect_indices(&self) -> DefectIndices<'_> {
+        DefectIndices {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// XORs another packed syndrome into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &PackedSyndrome) {
+        assert_eq!(
+            self.len, other.len,
+            "cannot xor packed syndromes of lengths {} and {}",
+            self.len, other.len
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= *b;
+        }
+    }
+}
+
+impl From<&Syndrome> for PackedSyndrome {
+    fn from(syndrome: &Syndrome) -> Self {
+        PackedSyndrome::from_syndrome(syndrome)
+    }
+}
+
+impl From<&PackedSyndrome> for Syndrome {
+    fn from(packed: &PackedSyndrome) -> Self {
+        packed.to_syndrome()
+    }
+}
+
+impl fmt::Display for PackedSyndrome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.is_hot(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the hot bit indices of a [`PackedSyndrome`].
+///
+/// Produced by [`PackedSyndrome::defect_indices`]; yields indices in
+/// ascending order by clearing the lowest set bit of each word in turn.
+#[derive(Debug, Clone)]
+pub struct DefectIndices<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for DefectIndices<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+}
+
 /// Detection events accumulated across multiple stabilizer-measurement rounds.
 ///
 /// In a lifetime (Monte-Carlo) simulation, each full iteration of the
@@ -320,5 +525,73 @@ mod tests {
         let events = DetectionEvents::new();
         assert!(events.is_empty());
         assert_eq!(events.collapse().len(), 0);
+    }
+
+    #[test]
+    fn packed_round_trip_preserves_everything() {
+        let s = Syndrome::from_hot(130, &[0, 1, 63, 64, 65, 127, 128, 129]);
+        let packed = PackedSyndrome::from_syndrome(&s);
+        assert_eq!(packed.len(), 130);
+        assert_eq!(packed.weight(), s.weight());
+        assert_eq!(packed.to_syndrome(), s);
+        assert_eq!(packed.defect_indices().collect::<Vec<_>>(), s.hot_indices());
+        assert_eq!(packed.to_string(), s.to_string());
+    }
+
+    #[test]
+    fn packed_word_counts() {
+        assert_eq!(PackedSyndrome::words_for(0), 0);
+        assert_eq!(PackedSyndrome::words_for(1), 1);
+        assert_eq!(PackedSyndrome::words_for(64), 1);
+        assert_eq!(PackedSyndrome::words_for(65), 2);
+        assert_eq!(PackedSyndrome::new(40).words().len(), 1);
+        assert_eq!(PackedSyndrome::new(144).words().len(), 3);
+    }
+
+    #[test]
+    fn packed_set_and_query() {
+        let mut p = PackedSyndrome::new(70);
+        assert!(!p.any_hot());
+        p.set(69, true);
+        p.set(3, true);
+        p.set(3, false);
+        assert!(p.is_hot(69));
+        assert!(!p.is_hot(3));
+        assert_eq!(p.weight(), 1);
+        assert_eq!(p.defect_indices().collect::<Vec<_>>(), vec![69]);
+    }
+
+    #[test]
+    fn packed_from_words_masks_slot_padding() {
+        // A 40-bit syndrome read out of a 64-bit slot word with garbage in the
+        // upper 24 bits must come back clean.
+        let p = PackedSyndrome::from_words(40, vec![u64::MAX]);
+        assert_eq!(p.weight(), 40);
+        assert!(p.defect_indices().all(|i| i < 40));
+        let via_conversion: Syndrome = (&p).into();
+        assert_eq!(via_conversion.weight(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 words")]
+    fn packed_from_words_rejects_wrong_word_count() {
+        let _ = PackedSyndrome::from_words(65, vec![0]);
+    }
+
+    #[test]
+    fn packed_xor_matches_unpacked_xor() {
+        let a = Syndrome::from_hot(100, &[0, 50, 99]);
+        let b = Syndrome::from_hot(100, &[50, 64]);
+        let mut pa = PackedSyndrome::from_syndrome(&a);
+        pa.xor_with(&PackedSyndrome::from_syndrome(&b));
+        assert_eq!(pa.to_syndrome(), a.xor(&b));
+    }
+
+    #[test]
+    fn empty_packed_syndrome() {
+        let p = PackedSyndrome::new(0);
+        assert!(p.is_empty());
+        assert_eq!(p.defect_indices().count(), 0);
+        assert_eq!(p.to_syndrome().len(), 0);
     }
 }

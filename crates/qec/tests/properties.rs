@@ -2,7 +2,7 @@
 
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::pauli::{Pauli, PauliString};
-use nisqplus_qec::syndrome::Syndrome;
+use nisqplus_qec::syndrome::{PackedSyndrome, Syndrome};
 use proptest::prelude::*;
 
 fn arb_distance() -> impl Strategy<Value = usize> {
@@ -119,5 +119,58 @@ proptest! {
             lattice.ancilla_distance(a, c)
                 <= lattice.ancilla_distance(a, b) + lattice.ancilla_distance(b, c)
         );
+    }
+
+    /// Bit-packing a syndrome and unpacking it recovers the original exactly,
+    /// for arbitrary bit patterns at arbitrary lengths (including word
+    /// boundaries).
+    #[test]
+    fn packed_syndrome_round_trips(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let syndrome: Syndrome = bits.into_iter().collect();
+        let packed = PackedSyndrome::from_syndrome(&syndrome);
+        prop_assert_eq!(packed.len(), syndrome.len());
+        prop_assert_eq!(packed.weight(), syndrome.weight());
+        prop_assert_eq!(packed.any_hot(), syndrome.any_hot());
+        prop_assert_eq!(packed.to_syndrome(), syndrome);
+    }
+
+    /// The popcount-based defect iteration visits exactly the hot indices of
+    /// the unpacked syndrome, in ascending order.
+    #[test]
+    fn packed_defect_iteration_matches_hot_indices(hot in prop::collection::vec(0usize..300, 0..40), len in 1usize..300) {
+        let hot: Vec<usize> = hot.into_iter().map(|i| i % len).collect();
+        let syndrome = Syndrome::from_hot(len, &hot);
+        let packed = PackedSyndrome::from_syndrome(&syndrome);
+        prop_assert_eq!(packed.defect_indices().collect::<Vec<_>>(), syndrome.hot_indices());
+    }
+
+    /// Serializing a packed syndrome through raw words (as the runtime's ring
+    /// buffer does) is lossless.
+    #[test]
+    fn packed_syndrome_survives_word_transport(bits in prop::collection::vec(any::<bool>(), 1..200)) {
+        let syndrome: Syndrome = bits.into_iter().collect();
+        let packed = PackedSyndrome::from_syndrome(&syndrome);
+        let words = packed.words().to_vec();
+        let restored = PackedSyndrome::from_words(packed.len(), words);
+        prop_assert_eq!(&restored, &packed);
+        prop_assert_eq!(restored.to_syndrome(), syndrome);
+    }
+
+    /// Syndromes extracted from real error patterns round-trip through the
+    /// packed representation on every lattice size.
+    #[test]
+    fn packed_syndrome_round_trips_on_lattices(d in arb_distance(), support in prop::collection::vec(0usize..1000, 0..30)) {
+        let lattice = Lattice::new(d).unwrap();
+        let support: Vec<usize> = support.into_iter().map(|q| q % lattice.num_data()).collect();
+        let error = PauliString::from_sparse(lattice.num_data(), &support, Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+        let packed = PackedSyndrome::from_syndrome(&syndrome);
+        prop_assert_eq!(packed.to_syndrome(), syndrome.clone());
+        // Defect extraction through the packed path agrees with the lattice's.
+        let hot: Vec<usize> = packed.defect_indices().collect();
+        let mut lattice_defects = lattice.defects(&syndrome, Sector::X);
+        lattice_defects.extend(lattice.defects(&syndrome, Sector::Z));
+        lattice_defects.sort_unstable();
+        prop_assert_eq!(hot, lattice_defects);
     }
 }

@@ -1,0 +1,579 @@
+//! The streaming engine: producer pacing, decoder worker pool, and the run
+//! orchestration that turns a seeded syndrome stream into a
+//! [`RuntimeReport`].
+//!
+//! One producer thread generates syndromes at a configured cadence and pushes
+//! bit-packed [`SyndromePacket`](crate::packet::SyndromePacket)s into the
+//! lock-free [`SpmcRing`](crate::queue::SpmcRing); a pool of worker threads
+//! pops packets, decodes both stabilizer sectors with a per-worker decoder
+//! built from a [`DecoderFactory`], and commits the corrections to a private
+//! Pauli-frame shard.  Everything observable — queue depth, backlog, decode
+//! latency, throughput — flows through the shared
+//! [`RuntimeCounters`](crate::telemetry::RuntimeCounters) and into the final
+//! report, whose headline is the measured backlog growth compared against the
+//! paper's closed-form [`BacklogModel`](nisqplus_system::backlog::BacklogModel).
+
+use crate::frame::ShardedPauliFrame;
+use crate::packet::{PacketCodec, SyndromePacket};
+use crate::queue::SpmcRing;
+use crate::source::{NoiseSpec, SyndromeSource};
+use crate::telemetry::{DepthSample, LatencyProfile, RuntimeCounters, RuntimeReport};
+use nisqplus_decoders::traits::DecoderFactory;
+use nisqplus_qec::frame::PauliFrame;
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::pauli::PauliString;
+use nisqplus_qec::QecError;
+use nisqplus_sim::timing::CycleTimeConverter;
+use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// What the producer does when the ring buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushPolicy {
+    /// Spin (counting [`backpressure_spins`](crate::telemetry::CounterSnapshot::backpressure_spins))
+    /// until a worker frees a slot.  No round is ever lost, so the backlog
+    /// measured by the run is exact — this is the policy the backlog
+    /// experiments use, with a ring deep enough to hold the whole backlog.
+    Block,
+    /// Drop the packet (counting
+    /// [`dropped`](crate::telemetry::CounterSnapshot::dropped)) and move on,
+    /// as a load-shedding hardware front-end would.
+    Drop,
+}
+
+/// Configuration of one streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Surface-code distance of the streamed lattice.
+    pub distance: usize,
+    /// The stochastic error channel driving the stream.
+    pub noise: NoiseSpec,
+    /// Seed of the syndrome stream (same seed, same stream — see
+    /// [`SyndromeSource`]).
+    pub seed: u64,
+    /// Number of syndrome-generation rounds to stream.
+    pub rounds: u64,
+    /// Number of decoder worker threads.
+    pub workers: usize,
+    /// Syndrome-generation period in decoder clock cycles; mapped to
+    /// nanoseconds through [`RuntimeConfig::cycle_time`].  `0` disables
+    /// pacing: the producer generates as fast as the CPU allows (useful for
+    /// deterministic equivalence tests and throughput benchmarks).
+    pub cadence_cycles: usize,
+    /// Converts [`RuntimeConfig::cadence_cycles`] into wall-clock
+    /// nanoseconds (`nisqplus-sim`'s cycle→ns mapping).
+    pub cycle_time: CycleTimeConverter,
+    /// Ring-buffer capacity in packets.  For backlog experiments with
+    /// [`PushPolicy::Block`], size this above the expected final backlog so
+    /// the producer never stalls.
+    pub queue_capacity: usize,
+    /// Full-queue policy.
+    pub push_policy: PushPolicy,
+    /// Upper bound on the number of [`DepthSample`]s kept on the timeline
+    /// (the producer down-samples to roughly this many points).
+    pub max_depth_samples: usize,
+    /// When `true`, every worker keeps the per-round corrections it
+    /// committed, and [`RuntimeOutcome::corrections`] returns them sorted by
+    /// round — the hook the stream-versus-batch equivalence tests use.
+    pub record_corrections: bool,
+}
+
+impl RuntimeConfig {
+    /// The paper's 400 ns syndrome-generation period expressed in decoder
+    /// clock cycles at the synthesized module latency (162.72 ps, Table III):
+    /// `2458 * 162.72 ps ≈ 400 ns`.
+    pub const PAPER_CADENCE_CYCLES: usize = 2458;
+
+    /// A paper-shaped default: pure dephasing at 3%, one round per 400 ns,
+    /// two workers, a 4096-packet ring with blocking backpressure.
+    #[must_use]
+    pub fn new(distance: usize) -> Self {
+        RuntimeConfig {
+            distance,
+            noise: NoiseSpec::PureDephasing { p: 0.03 },
+            seed: 2020,
+            rounds: 10_000,
+            workers: 2,
+            cadence_cycles: Self::PAPER_CADENCE_CYCLES,
+            cycle_time: CycleTimeConverter::paper_reference(),
+            queue_capacity: 4096,
+            push_policy: PushPolicy::Block,
+            max_depth_samples: 256,
+            record_corrections: false,
+        }
+    }
+
+    /// The syndrome-generation period in nanoseconds (`0.0` when pacing is
+    /// disabled).
+    #[must_use]
+    pub fn cadence_ns(&self) -> f64 {
+        self.cycle_time.cycles_to_ns(self.cadence_cycles)
+    }
+}
+
+/// One round's committed correction, kept when
+/// [`RuntimeConfig::record_corrections`] is set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundCorrection {
+    /// The syndrome-generation round the correction belongs to.
+    pub round: u64,
+    /// The composed X- and Z-sector correction committed to the frame.
+    pub correction: PauliString,
+}
+
+/// Everything a streaming run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOutcome {
+    /// The telemetry report (counters, timelines, latencies, model
+    /// comparison).
+    pub report: RuntimeReport,
+    /// The per-worker Pauli-frame shards and their merge.
+    pub frame: ShardedPauliFrame,
+    /// Per-round corrections sorted by round; empty unless
+    /// [`RuntimeConfig::record_corrections`] was set.
+    pub corrections: Vec<RoundCorrection>,
+}
+
+/// What one worker thread hands back when the stream ends.
+struct WorkerOutput {
+    decoder_name: String,
+    frame: PauliFrame,
+    decode_ns: Vec<f64>,
+    total_ns: Vec<f64>,
+    corrections: Vec<RoundCorrection>,
+}
+
+/// The streaming decode engine.
+///
+/// ```rust
+/// use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
+/// use nisqplus_runtime::{RuntimeConfig, StreamingEngine};
+///
+/// let mut config = RuntimeConfig::new(3);
+/// config.rounds = 64;
+/// config.workers = 1;
+/// config.cadence_cycles = 0; // un-paced: stream as fast as possible
+/// let engine = StreamingEngine::new(config).unwrap();
+/// let outcome = engine.run(&|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+/// assert_eq!(outcome.report.counters.decoded, 64);
+/// ```
+#[derive(Debug)]
+pub struct StreamingEngine {
+    config: RuntimeConfig,
+    lattice: Arc<Lattice>,
+}
+
+impl StreamingEngine {
+    /// Validates the configuration and builds the lattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QecError`] if the distance is invalid or the noise
+    /// probability is outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds`, `workers` or `queue_capacity` is zero.
+    pub fn new(config: RuntimeConfig) -> Result<Self, QecError> {
+        assert!(config.rounds > 0, "stream needs at least one round");
+        assert!(config.workers > 0, "worker pool needs at least one worker");
+        assert!(config.queue_capacity > 0, "ring needs at least one slot");
+        let lattice = Arc::new(Lattice::new(config.distance)?);
+        // Surface configuration errors now rather than inside the producer
+        // thread: building a throwaway source validates the noise spec.
+        let _ = SyndromeSource::new(lattice.clone(), config.noise, config.seed)?;
+        Ok(StreamingEngine { config, lattice })
+    }
+
+    /// The run configuration.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The lattice being streamed.
+    #[must_use]
+    pub fn lattice(&self) -> &Arc<Lattice> {
+        &self.lattice
+    }
+
+    /// Streams the configured number of rounds through the worker pool and
+    /// reports the telemetry.
+    ///
+    /// The calling thread becomes the producer; `config.workers` decoder
+    /// threads are spawned for the duration of the call.  Returns once every
+    /// generated round has been decoded (or dropped) and all workers have
+    /// exited.
+    #[must_use]
+    pub fn run(&self, factory: &dyn DecoderFactory) -> RuntimeOutcome {
+        let config = &self.config;
+        let lattice = &self.lattice;
+        let codec = PacketCodec::new(lattice.num_ancillas());
+        let ring = SpmcRing::new(config.queue_capacity, codec.words_per_packet());
+        let counters = RuntimeCounters::default();
+        let done = AtomicBool::new(false);
+        let epoch = Instant::now();
+
+        let mut depth_timeline = Vec::new();
+        let mut generation_elapsed_ns = 0.0f64;
+        let mut final_backlog = 0u64;
+
+        let worker_outputs: Vec<WorkerOutput> = thread::scope(|s| {
+            let handles: Vec<_> = (0..config.workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        run_worker(
+                            lattice,
+                            &codec,
+                            &ring,
+                            &counters,
+                            &done,
+                            epoch,
+                            factory,
+                            config.record_corrections,
+                        )
+                    })
+                })
+                .collect();
+
+            self.run_producer(
+                &codec,
+                &ring,
+                &counters,
+                epoch,
+                &mut depth_timeline,
+                &mut generation_elapsed_ns,
+                &mut final_backlog,
+            );
+            done.store(true, Ordering::Release);
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+
+        let elapsed_s = epoch.elapsed().as_secs_f64();
+        self.assemble_outcome(
+            worker_outputs,
+            depth_timeline,
+            generation_elapsed_ns,
+            final_backlog,
+            elapsed_s,
+            &counters,
+        )
+    }
+
+    /// The producer loop: paced generation, bit-packing, pushing, sampling.
+    #[allow(clippy::too_many_arguments)]
+    fn run_producer(
+        &self,
+        codec: &PacketCodec,
+        ring: &SpmcRing,
+        counters: &RuntimeCounters,
+        epoch: Instant,
+        depth_timeline: &mut Vec<DepthSample>,
+        generation_elapsed_ns: &mut f64,
+        final_backlog: &mut u64,
+    ) {
+        let config = &self.config;
+        let mut source = SyndromeSource::new(self.lattice.clone(), config.noise, config.seed)
+            .expect("config validated in StreamingEngine::new");
+        let cadence_ns = config.cadence_ns();
+        let sample_every = (config.rounds / config.max_depth_samples.max(1) as u64).max(1);
+        let mut record = vec![0u64; codec.words_per_packet()];
+
+        for round in 0..config.rounds {
+            if cadence_ns > 0.0 {
+                // Pace generation to the hardware cadence.  `yield_now` keeps
+                // the spin cooperative on machines with fewer cores than
+                // threads; the *measured* inter-arrival time (not the nominal
+                // cadence) is what feeds the model comparison, so imprecise
+                // pacing degrades the experiment's rate, never its honesty.
+                let target_ns = (round as f64 * cadence_ns) as u128;
+                while epoch.elapsed().as_nanos() < target_ns {
+                    std::hint::spin_loop();
+                    thread::yield_now();
+                }
+            }
+            let syndrome = source.next_syndrome();
+            let emitted_ns = epoch.elapsed().as_nanos() as u64;
+            let packet = SyndromePacket::new(round, emitted_ns, &syndrome);
+            codec.encode(&packet, &mut record);
+            counters.generated.fetch_add(1, Ordering::Relaxed);
+            match config.push_policy {
+                PushPolicy::Block => {
+                    while ring.try_push(&record).is_err() {
+                        counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        thread::yield_now();
+                    }
+                    counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                }
+                PushPolicy::Drop => {
+                    if ring.try_push(&record).is_ok() {
+                        counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if round % sample_every == 0 || round + 1 == config.rounds {
+                depth_timeline.push(DepthSample {
+                    round,
+                    elapsed_ns: epoch.elapsed().as_nanos() as u64,
+                    queue_depth: ring.len() as u64,
+                    backlog: counters.backlog(),
+                });
+            }
+        }
+        *generation_elapsed_ns = epoch.elapsed().as_nanos() as f64;
+        // The backlog at the instant generation stops is the quantity the
+        // closed-form model predicts (rounds keep arriving only while the
+        // machine runs); the workers drain the remainder afterwards.
+        *final_backlog = counters.backlog();
+    }
+
+    /// Folds producer and worker outputs into the final [`RuntimeOutcome`].
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_outcome(
+        &self,
+        worker_outputs: Vec<WorkerOutput>,
+        depth_timeline: Vec<DepthSample>,
+        generation_elapsed_ns: f64,
+        final_backlog: u64,
+        elapsed_s: f64,
+        counters: &RuntimeCounters,
+    ) -> RuntimeOutcome {
+        let config = &self.config;
+        let mut decode_ns = Vec::new();
+        let mut total_ns = Vec::new();
+        let mut corrections = Vec::new();
+        let mut shards = Vec::with_capacity(worker_outputs.len());
+        let decoder_name = worker_outputs
+            .first()
+            .map(|o| o.decoder_name.clone())
+            .unwrap_or_default();
+        for output in worker_outputs {
+            decode_ns.extend(output.decode_ns);
+            total_ns.extend(output.total_ns);
+            corrections.extend(output.corrections);
+            shards.push(output.frame);
+        }
+        corrections.sort_by_key(|c| c.round);
+
+        let decode_latency = LatencyProfile::of(&decode_ns);
+        let total_latency = LatencyProfile::of(&total_ns);
+        let inter_arrival_ns = generation_elapsed_ns / config.rounds as f64;
+        let measured = MeasuredBacklog {
+            rounds: config.rounds,
+            final_backlog,
+            // Workers decode concurrently, so the aggregate service time per
+            // round is the per-packet mean divided by the pool width.
+            service_time_ns: decode_latency.summary.mean / config.workers as f64,
+            inter_arrival_ns,
+        };
+        let comparison = BacklogComparison::against_model(&measured);
+        let snapshot = counters.snapshot();
+        let throughput_per_s = if elapsed_s > 0.0 {
+            snapshot.decoded as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let max_queue_depth = depth_timeline
+            .iter()
+            .map(|s| s.queue_depth)
+            .max()
+            .unwrap_or(0);
+
+        RuntimeOutcome {
+            report: RuntimeReport {
+                decoder: decoder_name,
+                distance: config.distance,
+                workers: config.workers,
+                rounds: config.rounds,
+                cadence_ns: config.cadence_ns(),
+                inter_arrival_ns,
+                elapsed_s,
+                counters: snapshot,
+                depth_timeline,
+                max_queue_depth,
+                final_backlog,
+                throughput_per_s,
+                decode_latency,
+                total_latency,
+                measured,
+                comparison,
+            },
+            frame: ShardedPauliFrame::from_shards(self.lattice.num_data(), shards),
+            corrections,
+        }
+    }
+}
+
+/// One worker: pop, decode both sectors, commit to the private shard.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    lattice: &Lattice,
+    codec: &PacketCodec,
+    ring: &SpmcRing,
+    counters: &RuntimeCounters,
+    done: &AtomicBool,
+    epoch: Instant,
+    factory: &dyn DecoderFactory,
+    record_corrections: bool,
+) -> WorkerOutput {
+    let mut decoder = factory.build();
+    let decoder_name = decoder.name().to_string();
+    let mut frame = PauliFrame::new(lattice.num_data());
+    let mut record = vec![0u64; codec.words_per_packet()];
+    let mut decode_ns = Vec::new();
+    let mut total_ns = Vec::new();
+    let mut corrections = Vec::new();
+    loop {
+        if ring.try_pop(&mut record) {
+            // Time the full pop-to-commit span (unpack, both sector decodes,
+            // frame commit): this is the service time the worker is actually
+            // occupied per packet, which is what the backlog model's `f`
+            // ratio is about — timing only the decode calls would bias the
+            // predicted growth low.
+            let started = Instant::now();
+            let packet = codec.decode(&record);
+            let syndrome = packet.syndrome.to_syndrome();
+            let x = decoder.decode(lattice, &syndrome, Sector::X);
+            let z = decoder.decode(lattice, &syndrome, Sector::Z);
+            let mut correction = x.into_pauli_string();
+            correction.compose_with(z.pauli_string());
+            frame.record(&correction);
+            let service_ns = started.elapsed().as_nanos() as f64;
+            decode_ns.push(service_ns);
+            total_ns.push((epoch.elapsed().as_nanos() as f64 - packet.emitted_ns as f64).max(0.0));
+            if record_corrections {
+                corrections.push(RoundCorrection {
+                    round: packet.round,
+                    correction,
+                });
+            }
+            counters.decoded.fetch_add(1, Ordering::Relaxed);
+        } else if done.load(Ordering::Acquire) && ring.is_empty() {
+            return WorkerOutput {
+                decoder_name,
+                frame,
+                decode_ns,
+                total_ns,
+                corrections,
+            };
+        } else {
+            counters.stall_polls.fetch_add(1, Ordering::Relaxed);
+            std::hint::spin_loop();
+            thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
+
+    fn fast_config() -> RuntimeConfig {
+        let mut config = RuntimeConfig::new(3);
+        config.rounds = 200;
+        config.workers = 2;
+        config.cadence_cycles = 0;
+        config.queue_capacity = 64;
+        config
+    }
+
+    fn greedy_factory() -> impl DecoderFactory {
+        || Box::new(GreedyMatchingDecoder::new()) as DynDecoder
+    }
+
+    #[test]
+    fn paper_default_cadence_is_400ns() {
+        let config = RuntimeConfig::new(5);
+        assert!(
+            (config.cadence_ns() - 400.0).abs() < 0.5,
+            "{}",
+            config.cadence_ns()
+        );
+    }
+
+    #[test]
+    fn unpaced_config_has_zero_cadence() {
+        let config = fast_config();
+        assert_eq!(config.cadence_ns(), 0.0);
+    }
+
+    #[test]
+    fn every_round_is_decoded_exactly_once() {
+        let engine = StreamingEngine::new(fast_config()).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        let counters = outcome.report.counters;
+        assert_eq!(counters.generated, 200);
+        assert_eq!(counters.enqueued, 200);
+        assert_eq!(counters.decoded, 200);
+        assert_eq!(counters.dropped, 0);
+        assert_eq!(outcome.frame.total_recorded(), 200);
+        assert_eq!(outcome.report.decode_latency.summary.count, 200);
+        assert!(outcome.report.throughput_per_s > 0.0);
+        assert!(!outcome.report.depth_timeline.is_empty());
+    }
+
+    #[test]
+    fn recorded_corrections_cover_every_round_in_order() {
+        let mut config = fast_config();
+        config.record_corrections = true;
+        config.workers = 3;
+        let engine = StreamingEngine::new(config).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        let rounds: Vec<u64> = outcome.corrections.iter().map(|c| c.round).collect();
+        assert_eq!(rounds, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn drop_policy_sheds_load_on_a_tiny_ring() {
+        let mut config = fast_config();
+        config.queue_capacity = 2;
+        config.workers = 1;
+        config.rounds = 500;
+        config.push_policy = PushPolicy::Drop;
+        // Slow the workers enough that an un-paced producer overruns the ring.
+        let factory = || {
+            Box::new(crate::throttle::ThrottledDecoder::new(
+                GreedyMatchingDecoder::new(),
+                50_000,
+            )) as DynDecoder
+        };
+        let engine = StreamingEngine::new(config).unwrap();
+        let outcome = engine.run(&factory);
+        let counters = outcome.report.counters;
+        assert_eq!(counters.generated, 500);
+        assert_eq!(counters.enqueued + counters.dropped, 500);
+        assert!(counters.dropped > 0, "tiny ring should overflow");
+        assert_eq!(counters.decoded, counters.enqueued);
+        // Dropped rounds are shed, not owed: the backlog when generation
+        // stopped is at most what fit in the ring plus the packets in flight
+        // inside the single worker, never the full overrun.
+        assert!(outcome.report.final_backlog <= 4);
+    }
+
+    #[test]
+    fn invalid_noise_is_rejected_up_front() {
+        let mut config = fast_config();
+        config.noise = NoiseSpec::PureDephasing { p: 2.0 };
+        assert!(StreamingEngine::new(config).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let mut config = fast_config();
+        config.workers = 0;
+        let _ = StreamingEngine::new(config);
+    }
+}

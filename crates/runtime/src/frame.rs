@@ -1,0 +1,104 @@
+//! The sharded Pauli frame the worker pool commits corrections into.
+//!
+//! Each worker owns a private [`PauliFrame`] shard — no cross-thread
+//! synchronization on the hot path — and the shards are merged once the
+//! stream ends.  This is sound because Pauli-string composition is
+//! commutative component-wise (modulo global phase, which frame tracking
+//! discards): the merged frame is independent of which worker decoded which
+//! round.  The multi-worker consistency test in `tests/streaming_runtime.rs`
+//! pins this down against a sequential decode of the same stream.
+
+use nisqplus_qec::frame::PauliFrame;
+use nisqplus_qec::pauli::PauliString;
+use serde::{Deserialize, Serialize};
+
+/// Per-worker Pauli-frame shards plus their merge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedPauliFrame {
+    num_data: usize,
+    shards: Vec<PauliFrame>,
+}
+
+impl ShardedPauliFrame {
+    /// Assembles the sharded frame from the workers' private frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard tracks a different number of qubits than
+    /// `num_data`.
+    #[must_use]
+    pub fn from_shards(num_data: usize, shards: Vec<PauliFrame>) -> Self {
+        for shard in &shards {
+            assert_eq!(
+                shard.len(),
+                num_data,
+                "shard tracks {} qubits, expected {num_data}",
+                shard.len()
+            );
+        }
+        ShardedPauliFrame { num_data, shards }
+    }
+
+    /// The per-worker shards, in worker order.
+    #[must_use]
+    pub fn shards(&self) -> &[PauliFrame] {
+        &self.shards
+    }
+
+    /// Total corrections recorded across all shards.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.shards.iter().map(PauliFrame::recorded_cycles).sum()
+    }
+
+    /// The merged accumulated correction: the composition of every shard's
+    /// Pauli string (order-independent).
+    #[must_use]
+    pub fn merged(&self) -> PauliString {
+        let mut acc = PauliString::identity(self.num_data);
+        for shard in &self.shards {
+            acc.compose_with(shard.as_pauli_string());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisqplus_qec::pauli::Pauli;
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = PauliFrame::new(4);
+        a.record_sparse(&[0, 1], Pauli::Z);
+        let mut b = PauliFrame::new(4);
+        b.record_sparse(&[1, 2], Pauli::X);
+
+        let ab = ShardedPauliFrame::from_shards(4, vec![a.clone(), b.clone()]);
+        let ba = ShardedPauliFrame::from_shards(4, vec![b, a]);
+        assert_eq!(ab.merged(), ba.merged());
+        assert_eq!(ab.total_recorded(), 2);
+        assert_eq!(ab.shards().len(), 2);
+    }
+
+    #[test]
+    fn merge_matches_sequential_composition() {
+        let mut sequential = PauliFrame::new(3);
+        sequential.record_sparse(&[0], Pauli::Z);
+        sequential.record_sparse(&[0, 2], Pauli::X);
+
+        let mut shard0 = PauliFrame::new(3);
+        shard0.record_sparse(&[0], Pauli::Z);
+        let mut shard1 = PauliFrame::new(3);
+        shard1.record_sparse(&[0, 2], Pauli::X);
+        let sharded = ShardedPauliFrame::from_shards(3, vec![shard0, shard1]);
+        assert_eq!(&sharded.merged(), sequential.as_pauli_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard tracks")]
+    fn mismatched_shard_width_rejected() {
+        let _ = ShardedPauliFrame::from_shards(4, vec![PauliFrame::new(3)]);
+    }
+}

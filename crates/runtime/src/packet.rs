@@ -1,0 +1,158 @@
+//! Bit-packed syndrome packets and their wire codec.
+//!
+//! A [`SyndromePacket`] is what travels through the [ring
+//! buffer](crate::queue::SpmcRing): the round index, the emission timestamp
+//! (virtual nanoseconds since the engine epoch, used for end-to-end latency),
+//! and the [`PackedSyndrome`] itself.  The [`PacketCodec`] flattens a packet
+//! into the fixed `u64`-word records the ring stores — two header words plus
+//! `ceil(bits / 64)` syndrome words — and restores it on the consumer side.
+
+use nisqplus_qec::syndrome::{PackedSyndrome, Syndrome};
+
+/// One round of syndrome data in flight between generation and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyndromePacket {
+    /// Zero-based index of the syndrome-generation round.
+    pub round: u64,
+    /// Nanoseconds since the engine epoch at which the round was generated.
+    pub emitted_ns: u64,
+    /// The bit-packed syndrome of the round.
+    pub syndrome: PackedSyndrome,
+}
+
+impl SyndromePacket {
+    /// Packs an unpacked syndrome into a packet.
+    #[must_use]
+    pub fn new(round: u64, emitted_ns: u64, syndrome: &Syndrome) -> Self {
+        SyndromePacket {
+            round,
+            emitted_ns,
+            syndrome: PackedSyndrome::from_syndrome(syndrome),
+        }
+    }
+}
+
+/// Encoder/decoder between [`SyndromePacket`]s and fixed-size word records.
+///
+/// The codec is parameterized by the syndrome bit length (the number of
+/// ancillas of the lattice being streamed), which fixes the record size for
+/// the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketCodec {
+    syndrome_bits: usize,
+}
+
+/// Number of header words preceding the syndrome payload (round, emitted_ns).
+const HEADER_WORDS: usize = 2;
+
+impl PacketCodec {
+    /// Creates a codec for syndromes of `syndrome_bits` ancilla bits.
+    #[must_use]
+    pub fn new(syndrome_bits: usize) -> Self {
+        PacketCodec { syndrome_bits }
+    }
+
+    /// The syndrome bit length this codec carries.
+    #[must_use]
+    pub fn syndrome_bits(&self) -> usize {
+        self.syndrome_bits
+    }
+
+    /// The fixed record size in `u64` words.
+    #[must_use]
+    pub fn words_per_packet(&self) -> usize {
+        HEADER_WORDS + PackedSyndrome::words_for(self.syndrome_bits)
+    }
+
+    /// Flattens a packet into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly [`PacketCodec::words_per_packet`] words
+    /// long or if the packet's syndrome length does not match the codec.
+    pub fn encode(&self, packet: &SyndromePacket, out: &mut [u64]) {
+        assert_eq!(out.len(), self.words_per_packet(), "record size mismatch");
+        assert_eq!(
+            packet.syndrome.len(),
+            self.syndrome_bits,
+            "packet carries a {}-bit syndrome, codec expects {}",
+            packet.syndrome.len(),
+            self.syndrome_bits
+        );
+        out[0] = packet.round;
+        out[1] = packet.emitted_ns;
+        out[HEADER_WORDS..].copy_from_slice(packet.syndrome.words());
+    }
+
+    /// Restores a packet from a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
+    /// words long.
+    #[must_use]
+    pub fn decode(&self, words: &[u64]) -> SyndromePacket {
+        assert_eq!(words.len(), self.words_per_packet(), "record size mismatch");
+        SyndromePacket {
+            round: words[0],
+            emitted_ns: words[1],
+            syndrome: PackedSyndrome::from_words(
+                self.syndrome_bits,
+                words[HEADER_WORDS..].to_vec(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_round_trip_through_words() {
+        let codec = PacketCodec::new(40);
+        let syndrome = Syndrome::from_hot(40, &[0, 7, 39]);
+        let packet = SyndromePacket::new(123, 456_789, &syndrome);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+        let restored = codec.decode(&record);
+        assert_eq!(restored, packet);
+        assert_eq!(restored.syndrome.to_syndrome(), syndrome);
+    }
+
+    #[test]
+    fn record_sizes_scale_with_bits() {
+        assert_eq!(PacketCodec::new(40).words_per_packet(), 3); // d=5: 40 ancillas
+        assert_eq!(PacketCodec::new(144).words_per_packet(), 5); // d=9
+        assert_eq!(PacketCodec::new(64).words_per_packet(), 3);
+        assert_eq!(PacketCodec::new(65).words_per_packet(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size mismatch")]
+    fn encode_rejects_short_records() {
+        let codec = PacketCodec::new(40);
+        let packet = SyndromePacket::new(0, 0, &Syndrome::new(40));
+        let mut record = vec![0u64; 2];
+        codec.encode(&packet, &mut record);
+    }
+
+    #[test]
+    #[should_panic(expected = "codec expects")]
+    fn encode_rejects_mismatched_syndrome_length() {
+        let codec = PacketCodec::new(40);
+        let packet = SyndromePacket::new(0, 0, &Syndrome::new(24));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+    }
+
+    #[test]
+    fn empty_syndromes_still_carry_headers() {
+        let codec = PacketCodec::new(0);
+        assert_eq!(codec.words_per_packet(), 2);
+        let packet = SyndromePacket::new(9, 17, &Syndrome::new(0));
+        let mut record = vec![0u64; 2];
+        codec.encode(&packet, &mut record);
+        assert_eq!(codec.decode(&record), packet);
+    }
+}

@@ -1,0 +1,336 @@
+//! The bounded lock-free syndrome ring buffer.
+//!
+//! The queue between syndrome generation and the decoder workers is the one
+//! data structure on the runtime's hot path, so it mirrors the shape used by
+//! production streaming decoders (cf. the riscv-qcu pipeline): a bounded ring
+//! of fixed-size slots, a producer cursor, a consumer cursor, and per-slot
+//! sequence numbers in the style of Vyukov's bounded queue.  Slots carry raw
+//! `u64` words (a bit-packed [`SyndromePacket`](crate::packet::SyndromePacket))
+//! rather than an owned type, which lets the whole structure be built from
+//! `std::sync::atomic` primitives in entirely safe Rust: payload words are
+//! plain relaxed atomic stores/loads whose visibility is ordered by the
+//! release/acquire handoff on the slot sequence number.
+//!
+//! The implementation is multi-producer/multi-consumer-safe (both cursors
+//! advance by compare-and-swap), though the runtime drives it in SPMC mode:
+//! one producer thread pushing at the syndrome-generation cadence, many
+//! decoder workers popping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned by [`SpmcRing::try_push`] when the ring is full.
+///
+/// The caller decides the policy: drop the packet (and count it) or spin
+/// until a worker frees a slot (backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull;
+
+/// One slot: a sequence number guarding a fixed array of payload words.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    words: Box<[AtomicU64]>,
+}
+
+/// A 64-byte-aligned wrapper keeping the producer and consumer cursors on
+/// separate cache lines.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CacheAligned(AtomicU64);
+
+/// A bounded lock-free single-producer/multi-consumer ring buffer of
+/// fixed-size `u64`-word records.
+///
+/// ```rust
+/// use nisqplus_runtime::queue::SpmcRing;
+///
+/// let ring = SpmcRing::new(4, 2);
+/// ring.try_push(&[1, 2]).unwrap();
+/// ring.try_push(&[3, 4]).unwrap();
+/// let mut out = [0u64; 2];
+/// assert!(ring.try_pop(&mut out));
+/// assert_eq!(out, [1, 2]);
+/// assert_eq!(ring.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpmcRing {
+    slots: Box<[Slot]>,
+    capacity: u64,
+    words_per_slot: usize,
+    /// Next index to push (producer cursor).
+    head: CacheAligned,
+    /// Next index to pop (consumer cursor).
+    tail: CacheAligned,
+}
+
+impl SpmcRing {
+    /// Creates a ring with `capacity` slots of `words_per_slot` words each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `words_per_slot` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, words_per_slot: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(words_per_slot > 0, "slot word count must be positive");
+        let slots = (0..capacity as u64)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                words: (0..words_per_slot).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        SpmcRing {
+            slots,
+            capacity: capacity as u64,
+            words_per_slot,
+            head: CacheAligned::default(),
+            tail: CacheAligned::default(),
+        }
+    }
+
+    /// The number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// The fixed record size, in `u64` words.
+    #[must_use]
+    pub fn words_per_slot(&self) -> usize {
+        self.words_per_slot
+    }
+
+    /// A snapshot of the current occupancy.  Exact when quiescent; during
+    /// concurrent pushes and pops it is a consistent point-in-time estimate,
+    /// which is all the backlog telemetry needs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let head = self.head.0.load(Ordering::Acquire);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        head.saturating_sub(tail).min(self.capacity) as usize
+    }
+
+    /// Returns `true` if the snapshot occupancy is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue one record without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingFull`] when all slots are occupied; the record is not
+    /// enqueued and the caller chooses between dropping and backpressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from [`SpmcRing::words_per_slot`].
+    pub fn try_push(&self, words: &[u64]) -> Result<(), RingFull> {
+        assert_eq!(
+            words.len(),
+            self.words_per_slot,
+            "pushed record has {} words, slots hold {}",
+            words.len(),
+            self.words_per_slot
+        );
+        let mut pos = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos % self.capacity) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot is free at our position: claim it.
+                match self.head.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        for (slot_word, &value) in slot.words.iter().zip(words) {
+                            slot_word.store(value, Ordering::Relaxed);
+                        }
+                        // Publish: consumers' acquire-load of `seq` orders the
+                        // payload stores above before their payload loads.
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq < pos {
+                // The slot still holds an unconsumed record from one lap ago.
+                return Err(RingFull);
+            } else {
+                // Another producer claimed this position; catch up.
+                pos = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue one record into `out` without blocking.
+    ///
+    /// Returns `false` when the ring is empty.  Any consumer thread may call
+    /// this concurrently; each record is delivered to exactly one consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`SpmcRing::words_per_slot`].
+    pub fn try_pop(&self, out: &mut [u64]) -> bool {
+        assert_eq!(
+            out.len(),
+            self.words_per_slot,
+            "pop buffer has {} words, slots hold {}",
+            out.len(),
+            self.words_per_slot
+        );
+        let mut pos = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos % self.capacity) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                // Slot holds a published record at our position: claim it.
+                match self.tail.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        for (out_word, slot_word) in out.iter_mut().zip(slot.words.iter()) {
+                            *out_word = slot_word.load(Ordering::Relaxed);
+                        }
+                        // Hand the slot back to the producer one lap later.
+                        slot.seq.store(pos + self.capacity, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq <= pos {
+                // Nothing published at our position yet.
+                return false;
+            } else {
+                // Another consumer claimed this position; catch up.
+                pos = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let ring = SpmcRing::new(8, 1);
+        for i in 0..8u64 {
+            ring.try_push(&[i]).unwrap();
+        }
+        assert_eq!(ring.try_push(&[99]), Err(RingFull));
+        assert_eq!(ring.len(), 8);
+        let mut out = [0u64];
+        for i in 0..8u64 {
+            assert!(ring.try_pop(&mut out));
+            assert_eq!(out[0], i);
+        }
+        assert!(!ring.try_pop(&mut out));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let ring = SpmcRing::new(4, 2);
+        let mut out = [0u64; 2];
+        for lap in 0..1000u64 {
+            ring.try_push(&[lap, lap * 2]).unwrap();
+            assert!(ring.try_pop(&mut out));
+            assert_eq!(out, [lap, lap * 2]);
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SpmcRing::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed record has")]
+    fn wrong_record_size_rejected() {
+        let ring = SpmcRing::new(2, 3);
+        let _ = ring.try_push(&[1]);
+    }
+
+    /// One producer, several consumers: every record is delivered exactly
+    /// once and the per-record payload stays intact (no torn reads).
+    #[test]
+    fn spmc_delivers_each_record_exactly_once() {
+        const RECORDS: u64 = 20_000;
+        const CONSUMERS: usize = 4;
+        let ring = SpmcRing::new(64, 3);
+        let delivered = AtomicU64::new(0);
+        let checksum = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..CONSUMERS {
+                s.spawn(|| {
+                    let mut out = [0u64; 3];
+                    loop {
+                        if ring.try_pop(&mut out) {
+                            // Payload integrity: words are derived from the
+                            // record id; a torn read would break the relation.
+                            assert_eq!(out[1], out[0].wrapping_mul(31));
+                            assert_eq!(out[2], !out[0]);
+                            checksum.fetch_add(out[0], Ordering::Relaxed);
+                            if delivered.fetch_add(1, Ordering::Relaxed) + 1 == RECORDS {
+                                return;
+                            }
+                        } else if delivered.load(Ordering::Relaxed) >= RECORDS {
+                            return;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            let mut pushed = 0u64;
+            while pushed < RECORDS {
+                let record = [pushed, pushed.wrapping_mul(31), !pushed];
+                if ring.try_push(&record).is_ok() {
+                    pushed += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        assert_eq!(delivered.load(Ordering::Relaxed), RECORDS);
+        // Sum 0..RECORDS — every id delivered exactly once.
+        assert_eq!(
+            checksum.load(Ordering::Relaxed),
+            RECORDS * (RECORDS - 1) / 2
+        );
+    }
+
+    /// Drops under pressure never corrupt the stream: whatever does get
+    /// through arrives in order.
+    #[test]
+    fn order_is_preserved_under_drops() {
+        let ring = SpmcRing::new(4, 1);
+        let mut accepted = Vec::new();
+        let mut out = [0u64];
+        for i in 0..100u64 {
+            if ring.try_push(&[i]).is_ok() {
+                accepted.push(i);
+            }
+            if i % 3 == 0 && ring.try_pop(&mut out) {
+                assert_eq!(out[0], accepted.remove(0));
+            }
+        }
+        while ring.try_pop(&mut out) {
+            assert_eq!(out[0], accepted.remove(0));
+        }
+        assert!(accepted.is_empty());
+    }
+}

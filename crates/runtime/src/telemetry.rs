@@ -1,0 +1,256 @@
+//! Live counters and the end-of-run [`RuntimeReport`].
+//!
+//! The producer and every worker publish their progress through shared
+//! atomic counters ([`RuntimeCounters`]), so queue depth, backlog and
+//! throughput can be observed *while the stream runs*; the engine folds the
+//! final counter values, the depth timeline and the per-packet latency
+//! samples into a [`RuntimeReport`], whose headline number is the measured
+//! backlog growth compared against the paper's closed-form
+//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel) prediction.
+
+use nisqplus_sim::stats::{histogram, Summary};
+use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic progress counters, updated lock-free by all threads.
+#[derive(Debug, Default)]
+pub struct RuntimeCounters {
+    /// Rounds of syndrome data generated (whether or not enqueued).
+    pub generated: AtomicU64,
+    /// Packets accepted by the ring buffer.
+    pub enqueued: AtomicU64,
+    /// Packets dropped because the ring was full (drop policy only).
+    pub dropped: AtomicU64,
+    /// Producer spin-retries while the ring was full (block policy only).
+    pub backpressure_spins: AtomicU64,
+    /// Packets decoded and committed to the Pauli frame.
+    pub decoded: AtomicU64,
+    /// Worker polls that found the queue empty (decoder idle time).
+    pub stall_polls: AtomicU64,
+}
+
+impl RuntimeCounters {
+    /// A point-in-time copy of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            generated: self.generated.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            backpressure_spins: self.backpressure_spins.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
+            stall_polls: self.stall_polls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The current backlog: rounds generated but neither decoded nor shed.
+    /// Dropped rounds are lost, not owed, so they don't count as outstanding
+    /// work (under [`PushPolicy::Block`](crate::engine::PushPolicy::Block)
+    /// nothing is ever dropped and this is exactly generated minus decoded).
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        self.generated
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.decoded.load(Ordering::Relaxed))
+            .saturating_sub(self.dropped.load(Ordering::Relaxed))
+    }
+}
+
+/// A plain-data copy of [`RuntimeCounters`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Rounds of syndrome data generated.
+    pub generated: u64,
+    /// Packets accepted by the ring buffer.
+    pub enqueued: u64,
+    /// Packets dropped because the ring was full.
+    pub dropped: u64,
+    /// Producer spin-retries while the ring was full.
+    pub backpressure_spins: u64,
+    /// Packets decoded.
+    pub decoded: u64,
+    /// Worker polls that found the queue empty.
+    pub stall_polls: u64,
+}
+
+/// One point of the queue-depth/backlog timeline, sampled by the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthSample {
+    /// The generation round at which the sample was taken.
+    pub round: u64,
+    /// Nanoseconds since the engine epoch.
+    pub elapsed_ns: u64,
+    /// Packets sitting in the ring buffer.
+    pub queue_depth: u64,
+    /// Rounds generated but not yet decoded (queue depth plus in-flight).
+    pub backlog: u64,
+}
+
+/// Latency samples summarized into mean/extrema plus a histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    /// Count, mean, standard deviation and extrema, in nanoseconds.
+    pub summary: Summary,
+    /// Histogram bin edges in nanoseconds (empty when no samples).
+    pub histogram_edges: Vec<f64>,
+    /// Estimated probability mass per bin (empty when no samples).
+    pub histogram_density: Vec<f64>,
+}
+
+impl LatencyProfile {
+    /// Number of histogram bins used by [`LatencyProfile::of`].
+    pub const BINS: usize = 20;
+
+    /// Summarizes a sample of latencies (nanoseconds).
+    #[must_use]
+    pub fn of(samples_ns: &[f64]) -> Self {
+        let summary = Summary::of(samples_ns);
+        let (histogram_edges, histogram_density) = if summary.count == 0 || summary.max <= 0.0 {
+            (Vec::new(), Vec::new())
+        } else {
+            // Nudge the range so the maximum sample lands inside the last bin.
+            histogram(samples_ns, Self::BINS, summary.max * (1.0 + 1e-9))
+        };
+        LatencyProfile {
+            summary,
+            histogram_edges,
+            histogram_density,
+        }
+    }
+}
+
+/// The full telemetry of one streaming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Name of the decoder the workers ran.
+    pub decoder: String,
+    /// Code distance of the streamed lattice.
+    pub distance: usize,
+    /// Number of decoder worker threads.
+    pub workers: usize,
+    /// Rounds of syndrome data generated.
+    pub rounds: u64,
+    /// Nominal syndrome-generation cadence in nanoseconds per round.
+    pub cadence_ns: f64,
+    /// Measured mean inter-arrival time between rounds, in nanoseconds.
+    pub inter_arrival_ns: f64,
+    /// Wall-clock duration of the whole run (generation plus drain), seconds.
+    pub elapsed_s: f64,
+    /// Final counter values.
+    pub counters: CounterSnapshot,
+    /// Queue depth / backlog over time (down-sampled).
+    pub depth_timeline: Vec<DepthSample>,
+    /// Largest queue depth observed on the timeline.
+    pub max_queue_depth: u64,
+    /// Backlog when generation stopped: rounds generated but neither decoded
+    /// nor dropped (matches [`RuntimeCounters::backlog`]; under the blocking
+    /// push policy nothing is dropped, so it is generated minus decoded).
+    pub final_backlog: u64,
+    /// Decoded packets per second of wall-clock time.
+    pub throughput_per_s: f64,
+    /// Per-packet service time (ns): unpack, both sector decodes, and the
+    /// frame commit — the span a worker is occupied per round, which is what
+    /// feeds the backlog model's service rate.
+    pub decode_latency: LatencyProfile,
+    /// End-to-end latency from generation to committed correction (ns).
+    pub total_latency: LatencyProfile,
+    /// The measured backlog trajectory in model terms.
+    pub measured: MeasuredBacklog,
+    /// Measured growth versus the closed-form backlog model.
+    pub comparison: BacklogComparison,
+}
+
+impl RuntimeReport {
+    /// Whether the queue stayed bounded: no drops, and the backlog left when
+    /// generation stopped is small compared to the number of rounds streamed
+    /// (a transient mid-run spike that drained before the end does not count
+    /// as unbounded growth).
+    #[must_use]
+    pub fn queue_stayed_bounded(&self) -> bool {
+        self.counters.dropped == 0 && self.final_backlog * 20 < self.rounds.max(1)
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "runtime report: {} | d={} | {} worker(s) | {} rounds @ {:.0} ns cadence",
+            self.decoder, self.distance, self.workers, self.rounds, self.cadence_ns
+        )?;
+        writeln!(
+            f,
+            "  generated {} | enqueued {} | decoded {} | dropped {} | elapsed {:.3} s",
+            self.counters.generated,
+            self.counters.enqueued,
+            self.counters.decoded,
+            self.counters.dropped,
+            self.elapsed_s
+        )?;
+        writeln!(
+            f,
+            "  throughput {:.0} decodes/s | decode {:.0} ns mean (max {:.0}) | end-to-end {:.0} ns mean",
+            self.throughput_per_s,
+            self.decode_latency.summary.mean,
+            self.decode_latency.summary.max,
+            self.total_latency.summary.mean
+        )?;
+        writeln!(
+            f,
+            "  queue: max depth {} | final backlog {} rounds | {}",
+            self.max_queue_depth,
+            self.final_backlog,
+            if self.queue_stayed_bounded() {
+                "BOUNDED"
+            } else {
+                "GROWING"
+            }
+        )?;
+        write!(
+            f,
+            "  backlog growth/round: measured {:.4} vs model {:.4} (f_eff = {:.3}, agreement {:.2}x)",
+            self.comparison.measured_growth_per_round,
+            self.comparison.predicted_growth_per_round,
+            self.comparison.effective_ratio,
+            self.comparison.agreement_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_and_backlog() {
+        let counters = RuntimeCounters::default();
+        counters.generated.store(10, Ordering::Relaxed);
+        counters.decoded.store(4, Ordering::Relaxed);
+        counters.enqueued.store(9, Ordering::Relaxed);
+        counters.dropped.store(1, Ordering::Relaxed);
+        let snap = counters.snapshot();
+        assert_eq!(snap.generated, 10);
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(counters.backlog(), 5);
+    }
+
+    #[test]
+    fn latency_profile_of_samples() {
+        let profile = LatencyProfile::of(&[100.0, 200.0, 300.0]);
+        assert_eq!(profile.summary.count, 3);
+        assert!((profile.summary.mean - 200.0).abs() < 1e-9);
+        assert_eq!(profile.histogram_edges.len(), LatencyProfile::BINS + 1);
+        let mass: f64 = profile.histogram_density.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "all samples inside the range");
+    }
+
+    #[test]
+    fn empty_latency_profile_is_well_formed() {
+        let profile = LatencyProfile::of(&[]);
+        assert_eq!(profile.summary.count, 0);
+        assert!(profile.histogram_edges.is_empty());
+        assert!(profile.histogram_density.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! A decoder wrapper that enforces a minimum wall-clock service time.
+//!
+//! The acceptance experiment of the paper's Section III needs a decoder that
+//! is *deliberately* slower than syndrome generation, so the exponential
+//! backlog can be observed empirically rather than modeled.
+//! [`ThrottledDecoder`] wraps any [`Decoder`] and spins until a configured
+//! floor has elapsed, emulating a slow software decoder (e.g. MWPM at
+//! ~100 µs/round, Section IV) without changing the corrections produced.
+
+use nisqplus_decoders::traits::{Correction, Decoder};
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::syndrome::Syndrome;
+use std::time::{Duration, Instant};
+
+/// A [`Decoder`] whose every `decode` call takes at least a fixed time.
+#[derive(Debug, Clone)]
+pub struct ThrottledDecoder<D> {
+    inner: D,
+    floor: Duration,
+    name: String,
+}
+
+impl<D: Decoder> ThrottledDecoder<D> {
+    /// Wraps `inner`, forcing each decode to take at least `floor_ns`
+    /// nanoseconds of wall-clock time.
+    #[must_use]
+    pub fn new(inner: D, floor_ns: u64) -> Self {
+        let name = format!("throttled({})@{}ns", inner.name(), floor_ns);
+        ThrottledDecoder {
+            inner,
+            floor: Duration::from_nanos(floor_ns),
+            name,
+        }
+    }
+
+    /// The enforced minimum service time.
+    #[must_use]
+    pub fn floor(&self) -> Duration {
+        self.floor
+    }
+
+    /// The wrapped decoder.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Decoder> Decoder for ThrottledDecoder<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
+        let start = Instant::now();
+        let correction = self.inner.decode(lattice, syndrome, sector);
+        // Yield inside the wait so throttled workers don't starve the
+        // producer on machines with fewer cores than threads; the floor is
+        // wall-clock, so yielding never shortens it.
+        while start.elapsed() < self.floor {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisqplus_decoders::GreedyMatchingDecoder;
+    use nisqplus_qec::pauli::{Pauli, PauliString};
+
+    #[test]
+    fn throttling_slows_but_does_not_change_corrections() {
+        let lattice = Lattice::new(3).unwrap();
+        let error = PauliString::from_sparse(lattice.num_data(), &[4], Pauli::Z);
+        let syndrome = lattice.syndrome_of(&error);
+
+        let mut plain = GreedyMatchingDecoder::new();
+        let mut throttled = ThrottledDecoder::new(GreedyMatchingDecoder::new(), 200_000);
+
+        let start = Instant::now();
+        let fast = plain.decode(&lattice, &syndrome, Sector::X);
+        let slow = throttled.decode(&lattice, &syndrome, Sector::X);
+        assert_eq!(fast.pauli_string(), slow.pauli_string());
+        assert!(
+            start.elapsed() >= Duration::from_micros(200),
+            "throttle floor not enforced"
+        );
+    }
+
+    #[test]
+    fn name_reflects_wrapping() {
+        let throttled = ThrottledDecoder::new(GreedyMatchingDecoder::new(), 800);
+        assert_eq!(throttled.name(), "throttled(greedy-matching)@800ns");
+        assert_eq!(throttled.floor(), Duration::from_nanos(800));
+        assert_eq!(throttled.inner().name(), "greedy-matching");
+    }
+}

@@ -1,0 +1,185 @@
+//! Stream-versus-batch equivalence and backlog-growth integration tests.
+//!
+//! The streaming runtime must be a *transparent* transport: pushing a seeded
+//! syndrome stream through the lock-free queue and a pool of workers must
+//! yield exactly the corrections a plain offline loop produces on the same
+//! stream.  These tests pin that down for one worker (byte-identical
+//! per-round corrections, in order) and for many workers (identical merged
+//! logical frame), plus the empirical backlog-growth experiment against the
+//! closed-form model.
+
+use nisqplus_decoders::{DecoderFactory, DynDecoder, GreedyMatchingDecoder};
+use nisqplus_qec::frame::PauliFrame;
+use nisqplus_qec::lattice::Sector;
+use nisqplus_qec::pauli::PauliString;
+use nisqplus_runtime::{
+    NoiseSpec, PushPolicy, RuntimeConfig, StreamingEngine, SyndromeSource, ThrottledDecoder,
+};
+use proptest::prelude::*;
+
+fn greedy_factory() -> impl DecoderFactory {
+    || Box::new(GreedyMatchingDecoder::new()) as DynDecoder
+}
+
+fn equivalence_config(distance: usize, rounds: u64, workers: usize, seed: u64) -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(distance);
+    // Depolarizing noise exercises both stabilizer sectors.
+    config.noise = NoiseSpec::Depolarizing { p: 0.04 };
+    config.seed = seed;
+    config.rounds = rounds;
+    config.workers = workers;
+    config.cadence_cycles = 0; // un-paced: equivalence is about data, not timing
+    config.queue_capacity = 128;
+    config.push_policy = PushPolicy::Block;
+    config.record_corrections = true;
+    config
+}
+
+/// Decodes the same seeded stream in a plain offline loop, mirroring the
+/// worker's decode-both-sectors-and-compose step exactly.
+fn batch_decode(config: &RuntimeConfig) -> (Vec<PauliString>, PauliFrame) {
+    let engine = StreamingEngine::new(*config).expect("valid config");
+    let mut source = SyndromeSource::new(engine.lattice().clone(), config.noise, config.seed)
+        .expect("valid noise");
+    let mut decoder = greedy_factory().build();
+    let lattice = engine.lattice().clone();
+    let mut frame = PauliFrame::new(lattice.num_data());
+    let mut corrections = Vec::new();
+    for _ in 0..config.rounds {
+        let syndrome = source.next_syndrome();
+        let x = decoder.decode(&lattice, &syndrome, Sector::X);
+        let z = decoder.decode(&lattice, &syndrome, Sector::Z);
+        let mut correction = x.into_pauli_string();
+        correction.compose_with(z.pauli_string());
+        frame.record(&correction);
+        corrections.push(correction);
+    }
+    (corrections, frame)
+}
+
+#[test]
+fn single_worker_stream_matches_batch_decode_exactly() {
+    let config = equivalence_config(3, 400, 1, 11);
+    let (batch_corrections, batch_frame) = batch_decode(&config);
+
+    let engine = StreamingEngine::new(config).unwrap();
+    let outcome = engine.run(&greedy_factory());
+
+    assert_eq!(outcome.report.counters.decoded, config.rounds);
+    assert_eq!(outcome.corrections.len(), batch_corrections.len());
+    for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
+        assert_eq!(
+            &streamed.correction, batch,
+            "round {} diverged between stream and batch",
+            streamed.round
+        );
+    }
+    // One worker, one shard: the frame is byte-identical too.
+    assert_eq!(outcome.frame.shards().len(), 1);
+    assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+    assert_eq!(
+        outcome.frame.total_recorded(),
+        batch_frame.recorded_cycles()
+    );
+}
+
+#[test]
+fn multi_worker_stream_preserves_the_logical_frame() {
+    let config = equivalence_config(5, 1_200, 4, 23);
+    let (batch_corrections, batch_frame) = batch_decode(&config);
+
+    let engine = StreamingEngine::new(config).unwrap();
+    let outcome = engine.run(&greedy_factory());
+
+    // Work was actually spread across the pool...
+    assert_eq!(outcome.frame.shards().len(), 4);
+    assert_eq!(outcome.frame.total_recorded(), config.rounds);
+    // ...yet the merged Pauli frame is exactly the sequential one (Pauli
+    // composition is commutative modulo the phase the frame discards).
+    assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+    // And per-round corrections are still byte-identical: each round is an
+    // independent decode, so which worker ran it cannot matter.
+    for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
+        assert_eq!(&streamed.correction, batch);
+    }
+}
+
+#[test]
+fn throttled_stream_grows_backlog_as_the_model_predicts() {
+    let mut config = equivalence_config(3, 300, 1, 5);
+    config.record_corrections = false;
+    // ~50 us cadence against a 200 us floor per decode() call — two sector
+    // decodes per round make that >= 400 us of service per round, f >= 8 —
+    // so the backlog grows decisively even under debug-build and single-core
+    // scheduling noise.
+    config.cadence_cycles = 307_276;
+    config.queue_capacity = 512;
+    let floor_ns = 200_000;
+
+    let engine = StreamingEngine::new(config).unwrap();
+    let outcome = engine.run(&|| {
+        Box::new(ThrottledDecoder::new(
+            GreedyMatchingDecoder::new(),
+            floor_ns,
+        )) as DynDecoder
+    });
+    let report = &outcome.report;
+
+    assert_eq!(report.counters.decoded, config.rounds);
+    assert!(
+        report.final_backlog > config.rounds / 4,
+        "an f~4 decoder must fall well behind, backlog was {}",
+        report.final_backlog
+    );
+    assert!(!report.queue_stayed_bounded());
+    // The backlog grows over the run: later timeline samples sit above the
+    // first quarter's.
+    let timeline = &report.depth_timeline;
+    let early = timeline[timeline.len() / 4].backlog;
+    let late = timeline[timeline.len() - 1].backlog;
+    assert!(late > early, "backlog should grow: {early} -> {late}");
+    // Growth within 3x of the closed-form model at the measured rates (the
+    // release-build example asserts the tighter 2x bound).
+    assert!(
+        report.comparison.within(3.0),
+        "measured {:.3} vs predicted {:.3} rounds/round",
+        report.comparison.measured_growth_per_round,
+        report.comparison.predicted_growth_per_round
+    );
+}
+
+#[test]
+fn fast_decoder_keeps_the_queue_bounded() {
+    let mut config = equivalence_config(3, 300, 2, 7);
+    config.record_corrections = false;
+    // ~100 us cadence: comfortably slower than even a debug-build decode.
+    config.cadence_cycles = 614_552;
+    let engine = StreamingEngine::new(config).unwrap();
+    let outcome = engine.run(&greedy_factory());
+    assert_eq!(outcome.report.counters.decoded, config.rounds);
+    assert!(
+        outcome.report.queue_stayed_bounded(),
+        "final backlog {} on {} rounds",
+        outcome.report.final_backlog,
+        outcome.report.rounds
+    );
+    assert_eq!(outcome.report.comparison.predicted_growth_per_round, 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Stream-equals-batch holds for arbitrary seeds and worker counts.
+    #[test]
+    fn stream_matches_batch_for_any_seed(seed in 0u64..1_000, workers in 1usize..4) {
+        let config = equivalence_config(3, 120, workers, seed);
+        let (batch_corrections, batch_frame) = batch_decode(&config);
+        let engine = StreamingEngine::new(config).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        prop_assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+        prop_assert_eq!(outcome.corrections.len(), batch_corrections.len());
+        for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
+            prop_assert_eq!(&streamed.correction, batch);
+        }
+    }
+}

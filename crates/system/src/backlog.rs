@@ -128,6 +128,24 @@ impl BacklogModel {
         }
     }
 
+    /// The steady-state backlog growth in *rounds of undecoded syndrome data
+    /// per generated round* for a gate-free stream (no T-gate stalls).
+    ///
+    /// Each generation cycle adds one round of data and the decoder retires
+    /// `1/f` rounds, so the queue grows by `1 - 1/f` rounds per cycle when
+    /// `f > 1` and is stable (growth 0) otherwise.  This is the slope the
+    /// streaming runtime measures empirically; see
+    /// [`BacklogComparison::against_model`].
+    #[must_use]
+    pub fn steady_state_growth_per_round(&self) -> f64 {
+        let f = self.ratio();
+        if f <= 1.0 {
+            0.0
+        } else {
+            1.0 - 1.0 / f
+        }
+    }
+
     /// The asymptotic backlog growth per T gate: the last stall is roughly
     /// `f^k` cycles.
     #[must_use]
@@ -206,6 +224,114 @@ impl BacklogSimulation {
             stall_s,
             wall_clock_s: compute_s + stall_s,
         }
+    }
+}
+
+/// An empirically measured backlog trajectory, as produced by the streaming
+/// runtime (`nisqplus-runtime`): how many rounds of syndrome data were
+/// generated, and how many were still undecoded when generation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredBacklog {
+    /// Rounds of syndrome data generated.
+    pub rounds: u64,
+    /// Rounds still undecoded at the end of generation.
+    pub final_backlog: u64,
+    /// Mean decode service time per round, in nanoseconds, *divided by the
+    /// number of parallel workers* (i.e. the aggregate service time).
+    pub service_time_ns: f64,
+    /// Mean inter-arrival time between generated rounds, in nanoseconds.
+    pub inter_arrival_ns: f64,
+}
+
+impl MeasuredBacklog {
+    /// The measured backlog growth in rounds per generated round.
+    #[must_use]
+    pub fn growth_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.final_backlog as f64 / self.rounds as f64
+        }
+    }
+
+    /// The effective decoding ratio `f` implied by the measured service and
+    /// arrival rates.
+    #[must_use]
+    pub fn effective_ratio(&self) -> f64 {
+        if self.inter_arrival_ns <= 0.0 {
+            0.0
+        } else {
+            self.service_time_ns / self.inter_arrival_ns
+        }
+    }
+
+    /// The [`BacklogModel`] parameterized by the *measured* rates — the
+    /// apples-to-apples model for this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either measured time is not positive.
+    #[must_use]
+    pub fn effective_model(&self) -> BacklogModel {
+        BacklogModel::new(self.inter_arrival_ns, self.service_time_ns)
+    }
+}
+
+/// Measured-versus-modeled backlog growth: the empirical validation of
+/// Figures 5 and 6 that the streaming runtime produces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BacklogComparison {
+    /// Growth per round predicted by the model under the measured rates.
+    pub predicted_growth_per_round: f64,
+    /// Growth per round actually observed.
+    pub measured_growth_per_round: f64,
+    /// The effective decoding ratio `f` of the run.
+    pub effective_ratio: f64,
+}
+
+impl BacklogComparison {
+    /// Compares a measured trajectory against the closed-form model driven by
+    /// the same (measured) generation and service rates.
+    #[must_use]
+    pub fn against_model(measured: &MeasuredBacklog) -> Self {
+        let predicted = if measured.inter_arrival_ns > 0.0 && measured.service_time_ns > 0.0 {
+            measured.effective_model().steady_state_growth_per_round()
+        } else {
+            0.0
+        };
+        BacklogComparison {
+            predicted_growth_per_round: predicted,
+            measured_growth_per_round: measured.growth_per_round(),
+            effective_ratio: measured.effective_ratio(),
+        }
+    }
+
+    /// The multiplicative disagreement between measurement and model
+    /// (`>= 1`; `1.0` is perfect agreement).  When both growths are
+    /// effectively zero (a stable queue, `f <= 1`) the agreement is perfect
+    /// by convention; when exactly one is zero the factor is infinite.
+    #[must_use]
+    pub fn agreement_factor(&self) -> f64 {
+        let (a, b) = (
+            self.measured_growth_per_round,
+            self.predicted_growth_per_round,
+        );
+        // Backlogs below one round per thousand generated are noise: both
+        // sides call the queue stable.
+        const STABLE: f64 = 1e-3;
+        if a < STABLE && b < STABLE {
+            return 1.0;
+        }
+        if a <= 0.0 || b <= 0.0 {
+            return f64::INFINITY;
+        }
+        (a / b).max(b / a)
+    }
+
+    /// Whether the measurement validates the model to within `factor`x.
+    #[must_use]
+    pub fn within(&self, factor: f64) -> bool {
+        self.agreement_factor() <= factor
     }
 }
 
@@ -313,5 +439,95 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn invalid_model_panics() {
         let _ = BacklogModel::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn steady_state_growth_matches_ratio() {
+        assert_eq!(
+            BacklogModel::from_ratio(0.5).steady_state_growth_per_round(),
+            0.0
+        );
+        assert_eq!(
+            BacklogModel::from_ratio(1.0).steady_state_growth_per_round(),
+            0.0
+        );
+        let growth = BacklogModel::from_ratio(2.0).steady_state_growth_per_round();
+        assert!((growth - 0.5).abs() < 1e-12);
+        let growth = BacklogModel::from_ratio(1.25).steady_state_growth_per_round();
+        assert!((growth - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_backlog_growth_and_ratio() {
+        let measured = MeasuredBacklog {
+            rounds: 10_000,
+            final_backlog: 5_000,
+            service_time_ns: 800.0,
+            inter_arrival_ns: 400.0,
+        };
+        assert!((measured.growth_per_round() - 0.5).abs() < 1e-12);
+        assert!((measured.effective_ratio() - 2.0).abs() < 1e-12);
+        assert!((measured.effective_model().ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_of_consistent_measurement_agrees() {
+        // f = 2 -> the model predicts growth 0.5/round; a measurement showing
+        // 0.45/round agrees to within 1.2x.
+        let measured = MeasuredBacklog {
+            rounds: 10_000,
+            final_backlog: 4_500,
+            service_time_ns: 800.0,
+            inter_arrival_ns: 400.0,
+        };
+        let cmp = BacklogComparison::against_model(&measured);
+        assert!((cmp.predicted_growth_per_round - 0.5).abs() < 1e-12);
+        assert!((cmp.measured_growth_per_round - 0.45).abs() < 1e-12);
+        assert!(cmp.within(1.2));
+        assert!(!cmp.within(1.05));
+        assert!((cmp.agreement_factor() - 0.5 / 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_queues_agree_trivially() {
+        // A fast decoder: f < 1, no growth on either side.
+        let measured = MeasuredBacklog {
+            rounds: 10_000,
+            final_backlog: 3,
+            service_time_ns: 100.0,
+            inter_arrival_ns: 400.0,
+        };
+        let cmp = BacklogComparison::against_model(&measured);
+        assert_eq!(cmp.predicted_growth_per_round, 0.0);
+        assert_eq!(cmp.agreement_factor(), 1.0);
+        assert!(cmp.within(2.0));
+    }
+
+    #[test]
+    fn one_sided_growth_never_agrees() {
+        // The model says stable but the measurement grew substantially.
+        let measured = MeasuredBacklog {
+            rounds: 1_000,
+            final_backlog: 400,
+            service_time_ns: 100.0,
+            inter_arrival_ns: 400.0,
+        };
+        let cmp = BacklogComparison::against_model(&measured);
+        assert_eq!(cmp.agreement_factor(), f64::INFINITY);
+        assert!(!cmp.within(1e6));
+    }
+
+    #[test]
+    fn empty_measurement_is_degenerate_but_finite() {
+        let measured = MeasuredBacklog {
+            rounds: 0,
+            final_backlog: 0,
+            service_time_ns: 0.0,
+            inter_arrival_ns: 0.0,
+        };
+        assert_eq!(measured.growth_per_round(), 0.0);
+        assert_eq!(measured.effective_ratio(), 0.0);
+        let cmp = BacklogComparison::against_model(&measured);
+        assert_eq!(cmp.agreement_factor(), 1.0);
     }
 }

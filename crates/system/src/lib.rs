@@ -27,7 +27,9 @@ pub mod comparison;
 pub mod refrigerator;
 pub mod sqv;
 
-pub use backlog::{BacklogModel, BacklogSimulation, ExecutionTimeline};
+pub use backlog::{
+    BacklogComparison, BacklogModel, BacklogSimulation, ExecutionTimeline, MeasuredBacklog,
+};
 pub use benchmarks::{standard_benchmarks, BenchmarkCircuit};
 pub use comparison::{required_code_distance, DecoderProfile};
 pub use refrigerator::cooling_feasibility;
