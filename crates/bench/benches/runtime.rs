@@ -1,11 +1,108 @@
 //! Criterion benchmarks of the streaming runtime: ring-buffer hot path,
-//! packet codec, and short end-to-end streaming runs.
+//! packet codec, and short end-to-end streaming runs (work-stealing pool,
+//! batched windows).
+//!
+//! Before any timing runs, [`assert_steady_state_decode_is_allocation_free`]
+//! guards the PR's core invariant with a counting global allocator: a
+//! prepared decoder's `decode_into` loop must perform **zero** heap
+//! allocations in steady state.  The guard fails the bench run loudly if a
+//! regression reintroduces per-round allocation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use nisqplus_core::SfqMeshDecoder;
-use nisqplus_decoders::DynDecoder;
+use nisqplus_decoders::{
+    Decoder, DynDecoder, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder,
+};
+use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
+use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_runtime::{PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine, SyndromePacket};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pass-through allocator that counts allocations, so the bench can assert
+/// the steady-state decode loop never touches the heap.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a relaxed
+// atomic side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn sample_syndromes(distance: usize, p: f64, count: usize) -> (Lattice, Vec<Syndrome>) {
+    let lattice = Lattice::new(distance).expect("valid distance");
+    let model = PureDephasing::new(p).expect("valid probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFEED + distance as u64);
+    let syndromes = (0..count)
+        .map(|_| {
+            let error = model.sample(&lattice, &mut rng);
+            lattice.syndrome_of(&error)
+        })
+        .collect();
+    (lattice, syndromes)
+}
+
+/// The allocation guard: after `prepare` and one warm-up pass (which may
+/// still grow scratch capacities), a prepared decoder's `decode_into` loop
+/// must run the steady state with zero heap allocations.
+fn assert_allocation_free(name: &str, decoder: &mut dyn Decoder, distance: usize) {
+    let (lattice, syndromes) = sample_syndromes(distance, 0.06, 64);
+    decoder.prepare(&lattice);
+    let mut out = PauliString::identity(lattice.num_data());
+    // Warm-up: first decodes may still grow arena capacities to this
+    // syndrome population's high-water mark.
+    for syndrome in &syndromes {
+        for sector in Sector::ALL {
+            decoder.decode_into(&lattice, syndrome, sector, &mut out);
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..4 {
+        for syndrome in &syndromes {
+            for sector in Sector::ALL {
+                decoder.decode_into(&lattice, syndrome, sector, &mut out);
+            }
+        }
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "steady-state decode_into of `{name}` (d={distance}) performed {allocated} heap \
+         allocations over 512 sector decodes; the prepared hot path must not allocate"
+    );
+    eprintln!("alloc-guard: {name:<16} d={distance}: 0 allocations over 512 steady-state decodes");
+}
+
+/// Runs the allocation guard for every decoder that promises an
+/// allocation-free hot path, before any timing happens.
+fn assert_steady_state_decode_is_allocation_free() {
+    assert_allocation_free("union-find", &mut UnionFindDecoder::new(), 9);
+    assert_allocation_free("greedy-matching", &mut GreedyMatchingDecoder::new(), 9);
+    let lattice = Lattice::new(3).expect("valid distance");
+    let mut lookup = LookupDecoder::new(&lattice).expect("d=3 fits the table");
+    assert_allocation_free("lookup-table", &mut lookup, 3);
+}
 
 fn ring_benchmarks(c: &mut Criterion) {
     let ring = SpmcRing::new(1024, 3);
@@ -26,10 +123,12 @@ fn codec_benchmarks(c: &mut Criterion) {
     let syndrome = Syndrome::from_hot(40, &[3, 17, 31]);
     let packet = SyndromePacket::new(42, 123_456, &syndrome);
     let mut record = vec![0u64; codec.words_per_packet()];
+    let mut buffer = SyndromePacket::new(0, 0, &Syndrome::new(40));
     c.bench_function("packet_encode_decode", |b| {
         b.iter(|| {
             codec.encode(&packet, &mut record);
-            codec.decode(&record)
+            codec.decode_into(&record, &mut buffer);
+            buffer.round
         })
     });
 }
@@ -49,6 +148,24 @@ fn streaming_benchmarks(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The batched-window amortization sweep: same stream, one worker, growing
+    // windows.  Larger k amortizes per-packet timestamping/counter overhead.
+    let mut group = c.benchmark_group("streaming_1k_rounds_batch");
+    group.sample_size(10);
+    for batch in [1usize, 4, 16] {
+        let mut config = RuntimeConfig::new(5);
+        config.rounds = 1_000;
+        config.workers = 1;
+        config.batch_size = batch;
+        config.cadence_cycles = 0;
+        config.queue_capacity = 256;
+        let engine = StreamingEngine::new(config).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| engine.run(&|| Box::new(UnionFindDecoder::new()) as DynDecoder))
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {
@@ -56,4 +173,8 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = ring_benchmarks, codec_benchmarks, streaming_benchmarks
 }
-criterion_main!(benches);
+
+fn main() {
+    assert_steady_state_decode_is_allocation_free();
+    benches();
+}

@@ -51,6 +51,9 @@ pub struct SfqMeshDecoder {
     cycle_time_ps: f64,
     last_stats: Option<DecodeStats>,
     name: String,
+    /// Reusable defect-list buffer for the streaming hot path (filled by an
+    /// allocation-free syndrome scan instead of `Lattice::defects`).
+    defect_scratch: Vec<usize>,
 }
 
 impl SfqMeshDecoder {
@@ -73,6 +76,7 @@ impl SfqMeshDecoder {
             cycle_time_ps,
             last_stats: None,
             name: format!("sfq-mesh-{}", variant.label()),
+            defect_scratch: Vec::new(),
         }
     }
 
@@ -123,23 +127,60 @@ impl SfqMeshDecoder {
     }
 }
 
+impl SfqMeshDecoder {
+    /// Runs one sector decode via the reusable defect buffer, recording the
+    /// per-decode statistics.  Shared by `decode` and `decode_into`.
+    fn decode_stats_run(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+    ) -> MeshDecodeResult {
+        self.defect_scratch.clear();
+        let scratch = &mut self.defect_scratch;
+        lattice.for_each_defect(syndrome, sector, |a| scratch.push(a));
+        let result = self.run(lattice, sector, &self.defect_scratch);
+        self.last_stats = Some(DecodeStats {
+            defects: self.defect_scratch.len(),
+            cycles: result.cycles,
+            time_ns: result.cycles as f64 * self.cycle_time_ps * 1e-3,
+            completed: result.completed,
+        });
+        result
+    }
+}
+
 impl Decoder for SfqMeshDecoder {
     fn name(&self) -> &str {
         &self.name
     }
 
+    fn prepare(&mut self, lattice: &Lattice) {
+        // The mesh is configured per decode; preparation sizes the defect
+        // buffer for the worst case (every same-sector ancilla hot).
+        self.defect_scratch.reserve(lattice.ancillas_per_sector());
+    }
+
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
-        let defects = lattice.defects(syndrome, sector);
-        let result = self.run(lattice, sector, &defects);
-        self.last_stats = Some(DecodeStats {
-            defects: defects.len(),
-            cycles: result.cycles,
-            time_ns: result.cycles as f64 * self.cycle_time_ps * 1e-3,
-            completed: result.completed,
-        });
+        let result = self.decode_stats_run(lattice, syndrome, sector);
         let pauli = sector_correction_pauli(sector);
         let flips = PauliString::from_sparse(lattice.num_data(), &result.chain_data_qubits, pauli);
         Correction::from_pauli_string(flips)
+    }
+
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut PauliString,
+    ) {
+        let result = self.decode_stats_run(lattice, syndrome, sector);
+        out.reset_identity(lattice.num_data());
+        let pauli = sector_correction_pauli(sector);
+        for &q in &result.chain_data_qubits {
+            out.apply(q, pauli);
+        }
     }
 }
 
@@ -288,6 +329,26 @@ mod tests {
     fn cycle_time_override() {
         let decoder = SfqMeshDecoder::final_design().with_cycle_time_ps(200.0);
         assert_eq!(decoder.cycle_time_ps(), 200.0);
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_records_stats() {
+        let lat = Lattice::new(5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let model = PureDephasing::new(0.08).unwrap();
+        let mut decoder = SfqMeshDecoder::final_design();
+        decoder.prepare(&lat);
+        let mut buf = PauliString::identity(lat.num_data());
+        for _ in 0..50 {
+            let error = model.sample(&lat, &mut rng);
+            let syndrome = lat.syndrome_of(&error);
+            let via_decode = decoder.decode(&lat, &syndrome, Sector::X);
+            let stats_decode = decoder.last_stats().unwrap();
+            decoder.decode_into(&lat, &syndrome, Sector::X, &mut buf);
+            let stats_into = decoder.last_stats().unwrap();
+            assert_eq!(&buf, via_decode.pauli_string());
+            assert_eq!(stats_decode, stats_into);
+        }
     }
 
     /// Compile-time assertion: the SFQ mesh decoder is `Send + Sync`, so the

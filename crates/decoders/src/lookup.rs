@@ -8,13 +8,26 @@
 //! pattern producing it.  This provides an *exact* maximum-likelihood
 //! reference (under i.i.d. noise) against which the approximate decoders can
 //! be calibrated in unit tests and ablation benches.
+//!
+//! Table hits hand out borrowed slices — the seed implementation cloned the
+//! stored correction `Vec` on every decode — and the bit-order ancilla lists
+//! are precomputed per sector, so [`Decoder::decode_into`] is allocation-free.
 
 use crate::traits::{sector_correction_pauli, Correction, Decoder};
 use nisqplus_qec::error::QecError;
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// The lookup table of one stabilizer sector.
+#[derive(Debug, Clone)]
+struct SectorTable {
+    /// The sector's ancilla indices in syndrome-key bit order.
+    ancillas: Vec<usize>,
+    /// Key -> minimum-weight error support producing that syndrome.
+    entries: Vec<Option<Vec<usize>>>,
+}
 
 /// A decoder backed by an exhaustive syndrome-to-correction table.
 ///
@@ -24,19 +37,8 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug, Clone)]
 pub struct LookupDecoder {
     distance: usize,
-    tables: HashMap<SectorKey, Vec<Option<Vec<usize>>>>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct SectorKey(u8);
-
-impl From<Sector> for SectorKey {
-    fn from(sector: Sector) -> Self {
-        match sector {
-            Sector::X => SectorKey(0),
-            Sector::Z => SectorKey(1),
-        }
-    }
+    /// Sector tables in `[X, Z]` order.
+    sectors: [SectorTable; 2],
 }
 
 impl LookupDecoder {
@@ -54,19 +56,18 @@ impl LookupDecoder {
     /// exhaustive enumeration (more than [`Self::MAX_TABLE_BITS`] ancillas in
     /// a sector).
     pub fn new(lattice: &Lattice) -> Result<Self, QecError> {
-        let per_sector = lattice.ancillas_in_sector(Sector::X).count();
+        let per_sector = lattice.ancillas_per_sector();
         if per_sector > Self::MAX_TABLE_BITS {
             return Err(QecError::InvalidDistance {
                 distance: lattice.distance(),
             });
         }
-        let mut tables = HashMap::new();
-        for sector in Sector::ALL {
-            tables.insert(SectorKey::from(sector), Self::build_table(lattice, sector));
-        }
         Ok(LookupDecoder {
             distance: lattice.distance(),
-            tables,
+            sectors: [
+                Self::build_table(lattice, Sector::X),
+                Self::build_table(lattice, Sector::Z),
+            ],
         })
     }
 
@@ -76,13 +77,45 @@ impl LookupDecoder {
         self.distance
     }
 
-    fn build_table(lattice: &Lattice, sector: Sector) -> Vec<Option<Vec<usize>>> {
+    /// The stored minimum-weight correction support for a syndrome, borrowed
+    /// straight from the table (no cloning).
+    #[must_use]
+    pub fn correction_support(
+        &self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+    ) -> &[usize] {
+        assert_eq!(
+            lattice.distance(),
+            self.distance,
+            "lookup decoder was built for distance {} but used with distance {}",
+            self.distance,
+            lattice.distance()
+        );
+        let table = &self.sectors[sector.index()];
+        let mut key = 0usize;
+        for (bit, &a) in table.ancillas.iter().enumerate() {
+            if syndrome.is_hot(a) {
+                key |= 1 << bit;
+            }
+        }
+        table
+            .entries
+            .get(key)
+            .and_then(|entry| entry.as_deref())
+            .unwrap_or_default()
+    }
+
+    fn build_table(lattice: &Lattice, sector: Sector) -> SectorTable {
         let ancillas: Vec<usize> = lattice.ancillas_in_sector(sector).collect();
-        let bit_of: HashMap<usize, usize> =
-            ancillas.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let mut bit_of = vec![0usize; lattice.num_ancillas()];
+        for (i, &a) in ancillas.iter().enumerate() {
+            bit_of[a] = i;
+        }
         let num_syndromes = 1usize << ancillas.len();
-        let mut table: Vec<Option<Vec<usize>>> = vec![None; num_syndromes];
-        table[0] = Some(Vec::new());
+        let mut entries: Vec<Option<Vec<usize>>> = vec![None; num_syndromes];
+        entries[0] = Some(Vec::new());
         let mut remaining = num_syndromes - 1;
 
         let pauli = sector_correction_pauli(sector);
@@ -95,7 +128,7 @@ impl LookupDecoder {
         while remaining > 0 && !frontier.is_empty() {
             let mut next_frontier: Vec<(usize, Vec<usize>)> = Vec::new();
             let mut seen_this_round: HashSet<usize> = HashSet::new();
-            for (key, support) in &frontier {
+            for (_, support) in &frontier {
                 let start = support.last().map_or(0, |&q| q + 1);
                 for q in start..num_data {
                     let mut new_support = support.clone();
@@ -104,11 +137,10 @@ impl LookupDecoder {
                     let syndrome = lattice.syndrome_of(&error);
                     let mut new_key = 0usize;
                     for a in lattice.defects(&syndrome, sector) {
-                        new_key |= 1 << bit_of[&a];
+                        new_key |= 1 << bit_of[a];
                     }
-                    let _ = key;
-                    if table[new_key].is_none() {
-                        table[new_key] = Some(new_support.clone());
+                    if entries[new_key].is_none() {
+                        entries[new_key] = Some(new_support.clone());
                         remaining -= 1;
                     }
                     if seen_this_round.insert(new_key) {
@@ -118,18 +150,7 @@ impl LookupDecoder {
             }
             frontier = next_frontier;
         }
-        table
-    }
-
-    fn syndrome_key(&self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> usize {
-        let ancillas: Vec<usize> = lattice.ancillas_in_sector(sector).collect();
-        let mut key = 0usize;
-        for (bit, &a) in ancillas.iter().enumerate() {
-            if syndrome.is_hot(a) {
-                key |= 1 << bit;
-            }
-        }
-        key
+        SectorTable { ancillas, entries }
     }
 }
 
@@ -138,27 +159,45 @@ impl Decoder for LookupDecoder {
         "lookup-table"
     }
 
+    fn prepare(&mut self, lattice: &Lattice) {
+        // Tables are built at construction; preparing for a different
+        // lattice rebuilds them, honouring the trait contract that prepared
+        // state for a new lattice replaces the old.
+        //
+        // # Panics
+        //
+        // Panics if the new lattice exceeds [`Self::MAX_TABLE_BITS`] ancillas
+        // per sector — exhaustive tables for it cannot exist at all.
+        if lattice.distance() != self.distance {
+            *self = LookupDecoder::new(lattice).unwrap_or_else(|_| {
+                panic!(
+                    "lookup decoder cannot be prepared for distance {}: more than {} ancillas \
+                     per sector",
+                    lattice.distance(),
+                    Self::MAX_TABLE_BITS
+                )
+            });
+        }
+    }
+
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
-        assert_eq!(
-            lattice.distance(),
-            self.distance,
-            "lookup decoder was built for distance {} but used with distance {}",
-            self.distance,
-            lattice.distance()
-        );
-        let key = self.syndrome_key(lattice, syndrome, sector);
-        let table = &self.tables[&SectorKey::from(sector)];
-        let support = table
-            .get(key)
-            .and_then(|entry| entry.as_ref())
-            .cloned()
-            .unwrap_or_default();
+        let support = self.correction_support(lattice, syndrome, sector);
         let pauli = sector_correction_pauli(sector);
-        Correction::from_pauli_string(PauliString::from_sparse(
-            lattice.num_data(),
-            &support,
-            pauli,
-        ))
+        Correction::from_pauli_string(PauliString::from_sparse(lattice.num_data(), support, pauli))
+    }
+
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut PauliString,
+    ) {
+        out.reset_identity(lattice.num_data());
+        let pauli = sector_correction_pauli(sector);
+        for &q in self.correction_support(lattice, syndrome, sector) {
+            out.apply(q, pauli);
+        }
     }
 }
 
@@ -190,9 +229,10 @@ mod tests {
         let lat = Lattice::new(3).unwrap();
         let decoder = LookupDecoder::new(&lat).unwrap();
         for sector in Sector::ALL {
-            let table = &decoder.tables[&SectorKey::from(sector)];
-            assert_eq!(table.len(), 1 << 6);
-            for (key, entry) in table.iter().enumerate() {
+            let table = &decoder.sectors[sector.index()];
+            assert_eq!(table.entries.len(), 1 << 6);
+            assert_eq!(table.ancillas.len(), 6);
+            for (key, entry) in table.entries.iter().enumerate() {
                 assert!(entry.is_some(), "syndrome key {key} has no table entry");
             }
         }
@@ -210,6 +250,25 @@ mod tests {
             let correction = decoder.decode(&lat, &syndrome, Sector::X);
             let state = classify_residual(&lat, &error, correction.pauli_string(), Sector::X);
             assert_ne!(state, LogicalState::InvalidCorrection);
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_decode_without_cloning() {
+        let lat = Lattice::new(3).unwrap();
+        let mut decoder = LookupDecoder::new(&lat).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let model = PureDephasing::new(0.2).unwrap();
+        let mut buf = PauliString::identity(lat.num_data());
+        for _ in 0..100 {
+            let error = model.sample(&lat, &mut rng);
+            let syndrome = lat.syndrome_of(&error);
+            let via_decode = decoder.decode(&lat, &syndrome, Sector::X);
+            decoder.decode_into(&lat, &syndrome, Sector::X, &mut buf);
+            assert_eq!(&buf, via_decode.pauli_string());
+            // The borrowed-slice accessor agrees with the correction weight.
+            let support = decoder.correction_support(&lat, &syndrome, Sector::X);
+            assert_eq!(support.len(), via_decode.weight());
         }
     }
 
@@ -258,5 +317,22 @@ mod tests {
         let lat5 = Lattice::new(5).unwrap();
         let mut decoder = LookupDecoder::new(&lat3).unwrap();
         let _ = decoder.decode(&lat5, &Syndrome::new(lat5.num_ancillas()), Sector::X);
+    }
+
+    #[test]
+    fn preparing_same_lattice_is_a_noop() {
+        let lat3 = Lattice::new(3).unwrap();
+        let mut decoder = LookupDecoder::new(&lat3).unwrap();
+        decoder.prepare(&lat3);
+        assert_eq!(decoder.distance(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be prepared for distance 7")]
+    fn preparing_beyond_the_table_ceiling_panics() {
+        let lat3 = Lattice::new(3).unwrap();
+        let lat7 = Lattice::new(7).unwrap();
+        let mut decoder = LookupDecoder::new(&lat3).unwrap();
+        decoder.prepare(&lat7);
     }
 }

@@ -9,16 +9,53 @@
 //!
 //! * [`GreedyMatchingDecoder`] sorts all candidate edges by length and adds
 //!   them greedily — the same 2-approximation (Drake & Hougardy) that the
-//!   paper's hardware algorithm realizes in the mesh.
+//!   paper's hardware algorithm realizes in the mesh.  Its
+//!   [`Decoder::decode_into`] hot path runs entirely out of a reusable
+//!   scratch arena (flat defect-slot map, in-place edge sort, callback path
+//!   walking): zero heap allocation in steady state.
 //! * [`ExactMatchingDecoder`] finds the true minimum-weight matching by
 //!   dynamic programming over defect subsets, which is feasible for the
 //!   defect counts arising at the code distances studied (d ≤ 11).  It plays
 //!   the role of the software MWPM baseline [Fowler et al.].
 
-use crate::traits::{sorted_defect_edges, Correction, Decoder, MatchPair, Matching};
+use crate::traits::{
+    sector_correction_pauli, sorted_defect_edges, Correction, Decoder, MatchPair, Matching,
+};
 use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slot sentinel marking a boundary pseudo-endpoint in the edge list.
+const BOUNDARY: usize = usize::MAX;
+
+/// The reusable per-call arena of the greedy decoder: defect list, candidate
+/// edges, flat ancilla→slot map and per-slot matched flags.  Capacities are
+/// reserved for the worst case (every same-sector ancilla hot) by
+/// [`Decoder::prepare`], after which decode rounds never allocate.
+#[derive(Debug, Clone, Default)]
+struct GreedyScratch {
+    defects: Vec<usize>,
+    /// Candidate edges `(chain length, a, b)`; `b == BOUNDARY` marks a
+    /// defect-boundary edge.
+    edges: Vec<(usize, usize, usize)>,
+    /// Flat map ancilla index -> slot in `defects` (entries are only valid
+    /// for ancillas currently in `defects`, so no clearing is needed).
+    slot_of: Vec<u32>,
+    matched: Vec<bool>,
+}
+
+impl GreedyScratch {
+    fn reserve_for(&mut self, lattice: &Lattice) {
+        let per_sector = lattice.ancillas_per_sector();
+        self.defects.reserve(per_sector);
+        self.matched.reserve(per_sector);
+        self.edges.reserve(per_sector * (per_sector + 1) / 2);
+        self.slot_of.clear();
+        self.slot_of.resize(lattice.num_ancillas(), 0);
+    }
+}
 
 /// The greedy sorted-edge matching decoder (software reference model of the
 /// paper's hardware algorithm).
@@ -29,14 +66,14 @@ use std::collections::HashMap;
 /// matched because its boundary edge is always individually acceptable.
 #[derive(Debug, Clone, Default)]
 pub struct GreedyMatchingDecoder {
-    _private: (),
+    scratch: GreedyScratch,
 }
 
 impl GreedyMatchingDecoder {
     /// Creates a greedy matching decoder.
     #[must_use]
     pub fn new() -> Self {
-        GreedyMatchingDecoder { _private: () }
+        GreedyMatchingDecoder::default()
     }
 
     /// Computes the greedy matching for an explicit defect list.
@@ -50,7 +87,7 @@ impl GreedyMatchingDecoder {
         // Boundary edges are encoded with `usize::MAX` as the second endpoint.
         let mut edges: Vec<(usize, usize, usize)> = sorted_defect_edges(lattice, defects);
         for &a in defects {
-            edges.push((lattice.boundary_distance(a), a, usize::MAX));
+            edges.push((lattice.boundary_distance(a), a, BOUNDARY));
         }
         edges.sort_unstable();
 
@@ -60,7 +97,7 @@ impl GreedyMatchingDecoder {
             if matched[ia] {
                 continue;
             }
-            if b == usize::MAX {
+            if b == BOUNDARY {
                 matched[ia] = true;
                 matching.push(MatchPair::ToBoundary(a));
             } else {
@@ -82,10 +119,76 @@ impl Decoder for GreedyMatchingDecoder {
         "greedy-matching"
     }
 
+    fn prepare(&mut self, lattice: &Lattice) {
+        self.scratch.reserve_for(lattice);
+    }
+
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
         let defects = lattice.defects(syndrome, sector);
         self.match_defects(lattice, &defects)
             .to_correction(lattice, sector)
+    }
+
+    /// The amortized greedy decode: identical matching decisions to
+    /// [`GreedyMatchingDecoder::match_defects`] (pinned by the seed-reference
+    /// property test), but run out of the scratch arena with the correction
+    /// chains applied directly to `out` — no per-call allocation.
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut PauliString,
+    ) {
+        out.reset_identity(lattice.num_data());
+        if self.scratch.slot_of.len() != lattice.num_ancillas() {
+            self.scratch.reserve_for(lattice);
+        }
+        let scratch = &mut self.scratch;
+        scratch.defects.clear();
+        lattice.for_each_defect(syndrome, sector, |a| scratch.defects.push(a));
+        if scratch.defects.is_empty() {
+            return;
+        }
+
+        scratch.matched.clear();
+        scratch.matched.resize(scratch.defects.len(), false);
+        scratch.edges.clear();
+        for (i, &a) in scratch.defects.iter().enumerate() {
+            scratch.slot_of[a] = i as u32;
+            for &b in &scratch.defects[i + 1..] {
+                scratch.edges.push((lattice.ancilla_distance(a, b), a, b));
+            }
+            scratch
+                .edges
+                .push((lattice.boundary_distance(a), a, BOUNDARY));
+        }
+        // One in-place sort over the combined candidate list is equivalent to
+        // the seed's sort-then-append-then-sort: `sort_unstable` on tuples is
+        // a total order, so the doubly-sorted seed sequence and this
+        // once-sorted sequence are the same sequence.
+        scratch.edges.sort_unstable();
+
+        let pauli = sector_correction_pauli(sector);
+        for k in 0..scratch.edges.len() {
+            let (_, a, b) = scratch.edges[k];
+            let ia = scratch.slot_of[a] as usize;
+            if scratch.matched[ia] {
+                continue;
+            }
+            if b == BOUNDARY {
+                scratch.matched[ia] = true;
+                lattice.for_each_boundary_path_qubit(a, |q| out.apply(q, pauli));
+            } else {
+                let ib = scratch.slot_of[b] as usize;
+                if scratch.matched[ib] {
+                    continue;
+                }
+                scratch.matched[ia] = true;
+                scratch.matched[ib] = true;
+                lattice.for_each_correction_path_qubit(a, b, |q| out.apply(q, pauli));
+            }
+        }
     }
 }
 
@@ -96,11 +199,28 @@ impl Decoder for GreedyMatchingDecoder {
 /// subsets of defects.  The subset DP is exponential in the defect count, so
 /// syndromes with more than [`ExactMatchingDecoder::max_exact_defects`]
 /// defects fall back to the greedy matching (this only happens far above
-/// threshold, where every decoder has already failed).
-#[derive(Debug, Clone)]
+/// threshold, where every decoder has already failed).  Defect sets beyond
+/// [`ExactMatchingDecoder::MAX_REPRESENTABLE_DEFECTS`] cannot be represented
+/// in the DP's `u64` subset mask at all; they always fall back and are
+/// counted by [`ExactMatchingDecoder::mask_overflow_fallbacks`].
+#[derive(Debug)]
 pub struct ExactMatchingDecoder {
     max_exact_defects: usize,
     greedy: GreedyMatchingDecoder,
+    /// Syndromes whose defect count exceeded the 64-bit subset mask.
+    mask_overflow_fallbacks: AtomicU64,
+}
+
+impl Clone for ExactMatchingDecoder {
+    fn clone(&self) -> Self {
+        ExactMatchingDecoder {
+            max_exact_defects: self.max_exact_defects,
+            greedy: self.greedy.clone(),
+            mask_overflow_fallbacks: AtomicU64::new(
+                self.mask_overflow_fallbacks.load(Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl Default for ExactMatchingDecoder {
@@ -109,25 +229,49 @@ impl Default for ExactMatchingDecoder {
     }
 }
 
+/// The subset mask of the first `n` defects (all of them in the set).
+///
+/// `n` may be anywhere in `0..=64`; the seed implementation's `u32` mask
+/// silently shifted out of range beyond 32 defects.
+fn full_mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 impl ExactMatchingDecoder {
     /// Default cap on the defect count handled exactly.
     pub const DEFAULT_MAX_EXACT_DEFECTS: usize = 22;
 
+    /// The largest defect count the `u64` subset-DP mask can represent.
+    /// Beyond this the decoder always falls back to greedy matching and
+    /// increments [`ExactMatchingDecoder::mask_overflow_fallbacks`].
+    pub const MAX_REPRESENTABLE_DEFECTS: usize = 64;
+
     /// Creates an exact matching decoder with the default defect cap.
     #[must_use]
     pub fn new() -> Self {
-        ExactMatchingDecoder {
-            max_exact_defects: Self::DEFAULT_MAX_EXACT_DEFECTS,
-            greedy: GreedyMatchingDecoder::new(),
-        }
+        Self::with_max_exact_defects(Self::DEFAULT_MAX_EXACT_DEFECTS)
     }
 
     /// Creates an exact matching decoder with a custom defect cap.
+    ///
+    /// The subset DP costs `O(2^n · n)` time and memory in the defect count
+    /// `n`, so the cap is an explicit opt-in to exponential work: values much
+    /// above the mid-20s make a single unlucky syndrome effectively
+    /// un-decodable, and the cap — not this decoder — is what protects you.
+    /// Caps above [`Self::MAX_REPRESENTABLE_DEFECTS`] additionally exceed
+    /// what the `u64` subset mask can represent at all; defect sets beyond
+    /// that bound always fall back to greedy matching (with a warning
+    /// counter) regardless of the configured cap.
     #[must_use]
     pub fn with_max_exact_defects(max_exact_defects: usize) -> Self {
         ExactMatchingDecoder {
             max_exact_defects,
             greedy: GreedyMatchingDecoder::new(),
+            mask_overflow_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -137,15 +281,27 @@ impl ExactMatchingDecoder {
         self.max_exact_defects
     }
 
+    /// How many syndromes fell back to greedy matching because their defect
+    /// count did not fit the 64-bit subset mask (a warning sign the decoder
+    /// is being run far above threshold).
+    #[must_use]
+    pub fn mask_overflow_fallbacks(&self) -> u64 {
+        self.mask_overflow_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Computes a minimum-weight matching of the given defects.
     ///
     /// Falls back to the greedy matching if there are more defects than the
-    /// configured cap.
+    /// configured cap (or than the subset mask can represent).
     #[must_use]
     pub fn match_defects(&self, lattice: &Lattice, defects: &[usize]) -> Matching {
         let n = defects.len();
         if n == 0 {
             return Matching::new();
+        }
+        if n > Self::MAX_REPRESENTABLE_DEFECTS {
+            self.mask_overflow_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return self.greedy.match_defects(lattice, defects);
         }
         if n > self.max_exact_defects {
             return self.greedy.match_defects(lattice, defects);
@@ -166,16 +322,16 @@ impl ExactMatchingDecoder {
             .collect();
 
         // DP over subsets: best[mask] = minimal weight to match every defect in `mask`.
-        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let full = full_mask(n);
         // Memo for the subset DP: mask -> (cost, step taken), where a step is
         // (first defect, Some(partner) | None-for-boundary).
         type MatchStep = (usize, Option<usize>);
-        type MatchMemo = HashMap<u32, (usize, Option<MatchStep>)>;
+        type MatchMemo = HashMap<u64, (usize, Option<MatchStep>)>;
         let mut memo: MatchMemo = HashMap::new();
         memo.insert(0, (0, None));
 
         fn solve(
-            mask: u32,
+            mask: u64,
             n: usize,
             pair_dist: &[Vec<usize>],
             boundary_dist: &[usize],
@@ -186,14 +342,14 @@ impl ExactMatchingDecoder {
             }
             let first = mask.trailing_zeros() as usize;
             // Option 1: match `first` to the boundary.
-            let rest = mask & !(1 << first);
+            let rest = mask & !(1u64 << first);
             let mut best =
                 boundary_dist[first].saturating_add(solve(rest, n, pair_dist, boundary_dist, memo));
             let mut choice = (first, None);
             // Option 2: match `first` with another defect still in the mask.
             for j in (first + 1)..n {
-                if rest & (1 << j) != 0 {
-                    let sub = rest & !(1 << j);
+                if rest & (1u64 << j) != 0 {
+                    let sub = rest & !(1u64 << j);
                     let cost = pair_dist[first][j].saturating_add(solve(
                         sub,
                         n,
@@ -222,12 +378,12 @@ impl ExactMatchingDecoder {
             match partner {
                 Some(j) => {
                     matching.push(MatchPair::Defects(defects[first], defects[j]));
-                    mask &= !(1 << first);
-                    mask &= !(1 << j);
+                    mask &= !(1u64 << first);
+                    mask &= !(1u64 << j);
                 }
                 None => {
                     matching.push(MatchPair::ToBoundary(defects[first]));
-                    mask &= !(1 << first);
+                    mask &= !(1u64 << first);
                 }
             }
         }
@@ -238,6 +394,10 @@ impl ExactMatchingDecoder {
 impl Decoder for ExactMatchingDecoder {
     fn name(&self) -> &str {
         "mwpm"
+    }
+
+    fn prepare(&mut self, lattice: &Lattice) {
+        self.greedy.prepare(lattice);
     }
 
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
@@ -274,6 +434,9 @@ mod tests {
         ] {
             let c = decoder.decode(&lat, &syndrome, Sector::X);
             assert_eq!(c.weight(), 0);
+            let mut buf = PauliString::identity(lat.num_data());
+            decoder.decode_into(&lat, &syndrome, Sector::X, &mut buf);
+            assert!(buf.is_identity());
         }
     }
 
@@ -292,6 +455,21 @@ mod tests {
                 LogicalState::Success,
                 "greedy failed on single error at data qubit {q}"
             );
+        }
+    }
+
+    #[test]
+    fn greedy_decode_into_matches_decode() {
+        let lat = Lattice::new(7).unwrap();
+        let mut decoder = GreedyMatchingDecoder::new();
+        decoder.prepare(&lat);
+        let mut buf = PauliString::identity(lat.num_data());
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        for chunk in xs.chunks(5) {
+            let syndrome = Syndrome::from_hot(lat.num_ancillas(), chunk);
+            let via_decode = decoder.decode(&lat, &syndrome, Sector::X);
+            decoder.decode_into(&lat, &syndrome, Sector::X, &mut buf);
+            assert_eq!(&buf, via_decode.pauli_string(), "defects {chunk:?}");
         }
     }
 
@@ -376,6 +554,42 @@ mod tests {
         let defects: Vec<usize> = xs.iter().copied().take(10).collect();
         let matching = decoder.match_defects(&lat, &defects);
         assert!(matching.covers_exactly(&defects));
+        // An above-cap (but representable) fallback is by design, not a
+        // mask-overflow warning.
+        assert_eq!(decoder.mask_overflow_fallbacks(), 0);
+    }
+
+    /// Regression test for the `u32` subset-mask overflow: the seed
+    /// implementation computed `1u32 << n` for the full mask, which shifts
+    /// out of range for more than 32 defects when the cap is raised.  The
+    /// widened `u64` mask handles every representable count, and counts
+    /// beyond 64 fall back gracefully instead of overflowing the shift.
+    #[test]
+    fn more_defects_than_the_mask_width_falls_back_gracefully() {
+        let lat = Lattice::new(9).unwrap();
+        // d=9 has 72 X-sector ancillas: more defects than the 64-bit mask holds.
+        let all: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        assert!(all.len() > ExactMatchingDecoder::MAX_REPRESENTABLE_DEFECTS);
+        // A cap far above the mask width must not panic (`1u32 << 72` did).
+        let decoder = ExactMatchingDecoder::with_max_exact_defects(100);
+        let matching = decoder.match_defects(&lat, &all);
+        assert!(matching.covers_exactly(&all));
+        assert_eq!(decoder.mask_overflow_fallbacks(), 1);
+        // Repeated overflows keep counting; clones carry the count forward.
+        let _ = decoder.match_defects(&lat, &all);
+        assert_eq!(decoder.mask_overflow_fallbacks(), 2);
+        assert_eq!(decoder.clone().mask_overflow_fallbacks(), 2);
+    }
+
+    #[test]
+    fn full_mask_is_correct_across_the_widened_range() {
+        assert_eq!(full_mask(0), 0);
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(32), u32::MAX as u64);
+        // The seed's `u32` arithmetic broke exactly here.
+        assert_eq!(full_mask(33), (1u64 << 33) - 1);
+        assert_eq!(full_mask(63), u64::MAX >> 1);
+        assert_eq!(full_mask(64), u64::MAX);
     }
 
     #[test]

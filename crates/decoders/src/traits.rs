@@ -234,8 +234,44 @@ pub trait Decoder: Send {
     /// A short human-readable name for reports ("mwpm", "union-find", "sfq-mesh", ...).
     fn name(&self) -> &str;
 
+    /// Precomputes lattice-keyed state (sector graphs, flat index maps, edge
+    /// templates) and sizes the decoder's scratch arenas, so that subsequent
+    /// [`Decoder::decode_into`] calls on the same lattice run the amortized
+    /// hot path — ideally without any heap allocation.
+    ///
+    /// Calling `prepare` is optional: decoders that cache prepared state also
+    /// build it lazily on the first `decode` call for an unseen lattice.  It
+    /// is idempotent, and preparing for a new lattice replaces the state for
+    /// the old one.  The default implementation is a no-op for decoders with
+    /// nothing to precompute.
+    fn prepare(&mut self, lattice: &Lattice) {
+        let _ = lattice;
+    }
+
     /// Decodes one sector's syndrome into a correction.
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction;
+
+    /// Decodes one sector's syndrome, overwriting `out` with the correction's
+    /// Pauli flips (any previous contents of `out` are discarded).
+    ///
+    /// This is the amortized hot-path entry point: a caller that holds one
+    /// `PauliString` buffer per sector can decode round after round without
+    /// allocating, provided the decoder overrides this method (the fast
+    /// decoders in this crate do).  Unlike [`Decoder::decode`], no
+    /// [`Matching`] metadata is produced.
+    ///
+    /// The default implementation delegates to `decode` and copies the
+    /// result, which is correct for every decoder but not allocation-free.
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut PauliString,
+    ) {
+        let correction = self.decode(lattice, syndrome, sector);
+        out.clone_from(correction.pauli_string());
+    }
 
     /// Decodes both sectors and composes the two corrections.
     fn decode_both(&mut self, lattice: &Lattice, syndrome: &Syndrome) -> Correction {

@@ -9,78 +9,101 @@
 //! two-phase algorithm — cluster growth with half-edges and weighted union,
 //! followed by peeling of the grown clusters — specialized to the
 //! code-capacity setting used throughout the paper's accuracy evaluation.
+//!
+//! # Amortized hot path
+//!
+//! The decoding graph of a sector depends only on the lattice, never on the
+//! syndrome, so the decoder caches a [`SectorGraph`] per sector — flat
+//! `Vec`-indexed ancilla→vertex maps and a CSR adjacency over the full edge
+//! set instead of the per-call `HashMap`s the first implementation rebuilt on
+//! every round — plus a [`UfScratch`] arena of support/charge/visited/BFS
+//! buffers.  After [`Decoder::prepare`] (or the first decode on a lattice),
+//! steady-state [`Decoder::decode_into`] calls perform no heap allocation;
+//! the runtime bench guards that invariant with an allocation counter.
 
 use crate::traits::{sector_correction_pauli, Correction, Decoder};
 use nisqplus_qec::lattice::{Lattice, QubitKind, Sector};
-use nisqplus_qec::pauli::PauliString;
+use nisqplus_qec::pauli::{Pauli, PauliString};
 use nisqplus_qec::syndrome::Syndrome;
-use std::collections::HashMap;
 
 /// An edge of the sector's decoding graph.
 #[derive(Debug, Clone, Copy)]
 struct GraphEdge {
-    u: usize,
-    v: usize,
+    u: u32,
+    v: u32,
     /// The data qubit the edge crosses; flipping it toggles both endpoints.
-    data_qubit: usize,
+    data_qubit: u32,
 }
 
+/// Sentinel in [`SectorGraph::vertex_of_ancilla`] for other-sector ancillas.
+const NO_VERTEX: u32 = u32::MAX;
+
 /// The decoding graph of one sector: same-sector ancillas plus two virtual
-/// boundary vertices.
+/// boundary vertices.  Built once per lattice and reused on every decode.
 #[derive(Debug, Clone)]
 struct SectorGraph {
     /// Number of real (ancilla) vertices.
     num_ancilla_vertices: usize,
     /// Total vertices including the two boundary vertices.
     num_vertices: usize,
-    /// Maps ancilla index -> local vertex index.
-    vertex_of_ancilla: HashMap<usize, usize>,
+    /// Flat map ancilla index -> local vertex index ([`NO_VERTEX`] when the
+    /// ancilla belongs to the other sector).
+    vertex_of_ancilla: Vec<u32>,
     edges: Vec<GraphEdge>,
+    /// CSR adjacency over the full edge set: vertex `v`'s incident
+    /// `(neighbor, edge index)` entries are
+    /// `adj_entries[adj_offsets[v]..adj_offsets[v + 1]]`, in edge-index order.
+    adj_offsets: Vec<u32>,
+    adj_entries: Vec<(u32, u32)>,
+    /// Peeling visit order: boundary vertices first (so they root the
+    /// spanning forests and absorb unpaired charge), then ancilla vertices.
+    peel_order: Vec<u32>,
 }
 
 impl SectorGraph {
     fn build(lattice: &Lattice, sector: Sector) -> Self {
-        let ancillas: Vec<usize> = lattice.ancillas_in_sector(sector).collect();
-        let vertex_of_ancilla: HashMap<usize, usize> =
-            ancillas.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let ancillas: Vec<u32> = lattice
+            .ancillas_in_sector(sector)
+            .map(|a| a as u32)
+            .collect();
+        let mut vertex_of_ancilla = vec![NO_VERTEX; lattice.num_ancillas()];
+        for (v, &a) in ancillas.iter().enumerate() {
+            vertex_of_ancilla[a as usize] = v as u32;
+        }
         let num_ancilla_vertices = ancillas.len();
-        let boundary_a = num_ancilla_vertices;
-        let boundary_b = num_ancilla_vertices + 1;
+        let boundary_a = num_ancilla_vertices as u32;
+        let boundary_b = num_ancilla_vertices as u32 + 1;
         let size = lattice.size();
         let mut edges = Vec::new();
 
-        // Map from grid coordinate to ancilla index for neighbour lookups.
-        let mut ancilla_at = HashMap::new();
         for &a in &ancillas {
-            ancilla_at.insert(lattice.ancilla_coord(a), a);
-        }
-
-        for &a in &ancillas {
-            let c = lattice.ancilla_coord(a);
-            let u = vertex_of_ancilla[&a];
+            let c = lattice.ancilla_coord(a as usize);
+            let u = vertex_of_ancilla[a as usize];
             // Neighbour below (same column, +2 rows).
             if c.row + 2 < size {
                 let below = nisqplus_qec::lattice::Coord::new(c.row + 2, c.col);
-                if let Some(&b) = ancilla_at.get(&below) {
+                let info = lattice.cell(below);
+                if info.kind == sector.ancilla_kind() {
                     let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row + 1, c.col));
                     debug_assert_eq!(data.kind, QubitKind::Data);
                     edges.push(GraphEdge {
                         u,
-                        v: vertex_of_ancilla[&b],
-                        data_qubit: data.index,
+                        v: vertex_of_ancilla[info.index],
+                        data_qubit: data.index as u32,
                     });
                 }
             }
             // Neighbour to the right (same row, +2 columns).
             if c.col + 2 < size {
                 let right = nisqplus_qec::lattice::Coord::new(c.row, c.col + 2);
-                if let Some(&b) = ancilla_at.get(&right) {
+                let info = lattice.cell(right);
+                if info.kind == sector.ancilla_kind() {
                     let data = lattice.cell(nisqplus_qec::lattice::Coord::new(c.row, c.col + 1));
                     debug_assert_eq!(data.kind, QubitKind::Data);
                     edges.push(GraphEdge {
                         u,
-                        v: vertex_of_ancilla[&b],
-                        data_qubit: data.index,
+                        v: vertex_of_ancilla[info.index],
+                        data_qubit: data.index as u32,
                     });
                 }
             }
@@ -92,7 +115,7 @@ impl SectorGraph {
                         edges.push(GraphEdge {
                             u,
                             v: boundary_a,
-                            data_qubit: data.index,
+                            data_qubit: data.index as u32,
                         });
                     }
                     if c.row == size - 2 {
@@ -100,7 +123,7 @@ impl SectorGraph {
                         edges.push(GraphEdge {
                             u,
                             v: boundary_b,
-                            data_qubit: data.index,
+                            data_qubit: data.index as u32,
                         });
                     }
                 }
@@ -110,7 +133,7 @@ impl SectorGraph {
                         edges.push(GraphEdge {
                             u,
                             v: boundary_a,
-                            data_qubit: data.index,
+                            data_qubit: data.index as u32,
                         });
                     }
                     if c.col == size - 2 {
@@ -118,207 +141,333 @@ impl SectorGraph {
                         edges.push(GraphEdge {
                             u,
                             v: boundary_b,
-                            data_qubit: data.index,
+                            data_qubit: data.index as u32,
                         });
                     }
                 }
             }
         }
 
+        let num_vertices = num_ancilla_vertices + 2;
+
+        // CSR adjacency: count degrees, prefix-sum, fill in edge order so
+        // each vertex's incident entries are sorted by edge index.
+        let mut degree = vec![0u32; num_vertices];
+        for edge in &edges {
+            degree[edge.u as usize] += 1;
+            degree[edge.v as usize] += 1;
+        }
+        let mut adj_offsets = vec![0u32; num_vertices + 1];
+        for v in 0..num_vertices {
+            adj_offsets[v + 1] = adj_offsets[v] + degree[v];
+        }
+        let mut cursor = adj_offsets[..num_vertices].to_vec();
+        let mut adj_entries = vec![(0u32, 0u32); 2 * edges.len()];
+        for (i, edge) in edges.iter().enumerate() {
+            adj_entries[cursor[edge.u as usize] as usize] = (edge.v, i as u32);
+            cursor[edge.u as usize] += 1;
+            adj_entries[cursor[edge.v as usize] as usize] = (edge.u, i as u32);
+            cursor[edge.v as usize] += 1;
+        }
+
+        let peel_order: Vec<u32> = (num_ancilla_vertices as u32..num_vertices as u32)
+            .chain(0..num_ancilla_vertices as u32)
+            .collect();
+
         SectorGraph {
             num_ancilla_vertices,
-            num_vertices: num_ancilla_vertices + 2,
+            num_vertices,
             vertex_of_ancilla,
             edges,
+            adj_offsets,
+            adj_entries,
+            peel_order,
         }
     }
 
-    fn is_boundary_vertex(&self, v: usize) -> bool {
-        v >= self.num_ancilla_vertices
+    fn is_boundary_vertex(&self, v: u32) -> bool {
+        v as usize >= self.num_ancilla_vertices
+    }
+
+    fn incident(&self, v: u32) -> &[(u32, u32)] {
+        let lo = self.adj_offsets[v as usize] as usize;
+        let hi = self.adj_offsets[v as usize + 1] as usize;
+        &self.adj_entries[lo..hi]
     }
 }
 
-/// Weighted union-find with parity and boundary tracking.
-#[derive(Debug, Clone)]
-struct Clusters {
-    parent: Vec<usize>,
-    rank: Vec<u32>,
+/// The reusable scratch arena of one decode call: union-find forests, edge
+/// support, peeling charge and BFS buffers.  All vectors retain their
+/// allocations between rounds; [`UfScratch::reset`] only refills them.
+#[derive(Debug, Clone, Default)]
+struct UfScratch {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
     parity: Vec<bool>,
-    touches_boundary: Vec<bool>,
+    boundary: Vec<bool>,
+    support: Vec<u8>,
+    charge: Vec<bool>,
+    visited: Vec<bool>,
+    bfs: Vec<u32>,
+    parent_edge: Vec<(u32, u32)>,
+    newly_full: Vec<u32>,
 }
 
-impl Clusters {
-    fn new(num_vertices: usize, defects: &[bool], boundary_from: usize) -> Self {
-        Clusters {
-            parent: (0..num_vertices).collect(),
-            rank: vec![0; num_vertices],
-            parity: defects.to_vec(),
-            touches_boundary: (0..num_vertices).map(|v| v >= boundary_from).collect(),
-        }
+impl UfScratch {
+    /// Pre-sizes every buffer for a graph, so later resets never allocate.
+    fn reserve_for(&mut self, graph: &SectorGraph) {
+        let nv = graph.num_vertices;
+        let ne = graph.edges.len();
+        self.parent.reserve(nv);
+        self.rank.reserve(nv);
+        self.parity.reserve(nv);
+        self.boundary.reserve(nv);
+        self.charge.reserve(nv);
+        self.visited.reserve(nv);
+        self.parent_edge.reserve(nv);
+        self.bfs.reserve(nv);
+        self.support.reserve(ne);
+        self.newly_full.reserve(ne);
     }
 
-    fn find(&mut self, v: usize) -> usize {
-        if self.parent[v] != v {
-            let root = self.find(self.parent[v]);
-            self.parent[v] = root;
+    /// Refills the buffers for a fresh decode on `graph` (allocation-free
+    /// once [`UfScratch::reserve_for`] has run for this graph).
+    fn reset(&mut self, graph: &SectorGraph) {
+        let nv = graph.num_vertices;
+        self.parent.clear();
+        self.parent.extend(0..nv as u32);
+        self.rank.clear();
+        self.rank.resize(nv, 0);
+        self.parity.clear();
+        self.parity.resize(nv, false);
+        self.boundary.clear();
+        self.boundary.resize(nv, false);
+        for v in graph.num_ancilla_vertices..nv {
+            self.boundary[v] = true;
         }
-        self.parent[v]
+        self.charge.clear();
+        self.charge.resize(nv, false);
+        self.visited.clear();
+        self.visited.resize(nv, false);
+        self.parent_edge.clear();
+        self.parent_edge.resize(nv, (0, 0));
+        self.support.clear();
+        self.support.resize(graph.edges.len(), 0);
+        self.bfs.clear();
+        self.newly_full.clear();
     }
 
-    fn union(&mut self, a: usize, b: usize) {
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Full path compression, matching the seed's recursive find.
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
             return;
         }
-        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+        let (big, small) = if self.rank[ra as usize] >= self.rank[rb as usize] {
             (ra, rb)
         } else {
             (rb, ra)
         };
-        self.parent[small] = big;
-        if self.rank[big] == self.rank[small] {
-            self.rank[big] += 1;
+        self.parent[small as usize] = big;
+        if self.rank[big as usize] == self.rank[small as usize] {
+            self.rank[big as usize] += 1;
         }
-        self.parity[big] ^= self.parity[small];
-        self.touches_boundary[big] |= self.touches_boundary[small];
+        self.parity[big as usize] ^= self.parity[small as usize];
+        self.boundary[big as usize] |= self.boundary[small as usize];
     }
 
     /// A cluster is *active* while it holds odd defect parity and does not
     /// touch a boundary vertex.
-    fn is_active_root(&self, root: usize) -> bool {
-        self.parity[root] && !self.touches_boundary[root]
+    fn is_active_root(&self, root: u32) -> bool {
+        self.parity[root as usize] && !self.boundary[root as usize]
     }
+}
+
+/// The lattice-keyed prepared state: one decoding graph per sector plus the
+/// shared scratch arena.
+#[derive(Debug, Clone)]
+struct PreparedUnionFind {
+    distance: usize,
+    /// Sector graphs in `[X, Z]` order.
+    graphs: [SectorGraph; 2],
+    scratch: UfScratch,
 }
 
 /// The union-find decoder.
 #[derive(Debug, Clone, Default)]
 pub struct UnionFindDecoder {
-    _private: (),
+    prepared: Option<PreparedUnionFind>,
 }
 
 impl UnionFindDecoder {
     /// Creates a union-find decoder.
     #[must_use]
     pub fn new() -> Self {
-        UnionFindDecoder { _private: () }
+        UnionFindDecoder { prepared: None }
     }
 
-    fn decode_sector(&self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Vec<usize> {
-        let graph = SectorGraph::build(lattice, sector);
-        let defect_ancillas = lattice.defects(syndrome, sector);
-        if defect_ancillas.is_empty() {
-            return Vec::new();
-        }
-        let mut defects = vec![false; graph.num_vertices];
-        for a in &defect_ancillas {
-            defects[graph.vertex_of_ancilla[a]] = true;
-        }
-        let mut clusters = Clusters::new(graph.num_vertices, &defects, graph.num_ancilla_vertices);
-        let mut support = vec![0u8; graph.edges.len()];
+    /// Returns `true` if prepared state for `lattice` is cached.
+    #[must_use]
+    pub fn is_prepared_for(&self, lattice: &Lattice) -> bool {
+        self.prepared
+            .as_ref()
+            .is_some_and(|p| p.distance == lattice.distance())
+    }
 
-        // ---- Growth phase ------------------------------------------------
-        // Grow every active cluster's incident edges by one half-edge per
-        // round, merging clusters whose connecting edge becomes fully grown.
-        let max_rounds = 4 * lattice.size() + 8;
-        for _ in 0..max_rounds {
-            let any_active = (0..graph.num_vertices).any(|v| {
-                let root = clusters.find(v);
-                root == v && clusters.is_active_root(root)
+    fn ensure_prepared(&mut self, lattice: &Lattice) -> &mut PreparedUnionFind {
+        if !self.is_prepared_for(lattice) {
+            let graphs = [
+                SectorGraph::build(lattice, Sector::X),
+                SectorGraph::build(lattice, Sector::Z),
+            ];
+            let mut scratch = UfScratch::default();
+            scratch.reserve_for(&graphs[0]);
+            scratch.reserve_for(&graphs[1]);
+            self.prepared = Some(PreparedUnionFind {
+                distance: lattice.distance(),
+                graphs,
+                scratch,
             });
-            if !any_active {
-                break;
-            }
-            let mut newly_full = Vec::new();
-            for (i, edge) in graph.edges.iter().enumerate() {
-                if support[i] >= 2 {
-                    continue;
-                }
-                let ru = clusters.find(edge.u);
-                let rv = clusters.find(edge.v);
-                if clusters.is_active_root(ru) || clusters.is_active_root(rv) {
-                    support[i] += 1;
-                    if support[i] == 2 {
-                        newly_full.push(i);
-                    }
-                }
-            }
-            for i in newly_full {
-                let edge = graph.edges[i];
-                clusters.union(edge.u, edge.v);
-            }
         }
+        self.prepared.as_mut().expect("just prepared")
+    }
+}
 
-        // ---- Peeling phase -----------------------------------------------
-        // Within each cluster, build a spanning forest of the fully-grown
-        // edges (rooted at a boundary vertex when one is present) and peel
-        // leaves, emitting an edge whenever the leaf carries a defect.
-        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); graph.num_vertices];
+/// Decodes one sector, applying the correction's data-qubit flips to `out`.
+///
+/// This is the seed algorithm verbatim — same growth rounds, same union
+/// order, same peeling traversal — re-hosted on the prepared graph and the
+/// scratch arena, so corrections are byte-identical to the original
+/// implementation (pinned by the seed-reference property test).
+fn decode_sector_into(
+    graph: &SectorGraph,
+    scratch: &mut UfScratch,
+    lattice: &Lattice,
+    syndrome: &Syndrome,
+    pauli: Pauli,
+    out: &mut PauliString,
+) {
+    scratch.reset(graph);
+    // Flat-map defect fill: hot ancillas of the other sector map to
+    // `NO_VERTEX` and are skipped, so a combined X/Z syndrome works directly.
+    let mut any_defect = false;
+    for (a, &v) in graph.vertex_of_ancilla.iter().enumerate() {
+        if v != NO_VERTEX && syndrome.is_hot(a) {
+            scratch.parity[v as usize] = true;
+            scratch.charge[v as usize] = true;
+            any_defect = true;
+        }
+    }
+    if !any_defect {
+        return;
+    }
+
+    // ---- Growth phase ------------------------------------------------
+    // Grow every active cluster's incident edges by one half-edge per
+    // round, merging clusters whose connecting edge becomes fully grown.
+    let max_rounds = 4 * lattice.size() + 8;
+    for _ in 0..max_rounds {
+        let any_active = (0..graph.num_vertices as u32).any(|v| {
+            let root = scratch.find(v);
+            root == v && scratch.is_active_root(root)
+        });
+        if !any_active {
+            break;
+        }
+        scratch.newly_full.clear();
         for (i, edge) in graph.edges.iter().enumerate() {
-            if support[i] == 2 && clusters.find(edge.u) == clusters.find(edge.v) {
-                adjacency[edge.u].push((edge.v, i));
-                adjacency[edge.v].push((edge.u, i));
-            }
-        }
-
-        let mut correction = Vec::new();
-        let mut visited = vec![false; graph.num_vertices];
-        let mut charge = defects;
-
-        // Visit boundary vertices first so they become tree roots and can
-        // absorb unpaired charge.
-        let order: Vec<usize> = (graph.num_ancilla_vertices..graph.num_vertices)
-            .chain(0..graph.num_ancilla_vertices)
-            .collect();
-        for start in order {
-            if visited[start] {
+            if scratch.support[i] >= 2 {
                 continue;
             }
-            // BFS spanning tree.
-            visited[start] = true;
-            let mut bfs = vec![start];
-            let mut parent_edge: HashMap<usize, (usize, usize)> = HashMap::new();
-            let mut head = 0;
-            while head < bfs.len() {
-                let v = bfs[head];
-                head += 1;
-                for &(w, edge_idx) in &adjacency[v] {
-                    if !visited[w] {
-                        visited[w] = true;
-                        parent_edge.insert(w, (v, edge_idx));
-                        bfs.push(w);
-                    }
+            let ru = scratch.find(edge.u);
+            let rv = scratch.find(edge.v);
+            if scratch.is_active_root(ru) || scratch.is_active_root(rv) {
+                scratch.support[i] += 1;
+                if scratch.support[i] == 2 {
+                    scratch.newly_full.push(i as u32);
                 }
-            }
-            // Peel in reverse BFS order: children before parents.  Boundary
-            // vertices absorb any charge pushed into them instead of relaying
-            // it (pairing the chain to the boundary).
-            for &v in bfs.iter().rev() {
-                if v == start {
-                    break;
-                }
-                if graph.is_boundary_vertex(v) {
-                    charge[v] = false;
-                    continue;
-                }
-                if charge[v] {
-                    let (parent, edge_idx) = parent_edge[&v];
-                    correction.push(graph.edges[edge_idx].data_qubit);
-                    charge[v] = false;
-                    charge[parent] ^= true;
-                }
-            }
-            // Any residual charge on the root must sit on a boundary vertex
-            // (odd clusters always grow until they absorb a boundary).
-            if charge[start] {
-                debug_assert!(
-                    graph.is_boundary_vertex(start),
-                    "non-boundary root left with residual charge"
-                );
-                charge[start] = false;
             }
         }
-        correction
+        for k in 0..scratch.newly_full.len() {
+            let edge = graph.edges[scratch.newly_full[k] as usize];
+            scratch.union(edge.u, edge.v);
+        }
+    }
+
+    // ---- Peeling phase -----------------------------------------------
+    // Within each cluster, build a spanning forest of the fully-grown
+    // edges (rooted at a boundary vertex when one is present) and peel
+    // leaves, emitting an edge whenever the leaf carries a defect.  The
+    // forest edges are the fully-grown intra-cluster edges, read straight
+    // off the prepared CSR adjacency.
+    for oi in 0..graph.peel_order.len() {
+        let start = graph.peel_order[oi];
+        if scratch.visited[start as usize] {
+            continue;
+        }
+        // BFS spanning tree.
+        scratch.visited[start as usize] = true;
+        scratch.bfs.clear();
+        scratch.bfs.push(start);
+        let mut head = 0;
+        while head < scratch.bfs.len() {
+            let v = scratch.bfs[head];
+            head += 1;
+            let rv = scratch.find(v);
+            for &(w, edge_idx) in graph.incident(v) {
+                if scratch.support[edge_idx as usize] != 2 {
+                    continue;
+                }
+                if scratch.find(w) != rv {
+                    continue;
+                }
+                if !scratch.visited[w as usize] {
+                    scratch.visited[w as usize] = true;
+                    scratch.parent_edge[w as usize] = (v, edge_idx);
+                    scratch.bfs.push(w);
+                }
+            }
+        }
+        // Peel in reverse BFS order: children before parents.  Boundary
+        // vertices absorb any charge pushed into them instead of relaying
+        // it (pairing the chain to the boundary).
+        for bi in (1..scratch.bfs.len()).rev() {
+            let v = scratch.bfs[bi];
+            if graph.is_boundary_vertex(v) {
+                scratch.charge[v as usize] = false;
+                continue;
+            }
+            if scratch.charge[v as usize] {
+                let (parent, edge_idx) = scratch.parent_edge[v as usize];
+                out.apply(graph.edges[edge_idx as usize].data_qubit as usize, pauli);
+                scratch.charge[v as usize] = false;
+                scratch.charge[parent as usize] ^= true;
+            }
+        }
+        // Any residual charge on the root must sit on a boundary vertex
+        // (odd clusters always grow until they absorb a boundary).
+        if scratch.charge[start as usize] {
+            debug_assert!(
+                graph.is_boundary_vertex(start),
+                "non-boundary root left with residual charge"
+            );
+            scratch.charge[start as usize] = false;
+        }
     }
 }
 
@@ -327,14 +476,35 @@ impl Decoder for UnionFindDecoder {
         "union-find"
     }
 
+    fn prepare(&mut self, lattice: &Lattice) {
+        let _ = self.ensure_prepared(lattice);
+    }
+
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
-        let data_qubits = self.decode_sector(lattice, syndrome, sector);
-        let pauli = sector_correction_pauli(sector);
         let mut flips = PauliString::identity(lattice.num_data());
-        for q in data_qubits {
-            flips.apply(q, pauli);
-        }
+        self.decode_into(lattice, syndrome, sector, &mut flips);
         Correction::from_pauli_string(flips)
+    }
+
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut PauliString,
+    ) {
+        assert_eq!(
+            syndrome.len(),
+            lattice.num_ancillas(),
+            "syndrome length {} does not match {} ancillas",
+            syndrome.len(),
+            lattice.num_ancillas()
+        );
+        out.reset_identity(lattice.num_data());
+        let pauli = sector_correction_pauli(sector);
+        let prepared = self.ensure_prepared(lattice);
+        let graph = &prepared.graphs[sector.index()];
+        decode_sector_into(graph, &mut prepared.scratch, lattice, syndrome, pauli, out);
     }
 }
 
@@ -344,7 +514,6 @@ mod tests {
     use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
     use nisqplus_qec::lattice::Coord;
     use nisqplus_qec::logical::{classify_residual, LogicalState};
-    use nisqplus_qec::pauli::Pauli;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -359,6 +528,33 @@ mod tests {
         let d = 5;
         let expected = (d - 2) * d + (d - 1) * (d - 1) + 2 * d;
         assert_eq!(graph.edges.len(), expected);
+        // The CSR adjacency covers every edge from both endpoints.
+        assert_eq!(graph.adj_entries.len(), 2 * expected);
+        assert_eq!(graph.peel_order.len(), graph.num_vertices);
+        // The flat ancilla map enumerates this sector's ancillas in vertex
+        // order and maps the other sector's ancillas to the sentinel.
+        let mapped: Vec<u32> = graph
+            .vertex_of_ancilla
+            .iter()
+            .copied()
+            .filter(|&v| v != NO_VERTEX)
+            .collect();
+        assert_eq!(
+            mapped,
+            (0..graph.num_ancilla_vertices as u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn csr_incidence_matches_edge_list() {
+        let lat = Lattice::new(7).unwrap();
+        for sector in Sector::ALL {
+            let graph = SectorGraph::build(&lat, sector);
+            for (i, edge) in graph.edges.iter().enumerate() {
+                assert!(graph.incident(edge.u).contains(&(edge.v, i as u32)));
+                assert!(graph.incident(edge.v).contains(&(edge.u, i as u32)));
+            }
+        }
     }
 
     #[test]
@@ -367,6 +563,21 @@ mod tests {
         let mut decoder = UnionFindDecoder::new();
         let c = decoder.decode(&lat, &Syndrome::new(lat.num_ancillas()), Sector::X);
         assert_eq!(c.weight(), 0);
+    }
+
+    #[test]
+    fn prepare_caches_and_rebuilds_on_lattice_change() {
+        let lat5 = Lattice::new(5).unwrap();
+        let lat7 = Lattice::new(7).unwrap();
+        let mut decoder = UnionFindDecoder::new();
+        assert!(!decoder.is_prepared_for(&lat5));
+        decoder.prepare(&lat5);
+        assert!(decoder.is_prepared_for(&lat5));
+        assert!(!decoder.is_prepared_for(&lat7));
+        // Decoding on a different lattice transparently re-prepares.
+        let c = decoder.decode(&lat7, &Syndrome::new(lat7.num_ancillas()), Sector::X);
+        assert_eq!(c.weight(), 0);
+        assert!(decoder.is_prepared_for(&lat7));
     }
 
     #[test]
@@ -425,6 +636,24 @@ mod tests {
                     "union-find produced a syndrome-violating correction at d={d}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_decode_and_overwrites_stale_contents() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let model = PureDephasing::new(0.1).unwrap();
+        let lat = Lattice::new(7).unwrap();
+        let mut decoder = UnionFindDecoder::new();
+        decoder.prepare(&lat);
+        // A deliberately stale, wrongly-sized buffer: decode_into must reset it.
+        let mut buf = PauliString::from_sparse(3, &[0, 1, 2], Pauli::Y);
+        for _ in 0..40 {
+            let error = model.sample(&lat, &mut rng);
+            let syndrome = lat.syndrome_of(&error);
+            let via_decode = decoder.decode(&lat, &syndrome, Sector::X);
+            decoder.decode_into(&lat, &syndrome, Sector::X, &mut buf);
+            assert_eq!(&buf, via_decode.pauli_string());
         }
     }
 

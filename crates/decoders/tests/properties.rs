@@ -1,13 +1,315 @@
-//! Property-based tests for the baseline decoders.
+//! Property-based tests for the baseline decoders, including the
+//! seed-reference equivalence suite: the amortized prepared/scratch decode
+//! paths must produce *byte-identical* corrections to the original per-call
+//! implementations they replaced.
 
-use nisqplus_decoders::{Decoder, ExactMatchingDecoder, GreedyMatchingDecoder, UnionFindDecoder};
+use nisqplus_decoders::{
+    Decoder, ExactMatchingDecoder, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder,
+};
+use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::logical::{classify_residual, LogicalState};
 use nisqplus_qec::pauli::{Pauli, PauliString};
+use nisqplus_qec::syndrome::Syndrome;
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn arb_distance() -> impl Strategy<Value = usize> {
     prop_oneof![Just(3usize), Just(5), Just(7)]
+}
+
+fn arb_sector() -> impl Strategy<Value = Sector> {
+    prop_oneof![Just(Sector::X), Just(Sector::Z)]
+}
+
+/// The seed repository's union-find `decode_sector`, kept verbatim as the
+/// reference the rewritten prepared/scratch implementation is pinned against:
+/// per-call `HashMap` sector graph, recursive union-find, `HashMap` BFS
+/// parent map.  (Mirrors `UnionFindDecoder::decode_sector` at the PR 2 tip.)
+mod seed_union_find {
+    use nisqplus_qec::lattice::{Coord, Lattice, Sector};
+    use nisqplus_qec::syndrome::Syndrome;
+    use std::collections::HashMap;
+
+    #[derive(Clone, Copy)]
+    struct GraphEdge {
+        u: usize,
+        v: usize,
+        data_qubit: usize,
+    }
+
+    struct SectorGraph {
+        num_ancilla_vertices: usize,
+        num_vertices: usize,
+        vertex_of_ancilla: HashMap<usize, usize>,
+        edges: Vec<GraphEdge>,
+    }
+
+    impl SectorGraph {
+        fn build(lattice: &Lattice, sector: Sector) -> Self {
+            let ancillas: Vec<usize> = lattice.ancillas_in_sector(sector).collect();
+            let vertex_of_ancilla: HashMap<usize, usize> =
+                ancillas.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+            let num_ancilla_vertices = ancillas.len();
+            let boundary_a = num_ancilla_vertices;
+            let boundary_b = num_ancilla_vertices + 1;
+            let size = lattice.size();
+            let mut edges = Vec::new();
+
+            let mut ancilla_at = HashMap::new();
+            for &a in &ancillas {
+                ancilla_at.insert(lattice.ancilla_coord(a), a);
+            }
+
+            for &a in &ancillas {
+                let c = lattice.ancilla_coord(a);
+                let u = vertex_of_ancilla[&a];
+                if c.row + 2 < size {
+                    let below = Coord::new(c.row + 2, c.col);
+                    if let Some(&b) = ancilla_at.get(&below) {
+                        let data = lattice.cell(Coord::new(c.row + 1, c.col));
+                        edges.push(GraphEdge {
+                            u,
+                            v: vertex_of_ancilla[&b],
+                            data_qubit: data.index,
+                        });
+                    }
+                }
+                if c.col + 2 < size {
+                    let right = Coord::new(c.row, c.col + 2);
+                    if let Some(&b) = ancilla_at.get(&right) {
+                        let data = lattice.cell(Coord::new(c.row, c.col + 1));
+                        edges.push(GraphEdge {
+                            u,
+                            v: vertex_of_ancilla[&b],
+                            data_qubit: data.index,
+                        });
+                    }
+                }
+                match sector {
+                    Sector::X => {
+                        if c.row == 1 {
+                            let data = lattice.cell(Coord::new(0, c.col));
+                            edges.push(GraphEdge {
+                                u,
+                                v: boundary_a,
+                                data_qubit: data.index,
+                            });
+                        }
+                        if c.row == size - 2 {
+                            let data = lattice.cell(Coord::new(size - 1, c.col));
+                            edges.push(GraphEdge {
+                                u,
+                                v: boundary_b,
+                                data_qubit: data.index,
+                            });
+                        }
+                    }
+                    Sector::Z => {
+                        if c.col == 1 {
+                            let data = lattice.cell(Coord::new(c.row, 0));
+                            edges.push(GraphEdge {
+                                u,
+                                v: boundary_a,
+                                data_qubit: data.index,
+                            });
+                        }
+                        if c.col == size - 2 {
+                            let data = lattice.cell(Coord::new(c.row, size - 1));
+                            edges.push(GraphEdge {
+                                u,
+                                v: boundary_b,
+                                data_qubit: data.index,
+                            });
+                        }
+                    }
+                }
+            }
+
+            SectorGraph {
+                num_ancilla_vertices,
+                num_vertices: num_ancilla_vertices + 2,
+                vertex_of_ancilla,
+                edges,
+            }
+        }
+
+        fn is_boundary_vertex(&self, v: usize) -> bool {
+            v >= self.num_ancilla_vertices
+        }
+    }
+
+    struct Clusters {
+        parent: Vec<usize>,
+        rank: Vec<u32>,
+        parity: Vec<bool>,
+        touches_boundary: Vec<bool>,
+    }
+
+    impl Clusters {
+        fn new(num_vertices: usize, defects: &[bool], boundary_from: usize) -> Self {
+            Clusters {
+                parent: (0..num_vertices).collect(),
+                rank: vec![0; num_vertices],
+                parity: defects.to_vec(),
+                touches_boundary: (0..num_vertices).map(|v| v >= boundary_from).collect(),
+            }
+        }
+
+        fn find(&mut self, v: usize) -> usize {
+            if self.parent[v] != v {
+                let root = self.find(self.parent[v]);
+                self.parent[v] = root;
+            }
+            self.parent[v]
+        }
+
+        fn union(&mut self, a: usize, b: usize) {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return;
+            }
+            let (big, small) = if self.rank[ra] >= self.rank[rb] {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            self.parent[small] = big;
+            if self.rank[big] == self.rank[small] {
+                self.rank[big] += 1;
+            }
+            self.parity[big] ^= self.parity[small];
+            self.touches_boundary[big] |= self.touches_boundary[small];
+        }
+
+        fn is_active_root(&self, root: usize) -> bool {
+            self.parity[root] && !self.touches_boundary[root]
+        }
+    }
+
+    /// The seed decode: returns the correction's data-qubit indices in the
+    /// exact order the seed implementation emitted them.
+    pub fn decode_sector(lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Vec<usize> {
+        let graph = SectorGraph::build(lattice, sector);
+        let defect_ancillas = lattice.defects(syndrome, sector);
+        if defect_ancillas.is_empty() {
+            return Vec::new();
+        }
+        let mut defects = vec![false; graph.num_vertices];
+        for a in &defect_ancillas {
+            defects[graph.vertex_of_ancilla[a]] = true;
+        }
+        let mut clusters = Clusters::new(graph.num_vertices, &defects, graph.num_ancilla_vertices);
+        let mut support = vec![0u8; graph.edges.len()];
+
+        let max_rounds = 4 * lattice.size() + 8;
+        for _ in 0..max_rounds {
+            let any_active = (0..graph.num_vertices).any(|v| {
+                let root = clusters.find(v);
+                root == v && clusters.is_active_root(root)
+            });
+            if !any_active {
+                break;
+            }
+            let mut newly_full = Vec::new();
+            for (i, edge) in graph.edges.iter().enumerate() {
+                if support[i] >= 2 {
+                    continue;
+                }
+                let ru = clusters.find(edge.u);
+                let rv = clusters.find(edge.v);
+                if clusters.is_active_root(ru) || clusters.is_active_root(rv) {
+                    support[i] += 1;
+                    if support[i] == 2 {
+                        newly_full.push(i);
+                    }
+                }
+            }
+            for i in newly_full {
+                let edge = graph.edges[i];
+                clusters.union(edge.u, edge.v);
+            }
+        }
+
+        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); graph.num_vertices];
+        for (i, edge) in graph.edges.iter().enumerate() {
+            if support[i] == 2 && clusters.find(edge.u) == clusters.find(edge.v) {
+                adjacency[edge.u].push((edge.v, i));
+                adjacency[edge.v].push((edge.u, i));
+            }
+        }
+
+        let mut correction = Vec::new();
+        let mut visited = vec![false; graph.num_vertices];
+        let mut charge = defects;
+
+        let order: Vec<usize> = (graph.num_ancilla_vertices..graph.num_vertices)
+            .chain(0..graph.num_ancilla_vertices)
+            .collect();
+        for start in order {
+            if visited[start] {
+                continue;
+            }
+            visited[start] = true;
+            let mut bfs = vec![start];
+            let mut parent_edge: HashMap<usize, (usize, usize)> = HashMap::new();
+            let mut head = 0;
+            while head < bfs.len() {
+                let v = bfs[head];
+                head += 1;
+                for &(w, edge_idx) in &adjacency[v] {
+                    if !visited[w] {
+                        visited[w] = true;
+                        parent_edge.insert(w, (v, edge_idx));
+                        bfs.push(w);
+                    }
+                }
+            }
+            for &v in bfs.iter().rev() {
+                if v == start {
+                    break;
+                }
+                if graph.is_boundary_vertex(v) {
+                    charge[v] = false;
+                    continue;
+                }
+                if charge[v] {
+                    let (parent, edge_idx) = parent_edge[&v];
+                    correction.push(graph.edges[edge_idx].data_qubit);
+                    charge[v] = false;
+                    charge[parent] ^= true;
+                }
+            }
+            if charge[start] {
+                charge[start] = false;
+            }
+        }
+        correction
+    }
+}
+
+/// Samples a syndrome stream deterministically from a seed.
+fn seeded_syndromes(lattice: &Lattice, seed: u64, count: usize) -> Vec<Syndrome> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let model = PureDephasing::new(0.08).unwrap();
+    (0..count)
+        .map(|_| {
+            // Dephasing errors fire only the X sector, so fold in a reversed
+            // copy as X errors via a second sample to exercise the Z sector
+            // too: decode both sectors of the union syndrome.
+            let z_part = model.sample(lattice, &mut rng);
+            let x_part = model.sample(lattice, &mut rng);
+            let mut combined = lattice.syndrome_of(&z_part);
+            let mut x_errors = PauliString::identity(lattice.num_data());
+            for (q, p) in x_part.z_support().iter().map(|&q| (q, Pauli::X)) {
+                x_errors.apply(q, p);
+            }
+            combined.xor_with(&lattice.syndrome_of(&x_errors));
+            combined
+        })
+        .collect()
 }
 
 fn error_from(lattice: &Lattice, raw: &[usize], pauli: Pauli) -> PauliString {
@@ -16,7 +318,75 @@ fn error_from(lattice: &Lattice, raw: &[usize], pauli: Pauli) -> PauliString {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rewritten union-find (cached sector graphs, flat maps, scratch
+    /// arenas) emits corrections byte-identical to the seed implementation,
+    /// across seeds x distances x sectors, through both `decode` and the
+    /// allocation-free `decode_into`.
+    #[test]
+    fn union_find_matches_seed_implementation(
+        seed in 0u64..10_000,
+        d in arb_distance(),
+        sector in arb_sector(),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let mut decoder = UnionFindDecoder::new();
+        decoder.prepare(&lattice);
+        let mut buf = PauliString::identity(lattice.num_data());
+        for syndrome in seeded_syndromes(&lattice, seed, 8) {
+            let seed_qubits = seed_union_find::decode_sector(&lattice, &syndrome, sector);
+            let pauli = nisqplus_decoders::traits::sector_correction_pauli(sector);
+            let mut expected = PauliString::identity(lattice.num_data());
+            for q in seed_qubits {
+                expected.apply(q, pauli);
+            }
+            let correction = decoder.decode(&lattice, &syndrome, sector);
+            prop_assert_eq!(correction.pauli_string(), &expected);
+            decoder.decode_into(&lattice, &syndrome, sector, &mut buf);
+            prop_assert_eq!(&buf, &expected);
+        }
+    }
+
+    /// The greedy decoder's scratch-arena `decode_into` matches the seed
+    /// decode path (`match_defects` + `Matching::to_correction`, unchanged
+    /// from the seed) byte for byte, across seeds x distances x sectors.
+    #[test]
+    fn greedy_decode_into_matches_seed_path(
+        seed in 0u64..10_000,
+        d in arb_distance(),
+        sector in arb_sector(),
+    ) {
+        let lattice = Lattice::new(d).unwrap();
+        let mut decoder = GreedyMatchingDecoder::new();
+        decoder.prepare(&lattice);
+        let mut buf = PauliString::identity(lattice.num_data());
+        for syndrome in seeded_syndromes(&lattice, seed, 8) {
+            let defects = lattice.defects(&syndrome, sector);
+            let expected = decoder
+                .match_defects(&lattice, &defects)
+                .to_correction(&lattice, sector);
+            decoder.decode_into(&lattice, &syndrome, sector, &mut buf);
+            prop_assert_eq!(&buf, expected.pauli_string());
+        }
+    }
+
+    /// The lookup decoder's borrowed-slice `decode_into` matches the cloning
+    /// decode path byte for byte (d = 3 only: the table ceiling).
+    #[test]
+    fn lookup_decode_into_matches_decode(
+        seed in 0u64..10_000,
+        sector in arb_sector(),
+    ) {
+        let lattice = Lattice::new(3).unwrap();
+        let mut decoder = LookupDecoder::new(&lattice).unwrap();
+        let mut buf = PauliString::identity(lattice.num_data());
+        for syndrome in seeded_syndromes(&lattice, seed, 8) {
+            let expected = decoder.decode(&lattice, &syndrome, sector);
+            decoder.decode_into(&lattice, &syndrome, sector, &mut buf);
+            prop_assert_eq!(&buf, expected.pauli_string());
+        }
+    }
 
     /// Every decoder's correction clears the syndrome it was given — no
     /// decoder is allowed to produce an invalid correction in its own sector.

@@ -109,6 +109,17 @@ impl Sector {
             Sector::Z => QubitKind::AncillaZ,
         }
     }
+
+    /// A stable array index for per-sector storage laid out `[X, Z]` (the
+    /// order of [`Sector::ALL`]), so every `[T; 2]` sector table in the
+    /// workspace indexes the same way.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Sector::X => 0,
+            Sector::Z => 1,
+        }
+    }
 }
 
 impl fmt::Display for Sector {
@@ -280,6 +291,14 @@ impl Lattice {
     #[must_use]
     pub fn num_ancillas(&self) -> usize {
         self.ancilla_coords.len()
+    }
+
+    /// Number of ancillas in each sector, `d (d-1)` (the two sectors are
+    /// always equal-sized) — the worst-case defect count decoder scratch
+    /// arenas size themselves for.
+    #[must_use]
+    pub fn ancillas_per_sector(&self) -> usize {
+        self.num_ancillas() / 2
     }
 
     /// Describes the qubit occupying the given grid cell.
@@ -474,19 +493,31 @@ impl Lattice {
     /// Panics if the ancillas are not in the same sector.
     #[must_use]
     pub fn correction_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        self.for_each_correction_path_qubit(a, b, |q| path.push(q));
+        path
+    }
+
+    /// Visits the data qubits of the canonical correction path between two
+    /// same-sector ancillas without allocating (the path-walking core of
+    /// [`Lattice::correction_path`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ancillas are not in the same sector.
+    pub fn for_each_correction_path_qubit(&self, a: usize, b: usize, mut f: impl FnMut(usize)) {
         assert_eq!(
             self.ancilla_kinds[a], self.ancilla_kinds[b],
             "correction paths are only defined within one sector"
         );
         let ca = self.ancilla_coords[a];
         let cb = self.ancilla_coords[b];
-        let mut path = Vec::new();
         // Vertical leg: from ca.row to cb.row along column ca.col.
         let (mut row, target_row) = (ca.row, cb.row);
         while row != target_row {
             let next = if row < target_row { row + 2 } else { row - 2 };
             let mid_row = (row + next) / 2;
-            path.push(self.cell(Coord::new(mid_row, ca.col)).index);
+            f(self.cell(Coord::new(mid_row, ca.col)).index);
             row = next;
         }
         // Horizontal leg: from ca.col to cb.col along row target_row.
@@ -494,10 +525,9 @@ impl Lattice {
         while col != target_col {
             let next = if col < target_col { col + 2 } else { col - 2 };
             let mid_col = (col + next) / 2;
-            path.push(self.cell(Coord::new(target_row, mid_col)).index);
+            f(self.cell(Coord::new(target_row, mid_col)).index);
             col = next;
         }
-        path
     }
 
     /// Data qubits along the canonical path from an ancilla to its nearest
@@ -506,8 +536,16 @@ impl Lattice {
     /// The path contains exactly [`Lattice::boundary_distance`] data qubits.
     #[must_use]
     pub fn boundary_path(&self, ancilla: usize) -> Vec<usize> {
-        let coord = self.ancilla_coords[ancilla];
         let mut path = Vec::new();
+        self.for_each_boundary_path_qubit(ancilla, |q| path.push(q));
+        path
+    }
+
+    /// Visits the data qubits of the canonical path from an ancilla to its
+    /// nearest sector boundary without allocating (the path-walking core of
+    /// [`Lattice::boundary_path`]).
+    pub fn for_each_boundary_path_qubit(&self, ancilla: usize, mut f: impl FnMut(usize)) {
+        let coord = self.ancilla_coords[ancilla];
         match self.ancilla_kinds[ancilla] {
             QubitKind::AncillaX => {
                 let to_top = coord.row.div_ceil(2);
@@ -515,7 +553,7 @@ impl Lattice {
                 if to_top <= to_bottom {
                     let mut row = coord.row;
                     loop {
-                        path.push(self.cell(Coord::new(row - 1, coord.col)).index);
+                        f(self.cell(Coord::new(row - 1, coord.col)).index);
                         if row < 2 {
                             break;
                         }
@@ -524,7 +562,7 @@ impl Lattice {
                 } else {
                     let mut row = coord.row;
                     while row + 1 < self.size {
-                        path.push(self.cell(Coord::new(row + 1, coord.col)).index);
+                        f(self.cell(Coord::new(row + 1, coord.col)).index);
                         row += 2;
                     }
                 }
@@ -535,7 +573,7 @@ impl Lattice {
                 if to_left <= to_right {
                     let mut col = coord.col;
                     loop {
-                        path.push(self.cell(Coord::new(coord.row, col - 1)).index);
+                        f(self.cell(Coord::new(coord.row, col - 1)).index);
                         if col < 2 {
                             break;
                         }
@@ -544,14 +582,35 @@ impl Lattice {
                 } else {
                     let mut col = coord.col;
                     while col + 1 < self.size {
-                        path.push(self.cell(Coord::new(coord.row, col + 1)).index);
+                        f(self.cell(Coord::new(coord.row, col + 1)).index);
                         col += 2;
                     }
                 }
             }
             QubitKind::Data => unreachable!("ancilla index refers to a data qubit"),
         }
-        path
+    }
+
+    /// Visits the hot ancillas of one sector in ascending index order without
+    /// allocating (the defect-scan core of [`Lattice::defects`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match this lattice.
+    pub fn for_each_defect(&self, syndrome: &Syndrome, sector: Sector, mut f: impl FnMut(usize)) {
+        assert_eq!(
+            syndrome.len(),
+            self.num_ancillas(),
+            "syndrome length {} does not match {} ancillas",
+            syndrome.len(),
+            self.num_ancillas()
+        );
+        let kind = sector.ancilla_kind();
+        for (a, &k) in self.ancilla_kinds.iter().enumerate() {
+            if k == kind && syndrome.is_hot(a) {
+                f(a);
+            }
+        }
     }
 }
 

@@ -198,6 +198,22 @@ impl PauliString {
         self.ops[index] = pauli;
     }
 
+    /// Resets every operator to the identity, keeping the allocation.
+    ///
+    /// This is the reuse hook for allocation-free decode loops: a caller can
+    /// hold one `PauliString` buffer and hand it to
+    /// `Decoder::decode_into`-style APIs round after round.
+    pub fn fill_identity(&mut self) {
+        self.ops.fill(Pauli::I);
+    }
+
+    /// Resets the string to the identity on `len` qubits, reusing the
+    /// existing allocation when it is large enough.
+    pub fn reset_identity(&mut self, len: usize) {
+        self.ops.clear();
+        self.ops.resize(len, Pauli::I);
+    }
+
     /// Composes `other` into `self` qubit-by-qubit (ignoring global phase).
     ///
     /// # Panics

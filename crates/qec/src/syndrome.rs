@@ -243,6 +243,42 @@ impl PackedSyndrome {
         (0..self.len).map(|i| self.is_hot(i)).collect()
     }
 
+    /// Unpacks into an existing [`Syndrome`] buffer without allocating.
+    ///
+    /// The buffer is resized to this syndrome's bit length (a no-op in a
+    /// steady-state loop where the length never changes).
+    pub fn write_to_syndrome(&self, out: &mut Syndrome) {
+        out.bits.clear();
+        out.bits.extend((0..self.len).map(|i| self.is_hot(i)));
+    }
+
+    /// Overwrites this packed syndrome from raw words, reusing the existing
+    /// allocation — the allocation-free counterpart of
+    /// [`PackedSyndrome::from_words`].  Bits beyond `len` in the last word
+    /// are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from
+    /// [`PackedSyndrome::words_for`]`(self.len())`.
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            Self::words_for(self.len),
+            "expected {} words for {} bits, got {}",
+            Self::words_for(self.len),
+            self.len,
+            words.len()
+        );
+        self.words.copy_from_slice(words);
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
     /// The number of ancilla bits.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -2,16 +2,23 @@
 //! orchestration that turns a seeded syndrome stream into a
 //! [`RuntimeReport`].
 //!
-//! One producer thread generates syndromes at a configured cadence and pushes
-//! bit-packed [`SyndromePacket`](crate::packet::SyndromePacket)s into the
-//! lock-free [`SpmcRing`](crate::queue::SpmcRing); a pool of worker threads
-//! pops packets, decodes both stabilizer sectors with a per-worker decoder
-//! built from a [`DecoderFactory`], and commits the corrections to a private
-//! Pauli-frame shard.  Everything observable — queue depth, backlog, decode
-//! latency, throughput — flows through the shared
-//! [`RuntimeCounters`](crate::telemetry::RuntimeCounters) and into the final
-//! report, whose headline is the measured backlog growth compared against the
-//! paper's closed-form [`BacklogModel`](nisqplus_system::backlog::BacklogModel).
+//! One producer thread generates syndromes at a configured cadence and
+//! round-robins bit-packed [`SyndromePacket`](crate::packet::SyndromePacket)s
+//! across *per-worker* lock-free [`SpmcRing`](crate::queue::SpmcRing)s.  Each
+//! worker thread prepares its decoder once ([`Decoder::prepare`]), then pops
+//! up to [`RuntimeConfig::batch_size`] consecutive rounds from its own ring
+//! and decodes them as one batch through the allocation-free
+//! [`Decoder::decode_into`] hot path; a worker whose own ring runs dry
+//! *steals* from its neighbours' rings, so bursty high-weight rounds cannot
+//! head-of-line-block the pool.  Everything observable — queue depth,
+//! backlog, decode latency, steal and batch counts, throughput — flows
+//! through the shared [`RuntimeCounters`](crate::telemetry::RuntimeCounters)
+//! and into the final report, whose headline is the measured backlog growth
+//! compared against the paper's closed-form
+//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel).
+//!
+//! [`Decoder::prepare`]: nisqplus_decoders::Decoder::prepare
+//! [`Decoder::decode_into`]: nisqplus_decoders::Decoder::decode_into
 
 use crate::frame::ShardedPauliFrame;
 use crate::packet::{PacketCodec, SyndromePacket};
@@ -22,6 +29,7 @@ use nisqplus_decoders::traits::DecoderFactory;
 use nisqplus_qec::frame::PauliFrame;
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::pauli::PauliString;
+use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_qec::QecError;
 use nisqplus_sim::timing::CycleTimeConverter;
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
@@ -67,10 +75,19 @@ pub struct RuntimeConfig {
     /// Converts [`RuntimeConfig::cadence_cycles`] into wall-clock
     /// nanoseconds (`nisqplus-sim`'s cycle→ns mapping).
     pub cycle_time: CycleTimeConverter,
-    /// Ring-buffer capacity in packets.  For backlog experiments with
-    /// [`PushPolicy::Block`], size this above the expected final backlog so
-    /// the producer never stalls.
+    /// Total ring-buffer capacity in packets, split evenly across the
+    /// per-worker rings (each ring holds `ceil(queue_capacity / workers)`
+    /// packets).  For backlog experiments with [`PushPolicy::Block`], size
+    /// this above the expected final backlog so the producer never stalls.
     pub queue_capacity: usize,
+    /// Maximum number of consecutive rounds a worker pops from a ring and
+    /// decodes as one batch, amortizing per-packet overhead (ring pop/steal
+    /// scans, shared counter updates) across the window.  Latency telemetry
+    /// stays per-packet (timestamps are chained inside the batch).  `1`
+    /// reproduces the original packet-at-a-time behaviour; corrections are
+    /// byte-identical for every value because rounds remain independent
+    /// decoding problems.
+    pub batch_size: usize,
     /// Full-queue policy.
     pub push_policy: PushPolicy,
     /// Upper bound on the number of [`DepthSample`]s kept on the timeline
@@ -88,8 +105,13 @@ impl RuntimeConfig {
     /// `2458 * 162.72 ps ≈ 400 ns`.
     pub const PAPER_CADENCE_CYCLES: usize = 2458;
 
+    /// Default batched-window size: small enough to keep per-round latency
+    /// telemetry meaningful, large enough to amortize per-packet overhead.
+    pub const DEFAULT_BATCH_SIZE: usize = 4;
+
     /// A paper-shaped default: pure dephasing at 3%, one round per 400 ns,
-    /// two workers, a 4096-packet ring with blocking backpressure.
+    /// two workers, a 4096-packet ring with blocking backpressure, 4-round
+    /// decode windows.
     #[must_use]
     pub fn new(distance: usize) -> Self {
         RuntimeConfig {
@@ -101,6 +123,7 @@ impl RuntimeConfig {
             cadence_cycles: Self::PAPER_CADENCE_CYCLES,
             cycle_time: CycleTimeConverter::paper_reference(),
             queue_capacity: 4096,
+            batch_size: Self::DEFAULT_BATCH_SIZE,
             push_policy: PushPolicy::Block,
             max_depth_samples: 256,
             record_corrections: false,
@@ -182,6 +205,10 @@ impl StreamingEngine {
         assert!(config.rounds > 0, "stream needs at least one round");
         assert!(config.workers > 0, "worker pool needs at least one worker");
         assert!(config.queue_capacity > 0, "ring needs at least one slot");
+        assert!(
+            config.batch_size > 0,
+            "batch window needs at least one round"
+        );
         let lattice = Arc::new(Lattice::new(config.distance)?);
         // Surface configuration errors now rather than inside the producer
         // thread: building a throwaway source validates the noise spec.
@@ -213,7 +240,12 @@ impl StreamingEngine {
         let config = &self.config;
         let lattice = &self.lattice;
         let codec = PacketCodec::new(lattice.num_ancillas());
-        let ring = SpmcRing::new(config.queue_capacity, codec.words_per_packet());
+        // One ring per worker: the producer round-robins rounds across them
+        // and workers steal from each other when their own ring runs dry.
+        let per_ring_capacity = config.queue_capacity.div_ceil(config.workers);
+        let rings: Vec<SpmcRing> = (0..config.workers)
+            .map(|_| SpmcRing::new(per_ring_capacity, codec.words_per_packet()))
+            .collect();
         let counters = RuntimeCounters::default();
         let done = AtomicBool::new(false);
         let epoch = Instant::now();
@@ -224,25 +256,31 @@ impl StreamingEngine {
 
         let worker_outputs: Vec<WorkerOutput> = thread::scope(|s| {
             let handles: Vec<_> = (0..config.workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        run_worker(
+                .map(|worker_id| {
+                    let rings = &rings;
+                    let codec = &codec;
+                    let counters = &counters;
+                    let done = &done;
+                    s.spawn(move || {
+                        run_worker(WorkerContext {
+                            worker_id,
                             lattice,
-                            &codec,
-                            &ring,
-                            &counters,
-                            &done,
+                            codec,
+                            rings,
+                            counters,
+                            done,
                             epoch,
                             factory,
-                            config.record_corrections,
-                        )
+                            record_corrections: config.record_corrections,
+                            batch_size: config.batch_size,
+                        })
                     })
                 })
                 .collect();
 
             self.run_producer(
                 &codec,
-                &ring,
+                &rings,
                 &counters,
                 epoch,
                 &mut depth_timeline,
@@ -268,12 +306,13 @@ impl StreamingEngine {
         )
     }
 
-    /// The producer loop: paced generation, bit-packing, pushing, sampling.
+    /// The producer loop: paced generation, bit-packing, round-robin pushing
+    /// across the per-worker rings, sampling.
     #[allow(clippy::too_many_arguments)]
     fn run_producer(
         &self,
         codec: &PacketCodec,
-        ring: &SpmcRing,
+        rings: &[SpmcRing],
         counters: &RuntimeCounters,
         epoch: Instant,
         depth_timeline: &mut Vec<DepthSample>,
@@ -305,6 +344,9 @@ impl StreamingEngine {
             let packet = SyndromePacket::new(round, emitted_ns, &syndrome);
             codec.encode(&packet, &mut record);
             counters.generated.fetch_add(1, Ordering::Relaxed);
+            // Round-robin placement keeps consecutive rounds spread across
+            // the pool; stealing rebalances whatever placement gets wrong.
+            let ring = &rings[(round % rings.len() as u64) as usize];
             match config.push_policy {
                 PushPolicy::Block => {
                     while ring.try_push(&record).is_err() {
@@ -326,7 +368,7 @@ impl StreamingEngine {
                 depth_timeline.push(DepthSample {
                     round,
                     elapsed_ns: epoch.elapsed().as_nanos() as u64,
-                    queue_depth: ring.len() as u64,
+                    queue_depth: rings.iter().map(|r| r.len() as u64).sum(),
                     backlog: counters.backlog(),
                 });
             }
@@ -395,6 +437,7 @@ impl StreamingEngine {
                 decoder: decoder_name,
                 distance: config.distance,
                 workers: config.workers,
+                batch_size: config.batch_size,
                 rounds: config.rounds,
                 cadence_ns: config.cadence_ns(),
                 inter_arrival_ns,
@@ -415,63 +458,118 @@ impl StreamingEngine {
     }
 }
 
-/// One worker: pop, decode both sectors, commit to the private shard.
-#[allow(clippy::too_many_arguments)]
-fn run_worker(
-    lattice: &Lattice,
-    codec: &PacketCodec,
-    ring: &SpmcRing,
-    counters: &RuntimeCounters,
-    done: &AtomicBool,
+/// Everything one worker thread needs, bundled to keep the spawn site tidy.
+struct WorkerContext<'a> {
+    worker_id: usize,
+    lattice: &'a Lattice,
+    codec: &'a PacketCodec,
+    rings: &'a [SpmcRing],
+    counters: &'a RuntimeCounters,
+    done: &'a AtomicBool,
     epoch: Instant,
-    factory: &dyn DecoderFactory,
+    factory: &'a dyn DecoderFactory,
     record_corrections: bool,
-) -> WorkerOutput {
+    batch_size: usize,
+}
+
+/// One worker: pop a batch from the own ring (stealing from neighbours when
+/// it runs dry), decode both sectors of every round through the prepared
+/// allocation-free hot path, commit to the private shard.
+fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
+    let WorkerContext {
+        worker_id,
+        lattice,
+        codec,
+        rings,
+        counters,
+        done,
+        epoch,
+        factory,
+        record_corrections,
+        batch_size,
+    } = ctx;
     let mut decoder = factory.build();
+    decoder.prepare(lattice);
     let decoder_name = decoder.name().to_string();
     let mut frame = PauliFrame::new(lattice.num_data());
-    let mut record = vec![0u64; codec.words_per_packet()];
+    // Reusable per-worker buffers: batch records, one unpacked packet, one
+    // syndrome, two sector Pauli strings.  Nothing below allocates in steady
+    // state (for decoders with an allocation-free `decode_into`).
+    let mut batch: Vec<Vec<u64>> = (0..batch_size)
+        .map(|_| vec![0u64; codec.words_per_packet()])
+        .collect();
+    let mut packet = SyndromePacket::new(0, 0, &Syndrome::new(lattice.num_ancillas()));
+    let mut syndrome = Syndrome::new(lattice.num_ancillas());
+    let mut x_buf = PauliString::identity(lattice.num_data());
+    let mut z_buf = PauliString::identity(lattice.num_data());
     let mut decode_ns = Vec::new();
     let mut total_ns = Vec::new();
     let mut corrections = Vec::new();
     loop {
-        if ring.try_pop(&mut record) {
-            // Time the full pop-to-commit span (unpack, both sector decodes,
-            // frame commit): this is the service time the worker is actually
-            // occupied per packet, which is what the backlog model's `f`
-            // ratio is about — timing only the decode calls would bias the
-            // predicted growth low.
-            let started = Instant::now();
-            let packet = codec.decode(&record);
-            let syndrome = packet.syndrome.to_syndrome();
-            let x = decoder.decode(lattice, &syndrome, Sector::X);
-            let z = decoder.decode(lattice, &syndrome, Sector::Z);
-            let mut correction = x.into_pauli_string();
-            correction.compose_with(z.pauli_string());
-            frame.record(&correction);
-            let service_ns = started.elapsed().as_nanos() as f64;
-            decode_ns.push(service_ns);
-            total_ns.push((epoch.elapsed().as_nanos() as f64 - packet.emitted_ns as f64).max(0.0));
-            if record_corrections {
-                corrections.push(RoundCorrection {
-                    round: packet.round,
-                    correction,
-                });
+        // ---- Fill a batch: own ring first, then steal ------------------
+        let mut filled = 0usize;
+        while filled < batch_size && rings[worker_id].try_pop(&mut batch[filled]) {
+            filled += 1;
+        }
+        if filled == 0 && rings.len() > 1 {
+            // Own ring dry: steal a batch from the first busy neighbour so a
+            // burst of heavy rounds on one ring is drained by the whole pool.
+            for offset in 1..rings.len() {
+                let victim = (worker_id + offset) % rings.len();
+                while filled < batch_size && rings[victim].try_pop(&mut batch[filled]) {
+                    filled += 1;
+                }
+                if filled > 0 {
+                    counters.stolen.fetch_add(filled as u64, Ordering::Relaxed);
+                    break;
+                }
             }
-            counters.decoded.fetch_add(1, Ordering::Relaxed);
-        } else if done.load(Ordering::Acquire) && ring.is_empty() {
-            return WorkerOutput {
-                decoder_name,
-                frame,
-                decode_ns,
-                total_ns,
-                corrections,
-            };
-        } else {
+        }
+        if filled == 0 {
+            if done.load(Ordering::Acquire) && rings.iter().all(SpmcRing::is_empty) {
+                return WorkerOutput {
+                    decoder_name,
+                    frame,
+                    decode_ns,
+                    total_ns,
+                    corrections,
+                };
+            }
             counters.stall_polls.fetch_add(1, Ordering::Relaxed);
             std::hint::spin_loop();
             thread::yield_now();
+            continue;
         }
+
+        // ---- Decode the batch ------------------------------------------
+        // Per-packet service time keeps its PR-2 meaning (the full
+        // unpack-to-commit span of that round — what the backlog model's `f`
+        // ratio is about): timestamps are chained, one clock read per
+        // packet, so batching amortizes the pop/steal scans and counter
+        // updates without flattening latency spikes into a batch mean.
+        let mut prev = Instant::now();
+        for record in &batch[..filled] {
+            codec.decode_into(record, &mut packet);
+            packet.syndrome.write_to_syndrome(&mut syndrome);
+            decoder.decode_into(lattice, &syndrome, Sector::X, &mut x_buf);
+            decoder.decode_into(lattice, &syndrome, Sector::Z, &mut z_buf);
+            x_buf.compose_with(&z_buf);
+            frame.record(&x_buf);
+            if record_corrections {
+                corrections.push(RoundCorrection {
+                    round: packet.round,
+                    correction: x_buf.clone(),
+                });
+            }
+            let now = Instant::now();
+            decode_ns.push(now.duration_since(prev).as_nanos() as f64);
+            total_ns.push(
+                (now.duration_since(epoch).as_nanos() as f64 - packet.emitted_ns as f64).max(0.0),
+            );
+            prev = now;
+        }
+        counters.decoded.fetch_add(filled as u64, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -560,6 +658,78 @@ mod tests {
         // stopped is at most what fit in the ring plus the packets in flight
         // inside the single worker, never the full overrun.
         assert!(outcome.report.final_backlog <= 4);
+    }
+
+    /// Deterministic work stealing: worker 0's own ring is empty, every
+    /// packet sits in worker 1's ring, and the producer is already done.
+    /// Worker 0 must steal and decode all of them, counting each theft.
+    #[test]
+    fn starved_worker_steals_from_a_foreign_ring() {
+        let lattice = Lattice::new(3).unwrap();
+        let codec = PacketCodec::new(lattice.num_ancillas());
+        let rings = [
+            SpmcRing::new(64, codec.words_per_packet()),
+            SpmcRing::new(64, codec.words_per_packet()),
+        ];
+        let mut record = vec![0u64; codec.words_per_packet()];
+        let mut source = SyndromeSource::new(
+            Arc::new(lattice.clone()),
+            NoiseSpec::PureDephasing { p: 0.1 },
+            3,
+        )
+        .unwrap();
+        for round in 0..20u64 {
+            let packet = SyndromePacket::new(round, 0, &source.next_syndrome());
+            codec.encode(&packet, &mut record);
+            rings[1].try_push(&record).unwrap();
+        }
+        let counters = RuntimeCounters::default();
+        let done = AtomicBool::new(true);
+        let factory = greedy_factory();
+        let output = run_worker(WorkerContext {
+            worker_id: 0,
+            lattice: &lattice,
+            codec: &codec,
+            rings: &rings,
+            counters: &counters,
+            done: &done,
+            epoch: Instant::now(),
+            factory: &factory,
+            record_corrections: true,
+            batch_size: 4,
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.decoded, 20);
+        assert_eq!(snap.stolen, 20, "every packet was a steal");
+        assert_eq!(snap.batches, 5, "20 packets in windows of 4");
+        assert_eq!(output.frame.recorded_cycles(), 20);
+        let rounds: Vec<u64> = output.corrections.iter().map(|c| c.round).collect();
+        assert_eq!(rounds, (0..20).collect::<Vec<u64>>());
+        assert!(rings.iter().all(SpmcRing::is_empty));
+    }
+
+    #[test]
+    fn batched_windows_cover_every_round() {
+        let mut config = fast_config();
+        config.batch_size = 8;
+        config.workers = 1;
+        let engine = StreamingEngine::new(config).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        let counters = outcome.report.counters;
+        assert_eq!(counters.decoded, 200);
+        assert_eq!(outcome.report.batch_size, 8);
+        assert!(counters.batches >= 200 / 8);
+        assert!(counters.batches <= 200);
+        assert!(counters.mean_batch_fill() >= 1.0);
+        assert_eq!(outcome.report.decode_latency.summary.count, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_batch_size_rejected() {
+        let mut config = fast_config();
+        config.batch_size = 0;
+        let _ = StreamingEngine::new(config);
     }
 
     #[test]

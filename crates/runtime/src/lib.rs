@@ -12,11 +12,16 @@
 //!   stream, which is what makes stream-versus-batch equivalence testable),
 //! * [`packet`] — bit-packed [`SyndromePacket`]s and their fixed-size
 //!   `u64`-word wire codec,
-//! * [`queue`] — the bounded lock-free SPMC ring buffer between the
-//!   producer and the workers (pure `std::sync::atomic`, no external deps),
-//! * [`engine`] — the [`StreamingEngine`]: one paced producer thread, a
-//!   pool of decoder workers built from a
-//!   [`DecoderFactory`](nisqplus_decoders::DecoderFactory),
+//! * [`queue`] — the bounded lock-free ring buffer (pure
+//!   `std::sync::atomic`, no external deps); the engine gives each worker
+//!   its own ring and lets idle workers steal from busy ones,
+//! * [`engine`] — the [`StreamingEngine`]: one paced producer thread
+//!   round-robining rounds across per-worker rings, and a work-stealing pool
+//!   of decoder workers built from a
+//!   [`DecoderFactory`](nisqplus_decoders::DecoderFactory), each decoding up
+//!   to [`RuntimeConfig::batch_size`] consecutive rounds per batch through
+//!   the prepared, allocation-free
+//!   [`Decoder::decode_into`](nisqplus_decoders::Decoder::decode_into) path,
 //! * [`frame`] — the sharded Pauli frame the workers commit corrections to,
 //! * [`throttle`] — a wrapper making any decoder deliberately slow, so the
 //!   backlog blow-up can be provoked on demand,

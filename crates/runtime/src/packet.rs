@@ -102,6 +102,28 @@ impl PacketCodec {
             ),
         }
     }
+
+    /// Restores a packet into an existing buffer without allocating — the
+    /// steady-state counterpart of [`PacketCodec::decode`] used by the worker
+    /// hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
+    /// words long, or if `packet`'s syndrome length does not match the codec.
+    pub fn decode_into(&self, words: &[u64], packet: &mut SyndromePacket) {
+        assert_eq!(words.len(), self.words_per_packet(), "record size mismatch");
+        assert_eq!(
+            packet.syndrome.len(),
+            self.syndrome_bits,
+            "packet buffer carries a {}-bit syndrome, codec expects {}",
+            packet.syndrome.len(),
+            self.syndrome_bits
+        );
+        packet.round = words[0];
+        packet.emitted_ns = words[1];
+        packet.syndrome.copy_from_words(&words[HEADER_WORDS..]);
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +140,29 @@ mod tests {
         let restored = codec.decode(&record);
         assert_eq!(restored, packet);
         assert_eq!(restored.syndrome.to_syndrome(), syndrome);
+    }
+
+    #[test]
+    fn decode_into_reuses_the_buffer() {
+        let codec = PacketCodec::new(40);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        let mut buffer = SyndromePacket::new(0, 0, &Syndrome::new(40));
+        for round in 0..5u64 {
+            let syndrome = Syndrome::from_hot(40, &[(round as usize) % 40, 17]);
+            let packet = SyndromePacket::new(round, round * 100, &syndrome);
+            codec.encode(&packet, &mut record);
+            codec.decode_into(&record, &mut buffer);
+            assert_eq!(buffer, packet);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "codec expects")]
+    fn decode_into_rejects_mismatched_buffer() {
+        let codec = PacketCodec::new(40);
+        let record = vec![0u64; codec.words_per_packet()];
+        let mut buffer = SyndromePacket::new(0, 0, &Syndrome::new(24));
+        codec.decode_into(&record, &mut buffer);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct RuntimeCounters {
     pub decoded: AtomicU64,
     /// Worker polls that found the queue empty (decoder idle time).
     pub stall_polls: AtomicU64,
+    /// Packets a worker stole from another worker's ring (work stealing).
+    pub stolen: AtomicU64,
+    /// Decode batches executed (each covering 1..=batch_size packets).
+    pub batches: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -42,6 +46,8 @@ impl RuntimeCounters {
             backpressure_spins: self.backpressure_spins.load(Ordering::Relaxed),
             decoded: self.decoded.load(Ordering::Relaxed),
             stall_polls: self.stall_polls.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +79,22 @@ pub struct CounterSnapshot {
     pub decoded: u64,
     /// Worker polls that found the queue empty.
     pub stall_polls: u64,
+    /// Packets a worker stole from another worker's ring.
+    pub stolen: u64,
+    /// Decode batches executed.
+    pub batches: u64,
+}
+
+impl CounterSnapshot {
+    /// Mean packets decoded per batch (1.0 when batching is off).
+    #[must_use]
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.decoded as f64 / self.batches as f64
+        }
+    }
 }
 
 /// One point of the queue-depth/backlog timeline, sampled by the producer.
@@ -130,6 +152,8 @@ pub struct RuntimeReport {
     pub distance: usize,
     /// Number of decoder worker threads.
     pub workers: usize,
+    /// Upper bound on packets decoded per batch (the configured window `k`).
+    pub batch_size: usize,
     /// Rounds of syndrome data generated.
     pub rounds: u64,
     /// Nominal syndrome-generation cadence in nanoseconds per round.
@@ -177,8 +201,13 @@ impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "runtime report: {} | d={} | {} worker(s) | {} rounds @ {:.0} ns cadence",
-            self.decoder, self.distance, self.workers, self.rounds, self.cadence_ns
+            "runtime report: {} | d={} | {} worker(s) | batch<={} | {} rounds @ {:.0} ns cadence",
+            self.decoder,
+            self.distance,
+            self.workers,
+            self.batch_size,
+            self.rounds,
+            self.cadence_ns
         )?;
         writeln!(
             f,
@@ -188,6 +217,13 @@ impl fmt::Display for RuntimeReport {
             self.counters.decoded,
             self.counters.dropped,
             self.elapsed_s
+        )?;
+        writeln!(
+            f,
+            "  stealing: {} stolen | {} batches (mean fill {:.2})",
+            self.counters.stolen,
+            self.counters.batches,
+            self.counters.mean_batch_fill()
         )?;
         writeln!(
             f,

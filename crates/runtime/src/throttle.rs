@@ -46,22 +46,48 @@ impl<D: Decoder> ThrottledDecoder<D> {
     }
 }
 
+impl<D> ThrottledDecoder<D> {
+    /// Spins out the remainder of the floor after `start`.  Yields inside the
+    /// wait so throttled workers don't starve the producer on machines with
+    /// fewer cores than threads; the floor is wall-clock, so yielding never
+    /// shortens it.
+    fn spin_out(&self, start: Instant) {
+        while start.elapsed() < self.floor {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+}
+
 impl<D: Decoder> Decoder for ThrottledDecoder<D> {
     fn name(&self) -> &str {
         &self.name
     }
 
+    fn prepare(&mut self, lattice: &Lattice) {
+        // Preparation is a one-off, not a per-round service: no floor.
+        self.inner.prepare(lattice);
+    }
+
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
         let start = Instant::now();
         let correction = self.inner.decode(lattice, syndrome, sector);
-        // Yield inside the wait so throttled workers don't starve the
-        // producer on machines with fewer cores than threads; the floor is
-        // wall-clock, so yielding never shortens it.
-        while start.elapsed() < self.floor {
-            std::hint::spin_loop();
-            std::thread::yield_now();
-        }
+        self.spin_out(start);
         correction
+    }
+
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut nisqplus_qec::pauli::PauliString,
+    ) {
+        // The amortized hot path pays the same floor: throttling models a
+        // slow decode, which batching must not be able to skip.
+        let start = Instant::now();
+        self.inner.decode_into(lattice, syndrome, sector, out);
+        self.spin_out(start);
     }
 }
 

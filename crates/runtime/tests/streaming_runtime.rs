@@ -104,6 +104,54 @@ fn multi_worker_stream_preserves_the_logical_frame() {
     }
 }
 
+/// Batched-window decoding is transparent: for every window size k the
+/// streamed per-round corrections and the merged frame are byte-identical to
+/// the sequential reference decode of the same seeded stream.
+#[test]
+fn stream_matches_batch_for_every_window_size() {
+    for k in [1usize, 4, 16] {
+        for workers in [1usize, 3] {
+            let mut config = equivalence_config(3, 400, workers, 77);
+            config.batch_size = k;
+            let (batch_corrections, batch_frame) = batch_decode(&config);
+            let engine = StreamingEngine::new(config).unwrap();
+            let outcome = engine.run(&greedy_factory());
+            assert_eq!(outcome.report.batch_size, k);
+            assert_eq!(outcome.report.counters.decoded, config.rounds);
+            assert!(
+                outcome.report.counters.batches <= config.rounds,
+                "batches must cover rounds (k={k})"
+            );
+            assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+            assert_eq!(outcome.corrections.len(), batch_corrections.len());
+            for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
+                assert_eq!(
+                    &streamed.correction, batch,
+                    "round {} diverged at window k={k}, {workers} worker(s)",
+                    streamed.round
+                );
+            }
+        }
+    }
+}
+
+/// Work stealing under a full multi-worker run never corrupts the output:
+/// whatever rebalancing happened, every round is decoded exactly once and
+/// the merged frame matches the sequential reference.  (The deterministic
+/// steal-from-a-foreign-ring behaviour itself is pinned by a unit test in
+/// `engine.rs`.)
+#[test]
+fn work_stealing_pool_preserves_the_frame() {
+    let mut config = equivalence_config(3, 600, 4, 99);
+    config.record_corrections = false;
+    config.batch_size = 4;
+    let (_, batch_frame) = batch_decode(&config);
+    let engine = StreamingEngine::new(config).unwrap();
+    let outcome = engine.run(&greedy_factory());
+    assert_eq!(outcome.report.counters.decoded, config.rounds);
+    assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+}
+
 #[test]
 fn throttled_stream_grows_backlog_as_the_model_predicts() {
     let mut config = equivalence_config(3, 300, 1, 5);

@@ -22,6 +22,18 @@ const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(8);
 /// (e.g. Monte-Carlo batches) cannot stall the suite.
 const MAX_TOTAL_TIME: Duration = Duration::from_secs(5);
 
+/// Smoke mode: `NISQ_BENCH_SMOKE=1` shrinks every benchmark to one sample of
+/// a few iterations so CI can execute the whole suite in seconds.  The
+/// numbers it prints are meaningless as measurements; the point is that the
+/// bench *code paths* (and their assertions) cannot bitrot unexercised.
+fn smoke_mode() -> bool {
+    std::env::var_os("NISQ_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+const SMOKE_WARMUP: Duration = Duration::from_micros(200);
+const SMOKE_TARGET_SAMPLE_TIME: Duration = Duration::from_micros(200);
+const SMOKE_MAX_TOTAL_TIME: Duration = Duration::from_millis(100);
+
 /// The benchmark harness entry point.
 #[derive(Clone, Debug)]
 pub struct Criterion {
@@ -137,15 +149,23 @@ pub struct Bencher {
 impl Bencher {
     /// Measures `f`, storing per-iteration timings.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let (warmup, target, max_total) = if smoke_mode() {
+            (SMOKE_WARMUP, SMOKE_TARGET_SAMPLE_TIME, SMOKE_MAX_TOTAL_TIME)
+        } else {
+            (WARMUP, TARGET_SAMPLE_TIME, MAX_TOTAL_TIME)
+        };
         // Warm-up and iteration-count calibration.
         let start = Instant::now();
         let mut warmup_iters = 0u64;
-        while start.elapsed() < WARMUP {
+        loop {
             black_box(f());
             warmup_iters += 1;
+            if start.elapsed() >= warmup {
+                break;
+            }
         }
         let per_iter = start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
-        let iters = ((TARGET_SAMPLE_TIME.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+        let iters = ((target.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
 
         let budget = Instant::now();
         self.samples.clear();
@@ -156,7 +176,7 @@ impl Bencher {
             }
             self.samples
                 .push(t.elapsed().as_nanos() as f64 / iters as f64);
-            if budget.elapsed() > MAX_TOTAL_TIME {
+            if budget.elapsed() > max_total {
                 break;
             }
         }
@@ -164,6 +184,8 @@ impl Bencher {
 }
 
 fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Smoke mode overrides per-group sample sizes: one sample per point.
+    let sample_size = if smoke_mode() { 1 } else { sample_size };
     let mut bencher = Bencher {
         sample_size,
         samples: Vec::new(),
