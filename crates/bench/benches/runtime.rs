@@ -17,7 +17,9 @@ use nisqplus_qec::error_model::{ErrorModel, PureDephasing};
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
-use nisqplus_runtime::{PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine, SyndromePacket};
+use nisqplus_runtime::{
+    MachineConfig, PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine, SyndromePacket,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -121,9 +123,9 @@ fn codec_benchmarks(c: &mut Criterion) {
     // d=5: 40 ancillas, a typical 3-defect round.
     let codec = PacketCodec::new(40);
     let syndrome = Syndrome::from_hot(40, &[3, 17, 31]);
-    let packet = SyndromePacket::new(42, 123_456, &syndrome);
+    let packet = SyndromePacket::new(0, 42, 123_456, &syndrome);
     let mut record = vec![0u64; codec.words_per_packet()];
-    let mut buffer = SyndromePacket::new(0, 0, &Syndrome::new(40));
+    let mut buffer = SyndromePacket::new(0, 0, 0, &Syndrome::new(40));
     c.bench_function("packet_encode_decode", |b| {
         b.iter(|| {
             codec.encode(&packet, &mut record);
@@ -164,6 +166,31 @@ fn streaming_benchmarks(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
             b.iter(|| engine.run(&|| Box::new(UnionFindDecoder::new()) as DynDecoder))
         });
+    }
+    group.finish();
+
+    // The multi-lattice sharding sweep: 1k rounds total, spread over a
+    // growing number of mixed-distance lattices (cycling d = 3, 5, 7).
+    // Measures the per-round cost of serving a whole machine — header
+    // routing, per-lattice prepared-state lookup, per-lattice telemetry —
+    // relative to the single-lattice pipeline.
+    let mut group = c.benchmark_group("streaming_1k_rounds_lattices");
+    group.sample_size(10);
+    for num_lattices in [1usize, 4, 8] {
+        let distances: Vec<usize> = (0..num_lattices).map(|i| [3, 5, 7][i % 3]).collect();
+        let mut config = MachineConfig::new(&distances, 0xFEED);
+        for spec in &mut config.lattices {
+            spec.rounds = 1_000 / num_lattices as u64;
+            spec.cadence_cycles = 0; // un-paced: measure pure pipeline throughput
+        }
+        config.workers = 2;
+        config.queue_capacity = 256;
+        let engine = StreamingEngine::with_machine(config).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_lattices),
+            &num_lattices,
+            |b, _| b.iter(|| engine.run(&|| Box::new(UnionFindDecoder::new()) as DynDecoder)),
+        );
     }
     group.finish();
 }

@@ -66,9 +66,9 @@ fn measured_mode() {
         "Paper reference: the closed-form model says a decoder with f > 1 accumulates \
          1 - 1/f rounds of backlog per generated round; here the slope is *measured* on a \
          live stream ({} rounds, {} workers, {:.1} us cadence) instead of modeled.",
-        engine.config().rounds,
-        engine.config().workers,
-        engine.config().cadence_ns() / 1000.0
+        config.rounds,
+        config.workers,
+        config.cadence_ns() / 1000.0
     );
 }
 

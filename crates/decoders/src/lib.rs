@@ -21,6 +21,28 @@
 //! decoder in the `nisqplus-core` crate, so that every experiment can swap
 //! decoders freely.
 //!
+//! # The amortized hot path
+//!
+//! The trait splits decoding into a one-off preparation and a steady-state
+//! loop:
+//!
+//! * [`Decoder::prepare`] precomputes lattice-keyed state (sector graphs,
+//!   flat index maps, edge templates) and sizes scratch arenas.  It is
+//!   idempotent, optional (the first decode on an unseen lattice prepares
+//!   lazily), and preparing for a new lattice replaces the old state.
+//! * [`Decoder::decode_into`] overwrites a caller-owned
+//!   [`PauliString`](nisqplus_qec::pauli::PauliString); for the prepared
+//!   decoders in this crate the steady-state loop performs **zero** heap
+//!   allocations (guarded by a counting global allocator in the `runtime`
+//!   bench).
+//! * Decoders may keep scratch between calls (hence `&mut self`) but must
+//!   not carry information from one syndrome to the next — every round is an
+//!   independent decoding problem, which is what lets the streaming runtime
+//!   interleave many lattices through one prepared decoder.
+//!
+//! Worker pools construct per-thread instances through [`DecoderFactory`];
+//! see `docs/ARCHITECTURE.md` at the repository root for the full pipeline.
+//!
 //! # Example
 //!
 //! ```rust

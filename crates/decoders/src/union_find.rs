@@ -13,10 +13,10 @@
 //! # Amortized hot path
 //!
 //! The decoding graph of a sector depends only on the lattice, never on the
-//! syndrome, so the decoder caches a [`SectorGraph`] per sector — flat
+//! syndrome, so the decoder caches a `SectorGraph` per sector — flat
 //! `Vec`-indexed ancilla→vertex maps and a CSR adjacency over the full edge
 //! set instead of the per-call `HashMap`s the first implementation rebuilt on
-//! every round — plus a [`UfScratch`] arena of support/charge/visited/BFS
+//! every round — plus a `UfScratch` arena of support/charge/visited/BFS
 //! buffers.  After [`Decoder::prepare`] (or the first decode on a lattice),
 //! steady-state [`Decoder::decode_into`] calls perform no heap allocation;
 //! the runtime bench guards that invariant with an allocation counter.

@@ -1,33 +1,40 @@
 //! The streaming engine: producer pacing, decoder worker pool, and the run
-//! orchestration that turns a seeded syndrome stream into a
+//! orchestration that turns seeded syndrome streams into a
 //! [`RuntimeReport`].
 //!
-//! One producer thread generates syndromes at a configured cadence and
-//! round-robins bit-packed [`SyndromePacket`](crate::packet::SyndromePacket)s
-//! across *per-worker* lock-free [`SpmcRing`](crate::queue::SpmcRing)s.  Each
-//! worker thread prepares its decoder once ([`Decoder::prepare`]), then pops
-//! up to [`RuntimeConfig::batch_size`] consecutive rounds from its own ring
-//! and decodes them as one batch through the allocation-free
-//! [`Decoder::decode_into`] hot path; a worker whose own ring runs dry
-//! *steals* from its neighbours' rings, so bursty high-weight rounds cannot
+//! One producer thread interleaves the seeded streams of every registered
+//! lattice ([`InterleavedSource`]) at each lattice's own cadence and
+//! distributes bit-packed [`SyndromePacket`]s
+//! across *per-worker* lock-free [`SpmcRing`]s.  Each
+//! worker thread prepares one decoder per distinct code distance
+//! ([`Decoder::prepare`]), then pops up to [`MachineConfig::batch_size`]
+//! consecutive rounds from its own ring and decodes them as one batch
+//! through the allocation-free [`Decoder::decode_into`] hot path, routing
+//! every packet to its lattice's prepared state by the `lattice_id` in the
+//! packet header; a worker whose own ring runs dry *steals* from its
+//! neighbours' rings, so bursty high-weight rounds cannot
 //! head-of-line-block the pool.  Everything observable — queue depth,
 //! backlog, decode latency, steal and batch counts, throughput — flows
-//! through the shared [`RuntimeCounters`](crate::telemetry::RuntimeCounters)
-//! and into the final report, whose headline is the measured backlog growth
-//! compared against the paper's closed-form
-//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel).
+//! through the shared [`RuntimeCounters`]
+//! (aggregate *and* per lattice) and into the final report, whose headline
+//! compares measured backlog growth against the paper's closed-form
+//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel), per lattice and
+//! for the machine as a whole.
 //!
 //! [`Decoder::prepare`]: nisqplus_decoders::Decoder::prepare
 //! [`Decoder::decode_into`]: nisqplus_decoders::Decoder::decode_into
 
 use crate::frame::ShardedPauliFrame;
+use crate::lattice_set::{LatticeSet, LatticeSpec};
 use crate::packet::{PacketCodec, SyndromePacket};
 use crate::queue::SpmcRing;
-use crate::source::{NoiseSpec, SyndromeSource};
-use crate::telemetry::{DepthSample, LatencyProfile, RuntimeCounters, RuntimeReport};
-use nisqplus_decoders::traits::DecoderFactory;
+use crate::source::{InterleavedSource, NoiseSpec};
+use crate::telemetry::{
+    DepthSample, LatencyProfile, LatticeReport, RuntimeCounters, RuntimeReport,
+};
+use nisqplus_decoders::traits::{DecoderFactory, DynDecoder};
 use nisqplus_qec::frame::PauliFrame;
-use nisqplus_qec::lattice::{Lattice, Sector};
+use nisqplus_qec::lattice::Sector;
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_qec::QecError;
@@ -53,7 +60,12 @@ pub enum PushPolicy {
     Drop,
 }
 
-/// Configuration of one streaming run.
+/// Configuration of a single-lattice streaming run.
+///
+/// This is the ergonomic front door for the common one-patch experiment; it
+/// converts into a one-entry [`MachineConfig`], which is what the engine
+/// actually runs.  Use [`MachineConfig`] directly to serve several logical
+/// qubits at once.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// Surface-code distance of the streamed lattice.
@@ -61,7 +73,7 @@ pub struct RuntimeConfig {
     /// The stochastic error channel driving the stream.
     pub noise: NoiseSpec,
     /// Seed of the syndrome stream (same seed, same stream — see
-    /// [`SyndromeSource`]).
+    /// [`crate::source::SyndromeSource`]).
     pub seed: u64,
     /// Number of syndrome-generation rounds to stream.
     pub rounds: u64,
@@ -95,7 +107,8 @@ pub struct RuntimeConfig {
     pub max_depth_samples: usize,
     /// When `true`, every worker keeps the per-round corrections it
     /// committed, and [`RuntimeOutcome::corrections`] returns them sorted by
-    /// round — the hook the stream-versus-batch equivalence tests use.
+    /// `(lattice, round)` — the hook the stream-versus-batch equivalence
+    /// tests use.
     pub record_corrections: bool,
 }
 
@@ -138,11 +151,122 @@ impl RuntimeConfig {
     }
 }
 
+impl From<RuntimeConfig> for MachineConfig {
+    /// A single-lattice run is a one-entry machine.
+    fn from(config: RuntimeConfig) -> Self {
+        MachineConfig {
+            lattices: vec![LatticeSpec {
+                distance: config.distance,
+                noise: config.noise,
+                seed: config.seed,
+                rounds: config.rounds,
+                cadence_cycles: config.cadence_cycles,
+            }],
+            workers: config.workers,
+            cycle_time: config.cycle_time,
+            queue_capacity: config.queue_capacity,
+            batch_size: config.batch_size,
+            push_policy: config.push_policy,
+            max_depth_samples: config.max_depth_samples,
+            record_corrections: config.record_corrections,
+        }
+    }
+}
+
+/// Configuration of a multi-lattice streaming run: one engine serving a full
+/// NISQ+ machine of N logical qubits.
+///
+/// Per-stream knobs (distance, noise, seed, rounds, cadence) live in each
+/// [`LatticeSpec`]; the fields here configure the shared decoder fabric.
+/// The field semantics match [`RuntimeConfig`]'s identically-named fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// The lattices to serve, in lattice-id order (id = index).
+    pub lattices: Vec<LatticeSpec>,
+    /// Number of decoder worker threads shared by all lattices.
+    pub workers: usize,
+    /// Converts every lattice's `cadence_cycles` into wall-clock nanoseconds.
+    pub cycle_time: CycleTimeConverter,
+    /// Total ring-buffer capacity in packets, split evenly across the
+    /// per-worker rings.
+    pub queue_capacity: usize,
+    /// Maximum rounds a worker decodes as one batch (see
+    /// [`RuntimeConfig::batch_size`]).
+    pub batch_size: usize,
+    /// Full-queue policy.
+    pub push_policy: PushPolicy,
+    /// Upper bound on the number of [`DepthSample`]s kept on the timeline.
+    pub max_depth_samples: usize,
+    /// When `true`, per-round corrections are kept, sorted by
+    /// `(lattice, round)`.
+    pub record_corrections: bool,
+}
+
+impl MachineConfig {
+    /// A machine of `distances.len()` lattices with otherwise
+    /// [`RuntimeConfig::new`]-shaped defaults; lattice `i` gets distance
+    /// `distances[i]` and seed `base_seed + i` so the streams are
+    /// independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is empty.
+    #[must_use]
+    pub fn new(distances: &[usize], base_seed: u64) -> Self {
+        assert!(
+            !distances.is_empty(),
+            "a machine needs at least one lattice"
+        );
+        let template = RuntimeConfig::new(distances[0]);
+        MachineConfig {
+            lattices: distances
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let mut spec = LatticeSpec::new(d);
+                    spec.seed = base_seed + i as u64;
+                    spec
+                })
+                .collect(),
+            workers: template.workers,
+            cycle_time: template.cycle_time,
+            queue_capacity: template.queue_capacity,
+            batch_size: template.batch_size,
+            push_policy: template.push_policy,
+            max_depth_samples: template.max_depth_samples,
+            record_corrections: template.record_corrections,
+        }
+    }
+
+    /// The nominal *aggregate* inter-arrival time across the machine, in
+    /// nanoseconds per round: `1 / Σ 1/cadence_i`.  Returns `0.0` if any
+    /// lattice is unpaced (the aggregate arrival rate is then CPU-bound).
+    #[must_use]
+    pub fn aggregate_cadence_ns(&self) -> f64 {
+        let mut rate_per_ns = 0.0f64;
+        for spec in &self.lattices {
+            let cadence = self.cycle_time.cycles_to_ns(spec.cadence_cycles);
+            if cadence <= 0.0 {
+                return 0.0;
+            }
+            rate_per_ns += 1.0 / cadence;
+        }
+        if rate_per_ns > 0.0 {
+            1.0 / rate_per_ns
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One round's committed correction, kept when
-/// [`RuntimeConfig::record_corrections`] is set.
+/// [`MachineConfig::record_corrections`] is set.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundCorrection {
-    /// The syndrome-generation round the correction belongs to.
+    /// Id of the lattice the correction belongs to.
+    pub lattice_id: u32,
+    /// The syndrome-generation round (within that lattice's stream) the
+    /// correction belongs to.
     pub round: u64,
     /// The composed X- and Z-sector correction committed to the frame.
     pub correction: PauliString,
@@ -151,22 +275,56 @@ pub struct RoundCorrection {
 /// Everything a streaming run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOutcome {
-    /// The telemetry report (counters, timelines, latencies, model
-    /// comparison).
+    /// The telemetry report (counters, timelines, latencies, per-lattice
+    /// breakdown, model comparisons).
     pub report: RuntimeReport,
-    /// The per-worker Pauli-frame shards and their merge.
-    pub frame: ShardedPauliFrame,
-    /// Per-round corrections sorted by round; empty unless
-    /// [`RuntimeConfig::record_corrections`] was set.
+    /// One sharded Pauli frame per lattice, indexed by lattice id; each
+    /// holds the per-worker shards and their merge for that lattice.
+    pub frames: Vec<ShardedPauliFrame>,
+    /// Per-round corrections sorted by `(lattice_id, round)`; empty unless
+    /// [`MachineConfig::record_corrections`] was set.
     pub corrections: Vec<RoundCorrection>,
+}
+
+impl RuntimeOutcome {
+    /// The sharded frame of lattice 0 — the whole machine for single-lattice
+    /// runs.
+    #[must_use]
+    pub fn frame(&self) -> &ShardedPauliFrame {
+        &self.frames[0]
+    }
+
+    /// The sharded frame of one lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    #[must_use]
+    pub fn frame_for(&self, lattice_id: usize) -> &ShardedPauliFrame {
+        &self.frames[lattice_id]
+    }
+}
+
+/// Per-lattice generation statistics tracked by the producer.
+#[derive(Debug, Clone, Copy, Default)]
+struct LatticeGenStats {
+    /// Elapsed nanoseconds at this lattice's last emission.
+    gen_elapsed_ns: f64,
+    /// This lattice's backlog at the instant its generation stopped.
+    final_backlog: u64,
+}
+
+/// One lattice's slice of a worker's output.
+struct WorkerLatticeOutput {
+    frame: PauliFrame,
+    decode_ns: Vec<f64>,
+    total_ns: Vec<f64>,
 }
 
 /// What one worker thread hands back when the stream ends.
 struct WorkerOutput {
     decoder_name: String,
-    frame: PauliFrame,
-    decode_ns: Vec<f64>,
-    total_ns: Vec<f64>,
+    per_lattice: Vec<WorkerLatticeOutput>,
     corrections: Vec<RoundCorrection>,
 }
 
@@ -184,14 +342,34 @@ struct WorkerOutput {
 /// let outcome = engine.run(&|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
 /// assert_eq!(outcome.report.counters.decoded, 64);
 /// ```
+///
+/// Serving several logical qubits at once — one engine, one worker pool,
+/// per-lattice telemetry:
+///
+/// ```rust
+/// use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
+/// use nisqplus_runtime::{MachineConfig, StreamingEngine};
+///
+/// let mut config = MachineConfig::new(&[3, 5, 3], 7);
+/// for spec in &mut config.lattices {
+///     spec.rounds = 32;
+///     spec.cadence_cycles = 0;
+/// }
+/// config.workers = 2;
+/// let engine = StreamingEngine::with_machine(config).unwrap();
+/// let outcome = engine.run(&|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+/// assert_eq!(outcome.report.num_lattices, 3);
+/// assert_eq!(outcome.report.counters.decoded, 96);
+/// assert_eq!(outcome.report.lattices[1].counters.decoded, 32);
+/// ```
 #[derive(Debug)]
 pub struct StreamingEngine {
-    config: RuntimeConfig,
-    lattice: Arc<Lattice>,
+    config: MachineConfig,
+    set: Arc<LatticeSet>,
 }
 
 impl StreamingEngine {
-    /// Validates the configuration and builds the lattice.
+    /// Validates a single-lattice configuration and builds the engine.
     ///
     /// # Errors
     ///
@@ -200,35 +378,57 @@ impl StreamingEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `rounds`, `workers` or `queue_capacity` is zero.
+    /// Panics if `rounds`, `workers`, `queue_capacity` or `batch_size` is
+    /// zero.
     pub fn new(config: RuntimeConfig) -> Result<Self, QecError> {
-        assert!(config.rounds > 0, "stream needs at least one round");
+        Self::with_machine(config.into())
+    }
+
+    /// Validates a multi-lattice configuration and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QecError`] if any lattice distance is invalid or any
+    /// noise probability is outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice list is empty, any lattice streams zero rounds,
+    /// or `workers`, `queue_capacity` or `batch_size` is zero.
+    pub fn with_machine(config: MachineConfig) -> Result<Self, QecError> {
         assert!(config.workers > 0, "worker pool needs at least one worker");
         assert!(config.queue_capacity > 0, "ring needs at least one slot");
         assert!(
             config.batch_size > 0,
             "batch window needs at least one round"
         );
-        let lattice = Arc::new(Lattice::new(config.distance)?);
+        let set = Arc::new(LatticeSet::new(config.lattices.clone())?);
         // Surface configuration errors now rather than inside the producer
-        // thread: building a throwaway source validates the noise spec.
-        let _ = SyndromeSource::new(lattice.clone(), config.noise, config.seed)?;
-        Ok(StreamingEngine { config, lattice })
+        // thread: building a throwaway source validates every noise spec.
+        let _ = InterleavedSource::new(&set, &config.cycle_time)?;
+        Ok(StreamingEngine { config, set })
     }
 
     /// The run configuration.
     #[must_use]
-    pub fn config(&self) -> &RuntimeConfig {
+    pub fn config(&self) -> &MachineConfig {
         &self.config
     }
 
-    /// The lattice being streamed.
+    /// The registry of lattices being served.
     #[must_use]
-    pub fn lattice(&self) -> &Arc<Lattice> {
-        &self.lattice
+    pub fn lattice_set(&self) -> &Arc<LatticeSet> {
+        &self.set
     }
 
-    /// Streams the configured number of rounds through the worker pool and
+    /// The lattice registered under id 0 — the whole machine for engines
+    /// built from a single-lattice [`RuntimeConfig`].
+    #[must_use]
+    pub fn lattice(&self) -> &Arc<nisqplus_qec::lattice::Lattice> {
+        self.set.lattice(0)
+    }
+
+    /// Streams every lattice's configured rounds through the worker pool and
     /// reports the telemetry.
     ///
     /// The calling thread becomes the producer; `config.workers` decoder
@@ -238,21 +438,22 @@ impl StreamingEngine {
     #[must_use]
     pub fn run(&self, factory: &dyn DecoderFactory) -> RuntimeOutcome {
         let config = &self.config;
-        let lattice = &self.lattice;
-        let codec = PacketCodec::new(lattice.num_ancillas());
-        // One ring per worker: the producer round-robins rounds across them
+        let set = &self.set;
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        // One ring per worker: the producer spreads rounds across them
         // and workers steal from each other when their own ring runs dry.
         let per_ring_capacity = config.queue_capacity.div_ceil(config.workers);
         let rings: Vec<SpmcRing> = (0..config.workers)
             .map(|_| SpmcRing::new(per_ring_capacity, codec.words_per_packet()))
             .collect();
-        let counters = RuntimeCounters::default();
+        let counters = RuntimeCounters::with_lattices(set.len());
         let done = AtomicBool::new(false);
         let epoch = Instant::now();
 
         let mut depth_timeline = Vec::new();
         let mut generation_elapsed_ns = 0.0f64;
         let mut final_backlog = 0u64;
+        let mut lattice_stats = vec![LatticeGenStats::default(); set.len()];
 
         let worker_outputs: Vec<WorkerOutput> = thread::scope(|s| {
             let handles: Vec<_> = (0..config.workers)
@@ -264,7 +465,7 @@ impl StreamingEngine {
                     s.spawn(move || {
                         run_worker(WorkerContext {
                             worker_id,
-                            lattice,
+                            set,
                             codec,
                             rings,
                             counters,
@@ -286,6 +487,7 @@ impl StreamingEngine {
                 &mut depth_timeline,
                 &mut generation_elapsed_ns,
                 &mut final_backlog,
+                &mut lattice_stats,
             );
             done.store(true, Ordering::Release);
 
@@ -301,13 +503,14 @@ impl StreamingEngine {
             depth_timeline,
             generation_elapsed_ns,
             final_backlog,
+            lattice_stats,
             elapsed_s,
             &counters,
         )
     }
 
-    /// The producer loop: paced generation, bit-packing, round-robin pushing
-    /// across the per-worker rings, sampling.
+    /// The producer loop: paced interleaved generation, bit-packing, ring
+    /// placement, sampling.
     #[allow(clippy::too_many_arguments)]
     fn run_producer(
         &self,
@@ -318,35 +521,44 @@ impl StreamingEngine {
         depth_timeline: &mut Vec<DepthSample>,
         generation_elapsed_ns: &mut f64,
         final_backlog: &mut u64,
+        lattice_stats: &mut [LatticeGenStats],
     ) {
         let config = &self.config;
-        let mut source = SyndromeSource::new(self.lattice.clone(), config.noise, config.seed)
-            .expect("config validated in StreamingEngine::new");
-        let cadence_ns = config.cadence_ns();
-        let sample_every = (config.rounds / config.max_depth_samples.max(1) as u64).max(1);
+        let mut source = InterleavedSource::new(&self.set, &config.cycle_time)
+            .expect("config validated in StreamingEngine::with_machine");
+        let total_rounds = self.set.total_rounds();
+        let sample_every = (total_rounds / config.max_depth_samples.max(1) as u64).max(1);
         let mut record = vec![0u64; codec.words_per_packet()];
+        let mut emitted_total = 0u64;
 
-        for round in 0..config.rounds {
-            if cadence_ns > 0.0 {
-                // Pace generation to the hardware cadence.  `yield_now` keeps
-                // the spin cooperative on machines with fewer cores than
-                // threads; the *measured* inter-arrival time (not the nominal
-                // cadence) is what feeds the model comparison, so imprecise
-                // pacing degrades the experiment's rate, never its honesty.
-                let target_ns = (round as f64 * cadence_ns) as u128;
+        while let Some(sourced) = source.next_round() {
+            if sourced.due_ns > 0.0 {
+                // Pace generation to the lattice's hardware cadence.
+                // `yield_now` keeps the spin cooperative on machines with
+                // fewer cores than threads; the *measured* inter-arrival time
+                // (not the nominal cadence) is what feeds the model
+                // comparison, so imprecise pacing degrades the experiment's
+                // rate, never its honesty.
+                let target_ns = sourced.due_ns as u128;
                 while epoch.elapsed().as_nanos() < target_ns {
                     std::hint::spin_loop();
                     thread::yield_now();
                 }
             }
-            let syndrome = source.next_syndrome();
+            let lattice_id = sourced.lattice_id;
             let emitted_ns = epoch.elapsed().as_nanos() as u64;
-            let packet = SyndromePacket::new(round, emitted_ns, &syndrome);
+            let packet =
+                SyndromePacket::new(lattice_id, sourced.round, emitted_ns, &sourced.syndrome);
             codec.encode(&packet, &mut record);
+            let lattice_counters = &counters.per_lattice[lattice_id as usize];
             counters.generated.fetch_add(1, Ordering::Relaxed);
-            // Round-robin placement keeps consecutive rounds spread across
-            // the pool; stealing rebalances whatever placement gets wrong.
-            let ring = &rings[(round % rings.len() as u64) as usize];
+            lattice_counters.generated.fetch_add(1, Ordering::Relaxed);
+            // Spread placement over the pool, offset by lattice id so
+            // co-cadenced lattices don't all land on the same ring;
+            // stealing rebalances whatever placement gets wrong.  For a
+            // single lattice this is the PR-3 round-robin exactly.
+            let ring =
+                &rings[((u64::from(lattice_id) + sourced.round) % rings.len() as u64) as usize];
             match config.push_policy {
                 PushPolicy::Block => {
                     while ring.try_push(&record).is_err() {
@@ -355,23 +567,36 @@ impl StreamingEngine {
                         thread::yield_now();
                     }
                     counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                    lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
                 }
                 PushPolicy::Drop => {
                     if ring.try_push(&record).is_ok() {
                         counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                        lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
                     } else {
                         counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
-            if round % sample_every == 0 || round + 1 == config.rounds {
+            let stats = &mut lattice_stats[lattice_id as usize];
+            // Reuse the emission timestamp: it is this round's generation
+            // instant, and it spares a second clock read per round.
+            stats.gen_elapsed_ns = emitted_ns as f64;
+            if sourced.round + 1 == self.set.spec(lattice_id as usize).rounds {
+                // This lattice's generation just stopped: its backlog at this
+                // instant is what its per-lattice model comparison predicts.
+                stats.final_backlog = lattice_counters.backlog();
+            }
+            if emitted_total % sample_every == 0 || emitted_total + 1 == total_rounds {
                 depth_timeline.push(DepthSample {
-                    round,
+                    round: emitted_total,
                     elapsed_ns: epoch.elapsed().as_nanos() as u64,
                     queue_depth: rings.iter().map(|r| r.len() as u64).sum(),
                     backlog: counters.backlog(),
                 });
             }
+            emitted_total += 1;
         }
         *generation_elapsed_ns = epoch.elapsed().as_nanos() as f64;
         // The backlog at the instant generation stops is the quantity the
@@ -388,31 +613,80 @@ impl StreamingEngine {
         depth_timeline: Vec<DepthSample>,
         generation_elapsed_ns: f64,
         final_backlog: u64,
+        lattice_stats: Vec<LatticeGenStats>,
         elapsed_s: f64,
         counters: &RuntimeCounters,
     ) -> RuntimeOutcome {
         let config = &self.config;
-        let mut decode_ns = Vec::new();
-        let mut total_ns = Vec::new();
-        let mut corrections = Vec::new();
-        let mut shards = Vec::with_capacity(worker_outputs.len());
+        let set = &self.set;
+        let total_rounds = set.total_rounds();
         let decoder_name = worker_outputs
             .first()
             .map(|o| o.decoder_name.clone())
             .unwrap_or_default();
+
+        // Regroup the per-worker, per-lattice outputs by lattice.
+        let mut per_lattice_decode_ns: Vec<Vec<f64>> = vec![Vec::new(); set.len()];
+        let mut per_lattice_total_ns: Vec<Vec<f64>> = vec![Vec::new(); set.len()];
+        let mut per_lattice_shards: Vec<Vec<PauliFrame>> = vec![Vec::new(); set.len()];
+        let mut corrections = Vec::new();
         for output in worker_outputs {
-            decode_ns.extend(output.decode_ns);
-            total_ns.extend(output.total_ns);
             corrections.extend(output.corrections);
-            shards.push(output.frame);
+            for (lattice_id, lattice_output) in output.per_lattice.into_iter().enumerate() {
+                per_lattice_decode_ns[lattice_id].extend(lattice_output.decode_ns);
+                per_lattice_total_ns[lattice_id].extend(lattice_output.total_ns);
+                per_lattice_shards[lattice_id].push(lattice_output.frame);
+            }
         }
-        corrections.sort_by_key(|c| c.round);
+        corrections.sort_by_key(|c| (c.lattice_id, c.round));
+
+        // Per-lattice reports and frames.
+        let mut lattices = Vec::with_capacity(set.len());
+        let mut frames = Vec::with_capacity(set.len());
+        let mut decode_ns = Vec::new();
+        let mut total_ns = Vec::new();
+        for (lattice_id, spec, lattice) in set.iter() {
+            let decode_latency = LatencyProfile::of(&per_lattice_decode_ns[lattice_id]);
+            let total_latency = LatencyProfile::of(&per_lattice_total_ns[lattice_id]);
+            let stats = &lattice_stats[lattice_id];
+            let inter_arrival_ns = stats.gen_elapsed_ns / spec.rounds as f64;
+            let measured = MeasuredBacklog {
+                rounds: spec.rounds,
+                final_backlog: stats.final_backlog,
+                // Workers decode concurrently, so the aggregate service time
+                // per round is the per-packet mean divided by the pool width
+                // (an optimistic bound when other lattices compete for the
+                // same pool; see the LatticeReport field docs).
+                service_time_ns: decode_latency.summary.mean / config.workers as f64,
+                inter_arrival_ns,
+            };
+            let comparison = BacklogComparison::against_model(&measured);
+            lattices.push(LatticeReport {
+                lattice_id,
+                distance: spec.distance,
+                rounds: spec.rounds,
+                cadence_ns: config.cycle_time.cycles_to_ns(spec.cadence_cycles),
+                inter_arrival_ns,
+                counters: counters.per_lattice[lattice_id].snapshot(),
+                final_backlog: stats.final_backlog,
+                decode_latency,
+                total_latency,
+                measured,
+                comparison,
+            });
+            frames.push(ShardedPauliFrame::from_shards(
+                lattice.num_data(),
+                std::mem::take(&mut per_lattice_shards[lattice_id]),
+            ));
+            decode_ns.extend(std::mem::take(&mut per_lattice_decode_ns[lattice_id]));
+            total_ns.extend(std::mem::take(&mut per_lattice_total_ns[lattice_id]));
+        }
 
         let decode_latency = LatencyProfile::of(&decode_ns);
         let total_latency = LatencyProfile::of(&total_ns);
-        let inter_arrival_ns = generation_elapsed_ns / config.rounds as f64;
+        let inter_arrival_ns = generation_elapsed_ns / total_rounds as f64;
         let measured = MeasuredBacklog {
-            rounds: config.rounds,
+            rounds: total_rounds,
             final_backlog,
             // Workers decode concurrently, so the aggregate service time per
             // round is the per-packet mean divided by the pool width.
@@ -435,11 +709,12 @@ impl StreamingEngine {
         RuntimeOutcome {
             report: RuntimeReport {
                 decoder: decoder_name,
-                distance: config.distance,
+                num_lattices: set.len(),
+                distances: set.distances(),
                 workers: config.workers,
                 batch_size: config.batch_size,
-                rounds: config.rounds,
-                cadence_ns: config.cadence_ns(),
+                rounds: total_rounds,
+                cadence_ns: config.aggregate_cadence_ns(),
                 inter_arrival_ns,
                 elapsed_s,
                 counters: snapshot,
@@ -451,8 +726,9 @@ impl StreamingEngine {
                 total_latency,
                 measured,
                 comparison,
+                lattices,
             },
-            frame: ShardedPauliFrame::from_shards(self.lattice.num_data(), shards),
+            frames,
             corrections,
         }
     }
@@ -461,7 +737,7 @@ impl StreamingEngine {
 /// Everything one worker thread needs, bundled to keep the spawn site tidy.
 struct WorkerContext<'a> {
     worker_id: usize,
-    lattice: &'a Lattice,
+    set: &'a LatticeSet,
     codec: &'a PacketCodec,
     rings: &'a [SpmcRing],
     counters: &'a RuntimeCounters,
@@ -472,13 +748,27 @@ struct WorkerContext<'a> {
     batch_size: usize,
 }
 
+/// One lattice's reusable per-worker decode state: the prepared-decoder slot
+/// plus the buffers the hot loop writes into.  Nothing here allocates in
+/// steady state (for decoders with an allocation-free `decode_into`).
+struct LatticeWorkerState {
+    /// Index into the worker's per-distance decoder list.
+    decoder_slot: usize,
+    packet: SyndromePacket,
+    syndrome: Syndrome,
+    x_buf: PauliString,
+    z_buf: PauliString,
+    output: WorkerLatticeOutput,
+}
+
 /// One worker: pop a batch from the own ring (stealing from neighbours when
-/// it runs dry), decode both sectors of every round through the prepared
-/// allocation-free hot path, commit to the private shard.
+/// it runs dry), route each packet to its lattice's prepared state by the
+/// header's `lattice_id`, decode both sectors through the prepared
+/// allocation-free hot path, commit to the private per-lattice shard.
 fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
     let WorkerContext {
         worker_id,
-        lattice,
+        set,
         codec,
         rings,
         counters,
@@ -488,22 +778,42 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
         record_corrections,
         batch_size,
     } = ctx;
-    let mut decoder = factory.build();
-    decoder.prepare(lattice);
-    let decoder_name = decoder.name().to_string();
-    let mut frame = PauliFrame::new(lattice.num_data());
-    // Reusable per-worker buffers: batch records, one unpacked packet, one
-    // syndrome, two sector Pauli strings.  Nothing below allocates in steady
-    // state (for decoders with an allocation-free `decode_into`).
+    // One prepared decoder per distinct code distance: lattices of equal
+    // distance share layout (LatticeSet interns them), so the prepared
+    // sector graphs and scratch arenas are reused across them.
+    let mut decoders: Vec<DynDecoder> = Vec::new();
+    let mut slot_of_distance: Vec<(usize, usize)> = Vec::new(); // (distance, slot)
+    let mut states: Vec<LatticeWorkerState> = Vec::with_capacity(set.len());
+    for (_, spec, lattice) in set.iter() {
+        let decoder_slot = match slot_of_distance.iter().find(|(d, _)| *d == spec.distance) {
+            Some(&(_, slot)) => slot,
+            None => {
+                let mut decoder = factory.build();
+                decoder.prepare(lattice);
+                decoders.push(decoder);
+                slot_of_distance.push((spec.distance, decoders.len() - 1));
+                decoders.len() - 1
+            }
+        };
+        states.push(LatticeWorkerState {
+            decoder_slot,
+            packet: SyndromePacket::new(0, 0, 0, &Syndrome::new(lattice.num_ancillas())),
+            syndrome: Syndrome::new(lattice.num_ancillas()),
+            x_buf: PauliString::identity(lattice.num_data()),
+            z_buf: PauliString::identity(lattice.num_data()),
+            output: WorkerLatticeOutput {
+                frame: PauliFrame::new(lattice.num_data()),
+                decode_ns: Vec::new(),
+                total_ns: Vec::new(),
+            },
+        });
+    }
+    let decoder_name = decoders[0].name().to_string();
+    // Reusable batch records, shared across lattices (records are sized for
+    // the largest lattice of the set).
     let mut batch: Vec<Vec<u64>> = (0..batch_size)
         .map(|_| vec![0u64; codec.words_per_packet()])
         .collect();
-    let mut packet = SyndromePacket::new(0, 0, &Syndrome::new(lattice.num_ancillas()));
-    let mut syndrome = Syndrome::new(lattice.num_ancillas());
-    let mut x_buf = PauliString::identity(lattice.num_data());
-    let mut z_buf = PauliString::identity(lattice.num_data());
-    let mut decode_ns = Vec::new();
-    let mut total_ns = Vec::new();
     let mut corrections = Vec::new();
     loop {
         // ---- Fill a batch: own ring first, then steal ------------------
@@ -529,9 +839,7 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
             if done.load(Ordering::Acquire) && rings.iter().all(SpmcRing::is_empty) {
                 return WorkerOutput {
                     decoder_name,
-                    frame,
-                    decode_ns,
-                    total_ns,
+                    per_lattice: states.into_iter().map(|s| s.output).collect(),
                     corrections,
                 };
             }
@@ -549,23 +857,39 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
         // updates without flattening latency spikes into a batch mean.
         let mut prev = Instant::now();
         for record in &batch[..filled] {
-            codec.decode_into(record, &mut packet);
-            packet.syndrome.write_to_syndrome(&mut syndrome);
-            decoder.decode_into(lattice, &syndrome, Sector::X, &mut x_buf);
-            decoder.decode_into(lattice, &syndrome, Sector::Z, &mut z_buf);
-            x_buf.compose_with(&z_buf);
-            frame.record(&x_buf);
+            // Raw routing peek to pick the per-lattice buffers; the single
+            // full header validation happens inside `try_decode_into`.
+            let lattice_id = PacketCodec::peek_lattice_id(record) as usize;
+            let state = &mut states[lattice_id];
+            let decoder = &mut decoders[state.decoder_slot];
+            let lattice = set.lattice(lattice_id);
+            codec
+                .try_decode_into(record, &mut state.packet)
+                .expect("producer and workers share one codec");
+            state.packet.syndrome.write_to_syndrome(&mut state.syndrome);
+            decoder.decode_into(lattice, &state.syndrome, Sector::X, &mut state.x_buf);
+            decoder.decode_into(lattice, &state.syndrome, Sector::Z, &mut state.z_buf);
+            state.x_buf.compose_with(&state.z_buf);
+            state.output.frame.record(&state.x_buf);
             if record_corrections {
                 corrections.push(RoundCorrection {
-                    round: packet.round,
-                    correction: x_buf.clone(),
+                    lattice_id: state.packet.lattice_id,
+                    round: state.packet.round,
+                    correction: state.x_buf.clone(),
                 });
             }
             let now = Instant::now();
-            decode_ns.push(now.duration_since(prev).as_nanos() as f64);
-            total_ns.push(
-                (now.duration_since(epoch).as_nanos() as f64 - packet.emitted_ns as f64).max(0.0),
+            state
+                .output
+                .decode_ns
+                .push(now.duration_since(prev).as_nanos() as f64);
+            state.output.total_ns.push(
+                (now.duration_since(epoch).as_nanos() as f64 - state.packet.emitted_ns as f64)
+                    .max(0.0),
             );
+            counters.per_lattice[lattice_id]
+                .decoded
+                .fetch_add(1, Ordering::Relaxed);
             prev = now;
         }
         counters.decoded.fetch_add(filled as u64, Ordering::Relaxed);
@@ -576,6 +900,7 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::SyndromeSource;
     use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
 
     fn fast_config() -> RuntimeConfig {
@@ -608,6 +933,29 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_cadence_combines_arrival_rates() {
+        let mut config = MachineConfig::new(&[3, 3], 0);
+        for spec in &mut config.lattices {
+            spec.cadence_cycles = RuntimeConfig::PAPER_CADENCE_CYCLES;
+        }
+        // Two 400 ns streams arrive every 200 ns in aggregate.
+        assert!((config.aggregate_cadence_ns() - 200.0).abs() < 0.5);
+        config.lattices[0].cadence_cycles = 0;
+        assert_eq!(config.aggregate_cadence_ns(), 0.0);
+    }
+
+    #[test]
+    fn single_lattice_config_is_a_one_entry_machine() {
+        let config = fast_config();
+        let machine: MachineConfig = config.into();
+        assert_eq!(machine.lattices.len(), 1);
+        assert_eq!(machine.lattices[0].distance, 3);
+        assert_eq!(machine.lattices[0].rounds, 200);
+        assert_eq!(machine.workers, config.workers);
+        assert_eq!(machine.aggregate_cadence_ns(), config.cadence_ns());
+    }
+
+    #[test]
     fn every_round_is_decoded_exactly_once() {
         let engine = StreamingEngine::new(fast_config()).unwrap();
         let outcome = engine.run(&greedy_factory());
@@ -616,10 +964,15 @@ mod tests {
         assert_eq!(counters.enqueued, 200);
         assert_eq!(counters.decoded, 200);
         assert_eq!(counters.dropped, 0);
-        assert_eq!(outcome.frame.total_recorded(), 200);
+        assert_eq!(outcome.frame().total_recorded(), 200);
         assert_eq!(outcome.report.decode_latency.summary.count, 200);
         assert!(outcome.report.throughput_per_s > 0.0);
         assert!(!outcome.report.depth_timeline.is_empty());
+        // Single lattice: the per-lattice breakdown is the whole report.
+        assert_eq!(outcome.report.num_lattices, 1);
+        assert_eq!(outcome.report.lattices.len(), 1);
+        assert_eq!(outcome.report.lattices[0].counters.decoded, 200);
+        assert_eq!(outcome.report.distances, vec![3]);
     }
 
     #[test]
@@ -631,6 +984,7 @@ mod tests {
         let outcome = engine.run(&greedy_factory());
         let rounds: Vec<u64> = outcome.corrections.iter().map(|c| c.round).collect();
         assert_eq!(rounds, (0..200).collect::<Vec<u64>>());
+        assert!(outcome.corrections.iter().all(|c| c.lattice_id == 0));
     }
 
     #[test]
@@ -658,6 +1012,10 @@ mod tests {
         // stopped is at most what fit in the ring plus the packets in flight
         // inside the single worker, never the full overrun.
         assert!(outcome.report.final_backlog <= 4);
+        // The per-lattice slice sees the same drops.
+        let lattice = &outcome.report.lattices[0];
+        assert_eq!(lattice.counters.dropped, counters.dropped);
+        assert!(!lattice.queue_stayed_bounded());
     }
 
     /// Deterministic work stealing: worker 0's own ring is empty, every
@@ -665,30 +1023,32 @@ mod tests {
     /// Worker 0 must steal and decode all of them, counting each theft.
     #[test]
     fn starved_worker_steals_from_a_foreign_ring() {
-        let lattice = Lattice::new(3).unwrap();
-        let codec = PacketCodec::new(lattice.num_ancillas());
+        let mut spec = LatticeSpec::new(3);
+        spec.rounds = 20;
+        let set = LatticeSet::new(vec![spec]).unwrap();
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
         let rings = [
             SpmcRing::new(64, codec.words_per_packet()),
             SpmcRing::new(64, codec.words_per_packet()),
         ];
         let mut record = vec![0u64; codec.words_per_packet()];
         let mut source = SyndromeSource::new(
-            Arc::new(lattice.clone()),
+            set.lattice(0).clone(),
             NoiseSpec::PureDephasing { p: 0.1 },
             3,
         )
         .unwrap();
         for round in 0..20u64 {
-            let packet = SyndromePacket::new(round, 0, &source.next_syndrome());
+            let packet = SyndromePacket::new(0, round, 0, &source.next_syndrome());
             codec.encode(&packet, &mut record);
             rings[1].try_push(&record).unwrap();
         }
-        let counters = RuntimeCounters::default();
+        let counters = RuntimeCounters::with_lattices(1);
         let done = AtomicBool::new(true);
         let factory = greedy_factory();
         let output = run_worker(WorkerContext {
             worker_id: 0,
-            lattice: &lattice,
+            set: &set,
             codec: &codec,
             rings: &rings,
             counters: &counters,
@@ -702,10 +1062,70 @@ mod tests {
         assert_eq!(snap.decoded, 20);
         assert_eq!(snap.stolen, 20, "every packet was a steal");
         assert_eq!(snap.batches, 5, "20 packets in windows of 4");
-        assert_eq!(output.frame.recorded_cycles(), 20);
+        assert_eq!(output.per_lattice[0].frame.recorded_cycles(), 20);
         let rounds: Vec<u64> = output.corrections.iter().map(|c| c.round).collect();
         assert_eq!(rounds, (0..20).collect::<Vec<u64>>());
         assert!(rings.iter().all(SpmcRing::is_empty));
+    }
+
+    /// A two-lattice worker routes each packet to its lattice's state: the
+    /// d=3 and d=5 rounds land in separate frames with separate counters,
+    /// even when interleaved in one ring.
+    #[test]
+    fn worker_routes_packets_by_lattice_id() {
+        let mut spec3 = LatticeSpec::new(3);
+        spec3.rounds = 6;
+        spec3.seed = 1;
+        let mut spec5 = LatticeSpec::new(5);
+        spec5.rounds = 4;
+        spec5.seed = 2;
+        let set = LatticeSet::new(vec![spec3, spec5]).unwrap();
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let rings = [SpmcRing::new(64, codec.words_per_packet())];
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for (lattice_id, rounds, seed) in [(0u32, 6u64, 1u64), (1, 4, 2)] {
+            let mut source = SyndromeSource::new(
+                set.lattice(lattice_id as usize).clone(),
+                NoiseSpec::PureDephasing { p: 0.1 },
+                seed,
+            )
+            .unwrap();
+            for round in 0..rounds {
+                let packet = SyndromePacket::new(lattice_id, round, 0, &source.next_syndrome());
+                codec.encode(&packet, &mut record);
+                rings[0].try_push(&record).unwrap();
+            }
+        }
+        let counters = RuntimeCounters::with_lattices(2);
+        let done = AtomicBool::new(true);
+        let factory = greedy_factory();
+        let output = run_worker(WorkerContext {
+            worker_id: 0,
+            set: &set,
+            codec: &codec,
+            rings: &rings,
+            counters: &counters,
+            done: &done,
+            epoch: Instant::now(),
+            factory: &factory,
+            record_corrections: true,
+            batch_size: 4,
+        });
+        assert_eq!(counters.snapshot().decoded, 10);
+        assert_eq!(counters.per_lattice[0].snapshot().decoded, 6);
+        assert_eq!(counters.per_lattice[1].snapshot().decoded, 4);
+        assert_eq!(output.per_lattice[0].frame.recorded_cycles(), 6);
+        assert_eq!(output.per_lattice[1].frame.recorded_cycles(), 4);
+        assert_eq!(output.per_lattice[0].frame.len(), set.lattice(0).num_data());
+        assert_eq!(output.per_lattice[1].frame.len(), set.lattice(1).num_data());
+        assert_eq!(
+            output
+                .corrections
+                .iter()
+                .filter(|c| c.lattice_id == 1)
+                .count(),
+            4
+        );
     }
 
     #[test]
@@ -745,5 +1165,15 @@ mod tests {
         let mut config = fast_config();
         config.workers = 0;
         let _ = StreamingEngine::new(config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lattice")]
+    fn empty_machine_rejected() {
+        let config = MachineConfig {
+            lattices: Vec::new(),
+            ..MachineConfig::new(&[3], 0)
+        };
+        let _ = StreamingEngine::with_machine(config);
     }
 }

@@ -1,12 +1,16 @@
 //! The sharded Pauli frame the worker pool commits corrections into.
 //!
-//! Each worker owns a private [`PauliFrame`] shard — no cross-thread
-//! synchronization on the hot path — and the shards are merged once the
-//! stream ends.  This is sound because Pauli-string composition is
-//! commutative component-wise (modulo global phase, which frame tracking
-//! discards): the merged frame is independent of which worker decoded which
-//! round.  The multi-worker consistency test in `tests/streaming_runtime.rs`
-//! pins this down against a sequential decode of the same stream.
+//! Each worker owns a private [`PauliFrame`] shard *per lattice* — no
+//! cross-thread synchronization on the hot path — and the shards are merged
+//! per lattice once the stream ends, so a multi-lattice run yields one
+//! [`ShardedPauliFrame`] per logical qubit
+//! (see [`RuntimeOutcome::frames`](crate::engine::RuntimeOutcome::frames)).
+//! The merge is sound because Pauli-string composition is commutative
+//! component-wise (modulo global phase, which frame tracking discards): the
+//! merged frame is independent of which worker decoded which round.  The
+//! multi-worker consistency tests in `tests/streaming_runtime.rs` and
+//! `tests/multi_lattice.rs` pin this down against sequential decodes of the
+//! same streams.
 
 use nisqplus_qec::frame::PauliFrame;
 use nisqplus_qec::pauli::PauliString;
@@ -37,6 +41,12 @@ impl ShardedPauliFrame {
             );
         }
         ShardedPauliFrame { num_data, shards }
+    }
+
+    /// The number of data qubits every shard tracks.
+    #[must_use]
+    pub fn num_data(&self) -> usize {
+        self.num_data
     }
 
     /// The per-worker shards, in worker order.

@@ -1,0 +1,248 @@
+//! The lattice registry: one engine, many logical qubits.
+//!
+//! The paper's backlog argument (Section III) and the SQV expansion
+//! (Figure 10) are about a *machine*, not a single surface-code patch: every
+//! logical qubit has its own lattice streaming syndromes every ~400 ns, and
+//! the decoder fabric must keep up with all of them at once.  A
+//! [`LatticeSet`] registers N lattices — of possibly different distances,
+//! noise channels, seeds and cadences — under dense integer ids, which is
+//! what the packet header's `lattice_id` field refers to and what the
+//! per-lattice telemetry is keyed by.
+
+use crate::source::NoiseSpec;
+use nisqplus_qec::lattice::Lattice;
+use nisqplus_qec::syndrome::PackedSyndrome;
+use nisqplus_qec::QecError;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Everything that defines one logical qubit's syndrome stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatticeSpec {
+    /// Surface-code distance of this lattice.
+    pub distance: usize,
+    /// The stochastic error channel driving this lattice's stream.
+    pub noise: NoiseSpec,
+    /// Seed of this lattice's syndrome stream (independent per lattice; the
+    /// same `(distance, noise, seed)` triple always yields the same stream).
+    pub seed: u64,
+    /// Number of syndrome-generation rounds this lattice streams.
+    pub rounds: u64,
+    /// Syndrome-generation period in decoder clock cycles (mapped to
+    /// nanoseconds by the engine's cycle-time converter).  `0` disables
+    /// pacing for this lattice: its rounds are interleaved round-robin with
+    /// other unpaced lattices as fast as the producer can generate them.
+    pub cadence_cycles: usize,
+}
+
+impl LatticeSpec {
+    /// A paper-shaped spec: pure dephasing at 3%, 10 000 rounds, one round
+    /// per 400 ns.
+    #[must_use]
+    pub fn new(distance: usize) -> Self {
+        LatticeSpec {
+            distance,
+            noise: NoiseSpec::PureDephasing { p: 0.03 },
+            seed: 2020,
+            rounds: 10_000,
+            cadence_cycles: crate::engine::RuntimeConfig::PAPER_CADENCE_CYCLES,
+        }
+    }
+}
+
+/// A dense registry of lattices served by one engine.
+///
+/// Lattice ids are indices into the registration order: the first spec gets
+/// id 0, the second id 1, and so on.  The set also fixes the wire format of
+/// the run — ring records are sized for the *largest* registered lattice
+/// (see [`PacketCodec`](crate::packet::PacketCodec)).
+#[derive(Debug, Clone)]
+pub struct LatticeSet {
+    specs: Vec<LatticeSpec>,
+    lattices: Vec<Arc<Lattice>>,
+}
+
+impl LatticeSet {
+    /// Builds and validates the lattices for `specs`, in id order.
+    ///
+    /// Lattices of equal distance share one underlying [`Lattice`] instance
+    /// (the surface-code layout is a pure function of the distance), so
+    /// prepared decoder state and scratch arenas keyed by distance are reused
+    /// across them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QecError`] if any distance is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or any spec streams zero rounds.
+    pub fn new(specs: Vec<LatticeSpec>) -> Result<Self, QecError> {
+        assert!(
+            !specs.is_empty(),
+            "a lattice set needs at least one lattice"
+        );
+        let mut lattices: Vec<Arc<Lattice>> = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            assert!(spec.rounds > 0, "every lattice streams at least one round");
+            let existing = lattices
+                .iter()
+                .find(|l| l.distance() == spec.distance)
+                .cloned();
+            let lattice = match existing {
+                Some(shared) => shared,
+                None => Arc::new(Lattice::new(spec.distance)?),
+            };
+            lattices.push(lattice);
+        }
+        Ok(LatticeSet { specs, lattices })
+    }
+
+    /// The number of registered lattices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` if no lattices are registered (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The spec registered under `lattice_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    #[must_use]
+    pub fn spec(&self, lattice_id: usize) -> &LatticeSpec {
+        &self.specs[lattice_id]
+    }
+
+    /// The lattice registered under `lattice_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    #[must_use]
+    pub fn lattice(&self, lattice_id: usize) -> &Arc<Lattice> {
+        &self.lattices[lattice_id]
+    }
+
+    /// Iterates `(lattice_id, spec, lattice)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &LatticeSpec, &Arc<Lattice>)> {
+        self.specs
+            .iter()
+            .zip(&self.lattices)
+            .enumerate()
+            .map(|(id, (spec, lattice))| (id, spec, lattice))
+    }
+
+    /// The ancilla count (syndrome bit length) of each lattice, in id order.
+    #[must_use]
+    pub fn ancilla_bits(&self) -> Vec<usize> {
+        self.lattices.iter().map(|l| l.num_ancillas()).collect()
+    }
+
+    /// The largest ancilla count across the set — what sizes the ring records.
+    #[must_use]
+    pub fn max_ancillas(&self) -> usize {
+        self.lattices
+            .iter()
+            .map(|l| l.num_ancillas())
+            .max()
+            .expect("set is non-empty")
+    }
+
+    /// The number of `u64` words the largest lattice's packed syndrome needs.
+    #[must_use]
+    pub fn max_syndrome_words(&self) -> usize {
+        PackedSyndrome::words_for(self.max_ancillas())
+    }
+
+    /// Total rounds streamed across all lattices.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.specs.iter().map(|s| s.rounds).sum()
+    }
+
+    /// The distinct code distances in the set, ascending.
+    #[must_use]
+    pub fn distances(&self) -> Vec<usize> {
+        let mut ds: Vec<usize> = self.specs.iter().map(|s| s.distance).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_specs() -> Vec<LatticeSpec> {
+        [3, 5, 3, 7]
+            .iter()
+            .map(|&d| {
+                let mut spec = LatticeSpec::new(d);
+                spec.rounds = 10;
+                spec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ids_follow_registration_order() {
+        let set = LatticeSet::new(mixed_specs()).unwrap();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.spec(0).distance, 3);
+        assert_eq!(set.spec(1).distance, 5);
+        assert_eq!(set.spec(3).distance, 7);
+        assert_eq!(set.lattice(3).distance(), 7);
+        assert_eq!(set.total_rounds(), 40);
+        assert_eq!(set.distances(), vec![3, 5, 7]);
+        let ids: Vec<usize> = set.iter().map(|(id, _, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_distances_share_one_lattice_instance() {
+        let set = LatticeSet::new(mixed_specs()).unwrap();
+        assert!(Arc::ptr_eq(set.lattice(0), set.lattice(2)));
+        assert!(!Arc::ptr_eq(set.lattice(0), set.lattice(1)));
+    }
+
+    #[test]
+    fn record_sizing_tracks_the_largest_lattice() {
+        let set = LatticeSet::new(mixed_specs()).unwrap();
+        // d=7: 48 ancillas -> largest syndrome in the set.
+        assert_eq!(set.max_ancillas(), set.lattice(3).num_ancillas());
+        assert_eq!(
+            set.max_syndrome_words(),
+            PackedSyndrome::words_for(set.max_ancillas())
+        );
+        let bits = set.ancilla_bits();
+        assert_eq!(bits.len(), 4);
+        assert_eq!(bits[0], set.lattice(0).num_ancillas());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lattice")]
+    fn empty_set_rejected() {
+        let _ = LatticeSet::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_round_lattice_rejected() {
+        let mut spec = LatticeSpec::new(3);
+        spec.rounds = 0;
+        let _ = LatticeSet::new(vec![spec]);
+    }
+
+    #[test]
+    fn invalid_distance_is_an_error() {
+        assert!(LatticeSet::new(vec![LatticeSpec::new(4)]).is_err());
+    }
+}

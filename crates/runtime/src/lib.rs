@@ -8,28 +8,40 @@
 //! a syndrome stream at a configurable hardware cadence and measuring the
 //! backlog empirically:
 //!
-//! * [`source`] — the seeded endless syndrome stream (same seed, same
-//!   stream, which is what makes stream-versus-batch equivalence testable),
+//! * [`lattice_set`] — the registry of lattices (logical qubits) one engine
+//!   serves: a full NISQ+ machine is many patches of possibly different
+//!   distances, each with its own seeded stream and cadence,
+//! * [`source`] — the seeded endless syndrome stream, one per lattice,
+//!   interleaved on independent cadences by [`InterleavedSource`] (same
+//!   seed, same stream, which is what makes stream-versus-batch equivalence
+//!   testable),
 //! * [`packet`] — bit-packed [`SyndromePacket`]s and their fixed-size
-//!   `u64`-word wire codec,
+//!   `u64`-word wire codec; the header carries a format version and the
+//!   `lattice_id` + ancilla count, so mis-routed or mis-sized records are
+//!   rejected instead of silently misdecoding,
 //! * [`queue`] — the bounded lock-free ring buffer (pure
 //!   `std::sync::atomic`, no external deps); the engine gives each worker
 //!   its own ring and lets idle workers steal from busy ones,
 //! * [`engine`] — the [`StreamingEngine`]: one paced producer thread
-//!   round-robining rounds across per-worker rings, and a work-stealing pool
-//!   of decoder workers built from a
-//!   [`DecoderFactory`](nisqplus_decoders::DecoderFactory), each decoding up
-//!   to [`RuntimeConfig::batch_size`] consecutive rounds per batch through
-//!   the prepared, allocation-free
+//!   spreading every lattice's rounds across per-worker rings, and a
+//!   work-stealing pool of decoder workers built from a
+//!   [`DecoderFactory`](nisqplus_decoders::DecoderFactory), each keeping one
+//!   prepared decoder per code distance and decoding up to
+//!   [`RuntimeConfig::batch_size`] consecutive rounds per batch through the
+//!   prepared, allocation-free
 //!   [`Decoder::decode_into`](nisqplus_decoders::Decoder::decode_into) path,
-//! * [`frame`] — the sharded Pauli frame the workers commit corrections to,
-//! * [`throttle`] — a wrapper making any decoder deliberately slow, so the
-//!   backlog blow-up can be provoked on demand,
+//! * [`frame`] — the sharded Pauli frames (one per lattice) the workers
+//!   commit corrections to,
+//! * [`throttle`] — a wrapper making any decoder deliberately slow (for all
+//!   lattices or one code distance), so the backlog blow-up can be provoked
+//!   on demand,
 //! * [`telemetry`] — live atomic counters and the final [`RuntimeReport`]:
 //!   queue-depth timeline, latency histograms, throughput, and the measured
 //!   backlog growth compared against the closed-form
 //!   [`BacklogModel`](nisqplus_system::backlog::BacklogModel) (the
-//!   empirical counterpart of Figures 5 and 6).
+//!   empirical counterpart of Figures 5 and 6), aggregate *and* per lattice
+//!   ([`LatticeReport`]), so the report answers "which patch is falling
+//!   behind".
 //!
 //! # Example
 //!
@@ -47,7 +59,7 @@
 //! let outcome = engine.run(&|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
 //! assert_eq!(outcome.report.counters.decoded, 100);
 //! assert_eq!(outcome.report.counters.dropped, 0);
-//! assert_eq!(outcome.frame.total_recorded(), 100);
+//! assert_eq!(outcome.frame().total_recorded(), 100);
 //! # Ok(())
 //! # }
 //! ```
@@ -58,16 +70,23 @@
 
 pub mod engine;
 pub mod frame;
+pub mod lattice_set;
 pub mod packet;
 pub mod queue;
 pub mod source;
 pub mod telemetry;
 pub mod throttle;
 
-pub use engine::{PushPolicy, RoundCorrection, RuntimeConfig, RuntimeOutcome, StreamingEngine};
+pub use engine::{
+    MachineConfig, PushPolicy, RoundCorrection, RuntimeConfig, RuntimeOutcome, StreamingEngine,
+};
 pub use frame::ShardedPauliFrame;
-pub use packet::{PacketCodec, SyndromePacket};
+pub use lattice_set::{LatticeSet, LatticeSpec};
+pub use packet::{PacketCodec, PacketError, SyndromePacket};
 pub use queue::{RingFull, SpmcRing};
-pub use source::{NoiseSpec, SyndromeSource};
-pub use telemetry::{CounterSnapshot, DepthSample, LatencyProfile, RuntimeCounters, RuntimeReport};
+pub use source::{InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
+pub use telemetry::{
+    CounterSnapshot, DepthSample, LatencyProfile, LatticeCounterSnapshot, LatticeCounters,
+    LatticeReport, RuntimeCounters, RuntimeReport,
+};
 pub use throttle::ThrottledDecoder;

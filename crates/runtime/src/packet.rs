@@ -1,18 +1,31 @@
 //! Bit-packed syndrome packets and their wire codec.
 //!
 //! A [`SyndromePacket`] is what travels through the [ring
-//! buffer](crate::queue::SpmcRing): the round index, the emission timestamp
-//! (virtual nanoseconds since the engine epoch, used for end-to-end latency),
-//! and the [`PackedSyndrome`] itself.  The [`PacketCodec`] flattens a packet
-//! into the fixed `u64`-word records the ring stores — two header words plus
-//! `ceil(bits / 64)` syndrome words — and restores it on the consumer side.
+//! buffer](crate::queue::SpmcRing): the id of the lattice the round belongs
+//! to, the round index, the emission timestamp (virtual nanoseconds since the
+//! engine epoch, used for end-to-end latency), and the [`PackedSyndrome`]
+//! itself.  The [`PacketCodec`] flattens a packet into the fixed `u64`-word
+//! records the ring stores — three header words plus `ceil(bits / 64)`
+//! syndrome words, sized for the *largest* lattice of the set so every
+//! lattice's rounds fit the same slots — and restores it on the consumer
+//! side.
+//!
+//! The header carries a format version and the packet's own syndrome bit
+//! length next to the `lattice_id`, so the decoding side can verify that the
+//! packet was encoded for the lattice registered under that id: a mismatched
+//! record would otherwise silently misdecode into a wrong-width syndrome.
 
 use nisqplus_qec::syndrome::{PackedSyndrome, Syndrome};
+use std::fmt;
 
 /// One round of syndrome data in flight between generation and decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyndromePacket {
-    /// Zero-based index of the syndrome-generation round.
+    /// Id of the lattice (logical qubit) the round belongs to — an index
+    /// into the engine's [`LatticeSet`](crate::lattice_set::LatticeSet).
+    /// Single-lattice runs use id `0`.
+    pub lattice_id: u32,
+    /// Zero-based index of the syndrome-generation round *of that lattice*.
     pub round: u64,
     /// Nanoseconds since the engine epoch at which the round was generated.
     pub emitted_ns: u64,
@@ -23,8 +36,9 @@ pub struct SyndromePacket {
 impl SyndromePacket {
     /// Packs an unpacked syndrome into a packet.
     #[must_use]
-    pub fn new(round: u64, emitted_ns: u64, syndrome: &Syndrome) -> Self {
+    pub fn new(lattice_id: u32, round: u64, emitted_ns: u64, syndrome: &Syndrome) -> Self {
         SyndromePacket {
+            lattice_id,
             round,
             emitted_ns,
             syndrome: PackedSyndrome::from_syndrome(syndrome),
@@ -32,97 +46,315 @@ impl SyndromePacket {
     }
 }
 
-/// Encoder/decoder between [`SyndromePacket`]s and fixed-size word records.
-///
-/// The codec is parameterized by the syndrome bit length (the number of
-/// ancillas of the lattice being streamed), which fixes the record size for
-/// the whole run.
+/// Why a record was rejected by [`PacketCodec::try_decode_into`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PacketCodec {
-    syndrome_bits: usize,
+pub enum PacketError {
+    /// The record was encoded by an incompatible codec version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this codec speaks ([`PacketCodec::VERSION`]).
+        expected: u16,
+    },
+    /// The header names a lattice id the codec has no registration for.
+    UnknownLattice {
+        /// The out-of-range lattice id.
+        lattice_id: u32,
+    },
+    /// The header's ancilla count disagrees with the lattice registered
+    /// under its `lattice_id` — the record was encoded for a different
+    /// lattice shape and would misdecode.
+    AncillaMismatch {
+        /// The lattice id named by the header.
+        lattice_id: u32,
+        /// Ancilla count carried in the header.
+        header_bits: u32,
+        /// Ancilla count of the registered lattice.
+        registered_bits: u32,
+    },
 }
 
-/// Number of header words preceding the syndrome payload (round, emitted_ns).
-const HEADER_WORDS: usize = 2;
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PacketError::VersionMismatch { found, expected } => {
+                write!(f, "packet version {found} but codec expects {expected}")
+            }
+            PacketError::UnknownLattice { lattice_id } => {
+                write!(f, "packet names unregistered lattice {lattice_id}")
+            }
+            PacketError::AncillaMismatch {
+                lattice_id,
+                header_bits,
+                registered_bits,
+            } => write!(
+                f,
+                "packet for lattice {lattice_id} carries {header_bits} ancilla bits, but the \
+                 registered lattice has {registered_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Encoder/decoder between [`SyndromePacket`]s and fixed-size word records.
+///
+/// The codec is parameterized by the syndrome bit length (ancilla count) of
+/// every registered lattice, which fixes the record size — three header
+/// words plus enough payload words for the *largest* lattice — for the whole
+/// run.  Smaller lattices' records are zero-padded; the header's bit-length
+/// field says how much payload is live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketCodec {
+    /// Ancilla count per lattice id.
+    lattice_bits: Vec<u32>,
+    /// Payload words needed by the largest lattice.
+    max_syndrome_words: usize,
+}
+
+/// Number of header words preceding the syndrome payload
+/// (version/lattice/bits, round, emitted_ns).
+const HEADER_WORDS: usize = 3;
 
 impl PacketCodec {
-    /// Creates a codec for syndromes of `syndrome_bits` ancilla bits.
+    /// The wire-format version stamped into (and checked against) every
+    /// record's header.  Version 1 was the PR-2 single-lattice format with a
+    /// two-word header; it cannot be confused with version 2 records because
+    /// the version field occupies bits that were part of the round index.
+    pub const VERSION: u16 = 2;
+
+    /// Creates a single-lattice codec: lattice id 0 with `syndrome_bits`
+    /// ancilla bits.
     #[must_use]
     pub fn new(syndrome_bits: usize) -> Self {
-        PacketCodec { syndrome_bits }
+        Self::for_lattice_bits(&[syndrome_bits])
     }
 
-    /// The syndrome bit length this codec carries.
+    /// Creates a codec for a set of lattices: `bits[id]` is the ancilla
+    /// count of the lattice registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
     #[must_use]
-    pub fn syndrome_bits(&self) -> usize {
-        self.syndrome_bits
+    pub fn for_lattice_bits(bits: &[usize]) -> Self {
+        assert!(!bits.is_empty(), "codec needs at least one lattice");
+        let lattice_bits: Vec<u32> = bits
+            .iter()
+            .map(|&b| u32::try_from(b).expect("ancilla count fits u32"))
+            .collect();
+        let max_bits = *lattice_bits.iter().max().expect("non-empty") as usize;
+        PacketCodec {
+            lattice_bits,
+            max_syndrome_words: PackedSyndrome::words_for(max_bits),
+        }
     }
 
-    /// The fixed record size in `u64` words.
+    /// The number of registered lattices.
+    #[must_use]
+    pub fn num_lattices(&self) -> usize {
+        self.lattice_bits.len()
+    }
+
+    /// The syndrome bit length registered for `lattice_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    #[must_use]
+    pub fn syndrome_bits(&self, lattice_id: u32) -> usize {
+        self.lattice_bits[lattice_id as usize] as usize
+    }
+
+    /// The fixed record size in `u64` words (header plus the largest
+    /// lattice's payload).
     #[must_use]
     pub fn words_per_packet(&self) -> usize {
-        HEADER_WORDS + PackedSyndrome::words_for(self.syndrome_bits)
+        HEADER_WORDS + self.max_syndrome_words
     }
 
-    /// Flattens a packet into `out`.
+    /// Packs the version, lattice id and bit length into header word 0.
+    fn header_word(&self, lattice_id: u32, bits: u32) -> u64 {
+        assert!(
+            lattice_id < 1 << 24,
+            "lattice id exceeds the 24-bit header field"
+        );
+        assert!(
+            bits < 1 << 24,
+            "ancilla count exceeds the 24-bit header field"
+        );
+        (u64::from(Self::VERSION) << 48) | (u64::from(lattice_id) << 24) | u64::from(bits)
+    }
+
+    /// Extracts the raw lattice-id field from a record's header *without any
+    /// validation* — no version, registration or ancilla-count check.
+    ///
+    /// This is the cheap routing peek the worker hot loop uses to select the
+    /// per-lattice decode buffers before handing the record to
+    /// [`PacketCodec::try_decode_into`], which performs the one full header
+    /// validation.  Never trust the returned id on its own: a corrupt or
+    /// foreign record yields an arbitrary value that only the validating
+    /// decode path will reject.
+    #[must_use]
+    pub fn peek_lattice_id(words: &[u64]) -> u32 {
+        ((words[0] >> 24) & 0xFF_FFFF) as u32
+    }
+
+    /// Reads the lattice id a record claims to belong to, after validating
+    /// the header against the codec's registrations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] on a version, lattice-id or ancilla-count
+    /// mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
+    /// words long.
+    pub fn check_header(&self, words: &[u64]) -> Result<u32, PacketError> {
+        assert_eq!(words.len(), self.words_per_packet(), "record size mismatch");
+        let header = words[0];
+        let version = (header >> 48) as u16;
+        if version != Self::VERSION {
+            return Err(PacketError::VersionMismatch {
+                found: version,
+                expected: Self::VERSION,
+            });
+        }
+        let lattice_id = ((header >> 24) & 0xFF_FFFF) as u32;
+        let header_bits = (header & 0xFF_FFFF) as u32;
+        let Some(&registered_bits) = self.lattice_bits.get(lattice_id as usize) else {
+            return Err(PacketError::UnknownLattice { lattice_id });
+        };
+        if header_bits != registered_bits {
+            return Err(PacketError::AncillaMismatch {
+                lattice_id,
+                header_bits,
+                registered_bits,
+            });
+        }
+        Ok(lattice_id)
+    }
+
+    /// Flattens a packet into `out`, zero-padding past the packet's payload.
     ///
     /// # Panics
     ///
     /// Panics if `out` is not exactly [`PacketCodec::words_per_packet`] words
-    /// long or if the packet's syndrome length does not match the codec.
+    /// long, if the packet's lattice id is not registered, or if its syndrome
+    /// length does not match the registered lattice.
     pub fn encode(&self, packet: &SyndromePacket, out: &mut [u64]) {
         assert_eq!(out.len(), self.words_per_packet(), "record size mismatch");
+        let registered = self
+            .lattice_bits
+            .get(packet.lattice_id as usize)
+            .unwrap_or_else(|| panic!("lattice {} is not registered", packet.lattice_id));
         assert_eq!(
+            packet.syndrome.len() as u32,
+            *registered,
+            "packet carries a {}-bit syndrome, lattice {} is registered with {}",
             packet.syndrome.len(),
-            self.syndrome_bits,
-            "packet carries a {}-bit syndrome, codec expects {}",
-            packet.syndrome.len(),
-            self.syndrome_bits
+            packet.lattice_id,
+            registered
         );
-        out[0] = packet.round;
-        out[1] = packet.emitted_ns;
-        out[HEADER_WORDS..].copy_from_slice(packet.syndrome.words());
+        out[0] = self.header_word(packet.lattice_id, *registered);
+        out[1] = packet.round;
+        out[2] = packet.emitted_ns;
+        let payload = packet.syndrome.words();
+        out[HEADER_WORDS..HEADER_WORDS + payload.len()].copy_from_slice(payload);
+        out[HEADER_WORDS + payload.len()..].fill(0);
+    }
+
+    /// Restores a packet from a record, allocating the syndrome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] if the header fails the version or lattice
+    /// compatibility checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
+    /// words long.
+    pub fn try_decode(&self, words: &[u64]) -> Result<SyndromePacket, PacketError> {
+        let lattice_id = self.check_header(words)?;
+        let bits = self.syndrome_bits(lattice_id);
+        let payload_words = PackedSyndrome::words_for(bits);
+        Ok(SyndromePacket {
+            lattice_id,
+            round: words[1],
+            emitted_ns: words[2],
+            syndrome: PackedSyndrome::from_words(
+                bits,
+                words[HEADER_WORDS..HEADER_WORDS + payload_words].to_vec(),
+            ),
+        })
     }
 
     /// Restores a packet from a record.
     ///
     /// # Panics
     ///
-    /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
-    /// words long.
+    /// Panics if the record fails the header compatibility checks (see
+    /// [`PacketCodec::try_decode`]) or is not exactly
+    /// [`PacketCodec::words_per_packet`] words long.
     #[must_use]
     pub fn decode(&self, words: &[u64]) -> SyndromePacket {
-        assert_eq!(words.len(), self.words_per_packet(), "record size mismatch");
-        SyndromePacket {
-            round: words[0],
-            emitted_ns: words[1],
-            syndrome: PackedSyndrome::from_words(
-                self.syndrome_bits,
-                words[HEADER_WORDS..].to_vec(),
-            ),
-        }
+        self.try_decode(words).expect("compatible packet record")
     }
 
     /// Restores a packet into an existing buffer without allocating — the
     /// steady-state counterpart of [`PacketCodec::decode`] used by the worker
-    /// hot loop.
+    /// hot loop.  The buffer's syndrome must already have the width of the
+    /// record's lattice (workers keep one buffer per lattice).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PacketError`] if the header fails the version or lattice
+    /// compatibility checks.
     ///
     /// # Panics
     ///
     /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
-    /// words long, or if `packet`'s syndrome length does not match the codec.
-    pub fn decode_into(&self, words: &[u64], packet: &mut SyndromePacket) {
-        assert_eq!(words.len(), self.words_per_packet(), "record size mismatch");
+    /// words long, or if `packet`'s syndrome length does not match the
+    /// record's lattice.
+    pub fn try_decode_into(
+        &self,
+        words: &[u64],
+        packet: &mut SyndromePacket,
+    ) -> Result<(), PacketError> {
+        let lattice_id = self.check_header(words)?;
+        let bits = self.syndrome_bits(lattice_id);
         assert_eq!(
             packet.syndrome.len(),
-            self.syndrome_bits,
-            "packet buffer carries a {}-bit syndrome, codec expects {}",
+            bits,
+            "packet buffer carries a {}-bit syndrome, lattice {} needs {}",
             packet.syndrome.len(),
-            self.syndrome_bits
+            lattice_id,
+            bits
         );
-        packet.round = words[0];
-        packet.emitted_ns = words[1];
-        packet.syndrome.copy_from_words(&words[HEADER_WORDS..]);
+        packet.lattice_id = lattice_id;
+        packet.round = words[1];
+        packet.emitted_ns = words[2];
+        let payload_words = PackedSyndrome::words_for(bits);
+        packet
+            .syndrome
+            .copy_from_words(&words[HEADER_WORDS..HEADER_WORDS + payload_words]);
+        Ok(())
+    }
+
+    /// Infallible wrapper over [`PacketCodec::try_decode_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any header compatibility error in addition to the panics of
+    /// [`PacketCodec::try_decode_into`].
+    pub fn decode_into(&self, words: &[u64], packet: &mut SyndromePacket) {
+        if let Err(err) = self.try_decode_into(words, packet) {
+            panic!("incompatible packet record: {err}");
+        }
     }
 }
 
@@ -134,7 +366,7 @@ mod tests {
     fn packets_round_trip_through_words() {
         let codec = PacketCodec::new(40);
         let syndrome = Syndrome::from_hot(40, &[0, 7, 39]);
-        let packet = SyndromePacket::new(123, 456_789, &syndrome);
+        let packet = SyndromePacket::new(0, 123, 456_789, &syndrome);
         let mut record = vec![0u64; codec.words_per_packet()];
         codec.encode(&packet, &mut record);
         let restored = codec.decode(&record);
@@ -143,13 +375,29 @@ mod tests {
     }
 
     #[test]
+    fn mixed_lattices_round_trip_with_padding() {
+        // Lattice 0: 8 ancillas (d=3), lattice 1: 40 (d=5) — records are
+        // sized for the larger one, the smaller one's tail is zero-padded.
+        let codec = PacketCodec::for_lattice_bits(&[8, 40]);
+        assert_eq!(codec.num_lattices(), 2);
+        assert_eq!(codec.words_per_packet(), 3 + 1);
+        let small = SyndromePacket::new(0, 5, 50, &Syndrome::from_hot(8, &[1, 6]));
+        let large = SyndromePacket::new(1, 9, 90, &Syndrome::from_hot(40, &[0, 39]));
+        let mut record = vec![u64::MAX; codec.words_per_packet()];
+        codec.encode(&small, &mut record);
+        assert_eq!(codec.decode(&record), small);
+        codec.encode(&large, &mut record);
+        assert_eq!(codec.decode(&record), large);
+    }
+
+    #[test]
     fn decode_into_reuses_the_buffer() {
         let codec = PacketCodec::new(40);
         let mut record = vec![0u64; codec.words_per_packet()];
-        let mut buffer = SyndromePacket::new(0, 0, &Syndrome::new(40));
+        let mut buffer = SyndromePacket::new(0, 0, 0, &Syndrome::new(40));
         for round in 0..5u64 {
             let syndrome = Syndrome::from_hot(40, &[(round as usize) % 40, 17]);
-            let packet = SyndromePacket::new(round, round * 100, &syndrome);
+            let packet = SyndromePacket::new(0, round, round * 100, &syndrome);
             codec.encode(&packet, &mut record);
             codec.decode_into(&record, &mut buffer);
             assert_eq!(buffer, packet);
@@ -157,46 +405,135 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "codec expects")]
+    #[should_panic(expected = "needs 40")]
     fn decode_into_rejects_mismatched_buffer() {
         let codec = PacketCodec::new(40);
-        let record = vec![0u64; codec.words_per_packet()];
-        let mut buffer = SyndromePacket::new(0, 0, &Syndrome::new(24));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(
+            &SyndromePacket::new(0, 0, 0, &Syndrome::new(40)),
+            &mut record,
+        );
+        let mut buffer = SyndromePacket::new(0, 0, 0, &Syndrome::new(24));
         codec.decode_into(&record, &mut buffer);
     }
 
     #[test]
     fn record_sizes_scale_with_bits() {
-        assert_eq!(PacketCodec::new(40).words_per_packet(), 3); // d=5: 40 ancillas
-        assert_eq!(PacketCodec::new(144).words_per_packet(), 5); // d=9
-        assert_eq!(PacketCodec::new(64).words_per_packet(), 3);
-        assert_eq!(PacketCodec::new(65).words_per_packet(), 4);
+        assert_eq!(PacketCodec::new(40).words_per_packet(), 4); // d=5: 40 ancillas
+        assert_eq!(PacketCodec::new(144).words_per_packet(), 6); // d=9
+        assert_eq!(PacketCodec::new(64).words_per_packet(), 4);
+        assert_eq!(PacketCodec::new(65).words_per_packet(), 5);
+        // A mixed set is sized by its largest member.
+        assert_eq!(
+            PacketCodec::for_lattice_bits(&[8, 144, 40]).words_per_packet(),
+            6
+        );
     }
 
     #[test]
     #[should_panic(expected = "record size mismatch")]
     fn encode_rejects_short_records() {
         let codec = PacketCodec::new(40);
-        let packet = SyndromePacket::new(0, 0, &Syndrome::new(40));
+        let packet = SyndromePacket::new(0, 0, 0, &Syndrome::new(40));
         let mut record = vec![0u64; 2];
         codec.encode(&packet, &mut record);
     }
 
     #[test]
-    #[should_panic(expected = "codec expects")]
+    #[should_panic(expected = "is registered with")]
     fn encode_rejects_mismatched_syndrome_length() {
         let codec = PacketCodec::new(40);
-        let packet = SyndromePacket::new(0, 0, &Syndrome::new(24));
+        let packet = SyndromePacket::new(0, 0, 0, &Syndrome::new(24));
         let mut record = vec![0u64; codec.words_per_packet()];
         codec.encode(&packet, &mut record);
     }
 
     #[test]
+    #[should_panic(expected = "is not registered")]
+    fn encode_rejects_unregistered_lattice() {
+        let codec = PacketCodec::new(40);
+        let packet = SyndromePacket::new(3, 0, 0, &Syndrome::new(40));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+    }
+
+    /// The compat guard: a record encoded for a lattice whose ancilla count
+    /// disagrees with the receiving codec's registration for that id is
+    /// rejected instead of silently misdecoding into a wrong-width syndrome.
+    #[test]
+    fn ancilla_count_mismatch_is_rejected() {
+        // Sender registered lattice 0 with 40 ancillas...
+        let sender = PacketCodec::for_lattice_bits(&[40, 40]);
+        let packet = SyndromePacket::new(0, 7, 70, &Syndrome::from_hot(40, &[2]));
+        let mut record = vec![0u64; sender.words_per_packet()];
+        sender.encode(&packet, &mut record);
+        // ...but the receiver has an 8-ancilla (d=3) lattice under id 0.
+        let receiver = PacketCodec::for_lattice_bits(&[8, 40]);
+        assert_eq!(receiver.words_per_packet(), sender.words_per_packet());
+        assert_eq!(
+            receiver.check_header(&record),
+            Err(PacketError::AncillaMismatch {
+                lattice_id: 0,
+                header_bits: 40,
+                registered_bits: 8,
+            })
+        );
+        let mut buffer = SyndromePacket::new(0, 0, 0, &Syndrome::new(8));
+        assert!(receiver.try_decode_into(&record, &mut buffer).is_err());
+        assert!(receiver.try_decode(&record).is_err());
+    }
+
+    #[test]
+    fn peek_reads_the_raw_lattice_id_field() {
+        let codec = PacketCodec::for_lattice_bits(&[8, 40, 40]);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for lattice_id in [0u32, 1, 2] {
+            let bits = codec.syndrome_bits(lattice_id);
+            let packet = SyndromePacket::new(lattice_id, 3, 30, &Syndrome::new(bits));
+            codec.encode(&packet, &mut record);
+            assert_eq!(PacketCodec::peek_lattice_id(&record), lattice_id);
+        }
+    }
+
+    #[test]
+    fn unknown_lattice_id_is_rejected() {
+        let sender = PacketCodec::for_lattice_bits(&[40, 40]);
+        let packet = SyndromePacket::new(1, 0, 0, &Syndrome::new(40));
+        let mut record = vec![0u64; sender.words_per_packet()];
+        sender.encode(&packet, &mut record);
+        let receiver = PacketCodec::for_lattice_bits(&[40]);
+        assert_eq!(
+            receiver.check_header(&record),
+            Err(PacketError::UnknownLattice { lattice_id: 1 })
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let codec = PacketCodec::new(40);
+        let packet = SyndromePacket::new(0, 0, 0, &Syndrome::new(40));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+        // Forge a version-1 header (the PR-2 format had no version field;
+        // its first word was the round index, so small values read as v0/v1).
+        record[0] = (1u64 << 48) | record[0] & 0xFFFF_FFFF_FFFF;
+        let err = codec.check_header(&record).unwrap_err();
+        assert_eq!(
+            err,
+            PacketError::VersionMismatch {
+                found: 1,
+                expected: PacketCodec::VERSION,
+            }
+        );
+        assert!(err.to_string().contains("version 1"));
+    }
+
+    #[test]
     fn empty_syndromes_still_carry_headers() {
         let codec = PacketCodec::new(0);
-        assert_eq!(codec.words_per_packet(), 2);
-        let packet = SyndromePacket::new(9, 17, &Syndrome::new(0));
-        let mut record = vec![0u64; 2];
+        assert_eq!(codec.words_per_packet(), 3);
+        let packet = SyndromePacket::new(0, 9, 17, &Syndrome::new(0));
+        let mut record = vec![0u64; 3];
         codec.encode(&packet, &mut record);
         assert_eq!(codec.decode(&record), packet);
     }

@@ -8,10 +8,12 @@
 //! the same infinite syndrome sequence, whether consumed by the streaming
 //! engine or by a plain offline loop.
 
+use crate::lattice_set::LatticeSet;
 use nisqplus_qec::error_model::{Depolarizing, ErrorModel, PureDephasing};
 use nisqplus_qec::lattice::Lattice;
 use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_qec::QecError;
+use nisqplus_sim::timing::CycleTimeConverter;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -101,9 +103,146 @@ impl SyndromeSource {
     }
 }
 
+/// One round emitted by an [`InterleavedSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourcedRound {
+    /// Id of the lattice the round belongs to.
+    pub lattice_id: u32,
+    /// Zero-based round index *within that lattice's stream*.
+    pub round: u64,
+    /// The virtual instant (nanoseconds since the run epoch) at which the
+    /// round is due under the lattice's cadence; `0.0` for unpaced lattices.
+    pub due_ns: f64,
+    /// The round's syndrome.
+    pub syndrome: Syndrome,
+}
+
+/// Per-lattice stream state inside an [`InterleavedSource`].
+#[derive(Debug, Clone)]
+struct LatticeStream {
+    source: SyndromeSource,
+    cadence_ns: f64,
+    rounds: u64,
+    emitted: u64,
+}
+
+/// N seeded per-lattice syndrome streams, interleaved on independent
+/// cadences — what a full NISQ+ machine hands its decoder fabric.
+///
+/// Each registered lattice gets its own [`SyndromeSource`] (own seed, own
+/// noise channel), so *per-lattice* content is independent of the
+/// interleaving: lattice `i`'s round sequence is byte-identical to what a
+/// standalone `SyndromeSource` with the same `(lattice, noise, seed)` would
+/// produce, which is what the sharded stream-versus-batch equivalence tests
+/// rely on.
+///
+/// Ordering: the next round emitted is the one with the earliest due time
+/// `emitted * cadence_ns` (ties broken by fewest rounds emitted, then lowest
+/// lattice id).  Unpaced lattices (`cadence_cycles == 0`) are always due, so
+/// an all-unpaced set interleaves round-robin; mixing paced and unpaced
+/// lattices drains the unpaced ones first.  Selection is a binary heap over
+/// the per-lattice next-due times, so emitting a round costs `O(log N)` on
+/// the producer hot path rather than a full scan of the machine.
+#[derive(Debug, Clone)]
+pub struct InterleavedSource {
+    streams: Vec<LatticeStream>,
+    /// Min-heap of each non-exhausted lattice's next due round.
+    due: std::collections::BinaryHeap<std::cmp::Reverse<DueEntry>>,
+    remaining: u64,
+}
+
+/// One lattice's next due round, ordered by `(due_ns, emitted, lattice_id)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DueEntry {
+    due_ns: f64,
+    emitted: u64,
+    lattice_id: usize,
+}
+
+impl Eq for DueEntry {}
+
+impl PartialOrd for DueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due_ns
+            .partial_cmp(&other.due_ns)
+            .expect("cadences are finite")
+            .then(self.emitted.cmp(&other.emitted))
+            .then(self.lattice_id.cmp(&other.lattice_id))
+    }
+}
+
+impl InterleavedSource {
+    /// Builds one stream per lattice of `set`, mapping each lattice's
+    /// `cadence_cycles` to nanoseconds through `cycle_time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QecError::InvalidProbability`] if any lattice's noise
+    /// probability is outside `[0, 1]`.
+    pub fn new(set: &LatticeSet, cycle_time: &CycleTimeConverter) -> Result<Self, QecError> {
+        let mut streams = Vec::with_capacity(set.len());
+        let mut due = std::collections::BinaryHeap::with_capacity(set.len());
+        for (lattice_id, spec, lattice) in set.iter() {
+            streams.push(LatticeStream {
+                source: SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)?,
+                cadence_ns: cycle_time.cycles_to_ns(spec.cadence_cycles),
+                rounds: spec.rounds,
+                emitted: 0,
+            });
+            due.push(std::cmp::Reverse(DueEntry {
+                due_ns: 0.0,
+                emitted: 0,
+                lattice_id,
+            }));
+        }
+        Ok(InterleavedSource {
+            remaining: streams.iter().map(|s| s.rounds).sum(),
+            streams,
+            due,
+        })
+    }
+
+    /// Rounds left to emit across all lattices.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Emits the next due round, or `None` when every lattice's stream has
+    /// ended.
+    pub fn next_round(&mut self) -> Option<SourcedRound> {
+        let std::cmp::Reverse(entry) = self.due.pop()?;
+        let stream = &mut self.streams[entry.lattice_id];
+        debug_assert_eq!(stream.emitted, entry.emitted, "heap out of sync");
+        let round = entry.emitted;
+        stream.emitted += 1;
+        self.remaining -= 1;
+        if stream.emitted < stream.rounds {
+            self.due.push(std::cmp::Reverse(DueEntry {
+                due_ns: stream.emitted as f64 * stream.cadence_ns,
+                emitted: stream.emitted,
+                lattice_id: entry.lattice_id,
+            }));
+        }
+        Some(SourcedRound {
+            lattice_id: entry.lattice_id as u32,
+            round,
+            due_ns: entry.due_ns,
+            syndrome: stream.source.next_syndrome(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lattice_set::LatticeSpec;
 
     fn lattice() -> Arc<Lattice> {
         Arc::new(Lattice::new(5).unwrap())
@@ -145,6 +284,77 @@ mod tests {
     fn invalid_probability_is_rejected() {
         assert!(SyndromeSource::new(lattice(), NoiseSpec::PureDephasing { p: 1.5 }, 0).is_err());
         assert!(SyndromeSource::new(lattice(), NoiseSpec::Depolarizing { p: -0.1 }, 0).is_err());
+    }
+
+    fn spec(distance: usize, seed: u64, rounds: u64, cadence_cycles: usize) -> LatticeSpec {
+        let mut spec = LatticeSpec::new(distance);
+        spec.seed = seed;
+        spec.rounds = rounds;
+        spec.cadence_cycles = cadence_cycles;
+        spec
+    }
+
+    #[test]
+    fn unpaced_streams_interleave_round_robin() {
+        let set = LatticeSet::new(vec![spec(3, 1, 3, 0), spec(5, 2, 3, 0)]).unwrap();
+        let mut source =
+            InterleavedSource::new(&set, &CycleTimeConverter::paper_reference()).unwrap();
+        assert_eq!(source.remaining(), 6);
+        let order: Vec<(u32, u64)> = std::iter::from_fn(|| source.next_round())
+            .map(|r| (r.lattice_id, r.round))
+            .collect();
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]);
+        assert_eq!(source.remaining(), 0);
+        assert!(source.next_round().is_none());
+    }
+
+    #[test]
+    fn faster_cadence_emits_proportionally_more_rounds() {
+        // Lattice 0 is due every 100 cycles, lattice 1 every 300: over the
+        // first rounds, lattice 0 emits three rounds per lattice-1 round.
+        let set = LatticeSet::new(vec![spec(3, 1, 9, 100), spec(3, 2, 3, 300)]).unwrap();
+        let mut source =
+            InterleavedSource::new(&set, &CycleTimeConverter::paper_reference()).unwrap();
+        let first_eight: Vec<u32> = (0..8)
+            .map(|_| source.next_round().unwrap().lattice_id)
+            .collect();
+        assert_eq!(
+            first_eight.iter().filter(|&&id| id == 0).count(),
+            6,
+            "order was {first_eight:?}"
+        );
+        // Due times are monotone in each lattice's own round index.
+        let mut last_due = [f64::NEG_INFINITY; 2];
+        while let Some(round) = source.next_round() {
+            assert!(round.due_ns >= last_due[round.lattice_id as usize]);
+            last_due[round.lattice_id as usize] = round.due_ns;
+        }
+    }
+
+    /// Interleaving is content-transparent: each lattice's rounds match a
+    /// standalone seeded source over the same `(lattice, noise, seed)`.
+    #[test]
+    fn per_lattice_content_is_independent_of_interleaving() {
+        let set = LatticeSet::new(vec![spec(3, 11, 5, 0), spec(5, 22, 7, 0)]).unwrap();
+        let mut source =
+            InterleavedSource::new(&set, &CycleTimeConverter::paper_reference()).unwrap();
+        let mut per_lattice: Vec<Vec<Syndrome>> = vec![Vec::new(), Vec::new()];
+        while let Some(round) = source.next_round() {
+            assert_eq!(
+                per_lattice[round.lattice_id as usize].len() as u64,
+                round.round
+            );
+            per_lattice[round.lattice_id as usize].push(round.syndrome);
+        }
+        for (id, expected_rounds) in [(0usize, 5u64), (1, 7)] {
+            let spec = set.spec(id);
+            let mut reference =
+                SyndromeSource::new(set.lattice(id).clone(), spec.noise, spec.seed).unwrap();
+            assert_eq!(per_lattice[id].len() as u64, expected_rounds);
+            for streamed in &per_lattice[id] {
+                assert_eq!(streamed, &reference.next_syndrome());
+            }
+        }
     }
 
     #[test]

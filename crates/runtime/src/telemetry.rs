@@ -2,11 +2,13 @@
 //!
 //! The producer and every worker publish their progress through shared
 //! atomic counters ([`RuntimeCounters`]), so queue depth, backlog and
-//! throughput can be observed *while the stream runs*; the engine folds the
+//! throughput can be observed *while the stream runs* — both for the machine
+//! as a whole and per lattice ([`LatticeCounters`]).  The engine folds the
 //! final counter values, the depth timeline and the per-packet latency
-//! samples into a [`RuntimeReport`], whose headline number is the measured
-//! backlog growth compared against the paper's closed-form
-//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel) prediction.
+//! samples into a [`RuntimeReport`]: aggregate counters, an aggregate
+//! backlog-versus-[`BacklogModel`](nisqplus_system::backlog::BacklogModel)
+//! comparison, and one [`LatticeReport`] per registered lattice, so the
+//! report answers "which patch is falling behind" for a whole NISQ+ machine.
 
 use nisqplus_sim::stats::{histogram, Summary};
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
@@ -14,7 +16,48 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Per-lattice atomic progress counters (a slice of [`RuntimeCounters`]).
+#[derive(Debug, Default)]
+pub struct LatticeCounters {
+    /// Rounds of this lattice's syndrome data generated.
+    pub generated: AtomicU64,
+    /// This lattice's packets accepted by a ring.
+    pub enqueued: AtomicU64,
+    /// This lattice's packets dropped because the ring was full.
+    pub dropped: AtomicU64,
+    /// This lattice's packets decoded and committed to its frame.
+    pub decoded: AtomicU64,
+}
+
+impl LatticeCounters {
+    /// A point-in-time copy of this lattice's counters.
+    #[must_use]
+    pub fn snapshot(&self) -> LatticeCounterSnapshot {
+        LatticeCounterSnapshot {
+            generated: self.generated.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            decoded: self.decoded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// This lattice's current backlog: rounds generated but neither decoded
+    /// nor shed (same convention as [`RuntimeCounters::backlog`]).
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        self.generated
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.decoded.load(Ordering::Relaxed))
+            .saturating_sub(self.dropped.load(Ordering::Relaxed))
+    }
+}
+
 /// Shared atomic progress counters, updated lock-free by all threads.
+///
+/// The aggregate counters and the per-lattice slices are incremented
+/// together, so at quiescence every aggregate flow counter equals the sum of
+/// its per-lattice counterparts (pinned by the multi-lattice telemetry
+/// tests).
 #[derive(Debug, Default)]
 pub struct RuntimeCounters {
     /// Rounds of syndrome data generated (whether or not enqueued).
@@ -33,10 +76,23 @@ pub struct RuntimeCounters {
     pub stolen: AtomicU64,
     /// Decode batches executed (each covering 1..=batch_size packets).
     pub batches: AtomicU64,
+    /// One counter slice per registered lattice, indexed by lattice id.
+    pub per_lattice: Vec<LatticeCounters>,
 }
 
 impl RuntimeCounters {
-    /// A point-in-time copy of all counters.
+    /// Counters for a machine of `num_lattices` lattices.
+    #[must_use]
+    pub fn with_lattices(num_lattices: usize) -> Self {
+        RuntimeCounters {
+            per_lattice: (0..num_lattices)
+                .map(|_| LatticeCounters::default())
+                .collect(),
+            ..RuntimeCounters::default()
+        }
+    }
+
+    /// A point-in-time copy of the aggregate counters.
     #[must_use]
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -51,10 +107,11 @@ impl RuntimeCounters {
         }
     }
 
-    /// The current backlog: rounds generated but neither decoded nor shed.
-    /// Dropped rounds are lost, not owed, so they don't count as outstanding
-    /// work (under [`PushPolicy::Block`](crate::engine::PushPolicy::Block)
-    /// nothing is ever dropped and this is exactly generated minus decoded).
+    /// The current aggregate backlog: rounds generated but neither decoded
+    /// nor shed.  Dropped rounds are lost, not owed, so they don't count as
+    /// outstanding work (under
+    /// [`PushPolicy::Block`](crate::engine::PushPolicy::Block) nothing is
+    /// ever dropped and this is exactly generated minus decoded).
     #[must_use]
     pub fn backlog(&self) -> u64 {
         self.generated
@@ -64,7 +121,7 @@ impl RuntimeCounters {
     }
 }
 
-/// A plain-data copy of [`RuntimeCounters`] at one instant.
+/// A plain-data copy of [`RuntimeCounters`]' aggregate view at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     /// Rounds of syndrome data generated.
@@ -86,7 +143,7 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
-    /// Mean packets decoded per batch (1.0 when batching is off).
+    /// Mean packets decoded per batch (0.0 before any batch completes).
     #[must_use]
     pub fn mean_batch_fill(&self) -> f64 {
         if self.batches == 0 {
@@ -97,14 +154,28 @@ impl CounterSnapshot {
     }
 }
 
+/// A plain-data copy of one lattice's [`LatticeCounters`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LatticeCounterSnapshot {
+    /// Rounds of this lattice's syndrome data generated.
+    pub generated: u64,
+    /// This lattice's packets accepted by a ring.
+    pub enqueued: u64,
+    /// This lattice's packets dropped because the ring was full.
+    pub dropped: u64,
+    /// This lattice's packets decoded.
+    pub decoded: u64,
+}
+
 /// One point of the queue-depth/backlog timeline, sampled by the producer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DepthSample {
-    /// The generation round at which the sample was taken.
+    /// The number of rounds emitted across all lattices when the sample was
+    /// taken (for a single lattice this is its generation round).
     pub round: u64,
     /// Nanoseconds since the engine epoch.
     pub elapsed_ns: u64,
-    /// Packets sitting in the ring buffer.
+    /// Packets sitting in the ring buffers (all lattices).
     pub queue_depth: u64,
     /// Rounds generated but not yet decoded (queue depth plus in-flight).
     pub backlog: u64,
@@ -143,34 +214,97 @@ impl LatencyProfile {
     }
 }
 
+/// One lattice's slice of the run telemetry: the per-patch breakdown that
+/// says *which* logical qubit is falling behind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeReport {
+    /// The lattice's id in the engine's registry.
+    pub lattice_id: usize,
+    /// The lattice's code distance.
+    pub distance: usize,
+    /// Rounds this lattice was configured to stream.
+    pub rounds: u64,
+    /// This lattice's nominal syndrome-generation cadence in nanoseconds per
+    /// round (`0.0` when unpaced).
+    pub cadence_ns: f64,
+    /// Measured mean inter-arrival time between this lattice's rounds, in
+    /// nanoseconds.
+    pub inter_arrival_ns: f64,
+    /// Final values of this lattice's counters.
+    pub counters: LatticeCounterSnapshot,
+    /// This lattice's backlog when *its* generation stopped: its rounds
+    /// generated but neither decoded nor dropped at that instant.
+    pub final_backlog: u64,
+    /// Per-packet service time for this lattice's rounds, in nanoseconds.
+    pub decode_latency: LatencyProfile,
+    /// End-to-end latency from generation to committed correction for this
+    /// lattice's rounds, in nanoseconds.
+    pub total_latency: LatencyProfile,
+    /// This lattice's measured backlog trajectory in model terms.  The
+    /// service time is the lattice's mean decode time divided by the full
+    /// pool width, i.e. it assumes the pool is entirely available to this
+    /// lattice — an optimistic capacity bound when other lattices compete
+    /// for the same workers.
+    pub measured: MeasuredBacklog,
+    /// This lattice's measured growth versus its own closed-form
+    /// [`BacklogModel`](nisqplus_system::backlog::BacklogModel) at the
+    /// measured rates.
+    pub comparison: BacklogComparison,
+}
+
+/// The shared BOUNDED/GROWING verdict: no drops, and the backlog left when
+/// generation stopped is below one twentieth of the rounds streamed (a
+/// transient mid-run spike that drained before the end does not count as
+/// unbounded growth).  Used by both the aggregate and the per-lattice
+/// reports so the two verdicts can never drift apart.
+fn backlog_stayed_bounded(dropped: u64, final_backlog: u64, rounds: u64) -> bool {
+    dropped == 0 && final_backlog * 20 < rounds.max(1)
+}
+
+impl LatticeReport {
+    /// Whether this lattice's queue stayed bounded: none of its packets were
+    /// dropped, and the backlog left when its generation stopped is small
+    /// compared to its number of rounds.
+    #[must_use]
+    pub fn queue_stayed_bounded(&self) -> bool {
+        backlog_stayed_bounded(self.counters.dropped, self.final_backlog, self.rounds)
+    }
+}
+
 /// The full telemetry of one streaming run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeReport {
     /// Name of the decoder the workers ran.
     pub decoder: String,
-    /// Code distance of the streamed lattice.
-    pub distance: usize,
+    /// Number of lattices (logical qubits) served by the run.
+    pub num_lattices: usize,
+    /// The distinct code distances served, ascending.
+    pub distances: Vec<usize>,
     /// Number of decoder worker threads.
     pub workers: usize,
     /// Upper bound on packets decoded per batch (the configured window `k`).
     pub batch_size: usize,
-    /// Rounds of syndrome data generated.
+    /// Total rounds of syndrome data generated across all lattices.
     pub rounds: u64,
-    /// Nominal syndrome-generation cadence in nanoseconds per round.
+    /// Nominal *aggregate* inter-arrival time in nanoseconds per round
+    /// across the machine (`1 / Σ 1/cadence_i`); `0.0` if any lattice is
+    /// unpaced.  For a single lattice this is its cadence.
     pub cadence_ns: f64,
-    /// Measured mean inter-arrival time between rounds, in nanoseconds.
+    /// Measured mean inter-arrival time between rounds (all lattices), in
+    /// nanoseconds.
     pub inter_arrival_ns: f64,
     /// Wall-clock duration of the whole run (generation plus drain), seconds.
     pub elapsed_s: f64,
-    /// Final counter values.
+    /// Final aggregate counter values.
     pub counters: CounterSnapshot,
-    /// Queue depth / backlog over time (down-sampled).
+    /// Queue depth / backlog over time (down-sampled, all lattices).
     pub depth_timeline: Vec<DepthSample>,
     /// Largest queue depth observed on the timeline.
     pub max_queue_depth: u64,
-    /// Backlog when generation stopped: rounds generated but neither decoded
-    /// nor dropped (matches [`RuntimeCounters::backlog`]; under the blocking
-    /// push policy nothing is dropped, so it is generated minus decoded).
+    /// Aggregate backlog when generation stopped: rounds generated but
+    /// neither decoded nor dropped (matches [`RuntimeCounters::backlog`];
+    /// under the blocking push policy nothing is dropped, so it is generated
+    /// minus decoded).
     pub final_backlog: u64,
     /// Decoded packets per second of wall-clock time.
     pub throughput_per_s: f64,
@@ -180,34 +314,48 @@ pub struct RuntimeReport {
     pub decode_latency: LatencyProfile,
     /// End-to-end latency from generation to committed correction (ns).
     pub total_latency: LatencyProfile,
-    /// The measured backlog trajectory in model terms.
+    /// The measured aggregate backlog trajectory in model terms.
     pub measured: MeasuredBacklog,
-    /// Measured growth versus the closed-form backlog model.
+    /// Measured aggregate growth versus the closed-form backlog model.
     pub comparison: BacklogComparison,
+    /// The per-lattice breakdown, indexed by lattice id.
+    pub lattices: Vec<LatticeReport>,
 }
 
 impl RuntimeReport {
-    /// Whether the queue stayed bounded: no drops, and the backlog left when
-    /// generation stopped is small compared to the number of rounds streamed
-    /// (a transient mid-run spike that drained before the end does not count
-    /// as unbounded growth).
+    /// Whether the aggregate queue stayed bounded: no drops, and the backlog
+    /// left when generation stopped is small compared to the number of
+    /// rounds streamed (a transient mid-run spike that drained before the
+    /// end does not count as unbounded growth).
     #[must_use]
     pub fn queue_stayed_bounded(&self) -> bool {
-        self.counters.dropped == 0 && self.final_backlog * 20 < self.rounds.max(1)
+        backlog_stayed_bounded(self.counters.dropped, self.final_backlog, self.rounds)
+    }
+
+    /// The ids of lattices whose per-lattice queue did *not* stay bounded —
+    /// the "which patch is falling behind" answer.
+    #[must_use]
+    pub fn lattices_falling_behind(&self) -> Vec<usize> {
+        self.lattices
+            .iter()
+            .filter(|l| !l.queue_stayed_bounded())
+            .map(|l| l.lattice_id)
+            .collect()
     }
 }
 
 impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let distances: Vec<String> = self.distances.iter().map(ToString::to_string).collect();
         writeln!(
             f,
-            "runtime report: {} | d={} | {} worker(s) | batch<={} | {} rounds @ {:.0} ns cadence",
+            "runtime report: {} | {} lattice(s) d={{{}}} | {} worker(s) | batch<={} | {} rounds",
             self.decoder,
-            self.distance,
+            self.num_lattices,
+            distances.join(","),
             self.workers,
             self.batch_size,
             self.rounds,
-            self.cadence_ns
         )?;
         writeln!(
             f,
@@ -244,14 +392,35 @@ impl fmt::Display for RuntimeReport {
                 "GROWING"
             }
         )?;
-        write!(
+        writeln!(
             f,
             "  backlog growth/round: measured {:.4} vs model {:.4} (f_eff = {:.3}, agreement {:.2}x)",
             self.comparison.measured_growth_per_round,
             self.comparison.predicted_growth_per_round,
             self.comparison.effective_ratio,
             self.comparison.agreement_factor()
-        )
+        )?;
+        for lattice in &self.lattices {
+            write!(
+                f,
+                "\n  lattice {:>3} d={} | {:>8} rounds | decoded {:>8} | dropped {:>6} | \
+                 backlog {:>6} | growth {:.4} vs {:.4} | {}",
+                lattice.lattice_id,
+                lattice.distance,
+                lattice.counters.generated,
+                lattice.counters.decoded,
+                lattice.counters.dropped,
+                lattice.final_backlog,
+                lattice.comparison.measured_growth_per_round,
+                lattice.comparison.predicted_growth_per_round,
+                if lattice.queue_stayed_bounded() {
+                    "BOUNDED"
+                } else {
+                    "GROWING"
+                }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -261,7 +430,7 @@ mod tests {
 
     #[test]
     fn counters_snapshot_and_backlog() {
-        let counters = RuntimeCounters::default();
+        let counters = RuntimeCounters::with_lattices(1);
         counters.generated.store(10, Ordering::Relaxed);
         counters.decoded.store(4, Ordering::Relaxed);
         counters.enqueued.store(9, Ordering::Relaxed);
@@ -270,6 +439,25 @@ mod tests {
         assert_eq!(snap.generated, 10);
         assert_eq!(snap.dropped, 1);
         assert_eq!(counters.backlog(), 5);
+    }
+
+    #[test]
+    fn per_lattice_counters_track_their_own_backlog() {
+        let counters = RuntimeCounters::with_lattices(2);
+        counters.per_lattice[0]
+            .generated
+            .store(10, Ordering::Relaxed);
+        counters.per_lattice[0].decoded.store(3, Ordering::Relaxed);
+        counters.per_lattice[1]
+            .generated
+            .store(5, Ordering::Relaxed);
+        counters.per_lattice[1].dropped.store(2, Ordering::Relaxed);
+        assert_eq!(counters.per_lattice[0].backlog(), 7);
+        assert_eq!(counters.per_lattice[1].backlog(), 3);
+        let snap = counters.per_lattice[1].snapshot();
+        assert_eq!(snap.generated, 5);
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(snap.decoded, 0);
     }
 
     #[test]

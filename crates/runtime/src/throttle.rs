@@ -12,11 +12,15 @@ use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::syndrome::Syndrome;
 use std::time::{Duration, Instant};
 
-/// A [`Decoder`] whose every `decode` call takes at least a fixed time.
+/// A [`Decoder`] whose every `decode` call takes at least a fixed time —
+/// for every lattice, or only for lattices of one code distance
+/// ([`ThrottledDecoder::for_distance`]), which is how the multi-lattice
+/// telemetry tests slow down a single patch of a machine.
 #[derive(Debug, Clone)]
 pub struct ThrottledDecoder<D> {
     inner: D,
     floor: Duration,
+    only_distance: Option<usize>,
     name: String,
 }
 
@@ -29,6 +33,22 @@ impl<D: Decoder> ThrottledDecoder<D> {
         ThrottledDecoder {
             inner,
             floor: Duration::from_nanos(floor_ns),
+            only_distance: None,
+            name,
+        }
+    }
+
+    /// Wraps `inner`, forcing each decode *of a distance-`distance` lattice*
+    /// to take at least `floor_ns` nanoseconds; other lattices decode at
+    /// full speed.  In a multi-lattice run this makes exactly one patch (or
+    /// one distance class of patches) fall behind while the rest keep up.
+    #[must_use]
+    pub fn for_distance(inner: D, floor_ns: u64, distance: usize) -> Self {
+        let name = format!("throttled({})@{}ns[d={}]", inner.name(), floor_ns, distance);
+        ThrottledDecoder {
+            inner,
+            floor: Duration::from_nanos(floor_ns),
+            only_distance: Some(distance),
             name,
         }
     }
@@ -39,6 +59,12 @@ impl<D: Decoder> ThrottledDecoder<D> {
         self.floor
     }
 
+    /// The code distance the floor is restricted to (`None` = all lattices).
+    #[must_use]
+    pub fn only_distance(&self) -> Option<usize> {
+        self.only_distance
+    }
+
     /// The wrapped decoder.
     #[must_use]
     pub fn inner(&self) -> &D {
@@ -47,6 +73,14 @@ impl<D: Decoder> ThrottledDecoder<D> {
 }
 
 impl<D> ThrottledDecoder<D> {
+    /// Whether the floor applies to a decode on `lattice`.
+    fn throttles(&self, lattice: &Lattice) -> bool {
+        match self.only_distance {
+            None => true,
+            Some(d) => d == lattice.distance(),
+        }
+    }
+
     /// Spins out the remainder of the floor after `start`.  Yields inside the
     /// wait so throttled workers don't starve the producer on machines with
     /// fewer cores than threads; the floor is wall-clock, so yielding never
@@ -72,7 +106,9 @@ impl<D: Decoder> Decoder for ThrottledDecoder<D> {
     fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
         let start = Instant::now();
         let correction = self.inner.decode(lattice, syndrome, sector);
-        self.spin_out(start);
+        if self.throttles(lattice) {
+            self.spin_out(start);
+        }
         correction
     }
 
@@ -87,7 +123,9 @@ impl<D: Decoder> Decoder for ThrottledDecoder<D> {
         // slow decode, which batching must not be able to skip.
         let start = Instant::now();
         self.inner.decode_into(lattice, syndrome, sector, out);
-        self.spin_out(start);
+        if self.throttles(lattice) {
+            self.spin_out(start);
+        }
     }
 }
 
@@ -121,6 +159,37 @@ mod tests {
         let throttled = ThrottledDecoder::new(GreedyMatchingDecoder::new(), 800);
         assert_eq!(throttled.name(), "throttled(greedy-matching)@800ns");
         assert_eq!(throttled.floor(), Duration::from_nanos(800));
+        assert_eq!(throttled.only_distance(), None);
         assert_eq!(throttled.inner().name(), "greedy-matching");
+    }
+
+    /// The distance-selective throttle slows only its target distance: in a
+    /// multi-lattice machine this makes one patch fall behind while the
+    /// others keep up.
+    #[test]
+    fn distance_selective_throttle_only_slows_its_target() {
+        let lat3 = Lattice::new(3).unwrap();
+        let lat5 = Lattice::new(5).unwrap();
+        let floor_ns = 3_000_000u64; // 3 ms: far above any greedy decode
+        let mut throttled =
+            ThrottledDecoder::for_distance(GreedyMatchingDecoder::new(), floor_ns, 3);
+        assert_eq!(throttled.only_distance(), Some(3));
+        assert_eq!(
+            throttled.name(),
+            "throttled(greedy-matching)@3000000ns[d=3]"
+        );
+        // A d=5 decode skips the floor entirely...
+        let s5 = lat5.syndrome_of(&PauliString::identity(lat5.num_data()));
+        let start = Instant::now();
+        let _ = throttled.decode(&lat5, &s5, Sector::X);
+        assert!(
+            start.elapsed() < Duration::from_nanos(floor_ns),
+            "untargeted distance must not pay the floor"
+        );
+        // ...while a d=3 decode pays it in full.
+        let s3 = lat3.syndrome_of(&PauliString::identity(lat3.num_data()));
+        let start = Instant::now();
+        let _ = throttled.decode(&lat3, &s3, Sector::X);
+        assert!(start.elapsed() >= Duration::from_nanos(floor_ns));
     }
 }

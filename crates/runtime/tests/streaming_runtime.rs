@@ -75,10 +75,10 @@ fn single_worker_stream_matches_batch_decode_exactly() {
         );
     }
     // One worker, one shard: the frame is byte-identical too.
-    assert_eq!(outcome.frame.shards().len(), 1);
-    assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+    assert_eq!(outcome.frame().shards().len(), 1);
+    assert_eq!(&outcome.frame().merged(), batch_frame.as_pauli_string());
     assert_eq!(
-        outcome.frame.total_recorded(),
+        outcome.frame().total_recorded(),
         batch_frame.recorded_cycles()
     );
 }
@@ -92,11 +92,11 @@ fn multi_worker_stream_preserves_the_logical_frame() {
     let outcome = engine.run(&greedy_factory());
 
     // Work was actually spread across the pool...
-    assert_eq!(outcome.frame.shards().len(), 4);
-    assert_eq!(outcome.frame.total_recorded(), config.rounds);
+    assert_eq!(outcome.frame().shards().len(), 4);
+    assert_eq!(outcome.frame().total_recorded(), config.rounds);
     // ...yet the merged Pauli frame is exactly the sequential one (Pauli
     // composition is commutative modulo the phase the frame discards).
-    assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+    assert_eq!(&outcome.frame().merged(), batch_frame.as_pauli_string());
     // And per-round corrections are still byte-identical: each round is an
     // independent decode, so which worker ran it cannot matter.
     for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
@@ -122,7 +122,7 @@ fn stream_matches_batch_for_every_window_size() {
                 outcome.report.counters.batches <= config.rounds,
                 "batches must cover rounds (k={k})"
             );
-            assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+            assert_eq!(&outcome.frame().merged(), batch_frame.as_pauli_string());
             assert_eq!(outcome.corrections.len(), batch_corrections.len());
             for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
                 assert_eq!(
@@ -149,7 +149,7 @@ fn work_stealing_pool_preserves_the_frame() {
     let engine = StreamingEngine::new(config).unwrap();
     let outcome = engine.run(&greedy_factory());
     assert_eq!(outcome.report.counters.decoded, config.rounds);
-    assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+    assert_eq!(&outcome.frame().merged(), batch_frame.as_pauli_string());
 }
 
 #[test]
@@ -224,7 +224,7 @@ proptest! {
         let (batch_corrections, batch_frame) = batch_decode(&config);
         let engine = StreamingEngine::new(config).unwrap();
         let outcome = engine.run(&greedy_factory());
-        prop_assert_eq!(&outcome.frame.merged(), batch_frame.as_pauli_string());
+        prop_assert_eq!(&outcome.frame().merged(), batch_frame.as_pauli_string());
         prop_assert_eq!(outcome.corrections.len(), batch_corrections.len());
         for (streamed, batch) in outcome.corrections.iter().zip(&batch_corrections) {
             prop_assert_eq!(&streamed.correction, batch);

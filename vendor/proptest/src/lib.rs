@@ -1,7 +1,8 @@
 //! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
 //!
 //! Re-implements the subset of the proptest 1.x API this workspace's
-//! property tests use: the [`Strategy`] trait over a deterministic RNG,
+//! property tests use: the [`Strategy`](strategy::Strategy) trait over a
+//! deterministic RNG,
 //! `any::<T>()`, ranges, tuples, `Just`, `prop_oneof!`,
 //! `prop::collection::vec`, `prop::sample::Index`, `ProptestConfig`, the
 //! `proptest!` test-declaration macro and the `prop_assert*` family.

@@ -10,7 +10,7 @@
 //! * [`SeedableRng`] — byte-seed construction plus the `seed_from_u64`
 //!   convenience, using the same PCG32-based seed expansion as rand_core
 //!   0.6's default implementation,
-//! * the [`distributions::Standard`]-equivalent sampling for the primitive
+//! * the `distributions::Standard`-equivalent sampling for the primitive
 //!   types the workspace draws (`f64`, `f32`, `bool`, and the integers).
 //!
 //! Compatibility with the real crates, for what this workspace uses:
