@@ -18,7 +18,8 @@ use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_runtime::{
-    MachineConfig, PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine, SyndromePacket,
+    LatticeDecoder, MachineConfig, PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine,
+    SyndromePacket,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -164,6 +165,52 @@ fn streaming_benchmarks(c: &mut Criterion) {
         config.queue_capacity = 256;
         let engine = StreamingEngine::new(config).expect("valid config");
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| engine.run(&|| Box::new(UnionFindDecoder::new()) as DynDecoder))
+        });
+    }
+    group.finish();
+
+    // Heterogeneous decoder assignment: the same 6-lattice machine (d
+    // cycling 3/5/7, 1k rounds total) served once by a homogeneous
+    // union-find fleet and once with per-lattice overrides (lookup for the
+    // d=3 patches, greedy matching for d=5, union-find for d=7).  Measures
+    // the cost of per-(distance, factory) prepared-decoder routing and what
+    // matching the algorithm to the patch buys end to end.
+    let mut group = c.benchmark_group("streaming_1k_rounds_hetero");
+    group.sample_size(10);
+    for hetero in [false, true] {
+        let distances: Vec<usize> = (0..6).map(|i| [3, 5, 7][i % 3]).collect();
+        let mut config = MachineConfig::new(&distances, 0xFEED);
+        // One shared factory per distance class, so equal-distance lattices
+        // share one prepared decoder per worker (the intended sharing; a
+        // fresh factory per lattice would defeat it and bias the numbers).
+        let lookup3 = LatticeDecoder::new(|| {
+            Box::new(
+                LookupDecoder::new(&Lattice::new(3).expect("valid distance"))
+                    .expect("d=3 fits the table"),
+            ) as DynDecoder
+        });
+        let greedy5 = LatticeDecoder::new(|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+        for spec in &mut config.lattices {
+            spec.rounds = 1_000 / 6;
+            spec.cadence_cycles = 0; // un-paced: measure pure pipeline throughput
+            if hetero {
+                spec.decoder = match spec.distance {
+                    3 => Some(lookup3.clone()),
+                    5 => Some(greedy5.clone()),
+                    _ => None, // d=7 stays on the machine-wide union-find
+                };
+            }
+        }
+        config.workers = 2;
+        config.queue_capacity = 256;
+        let engine = StreamingEngine::with_machine(config).expect("valid config");
+        let label = if hetero {
+            "lookup3+greedy5+uf7"
+        } else {
+            "uf-everywhere"
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &hetero, |b, _| {
             b.iter(|| engine.run(&|| Box::new(UnionFindDecoder::new()) as DynDecoder))
         });
     }

@@ -74,5 +74,7 @@ pub mod union_find;
 
 pub use lookup::LookupDecoder;
 pub use matching::{ExactMatchingDecoder, GreedyMatchingDecoder};
-pub use traits::{Correction, Decoder, DecoderFactory, DynDecoder, MatchPair, Matching};
+pub use traits::{
+    Correction, Decoder, DecoderFactory, DynDecoder, MatchPair, Matching, SharedDecoderFactory,
+};
 pub use union_find::UnionFindDecoder;

@@ -282,7 +282,40 @@ pub trait Decoder: Send {
     }
 }
 
+impl<D: Decoder + ?Sized> Decoder for Box<D> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn prepare(&mut self, lattice: &Lattice) {
+        (**self).prepare(lattice);
+    }
+
+    fn decode(&mut self, lattice: &Lattice, syndrome: &Syndrome, sector: Sector) -> Correction {
+        (**self).decode(lattice, syndrome, sector)
+    }
+
+    fn decode_into(
+        &mut self,
+        lattice: &Lattice,
+        syndrome: &Syndrome,
+        sector: Sector,
+        out: &mut PauliString,
+    ) {
+        (**self).decode_into(lattice, syndrome, sector, out);
+    }
+
+    fn decode_both(&mut self, lattice: &Lattice, syndrome: &Syndrome) -> Correction {
+        (**self).decode_both(lattice, syndrome)
+    }
+}
+
 /// A boxed decoder, movable across worker threads.
+///
+/// `Box<dyn Decoder>` itself implements [`Decoder`] (forwarding every
+/// method), so wrappers generic over a `D: Decoder` — e.g. a throttling or
+/// logging adapter — can wrap the product of any [`DecoderFactory`] without
+/// knowing the concrete decoder type.
 pub type DynDecoder = Box<dyn Decoder>;
 
 /// A thread-shareable factory producing fresh decoder instances.
@@ -309,6 +342,21 @@ where
 {
     fn build(&self) -> DynDecoder {
         self()
+    }
+}
+
+/// A reference-counted, thread-shareable decoder factory.
+///
+/// This is the currency of *heterogeneous* decoder assignment: a runtime can
+/// hold one shared factory per lattice (or per distance class) and hand
+/// clones of the `Arc` to every worker.  `Arc<dyn DecoderFactory>` itself
+/// implements [`DecoderFactory`] by delegation, so shared and plain factories
+/// are interchangeable at every call site.
+pub type SharedDecoderFactory = std::sync::Arc<dyn DecoderFactory>;
+
+impl DecoderFactory for SharedDecoderFactory {
+    fn build(&self) -> DynDecoder {
+        (**self).build()
     }
 }
 
@@ -426,6 +474,45 @@ mod tests {
         assert_send_sync::<crate::matching::ExactMatchingDecoder>();
         assert_send_sync::<crate::union_find::UnionFindDecoder>();
         assert_send::<super::DynDecoder>();
+    }
+
+    #[test]
+    fn boxed_decoders_forward_the_trait() {
+        use crate::matching::GreedyMatchingDecoder;
+        let lat = lattice();
+        let xs: Vec<usize> = lat.ancillas_in_sector(Sector::X).collect();
+        let syndrome =
+            nisqplus_qec::syndrome::Syndrome::from_hot(lat.num_ancillas(), &[xs[0], xs[1]]);
+        let mut plain = GreedyMatchingDecoder::new();
+        let mut boxed: DynDecoder = Box::new(GreedyMatchingDecoder::new());
+        assert_eq!(boxed.name(), plain.name());
+        boxed.prepare(&lat);
+        assert_eq!(
+            boxed.decode(&lat, &syndrome, Sector::X),
+            plain.decode(&lat, &syndrome, Sector::X)
+        );
+        let mut from_box = PauliString::identity(lat.num_data());
+        let mut from_plain = PauliString::identity(lat.num_data());
+        boxed.decode_into(&lat, &syndrome, Sector::X, &mut from_box);
+        plain.decode_into(&lat, &syndrome, Sector::X, &mut from_plain);
+        assert_eq!(from_box, from_plain);
+        assert_eq!(
+            boxed.decode_both(&lat, &syndrome),
+            plain.decode_both(&lat, &syndrome)
+        );
+    }
+
+    #[test]
+    fn shared_factories_delegate() {
+        use super::SharedDecoderFactory;
+        use crate::matching::GreedyMatchingDecoder;
+        let shared: SharedDecoderFactory =
+            std::sync::Arc::new(|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+        assert_eq!(shared.build().name(), "greedy-matching");
+        // The Arc is itself a factory, so it satisfies factory bounds.
+        fn assert_factory<T: DecoderFactory>(_: &T) {}
+        assert_factory(&shared);
+        assert_factory(&shared.clone());
     }
 
     #[test]

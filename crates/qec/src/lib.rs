@@ -52,6 +52,6 @@ pub use error::QecError;
 pub use error_model::{BiasedChannel, Depolarizing, ErrorModel, PureDephasing};
 pub use frame::PauliFrame;
 pub use lattice::{Coord, Lattice, QubitKind, Sector};
-pub use logical::LogicalState;
+pub use logical::{LogicalState, ResidualTally};
 pub use pauli::{Pauli, PauliString};
 pub use syndrome::{DetectionEvents, PackedSyndrome, Syndrome};

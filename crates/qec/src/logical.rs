@@ -102,6 +102,128 @@ pub fn classify_both_sectors(
     )
 }
 
+/// A streaming tally of per-round residual classifications.
+///
+/// The decoding-backlog argument makes load-shedding tempting — drop a round
+/// instead of letting the queue grow — but a shed round is an *uncorrected*
+/// round, and its cost is a logical-error quantity, not just a counter.  A
+/// `ResidualTally` accumulates [`classify_both_sectors`] outcomes round after
+/// round (e.g. over a long streamed run, with identity corrections standing
+/// in for shed rounds), so that cost can be measured instead of assumed.
+///
+/// Each recorded round counts exactly once, by its worst per-sector state:
+/// a round with any [`LogicalState::InvalidCorrection`] sector counts as an
+/// invalid correction, else a round with any [`LogicalState::LogicalError`]
+/// sector counts as a logical error, else the round is a success.  Both
+/// non-success states are failures (matching [`LogicalState::is_failure`]):
+/// an uncleared syndrome means the round did not return to the codespace.
+///
+/// ```rust
+/// use nisqplus_qec::lattice::{Lattice, Sector};
+/// use nisqplus_qec::logical::ResidualTally;
+/// use nisqplus_qec::pauli::{Pauli, PauliString};
+///
+/// # fn main() -> Result<(), nisqplus_qec::QecError> {
+/// let lattice = Lattice::new(3)?;
+/// let mut tally = ResidualTally::new();
+/// let error = PauliString::from_sparse(lattice.num_data(), &[4], Pauli::Z);
+/// // A decoded round: the correction undoes the error.
+/// tally.record(&lattice, &error, &error.clone());
+/// // A shed round: identity correction, the error goes uncorrected.
+/// tally.record(&lattice, &error, &PauliString::identity(lattice.num_data()));
+/// assert_eq!(tally.rounds, 2);
+/// assert_eq!(tally.successes, 1);
+/// assert_eq!(tally.failures(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResidualTally {
+    /// Rounds recorded.
+    pub rounds: u64,
+    /// Rounds whose residual was trivial in both sectors.
+    pub successes: u64,
+    /// Rounds whose residual was undetectable but crossed the lattice in at
+    /// least one sector (and no sector was an invalid correction).
+    pub logical_errors: u64,
+    /// Rounds where at least one sector's correction failed to clear the
+    /// syndrome — the dominant outcome for shed (identity-corrected) rounds.
+    pub invalid_corrections: u64,
+}
+
+impl ResidualTally {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        ResidualTally::default()
+    }
+
+    /// Classifies one round's residual across both sectors and records the
+    /// outcome; returns the per-sector states for callers that want them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` or `correction` are not indexed by the lattice's
+    /// data qubits.
+    pub fn record(
+        &mut self,
+        lattice: &Lattice,
+        error: &PauliString,
+        correction: &PauliString,
+    ) -> (LogicalState, LogicalState) {
+        let (x, z) = classify_both_sectors(lattice, error, correction);
+        self.record_states(x, z);
+        (x, z)
+    }
+
+    /// Records an already-classified round from its per-sector states.
+    pub fn record_states(&mut self, x: LogicalState, z: LogicalState) {
+        self.rounds += 1;
+        let invalid = LogicalState::InvalidCorrection;
+        if x == invalid || z == invalid {
+            self.invalid_corrections += 1;
+        } else if x == LogicalState::LogicalError || z == LogicalState::LogicalError {
+            self.logical_errors += 1;
+        } else {
+            self.successes += 1;
+        }
+    }
+
+    /// Folds another tally into this one.
+    pub fn absorb(&mut self, other: &ResidualTally) {
+        self.rounds += other.rounds;
+        self.successes += other.successes;
+        self.logical_errors += other.logical_errors;
+        self.invalid_corrections += other.invalid_corrections;
+    }
+
+    /// Failed rounds: logical errors plus invalid corrections.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.logical_errors + self.invalid_corrections
+    }
+
+    /// The fraction of recorded rounds that failed (`0.0` when empty).
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.failures() as f64 / self.rounds as f64
+        }
+    }
+
+    /// The fraction of recorded rounds that were undetected logical errors.
+    #[must_use]
+    pub fn logical_error_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.logical_errors as f64 / self.rounds as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +326,60 @@ mod tests {
         let (x_state, z_state) = classify_both_sectors(&lat, &error, &z_fix);
         assert_eq!(x_state, LogicalState::Success);
         assert_eq!(z_state, LogicalState::InvalidCorrection);
+    }
+
+    #[test]
+    fn tally_counts_each_round_once_by_worst_state() {
+        let mut tally = ResidualTally::new();
+        tally.record_states(LogicalState::Success, LogicalState::Success);
+        tally.record_states(LogicalState::LogicalError, LogicalState::Success);
+        // Invalid in one sector dominates a logical error in the other.
+        tally.record_states(LogicalState::LogicalError, LogicalState::InvalidCorrection);
+        assert_eq!(tally.rounds, 3);
+        assert_eq!(tally.successes, 1);
+        assert_eq!(tally.logical_errors, 1);
+        assert_eq!(tally.invalid_corrections, 1);
+        assert_eq!(tally.failures(), 2);
+        assert!((tally.failure_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((tally.logical_error_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_records_classified_residuals() {
+        let lat = lattice();
+        let q = lat.cell(Coord::new(2, 2)).index;
+        let error = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+        let identity = PauliString::identity(lat.num_data());
+        let mut tally = ResidualTally::new();
+        let (x, z) = tally.record(&lat, &error, &error.clone());
+        assert_eq!((x, z), (LogicalState::Success, LogicalState::Success));
+        // Shedding the round (identity correction) leaves the syndrome set.
+        let (x, _) = tally.record(&lat, &error, &identity);
+        assert_eq!(x, LogicalState::InvalidCorrection);
+        assert_eq!(tally.rounds, 2);
+        assert_eq!(tally.failures(), 1);
+    }
+
+    #[test]
+    fn empty_and_absorbed_tallies() {
+        let empty = ResidualTally::new();
+        assert_eq!(empty.failure_rate(), 0.0);
+        assert_eq!(empty.logical_error_rate(), 0.0);
+        let mut a = ResidualTally {
+            rounds: 3,
+            successes: 2,
+            logical_errors: 1,
+            invalid_corrections: 0,
+        };
+        let b = ResidualTally {
+            rounds: 2,
+            successes: 0,
+            logical_errors: 0,
+            invalid_corrections: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.failures(), 3);
     }
 
     #[test]

@@ -5,32 +5,43 @@
 //! One producer thread interleaves the seeded streams of every registered
 //! lattice ([`InterleavedSource`]) at each lattice's own cadence and
 //! distributes bit-packed [`SyndromePacket`]s
-//! across *per-worker* lock-free [`SpmcRing`]s.  Each
-//! worker thread prepares one decoder per distinct code distance
-//! ([`Decoder::prepare`]), then pops up to [`MachineConfig::batch_size`]
-//! consecutive rounds from its own ring and decodes them as one batch
-//! through the allocation-free [`Decoder::decode_into`] hot path, routing
-//! every packet to its lattice's prepared state by the `lattice_id` in the
-//! packet header; a worker whose own ring runs dry *steals* from its
-//! neighbours' rings, so bursty high-weight rounds cannot
-//! head-of-line-block the pool.  Everything observable — queue depth,
-//! backlog, decode latency, steal and batch counts, throughput — flows
-//! through the shared [`RuntimeCounters`]
-//! (aggregate *and* per lattice) and into the final report, whose headline
-//! compares measured backlog growth against the paper's closed-form
-//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel), per lattice and
-//! for the machine as a whole.
+//! across *per-worker* lock-free [`SpmcRing`]s, enforcing each lattice's
+//! own QoS contract at the push site: its effective push policy
+//! ([`MachineConfig::policy_for`]) and its outstanding-round budget
+//! ([`LatticeSpec::queue_budget`]), so a `Drop` patch sheds under overload
+//! while a `Block` neighbour gets lossless backpressure on the same rings.
+//! Each worker thread prepares one decoder per distinct (code distance,
+//! factory) pair — per-lattice [`LatticeSpec::decoder`] overrides beside
+//! the machine-wide [`DecoderFactory`] — then pops up to
+//! [`MachineConfig::batch_size`] consecutive rounds from its own ring and
+//! decodes them as one batch through the allocation-free
+//! [`Decoder::decode_into`] hot path, routing every packet to its lattice's
+//! prepared state by the `lattice_id` in the packet header; a worker whose
+//! own ring runs dry *steals* from its neighbours' rings, so bursty
+//! high-weight rounds cannot head-of-line-block the pool.  Everything
+//! observable — queue depth, backlog, decode latency, shed rounds, steal
+//! and batch counts, throughput — flows through the shared
+//! [`RuntimeCounters`] (aggregate *and* per lattice) and into the final
+//! report, whose headline compares measured backlog growth against the
+//! paper's closed-form
+//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel), per lattice
+//! and for the machine as a whole.  Shed rounds stay accounted for end to
+//! end: they are fed into the per-lattice frame path as identity
+//! corrections, carried in
+//! [`MeasuredBacklog::shed`], and — when
+//! [`MachineConfig::analyze_residuals`] is set — priced in measured logical
+//! failures by replaying the seeded error stream.
 //!
 //! [`Decoder::prepare`]: nisqplus_decoders::Decoder::prepare
 //! [`Decoder::decode_into`]: nisqplus_decoders::Decoder::decode_into
 
 use crate::frame::ShardedPauliFrame;
-use crate::lattice_set::{LatticeSet, LatticeSpec};
+use crate::lattice_set::{LatticeDecoder, LatticeSet, LatticeSpec};
 use crate::packet::{PacketCodec, SyndromePacket};
 use crate::queue::SpmcRing;
-use crate::source::{InterleavedSource, NoiseSpec};
+use crate::source::{InterleavedSource, NoiseSpec, SyndromeSource};
 use crate::telemetry::{
-    DepthSample, LatencyProfile, LatticeReport, RuntimeCounters, RuntimeReport,
+    DepthSample, LatencyProfile, LatticeReport, ResidualReport, RuntimeCounters, RuntimeReport,
 };
 use nisqplus_decoders::traits::{DecoderFactory, DynDecoder};
 use nisqplus_qec::frame::PauliFrame;
@@ -110,6 +121,12 @@ pub struct RuntimeConfig {
     /// `(lattice, round)` — the hook the stream-versus-batch equivalence
     /// tests use.
     pub record_corrections: bool,
+    /// When `true`, the engine replays the seeded error stream at the end of
+    /// the run and classifies every round's residual (shed rounds count as
+    /// identity corrections), filling
+    /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual)
+    /// — the measured logical cost of shedding versus backpressure.
+    pub analyze_residuals: bool,
 }
 
 impl RuntimeConfig {
@@ -140,6 +157,7 @@ impl RuntimeConfig {
             push_policy: PushPolicy::Block,
             max_depth_samples: 256,
             record_corrections: false,
+            analyze_residuals: false,
         }
     }
 
@@ -161,6 +179,10 @@ impl From<RuntimeConfig> for MachineConfig {
                 seed: config.seed,
                 rounds: config.rounds,
                 cadence_cycles: config.cadence_cycles,
+                push_policy: None,
+                queue_budget: None,
+                shed_slo: None,
+                decoder: None,
             }],
             workers: config.workers,
             cycle_time: config.cycle_time,
@@ -169,6 +191,7 @@ impl From<RuntimeConfig> for MachineConfig {
             push_policy: config.push_policy,
             max_depth_samples: config.max_depth_samples,
             record_corrections: config.record_corrections,
+            analyze_residuals: config.analyze_residuals,
         }
     }
 }
@@ -200,6 +223,11 @@ pub struct MachineConfig {
     /// When `true`, per-round corrections are kept, sorted by
     /// `(lattice, round)`.
     pub record_corrections: bool,
+    /// When `true`, the engine replays every lattice's seeded error stream
+    /// at the end of the run and classifies each round's residual (shed
+    /// rounds count as identity corrections), filling
+    /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual).
+    pub analyze_residuals: bool,
 }
 
 impl MachineConfig {
@@ -235,7 +263,15 @@ impl MachineConfig {
             push_policy: template.push_policy,
             max_depth_samples: template.max_depth_samples,
             record_corrections: template.record_corrections,
+            analyze_residuals: template.analyze_residuals,
         }
+    }
+
+    /// The push policy `spec` runs under: its own override, or this
+    /// machine's [`MachineConfig::push_policy`] when it has none.
+    #[must_use]
+    pub fn policy_for(&self, spec: &LatticeSpec) -> PushPolicy {
+        spec.push_policy.unwrap_or(self.push_policy)
     }
 
     /// The nominal *aggregate* inter-arrival time across the machine, in
@@ -323,7 +359,9 @@ struct WorkerLatticeOutput {
 
 /// What one worker thread hands back when the stream ends.
 struct WorkerOutput {
-    decoder_name: String,
+    /// The name of the decoder serving each lattice, in lattice-id order
+    /// (per-lattice overrides may differ from the machine-wide factory).
+    lattice_decoders: Vec<String>,
     per_lattice: Vec<WorkerLatticeOutput>,
     corrections: Vec<RoundCorrection>,
 }
@@ -454,6 +492,7 @@ impl StreamingEngine {
         let mut generation_elapsed_ns = 0.0f64;
         let mut final_backlog = 0u64;
         let mut lattice_stats = vec![LatticeGenStats::default(); set.len()];
+        let mut lattice_shed: Vec<Vec<u64>> = vec![Vec::new(); set.len()];
 
         let worker_outputs: Vec<WorkerOutput> = thread::scope(|s| {
             let handles: Vec<_> = (0..config.workers)
@@ -472,7 +511,10 @@ impl StreamingEngine {
                             done,
                             epoch,
                             factory,
-                            record_corrections: config.record_corrections,
+                            // The residual analysis replays corrections per
+                            // round, so it needs them recorded too.
+                            record_corrections: config.record_corrections
+                                || config.analyze_residuals,
                             batch_size: config.batch_size,
                         })
                     })
@@ -488,6 +530,7 @@ impl StreamingEngine {
                 &mut generation_elapsed_ns,
                 &mut final_backlog,
                 &mut lattice_stats,
+                &mut lattice_shed,
             );
             done.store(true, Ordering::Release);
 
@@ -504,13 +547,15 @@ impl StreamingEngine {
             generation_elapsed_ns,
             final_backlog,
             lattice_stats,
+            lattice_shed,
             elapsed_s,
             &counters,
         )
     }
 
     /// The producer loop: paced interleaved generation, bit-packing, ring
-    /// placement, sampling.
+    /// placement under each lattice's own push policy and queue budget,
+    /// sampling.
     #[allow(clippy::too_many_arguments)]
     fn run_producer(
         &self,
@@ -522,6 +567,7 @@ impl StreamingEngine {
         generation_elapsed_ns: &mut f64,
         final_backlog: &mut u64,
         lattice_stats: &mut [LatticeGenStats],
+        lattice_shed: &mut [Vec<u64>],
     ) {
         let config = &self.config;
         let mut source = InterleavedSource::new(&self.set, &config.cycle_time)
@@ -530,6 +576,12 @@ impl StreamingEngine {
         let sample_every = (total_rounds / config.max_depth_samples.max(1) as u64).max(1);
         let mut record = vec![0u64; codec.words_per_packet()];
         let mut emitted_total = 0u64;
+        // Per-lattice QoS resolved once, outside the hot loop.
+        let qos: Vec<(PushPolicy, Option<u64>)> = self
+            .set
+            .iter()
+            .map(|(_, spec, _)| (config.policy_for(spec), spec.queue_budget.map(|b| b as u64)))
+            .collect();
 
         while let Some(sourced) = source.next_round() {
             if sourced.due_ns > 0.0 {
@@ -559,10 +611,26 @@ impl StreamingEngine {
             // single lattice this is the PR-3 round-robin exactly.
             let ring =
                 &rings[((u64::from(lattice_id) + sourced.round) % rings.len() as u64) as usize];
-            match config.push_policy {
+            let (policy, budget) = qos[lattice_id as usize];
+            match policy {
                 PushPolicy::Block => {
+                    // Two gates, both lossless: the lattice's own outstanding
+                    // budget first, then a free ring slot.
+                    if let Some(budget) = budget {
+                        while lattice_counters.outstanding() >= budget {
+                            counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
+                            lattice_counters
+                                .backpressure_spins
+                                .fetch_add(1, Ordering::Relaxed);
+                            std::hint::spin_loop();
+                            thread::yield_now();
+                        }
+                    }
                     while ring.try_push(&record).is_err() {
                         counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
+                        lattice_counters
+                            .backpressure_spins
+                            .fetch_add(1, Ordering::Relaxed);
                         std::hint::spin_loop();
                         thread::yield_now();
                     }
@@ -570,12 +638,19 @@ impl StreamingEngine {
                     lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
                 }
                 PushPolicy::Drop => {
-                    if ring.try_push(&record).is_ok() {
+                    // Shed when the lattice is over its own budget *or* the
+                    // shared ring has no room; a shed round is recorded so
+                    // the frame path and the residual analysis can feed it
+                    // an identity correction later.
+                    let over_budget =
+                        budget.is_some_and(|budget| lattice_counters.outstanding() >= budget);
+                    if !over_budget && ring.try_push(&record).is_ok() {
                         counters.enqueued.fetch_add(1, Ordering::Relaxed);
                         lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
                     } else {
                         counters.dropped.fetch_add(1, Ordering::Relaxed);
                         lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        lattice_shed[lattice_id as usize].push(sourced.round);
                     }
                 }
             }
@@ -614,16 +689,27 @@ impl StreamingEngine {
         generation_elapsed_ns: f64,
         final_backlog: u64,
         lattice_stats: Vec<LatticeGenStats>,
+        lattice_shed: Vec<Vec<u64>>,
         elapsed_s: f64,
         counters: &RuntimeCounters,
     ) -> RuntimeOutcome {
         let config = &self.config;
         let set = &self.set;
         let total_rounds = set.total_rounds();
-        let decoder_name = worker_outputs
+        // Per-lattice decoder names (same on every worker — they build from
+        // the same factories); the machine-level headline joins the distinct
+        // names, so a heterogeneous machine reads e.g. "lookup+union-find".
+        let lattice_decoder_names: Vec<String> = worker_outputs
             .first()
-            .map(|o| o.decoder_name.clone())
+            .map(|o| o.lattice_decoders.clone())
             .unwrap_or_default();
+        let mut distinct_names: Vec<&str> = Vec::new();
+        for name in &lattice_decoder_names {
+            if !distinct_names.contains(&name.as_str()) {
+                distinct_names.push(name);
+            }
+        }
+        let decoder_name = distinct_names.join("+");
 
         // Regroup the per-worker, per-lattice outputs by lattice.
         let mut per_lattice_decode_ns: Vec<Vec<f64>> = vec![Vec::new(); set.len()];
@@ -649,10 +735,17 @@ impl StreamingEngine {
             let decode_latency = LatencyProfile::of(&per_lattice_decode_ns[lattice_id]);
             let total_latency = LatencyProfile::of(&per_lattice_total_ns[lattice_id]);
             let stats = &lattice_stats[lattice_id];
+            let snapshot = counters.per_lattice[lattice_id].snapshot();
+            let shed_rounds = &lattice_shed[lattice_id];
+            debug_assert_eq!(shed_rounds.len() as u64, snapshot.dropped);
             let inter_arrival_ns = stats.gen_elapsed_ns / spec.rounds as f64;
             let measured = MeasuredBacklog {
                 rounds: spec.rounds,
                 final_backlog: stats.final_backlog,
+                // Shed rounds are lost, not owed: they left the backlog the
+                // moment they were dropped, so they are accounted here
+                // explicitly instead of vanishing from the growth math.
+                shed: snapshot.dropped,
                 // Workers decode concurrently, so the aggregate service time
                 // per round is the per-packet mean divided by the pool width
                 // (an optimistic bound when other lattices compete for the
@@ -661,40 +754,76 @@ impl StreamingEngine {
                 inter_arrival_ns,
             };
             let comparison = BacklogComparison::against_model(&measured);
+            let residual = if config.analyze_residuals {
+                Some(analyze_lattice_residuals(
+                    lattice_id,
+                    spec,
+                    lattice,
+                    &corrections,
+                    shed_rounds,
+                ))
+            } else {
+                None
+            };
             lattices.push(LatticeReport {
                 lattice_id,
                 distance: spec.distance,
+                decoder: lattice_decoder_names
+                    .get(lattice_id)
+                    .cloned()
+                    .unwrap_or_default(),
+                push_policy: config.policy_for(spec),
+                push_policy_overridden: spec.push_policy.is_some(),
+                queue_budget: spec.queue_budget,
+                shed_slo: spec.shed_slo,
+                residual,
                 rounds: spec.rounds,
                 cadence_ns: config.cycle_time.cycles_to_ns(spec.cadence_cycles),
                 inter_arrival_ns,
-                counters: counters.per_lattice[lattice_id].snapshot(),
+                counters: snapshot,
                 final_backlog: stats.final_backlog,
                 decode_latency,
                 total_latency,
                 measured,
                 comparison,
             });
-            frames.push(ShardedPauliFrame::from_shards(
-                lattice.num_data(),
-                std::mem::take(&mut per_lattice_shards[lattice_id]),
-            ));
+            // Shed rounds enter the frame path as identity corrections: the
+            // merged Pauli string is unchanged (nothing was corrected), but
+            // the frame's recorded-cycle count owns up to every generated
+            // round, so `total_recorded == generated` under shedding too.
+            let mut shards = std::mem::take(&mut per_lattice_shards[lattice_id]);
+            if !shed_rounds.is_empty() {
+                let mut shed_shard = PauliFrame::new(lattice.num_data());
+                let identity = PauliString::identity(lattice.num_data());
+                for _ in shed_rounds {
+                    shed_shard.record(&identity);
+                }
+                shards.push(shed_shard);
+            }
+            frames.push(ShardedPauliFrame::from_shards(lattice.num_data(), shards));
             decode_ns.extend(std::mem::take(&mut per_lattice_decode_ns[lattice_id]));
             total_ns.extend(std::mem::take(&mut per_lattice_total_ns[lattice_id]));
+        }
+        if !config.record_corrections {
+            // The corrections were only recorded to feed the residual
+            // analysis; the caller did not ask for them.
+            corrections.clear();
         }
 
         let decode_latency = LatencyProfile::of(&decode_ns);
         let total_latency = LatencyProfile::of(&total_ns);
         let inter_arrival_ns = generation_elapsed_ns / total_rounds as f64;
+        let snapshot = counters.snapshot();
         let measured = MeasuredBacklog {
             rounds: total_rounds,
             final_backlog,
+            shed: snapshot.dropped,
             // Workers decode concurrently, so the aggregate service time per
             // round is the per-packet mean divided by the pool width.
             service_time_ns: decode_latency.summary.mean / config.workers as f64,
             inter_arrival_ns,
         };
         let comparison = BacklogComparison::against_model(&measured);
-        let snapshot = counters.snapshot();
         let throughput_per_s = if elapsed_s > 0.0 {
             snapshot.decoded as f64 / elapsed_s
         } else {
@@ -732,6 +861,48 @@ impl StreamingEngine {
             corrections,
         }
     }
+}
+
+/// The end-of-run drop-policy error analysis for one lattice: replay the
+/// lattice's seeded error stream and classify every round's residual against
+/// the correction that was actually applied — the decoder's output for
+/// decoded rounds, identity for shed rounds.
+///
+/// `corrections` is the run's full `(lattice, round)`-sorted correction list
+/// and `shed_rounds` the producer's record of this lattice's dropped rounds;
+/// together they cover every generated round exactly once.
+fn analyze_lattice_residuals(
+    lattice_id: usize,
+    spec: &LatticeSpec,
+    lattice: &Arc<nisqplus_qec::lattice::Lattice>,
+    corrections: &[RoundCorrection],
+    shed_rounds: &[u64],
+) -> ResidualReport {
+    let mut source = SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)
+        .expect("noise validated in StreamingEngine::with_machine");
+    let identity = PauliString::identity(lattice.num_data());
+    let mut report = ResidualReport::default();
+    let mut decoded = corrections
+        .iter()
+        .filter(|c| c.lattice_id as usize == lattice_id)
+        .peekable();
+    let mut shed = shed_rounds.iter().peekable();
+    for round in 0..spec.rounds {
+        let (error, _) = source.next_error_and_syndrome();
+        if decoded.peek().is_some_and(|c| c.round == round) {
+            let correction = &decoded.next().expect("peeked").correction;
+            report.decoded.record(lattice, &error, correction);
+        } else {
+            debug_assert_eq!(
+                shed.peek().copied().copied(),
+                Some(round),
+                "round neither decoded nor shed"
+            );
+            shed.next();
+            report.shed.record(lattice, &error, &identity);
+        }
+    }
+    report
 }
 
 /// Everything one worker thread needs, bundled to keep the spawn site tidy.
@@ -778,23 +949,35 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
         record_corrections,
         batch_size,
     } = ctx;
-    // One prepared decoder per distinct code distance: lattices of equal
-    // distance share layout (LatticeSet interns them), so the prepared
-    // sector graphs and scratch arenas are reused across them.
+    // One prepared decoder per distinct (code distance, factory): lattices
+    // of equal distance share layout (LatticeSet interns them), so the
+    // prepared sector graphs and scratch arenas are reused across them — but
+    // only between lattices served by the *same* factory (the machine-wide
+    // one, or a shared per-lattice override).
     let mut decoders: Vec<DynDecoder> = Vec::new();
-    let mut slot_of_distance: Vec<(usize, usize)> = Vec::new(); // (distance, slot)
+    let mut lattice_decoders: Vec<String> = Vec::with_capacity(set.len());
+    // (distance, factory identity, slot); None = the machine-wide factory.
+    let mut slot_of: Vec<(usize, Option<usize>, usize)> = Vec::new();
     let mut states: Vec<LatticeWorkerState> = Vec::with_capacity(set.len());
     for (_, spec, lattice) in set.iter() {
-        let decoder_slot = match slot_of_distance.iter().find(|(d, _)| *d == spec.distance) {
-            Some(&(_, slot)) => slot,
+        let factory_key = spec.decoder.as_ref().map(LatticeDecoder::key);
+        let decoder_slot = match slot_of
+            .iter()
+            .find(|(d, k, _)| *d == spec.distance && *k == factory_key)
+        {
+            Some(&(_, _, slot)) => slot,
             None => {
-                let mut decoder = factory.build();
+                let mut decoder = match &spec.decoder {
+                    Some(per_lattice) => per_lattice.build(),
+                    None => factory.build(),
+                };
                 decoder.prepare(lattice);
                 decoders.push(decoder);
-                slot_of_distance.push((spec.distance, decoders.len() - 1));
+                slot_of.push((spec.distance, factory_key, decoders.len() - 1));
                 decoders.len() - 1
             }
         };
+        lattice_decoders.push(decoders[decoder_slot].name().to_string());
         states.push(LatticeWorkerState {
             decoder_slot,
             packet: SyndromePacket::new(0, 0, 0, &Syndrome::new(lattice.num_ancillas())),
@@ -808,7 +991,6 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
             },
         });
     }
-    let decoder_name = decoders[0].name().to_string();
     // Reusable batch records, shared across lattices (records are sized for
     // the largest lattice of the set).
     let mut batch: Vec<Vec<u64>> = (0..batch_size)
@@ -838,7 +1020,7 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
         if filled == 0 {
             if done.load(Ordering::Acquire) && rings.iter().all(SpmcRing::is_empty) {
                 return WorkerOutput {
-                    decoder_name,
+                    lattice_decoders,
                     per_lattice: states.into_iter().map(|s| s.output).collect(),
                     corrections,
                 };

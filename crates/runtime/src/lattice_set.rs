@@ -9,15 +9,98 @@
 //! what the packet header's `lattice_id` field refers to and what the
 //! per-lattice telemetry is keyed by.
 
+use crate::engine::PushPolicy;
 use crate::source::NoiseSpec;
+use nisqplus_decoders::traits::{DecoderFactory, DynDecoder, SharedDecoderFactory};
 use nisqplus_qec::lattice::Lattice;
 use nisqplus_qec::syndrome::PackedSyndrome;
 use nisqplus_qec::QecError;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
 
-/// Everything that defines one logical qubit's syndrome stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// A per-lattice decoder-factory override: this lattice's rounds are decoded
+/// by instances built from *this* factory instead of the machine-wide one.
+///
+/// This is how a machine mixes decoder algorithms — e.g. the exhaustive
+/// lookup decoder for its d=3 patches beside union-find for its d=7 patches.
+/// Two lattices holding clones of the same `LatticeDecoder` (same underlying
+/// `Arc`) share one prepared decoder instance per worker when their
+/// distances match; distinct factories always get distinct instances.
+///
+/// The wrapper exists so [`LatticeSpec`] stays `Clone`/`Debug`/`PartialEq`:
+/// factories themselves are opaque, so equality is identity (`Arc::ptr_eq`)
+/// and the field is skipped by serialization (a deserialized spec falls back
+/// to the machine-wide factory).
+#[derive(Clone)]
+pub struct LatticeDecoder(SharedDecoderFactory);
+
+impl LatticeDecoder {
+    /// Wraps a factory for use as a per-lattice override.
+    #[must_use]
+    pub fn new(factory: impl DecoderFactory + 'static) -> Self {
+        LatticeDecoder(Arc::new(factory))
+    }
+
+    /// Wraps an already-shared factory without another allocation.
+    #[must_use]
+    pub fn from_shared(factory: SharedDecoderFactory) -> Self {
+        LatticeDecoder(factory)
+    }
+
+    /// Builds one fresh decoder instance from the override's factory.
+    #[must_use]
+    pub fn build(&self) -> DynDecoder {
+        self.0.build()
+    }
+
+    /// A token identifying the underlying factory: two overrides with equal
+    /// keys share prepared decoder instances (per worker, per distance).
+    #[must_use]
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.0) as *const () as usize
+    }
+}
+
+impl fmt::Debug for LatticeDecoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("LatticeDecoder")
+            .field(&format_args!("{:#x}", self.key()))
+            .finish()
+    }
+}
+
+impl PartialEq for LatticeDecoder {
+    /// Identity equality: same shared factory, not same algorithm.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Everything that defines one logical qubit's syndrome stream, plus the
+/// lattice's quality-of-service contract with the decoder fabric.
+///
+/// The stream fields (`distance`, `noise`, `seed`, `rounds`,
+/// `cadence_cycles`) say what the lattice *produces*; the QoS fields say
+/// what the machine owes it when the fabric cannot keep up: whether its
+/// rounds may be shed ([`LatticeSpec::push_policy`]), how much outstanding
+/// work it may pile up ([`LatticeSpec::queue_budget`]), what shed rate is
+/// acceptable ([`LatticeSpec::shed_slo`]), and which decoder serves it
+/// ([`LatticeSpec::decoder`]).  All QoS fields default to "inherit the
+/// machine-wide setting" / "unlimited"; the builder methods chain:
+///
+/// ```rust
+/// use nisqplus_runtime::{LatticeSpec, PushPolicy};
+///
+/// let spec = LatticeSpec::new(3)
+///     .with_rounds(500)
+///     .with_push_policy(PushPolicy::Drop)
+///     .with_queue_budget(8)
+///     .with_shed_slo(0.05);
+/// assert_eq!(spec.push_policy, Some(PushPolicy::Drop));
+/// assert_eq!(spec.queue_budget, Some(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatticeSpec {
     /// Surface-code distance of this lattice.
     pub distance: usize,
@@ -33,11 +116,34 @@ pub struct LatticeSpec {
     /// pacing for this lattice: its rounds are interleaved round-robin with
     /// other unpaced lattices as fast as the producer can generate them.
     pub cadence_cycles: usize,
+    /// This lattice's full-queue policy: `Some(Block)` for backpressure
+    /// (lossless), `Some(Drop)` for load shedding, `None` to inherit the
+    /// machine-wide [`MachineConfig::push_policy`](crate::MachineConfig).
+    pub push_policy: Option<PushPolicy>,
+    /// Upper bound on this lattice's *outstanding* rounds (accepted by a
+    /// ring but not yet decoded).  When the bound is reached the lattice's
+    /// effective push policy applies — a `Drop` lattice sheds, a `Block`
+    /// lattice stalls the producer — even if the shared rings still have
+    /// space, so one low-priority patch cannot monopolize pooled capacity.
+    /// `None` means only the shared ring capacity limits it.
+    pub queue_budget: Option<usize>,
+    /// Shed-rate service-level objective: the highest acceptable fraction of
+    /// this lattice's generated rounds that may be shed (`0.0..=1.0`).  The
+    /// run never enforces it; the final
+    /// [`LatticeReport`](crate::telemetry::LatticeReport) verdicts against
+    /// it.  `None` disables the verdict.
+    pub shed_slo: Option<f64>,
+    /// Per-lattice decoder override; `None` uses the factory passed to
+    /// [`StreamingEngine::run`](crate::StreamingEngine::run).  Not
+    /// serialized (factories are code, not data).
+    #[serde(skip)]
+    pub decoder: Option<LatticeDecoder>,
 }
 
 impl LatticeSpec {
     /// A paper-shaped spec: pure dephasing at 3%, 10 000 rounds, one round
-    /// per 400 ns.
+    /// per 400 ns, machine-default QoS (inherited policy, no budget, no SLO,
+    /// machine-wide decoder).
     #[must_use]
     pub fn new(distance: usize) -> Self {
         LatticeSpec {
@@ -46,7 +152,76 @@ impl LatticeSpec {
             seed: 2020,
             rounds: 10_000,
             cadence_cycles: crate::engine::RuntimeConfig::PAPER_CADENCE_CYCLES,
+            push_policy: None,
+            queue_budget: None,
+            shed_slo: None,
+            decoder: None,
         }
+    }
+
+    /// Sets the noise channel.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the stream seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of rounds streamed.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the syndrome-generation cadence in decoder clock cycles (`0`
+    /// disables pacing).
+    #[must_use]
+    pub fn with_cadence_cycles(mut self, cadence_cycles: usize) -> Self {
+        self.cadence_cycles = cadence_cycles;
+        self
+    }
+
+    /// Overrides the machine-wide push policy for this lattice.
+    #[must_use]
+    pub fn with_push_policy(mut self, policy: PushPolicy) -> Self {
+        self.push_policy = Some(policy);
+        self
+    }
+
+    /// Caps this lattice's outstanding (accepted-but-undecoded) rounds.
+    #[must_use]
+    pub fn with_queue_budget(mut self, budget: usize) -> Self {
+        self.queue_budget = Some(budget);
+        self
+    }
+
+    /// Sets the shed-rate SLO this lattice's report is verdicted against.
+    #[must_use]
+    pub fn with_shed_slo(mut self, max_shed_rate: f64) -> Self {
+        self.shed_slo = Some(max_shed_rate);
+        self
+    }
+
+    /// Assigns this lattice its own decoder factory.
+    #[must_use]
+    pub fn with_decoder(mut self, factory: impl DecoderFactory + 'static) -> Self {
+        self.decoder = Some(LatticeDecoder::new(factory));
+        self
+    }
+
+    /// Assigns an already-shared decoder factory (lattices holding clones of
+    /// the same `Arc` share prepared instances per worker and distance).
+    #[must_use]
+    pub fn with_shared_decoder(mut self, factory: SharedDecoderFactory) -> Self {
+        self.decoder = Some(LatticeDecoder::from_shared(factory));
+        self
     }
 }
 
@@ -76,7 +251,8 @@ impl LatticeSet {
     ///
     /// # Panics
     ///
-    /// Panics if `specs` is empty or any spec streams zero rounds.
+    /// Panics if `specs` is empty, any spec streams zero rounds, any queue
+    /// budget is zero, or any shed-rate SLO is outside `[0, 1]`.
     pub fn new(specs: Vec<LatticeSpec>) -> Result<Self, QecError> {
         assert!(
             !specs.is_empty(),
@@ -85,6 +261,16 @@ impl LatticeSet {
         let mut lattices: Vec<Arc<Lattice>> = Vec::with_capacity(specs.len());
         for spec in &specs {
             assert!(spec.rounds > 0, "every lattice streams at least one round");
+            assert!(
+                spec.queue_budget != Some(0),
+                "a queue budget of zero rounds would shed or stall every round"
+            );
+            if let Some(slo) = spec.shed_slo {
+                assert!(
+                    (0.0..=1.0).contains(&slo),
+                    "shed-rate SLO must be a fraction in [0, 1], got {slo}"
+                );
+            }
             let existing = lattices
                 .iter()
                 .find(|l| l.distance() == spec.distance)
@@ -244,5 +430,69 @@ mod tests {
     #[test]
     fn invalid_distance_is_an_error() {
         assert!(LatticeSet::new(vec![LatticeSpec::new(4)]).is_err());
+    }
+
+    #[test]
+    fn builders_chain_and_default_to_inherit() {
+        use nisqplus_decoders::GreedyMatchingDecoder;
+        let plain = LatticeSpec::new(3);
+        assert_eq!(plain.push_policy, None);
+        assert_eq!(plain.queue_budget, None);
+        assert_eq!(plain.shed_slo, None);
+        assert!(plain.decoder.is_none());
+        let spec = LatticeSpec::new(5)
+            .with_noise(NoiseSpec::Depolarizing { p: 0.01 })
+            .with_seed(7)
+            .with_rounds(123)
+            .with_cadence_cycles(0)
+            .with_push_policy(PushPolicy::Drop)
+            .with_queue_budget(4)
+            .with_shed_slo(0.25)
+            .with_decoder(|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+        assert_eq!(spec.distance, 5);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.rounds, 123);
+        assert_eq!(spec.cadence_cycles, 0);
+        assert_eq!(spec.push_policy, Some(PushPolicy::Drop));
+        assert_eq!(spec.queue_budget, Some(4));
+        assert_eq!(spec.shed_slo, Some(0.25));
+        assert_eq!(
+            spec.decoder.as_ref().unwrap().build().name(),
+            "greedy-matching"
+        );
+    }
+
+    #[test]
+    fn decoder_override_equality_is_identity() {
+        use nisqplus_decoders::GreedyMatchingDecoder;
+        let shared: SharedDecoderFactory =
+            Arc::new(|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+        let a = LatticeDecoder::from_shared(shared.clone());
+        let b = LatticeDecoder::from_shared(shared);
+        let c = LatticeDecoder::new(|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+        assert!(a != c);
+        assert_ne!(a.key(), c.key());
+        // Spec clones share the factory and compare equal.
+        let mut spec_a = LatticeSpec::new(3);
+        spec_a.decoder = Some(a.clone());
+        let spec_b = spec_a.clone();
+        assert_eq!(spec_a, spec_b);
+        let mut spec_c = spec_a.clone();
+        spec_c.decoder = Some(c);
+        assert!(spec_a != spec_c);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue budget of zero")]
+    fn zero_queue_budget_rejected() {
+        let _ = LatticeSet::new(vec![LatticeSpec::new(3).with_queue_budget(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shed-rate SLO")]
+    fn out_of_range_slo_rejected() {
+        let _ = LatticeSet::new(vec![LatticeSpec::new(3).with_shed_slo(1.5)]);
     }
 }

@@ -10,7 +10,11 @@
 //!
 //! * [`lattice_set`] — the registry of lattices (logical qubits) one engine
 //!   serves: a full NISQ+ machine is many patches of possibly different
-//!   distances, each with its own seeded stream and cadence,
+//!   distances, each with its own seeded stream and cadence — and its own
+//!   QoS contract: a per-lattice push policy (Block/Drop), an outstanding
+//!   queue budget, a shed-rate SLO, and optionally its own decoder factory
+//!   ([`LatticeDecoder`], e.g. lookup for d=3 patches beside union-find for
+//!   d=7),
 //! * [`source`] — the seeded endless syndrome stream, one per lattice,
 //!   interleaved on independent cadences by [`InterleavedSource`] (same
 //!   seed, same stream, which is what makes stream-versus-batch equivalence
@@ -40,8 +44,16 @@
 //!   backlog growth compared against the closed-form
 //!   [`BacklogModel`](nisqplus_system::backlog::BacklogModel) (the
 //!   empirical counterpart of Figures 5 and 6), aggregate *and* per lattice
-//!   ([`LatticeReport`]), so the report answers "which patch is falling
-//!   behind".
+//!   ([`LatticeReport`]): which patch is falling behind, under which QoS
+//!   contract, served by which decoder, at what shed rate (verdicted
+//!   against its SLO) — and, when the run enables the residual analysis, at
+//!   what *measured* logical cost ([`ResidualReport`]): shed rounds enter
+//!   the per-lattice frame as identity corrections, the seeded error stream
+//!   is replayed, and every round's residual is classified, so the price of
+//!   load shedding versus backpressure is a measurement, not an assumption.
+//!
+//! `docs/OPERATIONS.md` at the repository root is the operator's guide to
+//! every field of the report.
 //!
 //! # Example
 //!
@@ -81,12 +93,12 @@ pub use engine::{
     MachineConfig, PushPolicy, RoundCorrection, RuntimeConfig, RuntimeOutcome, StreamingEngine,
 };
 pub use frame::ShardedPauliFrame;
-pub use lattice_set::{LatticeSet, LatticeSpec};
+pub use lattice_set::{LatticeDecoder, LatticeSet, LatticeSpec};
 pub use packet::{PacketCodec, PacketError, SyndromePacket};
 pub use queue::{RingFull, SpmcRing};
 pub use source::{InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
 pub use telemetry::{
     CounterSnapshot, DepthSample, LatencyProfile, LatticeCounterSnapshot, LatticeCounters,
-    LatticeReport, RuntimeCounters, RuntimeReport,
+    LatticeReport, ResidualReport, RuntimeCounters, RuntimeReport,
 };
 pub use throttle::ThrottledDecoder;

@@ -94,12 +94,23 @@ impl SyndromeSource {
 
     /// Generates the next round's syndrome.  Never exhausts.
     pub fn next_syndrome(&mut self) -> Syndrome {
+        self.next_error_and_syndrome().1
+    }
+
+    /// Generates the next round, returning the sampled physical error
+    /// together with its syndrome.  Consumes exactly the same randomness as
+    /// [`SyndromeSource::next_syndrome`], so a second source with the same
+    /// `(lattice, noise, seed)` triple can *replay* a run's error stream —
+    /// which is how the runtime's end-of-run residual analysis recovers the
+    /// errors behind the syndromes it already decoded (or shed).
+    pub fn next_error_and_syndrome(&mut self) -> (nisqplus_qec::pauli::PauliString, Syndrome) {
         let error = match self.model {
             NoiseModel::Dephasing(m) => m.sample(&self.lattice, &mut self.rng),
             NoiseModel::Depolarizing(m) => m.sample(&self.lattice, &mut self.rng),
         };
         self.rounds_emitted += 1;
-        self.lattice.syndrome_of(&error)
+        let syndrome = self.lattice.syndrome_of(&error);
+        (error, syndrome)
     }
 }
 
@@ -278,6 +289,20 @@ mod tests {
             SyndromeSource::new(lat.clone(), NoiseSpec::Depolarizing { p: 0.02 }, 7).unwrap();
         let s = source.next_syndrome();
         assert_eq!(s.len(), lat.num_ancillas());
+    }
+
+    #[test]
+    fn error_and_syndrome_stream_replays_the_syndrome_stream() {
+        let noise = NoiseSpec::Depolarizing { p: 0.1 };
+        let mut plain = SyndromeSource::new(lattice(), noise, 9).unwrap();
+        let mut replay = SyndromeSource::new(lattice(), noise, 9).unwrap();
+        for _ in 0..30 {
+            let syndrome = plain.next_syndrome();
+            let (error, replayed) = replay.next_error_and_syndrome();
+            assert_eq!(replayed, syndrome);
+            assert_eq!(replay.lattice().syndrome_of(&error), syndrome);
+        }
+        assert_eq!(plain.rounds_emitted(), replay.rounds_emitted());
     }
 
     #[test]

@@ -7,9 +7,16 @@
 //! final counter values, the depth timeline and the per-packet latency
 //! samples into a [`RuntimeReport`]: aggregate counters, an aggregate
 //! backlog-versus-[`BacklogModel`](nisqplus_system::backlog::BacklogModel)
-//! comparison, and one [`LatticeReport`] per registered lattice, so the
-//! report answers "which patch is falling behind" for a whole NISQ+ machine.
+//! comparison, and one [`LatticeReport`] per registered lattice — which
+//! patch is falling behind, under which QoS contract (push policy, queue
+//! budget, shed-rate SLO verdict), served by which decoder, and, when the
+//! residual analysis ran, at what measured logical cost ([`ResidualReport`]).
+//!
+//! Every field the report prints is documented line by line for operators
+//! in `docs/OPERATIONS.md` at the repository root.
 
+use crate::engine::PushPolicy;
+use nisqplus_qec::logical::ResidualTally;
 use nisqplus_sim::stats::{histogram, Summary};
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
 use serde::{Deserialize, Serialize};
@@ -23,8 +30,12 @@ pub struct LatticeCounters {
     pub generated: AtomicU64,
     /// This lattice's packets accepted by a ring.
     pub enqueued: AtomicU64,
-    /// This lattice's packets dropped because the ring was full.
+    /// This lattice's packets dropped (shed) because the ring was full or
+    /// the lattice's queue budget was exhausted.
     pub dropped: AtomicU64,
+    /// Producer spin-retries attributable to this lattice: its packet found
+    /// the ring full, or its queue budget exhausted, under a blocking policy.
+    pub backpressure_spins: AtomicU64,
     /// This lattice's packets decoded and committed to its frame.
     pub decoded: AtomicU64,
 }
@@ -37,6 +48,7 @@ impl LatticeCounters {
             generated: self.generated.load(Ordering::Relaxed),
             enqueued: self.enqueued.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            backpressure_spins: self.backpressure_spins.load(Ordering::Relaxed),
             decoded: self.decoded.load(Ordering::Relaxed),
         }
     }
@@ -49,6 +61,16 @@ impl LatticeCounters {
             .load(Ordering::Relaxed)
             .saturating_sub(self.decoded.load(Ordering::Relaxed))
             .saturating_sub(self.dropped.load(Ordering::Relaxed))
+    }
+
+    /// This lattice's outstanding rounds: accepted by a ring but not yet
+    /// decoded.  This is the quantity a per-lattice
+    /// [`queue_budget`](crate::LatticeSpec::queue_budget) bounds.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.decoded.load(Ordering::Relaxed))
     }
 }
 
@@ -110,7 +132,7 @@ impl RuntimeCounters {
     /// The current aggregate backlog: rounds generated but neither decoded
     /// nor shed.  Dropped rounds are lost, not owed, so they don't count as
     /// outstanding work (under
-    /// [`PushPolicy::Block`](crate::engine::PushPolicy::Block) nothing is
+    /// [`PushPolicy::Block`] nothing is
     /// ever dropped and this is exactly generated minus decoded).
     #[must_use]
     pub fn backlog(&self) -> u64 {
@@ -161,8 +183,12 @@ pub struct LatticeCounterSnapshot {
     pub generated: u64,
     /// This lattice's packets accepted by a ring.
     pub enqueued: u64,
-    /// This lattice's packets dropped because the ring was full.
+    /// This lattice's packets dropped (shed) because the ring was full or
+    /// its queue budget was exhausted.
     pub dropped: u64,
+    /// Producer spin-retries attributable to this lattice under a blocking
+    /// policy.
+    pub backpressure_spins: u64,
     /// This lattice's packets decoded.
     pub decoded: u64,
 }
@@ -214,14 +240,82 @@ impl LatencyProfile {
     }
 }
 
+/// The measured logical cost of one lattice's run, split by how each round
+/// was served: decoded rounds got the decoder's correction, shed rounds an
+/// identity correction (nothing was done about whatever error occurred).
+///
+/// Produced by the engine's end-of-run residual analysis
+/// ([`MachineConfig::analyze_residuals`](crate::MachineConfig)): the
+/// lattice's seeded error stream is replayed and every round's residual
+/// (error composed with the applied correction) is classified with
+/// [`nisqplus_qec::logical::classify_residual`] over both sectors.  This is
+/// what turns "we shed 12% of rounds" into "shedding corrupted 6.3% of
+/// rounds" — the drop-policy error analysis the backlog paper's argument
+/// calls for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResidualReport {
+    /// Residual classifications of the rounds a decoder actually served.
+    pub decoded: ResidualTally,
+    /// Residual classifications of the shed rounds (identity corrections).
+    /// Empty under pure backpressure.
+    pub shed: ResidualTally,
+}
+
+impl ResidualReport {
+    /// Both tallies folded together: the lattice's overall residual record.
+    #[must_use]
+    pub fn total(&self) -> ResidualTally {
+        let mut total = self.decoded;
+        total.absorb(&self.shed);
+        total
+    }
+
+    /// The lattice's overall measured failure rate (logical errors plus
+    /// invalid corrections, over all rounds — decoded and shed).
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        self.total().failure_rate()
+    }
+
+    /// How much worse a shed round is than a decoded one: the shed failure
+    /// rate minus the decoded failure rate.  This is the *marginal* logical
+    /// cost of shedding one round, measured rather than assumed; `None`
+    /// when nothing was shed (the quantity is undefined for a lossless
+    /// lattice).
+    #[must_use]
+    pub fn shed_penalty(&self) -> Option<f64> {
+        if self.shed.rounds == 0 {
+            None
+        } else {
+            Some(self.shed.failure_rate() - self.decoded.failure_rate())
+        }
+    }
+}
+
 /// One lattice's slice of the run telemetry: the per-patch breakdown that
-/// says *which* logical qubit is falling behind.
+/// says *which* logical qubit is falling behind, under *which* QoS contract,
+/// served by *which* decoder, and at what measured logical cost.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatticeReport {
     /// The lattice's id in the engine's registry.
     pub lattice_id: usize,
     /// The lattice's code distance.
     pub distance: usize,
+    /// Name of the decoder that served this lattice (the per-lattice
+    /// override's product if one was set, else the machine-wide factory's).
+    pub decoder: String,
+    /// The push policy this lattice ran under (its override, or the
+    /// machine-wide policy it inherited).
+    pub push_policy: PushPolicy,
+    /// Whether [`LatticeReport::push_policy`] came from the lattice's own
+    /// spec (`false` = inherited from the machine config).
+    pub push_policy_overridden: bool,
+    /// This lattice's outstanding-round budget, if one was configured.
+    pub queue_budget: Option<usize>,
+    /// This lattice's shed-rate SLO, if one was configured.
+    pub shed_slo: Option<f64>,
+    /// The end-of-run residual analysis, when the run requested it.
+    pub residual: Option<ResidualReport>,
     /// Rounds this lattice was configured to stream.
     pub rounds: u64,
     /// This lattice's nominal syndrome-generation cadence in nanoseconds per
@@ -261,6 +355,19 @@ fn backlog_stayed_bounded(dropped: u64, final_backlog: u64, rounds: u64) -> bool
     dropped == 0 && final_backlog * 20 < rounds.max(1)
 }
 
+/// The shared one-word queue verdict: `SHEDDING` as soon as anything was
+/// dropped, otherwise `BOUNDED`/`GROWING` from [`backlog_stayed_bounded`].
+/// One helper for both report levels so they can never drift apart.
+fn queue_verdict(dropped: u64, stayed_bounded: bool) -> &'static str {
+    if dropped > 0 {
+        "SHEDDING"
+    } else if stayed_bounded {
+        "BOUNDED"
+    } else {
+        "GROWING"
+    }
+}
+
 impl LatticeReport {
     /// Whether this lattice's queue stayed bounded: none of its packets were
     /// dropped, and the backlog left when its generation stopped is small
@@ -268,6 +375,32 @@ impl LatticeReport {
     #[must_use]
     pub fn queue_stayed_bounded(&self) -> bool {
         backlog_stayed_bounded(self.counters.dropped, self.final_backlog, self.rounds)
+    }
+
+    /// The fraction of this lattice's generated rounds that were shed.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.counters.generated == 0 {
+            0.0
+        } else {
+            self.counters.dropped as f64 / self.counters.generated as f64
+        }
+    }
+
+    /// The shed-rate SLO verdict: `Some(true)` when a SLO is configured and
+    /// the measured shed rate is within it, `Some(false)` when it is
+    /// violated, `None` when no SLO was configured.
+    #[must_use]
+    pub fn meets_shed_slo(&self) -> Option<bool> {
+        self.shed_slo.map(|slo| self.shed_rate() <= slo)
+    }
+
+    /// The one-word queue verdict the report prints: `SHEDDING` when any of
+    /// this lattice's rounds were dropped, otherwise `BOUNDED`/`GROWING`
+    /// from [`LatticeReport::queue_stayed_bounded`].
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        queue_verdict(self.counters.dropped, self.queue_stayed_bounded())
     }
 }
 
@@ -342,6 +475,24 @@ impl RuntimeReport {
             .map(|l| l.lattice_id)
             .collect()
     }
+
+    /// The ids of lattices whose configured shed-rate SLO was violated.
+    #[must_use]
+    pub fn lattices_violating_slo(&self) -> Vec<usize> {
+        self.lattices
+            .iter()
+            .filter(|l| l.meets_shed_slo() == Some(false))
+            .map(|l| l.lattice_id)
+            .collect()
+    }
+
+    /// The one-word aggregate queue verdict the report prints: `SHEDDING`
+    /// when any round was dropped, otherwise `BOUNDED`/`GROWING` from
+    /// [`RuntimeReport::queue_stayed_bounded`].
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        queue_verdict(self.counters.dropped, self.queue_stayed_bounded())
+    }
 }
 
 impl fmt::Display for RuntimeReport {
@@ -383,14 +534,11 @@ impl fmt::Display for RuntimeReport {
         )?;
         writeln!(
             f,
-            "  queue: max depth {} | final backlog {} rounds | {}",
+            "  queue: max depth {} | final backlog {} rounds | shed {} rounds | {}",
             self.max_queue_depth,
             self.final_backlog,
-            if self.queue_stayed_bounded() {
-                "BOUNDED"
-            } else {
-                "GROWING"
-            }
+            self.measured.shed,
+            self.verdict()
         )?;
         writeln!(
             f,
@@ -403,22 +551,54 @@ impl fmt::Display for RuntimeReport {
         for lattice in &self.lattices {
             write!(
                 f,
-                "\n  lattice {:>3} d={} | {:>8} rounds | decoded {:>8} | dropped {:>6} | \
+                "\n  lattice {:>3} d={} [{}] | {:>8} rounds | decoded {:>8} | shed {:>6} | \
                  backlog {:>6} | growth {:.4} vs {:.4} | {}",
                 lattice.lattice_id,
                 lattice.distance,
+                lattice.decoder,
                 lattice.counters.generated,
                 lattice.counters.decoded,
                 lattice.counters.dropped,
                 lattice.final_backlog,
                 lattice.comparison.measured_growth_per_round,
                 lattice.comparison.predicted_growth_per_round,
-                if lattice.queue_stayed_bounded() {
-                    "BOUNDED"
-                } else {
-                    "GROWING"
-                }
+                lattice.verdict()
             )?;
+            write!(
+                f,
+                "\n      qos: policy {:?} ({}) | budget {} | shed rate {:.2}% | SLO {}",
+                lattice.push_policy,
+                if lattice.push_policy_overridden {
+                    "per-lattice"
+                } else {
+                    "inherited"
+                },
+                match lattice.queue_budget {
+                    Some(budget) => budget.to_string(),
+                    None => "none".to_string(),
+                },
+                lattice.shed_rate() * 100.0,
+                match (lattice.shed_slo, lattice.meets_shed_slo()) {
+                    (Some(slo), Some(true)) => format!("{:.2}% MET", slo * 100.0),
+                    (Some(slo), _) => format!("{:.2}% VIOLATED", slo * 100.0),
+                    (None, _) => "none".to_string(),
+                },
+            )?;
+            if let Some(residual) = &lattice.residual {
+                write!(
+                    f,
+                    "\n      residual: decoded {}/{} failed ({:.2}%) | shed {}/{} failed \
+                     ({:.2}%) | overall {:.3}% (logical {:.3}%)",
+                    residual.decoded.failures(),
+                    residual.decoded.rounds,
+                    residual.decoded.failure_rate() * 100.0,
+                    residual.shed.failures(),
+                    residual.shed.rounds,
+                    residual.shed.failure_rate() * 100.0,
+                    residual.failure_rate() * 100.0,
+                    residual.total().logical_error_rate() * 100.0,
+                )?;
+            }
         }
         Ok(())
     }

@@ -7,9 +7,10 @@
 //! floor has elapsed, emulating a slow software decoder (e.g. MWPM at
 //! ~100 µs/round, Section IV) without changing the corrections produced.
 
-use nisqplus_decoders::traits::{Correction, Decoder};
+use nisqplus_decoders::traits::{Correction, Decoder, DynDecoder, SharedDecoderFactory};
 use nisqplus_qec::lattice::{Lattice, Sector};
 use nisqplus_qec::syndrome::Syndrome;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A [`Decoder`] whose every `decode` call takes at least a fixed time —
@@ -69,6 +70,35 @@ impl<D: Decoder> ThrottledDecoder<D> {
     #[must_use]
     pub fn inner(&self) -> &D {
         &self.inner
+    }
+}
+
+impl ThrottledDecoder<DynDecoder> {
+    /// A factory whose every product is `factory`'s product wrapped in a
+    /// `floor_ns` throttle — the shape a per-lattice
+    /// [`LatticeSpec::with_shared_decoder`](crate::LatticeSpec::with_shared_decoder)
+    /// override wants, so one patch of a machine can be served by a
+    /// deliberately slow decoder while its neighbours run at full speed.
+    #[must_use]
+    pub fn factory(factory: SharedDecoderFactory, floor_ns: u64) -> SharedDecoderFactory {
+        Arc::new(move || Box::new(ThrottledDecoder::new(factory.build(), floor_ns)) as DynDecoder)
+    }
+
+    /// Like [`ThrottledDecoder::factory`], but the floor applies only to
+    /// decodes on lattices of code distance `distance`.
+    #[must_use]
+    pub fn factory_for_distance(
+        factory: SharedDecoderFactory,
+        floor_ns: u64,
+        distance: usize,
+    ) -> SharedDecoderFactory {
+        Arc::new(move || {
+            Box::new(ThrottledDecoder::for_distance(
+                factory.build(),
+                floor_ns,
+                distance,
+            )) as DynDecoder
+        })
     }
 }
 
@@ -151,6 +181,20 @@ mod tests {
         assert!(
             start.elapsed() >= Duration::from_micros(200),
             "throttle floor not enforced"
+        );
+    }
+
+    #[test]
+    fn throttled_factories_wrap_any_factory_product() {
+        use nisqplus_decoders::traits::{DecoderFactory, DynDecoder, SharedDecoderFactory};
+        let base: SharedDecoderFactory =
+            Arc::new(|| Box::new(GreedyMatchingDecoder::new()) as DynDecoder);
+        let throttled = ThrottledDecoder::factory(base.clone(), 800);
+        assert_eq!(throttled.build().name(), "throttled(greedy-matching)@800ns");
+        let targeted = ThrottledDecoder::factory_for_distance(base, 800, 5);
+        assert_eq!(
+            targeted.build().name(),
+            "throttled(greedy-matching)@800ns[d=5]"
         );
     }
 

@@ -242,6 +242,14 @@ pub struct MeasuredBacklog {
     pub rounds: u64,
     /// Rounds still undecoded at the end of generation.
     pub final_backlog: u64,
+    /// Rounds *shed* (dropped by a load-shedding push policy) during
+    /// generation.  Shed rounds are lost, not owed: they never enter the
+    /// backlog, so `final_backlog` alone understates how far the decoder
+    /// fell behind.  The reconciliation is
+    /// `rounds = decoded + final_backlog + shed` at the instant generation
+    /// stops; [`MeasuredBacklog::unserved_per_round`] restores the shed
+    /// rounds to the growth accounting.
+    pub shed: u64,
     /// Mean decode service time per round, in nanoseconds, *divided by the
     /// number of parallel workers* (i.e. the aggregate service time).
     pub service_time_ns: f64,
@@ -251,12 +259,39 @@ pub struct MeasuredBacklog {
 
 impl MeasuredBacklog {
     /// The measured backlog growth in rounds per generated round.
+    ///
+    /// Shed rounds do **not** count here (they are not owed work); under a
+    /// load-shedding policy compare with
+    /// [`MeasuredBacklog::unserved_per_round`], which does count them.
     #[must_use]
     pub fn growth_per_round(&self) -> f64 {
         if self.rounds == 0 {
             0.0
         } else {
             self.final_backlog as f64 / self.rounds as f64
+        }
+    }
+
+    /// The fraction of generated rounds that were shed.
+    #[must_use]
+    pub fn shed_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.rounds as f64
+        }
+    }
+
+    /// Rounds the decoder failed to serve per generated round: backlog still
+    /// owed *plus* rounds shed.  Under backpressure (`shed == 0`) this equals
+    /// [`MeasuredBacklog::growth_per_round`]; under load shedding it is the
+    /// honest overload measure that the queue-only view hides.
+    #[must_use]
+    pub fn unserved_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            (self.final_backlog + self.shed) as f64 / self.rounds as f64
         }
     }
 
@@ -468,6 +503,7 @@ mod tests {
         let measured = MeasuredBacklog {
             rounds: 10_000,
             final_backlog: 5_000,
+            shed: 0,
             service_time_ns: 800.0,
             inter_arrival_ns: 400.0,
         };
@@ -483,6 +519,7 @@ mod tests {
         let measured = MeasuredBacklog {
             rounds: 10_000,
             final_backlog: 4_500,
+            shed: 0,
             service_time_ns: 800.0,
             inter_arrival_ns: 400.0,
         };
@@ -500,6 +537,7 @@ mod tests {
         let measured = MeasuredBacklog {
             rounds: 10_000,
             final_backlog: 3,
+            shed: 0,
             service_time_ns: 100.0,
             inter_arrival_ns: 400.0,
         };
@@ -515,6 +553,7 @@ mod tests {
         let measured = MeasuredBacklog {
             rounds: 1_000,
             final_backlog: 400,
+            shed: 0,
             service_time_ns: 100.0,
             inter_arrival_ns: 400.0,
         };
@@ -528,6 +567,7 @@ mod tests {
         let measured = MeasuredBacklog {
             rounds: 0,
             final_backlog: 0,
+            shed: 0,
             service_time_ns: 0.0,
             inter_arrival_ns: 0.0,
         };
