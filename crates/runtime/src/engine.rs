@@ -1,299 +1,54 @@
-//! The streaming engine: producer pacing, decoder worker pool, and the run
-//! orchestration that turns seeded syndrome streams into a
-//! [`RuntimeReport`].
+//! The streaming engine: the run orchestration that turns seeded syndrome
+//! streams into a [`RuntimeReport`].
 //!
-//! One producer thread interleaves the seeded streams of every registered
-//! lattice ([`InterleavedSource`]) at each lattice's own cadence and
-//! distributes bit-packed [`SyndromePacket`]s
-//! across *per-worker* lock-free [`SpmcRing`]s, enforcing each lattice's
-//! own QoS contract at the push site: its effective push policy
-//! ([`MachineConfig::policy_for`]) and its outstanding-round budget
-//! ([`LatticeSpec::queue_budget`]), so a `Drop` patch sheds under overload
-//! while a `Block` neighbour gets lossless backpressure on the same rings.
-//! Each worker thread prepares one decoder per distinct (code distance,
-//! factory) pair — per-lattice [`LatticeSpec::decoder`] overrides beside
-//! the machine-wide [`DecoderFactory`] — then pops up to
-//! [`MachineConfig::batch_size`] consecutive rounds from its own ring and
-//! decodes them as one batch through the allocation-free
-//! [`Decoder::decode_into`] hot path, routing every packet to its lattice's
-//! prepared state by the `lattice_id` in the packet header; a worker whose
-//! own ring runs dry *steals* from its neighbours' rings, so bursty
-//! high-weight rounds cannot head-of-line-block the pool.  Everything
-//! observable — queue depth, backlog, decode latency, shed rounds, steal
-//! and batch counts, throughput — flows through the shared
-//! [`RuntimeCounters`] (aggregate *and* per lattice) and into the final
-//! report, whose headline compares measured backlog growth against the
-//! paper's closed-form
-//! [`BacklogModel`](nisqplus_system::backlog::BacklogModel), per lattice
-//! and for the machine as a whole.  Shed rounds stay accounted for end to
-//! end: they are fed into the per-lattice frame path as identity
-//! corrections, carried in
-//! [`MeasuredBacklog::shed`], and — when
-//! [`MachineConfig::analyze_residuals`] is set — priced in measured logical
-//! failures by replaying the seeded error stream.
+//! The engine itself is thin by design.  All of the moving parts — paced
+//! generation, QoS admission, routed placement, credit-backed channels,
+//! batch muxes, the prepared-decoder hot path, frame and depth sinks — live
+//! as composable stages in [`crate::stage`], wired together by a
+//! [`PipelineGraph`]:
 //!
-//! [`Decoder::prepare`]: nisqplus_decoders::Decoder::prepare
-//! [`Decoder::decode_into`]: nisqplus_decoders::Decoder::decode_into
+//! ```text
+//! source ──► gate ──► route ──► channel[0..C] ──► mux ──► decode ──► sink
+//!  (paced)  (QoS)   (placement)  (credit loops)  (per worker, N threads)
+//! ```
+//!
+//! [`StreamingEngine::run`] builds the graph with default options — one
+//! credit channel per worker, spread placement, own-then-steal consumption,
+//! which reproduces the classic engine behaviour byte-for-byte — runs it to
+//! completion, and folds the [`PipelineRun`] into the final
+//! [`RuntimeOutcome`]: per-lattice reports with backlog timelines, merged
+//! frames, the measured-versus-model backlog comparison
+//! ([`BacklogModel`](nisqplus_system::backlog::BacklogModel)), one
+//! [`StageReport`](crate::stage::StageReport) per pipeline stage, and —
+//! when [`MachineConfig::analyze_residuals`] is set — the measured logical
+//! cost of shedding, by replaying each lattice's seeded error stream.
+//! [`StreamingEngine::run_with`] accepts custom
+//! [`PipelineOptions`] (placement, consumption discipline, channel fan-out)
+//! for experiments the default wiring can't express, e.g. strict-priority
+//! traffic classes (`examples/stage_pipeline.rs`).
+//!
+//! Shed rounds stay accounted for end to end: they are fed into the
+//! per-lattice frame path as identity corrections, carried in
+//! [`MeasuredBacklog::shed`], and priced in measured logical failures by
+//! the residual analysis.
 
 use crate::frame::ShardedPauliFrame;
-use crate::lattice_set::{LatticeDecoder, LatticeSet, LatticeSpec};
-use crate::packet::{PacketCodec, SyndromePacket};
-use crate::queue::SpmcRing;
-use crate::source::{InterleavedSource, NoiseSpec, SyndromeSource};
+use crate::lattice_set::{LatticeSet, LatticeSpec};
+use crate::source::{InterleavedSource, SyndromeSource};
+use crate::stage::{PipelineGraph, PipelineOptions, PipelineRun};
 use crate::telemetry::{
-    DepthSample, LatencyProfile, LatticeReport, ResidualReport, RuntimeCounters, RuntimeReport,
+    LatencyProfile, LatticeDepthSample, LatticeReport, ResidualReport, RuntimeCounters,
+    RuntimeReport, WorkerCounters,
 };
-use nisqplus_decoders::traits::{DecoderFactory, DynDecoder};
+use nisqplus_decoders::traits::DecoderFactory;
 use nisqplus_qec::frame::PauliFrame;
-use nisqplus_qec::lattice::Sector;
 use nisqplus_qec::pauli::PauliString;
-use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_qec::QecError;
-use nisqplus_sim::timing::CycleTimeConverter;
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread;
-use std::time::Instant;
 
-/// What the producer does when the ring buffer is full.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PushPolicy {
-    /// Spin (counting [`backpressure_spins`](crate::telemetry::CounterSnapshot::backpressure_spins))
-    /// until a worker frees a slot.  No round is ever lost, so the backlog
-    /// measured by the run is exact — this is the policy the backlog
-    /// experiments use, with a ring deep enough to hold the whole backlog.
-    Block,
-    /// Drop the packet (counting
-    /// [`dropped`](crate::telemetry::CounterSnapshot::dropped)) and move on,
-    /// as a load-shedding hardware front-end would.
-    Drop,
-}
-
-/// Configuration of a single-lattice streaming run.
-///
-/// This is the ergonomic front door for the common one-patch experiment; it
-/// converts into a one-entry [`MachineConfig`], which is what the engine
-/// actually runs.  Use [`MachineConfig`] directly to serve several logical
-/// qubits at once.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RuntimeConfig {
-    /// Surface-code distance of the streamed lattice.
-    pub distance: usize,
-    /// The stochastic error channel driving the stream.
-    pub noise: NoiseSpec,
-    /// Seed of the syndrome stream (same seed, same stream — see
-    /// [`crate::source::SyndromeSource`]).
-    pub seed: u64,
-    /// Number of syndrome-generation rounds to stream.
-    pub rounds: u64,
-    /// Number of decoder worker threads.
-    pub workers: usize,
-    /// Syndrome-generation period in decoder clock cycles; mapped to
-    /// nanoseconds through [`RuntimeConfig::cycle_time`].  `0` disables
-    /// pacing: the producer generates as fast as the CPU allows (useful for
-    /// deterministic equivalence tests and throughput benchmarks).
-    pub cadence_cycles: usize,
-    /// Converts [`RuntimeConfig::cadence_cycles`] into wall-clock
-    /// nanoseconds (`nisqplus-sim`'s cycle→ns mapping).
-    pub cycle_time: CycleTimeConverter,
-    /// Total ring-buffer capacity in packets, split evenly across the
-    /// per-worker rings (each ring holds `ceil(queue_capacity / workers)`
-    /// packets).  For backlog experiments with [`PushPolicy::Block`], size
-    /// this above the expected final backlog so the producer never stalls.
-    pub queue_capacity: usize,
-    /// Maximum number of consecutive rounds a worker pops from a ring and
-    /// decodes as one batch, amortizing per-packet overhead (ring pop/steal
-    /// scans, shared counter updates) across the window.  Latency telemetry
-    /// stays per-packet (timestamps are chained inside the batch).  `1`
-    /// reproduces the original packet-at-a-time behaviour; corrections are
-    /// byte-identical for every value because rounds remain independent
-    /// decoding problems.
-    pub batch_size: usize,
-    /// Full-queue policy.
-    pub push_policy: PushPolicy,
-    /// Upper bound on the number of [`DepthSample`]s kept on the timeline
-    /// (the producer down-samples to roughly this many points).
-    pub max_depth_samples: usize,
-    /// When `true`, every worker keeps the per-round corrections it
-    /// committed, and [`RuntimeOutcome::corrections`] returns them sorted by
-    /// `(lattice, round)` — the hook the stream-versus-batch equivalence
-    /// tests use.
-    pub record_corrections: bool,
-    /// When `true`, the engine replays the seeded error stream at the end of
-    /// the run and classifies every round's residual (shed rounds count as
-    /// identity corrections), filling
-    /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual)
-    /// — the measured logical cost of shedding versus backpressure.
-    pub analyze_residuals: bool,
-}
-
-impl RuntimeConfig {
-    /// The paper's 400 ns syndrome-generation period expressed in decoder
-    /// clock cycles at the synthesized module latency (162.72 ps, Table III):
-    /// `2458 * 162.72 ps ≈ 400 ns`.
-    pub const PAPER_CADENCE_CYCLES: usize = 2458;
-
-    /// Default batched-window size: small enough to keep per-round latency
-    /// telemetry meaningful, large enough to amortize per-packet overhead.
-    pub const DEFAULT_BATCH_SIZE: usize = 4;
-
-    /// A paper-shaped default: pure dephasing at 3%, one round per 400 ns,
-    /// two workers, a 4096-packet ring with blocking backpressure, 4-round
-    /// decode windows.
-    #[must_use]
-    pub fn new(distance: usize) -> Self {
-        RuntimeConfig {
-            distance,
-            noise: NoiseSpec::PureDephasing { p: 0.03 },
-            seed: 2020,
-            rounds: 10_000,
-            workers: 2,
-            cadence_cycles: Self::PAPER_CADENCE_CYCLES,
-            cycle_time: CycleTimeConverter::paper_reference(),
-            queue_capacity: 4096,
-            batch_size: Self::DEFAULT_BATCH_SIZE,
-            push_policy: PushPolicy::Block,
-            max_depth_samples: 256,
-            record_corrections: false,
-            analyze_residuals: false,
-        }
-    }
-
-    /// The syndrome-generation period in nanoseconds (`0.0` when pacing is
-    /// disabled).
-    #[must_use]
-    pub fn cadence_ns(&self) -> f64 {
-        self.cycle_time.cycles_to_ns(self.cadence_cycles)
-    }
-}
-
-impl From<RuntimeConfig> for MachineConfig {
-    /// A single-lattice run is a one-entry machine.
-    fn from(config: RuntimeConfig) -> Self {
-        MachineConfig {
-            lattices: vec![LatticeSpec {
-                distance: config.distance,
-                noise: config.noise,
-                seed: config.seed,
-                rounds: config.rounds,
-                cadence_cycles: config.cadence_cycles,
-                push_policy: None,
-                queue_budget: None,
-                shed_slo: None,
-                decoder: None,
-            }],
-            workers: config.workers,
-            cycle_time: config.cycle_time,
-            queue_capacity: config.queue_capacity,
-            batch_size: config.batch_size,
-            push_policy: config.push_policy,
-            max_depth_samples: config.max_depth_samples,
-            record_corrections: config.record_corrections,
-            analyze_residuals: config.analyze_residuals,
-        }
-    }
-}
-
-/// Configuration of a multi-lattice streaming run: one engine serving a full
-/// NISQ+ machine of N logical qubits.
-///
-/// Per-stream knobs (distance, noise, seed, rounds, cadence) live in each
-/// [`LatticeSpec`]; the fields here configure the shared decoder fabric.
-/// The field semantics match [`RuntimeConfig`]'s identically-named fields.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MachineConfig {
-    /// The lattices to serve, in lattice-id order (id = index).
-    pub lattices: Vec<LatticeSpec>,
-    /// Number of decoder worker threads shared by all lattices.
-    pub workers: usize,
-    /// Converts every lattice's `cadence_cycles` into wall-clock nanoseconds.
-    pub cycle_time: CycleTimeConverter,
-    /// Total ring-buffer capacity in packets, split evenly across the
-    /// per-worker rings.
-    pub queue_capacity: usize,
-    /// Maximum rounds a worker decodes as one batch (see
-    /// [`RuntimeConfig::batch_size`]).
-    pub batch_size: usize,
-    /// Full-queue policy.
-    pub push_policy: PushPolicy,
-    /// Upper bound on the number of [`DepthSample`]s kept on the timeline.
-    pub max_depth_samples: usize,
-    /// When `true`, per-round corrections are kept, sorted by
-    /// `(lattice, round)`.
-    pub record_corrections: bool,
-    /// When `true`, the engine replays every lattice's seeded error stream
-    /// at the end of the run and classifies each round's residual (shed
-    /// rounds count as identity corrections), filling
-    /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual).
-    pub analyze_residuals: bool,
-}
-
-impl MachineConfig {
-    /// A machine of `distances.len()` lattices with otherwise
-    /// [`RuntimeConfig::new`]-shaped defaults; lattice `i` gets distance
-    /// `distances[i]` and seed `base_seed + i` so the streams are
-    /// independent.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `distances` is empty.
-    #[must_use]
-    pub fn new(distances: &[usize], base_seed: u64) -> Self {
-        assert!(
-            !distances.is_empty(),
-            "a machine needs at least one lattice"
-        );
-        let template = RuntimeConfig::new(distances[0]);
-        MachineConfig {
-            lattices: distances
-                .iter()
-                .enumerate()
-                .map(|(i, &d)| {
-                    let mut spec = LatticeSpec::new(d);
-                    spec.seed = base_seed + i as u64;
-                    spec
-                })
-                .collect(),
-            workers: template.workers,
-            cycle_time: template.cycle_time,
-            queue_capacity: template.queue_capacity,
-            batch_size: template.batch_size,
-            push_policy: template.push_policy,
-            max_depth_samples: template.max_depth_samples,
-            record_corrections: template.record_corrections,
-            analyze_residuals: template.analyze_residuals,
-        }
-    }
-
-    /// The push policy `spec` runs under: its own override, or this
-    /// machine's [`MachineConfig::push_policy`] when it has none.
-    #[must_use]
-    pub fn policy_for(&self, spec: &LatticeSpec) -> PushPolicy {
-        spec.push_policy.unwrap_or(self.push_policy)
-    }
-
-    /// The nominal *aggregate* inter-arrival time across the machine, in
-    /// nanoseconds per round: `1 / Σ 1/cadence_i`.  Returns `0.0` if any
-    /// lattice is unpaced (the aggregate arrival rate is then CPU-bound).
-    #[must_use]
-    pub fn aggregate_cadence_ns(&self) -> f64 {
-        let mut rate_per_ns = 0.0f64;
-        for spec in &self.lattices {
-            let cadence = self.cycle_time.cycles_to_ns(spec.cadence_cycles);
-            if cadence <= 0.0 {
-                return 0.0;
-            }
-            rate_per_ns += 1.0 / cadence;
-        }
-        if rate_per_ns > 0.0 {
-            1.0 / rate_per_ns
-        } else {
-            0.0
-        }
-    }
-}
+pub use crate::config::{MachineConfig, PushPolicy, RuntimeConfig};
 
 /// One round's committed correction, kept when
 /// [`MachineConfig::record_corrections`] is set.
@@ -312,7 +67,7 @@ pub struct RoundCorrection {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOutcome {
     /// The telemetry report (counters, timelines, latencies, per-lattice
-    /// breakdown, model comparisons).
+    /// breakdown, per-stage flow reports, model comparisons).
     pub report: RuntimeReport,
     /// One sharded Pauli frame per lattice, indexed by lattice id; each
     /// holds the per-worker shards and their merge for that lattice.
@@ -339,31 +94,6 @@ impl RuntimeOutcome {
     pub fn frame_for(&self, lattice_id: usize) -> &ShardedPauliFrame {
         &self.frames[lattice_id]
     }
-}
-
-/// Per-lattice generation statistics tracked by the producer.
-#[derive(Debug, Clone, Copy, Default)]
-struct LatticeGenStats {
-    /// Elapsed nanoseconds at this lattice's last emission.
-    gen_elapsed_ns: f64,
-    /// This lattice's backlog at the instant its generation stopped.
-    final_backlog: u64,
-}
-
-/// One lattice's slice of a worker's output.
-struct WorkerLatticeOutput {
-    frame: PauliFrame,
-    decode_ns: Vec<f64>,
-    total_ns: Vec<f64>,
-}
-
-/// What one worker thread hands back when the stream ends.
-struct WorkerOutput {
-    /// The name of the decoder serving each lattice, in lattice-id order
-    /// (per-lattice overrides may differ from the machine-wide factory).
-    lattice_decoders: Vec<String>,
-    per_lattice: Vec<WorkerLatticeOutput>,
-    corrections: Vec<RoundCorrection>,
 }
 
 /// The streaming decode engine.
@@ -441,8 +171,8 @@ impl StreamingEngine {
             "batch window needs at least one round"
         );
         let set = Arc::new(LatticeSet::new(config.lattices.clone())?);
-        // Surface configuration errors now rather than inside the producer
-        // thread: building a throwaway source validates every noise spec.
+        // Surface configuration errors now rather than inside the source
+        // stage: building a throwaway source validates every noise spec.
         let _ = InterleavedSource::new(&set, &config.cycle_time)?;
         Ok(StreamingEngine { config, set })
     }
@@ -466,236 +196,49 @@ impl StreamingEngine {
         self.set.lattice(0)
     }
 
-    /// Streams every lattice's configured rounds through the worker pool and
-    /// reports the telemetry.
+    /// Streams every lattice's configured rounds through the worker pool
+    /// under the default pipeline wiring and reports the telemetry.
     ///
-    /// The calling thread becomes the producer; `config.workers` decoder
+    /// The calling thread becomes the source; `config.workers` decoder
     /// threads are spawned for the duration of the call.  Returns once every
-    /// generated round has been decoded (or dropped) and all workers have
+    /// generated round has been decoded (or shed) and all workers have
     /// exited.
     #[must_use]
     pub fn run(&self, factory: &dyn DecoderFactory) -> RuntimeOutcome {
+        self.run_with(PipelineOptions::default(), factory)
+    }
+
+    /// Like [`StreamingEngine::run`], with a custom pipeline shape: where
+    /// rounds are placed ([`RouteStage`](crate::stage::RouteStage)), how
+    /// workers consume ([`ConsumePolicy`](crate::stage::ConsumePolicy)),
+    /// and how many channels the graph fans out over.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        options: PipelineOptions,
+        factory: &dyn DecoderFactory,
+    ) -> RuntimeOutcome {
+        let counters = RuntimeCounters::with_topology(self.set.len(), self.config.workers);
+        let graph = PipelineGraph::new(&self.config, &self.set, options);
+        let run = graph.run(factory, &counters);
+        self.assemble_outcome(run, &counters)
+    }
+
+    /// Folds a finished [`PipelineRun`] into the final [`RuntimeOutcome`].
+    fn assemble_outcome(&self, run: PipelineRun, counters: &RuntimeCounters) -> RuntimeOutcome {
         let config = &self.config;
         let set = &self.set;
-        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
-        // One ring per worker: the producer spreads rounds across them
-        // and workers steal from each other when their own ring runs dry.
-        let per_ring_capacity = config.queue_capacity.div_ceil(config.workers);
-        let rings: Vec<SpmcRing> = (0..config.workers)
-            .map(|_| SpmcRing::new(per_ring_capacity, codec.words_per_packet()))
-            .collect();
-        let counters = RuntimeCounters::with_lattices(set.len());
-        let done = AtomicBool::new(false);
-        let epoch = Instant::now();
-
-        let mut depth_timeline = Vec::new();
-        let mut generation_elapsed_ns = 0.0f64;
-        let mut final_backlog = 0u64;
-        let mut lattice_stats = vec![LatticeGenStats::default(); set.len()];
-        let mut lattice_shed: Vec<Vec<u64>> = vec![Vec::new(); set.len()];
-
-        let worker_outputs: Vec<WorkerOutput> = thread::scope(|s| {
-            let handles: Vec<_> = (0..config.workers)
-                .map(|worker_id| {
-                    let rings = &rings;
-                    let codec = &codec;
-                    let counters = &counters;
-                    let done = &done;
-                    s.spawn(move || {
-                        run_worker(WorkerContext {
-                            worker_id,
-                            set,
-                            codec,
-                            rings,
-                            counters,
-                            done,
-                            epoch,
-                            factory,
-                            // The residual analysis replays corrections per
-                            // round, so it needs them recorded too.
-                            record_corrections: config.record_corrections
-                                || config.analyze_residuals,
-                            batch_size: config.batch_size,
-                        })
-                    })
-                })
-                .collect();
-
-            self.run_producer(
-                &codec,
-                &rings,
-                &counters,
-                epoch,
-                &mut depth_timeline,
-                &mut generation_elapsed_ns,
-                &mut final_backlog,
-                &mut lattice_stats,
-                &mut lattice_shed,
-            );
-            done.store(true, Ordering::Release);
-
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-
-        let elapsed_s = epoch.elapsed().as_secs_f64();
-        self.assemble_outcome(
+        let total_rounds = set.total_rounds();
+        let PipelineRun {
             worker_outputs,
             depth_timeline,
             generation_elapsed_ns,
             final_backlog,
             lattice_stats,
             lattice_shed,
+            stage_reports,
             elapsed_s,
-            &counters,
-        )
-    }
-
-    /// The producer loop: paced interleaved generation, bit-packing, ring
-    /// placement under each lattice's own push policy and queue budget,
-    /// sampling.
-    #[allow(clippy::too_many_arguments)]
-    fn run_producer(
-        &self,
-        codec: &PacketCodec,
-        rings: &[SpmcRing],
-        counters: &RuntimeCounters,
-        epoch: Instant,
-        depth_timeline: &mut Vec<DepthSample>,
-        generation_elapsed_ns: &mut f64,
-        final_backlog: &mut u64,
-        lattice_stats: &mut [LatticeGenStats],
-        lattice_shed: &mut [Vec<u64>],
-    ) {
-        let config = &self.config;
-        let mut source = InterleavedSource::new(&self.set, &config.cycle_time)
-            .expect("config validated in StreamingEngine::with_machine");
-        let total_rounds = self.set.total_rounds();
-        let sample_every = (total_rounds / config.max_depth_samples.max(1) as u64).max(1);
-        let mut record = vec![0u64; codec.words_per_packet()];
-        let mut emitted_total = 0u64;
-        // Per-lattice QoS resolved once, outside the hot loop.
-        let qos: Vec<(PushPolicy, Option<u64>)> = self
-            .set
-            .iter()
-            .map(|(_, spec, _)| (config.policy_for(spec), spec.queue_budget.map(|b| b as u64)))
-            .collect();
-
-        while let Some(sourced) = source.next_round() {
-            if sourced.due_ns > 0.0 {
-                // Pace generation to the lattice's hardware cadence.
-                // `yield_now` keeps the spin cooperative on machines with
-                // fewer cores than threads; the *measured* inter-arrival time
-                // (not the nominal cadence) is what feeds the model
-                // comparison, so imprecise pacing degrades the experiment's
-                // rate, never its honesty.
-                let target_ns = sourced.due_ns as u128;
-                while epoch.elapsed().as_nanos() < target_ns {
-                    std::hint::spin_loop();
-                    thread::yield_now();
-                }
-            }
-            let lattice_id = sourced.lattice_id;
-            let emitted_ns = epoch.elapsed().as_nanos() as u64;
-            let packet =
-                SyndromePacket::new(lattice_id, sourced.round, emitted_ns, &sourced.syndrome);
-            codec.encode(&packet, &mut record);
-            let lattice_counters = &counters.per_lattice[lattice_id as usize];
-            counters.generated.fetch_add(1, Ordering::Relaxed);
-            lattice_counters.generated.fetch_add(1, Ordering::Relaxed);
-            // Spread placement over the pool, offset by lattice id so
-            // co-cadenced lattices don't all land on the same ring;
-            // stealing rebalances whatever placement gets wrong.  For a
-            // single lattice this is the PR-3 round-robin exactly.
-            let ring =
-                &rings[((u64::from(lattice_id) + sourced.round) % rings.len() as u64) as usize];
-            let (policy, budget) = qos[lattice_id as usize];
-            match policy {
-                PushPolicy::Block => {
-                    // Two gates, both lossless: the lattice's own outstanding
-                    // budget first, then a free ring slot.
-                    if let Some(budget) = budget {
-                        while lattice_counters.outstanding() >= budget {
-                            counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
-                            lattice_counters
-                                .backpressure_spins
-                                .fetch_add(1, Ordering::Relaxed);
-                            std::hint::spin_loop();
-                            thread::yield_now();
-                        }
-                    }
-                    while ring.try_push(&record).is_err() {
-                        counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
-                        lattice_counters
-                            .backpressure_spins
-                            .fetch_add(1, Ordering::Relaxed);
-                        std::hint::spin_loop();
-                        thread::yield_now();
-                    }
-                    counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                    lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                }
-                PushPolicy::Drop => {
-                    // Shed when the lattice is over its own budget *or* the
-                    // shared ring has no room; a shed round is recorded so
-                    // the frame path and the residual analysis can feed it
-                    // an identity correction later.
-                    let over_budget =
-                        budget.is_some_and(|budget| lattice_counters.outstanding() >= budget);
-                    if !over_budget && ring.try_push(&record).is_ok() {
-                        counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                        lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        counters.dropped.fetch_add(1, Ordering::Relaxed);
-                        lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
-                        lattice_shed[lattice_id as usize].push(sourced.round);
-                    }
-                }
-            }
-            let stats = &mut lattice_stats[lattice_id as usize];
-            // Reuse the emission timestamp: it is this round's generation
-            // instant, and it spares a second clock read per round.
-            stats.gen_elapsed_ns = emitted_ns as f64;
-            if sourced.round + 1 == self.set.spec(lattice_id as usize).rounds {
-                // This lattice's generation just stopped: its backlog at this
-                // instant is what its per-lattice model comparison predicts.
-                stats.final_backlog = lattice_counters.backlog();
-            }
-            if emitted_total % sample_every == 0 || emitted_total + 1 == total_rounds {
-                depth_timeline.push(DepthSample {
-                    round: emitted_total,
-                    elapsed_ns: epoch.elapsed().as_nanos() as u64,
-                    queue_depth: rings.iter().map(|r| r.len() as u64).sum(),
-                    backlog: counters.backlog(),
-                });
-            }
-            emitted_total += 1;
-        }
-        *generation_elapsed_ns = epoch.elapsed().as_nanos() as f64;
-        // The backlog at the instant generation stops is the quantity the
-        // closed-form model predicts (rounds keep arriving only while the
-        // machine runs); the workers drain the remainder afterwards.
-        *final_backlog = counters.backlog();
-    }
-
-    /// Folds producer and worker outputs into the final [`RuntimeOutcome`].
-    #[allow(clippy::too_many_arguments)]
-    fn assemble_outcome(
-        &self,
-        worker_outputs: Vec<WorkerOutput>,
-        depth_timeline: Vec<DepthSample>,
-        generation_elapsed_ns: f64,
-        final_backlog: u64,
-        lattice_stats: Vec<LatticeGenStats>,
-        lattice_shed: Vec<Vec<u64>>,
-        elapsed_s: f64,
-        counters: &RuntimeCounters,
-    ) -> RuntimeOutcome {
-        let config = &self.config;
-        let set = &self.set;
-        let total_rounds = set.total_rounds();
+        } = run;
         // Per-lattice decoder names (same on every worker — they build from
         // the same factories); the machine-level headline joins the distinct
         // names, so a heterogeneous machine reads e.g. "lookup+union-find".
@@ -765,6 +308,20 @@ impl StreamingEngine {
             } else {
                 None
             };
+            // This lattice's slice of the depth sink's timeline: the series
+            // that says when *this* patch was falling behind.
+            let backlog_timeline: Vec<LatticeDepthSample> = depth_timeline
+                .iter()
+                .map(|sample| LatticeDepthSample {
+                    round: sample.round,
+                    elapsed_ns: sample.elapsed_ns,
+                    backlog: sample
+                        .per_lattice_backlog
+                        .get(lattice_id)
+                        .copied()
+                        .unwrap_or(0),
+                })
+                .collect();
             lattices.push(LatticeReport {
                 lattice_id,
                 distance: spec.distance,
@@ -781,6 +338,7 @@ impl StreamingEngine {
                 cadence_ns: config.cycle_time.cycles_to_ns(spec.cadence_cycles),
                 inter_arrival_ns,
                 counters: snapshot,
+                backlog_timeline,
                 final_backlog: stats.final_backlog,
                 decode_latency,
                 total_latency,
@@ -856,6 +414,12 @@ impl StreamingEngine {
                 measured,
                 comparison,
                 lattices,
+                worker_counters: counters
+                    .per_worker
+                    .iter()
+                    .map(WorkerCounters::snapshot)
+                    .collect(),
+                stages: stage_reports,
             },
             frames,
             corrections,
@@ -869,7 +433,7 @@ impl StreamingEngine {
 /// decoded rounds, identity for shed rounds.
 ///
 /// `corrections` is the run's full `(lattice, round)`-sorted correction list
-/// and `shed_rounds` the producer's record of this lattice's dropped rounds;
+/// and `shed_rounds` the source's record of this lattice's dropped rounds;
 /// together they cover every generated round exactly once.
 fn analyze_lattice_residuals(
     lattice_id: usize,
@@ -905,184 +469,10 @@ fn analyze_lattice_residuals(
     report
 }
 
-/// Everything one worker thread needs, bundled to keep the spawn site tidy.
-struct WorkerContext<'a> {
-    worker_id: usize,
-    set: &'a LatticeSet,
-    codec: &'a PacketCodec,
-    rings: &'a [SpmcRing],
-    counters: &'a RuntimeCounters,
-    done: &'a AtomicBool,
-    epoch: Instant,
-    factory: &'a dyn DecoderFactory,
-    record_corrections: bool,
-    batch_size: usize,
-}
-
-/// One lattice's reusable per-worker decode state: the prepared-decoder slot
-/// plus the buffers the hot loop writes into.  Nothing here allocates in
-/// steady state (for decoders with an allocation-free `decode_into`).
-struct LatticeWorkerState {
-    /// Index into the worker's per-distance decoder list.
-    decoder_slot: usize,
-    packet: SyndromePacket,
-    syndrome: Syndrome,
-    x_buf: PauliString,
-    z_buf: PauliString,
-    output: WorkerLatticeOutput,
-}
-
-/// One worker: pop a batch from the own ring (stealing from neighbours when
-/// it runs dry), route each packet to its lattice's prepared state by the
-/// header's `lattice_id`, decode both sectors through the prepared
-/// allocation-free hot path, commit to the private per-lattice shard.
-fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutput {
-    let WorkerContext {
-        worker_id,
-        set,
-        codec,
-        rings,
-        counters,
-        done,
-        epoch,
-        factory,
-        record_corrections,
-        batch_size,
-    } = ctx;
-    // One prepared decoder per distinct (code distance, factory): lattices
-    // of equal distance share layout (LatticeSet interns them), so the
-    // prepared sector graphs and scratch arenas are reused across them — but
-    // only between lattices served by the *same* factory (the machine-wide
-    // one, or a shared per-lattice override).
-    let mut decoders: Vec<DynDecoder> = Vec::new();
-    let mut lattice_decoders: Vec<String> = Vec::with_capacity(set.len());
-    // (distance, factory identity, slot); None = the machine-wide factory.
-    let mut slot_of: Vec<(usize, Option<usize>, usize)> = Vec::new();
-    let mut states: Vec<LatticeWorkerState> = Vec::with_capacity(set.len());
-    for (_, spec, lattice) in set.iter() {
-        let factory_key = spec.decoder.as_ref().map(LatticeDecoder::key);
-        let decoder_slot = match slot_of
-            .iter()
-            .find(|(d, k, _)| *d == spec.distance && *k == factory_key)
-        {
-            Some(&(_, _, slot)) => slot,
-            None => {
-                let mut decoder = match &spec.decoder {
-                    Some(per_lattice) => per_lattice.build(),
-                    None => factory.build(),
-                };
-                decoder.prepare(lattice);
-                decoders.push(decoder);
-                slot_of.push((spec.distance, factory_key, decoders.len() - 1));
-                decoders.len() - 1
-            }
-        };
-        lattice_decoders.push(decoders[decoder_slot].name().to_string());
-        states.push(LatticeWorkerState {
-            decoder_slot,
-            packet: SyndromePacket::new(0, 0, 0, &Syndrome::new(lattice.num_ancillas())),
-            syndrome: Syndrome::new(lattice.num_ancillas()),
-            x_buf: PauliString::identity(lattice.num_data()),
-            z_buf: PauliString::identity(lattice.num_data()),
-            output: WorkerLatticeOutput {
-                frame: PauliFrame::new(lattice.num_data()),
-                decode_ns: Vec::new(),
-                total_ns: Vec::new(),
-            },
-        });
-    }
-    // Reusable batch records, shared across lattices (records are sized for
-    // the largest lattice of the set).
-    let mut batch: Vec<Vec<u64>> = (0..batch_size)
-        .map(|_| vec![0u64; codec.words_per_packet()])
-        .collect();
-    let mut corrections = Vec::new();
-    loop {
-        // ---- Fill a batch: own ring first, then steal ------------------
-        let mut filled = 0usize;
-        while filled < batch_size && rings[worker_id].try_pop(&mut batch[filled]) {
-            filled += 1;
-        }
-        if filled == 0 && rings.len() > 1 {
-            // Own ring dry: steal a batch from the first busy neighbour so a
-            // burst of heavy rounds on one ring is drained by the whole pool.
-            for offset in 1..rings.len() {
-                let victim = (worker_id + offset) % rings.len();
-                while filled < batch_size && rings[victim].try_pop(&mut batch[filled]) {
-                    filled += 1;
-                }
-                if filled > 0 {
-                    counters.stolen.fetch_add(filled as u64, Ordering::Relaxed);
-                    break;
-                }
-            }
-        }
-        if filled == 0 {
-            if done.load(Ordering::Acquire) && rings.iter().all(SpmcRing::is_empty) {
-                return WorkerOutput {
-                    lattice_decoders,
-                    per_lattice: states.into_iter().map(|s| s.output).collect(),
-                    corrections,
-                };
-            }
-            counters.stall_polls.fetch_add(1, Ordering::Relaxed);
-            std::hint::spin_loop();
-            thread::yield_now();
-            continue;
-        }
-
-        // ---- Decode the batch ------------------------------------------
-        // Per-packet service time keeps its PR-2 meaning (the full
-        // unpack-to-commit span of that round — what the backlog model's `f`
-        // ratio is about): timestamps are chained, one clock read per
-        // packet, so batching amortizes the pop/steal scans and counter
-        // updates without flattening latency spikes into a batch mean.
-        let mut prev = Instant::now();
-        for record in &batch[..filled] {
-            // Raw routing peek to pick the per-lattice buffers; the single
-            // full header validation happens inside `try_decode_into`.
-            let lattice_id = PacketCodec::peek_lattice_id(record) as usize;
-            let state = &mut states[lattice_id];
-            let decoder = &mut decoders[state.decoder_slot];
-            let lattice = set.lattice(lattice_id);
-            codec
-                .try_decode_into(record, &mut state.packet)
-                .expect("producer and workers share one codec");
-            state.packet.syndrome.write_to_syndrome(&mut state.syndrome);
-            decoder.decode_into(lattice, &state.syndrome, Sector::X, &mut state.x_buf);
-            decoder.decode_into(lattice, &state.syndrome, Sector::Z, &mut state.z_buf);
-            state.x_buf.compose_with(&state.z_buf);
-            state.output.frame.record(&state.x_buf);
-            if record_corrections {
-                corrections.push(RoundCorrection {
-                    lattice_id: state.packet.lattice_id,
-                    round: state.packet.round,
-                    correction: state.x_buf.clone(),
-                });
-            }
-            let now = Instant::now();
-            state
-                .output
-                .decode_ns
-                .push(now.duration_since(prev).as_nanos() as f64);
-            state.output.total_ns.push(
-                (now.duration_since(epoch).as_nanos() as f64 - state.packet.emitted_ns as f64)
-                    .max(0.0),
-            );
-            counters.per_lattice[lattice_id]
-                .decoded
-                .fetch_add(1, Ordering::Relaxed);
-            prev = now;
-        }
-        counters.decoded.fetch_add(filled as u64, Ordering::Relaxed);
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::SyndromeSource;
+    use crate::source::NoiseSpec;
     use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
 
     fn fast_config() -> RuntimeConfig {
@@ -1096,45 +486,6 @@ mod tests {
 
     fn greedy_factory() -> impl DecoderFactory {
         || Box::new(GreedyMatchingDecoder::new()) as DynDecoder
-    }
-
-    #[test]
-    fn paper_default_cadence_is_400ns() {
-        let config = RuntimeConfig::new(5);
-        assert!(
-            (config.cadence_ns() - 400.0).abs() < 0.5,
-            "{}",
-            config.cadence_ns()
-        );
-    }
-
-    #[test]
-    fn unpaced_config_has_zero_cadence() {
-        let config = fast_config();
-        assert_eq!(config.cadence_ns(), 0.0);
-    }
-
-    #[test]
-    fn aggregate_cadence_combines_arrival_rates() {
-        let mut config = MachineConfig::new(&[3, 3], 0);
-        for spec in &mut config.lattices {
-            spec.cadence_cycles = RuntimeConfig::PAPER_CADENCE_CYCLES;
-        }
-        // Two 400 ns streams arrive every 200 ns in aggregate.
-        assert!((config.aggregate_cadence_ns() - 200.0).abs() < 0.5);
-        config.lattices[0].cadence_cycles = 0;
-        assert_eq!(config.aggregate_cadence_ns(), 0.0);
-    }
-
-    #[test]
-    fn single_lattice_config_is_a_one_entry_machine() {
-        let config = fast_config();
-        let machine: MachineConfig = config.into();
-        assert_eq!(machine.lattices.len(), 1);
-        assert_eq!(machine.lattices[0].distance, 3);
-        assert_eq!(machine.lattices[0].rounds, 200);
-        assert_eq!(machine.workers, config.workers);
-        assert_eq!(machine.aggregate_cadence_ns(), config.cadence_ns());
     }
 
     #[test]
@@ -1200,116 +551,6 @@ mod tests {
         assert!(!lattice.queue_stayed_bounded());
     }
 
-    /// Deterministic work stealing: worker 0's own ring is empty, every
-    /// packet sits in worker 1's ring, and the producer is already done.
-    /// Worker 0 must steal and decode all of them, counting each theft.
-    #[test]
-    fn starved_worker_steals_from_a_foreign_ring() {
-        let mut spec = LatticeSpec::new(3);
-        spec.rounds = 20;
-        let set = LatticeSet::new(vec![spec]).unwrap();
-        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
-        let rings = [
-            SpmcRing::new(64, codec.words_per_packet()),
-            SpmcRing::new(64, codec.words_per_packet()),
-        ];
-        let mut record = vec![0u64; codec.words_per_packet()];
-        let mut source = SyndromeSource::new(
-            set.lattice(0).clone(),
-            NoiseSpec::PureDephasing { p: 0.1 },
-            3,
-        )
-        .unwrap();
-        for round in 0..20u64 {
-            let packet = SyndromePacket::new(0, round, 0, &source.next_syndrome());
-            codec.encode(&packet, &mut record);
-            rings[1].try_push(&record).unwrap();
-        }
-        let counters = RuntimeCounters::with_lattices(1);
-        let done = AtomicBool::new(true);
-        let factory = greedy_factory();
-        let output = run_worker(WorkerContext {
-            worker_id: 0,
-            set: &set,
-            codec: &codec,
-            rings: &rings,
-            counters: &counters,
-            done: &done,
-            epoch: Instant::now(),
-            factory: &factory,
-            record_corrections: true,
-            batch_size: 4,
-        });
-        let snap = counters.snapshot();
-        assert_eq!(snap.decoded, 20);
-        assert_eq!(snap.stolen, 20, "every packet was a steal");
-        assert_eq!(snap.batches, 5, "20 packets in windows of 4");
-        assert_eq!(output.per_lattice[0].frame.recorded_cycles(), 20);
-        let rounds: Vec<u64> = output.corrections.iter().map(|c| c.round).collect();
-        assert_eq!(rounds, (0..20).collect::<Vec<u64>>());
-        assert!(rings.iter().all(SpmcRing::is_empty));
-    }
-
-    /// A two-lattice worker routes each packet to its lattice's state: the
-    /// d=3 and d=5 rounds land in separate frames with separate counters,
-    /// even when interleaved in one ring.
-    #[test]
-    fn worker_routes_packets_by_lattice_id() {
-        let mut spec3 = LatticeSpec::new(3);
-        spec3.rounds = 6;
-        spec3.seed = 1;
-        let mut spec5 = LatticeSpec::new(5);
-        spec5.rounds = 4;
-        spec5.seed = 2;
-        let set = LatticeSet::new(vec![spec3, spec5]).unwrap();
-        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
-        let rings = [SpmcRing::new(64, codec.words_per_packet())];
-        let mut record = vec![0u64; codec.words_per_packet()];
-        for (lattice_id, rounds, seed) in [(0u32, 6u64, 1u64), (1, 4, 2)] {
-            let mut source = SyndromeSource::new(
-                set.lattice(lattice_id as usize).clone(),
-                NoiseSpec::PureDephasing { p: 0.1 },
-                seed,
-            )
-            .unwrap();
-            for round in 0..rounds {
-                let packet = SyndromePacket::new(lattice_id, round, 0, &source.next_syndrome());
-                codec.encode(&packet, &mut record);
-                rings[0].try_push(&record).unwrap();
-            }
-        }
-        let counters = RuntimeCounters::with_lattices(2);
-        let done = AtomicBool::new(true);
-        let factory = greedy_factory();
-        let output = run_worker(WorkerContext {
-            worker_id: 0,
-            set: &set,
-            codec: &codec,
-            rings: &rings,
-            counters: &counters,
-            done: &done,
-            epoch: Instant::now(),
-            factory: &factory,
-            record_corrections: true,
-            batch_size: 4,
-        });
-        assert_eq!(counters.snapshot().decoded, 10);
-        assert_eq!(counters.per_lattice[0].snapshot().decoded, 6);
-        assert_eq!(counters.per_lattice[1].snapshot().decoded, 4);
-        assert_eq!(output.per_lattice[0].frame.recorded_cycles(), 6);
-        assert_eq!(output.per_lattice[1].frame.recorded_cycles(), 4);
-        assert_eq!(output.per_lattice[0].frame.len(), set.lattice(0).num_data());
-        assert_eq!(output.per_lattice[1].frame.len(), set.lattice(1).num_data());
-        assert_eq!(
-            output
-                .corrections
-                .iter()
-                .filter(|c| c.lattice_id == 1)
-                .count(),
-            4
-        );
-    }
-
     #[test]
     fn batched_windows_cover_every_round() {
         let mut config = fast_config();
@@ -1324,6 +565,119 @@ mod tests {
         assert!(counters.batches <= 200);
         assert!(counters.mean_batch_fill() >= 1.0);
         assert_eq!(outcome.report.decode_latency.summary.count, 200);
+    }
+
+    /// Per-worker counter slices sum exactly to the aggregate counters at
+    /// quiescence, and each worker's mean batch fill is internally
+    /// consistent.
+    #[test]
+    fn per_worker_counters_sum_to_the_aggregate() {
+        let mut config = fast_config();
+        config.workers = 3;
+        let engine = StreamingEngine::new(config).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        let counters = outcome.report.counters;
+        let workers = &outcome.report.worker_counters;
+        assert_eq!(workers.len(), 3);
+        assert_eq!(
+            workers.iter().map(|w| w.decoded).sum::<u64>(),
+            counters.decoded
+        );
+        assert_eq!(
+            workers.iter().map(|w| w.stolen).sum::<u64>(),
+            counters.stolen
+        );
+        assert_eq!(
+            workers.iter().map(|w| w.batches).sum::<u64>(),
+            counters.batches
+        );
+        assert_eq!(
+            workers.iter().map(|w| w.stall_polls).sum::<u64>(),
+            counters.stall_polls
+        );
+        for worker in workers {
+            if worker.batches > 0 {
+                assert!(worker.mean_batch_fill() >= 1.0);
+                assert!(worker.mean_batch_fill() <= config_batch_size() as f64);
+            }
+        }
+    }
+
+    fn config_batch_size() -> usize {
+        RuntimeConfig::DEFAULT_BATCH_SIZE
+    }
+
+    /// Satellite of the stage refactor: every lattice gets its own backlog
+    /// timeline, aligned sample-for-sample with the aggregate one.
+    #[test]
+    fn per_lattice_backlog_timelines_align_with_the_aggregate() {
+        let mut config = MachineConfig::new(&[3, 5], 21);
+        for spec in &mut config.lattices {
+            spec.rounds = 100;
+            spec.cadence_cycles = 0;
+        }
+        config.workers = 2;
+        config.queue_capacity = 512;
+        let engine = StreamingEngine::with_machine(config).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        let aggregate = &outcome.report.depth_timeline;
+        assert!(!aggregate.is_empty());
+        for lattice in &outcome.report.lattices {
+            assert_eq!(lattice.backlog_timeline.len(), aggregate.len());
+            for (own, agg) in lattice.backlog_timeline.iter().zip(aggregate) {
+                assert_eq!(own.round, agg.round);
+                assert_eq!(own.elapsed_ns, agg.elapsed_ns);
+                assert!(own.backlog <= agg.backlog + 1);
+            }
+        }
+        // The per-lattice series sum to the aggregate at each sample (no
+        // sampling skew here: the source thread reads all counters between
+        // emissions).
+        for (index, sample) in aggregate.iter().enumerate() {
+            let summed: u64 = outcome
+                .report
+                .lattices
+                .iter()
+                .map(|l| l.backlog_timeline[index].backlog)
+                .sum();
+            assert_eq!(summed, sample.per_lattice_backlog.iter().sum::<u64>());
+        }
+    }
+
+    /// The run's stage reports describe the whole graph and their books
+    /// balance: what the source emitted equals what the channels accepted
+    /// equals what the decode stages consumed.
+    #[test]
+    fn stage_reports_cover_the_graph_with_balanced_flow() {
+        let engine = StreamingEngine::new(fast_config()).unwrap();
+        let outcome = engine.run(&greedy_factory());
+        let stages = &outcome.report.stages;
+        let stage_of = |name: &str| {
+            stages
+                .iter()
+                .find(|r| r.stage == name)
+                .unwrap_or_else(|| panic!("missing stage report {name}"))
+        };
+        assert_eq!(stage_of("source").accepted, 200);
+        assert_eq!(stage_of("source").emitted, 200);
+        assert_eq!(stage_of("gate").accepted, 200);
+        assert_eq!(stage_of("skid").accepted, 200);
+        assert_eq!(stage_of("skid").emitted, 200);
+        let channel_in: u64 = stages
+            .iter()
+            .filter(|r| r.stage.starts_with("channel."))
+            .map(|r| r.accepted)
+            .sum();
+        let decode_out: u64 = stages
+            .iter()
+            .filter(|r| r.stage.starts_with("decode."))
+            .map(|r| r.emitted)
+            .sum();
+        assert_eq!(channel_in, 200);
+        assert_eq!(decode_out, 200);
+        for report in stages.iter().filter(|r| r.stage.starts_with("channel.")) {
+            assert_eq!(report.credits_consumed, report.credits_issued);
+        }
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! noise channels, seeds and cadences — under dense integer ids, which is
 //! what the packet header's `lattice_id` field refers to and what the
 //! per-lattice telemetry is keyed by.
+//!
+//! Each spec's QoS contract (policy, budget, SLO, decoder override) is what
+//! the pipeline's [`QosGate`](crate::stage::gate::QosGate) enforces at the
+//! admission seam: one gate lane per registered lattice.
 
-use crate::engine::PushPolicy;
+use crate::config::PushPolicy;
 use crate::source::NoiseSpec;
 use nisqplus_decoders::traits::{DecoderFactory, DynDecoder, SharedDecoderFactory};
 use nisqplus_qec::lattice::Lattice;

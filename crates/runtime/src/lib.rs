@@ -26,8 +26,17 @@
 //! * [`queue`] — the bounded lock-free ring buffer (pure
 //!   `std::sync::atomic`, no external deps); the engine gives each worker
 //!   its own ring and lets idle workers steal from busy ones,
-//! * [`engine`] — the [`StreamingEngine`]: one paced producer thread
-//!   spreading every lattice's rounds across per-worker rings, and a
+//! * [`stage`] — the composable pipeline stages the engine is wired from:
+//!   credit counters and credit-backed channels, skid buffers, batch muxes
+//!   (steal / priority / round-robin), the QoS admission gate, the
+//!   prepared-decoder decode stage, frame and depth sinks, and the
+//!   [`PipelineGraph`] builder that assembles them into a running,
+//!   backpressured whole — every stage reporting its flow through a
+//!   uniform [`StageReport`],
+//! * [`config`] — the [`RuntimeConfig`] / [`MachineConfig`] run
+//!   configuration (re-exported through [`engine`] for compatibility),
+//! * [`engine`] — the [`StreamingEngine`]: one paced source thread
+//!   spreading every lattice's rounds across credit channels, and a
 //!   work-stealing pool of decoder workers built from a
 //!   [`DecoderFactory`](nisqplus_decoders::DecoderFactory), each keeping one
 //!   prepared decoder per code distance and decoding up to
@@ -80,12 +89,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod config;
 pub mod engine;
 pub mod frame;
 pub mod lattice_set;
 pub mod packet;
 pub mod queue;
 pub mod source;
+pub mod stage;
 pub mod telemetry;
 pub mod throttle;
 
@@ -97,8 +108,13 @@ pub use lattice_set::{LatticeDecoder, LatticeSet, LatticeSpec};
 pub use packet::{PacketCodec, PacketError, SyndromePacket};
 pub use queue::{RingFull, SpmcRing};
 pub use source::{InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
+pub use stage::{
+    ClassRouter, ConsumePolicy, PipelineGraph, PipelineOptions, RouteStage, SpreadRouter,
+    StageReport,
+};
 pub use telemetry::{
     CounterSnapshot, DepthSample, LatencyProfile, LatticeCounterSnapshot, LatticeCounters,
-    LatticeReport, ResidualReport, RuntimeCounters, RuntimeReport,
+    LatticeDepthSample, LatticeReport, ResidualReport, RuntimeCounters, RuntimeReport,
+    WorkerCounterSnapshot,
 };
 pub use throttle::ThrottledDecoder;

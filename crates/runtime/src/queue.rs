@@ -15,6 +15,12 @@
 //! advance by compare-and-swap), though the runtime drives it in SPMC mode:
 //! one producer thread pushing at the syndrome-generation cadence, many
 //! decoder workers popping.
+//!
+//! The ring itself is only *storage*: in the pipeline graph the flow
+//! control lives one layer up, in
+//! [`CreditChannel`](crate::stage::channel::CreditChannel), which pairs
+//! each ring with a capacity-credit loop so that a full ring is a counted
+//! refusal at a stage seam rather than a failed push deep in a hot loop.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

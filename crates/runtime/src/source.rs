@@ -7,6 +7,11 @@
 //! tests possible — the same `(lattice, noise, seed)` triple always yields
 //! the same infinite syndrome sequence, whether consumed by the streaming
 //! engine or by a plain offline loop.
+//!
+//! In the pipeline graph (`crate::stage`), an [`InterleavedSource`] is the
+//! heart of the *source* stage: `stage::graph` paces it to each lattice's
+//! cadence and feeds its rounds through the QoS gate and skid buffer into
+//! the credit channels.
 
 use crate::lattice_set::LatticeSet;
 use nisqplus_qec::error_model::{Depolarizing, ErrorModel, PureDephasing};

@@ -1,0 +1,172 @@
+//! Credit counters: the flow-control token of every stage seam.
+//!
+//! A [`CreditCounter`] models the credit loop of a latency-insensitive
+//! hardware channel: the receiver grants the sender a fixed number of
+//! credits up front (its buffer depth), the sender consumes one credit per
+//! transfer, and the receiver returns the credit when the transfer leaves
+//! its buffer.  The sender can therefore never overrun the receiver — the
+//! credit counter *is* the backpressure, and exhaustion is observable as a
+//! counted stall instead of a lost record.
+//!
+//! The runtime uses credit loops at two scopes:
+//!
+//! * **one seam** — a [`CreditChannel`](crate::stage::CreditChannel) grants
+//!   exactly its ring capacity and returns each credit at pop time, so
+//!   `available == free slots` is an invariant;
+//! * **several stages** — a per-lattice queue budget
+//!   ([`LatticeSpec::queue_budget`](crate::lattice_set::LatticeSpec::queue_budget))
+//!   is a credit loop spanning the whole pipeline: the
+//!   [`QosGate`](crate::stage::QosGate) consumes a credit at admission and
+//!   the decode stage returns it only when the round's correction is
+//!   committed, bounding the lattice's *outstanding* rounds end to end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomic credit counter: `initial` credits granted up front, consumed
+/// with [`CreditCounter::try_acquire`] and returned with
+/// [`CreditCounter::release`].  All operations are lock-free and safe to
+/// share across threads by reference.
+#[derive(Debug)]
+pub struct CreditCounter {
+    /// Credits currently available to the sender.
+    available: AtomicU64,
+    /// Total credits ever consumed (successful acquisitions).
+    consumed: AtomicU64,
+    /// Total credits ever returned (replenishments; the initial grant is
+    /// not counted).
+    issued: AtomicU64,
+    /// The up-front grant.
+    initial: u64,
+}
+
+impl CreditCounter {
+    /// A counter with `initial` credits granted up front.
+    #[must_use]
+    pub fn new(initial: u64) -> Self {
+        CreditCounter {
+            available: AtomicU64::new(initial),
+            consumed: AtomicU64::new(0),
+            issued: AtomicU64::new(0),
+            initial,
+        }
+    }
+
+    /// Consumes one credit.  Returns `false` (and consumes nothing) when no
+    /// credit is available — the caller's cue to stall, shed, or retry.
+    pub fn try_acquire(&self) -> bool {
+        let acquired = self
+            .available
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok();
+        if acquired {
+            self.consumed.fetch_add(1, Ordering::Relaxed);
+        }
+        acquired
+    }
+
+    /// Returns one credit to the pool.
+    ///
+    /// The caller is responsible for releasing only credits it acquired:
+    /// the counter itself does not bound `available` above
+    /// [`CreditCounter::initial`].
+    pub fn release(&self) {
+        self.available.fetch_add(1, Ordering::AcqRel);
+        self.issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Credits currently available.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Total credits consumed so far (successful [`CreditCounter::try_acquire`]s).
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Total credits returned so far ([`CreditCounter::release`] calls; the
+    /// initial grant is not counted).
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued.load(Ordering::Relaxed)
+    }
+
+    /// The up-front grant.
+    #[must_use]
+    pub fn initial(&self) -> u64 {
+        self.initial
+    }
+
+    /// Credits currently held by senders: consumed but not yet returned.
+    /// For a channel-scoped loop this is the channel occupancy; for a
+    /// budget-scoped loop it is the lattice's outstanding rounds.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.consumed()
+            .saturating_sub(self.issued())
+            .min(self.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_exhaust_and_replenish() {
+        let credits = CreditCounter::new(2);
+        assert_eq!(credits.available(), 2);
+        assert!(credits.try_acquire());
+        assert!(credits.try_acquire());
+        // Exhausted: further acquisitions fail without consuming anything.
+        assert!(!credits.try_acquire());
+        assert!(!credits.try_acquire());
+        assert_eq!(credits.available(), 0);
+        assert_eq!(credits.consumed(), 2);
+        assert_eq!(credits.in_flight(), 2);
+        // One release replenishes exactly one acquisition.
+        credits.release();
+        assert_eq!(credits.available(), 1);
+        assert!(credits.try_acquire());
+        assert!(!credits.try_acquire());
+        assert_eq!(credits.consumed(), 3);
+        assert_eq!(credits.issued(), 1);
+    }
+
+    #[test]
+    fn zero_credit_counter_always_stalls() {
+        let credits = CreditCounter::new(0);
+        assert!(!credits.try_acquire());
+        credits.release();
+        assert!(credits.try_acquire());
+        assert!(!credits.try_acquire());
+    }
+
+    #[test]
+    fn concurrent_acquire_never_oversubscribes() {
+        use std::sync::atomic::AtomicU64;
+        use std::thread;
+        let credits = CreditCounter::new(64);
+        let granted = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        if credits.try_acquire() {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                            credits.release();
+                        }
+                    }
+                });
+            }
+        });
+        // Every successful acquisition was matched by a release, so the
+        // full grant is available again and the books balance.
+        assert_eq!(credits.available(), 64);
+        assert_eq!(credits.consumed(), granted.load(Ordering::Relaxed));
+        assert_eq!(credits.issued(), credits.consumed());
+        assert_eq!(credits.in_flight(), 0);
+    }
+}

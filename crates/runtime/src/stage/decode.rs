@@ -1,0 +1,240 @@
+//! The decode stage: the prepared-decoder hot path of one worker.
+//!
+//! A [`DecodeStage`] owns everything a worker thread needs to turn a wire
+//! record into a committed-ready correction without allocating in steady
+//! state: one prepared decoder per distinct `(code distance, factory)` pair
+//! (lattices of equal distance share layout — [`LatticeSet`] interns them —
+//! so prepared sector graphs and scratch arenas are reused across lattices
+//! served by the *same* factory), plus per-lattice reusable packet,
+//! syndrome and Pauli buffers.  [`DecodeStage::decode`] routes a record to
+//! its lattice's prepared state by the header's `lattice_id`, validates and
+//! unpacks it, decodes both sectors through the allocation-free
+//! [`Decoder::decode_into`] path, and composes the sector corrections into
+//! one [`PauliString`] borrowed out as a [`DecodedRound`].
+//!
+//! The stage is purely computational — it owns no queue and no thread.  The
+//! pipeline wiring (batch fill via a [`BatchMux`](crate::stage::BatchMux),
+//! commit via a [`FrameSink`](crate::stage::FrameSink), budget-credit
+//! return via [`QosGate::credit_decode`](crate::stage::QosGate::credit_decode))
+//! lives in [`crate::stage::graph`].
+//!
+//! [`Decoder::decode_into`]: nisqplus_decoders::Decoder::decode_into
+
+use crate::lattice_set::{LatticeDecoder, LatticeSet};
+use crate::packet::{PacketCodec, SyndromePacket};
+use nisqplus_decoders::traits::{DecoderFactory, DynDecoder};
+use nisqplus_qec::lattice::Sector;
+use nisqplus_qec::pauli::PauliString;
+use nisqplus_qec::syndrome::Syndrome;
+
+/// One decoded round, borrowed from the stage's reusable buffers: valid
+/// until the next [`DecodeStage::decode`] call.
+#[derive(Debug)]
+pub struct DecodedRound<'a> {
+    /// Id of the lattice the round belongs to.
+    pub lattice_id: u32,
+    /// The round index within that lattice's stream.
+    pub round: u64,
+    /// The producer's emission timestamp (nanoseconds since the run epoch).
+    pub emitted_ns: u64,
+    /// The composed X- and Z-sector correction for the round.
+    pub correction: &'a PauliString,
+}
+
+/// One lattice's reusable decode state: the prepared-decoder slot plus the
+/// buffers the hot loop writes into.
+#[derive(Debug)]
+struct LatticeDecodeState {
+    /// Index into the stage's deduplicated decoder list.
+    decoder_slot: usize,
+    packet: SyndromePacket,
+    syndrome: Syndrome,
+    x_buf: PauliString,
+    z_buf: PauliString,
+}
+
+/// The prepared-decoder decode stage of one worker thread.
+pub struct DecodeStage<'a> {
+    set: &'a LatticeSet,
+    codec: &'a PacketCodec,
+    decoders: Vec<DynDecoder>,
+    /// The name of the decoder serving each lattice, in lattice-id order.
+    lattice_decoders: Vec<String>,
+    states: Vec<LatticeDecodeState>,
+    decoded: u64,
+}
+
+impl std::fmt::Debug for DecodeStage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeStage")
+            .field("lattice_decoders", &self.lattice_decoders)
+            .field("decoded", &self.decoded)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> DecodeStage<'a> {
+    /// Builds and prepares the stage for every lattice of `set`: one
+    /// decoder per distinct `(distance, factory)` pair — per-lattice
+    /// [`LatticeSpec::decoder`](crate::lattice_set::LatticeSpec::decoder)
+    /// overrides beside the machine-wide `factory`.
+    #[must_use]
+    pub fn new(set: &'a LatticeSet, codec: &'a PacketCodec, factory: &dyn DecoderFactory) -> Self {
+        let mut decoders: Vec<DynDecoder> = Vec::new();
+        let mut lattice_decoders: Vec<String> = Vec::with_capacity(set.len());
+        // (distance, factory identity, slot); None = the machine-wide factory.
+        let mut slot_of: Vec<(usize, Option<usize>, usize)> = Vec::new();
+        let mut states: Vec<LatticeDecodeState> = Vec::with_capacity(set.len());
+        for (_, spec, lattice) in set.iter() {
+            let factory_key = spec.decoder.as_ref().map(LatticeDecoder::key);
+            let decoder_slot = match slot_of
+                .iter()
+                .find(|(d, k, _)| *d == spec.distance && *k == factory_key)
+            {
+                Some(&(_, _, slot)) => slot,
+                None => {
+                    let mut decoder = match &spec.decoder {
+                        Some(per_lattice) => per_lattice.build(),
+                        None => factory.build(),
+                    };
+                    decoder.prepare(lattice);
+                    decoders.push(decoder);
+                    slot_of.push((spec.distance, factory_key, decoders.len() - 1));
+                    decoders.len() - 1
+                }
+            };
+            lattice_decoders.push(decoders[decoder_slot].name().to_string());
+            states.push(LatticeDecodeState {
+                decoder_slot,
+                packet: SyndromePacket::new(0, 0, 0, &Syndrome::new(lattice.num_ancillas())),
+                syndrome: Syndrome::new(lattice.num_ancillas()),
+                x_buf: PauliString::identity(lattice.num_data()),
+                z_buf: PauliString::identity(lattice.num_data()),
+            });
+        }
+        DecodeStage {
+            set,
+            codec,
+            decoders,
+            lattice_decoders,
+            states,
+            decoded: 0,
+        }
+    }
+
+    /// Decodes one wire record through the lattice's prepared hot path.
+    /// The returned [`DecodedRound`] borrows the lattice's composed
+    /// correction buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record fails header validation (producer and workers
+    /// must share one codec) or its lattice id is out of range.
+    pub fn decode(&mut self, record: &[u64]) -> DecodedRound<'_> {
+        // Raw routing peek to pick the per-lattice buffers; the single full
+        // header validation happens inside `try_decode_into`.
+        let lattice_id = PacketCodec::peek_lattice_id(record) as usize;
+        let state = &mut self.states[lattice_id];
+        let decoder = &mut self.decoders[state.decoder_slot];
+        let lattice = self.set.lattice(lattice_id);
+        self.codec
+            .try_decode_into(record, &mut state.packet)
+            .expect("producer and workers share one codec");
+        state.packet.syndrome.write_to_syndrome(&mut state.syndrome);
+        decoder.decode_into(lattice, &state.syndrome, Sector::X, &mut state.x_buf);
+        decoder.decode_into(lattice, &state.syndrome, Sector::Z, &mut state.z_buf);
+        state.x_buf.compose_with(&state.z_buf);
+        self.decoded += 1;
+        DecodedRound {
+            lattice_id: state.packet.lattice_id,
+            round: state.packet.round,
+            emitted_ns: state.packet.emitted_ns,
+            correction: &state.x_buf,
+        }
+    }
+
+    /// The name of the decoder serving each lattice, in lattice-id order.
+    #[must_use]
+    pub fn lattice_decoders(&self) -> &[String] {
+        &self.lattice_decoders
+    }
+
+    /// Rounds decoded by this stage so far.
+    #[must_use]
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_set::LatticeSpec;
+    use crate::source::{NoiseSpec, SyndromeSource};
+    use nisqplus_decoders::GreedyMatchingDecoder;
+
+    fn set_of(distances: &[usize]) -> LatticeSet {
+        let specs: Vec<LatticeSpec> = distances
+            .iter()
+            .map(|&d| {
+                let mut spec = LatticeSpec::new(d);
+                spec.noise = NoiseSpec::PureDephasing { p: 0.05 };
+                spec.rounds = 8;
+                spec
+            })
+            .collect();
+        LatticeSet::new(specs).unwrap()
+    }
+
+    fn factory() -> impl DecoderFactory {
+        || Box::new(GreedyMatchingDecoder::new()) as DynDecoder
+    }
+
+    #[test]
+    fn equal_distance_lattices_share_one_prepared_decoder() {
+        let set = set_of(&[3, 5, 3]);
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let stage = DecodeStage::new(&set, &codec, &factory());
+        // Two distinct distances → two prepared decoders for three lattices.
+        assert_eq!(stage.decoders.len(), 2);
+        assert_eq!(stage.states[0].decoder_slot, stage.states[2].decoder_slot);
+        assert_ne!(stage.states[0].decoder_slot, stage.states[1].decoder_slot);
+        assert_eq!(stage.lattice_decoders().len(), 3);
+    }
+
+    #[test]
+    fn decode_routes_by_header_and_matches_a_direct_decode() {
+        let set = set_of(&[3, 5]);
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let mut stage = DecodeStage::new(&set, &codec, &factory());
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for lattice_id in [1u32, 0, 1] {
+            let spec = set.spec(lattice_id as usize);
+            let mut source = SyndromeSource::new(
+                set.lattice(lattice_id as usize).clone(),
+                spec.noise,
+                spec.seed,
+            )
+            .unwrap();
+            let syndrome = source.next_syndrome();
+            let packet = SyndromePacket::new(lattice_id, 0, 17, &syndrome);
+            codec.encode(&packet, &mut record);
+            let decoded = stage.decode(&record);
+            assert_eq!(decoded.lattice_id, lattice_id);
+            assert_eq!(decoded.round, 0);
+            assert_eq!(decoded.emitted_ns, 17);
+            // The borrowed correction is the composed X∘Z correction of a
+            // freshly prepared decoder fed the same syndrome.
+            let lattice = set.lattice(lattice_id as usize);
+            let mut reference = factory().build();
+            reference.prepare(lattice);
+            let mut x = PauliString::identity(lattice.num_data());
+            let mut z = PauliString::identity(lattice.num_data());
+            reference.decode_into(lattice, &syndrome, Sector::X, &mut x);
+            reference.decode_into(lattice, &syndrome, Sector::Z, &mut z);
+            x.compose_with(&z);
+            assert_eq!(*decoded.correction, x);
+        }
+        assert_eq!(stage.decoded(), 3);
+    }
+}

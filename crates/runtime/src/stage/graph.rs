@@ -1,0 +1,779 @@
+//! The pipeline graph: wiring stages into a running, backpressured whole.
+//!
+//! A [`PipelineGraph`] assembles the streaming pipeline from the stage
+//! building blocks and runs it to completion:
+//!
+//! ```text
+//! source ──► gate ──► route ──► channel[0..C] ──► mux ──► decode ──► sink
+//!  (paced)  (QoS)   (placement)  (credit loops)  (per worker, N threads)
+//! ```
+//!
+//! One paced source runs on the calling thread; `workers` decode threads
+//! each drive a mux → decode → sink chain.  Every seam is credit-backed:
+//! the channels carry capacity credits, the gate carries per-lattice budget
+//! credits that only come home when the decode commits.  The graph's shape
+//! is configurable through [`PipelineOptions`] — where rounds are placed
+//! ([`RouteStage`]) and how workers consume ([`ConsumePolicy`]) — with
+//! defaults that reproduce the engine's spread-and-steal behaviour
+//! byte-for-byte.  [`PipelineGraph::run`] returns a [`PipelineRun`]: the
+//! raw worker outputs, timelines, per-lattice producer statistics, and one
+//! [`StageReport`] per stage.
+
+use crate::config::{MachineConfig, PushPolicy};
+use crate::lattice_set::LatticeSet;
+use crate::packet::{PacketCodec, SyndromePacket};
+use crate::source::InterleavedSource;
+use crate::stage::channel::CreditChannel;
+use crate::stage::decode::DecodeStage;
+use crate::stage::gate::{Admission, QosGate};
+use crate::stage::mux::{BatchMux, PriorityMux, RoundRobinMux, StealMux};
+use crate::stage::sink::{DepthSink, FrameSink, WorkerOutput};
+use crate::stage::skid::SkidBuffer;
+use crate::stage::StageReport;
+use crate::telemetry::{DepthSample, RuntimeCounters};
+use nisqplus_decoders::traits::DecoderFactory;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Instant;
+
+/// The placement stage: which channel a round is sent to.
+pub trait RouteStage: fmt::Debug + Send + Sync {
+    /// The channel index for round `round` of lattice `lattice_id`, given
+    /// `channels` channels.  Must return a value `< channels`.
+    fn route(&self, lattice_id: u32, round: u64, channels: usize) -> usize;
+}
+
+/// The default placement: spread rounds over the pool, offset by lattice
+/// id so co-cadenced lattices don't all land on the same channel; stealing
+/// rebalances whatever placement gets wrong.  For a single lattice this is
+/// plain round-robin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpreadRouter;
+
+impl RouteStage for SpreadRouter {
+    fn route(&self, lattice_id: u32, round: u64, channels: usize) -> usize {
+        ((u64::from(lattice_id) + round) % channels as u64) as usize
+    }
+}
+
+/// Class-based placement: lattice `i` always lands on channel
+/// `class_of[i] % channels`.  Combined with [`ConsumePolicy::Priority`]
+/// this builds a strict-priority pipeline — traffic classes get their own
+/// channel and workers drain lower-numbered classes first (see
+/// `examples/stage_pipeline.rs`).
+#[derive(Debug, Clone)]
+pub struct ClassRouter {
+    /// The traffic class of each lattice, indexed by lattice id.
+    pub class_of: Vec<usize>,
+}
+
+impl RouteStage for ClassRouter {
+    fn route(&self, lattice_id: u32, _round: u64, channels: usize) -> usize {
+        self.class_of[lattice_id as usize] % channels
+    }
+}
+
+/// How each worker's mux consumes the channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsumePolicy {
+    /// Drain the worker's home channel, stealing a whole batch from the
+    /// first busy neighbour when home runs dry (the engine default; see
+    /// [`StealMux`]).
+    #[default]
+    OwnThenSteal,
+    /// Always drain the lowest-indexed busy channel ([`PriorityMux`]).
+    Priority,
+    /// Rotate grants across channels ([`RoundRobinMux`]).
+    RoundRobin,
+}
+
+/// The configurable shape of a [`PipelineGraph`].
+///
+/// The default options reproduce the classic engine wiring exactly: one
+/// channel per worker, spread placement, own-then-steal consumption.
+#[derive(Debug, Default)]
+pub struct PipelineOptions {
+    /// The placement stage; `None` uses [`SpreadRouter`].
+    pub router: Option<Box<dyn RouteStage>>,
+    /// How workers consume the channels.
+    pub consume: ConsumePolicy,
+    /// Number of channels; `None` uses one per worker.
+    pub channels: Option<usize>,
+}
+
+/// Per-lattice generation statistics tracked by the source stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatticeGenStats {
+    /// Elapsed nanoseconds at this lattice's last emission.
+    pub gen_elapsed_ns: f64,
+    /// This lattice's backlog at the instant its generation stopped.
+    pub final_backlog: u64,
+}
+
+/// Everything a finished pipeline hands back to the engine.
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// One output per decode worker.
+    pub worker_outputs: Vec<WorkerOutput>,
+    /// The down-sampled aggregate + per-lattice backlog timeline.
+    pub depth_timeline: Vec<DepthSample>,
+    /// Elapsed nanoseconds when the source finished generating.
+    pub generation_elapsed_ns: f64,
+    /// Aggregate backlog at the instant generation stopped.
+    pub final_backlog: u64,
+    /// Per-lattice source statistics, in lattice-id order.
+    pub lattice_stats: Vec<LatticeGenStats>,
+    /// Rounds shed per lattice, in emission order.
+    pub lattice_shed: Vec<Vec<u64>>,
+    /// One report per stage, in graph order: source, skid, gate,
+    /// channels, per-worker decode and sink stages, depth sink.
+    pub stage_reports: Vec<StageReport>,
+    /// Wall-clock seconds from epoch to the last worker's exit.
+    pub elapsed_s: f64,
+}
+
+/// Everything one decode worker needs, bundled to keep spawn sites tidy
+/// (and to let tests drive a worker directly against hand-filled channels).
+pub struct WorkerSeat<'a> {
+    /// This worker's index; its home channel is `worker_id % channels`.
+    pub worker_id: usize,
+    /// The lattices being served.
+    pub set: &'a LatticeSet,
+    /// The shared wire codec.
+    pub codec: &'a PacketCodec,
+    /// The channels the worker consumes from.
+    pub channels: &'a [CreditChannel],
+    /// The admission gate whose budget credits the worker returns.
+    pub gate: &'a QosGate,
+    /// The shared run counters.
+    pub counters: &'a RuntimeCounters,
+    /// Set once the source has finished generating.
+    pub done: &'a AtomicBool,
+    /// The run's epoch, for latency timestamps.
+    pub epoch: Instant,
+    /// The machine-wide decoder factory.
+    pub factory: &'a dyn DecoderFactory,
+    /// Whether committed corrections are kept per round.
+    pub record_corrections: bool,
+    /// Maximum rounds decoded as one batch.
+    pub batch_size: usize,
+    /// The worker's consumption discipline.
+    pub consume: ConsumePolicy,
+}
+
+impl fmt::Debug for WorkerSeat<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerSeat")
+            .field("worker_id", &self.worker_id)
+            .field("channels", &self.channels.len())
+            .field("batch_size", &self.batch_size)
+            .field("consume", &self.consume)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One decode worker: fill a batch through the mux, decode every record
+/// through the lattice's prepared hot path, commit to the private frame
+/// sink, return each round's budget credit to the gate.  Returns the
+/// worker's output plus its decode and sink [`StageReport`]s.
+pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
+    let WorkerSeat {
+        worker_id,
+        set,
+        codec,
+        channels,
+        gate,
+        counters,
+        done,
+        epoch,
+        factory,
+        record_corrections,
+        batch_size,
+        consume,
+    } = seat;
+    let mut decode = DecodeStage::new(set, codec, factory);
+    let mut sink = FrameSink::new(set, record_corrections);
+    let mut mux: Box<dyn BatchMux> = match consume {
+        ConsumePolicy::OwnThenSteal => Box::new(StealMux::new(worker_id % channels.len())),
+        ConsumePolicy::Priority => Box::new(PriorityMux::new()),
+        ConsumePolicy::RoundRobin => Box::new(RoundRobinMux::new()),
+    };
+    // Reusable batch records, shared across lattices (records are sized for
+    // the largest lattice of the set).
+    let mut batch: Vec<Vec<u64>> = (0..batch_size)
+        .map(|_| vec![0u64; codec.words_per_packet()])
+        .collect();
+    let worker_counters = counters.per_worker.get(worker_id);
+    let mut stall_polls = 0u64;
+    loop {
+        // ---- Fill a batch through the mux ------------------------------
+        let fill = mux.fill(channels, &mut batch);
+        if fill.stolen > 0 {
+            counters.stolen.fetch_add(fill.stolen, Ordering::Relaxed);
+            if let Some(w) = worker_counters {
+                w.stolen.fetch_add(fill.stolen, Ordering::Relaxed);
+            }
+        }
+        if fill.filled == 0 {
+            if done.load(Ordering::Acquire) && channels.iter().all(CreditChannel::is_empty) {
+                let decode_report = StageReport {
+                    stage: format!("decode.{worker_id}"),
+                    accepted: decode.decoded(),
+                    emitted: decode.decoded(),
+                    stall_cycles: stall_polls,
+                    ..StageReport::default()
+                };
+                let sink_report = sink.report(format!("sink.{worker_id}"));
+                let output = sink.finish(decode.lattice_decoders().to_vec());
+                return (output, vec![decode_report, sink_report]);
+            }
+            counters.stall_polls.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = worker_counters {
+                w.stall_polls.fetch_add(1, Ordering::Relaxed);
+            }
+            stall_polls += 1;
+            std::hint::spin_loop();
+            thread::yield_now();
+            continue;
+        }
+
+        // ---- Decode the batch ------------------------------------------
+        // Per-packet service time keeps its meaning (the full
+        // unpack-to-commit span of that round — what the backlog model's `f`
+        // ratio is about): timestamps are chained, one clock read per
+        // packet, so batching amortizes the mux scans and counter updates
+        // without flattening latency spikes into a batch mean.
+        let mut prev = Instant::now();
+        for record in &batch[..fill.filled] {
+            let decoded = decode.decode(record);
+            let lattice_id = decoded.lattice_id as usize;
+            let emitted_ns = decoded.emitted_ns;
+            sink.commit(&decoded);
+            let now = Instant::now();
+            sink.record_latency(
+                lattice_id,
+                now.duration_since(prev).as_nanos() as f64,
+                (now.duration_since(epoch).as_nanos() as f64 - emitted_ns as f64).max(0.0),
+            );
+            counters.per_lattice[lattice_id]
+                .decoded
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = worker_counters {
+                w.decoded.fetch_add(1, Ordering::Relaxed);
+            }
+            // The round is committed: its budget credit goes home, closing
+            // the gate-to-sink credit loop.
+            gate.credit_decode(lattice_id);
+            prev = now;
+        }
+        counters
+            .decoded
+            .fetch_add(fill.filled as u64, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = worker_counters {
+            w.batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// What the source stage hands back when generation ends.
+struct SourceRun {
+    depth_timeline: Vec<DepthSample>,
+    generation_elapsed_ns: f64,
+    final_backlog: u64,
+    lattice_stats: Vec<LatticeGenStats>,
+    lattice_shed: Vec<Vec<u64>>,
+    reports: Vec<StageReport>,
+}
+
+/// The source stage: paced interleaved generation, bit-packing into a skid
+/// buffer, gate admission under each lattice's QoS lane, routed placement
+/// into the credit channels, depth sampling.
+#[allow(clippy::too_many_arguments)]
+fn run_source(
+    config: &MachineConfig,
+    set: &LatticeSet,
+    codec: &PacketCodec,
+    channels: &[CreditChannel],
+    gate: &QosGate,
+    router: &dyn RouteStage,
+    counters: &RuntimeCounters,
+    epoch: Instant,
+) -> SourceRun {
+    let mut source = InterleavedSource::new(set, &config.cycle_time)
+        .expect("config validated in StreamingEngine::with_machine");
+    let total_rounds = set.total_rounds();
+    let mut depth = DepthSink::new(total_rounds, config.max_depth_samples);
+    // The send seam's skid: an encoded record rests here while its channel
+    // refuses credits, so a Block-lane round exists in exactly one place at
+    // every instant of a stall and a Drop-lane round is shed by an explicit
+    // counted discard.
+    let mut skid: SkidBuffer<Vec<u64>> = SkidBuffer::new(1);
+    let words = codec.words_per_packet();
+    let mut lattice_stats = vec![LatticeGenStats::default(); set.len()];
+    let mut lattice_shed: Vec<Vec<u64>> = vec![Vec::new(); set.len()];
+    let mut emitted_total = 0u64;
+
+    while let Some(sourced) = source.next_round() {
+        if sourced.due_ns > 0.0 {
+            // Pace generation to the lattice's hardware cadence.
+            // `yield_now` keeps the spin cooperative on machines with
+            // fewer cores than threads; the *measured* inter-arrival time
+            // (not the nominal cadence) is what feeds the model
+            // comparison, so imprecise pacing degrades the experiment's
+            // rate, never its honesty.
+            let target_ns = sourced.due_ns as u128;
+            while epoch.elapsed().as_nanos() < target_ns {
+                std::hint::spin_loop();
+                thread::yield_now();
+            }
+        }
+        let lattice_id = sourced.lattice_id;
+        let emitted_ns = epoch.elapsed().as_nanos() as u64;
+        let packet = SyndromePacket::new(lattice_id, sourced.round, emitted_ns, &sourced.syndrome);
+        let loaded = skid.accept_with(|slot| {
+            slot.resize(words, 0);
+            codec.encode(&packet, slot);
+        });
+        debug_assert!(loaded, "the source skid is emptied every round");
+        let lattice_counters = &counters.per_lattice[lattice_id as usize];
+        counters.generated.fetch_add(1, Ordering::Relaxed);
+        lattice_counters.generated.fetch_add(1, Ordering::Relaxed);
+        let channel = &channels[router.route(lattice_id, sourced.round, channels.len())];
+        match gate.policy(lattice_id as usize) {
+            PushPolicy::Block => {
+                // Two credit loops, both lossless: the lattice's own budget
+                // lane first, then a channel credit; every refused retry is
+                // one counted backpressure spin.
+                while gate.admit(lattice_id as usize) == Admission::Blocked {
+                    counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
+                    lattice_counters
+                        .backpressure_spins
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    thread::yield_now();
+                }
+                while skid.drain_with(|record| channel.try_send(record)) == 0 {
+                    counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
+                    lattice_counters
+                        .backpressure_spins
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    thread::yield_now();
+                }
+                counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
+            }
+            PushPolicy::Drop => {
+                // Shed when the lattice's budget lane refuses *or* the
+                // channel has no credit; a shed round is recorded so the
+                // frame path and the residual analysis can feed it an
+                // identity correction later.
+                let delivered = match gate.admit(lattice_id as usize) {
+                    Admission::Granted => {
+                        if skid.drain_with(|record| channel.try_send(record)) > 0 {
+                            true
+                        } else {
+                            // The granted budget credit goes home unused.
+                            gate.refund(lattice_id as usize);
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if delivered {
+                    counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                    lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    skid.discard_front();
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    lattice_shed[lattice_id as usize].push(sourced.round);
+                }
+            }
+        }
+        let stats = &mut lattice_stats[lattice_id as usize];
+        // Reuse the emission timestamp: it is this round's generation
+        // instant, and it spares a second clock read per round.
+        stats.gen_elapsed_ns = emitted_ns as f64;
+        if sourced.round + 1 == set.spec(lattice_id as usize).rounds {
+            // This lattice's generation just stopped: its backlog at this
+            // instant is what its per-lattice model comparison predicts.
+            stats.final_backlog = lattice_counters.backlog();
+        }
+        depth.observe(
+            emitted_total,
+            epoch.elapsed().as_nanos() as u64,
+            channels.iter().map(|c| c.len() as u64).sum(),
+            counters,
+        );
+        emitted_total += 1;
+    }
+    let generation_elapsed_ns = epoch.elapsed().as_nanos() as f64;
+    // The backlog at the instant generation stops is the quantity the
+    // closed-form model predicts (rounds keep arriving only while the
+    // machine runs); the workers drain the remainder afterwards.
+    let final_backlog = counters.backlog();
+    let source_report = StageReport {
+        stage: "source".to_string(),
+        accepted: counters.generated.load(Ordering::Relaxed),
+        emitted: counters.enqueued.load(Ordering::Relaxed),
+        rejected: counters.dropped.load(Ordering::Relaxed),
+        stall_cycles: counters.backpressure_spins.load(Ordering::Relaxed),
+        ..StageReport::default()
+    };
+    let depth_report = depth.report("depth");
+    SourceRun {
+        depth_timeline: depth.finish(),
+        generation_elapsed_ns,
+        final_backlog,
+        lattice_stats,
+        lattice_shed,
+        reports: vec![source_report, skid.report("skid"), depth_report],
+    }
+}
+
+/// The assembled pipeline: codec, channels, gate, router and consumption
+/// discipline, ready to run a machine's streams through a worker pool.
+#[derive(Debug)]
+pub struct PipelineGraph<'a> {
+    config: &'a MachineConfig,
+    set: &'a LatticeSet,
+    codec: PacketCodec,
+    channels: Vec<CreditChannel>,
+    gate: QosGate,
+    router: Box<dyn RouteStage>,
+    consume: ConsumePolicy,
+}
+
+impl<'a> PipelineGraph<'a> {
+    /// Wires the graph for `config`'s machine.  With default `options` the
+    /// wiring reproduces the classic engine exactly: one channel per worker
+    /// of `queue_capacity / workers` slots, spread placement,
+    /// own-then-steal consumption.
+    #[must_use]
+    pub fn new(config: &'a MachineConfig, set: &'a LatticeSet, options: PipelineOptions) -> Self {
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let channel_count = options.channels.unwrap_or(config.workers).max(1);
+        let per_channel_capacity = config.queue_capacity.div_ceil(channel_count);
+        let channels = (0..channel_count)
+            .map(|_| CreditChannel::new(per_channel_capacity, codec.words_per_packet()))
+            .collect();
+        PipelineGraph {
+            config,
+            set,
+            codec,
+            channels,
+            gate: QosGate::for_machine(config, set),
+            router: options.router.unwrap_or_else(|| Box::new(SpreadRouter)),
+            consume: options.consume,
+        }
+    }
+
+    /// The channel fan-out of this graph.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Runs the pipeline to completion: the calling thread becomes the
+    /// source, `config.workers` decode threads are spawned for the
+    /// duration of the call.  Returns once every generated round has been
+    /// decoded (or shed) and all workers have exited.
+    #[must_use]
+    pub fn run(self, factory: &dyn DecoderFactory, counters: &RuntimeCounters) -> PipelineRun {
+        let PipelineGraph {
+            config,
+            set,
+            codec,
+            channels,
+            gate,
+            router,
+            consume,
+        } = self;
+        let done = AtomicBool::new(false);
+        let epoch = Instant::now();
+
+        let (worker_results, source_run) = thread::scope(|s| {
+            let handles: Vec<_> = (0..config.workers)
+                .map(|worker_id| {
+                    let channels = &channels;
+                    let codec = &codec;
+                    let gate = &gate;
+                    let done = &done;
+                    s.spawn(move || {
+                        run_worker(WorkerSeat {
+                            worker_id,
+                            set,
+                            codec,
+                            channels,
+                            gate,
+                            counters,
+                            done,
+                            epoch,
+                            factory,
+                            // The residual analysis replays corrections per
+                            // round, so it needs them recorded too.
+                            record_corrections: config.record_corrections
+                                || config.analyze_residuals,
+                            batch_size: config.batch_size,
+                            consume,
+                        })
+                    })
+                })
+                .collect();
+
+            let source_run = run_source(
+                config, set, &codec, &channels, &gate, &*router, counters, epoch,
+            );
+            done.store(true, Ordering::Release);
+
+            let worker_results: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect();
+            (worker_results, source_run)
+        });
+        let elapsed_s = epoch.elapsed().as_secs_f64();
+
+        let mut stage_reports = source_run.reports;
+        stage_reports.insert(1, gate.report("gate"));
+        for (index, channel) in channels.iter().enumerate() {
+            stage_reports.push(channel.report(format!("channel.{index}")));
+        }
+        let mut worker_outputs = Vec::with_capacity(worker_results.len());
+        for (output, reports) in worker_results {
+            worker_outputs.push(output);
+            stage_reports.extend(reports);
+        }
+        PipelineRun {
+            worker_outputs,
+            depth_timeline: source_run.depth_timeline,
+            generation_elapsed_ns: source_run.generation_elapsed_ns,
+            final_backlog: source_run.final_backlog,
+            lattice_stats: source_run.lattice_stats,
+            lattice_shed: source_run.lattice_shed,
+            stage_reports,
+            elapsed_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_set::LatticeSpec;
+    use crate::source::{NoiseSpec, SyndromeSource};
+    use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
+
+    fn greedy_factory() -> impl DecoderFactory {
+        || Box::new(GreedyMatchingDecoder::new()) as DynDecoder
+    }
+
+    /// Deterministic work stealing: worker 0's home channel is empty, every
+    /// packet sits in channel 1, and the source is already done.  Worker 0
+    /// must steal and decode all of them, counting each theft.
+    #[test]
+    fn starved_worker_steals_from_a_foreign_channel() {
+        let mut spec = LatticeSpec::new(3);
+        spec.rounds = 20;
+        let set = LatticeSet::new(vec![spec]).unwrap();
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let channels = [
+            CreditChannel::new(64, codec.words_per_packet()),
+            CreditChannel::new(64, codec.words_per_packet()),
+        ];
+        let mut record = vec![0u64; codec.words_per_packet()];
+        let mut source = SyndromeSource::new(
+            set.lattice(0).clone(),
+            NoiseSpec::PureDephasing { p: 0.1 },
+            3,
+        )
+        .unwrap();
+        for round in 0..20u64 {
+            let packet = SyndromePacket::new(0, round, 0, &source.next_syndrome());
+            codec.encode(&packet, &mut record);
+            assert!(channels[1].try_send(&record));
+        }
+        let counters = RuntimeCounters::with_topology(1, 2);
+        let gate = QosGate::unbounded(1);
+        let done = AtomicBool::new(true);
+        let factory = greedy_factory();
+        let (output, reports) = run_worker(WorkerSeat {
+            worker_id: 0,
+            set: &set,
+            codec: &codec,
+            channels: &channels,
+            gate: &gate,
+            counters: &counters,
+            done: &done,
+            epoch: Instant::now(),
+            factory: &factory,
+            record_corrections: true,
+            batch_size: 4,
+            consume: ConsumePolicy::OwnThenSteal,
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.decoded, 20);
+        assert_eq!(snap.stolen, 20, "every packet was a steal");
+        assert_eq!(snap.batches, 5, "20 packets in windows of 4");
+        // The per-worker slice seats the same counts on worker 0.
+        let worker = counters.per_worker[0].snapshot();
+        assert_eq!(worker.decoded, 20);
+        assert_eq!(worker.stolen, 20);
+        assert_eq!(worker.batches, 5);
+        assert_eq!(counters.per_worker[1].snapshot().decoded, 0);
+        assert_eq!(output.per_lattice[0].frame.recorded_cycles(), 20);
+        let rounds: Vec<u64> = output.corrections.iter().map(|c| c.round).collect();
+        assert_eq!(rounds, (0..20).collect::<Vec<u64>>());
+        assert!(channels.iter().all(CreditChannel::is_empty));
+        // Every channel credit is home again.
+        assert_eq!(channels[1].credits().available(), 64);
+        let decode_report = &reports[0];
+        assert_eq!(decode_report.stage, "decode.0");
+        assert_eq!(decode_report.accepted, 20);
+    }
+
+    /// A two-lattice worker routes each packet to its lattice's state: the
+    /// d=3 and d=5 rounds land in separate frames with separate counters,
+    /// even when interleaved in one channel.
+    #[test]
+    fn worker_routes_packets_by_lattice_id() {
+        let mut spec3 = LatticeSpec::new(3);
+        spec3.rounds = 6;
+        spec3.seed = 1;
+        let mut spec5 = LatticeSpec::new(5);
+        spec5.rounds = 4;
+        spec5.seed = 2;
+        let set = LatticeSet::new(vec![spec3, spec5]).unwrap();
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let channels = [CreditChannel::new(64, codec.words_per_packet())];
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for (lattice_id, rounds, seed) in [(0u32, 6u64, 1u64), (1, 4, 2)] {
+            let mut source = SyndromeSource::new(
+                set.lattice(lattice_id as usize).clone(),
+                NoiseSpec::PureDephasing { p: 0.1 },
+                seed,
+            )
+            .unwrap();
+            for round in 0..rounds {
+                let packet = SyndromePacket::new(lattice_id, round, 0, &source.next_syndrome());
+                codec.encode(&packet, &mut record);
+                assert!(channels[0].try_send(&record));
+            }
+        }
+        let counters = RuntimeCounters::with_topology(2, 1);
+        let gate = QosGate::unbounded(2);
+        let done = AtomicBool::new(true);
+        let factory = greedy_factory();
+        let (output, _) = run_worker(WorkerSeat {
+            worker_id: 0,
+            set: &set,
+            codec: &codec,
+            channels: &channels,
+            gate: &gate,
+            counters: &counters,
+            done: &done,
+            epoch: Instant::now(),
+            factory: &factory,
+            record_corrections: true,
+            batch_size: 4,
+            consume: ConsumePolicy::OwnThenSteal,
+        });
+        assert_eq!(counters.snapshot().decoded, 10);
+        assert_eq!(counters.per_lattice[0].snapshot().decoded, 6);
+        assert_eq!(counters.per_lattice[1].snapshot().decoded, 4);
+        assert_eq!(output.per_lattice[0].frame.recorded_cycles(), 6);
+        assert_eq!(output.per_lattice[1].frame.recorded_cycles(), 4);
+        assert_eq!(output.per_lattice[0].frame.len(), set.lattice(0).num_data());
+        assert_eq!(output.per_lattice[1].frame.len(), set.lattice(1).num_data());
+        assert_eq!(
+            output
+                .corrections
+                .iter()
+                .filter(|c| c.lattice_id == 1)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn spread_router_matches_the_classic_placement() {
+        let router = SpreadRouter;
+        for lattice_id in 0..3u32 {
+            for round in 0..8u64 {
+                assert_eq!(
+                    router.route(lattice_id, round, 3),
+                    ((u64::from(lattice_id) + round) % 3) as usize
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_router_pins_lattices_to_their_class_channel() {
+        let router = ClassRouter {
+            class_of: vec![0, 1, 1],
+        };
+        for round in 0..8u64 {
+            assert_eq!(router.route(0, round, 2), 0);
+            assert_eq!(router.route(1, round, 2), 1);
+            assert_eq!(router.route(2, round, 2), 1);
+        }
+        // More classes than channels wrap around instead of panicking.
+        assert_eq!(router.route(1, 0, 1), 0);
+    }
+
+    /// The full graph with default options reproduces the engine contract:
+    /// every round decoded exactly once, all stage credit books balanced at
+    /// quiescence.
+    #[test]
+    fn default_graph_decodes_every_round_and_balances_credits() {
+        let mut config = MachineConfig::new(&[3, 3], 11);
+        for spec in &mut config.lattices {
+            spec.rounds = 100;
+            spec.cadence_cycles = 0;
+        }
+        config.workers = 2;
+        config.queue_capacity = 64;
+        let set = LatticeSet::new(config.lattices.clone()).unwrap();
+        let counters = RuntimeCounters::with_topology(set.len(), config.workers);
+        let graph = PipelineGraph::new(&config, &set, PipelineOptions::default());
+        assert_eq!(graph.channels(), 2);
+        let factory = greedy_factory();
+        let run = graph.run(&factory, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.generated, 200);
+        assert_eq!(snap.decoded, 200);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(run.worker_outputs.len(), 2);
+        assert!(!run.depth_timeline.is_empty());
+        assert_eq!(run.lattice_shed, vec![Vec::<u64>::new(); 2]);
+        // Stage reports: source, gate, skid, depth, 2 channels, 2 decode +
+        // 2 sink stages.
+        let names: Vec<&str> = run.stage_reports.iter().map(|r| r.stage.as_str()).collect();
+        assert!(names.contains(&"source"));
+        assert!(names.contains(&"gate"));
+        assert!(names.contains(&"channel.1"));
+        assert!(names.contains(&"decode.0"));
+        assert!(names.contains(&"sink.1"));
+        let channel_flow: u64 = run
+            .stage_reports
+            .iter()
+            .filter(|r| r.stage.starts_with("channel."))
+            .map(|r| r.emitted)
+            .sum();
+        assert_eq!(channel_flow, 200, "every round passed through a channel");
+        for report in run
+            .stage_reports
+            .iter()
+            .filter(|r| r.stage.starts_with("channel."))
+        {
+            assert_eq!(
+                report.credits_consumed, report.credits_issued,
+                "all channel credits are home at quiescence"
+            );
+        }
+    }
+}

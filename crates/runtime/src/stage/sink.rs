@@ -1,0 +1,310 @@
+//! Sinks: where the pipeline's results and telemetry come to rest.
+//!
+//! Two sinks close the stage graph:
+//!
+//! * [`FrameSink`] — one per worker thread.  Every [`DecodedRound`] is
+//!   committed into the worker's *private* per-lattice [`PauliFrame`] shard
+//!   (no cross-worker synchronization on the hot path; the engine merges
+//!   shards after the run), optionally kept as a
+//!   [`RoundCorrection`], and annotated with per-round latency samples.
+//!   [`FrameSink::finish`] hands everything back as a [`WorkerOutput`].
+//! * [`DepthSink`] — one on the source thread.  Down-samples the run into
+//!   at most `max_depth_samples` [`DepthSample`]s, each carrying the
+//!   aggregate queue depth and backlog *and* the per-lattice backlog
+//!   breakdown, so a single timeline shows which lattice was falling
+//!   behind when.
+
+use crate::engine::RoundCorrection;
+use crate::lattice_set::LatticeSet;
+use crate::stage::decode::DecodedRound;
+use crate::stage::StageReport;
+use crate::telemetry::{DepthSample, RuntimeCounters};
+use nisqplus_qec::frame::PauliFrame;
+
+/// One lattice's slice of a worker's output.
+#[derive(Debug)]
+pub struct WorkerLatticeOutput {
+    /// The worker's private correction-frame shard for this lattice.
+    pub frame: PauliFrame,
+    /// Per-round decode service time, nanoseconds (chained timestamps).
+    pub decode_ns: Vec<f64>,
+    /// Per-round emit-to-commit latency, nanoseconds.
+    pub total_ns: Vec<f64>,
+}
+
+/// What one worker thread hands back when the stream ends.
+#[derive(Debug)]
+pub struct WorkerOutput {
+    /// The name of the decoder serving each lattice, in lattice-id order
+    /// (per-lattice overrides may differ from the machine-wide factory).
+    pub lattice_decoders: Vec<String>,
+    /// Per-lattice frame shards and latency samples, in lattice-id order.
+    pub per_lattice: Vec<WorkerLatticeOutput>,
+    /// The per-round corrections this worker committed (empty unless
+    /// recording was requested).
+    pub corrections: Vec<RoundCorrection>,
+}
+
+/// One worker's commit stage: private frame shards, optional correction
+/// recording, per-round latency accounting.
+#[derive(Debug)]
+pub struct FrameSink {
+    per_lattice: Vec<WorkerLatticeOutput>,
+    corrections: Vec<RoundCorrection>,
+    record_corrections: bool,
+    committed: u64,
+}
+
+impl FrameSink {
+    /// A sink with one empty frame shard per lattice of `set`.
+    #[must_use]
+    pub fn new(set: &LatticeSet, record_corrections: bool) -> Self {
+        FrameSink {
+            per_lattice: set
+                .iter()
+                .map(|(_, _, lattice)| WorkerLatticeOutput {
+                    frame: PauliFrame::new(lattice.num_data()),
+                    decode_ns: Vec::new(),
+                    total_ns: Vec::new(),
+                })
+                .collect(),
+            corrections: Vec::new(),
+            record_corrections,
+            committed: 0,
+        }
+    }
+
+    /// Commits one decoded round into its lattice's frame shard (and the
+    /// correction log, when recording).
+    pub fn commit(&mut self, round: &DecodedRound<'_>) {
+        let output = &mut self.per_lattice[round.lattice_id as usize];
+        output.frame.record(round.correction);
+        if self.record_corrections {
+            self.corrections.push(RoundCorrection {
+                lattice_id: round.lattice_id,
+                round: round.round,
+                correction: round.correction.clone(),
+            });
+        }
+        self.committed += 1;
+    }
+
+    /// Appends one round's latency samples for `lattice_id`.  Kept separate
+    /// from [`FrameSink::commit`] so the caller's timestamp spans the full
+    /// unpack-to-commit window of the round.
+    pub fn record_latency(&mut self, lattice_id: usize, decode_ns: f64, total_ns: f64) {
+        let output = &mut self.per_lattice[lattice_id];
+        output.decode_ns.push(decode_ns);
+        output.total_ns.push(total_ns);
+    }
+
+    /// Rounds committed so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Consumes the sink into the worker's output, attaching the decode
+    /// stage's per-lattice decoder names.
+    #[must_use]
+    pub fn finish(self, lattice_decoders: Vec<String>) -> WorkerOutput {
+        WorkerOutput {
+            lattice_decoders,
+            per_lattice: self.per_lattice,
+            corrections: self.corrections,
+        }
+    }
+
+    /// This sink's [`StageReport`]: accepted == emitted == committed rounds.
+    #[must_use]
+    pub fn report(&self, stage: impl Into<String>) -> StageReport {
+        StageReport {
+            stage: stage.into(),
+            accepted: self.committed,
+            emitted: self.committed,
+            ..StageReport::default()
+        }
+    }
+}
+
+/// The source-side telemetry sink: a down-sampled backlog timeline with
+/// per-lattice breakdown.
+#[derive(Debug)]
+pub struct DepthSink {
+    total_rounds: u64,
+    sample_every: u64,
+    offered: u64,
+    timeline: Vec<DepthSample>,
+}
+
+impl DepthSink {
+    /// A sink sampling roughly every `total_rounds / max_depth_samples`
+    /// rounds (always at least the last round).
+    #[must_use]
+    pub fn new(total_rounds: u64, max_depth_samples: usize) -> Self {
+        DepthSink {
+            total_rounds,
+            sample_every: (total_rounds / max_depth_samples.max(1) as u64).max(1),
+            offered: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Offers round `emitted_total` for sampling; on the sampling cadence
+    /// (and on the very last round) a [`DepthSample`] is recorded with the
+    /// aggregate and per-lattice backlog read from `counters`.
+    pub fn observe(
+        &mut self,
+        emitted_total: u64,
+        elapsed_ns: u64,
+        queue_depth: u64,
+        counters: &RuntimeCounters,
+    ) {
+        self.offered += 1;
+        if emitted_total % self.sample_every == 0 || emitted_total + 1 == self.total_rounds {
+            self.timeline.push(DepthSample {
+                round: emitted_total,
+                elapsed_ns,
+                queue_depth,
+                backlog: counters.backlog(),
+                per_lattice_backlog: counters
+                    .per_lattice
+                    .iter()
+                    .map(|lattice| lattice.backlog())
+                    .collect(),
+            });
+        }
+    }
+
+    /// The timeline recorded so far.
+    #[must_use]
+    pub fn timeline(&self) -> &[DepthSample] {
+        &self.timeline
+    }
+
+    /// Consumes the sink into its timeline.
+    #[must_use]
+    pub fn finish(self) -> Vec<DepthSample> {
+        self.timeline
+    }
+
+    /// This sink's [`StageReport`]: accepted = rounds offered, emitted =
+    /// samples kept (the rest were down-sampled away, not lost — they are
+    /// still in the counters).
+    #[must_use]
+    pub fn report(&self, stage: impl Into<String>) -> StageReport {
+        StageReport {
+            stage: stage.into(),
+            accepted: self.offered,
+            emitted: self.timeline.len() as u64,
+            occupancy_peak: self
+                .timeline
+                .iter()
+                .map(|sample| sample.queue_depth)
+                .max()
+                .unwrap_or(0),
+            ..StageReport::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_set::LatticeSpec;
+    use crate::packet::{PacketCodec, SyndromePacket};
+    use crate::source::{NoiseSpec, SyndromeSource};
+    use crate::stage::DecodeStage;
+    use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
+    use std::sync::atomic::Ordering;
+
+    fn set_of(distances: &[usize]) -> LatticeSet {
+        let specs: Vec<LatticeSpec> = distances
+            .iter()
+            .map(|&d| {
+                let mut spec = LatticeSpec::new(d);
+                spec.noise = NoiseSpec::PureDephasing { p: 0.05 };
+                spec.rounds = 8;
+                spec
+            })
+            .collect();
+        LatticeSet::new(specs).unwrap()
+    }
+
+    #[test]
+    fn commit_records_frames_corrections_and_latency() {
+        let set = set_of(&[3, 3]);
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let factory = || Box::new(GreedyMatchingDecoder::new()) as DynDecoder;
+        let mut stage = DecodeStage::new(&set, &codec, &factory);
+        let mut sink = FrameSink::new(&set, true);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for (lattice_id, round) in [(0u32, 0u64), (1, 0), (0, 1)] {
+            let spec = set.spec(lattice_id as usize);
+            let mut source = SyndromeSource::new(
+                set.lattice(lattice_id as usize).clone(),
+                spec.noise,
+                spec.seed + round,
+            )
+            .unwrap();
+            let syndrome = source.next_syndrome();
+            codec.encode(
+                &SyndromePacket::new(lattice_id, round, 0, &syndrome),
+                &mut record,
+            );
+            let decoded = stage.decode(&record);
+            sink.commit(&decoded);
+            let id = decoded.lattice_id as usize;
+            sink.record_latency(id, 10.0, 20.0);
+        }
+        assert_eq!(sink.committed(), 3);
+        assert_eq!(sink.report("sink.0").accepted, 3);
+        let output = sink.finish(stage.lattice_decoders().to_vec());
+        assert_eq!(output.per_lattice[0].decode_ns.len(), 2);
+        assert_eq!(output.per_lattice[1].decode_ns.len(), 1);
+        assert_eq!(output.corrections.len(), 3);
+        assert_eq!(output.corrections[1].lattice_id, 1);
+        assert_eq!(output.lattice_decoders.len(), 2);
+    }
+
+    #[test]
+    fn depth_sink_downsamples_and_breaks_backlog_down_per_lattice() {
+        let counters = RuntimeCounters::with_lattices(2);
+        counters.generated.store(7, Ordering::Relaxed);
+        counters.per_lattice[0]
+            .generated
+            .store(4, Ordering::Relaxed);
+        counters.per_lattice[1]
+            .generated
+            .store(3, Ordering::Relaxed);
+        counters.per_lattice[1].decoded.store(2, Ordering::Relaxed);
+        counters.decoded.store(2, Ordering::Relaxed);
+        // 100 rounds, at most 10 samples → every 10th round plus the last.
+        let mut sink = DepthSink::new(100, 10);
+        for round in 0..100 {
+            sink.observe(round, round * 5, 1, &counters);
+        }
+        let timeline = sink.finish();
+        assert_eq!(timeline.len(), 11);
+        assert_eq!(timeline[0].round, 0);
+        assert_eq!(timeline[10].round, 99);
+        let sample = &timeline[3];
+        assert_eq!(sample.backlog, 5);
+        assert_eq!(sample.per_lattice_backlog, vec![4, 1]);
+    }
+
+    #[test]
+    fn depth_sink_always_keeps_the_final_round() {
+        let counters = RuntimeCounters::with_lattices(1);
+        let mut sink = DepthSink::new(7, 3);
+        for round in 0..7 {
+            sink.observe(round, 0, 0, &counters);
+        }
+        // sample_every = 2: rounds 0, 2, 4, 6 — and 6 is also the final
+        // round, recorded exactly once.
+        let rounds: Vec<u64> = sink.timeline().iter().map(|s| s.round).collect();
+        assert_eq!(rounds, vec![0, 2, 4, 6]);
+        assert_eq!(sink.report("depth").emitted, 4);
+        assert_eq!(sink.report("depth").accepted, 7);
+    }
+}

@@ -15,7 +15,8 @@
 //! Every field the report prints is documented line by line for operators
 //! in `docs/OPERATIONS.md` at the repository root.
 
-use crate::engine::PushPolicy;
+use crate::config::PushPolicy;
+use crate::stage::StageReport;
 use nisqplus_qec::logical::ResidualTally;
 use nisqplus_sim::stats::{histogram, Summary};
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
@@ -100,16 +101,29 @@ pub struct RuntimeCounters {
     pub batches: AtomicU64,
     /// One counter slice per registered lattice, indexed by lattice id.
     pub per_lattice: Vec<LatticeCounters>,
+    /// One counter slice per decode worker, indexed by worker id (empty
+    /// when the counters were built without a worker topology — per-worker
+    /// attribution is then simply skipped).
+    pub per_worker: Vec<WorkerCounters>,
 }
 
 impl RuntimeCounters {
-    /// Counters for a machine of `num_lattices` lattices.
+    /// Counters for a machine of `num_lattices` lattices, without
+    /// per-worker attribution.
     #[must_use]
     pub fn with_lattices(num_lattices: usize) -> Self {
+        Self::with_topology(num_lattices, 0)
+    }
+
+    /// Counters for a machine of `num_lattices` lattices decoded by
+    /// `workers` workers: aggregate, per-lattice *and* per-worker slices.
+    #[must_use]
+    pub fn with_topology(num_lattices: usize, workers: usize) -> Self {
         RuntimeCounters {
             per_lattice: (0..num_lattices)
                 .map(|_| LatticeCounters::default())
                 .collect(),
+            per_worker: (0..workers).map(|_| WorkerCounters::default()).collect(),
             ..RuntimeCounters::default()
         }
     }
@@ -176,6 +190,62 @@ impl CounterSnapshot {
     }
 }
 
+/// Per-worker atomic progress counters (a slice of [`RuntimeCounters`]).
+///
+/// At quiescence the per-worker sums equal their aggregate counterparts —
+/// `Σ decoded == decoded`, `Σ stolen == stolen`, `Σ batches == batches`,
+/// `Σ stall_polls == stall_polls` — pinned by the engine's telemetry tests.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Packets this worker decoded and committed to its frame shard.
+    pub decoded: AtomicU64,
+    /// Packets this worker stole from a foreign channel.
+    pub stolen: AtomicU64,
+    /// Decode batches this worker executed.
+    pub batches: AtomicU64,
+    /// Polls by this worker that found every channel empty.
+    pub stall_polls: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// A point-in-time copy of this worker's counters.
+    #[must_use]
+    pub fn snapshot(&self) -> WorkerCounterSnapshot {
+        WorkerCounterSnapshot {
+            decoded: self.decoded.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            stall_polls: self.stall_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of one worker's [`WorkerCounters`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkerCounterSnapshot {
+    /// Packets this worker decoded.
+    pub decoded: u64,
+    /// Packets this worker stole from a foreign channel.
+    pub stolen: u64,
+    /// Decode batches this worker executed.
+    pub batches: u64,
+    /// Polls by this worker that found every channel empty.
+    pub stall_polls: u64,
+}
+
+impl WorkerCounterSnapshot {
+    /// Mean packets this worker decoded per batch (0.0 before any batch
+    /// completes).
+    #[must_use]
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.decoded as f64 / self.batches as f64
+        }
+    }
+}
+
 /// A plain-data copy of one lattice's [`LatticeCounters`] at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct LatticeCounterSnapshot {
@@ -193,17 +263,37 @@ pub struct LatticeCounterSnapshot {
     pub decoded: u64,
 }
 
-/// One point of the queue-depth/backlog timeline, sampled by the producer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// One point of the queue-depth/backlog timeline, sampled by the source
+/// stage's depth sink.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DepthSample {
     /// The number of rounds emitted across all lattices when the sample was
     /// taken (for a single lattice this is its generation round).
     pub round: u64,
     /// Nanoseconds since the engine epoch.
     pub elapsed_ns: u64,
-    /// Packets sitting in the ring buffers (all lattices).
+    /// Packets sitting in the channels (all lattices).
     pub queue_depth: u64,
     /// Rounds generated but not yet decoded (queue depth plus in-flight).
+    pub backlog: u64,
+    /// Each lattice's own backlog at this instant, indexed by lattice id —
+    /// the breakdown that says *which* patch the aggregate backlog belongs
+    /// to.  Sums to [`DepthSample::backlog`] up to sampling skew.
+    pub per_lattice_backlog: Vec<u64>,
+}
+
+/// One point of a single lattice's backlog timeline (the per-lattice slice
+/// of the [`DepthSample`] series, surfaced in
+/// [`LatticeReport::backlog_timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatticeDepthSample {
+    /// The machine-wide emission count when the sample was taken (the same
+    /// clock as [`DepthSample::round`], so per-lattice series align).
+    pub round: u64,
+    /// Nanoseconds since the engine epoch.
+    pub elapsed_ns: u64,
+    /// This lattice's rounds generated but neither decoded nor shed at this
+    /// instant.
     pub backlog: u64,
 }
 
@@ -326,6 +416,10 @@ pub struct LatticeReport {
     pub inter_arrival_ns: f64,
     /// Final values of this lattice's counters.
     pub counters: LatticeCounterSnapshot,
+    /// This lattice's backlog over time: the per-lattice slice of the
+    /// down-sampled depth timeline, so operators see *when* this patch fell
+    /// behind, not just that it did.
+    pub backlog_timeline: Vec<LatticeDepthSample>,
     /// This lattice's backlog when *its* generation stopped: its rounds
     /// generated but neither decoded nor dropped at that instant.
     pub final_backlog: u64,
@@ -453,6 +547,13 @@ pub struct RuntimeReport {
     pub comparison: BacklogComparison,
     /// The per-lattice breakdown, indexed by lattice id.
     pub lattices: Vec<LatticeReport>,
+    /// Final values of the per-worker counters, indexed by worker id: who
+    /// decoded, stole, and idled how much.
+    pub worker_counters: Vec<WorkerCounterSnapshot>,
+    /// One [`StageReport`] per pipeline stage, in graph order (source,
+    /// gate, skid, depth sink, channels, per-worker decode and sink
+    /// stages): the credit flow, occupancy and stall picture at every seam.
+    pub stages: Vec<StageReport>,
 }
 
 impl RuntimeReport {
@@ -524,6 +625,17 @@ impl fmt::Display for RuntimeReport {
             self.counters.batches,
             self.counters.mean_batch_fill()
         )?;
+        for (worker_id, worker) in self.worker_counters.iter().enumerate() {
+            writeln!(
+                f,
+                "    worker {worker_id}: decoded {} | stolen {} | {} batches (mean fill {:.2}) | {} stalls",
+                worker.decoded,
+                worker.stolen,
+                worker.batches,
+                worker.mean_batch_fill(),
+                worker.stall_polls,
+            )?;
+        }
         writeln!(
             f,
             "  throughput {:.0} decodes/s | decode {:.0} ns mean (max {:.0}) | end-to-end {:.0} ns mean",
@@ -548,6 +660,20 @@ impl fmt::Display for RuntimeReport {
             self.comparison.effective_ratio,
             self.comparison.agreement_factor()
         )?;
+        for stage in &self.stages {
+            writeln!(
+                f,
+                "  stage {:<12} in {:>8} | out {:>8} | rejected {:>6} | credits {}/{} | peak {:>6} | stalls {}",
+                stage.stage,
+                stage.accepted,
+                stage.emitted,
+                stage.rejected,
+                stage.credits_consumed,
+                stage.credits_issued,
+                stage.occupancy_peak,
+                stage.stall_cycles,
+            )?;
+        }
         for lattice in &self.lattices {
             write!(
                 f,
@@ -638,6 +764,23 @@ mod tests {
         assert_eq!(snap.generated, 5);
         assert_eq!(snap.dropped, 2);
         assert_eq!(snap.decoded, 0);
+    }
+
+    #[test]
+    fn topology_counters_carry_per_worker_slices() {
+        let counters = RuntimeCounters::with_topology(2, 3);
+        assert_eq!(counters.per_lattice.len(), 2);
+        assert_eq!(counters.per_worker.len(), 3);
+        counters.per_worker[1].decoded.store(12, Ordering::Relaxed);
+        counters.per_worker[1].batches.store(4, Ordering::Relaxed);
+        counters.per_worker[1].stolen.store(2, Ordering::Relaxed);
+        let snap = counters.per_worker[1].snapshot();
+        assert_eq!(snap.decoded, 12);
+        assert_eq!(snap.stolen, 2);
+        assert!((snap.mean_batch_fill() - 3.0).abs() < 1e-12);
+        assert_eq!(counters.per_worker[0].snapshot().mean_batch_fill(), 0.0);
+        // The lattice-only constructor skips per-worker attribution.
+        assert!(RuntimeCounters::with_lattices(2).per_worker.is_empty());
     }
 
     #[test]

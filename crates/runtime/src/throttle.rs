@@ -6,6 +6,9 @@
 //! [`ThrottledDecoder`] wraps any [`Decoder`] and spins until a configured
 //! floor has elapsed, emulating a slow software decoder (e.g. MWPM at
 //! ~100 µs/round, Section IV) without changing the corrections produced.
+//! Because it is just a `Decoder`, it plugs into the pipeline's decode
+//! stage like any other factory product — the QoS and stage-graph examples
+//! use it to overload chosen seams of the graph on demand.
 
 use nisqplus_decoders::traits::{Correction, Decoder, DynDecoder, SharedDecoderFactory};
 use nisqplus_qec::lattice::{Lattice, Sector};
