@@ -10,6 +10,7 @@ use crate::lattice_set::LatticeSpec;
 use crate::source::NoiseSpec;
 use nisqplus_sim::timing::CycleTimeConverter;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// What the producer does when the ring buffer is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +24,49 @@ pub enum PushPolicy {
     /// [`dropped`](crate::telemetry::CounterSnapshot::dropped)) and move on,
     /// as a load-shedding hardware front-end would.
     Drop,
+}
+
+/// Configuration of the live observability plane
+/// ([`crate::obs::ObsPlane`]): snapshot cadence, journal capacity, and the
+/// optional end-of-run report export.
+///
+/// Every bound here is a *memory* bound: snapshots, journal events, and
+/// histograms all cost the same at a million rounds as at a hundred.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Sampler cadence in microseconds: how often the snapshot thread wakes
+    /// and records a [`MetricsSnapshot`](crate::obs::MetricsSnapshot).  `0`
+    /// disables the sampler thread entirely (the report's `snapshots` stay
+    /// empty; counters, histograms and the journal still run).
+    pub snapshot_cadence_us: u64,
+    /// Upper bound on snapshots kept; samples past the bound are dropped
+    /// and counted, never grown.
+    pub max_snapshots: usize,
+    /// Resident capacity of the event journal ring (older events are
+    /// overwritten and counted once it fills).
+    pub journal_capacity: usize,
+    /// How many of the newest resident events the end-of-run
+    /// [`JournalSnapshot`](crate::obs::JournalSnapshot) carries verbatim.
+    pub journal_tail: usize,
+    /// When set, the engine serializes the finished
+    /// [`RuntimeReport`](crate::telemetry::RuntimeReport) to this path as
+    /// schema-versioned JSON (see [`crate::report::export`]) after every
+    /// run.  A failed write warns on stderr; it never fails the run.
+    pub export_path: Option<PathBuf>,
+}
+
+impl Default for ObsConfig {
+    /// 500 µs snapshot cadence, 1024 snapshots, a 1024-event journal with a
+    /// 64-event report tail, no export.
+    fn default() -> Self {
+        ObsConfig {
+            snapshot_cadence_us: 500,
+            max_snapshots: 1024,
+            journal_capacity: 1024,
+            journal_tail: 64,
+            export_path: None,
+        }
+    }
 }
 
 /// Configuration of a single-lattice streaming run.
@@ -67,9 +111,12 @@ pub struct RuntimeConfig {
     pub batch_size: usize,
     /// Full-queue policy.
     pub push_policy: PushPolicy,
-    /// Upper bound on the number of
-    /// [`DepthSample`](crate::telemetry::DepthSample)s kept on the timeline
-    /// (the producer down-samples to roughly this many points).
+    /// Hard upper bound on the number of
+    /// [`DepthSample`](crate::telemetry::DepthSample)s kept on the timeline.
+    /// The producer samples on a stride aiming at this many points; if a
+    /// run outlives its stride estimate the timeline is compacted in place
+    /// (keeping the peak-backlog and newest samples), so memory stays
+    /// bounded at soak scale no matter how many rounds stream.
     pub max_depth_samples: usize,
     /// When `true`, every worker keeps the per-round corrections it
     /// committed, and
@@ -111,7 +158,7 @@ impl RuntimeConfig {
             queue_capacity: 4096,
             batch_size: Self::DEFAULT_BATCH_SIZE,
             push_policy: PushPolicy::Block,
-            max_depth_samples: 256,
+            max_depth_samples: 4096,
             record_corrections: false,
             analyze_residuals: false,
         }
@@ -148,6 +195,7 @@ impl From<RuntimeConfig> for MachineConfig {
             max_depth_samples: config.max_depth_samples,
             record_corrections: config.record_corrections,
             analyze_residuals: config.analyze_residuals,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -185,6 +233,9 @@ pub struct MachineConfig {
     /// rounds count as identity corrections), filling
     /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual).
     pub analyze_residuals: bool,
+    /// The live observability plane: snapshot cadence, journal capacity,
+    /// optional report export.
+    pub obs: ObsConfig,
 }
 
 impl MachineConfig {
@@ -221,6 +272,7 @@ impl MachineConfig {
             max_depth_samples: template.max_depth_samples,
             record_corrections: template.record_corrections,
             analyze_residuals: template.analyze_residuals,
+            obs: ObsConfig::default(),
         }
     }
 

@@ -34,6 +34,7 @@
 
 use crate::frame::ShardedPauliFrame;
 use crate::lattice_set::{LatticeSet, LatticeSpec};
+use crate::obs::HistogramSnapshot;
 use crate::source::{InterleavedSource, SyndromeSource};
 use crate::stage::{PipelineGraph, PipelineOptions, PipelineRun};
 use crate::telemetry::{
@@ -238,6 +239,9 @@ impl StreamingEngine {
             lattice_shed,
             stage_reports,
             elapsed_s,
+            snapshots,
+            journal,
+            metrics,
         } = run;
         // Per-lattice decoder names (same on every worker — they build from
         // the same factories); the machine-level headline joins the distinct
@@ -254,16 +258,21 @@ impl StreamingEngine {
         }
         let decoder_name = distinct_names.join("+");
 
-        // Regroup the per-worker, per-lattice outputs by lattice.
-        let mut per_lattice_decode_ns: Vec<Vec<f64>> = vec![Vec::new(); set.len()];
-        let mut per_lattice_total_ns: Vec<Vec<f64>> = vec![Vec::new(); set.len()];
+        // Regroup the per-worker, per-lattice outputs by lattice.  Latency
+        // samples arrive as bounded log-bucket histograms (not raw vectors),
+        // so regrouping is a counts merge — O(buckets) per worker-lattice
+        // pair, independent of how many rounds were decoded.
+        let mut per_lattice_decode: Vec<HistogramSnapshot> =
+            vec![HistogramSnapshot::empty(); set.len()];
+        let mut per_lattice_total: Vec<HistogramSnapshot> =
+            vec![HistogramSnapshot::empty(); set.len()];
         let mut per_lattice_shards: Vec<Vec<PauliFrame>> = vec![Vec::new(); set.len()];
         let mut corrections = Vec::new();
         for output in worker_outputs {
             corrections.extend(output.corrections);
             for (lattice_id, lattice_output) in output.per_lattice.into_iter().enumerate() {
-                per_lattice_decode_ns[lattice_id].extend(lattice_output.decode_ns);
-                per_lattice_total_ns[lattice_id].extend(lattice_output.total_ns);
+                per_lattice_decode[lattice_id].merge(&lattice_output.decode_hist);
+                per_lattice_total[lattice_id].merge(&lattice_output.total_hist);
                 per_lattice_shards[lattice_id].push(lattice_output.frame);
             }
         }
@@ -272,11 +281,11 @@ impl StreamingEngine {
         // Per-lattice reports and frames.
         let mut lattices = Vec::with_capacity(set.len());
         let mut frames = Vec::with_capacity(set.len());
-        let mut decode_ns = Vec::new();
-        let mut total_ns = Vec::new();
+        let mut machine_decode = HistogramSnapshot::empty();
+        let mut machine_total = HistogramSnapshot::empty();
         for (lattice_id, spec, lattice) in set.iter() {
-            let decode_latency = LatencyProfile::of(&per_lattice_decode_ns[lattice_id]);
-            let total_latency = LatencyProfile::of(&per_lattice_total_ns[lattice_id]);
+            let decode_latency = LatencyProfile::from_histogram(&per_lattice_decode[lattice_id]);
+            let total_latency = LatencyProfile::from_histogram(&per_lattice_total[lattice_id]);
             let stats = &lattice_stats[lattice_id];
             let snapshot = counters.per_lattice[lattice_id].snapshot();
             let shed_rounds = &lattice_shed[lattice_id];
@@ -359,8 +368,8 @@ impl StreamingEngine {
                 shards.push(shed_shard);
             }
             frames.push(ShardedPauliFrame::from_shards(lattice.num_data(), shards));
-            decode_ns.extend(std::mem::take(&mut per_lattice_decode_ns[lattice_id]));
-            total_ns.extend(std::mem::take(&mut per_lattice_total_ns[lattice_id]));
+            machine_decode.merge(&per_lattice_decode[lattice_id]);
+            machine_total.merge(&per_lattice_total[lattice_id]);
         }
         if !config.record_corrections {
             // The corrections were only recorded to feed the residual
@@ -368,8 +377,8 @@ impl StreamingEngine {
             corrections.clear();
         }
 
-        let decode_latency = LatencyProfile::of(&decode_ns);
-        let total_latency = LatencyProfile::of(&total_ns);
+        let decode_latency = LatencyProfile::from_histogram(&machine_decode);
+        let total_latency = LatencyProfile::from_histogram(&machine_total);
         let inter_arrival_ns = generation_elapsed_ns / total_rounds as f64;
         let snapshot = counters.snapshot();
         let measured = MeasuredBacklog {
@@ -393,7 +402,7 @@ impl StreamingEngine {
             .max()
             .unwrap_or(0);
 
-        RuntimeOutcome {
+        let outcome = RuntimeOutcome {
             report: RuntimeReport {
                 decoder: decoder_name,
                 num_lattices: set.len(),
@@ -420,10 +429,24 @@ impl StreamingEngine {
                     .map(WorkerCounters::snapshot)
                     .collect(),
                 stages: stage_reports,
+                snapshots,
+                journal,
+                metrics,
             },
             frames,
             corrections,
+        };
+        if let Some(path) = &config.obs.export_path {
+            // Export is best-effort telemetry: a failed write must never
+            // fail the run that produced the data.
+            if let Err(error) = crate::report::write_report(path, &outcome.report) {
+                eprintln!(
+                    "nisqplus-runtime: report export to {} failed: {error}",
+                    path.display()
+                );
+            }
         }
+        outcome
     }
 }
 

@@ -48,6 +48,14 @@
 //! * [`throttle`] — a wrapper making any decoder deliberately slow (for all
 //!   lattices or one code distance), so the backlog blow-up can be provoked
 //!   on demand,
+//! * [`obs`] — the live observability plane: a lock-free
+//!   [`MetricsRegistry`] of named counters, bounded-memory log-bucketed
+//!   latency histograms ([`LogHistogram`]), a fixed-capacity structured
+//!   [`EventJournal`] (sheds, stalls, budget exhaustion, steals, verdict
+//!   flips), and a snapshot sampler publishing periodic
+//!   [`MetricsSnapshot`]s to an optional [`RuntimeObserver`],
+//! * [`report`] — schema-versioned, dependency-free JSON export of the
+//!   final report and of the repo-root `BENCH_*.json` perf artifacts,
 //! * [`telemetry`] — live atomic counters and the final [`RuntimeReport`]:
 //!   queue-depth timeline, latency histograms, throughput, and the measured
 //!   backlog growth compared against the closed-form
@@ -93,28 +101,37 @@ pub mod config;
 pub mod engine;
 pub mod frame;
 pub mod lattice_set;
+pub mod obs;
 pub mod packet;
 pub mod queue;
+pub mod report;
 pub mod source;
 pub mod stage;
 pub mod telemetry;
 pub mod throttle;
 
+pub use config::ObsConfig;
 pub use engine::{
     MachineConfig, PushPolicy, RoundCorrection, RuntimeConfig, RuntimeOutcome, StreamingEngine,
 };
 pub use frame::ShardedPauliFrame;
 pub use lattice_set::{LatticeDecoder, LatticeSet, LatticeSpec};
+pub use obs::{
+    EventJournal, EventKind, EventSeverity, HistogramSnapshot, JournalSnapshot, LocalHistogram,
+    LogHistogram, MetricSample, MetricsRegistry, MetricsSnapshot, ObsPlane, RuntimeEvent,
+    RuntimeObserver,
+};
 pub use packet::{PacketCodec, PacketError, SyndromePacket};
 pub use queue::{RingFull, SpmcRing};
+pub use report::{BenchEntry, ExportError, Json, SCHEMA_VERSION};
 pub use source::{InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
 pub use stage::{
     ClassRouter, ConsumePolicy, PipelineGraph, PipelineOptions, RouteStage, SpreadRouter,
     StageReport,
 };
 pub use telemetry::{
-    CounterSnapshot, DepthSample, LatencyProfile, LatticeCounterSnapshot, LatticeCounters,
-    LatticeDepthSample, LatticeReport, ResidualReport, RuntimeCounters, RuntimeReport,
-    WorkerCounterSnapshot,
+    CounterSnapshot, DepthSample, LatencyProfile, LatencyQuantiles, LatticeCounterSnapshot,
+    LatticeCounters, LatticeDepthSample, LatticeReport, ResidualReport, RuntimeCounters,
+    RuntimeReport, WorkerCounterSnapshot,
 };
 pub use throttle::ThrottledDecoder;

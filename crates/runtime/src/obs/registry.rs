@@ -1,0 +1,271 @@
+//! The metrics registry: named, lock-free counters shared across stages.
+//!
+//! A [`MetricsRegistry`] maps dotted metric names (`stage.gate.rejected`,
+//! `stage.channel.0.occupancy_peak`, ...) to atomic [`Counter`] handles.
+//! Registration takes a lock and allocates — it happens once, at pipeline
+//! construction — but every update afterwards is a single relaxed atomic
+//! op on a pre-registered handle, so the hot path never touches the name
+//! table.  Anyone holding a reference to the registry (the snapshot
+//! sampler, a future controller) can read a consistent-enough view at any
+//! instant with [`MetricsRegistry::snapshot`].
+//!
+//! [`StageMetrics`] bundles the seven counters every stage reports — the
+//! same seven fields as [`StageReport`] — so a stage's end-of-run report
+//! becomes nothing more than a named read of live registry state.
+
+use crate::stage::StageReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared atomic counter/gauge handle.  Cloning is cheap (an `Arc` bump)
+/// and all clones address the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero, not attached to any registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `candidate` if it is larger (gauge high-water
+    /// mark).
+    pub fn set_max(&self, candidate: u64) {
+        self.0.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (gauge semantics).
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One named value read out of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// The dotted metric name.
+    pub name: String,
+    /// The value at sampling time.
+    pub value: u64,
+}
+
+/// A name → [`Counter`] table.  See the module docs for the locking
+/// contract (lock on register/snapshot, lock-free on update).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<(String, Counter)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, registering a fresh one
+    /// at zero on first use.  Two callers asking for the same name get
+    /// handles to the same cell.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some((_, counter)) = entries.iter().find(|(n, _)| n == name) {
+            return counter.clone();
+        }
+        let counter = Counter::new();
+        entries.push((name.to_string(), counter.clone()));
+        counter
+    }
+
+    /// Registered metric count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("metrics registry poisoned")
+            .len()
+    }
+
+    /// Returns `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads every registered metric, sorted by name.  Values are loaded
+    /// one at a time (relaxed), so a snapshot taken mid-run is per-counter
+    /// atomic but not globally instantaneous.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut samples: Vec<MetricSample> = entries
+            .iter()
+            .map(|(name, counter)| MetricSample {
+                name: name.clone(),
+                value: counter.get(),
+            })
+            .collect();
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        samples
+    }
+}
+
+/// The seven per-stage counters, as live registry handles.  Field meanings
+/// mirror [`StageReport`] exactly.
+#[derive(Debug, Clone, Default)]
+pub struct StageMetrics {
+    /// Items the stage took in.
+    pub accepted: Counter,
+    /// Items the stage passed downstream.
+    pub emitted: Counter,
+    /// Items refused or shed.
+    pub rejected: Counter,
+    /// Flow-control credits granted.
+    pub credits_issued: Counter,
+    /// Flow-control credits consumed.
+    pub credits_consumed: Counter,
+    /// Occupancy high-water mark (gauge).
+    pub occupancy_peak: Counter,
+    /// Cycles spent stalled on a downstream seam.
+    pub stall_cycles: Counter,
+}
+
+impl StageMetrics {
+    /// Registers the stage's counters in `registry` under
+    /// `stage.<name>.<field>`.
+    #[must_use]
+    pub fn register(registry: &MetricsRegistry, name: &str) -> Self {
+        StageMetrics {
+            accepted: registry.counter(&format!("stage.{name}.accepted")),
+            emitted: registry.counter(&format!("stage.{name}.emitted")),
+            rejected: registry.counter(&format!("stage.{name}.rejected")),
+            credits_issued: registry.counter(&format!("stage.{name}.credits_issued")),
+            credits_consumed: registry.counter(&format!("stage.{name}.credits_consumed")),
+            occupancy_peak: registry.counter(&format!("stage.{name}.occupancy_peak")),
+            stall_cycles: registry.counter(&format!("stage.{name}.stall_cycles")),
+        }
+    }
+
+    /// Counters not attached to any registry — for standalone stage use
+    /// (tests, ad-hoc pipelines).  Updates still work; they are just not
+    /// observable by name.
+    #[must_use]
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites every counter with the corresponding field of `report` —
+    /// the refresh path for stages that keep authoritative books elsewhere
+    /// (credit loops sum per-lane counters at report time) and mirror them
+    /// into the registry.
+    pub fn sync_from(&self, report: &StageReport) {
+        self.accepted.store(report.accepted);
+        self.emitted.store(report.emitted);
+        self.rejected.store(report.rejected);
+        self.credits_issued.store(report.credits_issued);
+        self.credits_consumed.store(report.credits_consumed);
+        self.occupancy_peak.store(report.occupancy_peak);
+        self.stall_cycles.store(report.stall_cycles);
+    }
+
+    /// Reads the counters into a [`StageReport`] named `stage` — the
+    /// "report" is now a snapshot view of live registry state.
+    #[must_use]
+    pub fn report(&self, stage: impl Into<String>) -> StageReport {
+        StageReport {
+            stage: stage.into(),
+            accepted: self.accepted.get(),
+            emitted: self.emitted.get(),
+            rejected: self.rejected.get(),
+            credits_issued: self.credits_issued.get(),
+            credits_consumed: self.credits_consumed.get(),
+            occupancy_peak: self.occupancy_peak.get(),
+            stall_cycles: self.stall_cycles.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_yields_the_same_cell() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("stage.gate.rejected");
+        let b = registry.counter("stage.gate.rejected");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reads_current_values() {
+        let registry = MetricsRegistry::new();
+        registry.counter("z.last").store(9);
+        registry.counter("a.first").store(1);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot,
+            vec![
+                MetricSample {
+                    name: "a.first".into(),
+                    value: 1
+                },
+                MetricSample {
+                    name: "z.last".into(),
+                    value: 9
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn set_max_keeps_the_high_water_mark() {
+        let counter = Counter::new();
+        counter.set_max(5);
+        counter.set_max(3);
+        assert_eq!(counter.get(), 5);
+    }
+
+    #[test]
+    fn stage_metrics_report_reads_registry_state() {
+        let registry = MetricsRegistry::new();
+        let metrics = StageMetrics::register(&registry, "skid");
+        metrics.accepted.add(10);
+        metrics.emitted.add(8);
+        metrics.rejected.add(2);
+        metrics.occupancy_peak.set_max(4);
+        metrics.stall_cycles.incr();
+        let report = metrics.report("skid");
+        assert_eq!(report.accepted, 10);
+        assert_eq!(report.emitted, 8);
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.occupancy_peak, 4);
+        assert_eq!(report.stall_cycles, 1);
+        // The same numbers are visible by name, registry-wide.
+        let by_name = registry.snapshot();
+        assert!(by_name
+            .iter()
+            .any(|m| m.name == "stage.skid.accepted" && m.value == 10));
+        assert_eq!(registry.len(), 7);
+    }
+}

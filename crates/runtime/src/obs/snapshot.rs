@@ -1,0 +1,38 @@
+//! Periodic mid-run samples of the pipeline's live state.
+//!
+//! A dedicated sampler thread (spawned by the pipeline graph when
+//! [`ObsConfig::snapshot_cadence_us`](crate::config::ObsConfig) is
+//! non-zero) wakes on a fixed cadence and copies the cheap-to-read live
+//! state — counters, queue depth, per-lattice backlog, aggregate latency
+//! quantiles, journal totals — into a [`MetricsSnapshot`].  The snapshot
+//! log is bounded; liveness becomes observable *during* the run instead of
+//! being reconstructed from end-of-run totals.
+
+use crate::telemetry::CounterSnapshot;
+
+/// One sample of the pipeline's live state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sample sequence number, starting at 0.
+    pub seq: u64,
+    /// Nanoseconds since the pipeline epoch.
+    pub elapsed_ns: u64,
+    /// The aggregate runtime counters at sampling time.
+    pub counters: CounterSnapshot,
+    /// Records resident across all channels at sampling time.
+    pub queue_depth: u64,
+    /// Aggregate backlog (generated − decoded − dropped).
+    pub backlog: u64,
+    /// Backlog broken down per lattice, in lattice-id order.
+    pub per_lattice_backlog: Vec<u64>,
+    /// Live decode-latency median, nanoseconds (0 until the first decode).
+    pub decode_p50_ns: f64,
+    /// Live decode-latency 99th percentile, nanoseconds.
+    pub decode_p99_ns: f64,
+    /// Live decode-latency 99.9th percentile, nanoseconds.
+    pub decode_p999_ns: f64,
+    /// Journal events published so far.
+    pub events_published: u64,
+    /// Journal events rotated out so far.
+    pub events_overwritten: u64,
+}

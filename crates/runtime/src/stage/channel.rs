@@ -17,10 +17,10 @@
 //! may receive, which is what lets an idle worker steal from a busy
 //! channel through [`StealMux`](crate::stage::StealMux).
 
+use crate::obs::StageMetrics;
 use crate::queue::SpmcRing;
 use crate::stage::credit::CreditCounter;
 use crate::stage::StageReport;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A bounded channel whose capacity is enforced by a credit loop.
 ///
@@ -40,13 +40,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct CreditChannel {
     ring: SpmcRing,
     credits: CreditCounter,
-    /// Largest ring occupancy ever observed right after a send.
-    occupancy_peak: AtomicU64,
-    /// Sends refused for want of a credit.
-    refused: AtomicU64,
-    /// Spins waiting for a credit-backed slot to finish its consumer-side
-    /// handoff (see [`CreditChannel::try_send`]).
-    slot_waits: AtomicU64,
+    /// Occupancy peak (gauge), refused sends (`rejected`) and slot waits
+    /// (`stall_cycles`) — live in the metrics registry when attached via
+    /// [`CreditChannel::with_metrics`]; the flow and credit totals are
+    /// mirrored in at report time from the authoritative credit loop.
+    metrics: StageMetrics,
 }
 
 impl CreditChannel {
@@ -61,10 +59,16 @@ impl CreditChannel {
         CreditChannel {
             ring: SpmcRing::new(capacity, words_per_slot),
             credits: CreditCounter::new(capacity as u64),
-            occupancy_peak: AtomicU64::new(0),
-            refused: AtomicU64::new(0),
-            slot_waits: AtomicU64::new(0),
+            metrics: StageMetrics::detached(),
         }
+    }
+
+    /// Attaches registry-backed stage metrics, so the channel's refusals,
+    /// stalls and occupancy peak are observable by name mid-run.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: StageMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Attempts to send one record.  Returns `false` — counting a refusal,
@@ -76,7 +80,7 @@ impl CreditChannel {
     /// Panics if `record.len()` differs from [`CreditChannel::words_per_slot`].
     pub fn try_send(&self, record: &[u64]) -> bool {
         if !self.credits.try_acquire() {
-            self.refused.fetch_add(1, Ordering::Relaxed);
+            self.metrics.rejected.incr();
             return false;
         }
         // A held credit guarantees a slot, but the slot one lap back may
@@ -84,11 +88,10 @@ impl CreditChannel {
         // pops complete out of order).  That wait is bounded by a few word
         // copies, so spin it out rather than failing a credited send.
         while self.ring.try_push(record).is_err() {
-            self.slot_waits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.stall_cycles.incr();
             std::hint::spin_loop();
         }
-        self.occupancy_peak
-            .fetch_max(self.ring.len() as u64, Ordering::Relaxed);
+        self.metrics.occupancy_peak.set_max(self.ring.len() as u64);
         true
     }
 
@@ -141,19 +144,15 @@ impl CreditChannel {
 
     /// This channel's [`StageReport`]: accepted = sends, emitted =
     /// receives, rejected = refused sends, plus the credit-loop totals and
-    /// the occupancy high-water mark.
+    /// the occupancy high-water mark.  The credit loop is authoritative for
+    /// the flow totals; reporting refreshes the registry's mirror of them.
     #[must_use]
     pub fn report(&self, stage: impl Into<String>) -> StageReport {
-        StageReport {
-            stage: stage.into(),
-            accepted: self.credits.consumed(),
-            emitted: self.credits.issued(),
-            rejected: self.refused.load(Ordering::Relaxed),
-            credits_issued: self.credits.issued(),
-            credits_consumed: self.credits.consumed(),
-            occupancy_peak: self.occupancy_peak.load(Ordering::Relaxed),
-            stall_cycles: self.slot_waits.load(Ordering::Relaxed),
-        }
+        self.metrics.accepted.store(self.credits.consumed());
+        self.metrics.emitted.store(self.credits.issued());
+        self.metrics.credits_issued.store(self.credits.issued());
+        self.metrics.credits_consumed.store(self.credits.consumed());
+        self.metrics.report(stage)
     }
 }
 
@@ -206,7 +205,7 @@ mod tests {
     /// and consumed == issued.
     #[test]
     fn credit_books_balance_under_concurrency() {
-        use std::sync::atomic::AtomicU64;
+        use std::sync::atomic::{AtomicU64, Ordering};
         use std::thread;
         const RECORDS: u64 = 10_000;
         let channel = CreditChannel::new(8, 1);

@@ -21,6 +21,10 @@
 
 use crate::config::{MachineConfig, PushPolicy};
 use crate::lattice_set::LatticeSet;
+use crate::obs::{
+    EventKind, EventSeverity, JournalSnapshot, MetricSample, MetricsSnapshot, ObsPlane,
+    RuntimeObserver, StageMetrics,
+};
 use crate::packet::{PacketCodec, SyndromePacket};
 use crate::source::InterleavedSource;
 use crate::stage::channel::CreditChannel;
@@ -34,8 +38,9 @@ use crate::telemetry::{DepthSample, RuntimeCounters};
 use nisqplus_decoders::traits::DecoderFactory;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The placement stage: which channel a round is sent to.
 pub trait RouteStage: fmt::Debug + Send + Sync {
@@ -100,6 +105,9 @@ pub struct PipelineOptions {
     pub consume: ConsumePolicy,
     /// Number of channels; `None` uses one per worker.
     pub channels: Option<usize>,
+    /// An external tap on the run's events and snapshots; `None` keeps the
+    /// journal and snapshot log as the only consumers.
+    pub observer: Option<Box<dyn RuntimeObserver>>,
 }
 
 /// Per-lattice generation statistics tracked by the source stage.
@@ -131,6 +139,14 @@ pub struct PipelineRun {
     pub stage_reports: Vec<StageReport>,
     /// Wall-clock seconds from epoch to the last worker's exit.
     pub elapsed_s: f64,
+    /// Mid-run metrics samples taken by the snapshot thread (empty when the
+    /// sampler is disabled via `snapshot_cadence_us: 0`).
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// The event journal's end-of-run snapshot: totals per severity/kind
+    /// plus the configured tail of recent events.
+    pub journal: JournalSnapshot,
+    /// Every registered metric by name, read at end of run.
+    pub metrics: Vec<MetricSample>,
 }
 
 /// Everything one decode worker needs, bundled to keep spawn sites tidy
@@ -160,6 +176,9 @@ pub struct WorkerSeat<'a> {
     pub batch_size: usize,
     /// The worker's consumption discipline.
     pub consume: ConsumePolicy,
+    /// The run's observability plane (latency histograms, event journal,
+    /// stage metrics registry).
+    pub obs: &'a ObsPlane,
 }
 
 impl fmt::Debug for WorkerSeat<'_> {
@@ -191,9 +210,14 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
         record_corrections,
         batch_size,
         consume,
+        obs,
     } = seat;
     let mut decode = DecodeStage::new(set, codec, factory);
-    let mut sink = FrameSink::new(set, record_corrections);
+    let decode_metrics = StageMetrics::register(obs.registry(), &format!("decode.{worker_id}"));
+    let mut sink = FrameSink::new(set, record_corrections).with_obs(
+        StageMetrics::register(obs.registry(), &format!("sink.{worker_id}")),
+        Arc::clone(obs.decode_hist()),
+    );
     let mut mux: Box<dyn BatchMux> = match consume {
         ConsumePolicy::OwnThenSteal => Box::new(StealMux::new(worker_id % channels.len())),
         ConsumePolicy::Priority => Box::new(PriorityMux::new()),
@@ -214,6 +238,14 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
             if let Some(w) = worker_counters {
                 w.stolen.fetch_add(fill.stolen, Ordering::Relaxed);
             }
+            obs.publish(
+                EventKind::Steal,
+                EventSeverity::Info,
+                None,
+                Some(worker_id as u32),
+                epoch.elapsed().as_nanos() as u64,
+                fill.stolen,
+            );
         }
         if fill.filled == 0 {
             if done.load(Ordering::Acquire) && channels.iter().all(CreditChannel::is_empty) {
@@ -224,6 +256,7 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
                     stall_cycles: stall_polls,
                     ..StageReport::default()
                 };
+                decode_metrics.sync_from(&decode_report);
                 let sink_report = sink.report(format!("sink.{worker_id}"));
                 let output = sink.finish(decode.lattice_decoders().to_vec());
                 return (output, vec![decode_report, sink_report]);
@@ -253,8 +286,8 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
             let now = Instant::now();
             sink.record_latency(
                 lattice_id,
-                now.duration_since(prev).as_nanos() as f64,
-                (now.duration_since(epoch).as_nanos() as f64 - emitted_ns as f64).max(0.0),
+                now.duration_since(prev).as_nanos() as u64,
+                (now.duration_since(epoch).as_nanos() as u64).saturating_sub(emitted_ns),
             );
             counters.per_lattice[lattice_id]
                 .decoded
@@ -300,16 +333,20 @@ fn run_source(
     router: &dyn RouteStage,
     counters: &RuntimeCounters,
     epoch: Instant,
+    obs: &ObsPlane,
 ) -> SourceRun {
     let mut source = InterleavedSource::new(set, &config.cycle_time)
         .expect("config validated in StreamingEngine::with_machine");
     let total_rounds = set.total_rounds();
-    let mut depth = DepthSink::new(total_rounds, config.max_depth_samples);
+    let mut depth = DepthSink::new(total_rounds, config.max_depth_samples)
+        .with_metrics(StageMetrics::register(obs.registry(), "depth"));
     // The send seam's skid: an encoded record rests here while its channel
     // refuses credits, so a Block-lane round exists in exactly one place at
     // every instant of a stall and a Drop-lane round is shed by an explicit
     // counted discard.
-    let mut skid: SkidBuffer<Vec<u64>> = SkidBuffer::new(1);
+    let mut skid: SkidBuffer<Vec<u64>> =
+        SkidBuffer::new(1).with_metrics(StageMetrics::register(obs.registry(), "skid"));
+    let source_metrics = StageMetrics::register(obs.registry(), "source");
     let words = codec.words_per_packet();
     let mut lattice_stats = vec![LatticeGenStats::default(); set.len()];
     let mut lattice_shed: Vec<Vec<u64>> = vec![Vec::new(); set.len()];
@@ -345,22 +382,49 @@ fn run_source(
             PushPolicy::Block => {
                 // Two credit loops, both lossless: the lattice's own budget
                 // lane first, then a channel credit; every refused retry is
-                // one counted backpressure spin.
+                // one counted backpressure spin.  Stall *events* are
+                // published once per contended round (value = spins), not
+                // per spin — the journal records episodes, the counters
+                // record magnitude.
+                let mut budget_spins = 0u64;
                 while gate.admit(lattice_id as usize) == Admission::Blocked {
                     counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
                     lattice_counters
                         .backpressure_spins
                         .fetch_add(1, Ordering::Relaxed);
+                    budget_spins += 1;
                     std::hint::spin_loop();
                     thread::yield_now();
                 }
+                if budget_spins > 0 {
+                    obs.publish(
+                        EventKind::BudgetExhausted,
+                        EventSeverity::Warning,
+                        Some(lattice_id),
+                        None,
+                        emitted_ns,
+                        budget_spins,
+                    );
+                }
+                let mut send_spins = 0u64;
                 while skid.drain_with(|record| channel.try_send(record)) == 0 {
                     counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
                     lattice_counters
                         .backpressure_spins
                         .fetch_add(1, Ordering::Relaxed);
+                    send_spins += 1;
                     std::hint::spin_loop();
                     thread::yield_now();
+                }
+                if send_spins > 0 {
+                    obs.publish(
+                        EventKind::BackpressureStall,
+                        EventSeverity::Info,
+                        Some(lattice_id),
+                        None,
+                        emitted_ns,
+                        send_spins,
+                    );
                 }
                 counters.enqueued.fetch_add(1, Ordering::Relaxed);
                 lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -370,7 +434,8 @@ fn run_source(
                 // channel has no credit; a shed round is recorded so the
                 // frame path and the residual analysis can feed it an
                 // identity correction later.
-                let delivered = match gate.admit(lattice_id as usize) {
+                let admission = gate.admit(lattice_id as usize);
+                let delivered = match admission {
                     Admission::Granted => {
                         if skid.drain_with(|record| channel.try_send(record)) > 0 {
                             true
@@ -390,6 +455,25 @@ fn run_source(
                     counters.dropped.fetch_add(1, Ordering::Relaxed);
                     lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
                     lattice_shed[lattice_id as usize].push(sourced.round);
+                    if admission != Admission::Granted {
+                        // Shed at the budget lane, not at a full channel.
+                        obs.publish(
+                            EventKind::BudgetExhausted,
+                            EventSeverity::Warning,
+                            Some(lattice_id),
+                            None,
+                            emitted_ns,
+                            sourced.round,
+                        );
+                    }
+                    obs.publish(
+                        EventKind::Shed,
+                        EventSeverity::Warning,
+                        Some(lattice_id),
+                        None,
+                        emitted_ns,
+                        sourced.round,
+                    );
                 }
             }
         }
@@ -423,6 +507,7 @@ fn run_source(
         stall_cycles: counters.backpressure_spins.load(Ordering::Relaxed),
         ..StageReport::default()
     };
+    source_metrics.sync_from(&source_report);
     let depth_report = depth.report("depth");
     SourceRun {
         depth_timeline: depth.finish(),
@@ -445,29 +530,40 @@ pub struct PipelineGraph<'a> {
     gate: QosGate,
     router: Box<dyn RouteStage>,
     consume: ConsumePolicy,
+    obs: ObsPlane,
 }
 
 impl<'a> PipelineGraph<'a> {
     /// Wires the graph for `config`'s machine.  With default `options` the
     /// wiring reproduces the classic engine exactly: one channel per worker
     /// of `queue_capacity / workers` slots, spread placement,
-    /// own-then-steal consumption.
+    /// own-then-steal consumption.  The observability plane is built from
+    /// `config.obs` and every stage's metrics are registered up front, so
+    /// nothing allocates on the hot path afterwards.
     #[must_use]
     pub fn new(config: &'a MachineConfig, set: &'a LatticeSet, options: PipelineOptions) -> Self {
+        let obs = ObsPlane::with_observer(config.obs.clone(), options.observer);
         let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
         let channel_count = options.channels.unwrap_or(config.workers).max(1);
         let per_channel_capacity = config.queue_capacity.div_ceil(channel_count);
         let channels = (0..channel_count)
-            .map(|_| CreditChannel::new(per_channel_capacity, codec.words_per_packet()))
+            .map(|index| {
+                CreditChannel::new(per_channel_capacity, codec.words_per_packet()).with_metrics(
+                    StageMetrics::register(obs.registry(), &format!("channel.{index}")),
+                )
+            })
             .collect();
+        let gate = QosGate::for_machine(config, set)
+            .with_metrics(StageMetrics::register(obs.registry(), "gate"));
         PipelineGraph {
             config,
             set,
             codec,
             channels,
-            gate: QosGate::for_machine(config, set),
+            gate,
             router: options.router.unwrap_or_else(|| Box::new(SpreadRouter)),
             consume: options.consume,
+            obs,
         }
     }
 
@@ -475,6 +571,12 @@ impl<'a> PipelineGraph<'a> {
     #[must_use]
     pub fn channels(&self) -> usize {
         self.channels.len()
+    }
+
+    /// The graph's observability plane.
+    #[must_use]
+    pub fn obs(&self) -> &ObsPlane {
+        &self.obs
     }
 
     /// Runs the pipeline to completion: the calling thread becomes the
@@ -491,17 +593,30 @@ impl<'a> PipelineGraph<'a> {
             gate,
             router,
             consume,
+            obs,
         } = self;
         let done = AtomicBool::new(false);
+        // The sampler outlives the source: it keeps sampling while workers
+        // drain the channels, and stops only after they have joined.
+        let sampler_done = AtomicBool::new(false);
         let epoch = Instant::now();
 
         let (worker_results, source_run) = thread::scope(|s| {
+            let sampler = if obs.config().snapshot_cadence_us > 0 {
+                let obs = &obs;
+                let channels = &channels;
+                let sampler_done = &sampler_done;
+                Some(s.spawn(move || run_sampler(obs, counters, channels, sampler_done, epoch)))
+            } else {
+                None
+            };
             let handles: Vec<_> = (0..config.workers)
                 .map(|worker_id| {
                     let channels = &channels;
                     let codec = &codec;
                     let gate = &gate;
                     let done = &done;
+                    let obs = &obs;
                     s.spawn(move || {
                         run_worker(WorkerSeat {
                             worker_id,
@@ -519,13 +634,14 @@ impl<'a> PipelineGraph<'a> {
                                 || config.analyze_residuals,
                             batch_size: config.batch_size,
                             consume,
+                            obs,
                         })
                     })
                 })
                 .collect();
 
             let source_run = run_source(
-                config, set, &codec, &channels, &gate, &*router, counters, epoch,
+                config, set, &codec, &channels, &gate, &*router, counters, epoch, &obs,
             );
             done.store(true, Ordering::Release);
 
@@ -533,6 +649,11 @@ impl<'a> PipelineGraph<'a> {
                 .into_iter()
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect();
+            sampler_done.store(true, Ordering::Release);
+            if let Some(handle) = sampler {
+                handle.thread().unpark();
+                handle.join().expect("sampler thread panicked");
+            }
             (worker_results, source_run)
         });
         let elapsed_s = epoch.elapsed().as_secs_f64();
@@ -556,13 +677,86 @@ impl<'a> PipelineGraph<'a> {
             lattice_shed: source_run.lattice_shed,
             stage_reports,
             elapsed_s,
+            snapshots: obs.take_snapshots(),
+            journal: obs.journal_snapshot(),
+            metrics: obs.registry().snapshot(),
         }
+    }
+}
+
+/// The snapshot sampler: every `snapshot_cadence_us` it reads the live
+/// counters, queue depths, latency quantiles and journal totals into one
+/// [`MetricsSnapshot`], publishes a [`EventKind::VerdictFlip`] event when
+/// the backlog trend changes direction (growing = the machine is falling
+/// behind, [`EventSeverity::Critical`]; shrinking again = recovery,
+/// [`EventSeverity::Info`]), and pushes the sample into the plane's bounded
+/// log.  A final sample is always taken after the workers exit, so even a
+/// run shorter than one cadence gets exactly one snapshot of its end state.
+fn run_sampler(
+    obs: &ObsPlane,
+    counters: &RuntimeCounters,
+    channels: &[CreditChannel],
+    done: &AtomicBool,
+    epoch: Instant,
+) {
+    let cadence = Duration::from_micros(obs.config().snapshot_cadence_us);
+    let mut seq = 0u64;
+    let mut last_backlog = 0u64;
+    let mut falling_behind = false;
+    loop {
+        let finished = done.load(Ordering::Acquire);
+        let elapsed_ns = epoch.elapsed().as_nanos() as u64;
+        let backlog = counters.backlog();
+        if !finished {
+            let now_falling = backlog > last_backlog;
+            if now_falling != falling_behind {
+                let (severity, value) = if now_falling {
+                    (EventSeverity::Critical, backlog)
+                } else {
+                    (EventSeverity::Info, backlog)
+                };
+                obs.publish(
+                    EventKind::VerdictFlip,
+                    severity,
+                    None,
+                    None,
+                    elapsed_ns,
+                    value,
+                );
+                falling_behind = now_falling;
+            }
+            last_backlog = backlog;
+        }
+        let decode = obs.decode_hist().snapshot();
+        obs.push_snapshot(MetricsSnapshot {
+            seq,
+            elapsed_ns,
+            counters: counters.snapshot(),
+            queue_depth: channels.iter().map(|c| c.len() as u64).sum(),
+            backlog,
+            per_lattice_backlog: counters
+                .per_lattice
+                .iter()
+                .map(|lattice| lattice.backlog())
+                .collect(),
+            decode_p50_ns: decode.quantile_ns(0.50),
+            decode_p99_ns: decode.quantile_ns(0.99),
+            decode_p999_ns: decode.quantile_ns(0.999),
+            events_published: obs.journal().published(),
+            events_overwritten: obs.journal().overwritten(),
+        });
+        seq += 1;
+        if finished {
+            return;
+        }
+        thread::park_timeout(cadence);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ObsConfig;
     use crate::lattice_set::LatticeSpec;
     use crate::source::{NoiseSpec, SyndromeSource};
     use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
@@ -600,6 +794,7 @@ mod tests {
         let gate = QosGate::unbounded(1);
         let done = AtomicBool::new(true);
         let factory = greedy_factory();
+        let obs = ObsPlane::new(ObsConfig::default());
         let (output, reports) = run_worker(WorkerSeat {
             worker_id: 0,
             set: &set,
@@ -613,6 +808,7 @@ mod tests {
             record_corrections: true,
             batch_size: 4,
             consume: ConsumePolicy::OwnThenSteal,
+            obs: &obs,
         });
         let snap = counters.snapshot();
         assert_eq!(snap.decoded, 20);
@@ -667,6 +863,7 @@ mod tests {
         let gate = QosGate::unbounded(2);
         let done = AtomicBool::new(true);
         let factory = greedy_factory();
+        let obs = ObsPlane::new(ObsConfig::default());
         let (output, _) = run_worker(WorkerSeat {
             worker_id: 0,
             set: &set,
@@ -680,6 +877,7 @@ mod tests {
             record_corrections: true,
             batch_size: 4,
             consume: ConsumePolicy::OwnThenSteal,
+            obs: &obs,
         });
         assert_eq!(counters.snapshot().decoded, 10);
         assert_eq!(counters.per_lattice[0].snapshot().decoded, 6);

@@ -6,30 +6,36 @@
 //!   committed into the worker's *private* per-lattice [`PauliFrame`] shard
 //!   (no cross-worker synchronization on the hot path; the engine merges
 //!   shards after the run), optionally kept as a
-//!   [`RoundCorrection`], and annotated with per-round latency samples.
-//!   [`FrameSink::finish`] hands everything back as a [`WorkerOutput`].
+//!   [`RoundCorrection`], and annotated with per-round latency samples
+//!   recorded into bounded-memory [`LogHistogram`]s — the sink allocates
+//!   nothing per round, no matter how long the stream runs.
 //! * [`DepthSink`] — one on the source thread.  Down-samples the run into
 //!   at most `max_depth_samples` [`DepthSample`]s, each carrying the
 //!   aggregate queue depth and backlog *and* the per-lattice backlog
 //!   breakdown, so a single timeline shows which lattice was falling
-//!   behind when.
+//!   behind when.  When the stream outruns its sampling stride (endless
+//!   sources, wrong round estimates) the timeline compacts in place —
+//!   halving resolution while always retaining the peak-backlog sample and
+//!   the newest sample — so memory stays bounded by the cap.
 
 use crate::engine::RoundCorrection;
 use crate::lattice_set::LatticeSet;
+use crate::obs::{HistogramSnapshot, LocalHistogram, LogHistogram, StageMetrics};
 use crate::stage::decode::DecodedRound;
 use crate::stage::StageReport;
 use crate::telemetry::{DepthSample, RuntimeCounters};
 use nisqplus_qec::frame::PauliFrame;
+use std::sync::Arc;
 
 /// One lattice's slice of a worker's output.
 #[derive(Debug)]
 pub struct WorkerLatticeOutput {
     /// The worker's private correction-frame shard for this lattice.
     pub frame: PauliFrame,
-    /// Per-round decode service time, nanoseconds (chained timestamps).
-    pub decode_ns: Vec<f64>,
-    /// Per-round emit-to-commit latency, nanoseconds.
-    pub total_ns: Vec<f64>,
+    /// Decode service-time distribution, nanoseconds (chained timestamps).
+    pub decode_hist: HistogramSnapshot,
+    /// Emit-to-commit latency distribution, nanoseconds.
+    pub total_hist: HistogramSnapshot,
 }
 
 /// What one worker thread hands back when the stream ends.
@@ -38,21 +44,33 @@ pub struct WorkerOutput {
     /// The name of the decoder serving each lattice, in lattice-id order
     /// (per-lattice overrides may differ from the machine-wide factory).
     pub lattice_decoders: Vec<String>,
-    /// Per-lattice frame shards and latency samples, in lattice-id order.
+    /// Per-lattice frame shards and latency histograms, in lattice-id order.
     pub per_lattice: Vec<WorkerLatticeOutput>,
     /// The per-round corrections this worker committed (empty unless
     /// recording was requested).
     pub corrections: Vec<RoundCorrection>,
 }
 
+#[derive(Debug)]
+struct LatticeSlot {
+    frame: PauliFrame,
+    decode: LocalHistogram,
+    total: LocalHistogram,
+}
+
 /// One worker's commit stage: private frame shards, optional correction
-/// recording, per-round latency accounting.
+/// recording, per-round latency accounting into fixed-size histograms.
 #[derive(Debug)]
 pub struct FrameSink {
-    per_lattice: Vec<WorkerLatticeOutput>,
+    slots: Vec<LatticeSlot>,
     corrections: Vec<RoundCorrection>,
     record_corrections: bool,
     committed: u64,
+    metrics: StageMetrics,
+    /// The machine-wide live decode histogram (shared with the
+    /// observability plane's snapshot sampler), fed with one bucket-only
+    /// atomic add per round in addition to the exact private books.
+    live_decode: Option<Arc<LogHistogram>>,
 }
 
 impl FrameSink {
@@ -60,25 +78,36 @@ impl FrameSink {
     #[must_use]
     pub fn new(set: &LatticeSet, record_corrections: bool) -> Self {
         FrameSink {
-            per_lattice: set
+            slots: set
                 .iter()
-                .map(|(_, _, lattice)| WorkerLatticeOutput {
+                .map(|(_, _, lattice)| LatticeSlot {
                     frame: PauliFrame::new(lattice.num_data()),
-                    decode_ns: Vec::new(),
-                    total_ns: Vec::new(),
+                    decode: LocalHistogram::new(),
+                    total: LocalHistogram::new(),
                 })
                 .collect(),
             corrections: Vec::new(),
             record_corrections,
             committed: 0,
+            metrics: StageMetrics::detached(),
+            live_decode: None,
         }
+    }
+
+    /// Attaches registry-backed stage metrics and the run-wide live decode
+    /// histogram sampled by the observability plane.
+    #[must_use]
+    pub fn with_obs(mut self, metrics: StageMetrics, live_decode: Arc<LogHistogram>) -> Self {
+        self.metrics = metrics;
+        self.live_decode = Some(live_decode);
+        self
     }
 
     /// Commits one decoded round into its lattice's frame shard (and the
     /// correction log, when recording).
     pub fn commit(&mut self, round: &DecodedRound<'_>) {
-        let output = &mut self.per_lattice[round.lattice_id as usize];
-        output.frame.record(round.correction);
+        let slot = &mut self.slots[round.lattice_id as usize];
+        slot.frame.record(round.correction);
         if self.record_corrections {
             self.corrections.push(RoundCorrection {
                 lattice_id: round.lattice_id,
@@ -89,13 +118,19 @@ impl FrameSink {
         self.committed += 1;
     }
 
-    /// Appends one round's latency samples for `lattice_id`.  Kept separate
-    /// from [`FrameSink::commit`] so the caller's timestamp spans the full
-    /// unpack-to-commit window of the round.
-    pub fn record_latency(&mut self, lattice_id: usize, decode_ns: f64, total_ns: f64) {
-        let output = &mut self.per_lattice[lattice_id];
-        output.decode_ns.push(decode_ns);
-        output.total_ns.push(total_ns);
+    /// Records one round's latency samples for `lattice_id`, in integer
+    /// nanoseconds.  Kept separate from [`FrameSink::commit`] so the
+    /// caller's timestamp spans the full unpack-to-commit window of the
+    /// round.  Allocation-free, and cheap by construction: two plain
+    /// integer histogram updates plus a single relaxed atomic add into the
+    /// shared live histogram.
+    pub fn record_latency(&mut self, lattice_id: usize, decode_ns: u64, total_ns: u64) {
+        let slot = &mut self.slots[lattice_id];
+        slot.decode.record(decode_ns);
+        slot.total.record(total_ns);
+        if let Some(live) = &self.live_decode {
+            live.record_bucket(decode_ns);
+        }
     }
 
     /// Rounds committed so far.
@@ -110,49 +145,77 @@ impl FrameSink {
     pub fn finish(self, lattice_decoders: Vec<String>) -> WorkerOutput {
         WorkerOutput {
             lattice_decoders,
-            per_lattice: self.per_lattice,
+            per_lattice: self
+                .slots
+                .into_iter()
+                .map(|slot| WorkerLatticeOutput {
+                    frame: slot.frame,
+                    decode_hist: slot.decode.snapshot(),
+                    total_hist: slot.total.snapshot(),
+                })
+                .collect(),
             corrections: self.corrections,
         }
     }
 
     /// This sink's [`StageReport`]: accepted == emitted == committed rounds.
+    /// The sink's own commit count is authoritative (the commit path is
+    /// single-owner, so it keeps plain books); reporting refreshes the
+    /// registry's mirror of it.
     #[must_use]
     pub fn report(&self, stage: impl Into<String>) -> StageReport {
-        StageReport {
-            stage: stage.into(),
-            accepted: self.committed,
-            emitted: self.committed,
-            ..StageReport::default()
-        }
+        self.metrics.accepted.store(self.committed);
+        self.metrics.emitted.store(self.committed);
+        self.metrics.report(stage)
     }
 }
 
 /// The source-side telemetry sink: a down-sampled backlog timeline with
-/// per-lattice breakdown.
+/// per-lattice breakdown, hard-capped at `max_depth_samples` entries.
 #[derive(Debug)]
 pub struct DepthSink {
     total_rounds: u64,
     sample_every: u64,
+    max_samples: usize,
     offered: u64,
     timeline: Vec<DepthSample>,
+    metrics: StageMetrics,
 }
 
 impl DepthSink {
     /// A sink sampling roughly every `total_rounds / max_depth_samples`
-    /// rounds (always at least the last round).
+    /// rounds (always at least the last round).  The cap is hard: if the
+    /// stream outruns the stride, the timeline compacts in place instead of
+    /// growing (see [`DepthSink::observe`]).
     #[must_use]
     pub fn new(total_rounds: u64, max_depth_samples: usize) -> Self {
+        let max_samples = max_depth_samples.max(1);
         DepthSink {
             total_rounds,
-            sample_every: (total_rounds / max_depth_samples.max(1) as u64).max(1),
+            sample_every: (total_rounds / max_samples as u64).max(1),
+            max_samples,
             offered: 0,
             timeline: Vec::new(),
+            metrics: StageMetrics::detached(),
         }
+    }
+
+    /// Attaches registry-backed stage metrics.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: StageMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Offers round `emitted_total` for sampling; on the sampling cadence
     /// (and on the very last round) a [`DepthSample`] is recorded with the
     /// aggregate and per-lattice backlog read from `counters`.
+    ///
+    /// When the timeline would exceed its cap (plus one slot of slack for
+    /// the always-sampled final round), it is compacted: every other sample
+    /// is dropped — except the global peak-backlog sample and the newest
+    /// sample, which are always retained so the compacted timeline still
+    /// brackets the true peak — and the stride doubles.
     pub fn observe(
         &mut self,
         emitted_total: u64,
@@ -173,7 +236,33 @@ impl DepthSink {
                     .map(|lattice| lattice.backlog())
                     .collect(),
             });
+            self.metrics.occupancy_peak.set_max(queue_depth);
+            if self.timeline.len() > self.max_samples + 1 {
+                self.compact();
+            }
+            self.metrics.emitted.store(self.timeline.len() as u64);
         }
+    }
+
+    /// Halves the timeline's resolution in place: keeps every other sample
+    /// plus the peak-backlog sample and the newest one, then doubles the
+    /// stride (multiples of the doubled stride are a subset of the old
+    /// stride's, so the phase stays aligned).
+    fn compact(&mut self) {
+        let last = self.timeline.len() - 1;
+        let peak = self
+            .timeline
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, sample)| sample.backlog)
+            .map_or(0, |(index, _)| index);
+        let mut index = 0;
+        self.timeline.retain(|_| {
+            let keep = index % 2 == 0 || index == peak || index == last;
+            index += 1;
+            keep
+        });
+        self.sample_every = self.sample_every.saturating_mul(2);
     }
 
     /// The timeline recorded so far.
@@ -190,21 +279,13 @@ impl DepthSink {
 
     /// This sink's [`StageReport`]: accepted = rounds offered, emitted =
     /// samples kept (the rest were down-sampled away, not lost — they are
-    /// still in the counters).
+    /// still in the counters).  The offered count is kept in plain books
+    /// (the observe path is single-owner); reporting refreshes the
+    /// registry's mirror of it.
     #[must_use]
     pub fn report(&self, stage: impl Into<String>) -> StageReport {
-        StageReport {
-            stage: stage.into(),
-            accepted: self.offered,
-            emitted: self.timeline.len() as u64,
-            occupancy_peak: self
-                .timeline
-                .iter()
-                .map(|sample| sample.queue_depth)
-                .max()
-                .unwrap_or(0),
-            ..StageReport::default()
-        }
+        self.metrics.accepted.store(self.offered);
+        self.metrics.report(stage)
     }
 }
 
@@ -255,16 +336,36 @@ mod tests {
             let decoded = stage.decode(&record);
             sink.commit(&decoded);
             let id = decoded.lattice_id as usize;
-            sink.record_latency(id, 10.0, 20.0);
+            sink.record_latency(id, 10, 20);
         }
         assert_eq!(sink.committed(), 3);
         assert_eq!(sink.report("sink.0").accepted, 3);
         let output = sink.finish(stage.lattice_decoders().to_vec());
-        assert_eq!(output.per_lattice[0].decode_ns.len(), 2);
-        assert_eq!(output.per_lattice[1].decode_ns.len(), 1);
+        assert_eq!(output.per_lattice[0].decode_hist.count, 2);
+        assert_eq!(output.per_lattice[0].decode_hist.min_ns, 10);
+        assert_eq!(output.per_lattice[0].total_hist.max_ns, 20);
+        assert_eq!(output.per_lattice[1].decode_hist.count, 1);
         assert_eq!(output.corrections.len(), 3);
         assert_eq!(output.corrections[1].lattice_id, 1);
         assert_eq!(output.lattice_decoders.len(), 2);
+    }
+
+    #[test]
+    fn frame_sink_feeds_the_live_aggregate_histogram() {
+        let set = set_of(&[3]);
+        let live_decode = Arc::new(LogHistogram::new());
+        let mut sink = FrameSink::new(&set, false)
+            .with_obs(StageMetrics::detached(), Arc::clone(&live_decode));
+        sink.record_latency(0, 100, 250);
+        sink.record_latency(0, 300, 450);
+        let output = sink.finish(vec!["greedy".to_string()]);
+        assert_eq!(output.per_lattice[0].decode_hist.count, 2);
+        // The live feed is bucket-only (one atomic add per round): the
+        // bucket populations agree with the exact private books, so the
+        // sampler's quantiles match to within one bucket.
+        let live = live_decode.snapshot();
+        assert_eq!(live.count, 2);
+        assert_eq!(live.counts, output.per_lattice[0].decode_hist.counts);
     }
 
     #[test]
@@ -306,5 +407,44 @@ mod tests {
         assert_eq!(rounds, vec![0, 2, 4, 6]);
         assert_eq!(sink.report("depth").emitted, 4);
         assert_eq!(sink.report("depth").accepted, 7);
+    }
+
+    #[test]
+    fn depth_sink_caps_the_timeline_and_retains_the_peak() {
+        let counters = RuntimeCounters::with_lattices(1);
+        // An endless stream (total_rounds unknown → 0) with a small cap:
+        // the sink must never exceed cap + 1 samples, yet still bracket the
+        // backlog peak.
+        let cap = 16;
+        let mut sink = DepthSink::new(0, cap);
+        // A power of two, so the spike lands on the sampling stride no
+        // matter how many times it has doubled.
+        let peak_round = 4_096u64;
+        for round in 0..10_000u64 {
+            // Backlog ramps to a spike at `peak_round`, then drains.
+            let backlog = if round == peak_round {
+                5_000
+            } else {
+                round % 7
+            };
+            counters.generated.store(backlog, Ordering::Relaxed);
+            sink.observe(round, round, 0, &counters);
+            assert!(
+                sink.timeline().len() <= cap + 1,
+                "timeline exceeded its cap at round {round}"
+            );
+        }
+        let timeline = sink.finish();
+        assert!(timeline.len() <= cap + 1);
+        let max_kept = timeline.iter().map(|s| s.backlog).max().unwrap();
+        assert_eq!(max_kept, 5_000, "compaction must retain the peak sample");
+        // The newest kept sample trails the stream's end by at most one
+        // (doubled) stride — here the stride cannot have doubled past 2048
+        // (10_000 rounds / 17 slots rounded up to a power of two).
+        assert!(
+            timeline.last().unwrap().round >= 9_999 - 2_048,
+            "newest kept sample fell too far behind: round {}",
+            timeline.last().unwrap().round
+        );
     }
 }

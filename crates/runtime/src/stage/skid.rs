@@ -16,6 +16,7 @@
 //! lossless by construction — the record exists in exactly one place at
 //! every instant of the stall.
 
+use crate::obs::StageMetrics;
 use crate::stage::StageReport;
 use std::collections::VecDeque;
 
@@ -51,9 +52,13 @@ pub struct SkidBuffer<T> {
     accepted: u64,
     drained: u64,
     rejected: u64,
-    discarded: u64,
     stalls: u64,
     occupancy_peak: usize,
+    /// Registry mirror of the plain books above, refreshed at report time
+    /// when attached via [`SkidBuffer::with_metrics`].  The skid is
+    /// single-owner (`&mut` on every hot-path call), so its authoritative
+    /// counters stay plain integers — no atomics per round.
+    metrics: StageMetrics,
 }
 
 impl<T> SkidBuffer<T> {
@@ -73,10 +78,18 @@ impl<T> SkidBuffer<T> {
             accepted: 0,
             drained: 0,
             rejected: 0,
-            discarded: 0,
             stalls: 0,
             occupancy_peak: 0,
+            metrics: StageMetrics::detached(),
         }
+    }
+
+    /// Attaches registry-backed stage metrics: the skid's plain books are
+    /// mirrored into the registry by name whenever a report is taken.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: StageMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Accepts `item`, or returns it to the caller when the skid is full
@@ -138,7 +151,7 @@ impl<T> SkidBuffer<T> {
         match self.ready.pop_front() {
             Some(slot) => {
                 self.spare.push(slot);
-                self.discarded += 1;
+                self.rejected += 1;
                 true
             }
             None => false,
@@ -165,19 +178,22 @@ impl<T> SkidBuffer<T> {
 
     /// This skid's [`StageReport`]: accepted/emitted flow, refused accepts
     /// plus explicit discards under `rejected`, downstream stalls, and the
-    /// occupancy high-water mark.
+    /// occupancy high-water mark.  The skid's own plain books are
+    /// authoritative; reporting refreshes the registry's mirror of them.
     #[must_use]
     pub fn report(&self, stage: impl Into<String>) -> StageReport {
-        StageReport {
+        let report = StageReport {
             stage: stage.into(),
             accepted: self.accepted,
             emitted: self.drained,
-            rejected: self.rejected + self.discarded,
+            rejected: self.rejected,
             credits_issued: 0,
             credits_consumed: 0,
             occupancy_peak: self.occupancy_peak as u64,
             stall_cycles: self.stalls,
-        }
+        };
+        self.metrics.sync_from(&report);
+        report
     }
 }
 

@@ -16,9 +16,12 @@
 //! in `docs/OPERATIONS.md` at the repository root.
 
 use crate::config::PushPolicy;
+use crate::obs::{
+    bucket_bounds, HistogramSnapshot, JournalSnapshot, MetricSample, MetricsSnapshot,
+};
 use crate::stage::StageReport;
 use nisqplus_qec::logical::ResidualTally;
-use nisqplus_sim::stats::{histogram, Summary};
+use nisqplus_sim::stats::{histogram, quantile_sorted, Summary};
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -297,12 +300,35 @@ pub struct LatticeDepthSample {
     pub backlog: u64,
 }
 
-/// Latency samples summarized into mean/extrema plus a histogram.
+/// Tail quantiles of a latency distribution, nanoseconds.
+///
+/// Exact when computed from raw samples ([`LatencyProfile::of`]); exact to
+/// within one log-bucket width when read from a bounded-memory
+/// [`HistogramSnapshot`] ([`LatencyProfile::from_histogram`]).  All four
+/// values are finite by construction (0.0 for an empty sample set).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyQuantiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+/// Latency samples summarized into mean/extrema, tail quantiles, plus a
+/// histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyProfile {
     /// Count, mean, standard deviation and extrema, in nanoseconds.
     pub summary: Summary,
-    /// Histogram bin edges in nanoseconds (empty when no samples).
+    /// Tail quantiles, in nanoseconds.
+    pub quantiles: LatencyQuantiles,
+    /// Histogram bin edges in nanoseconds (empty when no samples).  Fixed
+    /// width from [`LatencyProfile::of`]; log-bucketed (geometric widths)
+    /// from [`LatencyProfile::from_histogram`].
     pub histogram_edges: Vec<f64>,
     /// Estimated probability mass per bin (empty when no samples).
     pub histogram_density: Vec<f64>,
@@ -312,18 +338,86 @@ impl LatencyProfile {
     /// Number of histogram bins used by [`LatencyProfile::of`].
     pub const BINS: usize = 20;
 
-    /// Summarizes a sample of latencies (nanoseconds).
+    /// Summarizes a sample of latencies (nanoseconds).  Non-finite samples
+    /// are ignored (see [`Summary::of`]); every field of the result is
+    /// finite, whatever the input.
     #[must_use]
     pub fn of(samples_ns: &[f64]) -> Self {
         let summary = Summary::of(samples_ns);
+        // `max <= 0.0` covers both the all-zero sample set (a histogram
+        // over the degenerate range [0, 0) is undefined — `histogram`
+        // asserts max > 0) and any all-non-positive set; the summary still
+        // carries count/mean/extrema, only the shape is omitted.
         let (histogram_edges, histogram_density) = if summary.count == 0 || summary.max <= 0.0 {
             (Vec::new(), Vec::new())
         } else {
             // Nudge the range so the maximum sample lands inside the last bin.
             histogram(samples_ns, Self::BINS, summary.max * (1.0 + 1e-9))
         };
+        let mut sorted: Vec<f64> = samples_ns
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
         LatencyProfile {
             summary,
+            quantiles: LatencyQuantiles {
+                p50: quantile_sorted(&sorted, 0.5),
+                p90: quantile_sorted(&sorted, 0.9),
+                p99: quantile_sorted(&sorted, 0.99),
+                p999: quantile_sorted(&sorted, 0.999),
+            },
+            histogram_edges,
+            histogram_density,
+        }
+    }
+
+    /// Builds a profile from a bounded-memory [`HistogramSnapshot`] — the
+    /// hot path records into a
+    /// [`LogHistogram`](crate::obs::LogHistogram) instead of an unbounded
+    /// sample vector, and this is where the recorded shape becomes a
+    /// report.  Count, sum (hence mean) and extrema are exact; standard
+    /// deviation and quantiles are exact to within one log-bucket width.
+    /// The histogram edges/density cover the occupied bucket range with
+    /// the log buckets' own geometric widths.
+    #[must_use]
+    pub fn from_histogram(hist: &HistogramSnapshot) -> Self {
+        let summary = Summary {
+            count: hist.count as usize,
+            mean: hist.mean_ns(),
+            std_dev: hist.std_dev_ns(),
+            min: hist.min_ns as f64,
+            max: hist.max_ns as f64,
+        };
+        let occupied: Vec<usize> = hist
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let (histogram_edges, histogram_density) = match (occupied.first(), occupied.last()) {
+            (Some(&first), Some(&last)) => {
+                let mut edges: Vec<f64> =
+                    (first..=last).map(|i| bucket_bounds(i).0 as f64).collect();
+                edges.push(bucket_bounds(last).1 as f64);
+                let total = hist.count as f64;
+                let density: Vec<f64> = (first..=last)
+                    .map(|i| hist.counts[i] as f64 / total)
+                    .collect();
+                (edges, density)
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        LatencyProfile {
+            summary,
+            quantiles: LatencyQuantiles {
+                p50: hist.quantile_ns(0.5),
+                p90: hist.quantile_ns(0.9),
+                p99: hist.quantile_ns(0.99),
+                p999: hist.quantile_ns(0.999),
+            },
             histogram_edges,
             histogram_density,
         }
@@ -554,6 +648,15 @@ pub struct RuntimeReport {
     /// gate, skid, depth sink, channels, per-worker decode and sink
     /// stages): the credit flow, occupancy and stall picture at every seam.
     pub stages: Vec<StageReport>,
+    /// Mid-run samples taken by the observability sampler thread, in time
+    /// order (empty when the snapshot cadence is 0).
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// The event journal's end-of-run state: per-kind/per-severity totals
+    /// plus the newest resident events.
+    pub journal: JournalSnapshot,
+    /// Every registered observability metric by name, read at quiescence
+    /// (the machine-readable twin of [`RuntimeReport::stages`]).
+    pub metrics: Vec<MetricSample>,
 }
 
 impl RuntimeReport {
@@ -643,6 +746,26 @@ impl fmt::Display for RuntimeReport {
             self.decode_latency.summary.mean,
             self.decode_latency.summary.max,
             self.total_latency.summary.mean
+        )?;
+        writeln!(
+            f,
+            "  decode tail: p50 {:.0} ns | p90 {:.0} ns | p99 {:.0} ns | p999 {:.0} ns",
+            self.decode_latency.quantiles.p50,
+            self.decode_latency.quantiles.p90,
+            self.decode_latency.quantiles.p99,
+            self.decode_latency.quantiles.p999,
+        )?;
+        writeln!(
+            f,
+            "  obs: {} snapshot(s) | {} event(s) ({} shed, {} stall, {} budget, {} steal, {} flip; {} overwritten)",
+            self.snapshots.len(),
+            self.journal.published,
+            self.journal.counts.shed,
+            self.journal.counts.backpressure_stall,
+            self.journal.counts.budget_exhausted,
+            self.journal.counts.steal,
+            self.journal.counts.verdict_flip,
+            self.journal.overwritten,
         )?;
         writeln!(
             f,
@@ -799,5 +922,93 @@ mod tests {
         assert_eq!(profile.summary.count, 0);
         assert!(profile.histogram_edges.is_empty());
         assert!(profile.histogram_density.is_empty());
+        for q in [
+            profile.quantiles.p50,
+            profile.quantiles.p90,
+            profile.quantiles.p99,
+            profile.quantiles.p999,
+        ] {
+            assert!(q.is_finite());
+            assert_eq!(q, 0.0);
+        }
+        assert!(profile.summary.mean.is_finite());
+        assert!(profile.summary.std_dev.is_finite());
+    }
+
+    #[test]
+    fn single_sample_profile_pins_every_statistic_to_that_sample() {
+        let profile = LatencyProfile::of(&[42.0]);
+        assert_eq!(profile.summary.count, 1);
+        assert_eq!(profile.summary.mean, 42.0);
+        assert_eq!(profile.summary.std_dev, 0.0);
+        assert_eq!(profile.summary.min, 42.0);
+        assert_eq!(profile.summary.max, 42.0);
+        assert_eq!(profile.quantiles.p50, 42.0);
+        assert_eq!(profile.quantiles.p999, 42.0);
+    }
+
+    #[test]
+    fn identical_samples_yield_zero_spread_and_that_value_everywhere() {
+        let profile = LatencyProfile::of(&[7.0; 64]);
+        assert_eq!(profile.summary.count, 64);
+        assert_eq!(profile.summary.std_dev, 0.0);
+        assert_eq!(profile.quantiles.p50, 7.0);
+        assert_eq!(profile.quantiles.p99, 7.0);
+        let mass: f64 = profile.histogram_density.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    /// The documented `max <= 0.0` branch: an all-zero sample set has a
+    /// well-defined summary but no histogram shape (the bin range [0, 0)
+    /// is degenerate), and nothing is NaN.
+    #[test]
+    fn all_zero_samples_skip_the_histogram_without_nan() {
+        let profile = LatencyProfile::of(&[0.0, 0.0, 0.0]);
+        assert_eq!(profile.summary.count, 3);
+        assert_eq!(profile.summary.mean, 0.0);
+        assert!(profile.histogram_edges.is_empty());
+        assert!(profile.quantiles.p50.is_finite());
+        assert_eq!(profile.quantiles.p999, 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored_not_propagated() {
+        let profile = LatencyProfile::of(&[f64::NAN, 10.0, f64::INFINITY, 30.0]);
+        assert_eq!(profile.summary.count, 2, "only the finite samples count");
+        assert!((profile.summary.mean - 20.0).abs() < 1e-9);
+        assert!(profile.summary.std_dev.is_finite());
+        assert_eq!(profile.summary.max, 30.0);
+        assert!(profile.quantiles.p99.is_finite());
+    }
+
+    #[test]
+    fn histogram_backed_profile_matches_the_recorded_distribution() {
+        let hist = crate::obs::LogHistogram::new();
+        for v in [100u64, 100, 200, 400, 800] {
+            hist.record(v);
+        }
+        let profile = LatencyProfile::from_histogram(&hist.snapshot());
+        assert_eq!(profile.summary.count, 5);
+        assert!((profile.summary.mean - 320.0).abs() < 1e-9, "mean is exact");
+        assert_eq!(profile.summary.min, 100.0);
+        assert_eq!(profile.summary.max, 800.0);
+        // Quantiles are within one log-bucket of the exact order statistic.
+        assert!(profile.quantiles.p50 >= 96.0 && profile.quantiles.p50 <= 224.0);
+        assert!(profile.quantiles.p999 <= 800.0);
+        let mass: f64 = profile.histogram_density.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+        assert_eq!(
+            profile.histogram_edges.len(),
+            profile.histogram_density.len() + 1
+        );
+    }
+
+    #[test]
+    fn histogram_backed_profile_of_nothing_is_all_zero() {
+        let profile = LatencyProfile::from_histogram(&crate::obs::HistogramSnapshot::empty());
+        assert_eq!(profile.summary.count, 0);
+        assert_eq!(profile.summary.mean, 0.0);
+        assert!(profile.histogram_edges.is_empty());
+        assert_eq!(profile.quantiles.p99, 0.0);
     }
 }

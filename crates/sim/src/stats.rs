@@ -20,9 +20,29 @@ pub struct Summary {
 impl Summary {
     /// Computes the summary of a sample; returns an all-zero summary for an
     /// empty sample.
+    ///
+    /// Non-finite samples (NaN, ±∞) are ignored — they are measurement
+    /// artifacts, and a single one would otherwise poison every statistic
+    /// (`NaN` propagates through sums and comparisons).  `count` reflects
+    /// only the samples actually summarized, so a sample set that is
+    /// entirely non-finite yields the same all-zero summary as an empty
+    /// one.  Every field of the result is finite by construction.
     #[must_use]
     pub fn of(samples: &[f64]) -> Summary {
-        if samples.is_empty() {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &s in samples {
+            if !s.is_finite() {
+                continue;
+            }
+            count += 1;
+            sum += s;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        if count == 0 {
             return Summary {
                 count: 0,
                 mean: 0.0,
@@ -31,11 +51,13 @@ impl Summary {
                 max: 0.0,
             };
         }
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
-        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = sum / count as f64;
+        let variance = samples
+            .iter()
+            .filter(|s| s.is_finite())
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / count as f64;
         Summary {
             count,
             mean,
@@ -86,6 +108,24 @@ pub fn histogram(samples: &[f64], bins: usize, max: f64) -> (Vec<f64>, Vec<f64>)
     (edges, densities)
 }
 
+/// The `q`-quantile (`0.0..=1.0`) of an ascending-sorted sample, by linear
+/// interpolation between the two nearest order statistics (the convention
+/// numpy calls "linear", R calls type 7).  Returns 0.0 for an empty sample,
+/// so the result is always finite on finite input.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let h = q.clamp(0.0, 1.0) * (n - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * (h - lo as f64)
+        }
+    }
+}
+
 /// The 95% Wilson score interval for a binomial proportion.
 #[must_use]
 pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
@@ -121,6 +161,30 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite_samples() {
+        let s = Summary::of(&[f64::NAN, 1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.std_dev.is_finite());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // An entirely non-finite sample set degrades to the empty summary.
+        let s = Summary::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s, Summary::of(&[]));
+    }
+
+    #[test]
+    fn quantile_sorted_interpolates_between_order_statistics() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 40.0);
+        assert!((quantile_sorted(&sorted, 0.5) - 25.0).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.99), 7.0);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! the bottom are the acceptance criteria: nonzero shed rate and measured
 //! residual failure rate on the Drop patch, zero shed on the Block patch,
 //! and a strictly higher failure rate under shedding than under
-//! backpressure.
+//! backpressure.  The event journal must tell the same story: one `shed`
+//! event per dropped round (the totals reconcile exactly with the
+//! counters) and `budget_exhausted` warnings from the Drop lane.
 //!
 //! Run with `cargo run --release --example qos_runtime`.  Every line of the
 //! printed report is documented in `docs/OPERATIONS.md`.
@@ -155,6 +157,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "identity corrections must cover shed rounds in the frame"
         );
     }
+
+    // --- The event journal narrates the same story. ----------------------
+    // Every shed round published one Shed event, so the journal's per-kind
+    // totals reconcile exactly with the counters; the Drop lane's exhausted
+    // budget additionally shows up as BudgetExhausted warnings.
+    let journal = &report.journal;
+    assert_eq!(
+        journal.counts.shed, report.counters.dropped,
+        "one Shed event per dropped round"
+    );
+    assert!(
+        journal.counts.budget_exhausted > 0,
+        "the Drop lane's budget refusals must be journaled"
+    );
+    assert!(journal.warning > 0);
+    assert!(
+        !journal.recent.is_empty(),
+        "the report carries the newest events verbatim"
+    );
+    println!(
+        "journal: {} events published ({} overwritten) — shed {}, budget_exhausted {}, \
+         backpressure_stall {}, steal {}, verdict_flip {}",
+        journal.published,
+        journal.overwritten,
+        journal.counts.shed,
+        journal.counts.budget_exhausted,
+        journal.counts.backpressure_stall,
+        journal.counts.steal,
+        journal.counts.verdict_flip
+    );
+    println!();
 
     println!(
         "Drop patch shed {:.1}% of its rounds and measured a {:.2}% residual failure rate; \

@@ -9,11 +9,20 @@
 //!    within 2x of the closed-form `BacklogModel` prediction (the empirical
 //!    counterpart of Figures 5 and 6).
 //!
+//! Both runs ride under the live observability plane: the sampler thread
+//! takes periodic [`MetricsSnapshot`](nisqplus_runtime::MetricsSnapshot)s
+//! (latency quantiles from the bounded log-bucket histogram, backlog,
+//! journal totals), and the finished report is exported as schema-versioned
+//! JSON and read back — the same round trip `BENCH_*.json` artifacts use.
+//!
 //! Run with `cargo run --release --example streaming_runtime`.
 
 use nisqplus_core::SfqMeshDecoder;
 use nisqplus_decoders::DynDecoder;
-use nisqplus_runtime::{PushPolicy, RuntimeConfig, StreamingEngine, ThrottledDecoder};
+use nisqplus_runtime::report::read_report;
+use nisqplus_runtime::{
+    MachineConfig, PushPolicy, RuntimeConfig, StreamingEngine, ThrottledDecoder,
+};
 
 /// Syndrome-generation period in decoder cycles: ~10 us per round.
 ///
@@ -42,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.queue_capacity = 16_384; // deep enough to hold the full backlog
 
     // --- Run 1: the paper's decoder, faster than the stream. -------------
-    let engine = StreamingEngine::new(config)?;
+    // Route through MachineConfig to switch on report export: the engine
+    // writes the finished RuntimeReport to `export_path` after every run.
+    let export_path = std::env::temp_dir().join("nisqplus_streaming_report.json");
+    let mut machine: MachineConfig = config.into();
+    machine.obs.export_path = Some(export_path.clone());
+    let engine = StreamingEngine::with_machine(machine)?;
     println!(
         "streaming d={} / {} rounds @ {:.1} us per round on {} workers",
         config.distance,
@@ -57,6 +71,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         fast.report.queue_stayed_bounded(),
         "the SFQ mesh decoder must keep up with syndrome generation"
+    );
+
+    // The sampler thread observed the run from the side: periodic snapshots
+    // with decode quantiles served straight from the bounded histogram.
+    let snapshots = &fast.report.snapshots;
+    assert!(
+        !snapshots.is_empty(),
+        "a 120 ms run at the default 500 us cadence must be sampled"
+    );
+    println!(
+        "observability: {} mid-run snapshots; final decode p50/p99/p999 = \
+         {:.0}/{:.0}/{:.0} ns; journal published {} events",
+        snapshots.len(),
+        fast.report.decode_latency.quantiles.p50,
+        fast.report.decode_latency.quantiles.p99,
+        fast.report.decode_latency.quantiles.p999,
+        fast.report.journal.published,
+    );
+    let last = snapshots.last().expect("non-empty");
+    assert!(last.decode_p99_ns >= last.decode_p50_ns);
+    assert!(
+        !fast.report.metrics.is_empty(),
+        "registry must be populated"
     );
 
     // --- Run 2: a deliberately throttled decoder (f > 1). ----------------
@@ -109,6 +146,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "measured growth must be within 2x of the BacklogModel prediction, got {:.2}x",
         comparison.agreement_factor()
     );
+    // --- The export round trip. ------------------------------------------
+    // The engine wrote the throttled run's report (the latest run) to the
+    // export path; reading it back through the schema-checked parser must
+    // reproduce the in-memory report exactly.
+    let reloaded = read_report(&export_path)?;
+    assert_eq!(
+        reloaded, throttled.report,
+        "exported JSON must round-trip the report bit-for-bit"
+    );
+    println!(
+        "observability: report exported to {} and reloaded intact \
+         (schema v{}, {} snapshots, {} journal events)",
+        export_path.display(),
+        nisqplus_runtime::SCHEMA_VERSION,
+        reloaded.snapshots.len(),
+        reloaded.journal.published,
+    );
+    std::fs::remove_file(&export_path).ok();
+
     println!();
     println!(
         "The mesh decoder keeps the queue bounded at hardware cadence; any decoder with \

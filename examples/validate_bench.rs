@@ -1,0 +1,58 @@
+//! Validates the committed bench artifacts at the repository root.
+//!
+//! The runtime bench (`cargo bench --bench runtime`) ends by writing
+//! `BENCH_streaming.json` and `BENCH_lattices.json` — schema-versioned,
+//! machine-readable perf artifacts distilled from full engine runs.  This
+//! validator re-reads both through the same parser the artifacts were
+//! written with ([`nisqplus_runtime::report`]) and fails loudly when a file
+//! is missing, malformed, carries a stale `schema_version`, or contains an
+//! entry with an impossible shape (unknown verdict, empty suite).  CI runs
+//! it before *and* after regenerating the artifacts, so a bench change that
+//! forgets to refresh the committed files cannot land silently.
+//!
+//! Run with `cargo run --example validate_bench`.
+
+use nisqplus_runtime::report::read_bench_document;
+use nisqplus_runtime::BenchEntry;
+use std::process::ExitCode;
+
+/// The artifacts every checkout must carry, relative to the repo root.
+const ARTIFACTS: &[&str] = &["BENCH_streaming.json", "BENCH_lattices.json"];
+
+fn validate(path: &str) -> Result<(String, Vec<BenchEntry>), String> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+    read_bench_document(format!("{root}{path}")).map_err(|error| format!("{path}: {error}"))
+}
+
+fn main() -> ExitCode {
+    let mut failed = false;
+    for path in ARTIFACTS {
+        match validate(path) {
+            Ok((suite, entries)) => {
+                println!("{path}: suite '{suite}' OK ({} entries)", entries.len());
+                for entry in &entries {
+                    println!(
+                        "  {:<36} {:>10.0} rounds/s  p99 {:>9.0} ns  shed {:>4}  {}",
+                        entry.id,
+                        entry.throughput_per_s,
+                        entry.decode_p99_ns,
+                        entry.shed,
+                        entry.verdict
+                    );
+                }
+            }
+            Err(message) => {
+                eprintln!("INVALID: {message}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench artifacts failed validation; regenerate with `cargo bench --bench runtime`"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
