@@ -27,8 +27,9 @@ use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_runtime::report::write_bench_document;
 use nisqplus_runtime::{
-    BenchEntry, EventJournal, EventKind, EventSeverity, LatticeDecoder, LogHistogram,
-    MachineConfig, PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine, SyndromePacket,
+    BenchEntry, EventJournal, EventKind, EventSeverity, FaultInjector, LatticeDecoder,
+    LogHistogram, MachineConfig, PacketCodec, RuntimeConfig, SpmcRing, StreamingEngine,
+    SyndromePacket,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -150,6 +151,32 @@ fn assert_obs_hot_path_is_allocation_free() {
     eprintln!("alloc-guard: obs hot path      : 0 allocations over 512 records + 512 publishes");
 }
 
+/// The fault plane's allocation guard: with an empty [`FaultPlan`] (the
+/// production default) the injector's hot-path hooks — the per-batch crash
+/// check, the per-round corruption lookup, and the per-send stall gate —
+/// sit on the decode path of every run, so they must be free of heap
+/// allocations (and, plan-free, of clock reads and atomics beyond one load).
+fn assert_fault_hooks_are_allocation_free() {
+    let injector = FaultInjector::disabled();
+    // Warm-up, parallel in shape to the other guards.
+    assert!(!injector.should_crash(0, 0));
+    assert!(injector.corrupt(0, 0).is_none());
+    assert!(!injector.stall_active(0, 0, 0));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..512u64 {
+        assert!(!injector.should_crash((round % 4) as usize, round));
+        assert!(injector.corrupt((round % 8) as u32, round).is_none());
+        assert!(!injector.stall_active((round % 2) as usize, round, round * 100));
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "disabled fault-injector hooks performed {allocated} heap allocations over 512 \
+         steady-state rounds; the fault-free hot path must not allocate"
+    );
+    eprintln!("alloc-guard: fault hooks       : 0 allocations over 512 disabled-plan rounds");
+}
+
 /// Emits the machine-readable bench artifacts at the repository root:
 /// `BENCH_streaming.json` (single-lattice pipeline throughput) and
 /// `BENCH_lattices.json` (multi-lattice sharding sweep).  Each entry is one
@@ -235,7 +262,9 @@ fn codec_benchmarks(c: &mut Criterion) {
     c.bench_function("packet_encode_decode", |b| {
         b.iter(|| {
             codec.encode(&packet, &mut record);
-            codec.decode_into(&record, &mut buffer);
+            codec
+                .try_decode_into(&record, &mut buffer)
+                .expect("clean record decodes");
             buffer.round
         })
     });
@@ -367,6 +396,7 @@ criterion_group! {
 fn main() {
     assert_steady_state_decode_is_allocation_free();
     assert_obs_hot_path_is_allocation_free();
+    assert_fault_hooks_are_allocation_free();
     benches();
     emit_bench_artifacts();
 }

@@ -6,6 +6,7 @@
 //! channels, decode workers, sinks — lives in [`crate::stage`], and the
 //! orchestration in [`crate::engine`].
 
+use crate::fault::FaultPlan;
 use crate::lattice_set::LatticeSpec;
 use crate::source::NoiseSpec;
 use nisqplus_sim::timing::CycleTimeConverter;
@@ -196,6 +197,7 @@ impl From<RuntimeConfig> for MachineConfig {
             record_corrections: config.record_corrections,
             analyze_residuals: config.analyze_residuals,
             obs: ObsConfig::default(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -236,6 +238,11 @@ pub struct MachineConfig {
     /// The live observability plane: snapshot cadence, journal capacity,
     /// optional report export.
     pub obs: ObsConfig,
+    /// The deterministic fault schedule for this run — worker crashes,
+    /// packet corruption, burst-noise episodes, channel stalls (see
+    /// [`crate::fault`]).  Empty by default: a plan-free run pays nothing
+    /// for the injection hooks.
+    pub fault: FaultPlan,
 }
 
 impl MachineConfig {
@@ -273,6 +280,7 @@ impl MachineConfig {
             record_corrections: template.record_corrections,
             analyze_residuals: template.analyze_residuals,
             obs: ObsConfig::default(),
+            fault: FaultPlan::default(),
         }
     }
 

@@ -173,8 +173,18 @@ impl StreamingEngine {
         );
         let set = Arc::new(LatticeSet::new(config.lattices.clone())?);
         // Surface configuration errors now rather than inside the source
-        // stage: building a throwaway source validates every noise spec.
-        let _ = InterleavedSource::new(&set, &config.cycle_time)?;
+        // stage: building a throwaway source validates every noise spec,
+        // and applying the fault plan's burst overlays to it validates
+        // every amplified channel too.
+        let mut probe = InterleavedSource::new(&set, &config.cycle_time)?;
+        for burst in &config.fault.bursts {
+            let lattice_id = burst.lattice_id as usize;
+            assert!(
+                lattice_id < set.len(),
+                "burst fault names an unknown lattice"
+            );
+            probe.set_burst(lattice_id, set.spec(lattice_id).noise, burst.overlay)?;
+        }
         Ok(StreamingEngine { config, set })
     }
 
@@ -242,6 +252,7 @@ impl StreamingEngine {
             snapshots,
             journal,
             metrics,
+            fault: injections,
         } = run;
         // Per-lattice decoder names (same on every worker — they build from
         // the same factories); the machine-level headline joins the distinct
@@ -313,6 +324,7 @@ impl StreamingEngine {
                     lattice,
                     &corrections,
                     shed_rounds,
+                    config.fault.burst_for(lattice_id as u32),
                 ))
             } else {
                 None
@@ -428,6 +440,12 @@ impl StreamingEngine {
                     .iter()
                     .map(WorkerCounters::snapshot)
                     .collect(),
+                fault: crate::fault::FaultReport::assemble(
+                    &config.fault,
+                    injections,
+                    &journal.counts,
+                    snapshot.quarantined,
+                ),
                 stages: stage_reports,
                 snapshots,
                 journal,
@@ -456,17 +474,25 @@ impl StreamingEngine {
 /// decoded rounds, identity for shed rounds.
 ///
 /// `corrections` is the run's full `(lattice, round)`-sorted correction list
-/// and `shed_rounds` the source's record of this lattice's dropped rounds;
-/// together they cover every generated round exactly once.
+/// and `shed_rounds` the source's record of this lattice's dropped rounds
+/// (including quarantined and watchdog-shed rounds); together they cover
+/// every generated round exactly once.  A scheduled burst overlay is part of
+/// the stream's replayable identity, so the replay applies the same one.
 fn analyze_lattice_residuals(
     lattice_id: usize,
     spec: &LatticeSpec,
     lattice: &Arc<nisqplus_qec::lattice::Lattice>,
     corrections: &[RoundCorrection],
     shed_rounds: &[u64],
+    burst: Option<crate::source::BurstOverlay>,
 ) -> ResidualReport {
     let mut source = SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)
         .expect("noise validated in StreamingEngine::with_machine");
+    if let Some(overlay) = burst {
+        source = source
+            .with_burst(spec.noise, overlay)
+            .expect("burst overlay validated in StreamingEngine::with_machine");
+    }
     let identity = PauliString::identity(lattice.num_data());
     let mut report = ResidualReport::default();
     let mut decoded = corrections

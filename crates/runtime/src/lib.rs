@@ -45,6 +45,13 @@
 //!   [`Decoder::decode_into`](nisqplus_decoders::Decoder::decode_into) path,
 //! * [`frame`] — the sharded Pauli frames (one per lattice) the workers
 //!   commit corrections to,
+//! * [`fault`] — deterministic fault injection and self-healing: a seeded
+//!   [`FaultPlan`] schedules worker crashes (caught and answered by a
+//!   supervisor restart that re-prepares decoders over the same frame
+//!   shard), on-the-wire packet corruption (quarantined, never panicking
+//!   the pool), burst-noise episodes and credit-channel stalls (bounded by
+//!   a backpressure watchdog), all reconciled in the report's
+//!   [`FaultReport`],
 //! * [`throttle`] — a wrapper making any decoder deliberately slow (for all
 //!   lattices or one code distance), so the backlog blow-up can be provoked
 //!   on demand,
@@ -99,6 +106,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod frame;
 pub mod lattice_set;
 pub mod obs;
@@ -114,6 +122,10 @@ pub use config::ObsConfig;
 pub use engine::{
     MachineConfig, PushPolicy, RoundCorrection, RuntimeConfig, RuntimeOutcome, StreamingEngine,
 };
+pub use fault::{
+    BurstFault, CorruptionFault, CrashFault, FaultInjections, FaultInjector, FaultPlan,
+    FaultReport, StallFault,
+};
 pub use frame::ShardedPauliFrame;
 pub use lattice_set::{LatticeDecoder, LatticeSet, LatticeSpec};
 pub use obs::{
@@ -124,7 +136,7 @@ pub use obs::{
 pub use packet::{PacketCodec, PacketError, SyndromePacket};
 pub use queue::{RingFull, SpmcRing};
 pub use report::{BenchEntry, ExportError, Json, SCHEMA_VERSION};
-pub use source::{InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
+pub use source::{BurstOverlay, InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
 pub use stage::{
     ClassRouter, ConsumePolicy, PipelineGraph, PipelineOptions, RouteStage, SpreadRouter,
     StageReport,

@@ -3,8 +3,9 @@
 //! Counters say *how much*; the journal says *what happened, when, to
 //! whom*.  Every noteworthy pipeline incident — a shed round, a
 //! backpressure stall, an exhausted QoS budget, a cross-channel steal, a
-//! per-lattice verdict flip — is published as a [`RuntimeEvent`] with a
-//! severity and per-lattice/per-worker attribution.  The journal is a
+//! per-lattice verdict flip, a worker crash and its restart, a quarantined
+//! record, a burst-noise episode, a watchdog trip — is published as a
+//! [`RuntimeEvent`] with a severity and per-lattice/per-worker attribution.  The journal is a
 //! fixed-capacity ring: old events are overwritten (and counted as
 //! overwritten), publish never allocates, and per-kind/per-severity totals
 //! survive even when the events themselves have been rotated out.
@@ -64,7 +65,27 @@ pub enum EventKind {
     /// A lattice's live backlog verdict flipped (`value` = backlog at the
     /// flip; severity Critical when falling behind, Info on recovery).
     VerdictFlip,
+    /// A worker's decode loop panicked and was caught by its supervisor
+    /// (`value` = rounds the worker had committed before dying).
+    WorkerCrash,
+    /// A crashed worker's replacement came up: decoders re-prepared, the
+    /// dead worker's frame shard adopted (`value` = restart attempt, 1-based).
+    WorkerRestart,
+    /// A record failed wire validation and was discarded instead of decoded
+    /// (`value` = the worker's running quarantine total).
+    Quarantine,
+    /// A burst-noise episode began blanketing a lattice (`value` = the
+    /// lattice round the episode starts at).
+    BurstStart,
+    /// A burst-noise episode ended (`value` = the first calm round).
+    BurstEnd,
+    /// The producer's stall watchdog expired on a blocked seam and degraded
+    /// the round instead of hanging (`value` = round force-shed).
+    WatchdogTrip,
 }
+
+/// Number of [`EventKind`] variants (sizes the per-kind counter array).
+const KINDS: usize = 11;
 
 impl EventKind {
     /// A stable snake_case label (used in exports and logs).
@@ -76,6 +97,12 @@ impl EventKind {
             EventKind::BudgetExhausted => "budget_exhausted",
             EventKind::Steal => "steal",
             EventKind::VerdictFlip => "verdict_flip",
+            EventKind::WorkerCrash => "worker_crash",
+            EventKind::WorkerRestart => "worker_restart",
+            EventKind::Quarantine => "quarantine",
+            EventKind::BurstStart => "burst_start",
+            EventKind::BurstEnd => "burst_end",
+            EventKind::WatchdogTrip => "watchdog_trip",
         }
     }
 
@@ -86,6 +113,12 @@ impl EventKind {
             EventKind::BudgetExhausted => 2,
             EventKind::Steal => 3,
             EventKind::VerdictFlip => 4,
+            EventKind::WorkerCrash => 5,
+            EventKind::WorkerRestart => 6,
+            EventKind::Quarantine => 7,
+            EventKind::BurstStart => 8,
+            EventKind::BurstEnd => 9,
+            EventKind::WatchdogTrip => 10,
         }
     }
 }
@@ -156,6 +189,18 @@ pub struct EventCounts {
     pub steal: u64,
     /// [`EventKind::VerdictFlip`] events published.
     pub verdict_flip: u64,
+    /// [`EventKind::WorkerCrash`] events published.
+    pub worker_crash: u64,
+    /// [`EventKind::WorkerRestart`] events published.
+    pub worker_restart: u64,
+    /// [`EventKind::Quarantine`] events published.
+    pub quarantine: u64,
+    /// [`EventKind::BurstStart`] events published.
+    pub burst_start: u64,
+    /// [`EventKind::BurstEnd`] events published.
+    pub burst_end: u64,
+    /// [`EventKind::WatchdogTrip`] events published.
+    pub watchdog_trip: u64,
 }
 
 /// A plain-data copy of the journal's state: totals plus the most recent
@@ -205,7 +250,7 @@ pub struct EventJournal {
     published: AtomicU64,
     overwritten: AtomicU64,
     severity_counts: [AtomicU64; 3],
-    kind_counts: [AtomicU64; 5],
+    kind_counts: [AtomicU64; KINDS],
 }
 
 impl EventJournal {
@@ -318,6 +363,12 @@ impl EventJournal {
                 budget_exhausted: self.count_of(EventKind::BudgetExhausted),
                 steal: self.count_of(EventKind::Steal),
                 verdict_flip: self.count_of(EventKind::VerdictFlip),
+                worker_crash: self.count_of(EventKind::WorkerCrash),
+                worker_restart: self.count_of(EventKind::WorkerRestart),
+                quarantine: self.count_of(EventKind::Quarantine),
+                burst_start: self.count_of(EventKind::BurstStart),
+                burst_end: self.count_of(EventKind::BurstEnd),
+                watchdog_trip: self.count_of(EventKind::WatchdogTrip),
             },
             recent,
         }
@@ -396,6 +447,43 @@ mod tests {
         assert_eq!(snap.counts.verdict_flip, 1);
         assert_eq!(snap.counts.shed, 3);
         assert_eq!(snap.recent.len(), 2);
+    }
+
+    #[test]
+    fn fault_kinds_have_stable_labels_and_distinct_counters() {
+        let kinds = [
+            EventKind::WorkerCrash,
+            EventKind::WorkerRestart,
+            EventKind::Quarantine,
+            EventKind::BurstStart,
+            EventKind::BurstEnd,
+            EventKind::WatchdogTrip,
+        ];
+        let journal = EventJournal::new(16);
+        for (i, kind) in kinds.iter().enumerate() {
+            for _ in 0..=i {
+                journal.publish(*kind, EventSeverity::Warning, Some(0), Some(1), 0, 7);
+            }
+        }
+        let snap = journal.snapshot(16);
+        assert_eq!(snap.counts.worker_crash, 1);
+        assert_eq!(snap.counts.worker_restart, 2);
+        assert_eq!(snap.counts.quarantine, 3);
+        assert_eq!(snap.counts.burst_start, 4);
+        assert_eq!(snap.counts.burst_end, 5);
+        assert_eq!(snap.counts.watchdog_trip, 6);
+        let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "worker_crash",
+                "worker_restart",
+                "quarantine",
+                "burst_start",
+                "burst_end",
+                "watchdog_trip"
+            ]
+        );
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! length next to the `lattice_id`, so the decoding side can verify that the
 //! packet was encoded for the lattice registered under that id: a mismatched
 //! record would otherwise silently misdecode into a wrong-width syndrome.
+//!
+//! Since format version 3 every record additionally ends in a trailer word
+//! holding a 64-bit mix checksum of all preceding words.  The header checks
+//! only cover the fields they name — a bit flip in the round index, the
+//! timestamp or the payload is invisible to them — so the checksum is what
+//! turns *any* in-flight corruption into a typed [`PacketError::Corrupted`]
+//! instead of a silently wrong decode.
 
 use nisqplus_qec::syndrome::{PackedSyndrome, Syndrome};
 use std::fmt;
@@ -72,6 +79,16 @@ pub enum PacketError {
         /// Ancilla count of the registered lattice.
         registered_bits: u32,
     },
+    /// The record's trailer checksum does not match its contents: the record
+    /// was corrupted in flight (the header fields alone may still look
+    /// plausible, so this is the check that catches payload, round and
+    /// timestamp damage).
+    Corrupted {
+        /// The checksum recomputed from the record's contents.
+        expected: u64,
+        /// The checksum found in the trailer word.
+        found: u64,
+    },
 }
 
 impl fmt::Display for PacketError {
@@ -91,6 +108,11 @@ impl fmt::Display for PacketError {
                 f,
                 "packet for lattice {lattice_id} carries {header_bits} ancilla bits, but the \
                  registered lattice has {registered_bits}"
+            ),
+            PacketError::Corrupted { expected, found } => write!(
+                f,
+                "packet record corrupted in flight: checksum {found:#018x} does not match \
+                 contents ({expected:#018x})"
             ),
         }
     }
@@ -117,12 +139,33 @@ pub struct PacketCodec {
 /// (version/lattice/bits, round, emitted_ns).
 const HEADER_WORDS: usize = 3;
 
+/// Number of trailer words following the syndrome payload (the integrity
+/// checksum).
+const TRAILER_WORDS: usize = 1;
+
+/// The record integrity checksum: a 64-bit multiply-xor-shift mix folded over
+/// every word preceding the trailer.  A flip of any single bit anywhere in
+/// the record avalanches through the multiply, so header *and* payload
+/// corruption is detected; colliding by accident requires matching a full
+/// 64-bit digest.
+#[must_use]
+fn record_checksum(words: &[u64]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for &word in words {
+        acc = (acc ^ word).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        acc ^= acc >> 31;
+    }
+    acc
+}
+
 impl PacketCodec {
     /// The wire-format version stamped into (and checked against) every
     /// record's header.  Version 1 was the PR-2 single-lattice format with a
-    /// two-word header; it cannot be confused with version 2 records because
-    /// the version field occupies bits that were part of the round index.
-    pub const VERSION: u16 = 2;
+    /// two-word header; version 2 added the lattice-id/ancilla header fields;
+    /// version 3 appends the integrity-checksum trailer word, so a v2
+    /// receiver cannot mistake a v3 record for its own format (and vice
+    /// versa: the version field is checked before anything else).
+    pub const VERSION: u16 = 3;
 
     /// Creates a single-lattice codec: lattice id 0 with `syndrome_bits`
     /// ancilla bits.
@@ -168,10 +211,10 @@ impl PacketCodec {
     }
 
     /// The fixed record size in `u64` words (header plus the largest
-    /// lattice's payload).
+    /// lattice's payload plus the checksum trailer).
     #[must_use]
     pub fn words_per_packet(&self) -> usize {
-        HEADER_WORDS + self.max_syndrome_words
+        HEADER_WORDS + self.max_syndrome_words + TRAILER_WORDS
     }
 
     /// Packs the version, lattice id and bit length into header word 0.
@@ -238,6 +281,33 @@ impl PacketCodec {
         Ok(lattice_id)
     }
 
+    /// Fully validates a record — header fields *and* the trailer checksum —
+    /// and returns the lattice id it belongs to.  This is what the worker
+    /// loop calls before touching any per-lattice state, so a hostile or
+    /// damaged record is quarantined instead of indexing anything with an
+    /// untrusted id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the header's [`PacketError`] if a named field fails its
+    /// check, or [`PacketError::Corrupted`] for damage the header fields
+    /// cannot see (round, timestamp, payload, padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
+    /// words long.
+    pub fn verify(&self, words: &[u64]) -> Result<u32, PacketError> {
+        let lattice_id = self.check_header(words)?;
+        let body = words.len() - TRAILER_WORDS;
+        let expected = record_checksum(&words[..body]);
+        let found = words[body];
+        if expected != found {
+            return Err(PacketError::Corrupted { expected, found });
+        }
+        Ok(lattice_id)
+    }
+
     /// Flattens a packet into `out`, zero-padding past the packet's payload.
     ///
     /// # Panics
@@ -264,7 +334,9 @@ impl PacketCodec {
         out[2] = packet.emitted_ns;
         let payload = packet.syndrome.words();
         out[HEADER_WORDS..HEADER_WORDS + payload.len()].copy_from_slice(payload);
-        out[HEADER_WORDS + payload.len()..].fill(0);
+        let body = out.len() - TRAILER_WORDS;
+        out[HEADER_WORDS + payload.len()..body].fill(0);
+        out[body] = record_checksum(&out[..body]);
     }
 
     /// Restores a packet from a record, allocating the syndrome.
@@ -272,14 +344,15 @@ impl PacketCodec {
     /// # Errors
     ///
     /// Returns a [`PacketError`] if the header fails the version or lattice
-    /// compatibility checks.
+    /// compatibility checks, or if the trailer checksum exposes in-flight
+    /// corruption.
     ///
     /// # Panics
     ///
     /// Panics if `words` is not exactly [`PacketCodec::words_per_packet`]
     /// words long.
     pub fn try_decode(&self, words: &[u64]) -> Result<SyndromePacket, PacketError> {
-        let lattice_id = self.check_header(words)?;
+        let lattice_id = self.verify(words)?;
         let bits = self.syndrome_bits(lattice_id);
         let payload_words = PackedSyndrome::words_for(bits);
         Ok(SyndromePacket {
@@ -293,27 +366,32 @@ impl PacketCodec {
         })
     }
 
-    /// Restores a packet from a record.
+    /// Restores a packet from a record, panicking on any incompatibility.
+    ///
+    /// Test-only: production paths go through [`PacketCodec::try_decode`] so
+    /// a hostile record is a typed error, never a panic.
     ///
     /// # Panics
     ///
-    /// Panics if the record fails the header compatibility checks (see
+    /// Panics if the record fails validation (see
     /// [`PacketCodec::try_decode`]) or is not exactly
     /// [`PacketCodec::words_per_packet`] words long.
+    #[cfg(test)]
     #[must_use]
     pub fn decode(&self, words: &[u64]) -> SyndromePacket {
         self.try_decode(words).expect("compatible packet record")
     }
 
     /// Restores a packet into an existing buffer without allocating — the
-    /// steady-state counterpart of [`PacketCodec::decode`] used by the worker
-    /// hot loop.  The buffer's syndrome must already have the width of the
+    /// steady-state decode path used by the worker hot loop (the allocating
+    /// [`PacketCodec::try_decode`] is its setup-time counterpart).  The buffer's syndrome must already have the width of the
     /// record's lattice (workers keep one buffer per lattice).
     ///
     /// # Errors
     ///
     /// Returns a [`PacketError`] if the header fails the version or lattice
-    /// compatibility checks.
+    /// compatibility checks, or if the trailer checksum exposes in-flight
+    /// corruption.
     ///
     /// # Panics
     ///
@@ -325,7 +403,7 @@ impl PacketCodec {
         words: &[u64],
         packet: &mut SyndromePacket,
     ) -> Result<(), PacketError> {
-        let lattice_id = self.check_header(words)?;
+        let lattice_id = self.verify(words)?;
         let bits = self.syndrome_bits(lattice_id);
         assert_eq!(
             packet.syndrome.len(),
@@ -347,10 +425,15 @@ impl PacketCodec {
 
     /// Infallible wrapper over [`PacketCodec::try_decode_into`].
     ///
+    /// Test-only: the worker hot loop routes every record through the
+    /// fallible [`PacketCodec::try_decode_into`] and quarantines failures,
+    /// so no hostile record can panic the pool.
+    ///
     /// # Panics
     ///
-    /// Panics on any header compatibility error in addition to the panics of
+    /// Panics on any validation error in addition to the panics of
     /// [`PacketCodec::try_decode_into`].
+    #[cfg(test)]
     pub fn decode_into(&self, words: &[u64], packet: &mut SyndromePacket) {
         if let Err(err) = self.try_decode_into(words, packet) {
             panic!("incompatible packet record: {err}");
@@ -380,7 +463,7 @@ mod tests {
         // sized for the larger one, the smaller one's tail is zero-padded.
         let codec = PacketCodec::for_lattice_bits(&[8, 40]);
         assert_eq!(codec.num_lattices(), 2);
-        assert_eq!(codec.words_per_packet(), 3 + 1);
+        assert_eq!(codec.words_per_packet(), 3 + 1 + 1);
         let small = SyndromePacket::new(0, 5, 50, &Syndrome::from_hot(8, &[1, 6]));
         let large = SyndromePacket::new(1, 9, 90, &Syndrome::from_hot(40, &[0, 39]));
         let mut record = vec![u64::MAX; codec.words_per_packet()];
@@ -419,14 +502,15 @@ mod tests {
 
     #[test]
     fn record_sizes_scale_with_bits() {
-        assert_eq!(PacketCodec::new(40).words_per_packet(), 4); // d=5: 40 ancillas
-        assert_eq!(PacketCodec::new(144).words_per_packet(), 6); // d=9
-        assert_eq!(PacketCodec::new(64).words_per_packet(), 4);
-        assert_eq!(PacketCodec::new(65).words_per_packet(), 5);
+        // 3 header words + payload + 1 checksum trailer word.
+        assert_eq!(PacketCodec::new(40).words_per_packet(), 5); // d=5: 40 ancillas
+        assert_eq!(PacketCodec::new(144).words_per_packet(), 7); // d=9
+        assert_eq!(PacketCodec::new(64).words_per_packet(), 5);
+        assert_eq!(PacketCodec::new(65).words_per_packet(), 6);
         // A mixed set is sized by its largest member.
         assert_eq!(
             PacketCodec::for_lattice_bits(&[8, 144, 40]).words_per_packet(),
-            6
+            7
         );
     }
 
@@ -531,10 +615,56 @@ mod tests {
     #[test]
     fn empty_syndromes_still_carry_headers() {
         let codec = PacketCodec::new(0);
-        assert_eq!(codec.words_per_packet(), 3);
+        assert_eq!(codec.words_per_packet(), 4);
         let packet = SyndromePacket::new(0, 9, 17, &Syndrome::new(0));
-        let mut record = vec![0u64; 3];
+        let mut record = vec![0u64; 4];
         codec.encode(&packet, &mut record);
         assert_eq!(codec.decode(&record), packet);
+    }
+
+    /// The checksum catches damage the header fields cannot see: a flipped
+    /// bit in the round index, the timestamp, the payload or the trailer
+    /// itself all surface as `Corrupted`, never as a wrong decode.
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let codec = PacketCodec::new(40);
+        let syndrome = Syndrome::from_hot(40, &[3, 17, 31]);
+        let packet = SyndromePacket::new(0, 123, 456_789, &syndrome);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+        assert!(codec.verify(&record).is_ok());
+        for word in 0..record.len() {
+            for bit in [0u32, 13, 31, 47, 63] {
+                let mut corrupt = record.clone();
+                corrupt[word] ^= 1u64 << bit;
+                let err = codec.try_decode(&corrupt).unwrap_err();
+                // Flips in named header fields may produce their own typed
+                // error; everything else must land on the checksum.
+                if word > 0 {
+                    let trailer = word == record.len() - 1;
+                    assert!(
+                        matches!(err, PacketError::Corrupted { .. }) || trailer,
+                        "word {word} bit {bit}: got {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_not_a_misdecode() {
+        let codec = PacketCodec::new(40);
+        let packet = SyndromePacket::new(0, 7, 70, &Syndrome::from_hot(40, &[2, 9]));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+        // Damage the round index: the header checks cannot see it...
+        record[1] ^= 1 << 40;
+        assert!(codec.check_header(&record).is_ok());
+        // ...but full validation rejects it with the corruption error.
+        let err = codec.verify(&record).unwrap_err();
+        assert!(matches!(err, PacketError::Corrupted { .. }));
+        assert!(err.to_string().contains("corrupted in flight"));
+        let mut buffer = SyndromePacket::new(0, 0, 0, &Syndrome::new(40));
+        assert_eq!(codec.try_decode_into(&record, &mut buffer), Err(err));
     }
 }

@@ -56,11 +56,70 @@ enum NoiseModel {
     Depolarizing(Depolarizing),
 }
 
+impl NoiseModel {
+    fn build(noise: NoiseSpec) -> Result<Self, QecError> {
+        Ok(match noise {
+            NoiseSpec::PureDephasing { p } => NoiseModel::Dephasing(PureDephasing::new(p)?),
+            NoiseSpec::Depolarizing { p } => NoiseModel::Depolarizing(Depolarizing::new(p)?),
+        })
+    }
+}
+
+/// A deterministic burst-noise episode: for lattice rounds in
+/// `[start_round, start_round + rounds)` the stream's error probability is
+/// multiplied by `factor` (clamped to a valid probability) — a
+/// cosmic-ray-style patch of hostile rounds blanketing one lattice.
+///
+/// The window is defined purely by the lattice's own round index, never by
+/// wall clock or extra randomness, so a burst-overlaid stream is exactly as
+/// replayable as a calm one: a second source with the same `(lattice,
+/// noise, seed, burst)` tuple reproduces it bit for bit, which keeps the
+/// end-of-run residual replay and the byte-identical-frames recovery tests
+/// valid under fire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstOverlay {
+    /// First lattice round the episode covers.
+    pub start_round: u64,
+    /// Number of consecutive rounds blanketed.
+    pub rounds: u64,
+    /// Multiplier applied to the base channel's error probability.
+    pub factor: f64,
+}
+
+impl BurstOverlay {
+    /// Returns `true` if `round` falls inside the episode.
+    #[must_use]
+    pub fn covers(&self, round: u64) -> bool {
+        round >= self.start_round && round < self.end_round()
+    }
+
+    /// The first calm round after the episode.
+    #[must_use]
+    pub fn end_round(&self) -> u64 {
+        self.start_round.saturating_add(self.rounds)
+    }
+
+    /// The burst-amplified channel derived from `base`.
+    #[must_use]
+    pub fn amplify(&self, base: NoiseSpec) -> NoiseSpec {
+        match base {
+            NoiseSpec::PureDephasing { p } => NoiseSpec::PureDephasing {
+                p: (p * self.factor).clamp(0.0, 1.0),
+            },
+            NoiseSpec::Depolarizing { p } => NoiseSpec::Depolarizing {
+                p: (p * self.factor).clamp(0.0, 1.0),
+            },
+        }
+    }
+}
+
 /// An endless, seeded stream of surface-code syndromes.
 #[derive(Debug, Clone)]
 pub struct SyndromeSource {
     lattice: Arc<Lattice>,
     model: NoiseModel,
+    /// The burst episode, with its pre-validated amplified channel.
+    burst: Option<(BurstOverlay, NoiseModel)>,
     rng: ChaCha8Rng,
     rounds_emitted: u64,
 }
@@ -73,16 +132,34 @@ impl SyndromeSource {
     /// Returns [`QecError::InvalidProbability`] if the noise probability is
     /// outside `[0, 1]`.
     pub fn new(lattice: Arc<Lattice>, noise: NoiseSpec, seed: u64) -> Result<Self, QecError> {
-        let model = match noise {
-            NoiseSpec::PureDephasing { p } => NoiseModel::Dephasing(PureDephasing::new(p)?),
-            NoiseSpec::Depolarizing { p } => NoiseModel::Depolarizing(Depolarizing::new(p)?),
-        };
         Ok(SyndromeSource {
             lattice,
-            model,
+            model: NoiseModel::build(noise)?,
+            burst: None,
             rng: ChaCha8Rng::seed_from_u64(seed),
             rounds_emitted: 0,
         })
+    }
+
+    /// Overlays a time-varying burst episode on the stream: rounds the
+    /// episode covers are sampled from the amplified channel, all others
+    /// from the base channel.  Apply before emitting any rounds — the
+    /// overlay is part of the stream's identity, and replaying a bursty
+    /// stream requires the same overlay from round zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QecError::InvalidProbability`] if the amplified probability
+    /// is invalid (it is clamped to `[0, 1]` first, so this is defensive).
+    pub fn with_burst(mut self, base: NoiseSpec, burst: BurstOverlay) -> Result<Self, QecError> {
+        self.burst = Some((burst, NoiseModel::build(burst.amplify(base))?));
+        Ok(self)
+    }
+
+    /// The stream's burst episode, if one is overlaid.
+    #[must_use]
+    pub fn burst(&self) -> Option<BurstOverlay> {
+        self.burst.map(|(overlay, _)| overlay)
     }
 
     /// The lattice whose syndromes are being streamed.
@@ -109,7 +186,13 @@ impl SyndromeSource {
     /// which is how the runtime's end-of-run residual analysis recovers the
     /// errors behind the syndromes it already decoded (or shed).
     pub fn next_error_and_syndrome(&mut self) -> (nisqplus_qec::pauli::PauliString, Syndrome) {
-        let error = match self.model {
+        // Burst windows are keyed by the round index alone, so live
+        // generation and replay pick the same channel for every round.
+        let model = match self.burst {
+            Some((overlay, amplified)) if overlay.covers(self.rounds_emitted) => amplified,
+            _ => self.model,
+        };
+        let error = match model {
             NoiseModel::Dephasing(m) => m.sample(&self.lattice, &mut self.rng),
             NoiseModel::Depolarizing(m) => m.sample(&self.lattice, &mut self.rng),
         };
@@ -228,6 +311,44 @@ impl InterleavedSource {
     #[must_use]
     pub fn remaining(&self) -> u64 {
         self.remaining
+    }
+
+    /// Overlays a burst episode on one lattice's stream.  Must be applied
+    /// before that lattice emits any rounds (the overlay is part of the
+    /// stream's replayable identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QecError::InvalidProbability`] if the amplified channel is
+    /// invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range or the lattice has already
+    /// emitted rounds.
+    pub fn set_burst(
+        &mut self,
+        lattice_id: usize,
+        base: NoiseSpec,
+        burst: BurstOverlay,
+    ) -> Result<(), QecError> {
+        let stream = &mut self.streams[lattice_id];
+        assert_eq!(
+            stream.emitted, 0,
+            "burst overlays must be applied before the stream starts"
+        );
+        stream.source = stream.source.clone().with_burst(base, burst)?;
+        Ok(())
+    }
+
+    /// The burst overlay applied to `lattice_id`'s stream, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    #[must_use]
+    pub fn burst_overlay(&self, lattice_id: usize) -> Option<BurstOverlay> {
+        self.streams[lattice_id].source.burst()
     }
 
     /// Emits the next due round, or `None` when every lattice's stream has
@@ -385,6 +506,100 @@ mod tests {
                 assert_eq!(streamed, &reference.next_syndrome());
             }
         }
+    }
+
+    #[test]
+    fn burst_only_changes_rounds_inside_the_window() {
+        let noise = NoiseSpec::PureDephasing { p: 0.01 };
+        let overlay = BurstOverlay {
+            start_round: 10,
+            rounds: 5,
+            factor: 40.0,
+        };
+        let mut calm = SyndromeSource::new(lattice(), noise, 77).unwrap();
+        let mut bursty = SyndromeSource::new(lattice(), noise, 77)
+            .unwrap()
+            .with_burst(noise, overlay)
+            .unwrap();
+        assert_eq!(bursty.burst(), Some(overlay));
+        // Before the window, the streams are identical: the overlay does not
+        // perturb calm rounds or consume extra randomness.
+        for round in 0..10u64 {
+            assert!(!overlay.covers(round));
+            assert_eq!(calm.next_syndrome(), bursty.next_syndrome());
+        }
+        // Inside the window the amplified channel fires much harder; with
+        // p 0.01 -> 0.4 over five d=5 rounds, divergence is overwhelming.
+        let diverged = (10..15u64).any(|round| {
+            assert!(overlay.covers(round));
+            calm.next_syndrome() != bursty.next_syndrome()
+        });
+        assert!(diverged, "burst window left the stream untouched");
+    }
+
+    #[test]
+    fn bursty_streams_replay_exactly() {
+        let noise = NoiseSpec::Depolarizing { p: 0.02 };
+        let overlay = BurstOverlay {
+            start_round: 3,
+            rounds: 4,
+            factor: 25.0,
+        };
+        let mut live = SyndromeSource::new(lattice(), noise, 5)
+            .unwrap()
+            .with_burst(noise, overlay)
+            .unwrap();
+        let mut replay = SyndromeSource::new(lattice(), noise, 5)
+            .unwrap()
+            .with_burst(noise, overlay)
+            .unwrap();
+        for _ in 0..12 {
+            let syndrome = live.next_syndrome();
+            let (error, replayed) = replay.next_error_and_syndrome();
+            assert_eq!(replayed, syndrome);
+            assert_eq!(replay.lattice().syndrome_of(&error), syndrome);
+        }
+    }
+
+    #[test]
+    fn burst_amplification_clamps_to_valid_probability() {
+        let overlay = BurstOverlay {
+            start_round: 0,
+            rounds: 1,
+            factor: 1e6,
+        };
+        let amplified = overlay.amplify(NoiseSpec::PureDephasing { p: 0.5 });
+        assert_eq!(amplified, NoiseSpec::PureDephasing { p: 1.0 });
+        // And the overlaid source builds fine even with an extreme factor.
+        let noise = NoiseSpec::PureDephasing { p: 0.5 };
+        assert!(SyndromeSource::new(lattice(), noise, 0)
+            .unwrap()
+            .with_burst(noise, overlay)
+            .is_ok());
+    }
+
+    #[test]
+    fn interleaved_burst_applies_to_one_lattice_only() {
+        let set = LatticeSet::new(vec![spec(3, 11, 6, 0), spec(3, 22, 6, 0)]).unwrap();
+        let overlay = BurstOverlay {
+            start_round: 2,
+            rounds: 2,
+            factor: 30.0,
+        };
+        let mut bursty =
+            InterleavedSource::new(&set, &CycleTimeConverter::paper_reference()).unwrap();
+        bursty.set_burst(1, set.spec(1).noise, overlay).unwrap();
+        let mut calm =
+            InterleavedSource::new(&set, &CycleTimeConverter::paper_reference()).unwrap();
+        while let Some(round) = bursty.next_round() {
+            let reference = calm.next_round().unwrap();
+            assert_eq!(round.lattice_id, reference.lattice_id);
+            assert_eq!(round.round, reference.round);
+            if round.lattice_id == 0 || !overlay.covers(round.round) {
+                assert_eq!(round.syndrome, reference.syndrome);
+            }
+        }
+        assert!(calm.next_round().is_none());
     }
 
     #[test]

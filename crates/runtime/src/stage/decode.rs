@@ -21,7 +21,7 @@
 //! [`Decoder::decode_into`]: nisqplus_decoders::Decoder::decode_into
 
 use crate::lattice_set::{LatticeDecoder, LatticeSet};
-use crate::packet::{PacketCodec, SyndromePacket};
+use crate::packet::{PacketCodec, PacketError, SyndromePacket};
 use nisqplus_decoders::traits::{DecoderFactory, DynDecoder};
 use nisqplus_qec::lattice::Sector;
 use nisqplus_qec::pauli::PauliString;
@@ -126,31 +126,33 @@ impl<'a> DecodeStage<'a> {
     /// The returned [`DecodedRound`] borrows the lattice's composed
     /// correction buffer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the record fails header validation (producer and workers
-    /// must share one codec) or its lattice id is out of range.
-    pub fn decode(&mut self, record: &[u64]) -> DecodedRound<'_> {
-        // Raw routing peek to pick the per-lattice buffers; the single full
-        // header validation happens inside `try_decode_into`.
-        let lattice_id = PacketCodec::peek_lattice_id(record) as usize;
+    /// A record that fails validation — bad magic, wrong format version,
+    /// out-of-range lattice id, mismatched length, or a checksum breach
+    /// anywhere in the header or payload — returns the typed
+    /// [`PacketError`] without touching any decoder state: the worker
+    /// quarantines it instead of panicking the pool.
+    pub fn decode(&mut self, record: &[u64]) -> Result<DecodedRound<'_>, PacketError> {
+        // Full validation (header + checksum trailer) *before* indexing any
+        // per-lattice state: a corrupted lattice-id field must not pick a
+        // buffer, let alone panic on an out-of-range slot.
+        let lattice_id = self.codec.verify(record)? as usize;
         let state = &mut self.states[lattice_id];
         let decoder = &mut self.decoders[state.decoder_slot];
         let lattice = self.set.lattice(lattice_id);
-        self.codec
-            .try_decode_into(record, &mut state.packet)
-            .expect("producer and workers share one codec");
+        self.codec.try_decode_into(record, &mut state.packet)?;
         state.packet.syndrome.write_to_syndrome(&mut state.syndrome);
         decoder.decode_into(lattice, &state.syndrome, Sector::X, &mut state.x_buf);
         decoder.decode_into(lattice, &state.syndrome, Sector::Z, &mut state.z_buf);
         state.x_buf.compose_with(&state.z_buf);
         self.decoded += 1;
-        DecodedRound {
+        Ok(DecodedRound {
             lattice_id: state.packet.lattice_id,
             round: state.packet.round,
             emitted_ns: state.packet.emitted_ns,
             correction: &state.x_buf,
-        }
+        })
     }
 
     /// The name of the decoder serving each lattice, in lattice-id order.
@@ -219,7 +221,7 @@ mod tests {
             let syndrome = source.next_syndrome();
             let packet = SyndromePacket::new(lattice_id, 0, 17, &syndrome);
             codec.encode(&packet, &mut record);
-            let decoded = stage.decode(&record);
+            let decoded = stage.decode(&record).expect("clean record decodes");
             assert_eq!(decoded.lattice_id, lattice_id);
             assert_eq!(decoded.round, 0);
             assert_eq!(decoded.emitted_ns, 17);
@@ -236,5 +238,28 @@ mod tests {
             assert_eq!(*decoded.correction, x);
         }
         assert_eq!(stage.decoded(), 3);
+    }
+
+    #[test]
+    fn corrupted_record_is_rejected_without_touching_state() {
+        let set = set_of(&[3, 5]);
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let mut stage = DecodeStage::new(&set, &codec, &factory());
+        let spec = set.spec(0);
+        let mut source =
+            SyndromeSource::new(set.lattice(0).clone(), spec.noise, spec.seed).unwrap();
+        let syndrome = source.next_syndrome();
+        let packet = SyndromePacket::new(0, 0, 17, &syndrome);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+        // A single bit flip anywhere — here in the lattice-id header word —
+        // must surface as a typed error, not a panic or a misroute.
+        record[0] ^= 1 << 7;
+        assert!(stage.decode(&record).is_err());
+        assert_eq!(stage.decoded(), 0, "a quarantined record decodes nothing");
+        // The stage still decodes clean records afterwards.
+        record[0] ^= 1 << 7;
+        assert!(stage.decode(&record).is_ok());
+        assert_eq!(stage.decoded(), 1);
     }
 }

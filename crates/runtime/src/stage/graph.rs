@@ -20,6 +20,7 @@
 //! [`StageReport`] per stage.
 
 use crate::config::{MachineConfig, PushPolicy};
+use crate::fault::{FaultInjections, FaultInjector, CRASH_PANIC_MARKER};
 use crate::lattice_set::LatticeSet;
 use crate::obs::{
     EventKind, EventSeverity, JournalSnapshot, MetricSample, MetricsSnapshot, ObsPlane,
@@ -96,8 +97,9 @@ pub enum ConsumePolicy {
 /// The configurable shape of a [`PipelineGraph`].
 ///
 /// The default options reproduce the classic engine wiring exactly: one
-/// channel per worker, spread placement, own-then-steal consumption.
-#[derive(Debug, Default)]
+/// channel per worker, spread placement, own-then-steal consumption, a
+/// watchdog far beyond any healthy stall.
+#[derive(Debug)]
 pub struct PipelineOptions {
     /// The placement stage; `None` uses [`SpreadRouter`].
     pub router: Option<Box<dyn RouteStage>>,
@@ -108,6 +110,25 @@ pub struct PipelineOptions {
     /// An external tap on the run's events and snapshots; `None` keeps the
     /// journal and snapshot log as the only consumers.
     pub observer: Option<Box<dyn RuntimeObserver>>,
+    /// The Block-lane backpressure watchdog: the longest the producer spins
+    /// on one round (per refused lane) before force-shedding it with a
+    /// [`EventKind::WatchdogTrip`] so a dead consumer degrades the run into
+    /// a diagnostic report instead of hanging it forever.  The default is
+    /// generous — orders of magnitude beyond any healthy stall — so
+    /// existing runs and benches never meet it.
+    pub watchdog: Duration,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            router: None,
+            consume: ConsumePolicy::default(),
+            channels: None,
+            observer: None,
+            watchdog: Duration::from_secs(5),
+        }
+    }
 }
 
 /// Per-lattice generation statistics tracked by the source stage.
@@ -147,6 +168,9 @@ pub struct PipelineRun {
     pub journal: JournalSnapshot,
     /// Every registered metric by name, read at end of run.
     pub metrics: Vec<MetricSample>,
+    /// The fault injector's own books: how many scheduled faults fired
+    /// (all-zero for a plan-free run).
+    pub fault: FaultInjections,
 }
 
 /// Everything one decode worker needs, bundled to keep spawn sites tidy
@@ -179,6 +203,9 @@ pub struct WorkerSeat<'a> {
     /// The run's observability plane (latency histograms, event journal,
     /// stage metrics registry).
     pub obs: &'a ObsPlane,
+    /// The run's armed fault schedule (crash hooks; a plan-free injector
+    /// costs one branch per batch).
+    pub injector: &'a FaultInjector,
 }
 
 impl fmt::Debug for WorkerSeat<'_> {
@@ -192,45 +219,106 @@ impl fmt::Debug for WorkerSeat<'_> {
     }
 }
 
-/// One decode worker: fill a batch through the mux, decode every record
-/// through the lattice's prepared hot path, commit to the private frame
-/// sink, return each round's budget credit to the gate.  Returns the
-/// worker's output plus its decode and sink [`StageReport`]s.
+/// One decode worker under supervision: the frame sink — the worker's
+/// durable state — lives out here, outside the unwind boundary, while the
+/// decode attempt loop runs inside [`catch_unwind`].  A panic in the decode
+/// path (injected or real) is caught, journaled as a
+/// [`EventKind::WorkerCrash`], and answered by a same-thread restart
+/// ([`EventKind::WorkerRestart`]) that rebuilds the decode stage — freshly
+/// `prepare`d decoders — over the *same* sink, so the replacement adopts
+/// the dead worker's frame shard and every round it had already committed.
+/// Returns the worker's output plus its decode and sink [`StageReport`]s.
+///
+/// [`catch_unwind`]: std::panic::catch_unwind
 pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
-    let WorkerSeat {
-        worker_id,
-        set,
-        codec,
-        channels,
-        gate,
-        counters,
-        done,
-        epoch,
-        factory,
-        record_corrections,
-        batch_size,
-        consume,
-        obs,
-    } = seat;
-    let mut decode = DecodeStage::new(set, codec, factory);
-    let decode_metrics = StageMetrics::register(obs.registry(), &format!("decode.{worker_id}"));
-    let mut sink = FrameSink::new(set, record_corrections).with_obs(
-        StageMetrics::register(obs.registry(), &format!("sink.{worker_id}")),
-        Arc::clone(obs.decode_hist()),
+    let worker_id = seat.worker_id;
+    // Metrics are registered once per worker *name*, not per attempt: a
+    // restart must not grow the registry.
+    let decode_metrics =
+        StageMetrics::register(seat.obs.registry(), &format!("decode.{worker_id}"));
+    let mut sink = FrameSink::new(seat.set, seat.record_corrections).with_obs(
+        StageMetrics::register(seat.obs.registry(), &format!("sink.{worker_id}")),
+        Arc::clone(seat.obs.decode_hist()),
     );
-    let mut mux: Box<dyn BatchMux> = match consume {
+    let mut stall_polls = 0u64;
+    let mut restarts = 0u64;
+    loop {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(&seat, &mut sink)
+        }));
+        match attempt {
+            Ok((lattice_decoders, polls)) => {
+                stall_polls += polls;
+                let committed = sink.committed();
+                let decode_report = StageReport {
+                    stage: format!("decode.{worker_id}"),
+                    accepted: committed,
+                    emitted: committed,
+                    stall_cycles: stall_polls,
+                    ..StageReport::default()
+                };
+                decode_metrics.sync_from(&decode_report);
+                let sink_report = sink.report(format!("sink.{worker_id}"));
+                let output = sink.finish(lattice_decoders);
+                return (output, vec![decode_report, sink_report]);
+            }
+            Err(_) => {
+                // The worker died mid-run.  Its sink — and every round it
+                // committed — survives out here; journal the crash (value =
+                // rounds the dead worker had committed), then go around the
+                // loop: the next attempt re-prepares the decoders and
+                // adopts the shard.
+                seat.obs.publish(
+                    EventKind::WorkerCrash,
+                    EventSeverity::Critical,
+                    None,
+                    Some(worker_id as u32),
+                    seat.epoch.elapsed().as_nanos() as u64,
+                    sink.committed(),
+                );
+                restarts += 1;
+                seat.obs.publish(
+                    EventKind::WorkerRestart,
+                    EventSeverity::Warning,
+                    None,
+                    Some(worker_id as u32),
+                    seat.epoch.elapsed().as_nanos() as u64,
+                    restarts,
+                );
+            }
+        }
+    }
+}
+
+/// One supervised decode attempt: fill batches through the mux, decode
+/// every record through the lattice's prepared hot path, commit to the
+/// shared frame sink, return each round's budget credit to the gate.
+/// Returns `(lattice decoder names, stall polls)` when the stream drains;
+/// unwinds into the supervisor if the decode path panics.
+fn worker_loop(seat: &WorkerSeat<'_>, sink: &mut FrameSink) -> (Vec<String>, u64) {
+    let worker_id = seat.worker_id;
+    let (channels, gate, counters, obs) = (seat.channels, seat.gate, seat.counters, seat.obs);
+    let epoch = seat.epoch;
+    let mut decode = DecodeStage::new(seat.set, seat.codec, seat.factory);
+    let mut mux: Box<dyn BatchMux> = match seat.consume {
         ConsumePolicy::OwnThenSteal => Box::new(StealMux::new(worker_id % channels.len())),
         ConsumePolicy::Priority => Box::new(PriorityMux::new()),
         ConsumePolicy::RoundRobin => Box::new(RoundRobinMux::new()),
     };
     // Reusable batch records, shared across lattices (records are sized for
     // the largest lattice of the set).
-    let mut batch: Vec<Vec<u64>> = (0..batch_size)
-        .map(|_| vec![0u64; codec.words_per_packet()])
+    let mut batch: Vec<Vec<u64>> = (0..seat.batch_size)
+        .map(|_| vec![0u64; seat.codec.words_per_packet()])
         .collect();
     let worker_counters = counters.per_worker.get(worker_id);
     let mut stall_polls = 0u64;
     loop {
+        // The crash hook sits at the batch boundary: no record is in flight
+        // inside the worker when an injected panic fires, so nothing a
+        // restart can't recover is ever lost.
+        if seat.injector.should_crash(worker_id, sink.committed()) {
+            panic!("{CRASH_PANIC_MARKER}: worker {worker_id}");
+        }
         // ---- Fill a batch through the mux ------------------------------
         let fill = mux.fill(channels, &mut batch);
         if fill.stolen > 0 {
@@ -248,18 +336,8 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
             );
         }
         if fill.filled == 0 {
-            if done.load(Ordering::Acquire) && channels.iter().all(CreditChannel::is_empty) {
-                let decode_report = StageReport {
-                    stage: format!("decode.{worker_id}"),
-                    accepted: decode.decoded(),
-                    emitted: decode.decoded(),
-                    stall_cycles: stall_polls,
-                    ..StageReport::default()
-                };
-                decode_metrics.sync_from(&decode_report);
-                let sink_report = sink.report(format!("sink.{worker_id}"));
-                let output = sink.finish(decode.lattice_decoders().to_vec());
-                return (output, vec![decode_report, sink_report]);
+            if seat.done.load(Ordering::Acquire) && channels.iter().all(CreditChannel::is_empty) {
+                return (decode.lattice_decoders().to_vec(), stall_polls);
             }
             counters.stall_polls.fetch_add(1, Ordering::Relaxed);
             if let Some(w) = worker_counters {
@@ -278,8 +356,31 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
         // packet, so batching amortizes the mux scans and counter updates
         // without flattening latency spikes into a batch mean.
         let mut prev = Instant::now();
+        let mut committed_in_batch = 0u64;
         for record in &batch[..fill.filled] {
-            let decoded = decode.decode(record);
+            let decoded = match decode.decode(record) {
+                Ok(decoded) => decoded,
+                Err(_) => {
+                    // A record that fails validation is quarantined, never
+                    // decoded: count it, journal it (value = the running
+                    // quarantine total; no lattice attribution — the header
+                    // that names the lattice is exactly what can't be
+                    // trusted), and move on.  The producer already
+                    // shed-accounted the round, so the backlog and frame
+                    // books stay exact.
+                    let total = counters.quarantined.fetch_add(1, Ordering::Relaxed) + 1;
+                    obs.publish(
+                        EventKind::Quarantine,
+                        EventSeverity::Critical,
+                        None,
+                        Some(worker_id as u32),
+                        epoch.elapsed().as_nanos() as u64,
+                        total,
+                    );
+                    prev = Instant::now();
+                    continue;
+                }
+            };
             let lattice_id = decoded.lattice_id as usize;
             let emitted_ns = decoded.emitted_ns;
             sink.commit(&decoded);
@@ -298,11 +399,12 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
             // The round is committed: its budget credit goes home, closing
             // the gate-to-sink credit loop.
             gate.credit_decode(lattice_id);
+            committed_in_batch += 1;
             prev = now;
         }
         counters
             .decoded
-            .fetch_add(fill.filled as u64, Ordering::Relaxed);
+            .fetch_add(committed_in_batch, Ordering::Relaxed);
         counters.batches.fetch_add(1, Ordering::Relaxed);
         if let Some(w) = worker_counters {
             w.batches.fetch_add(1, Ordering::Relaxed);
@@ -322,7 +424,9 @@ struct SourceRun {
 
 /// The source stage: paced interleaved generation, bit-packing into a skid
 /// buffer, gate admission under each lattice's QoS lane, routed placement
-/// into the credit channels, depth sampling.
+/// into the credit channels, depth sampling — plus the run's hostile-stream
+/// hooks: scheduled burst overlays, on-the-wire corruption, channel-stall
+/// emulation and the backpressure watchdog.
 #[allow(clippy::too_many_arguments)]
 fn run_source(
     config: &MachineConfig,
@@ -334,9 +438,17 @@ fn run_source(
     counters: &RuntimeCounters,
     epoch: Instant,
     obs: &ObsPlane,
+    injector: &FaultInjector,
+    watchdog: Duration,
 ) -> SourceRun {
     let mut source = InterleavedSource::new(set, &config.cycle_time)
         .expect("config validated in StreamingEngine::with_machine");
+    for burst in &injector.plan().bursts {
+        let lattice_id = burst.lattice_id as usize;
+        source
+            .set_burst(lattice_id, set.spec(lattice_id).noise, burst.overlay)
+            .expect("burst overlay validated in StreamingEngine::with_machine");
+    }
     let total_rounds = set.total_rounds();
     let mut depth = DepthSink::new(total_rounds, config.max_depth_samples)
         .with_metrics(StageMetrics::register(obs.registry(), "depth"));
@@ -368,31 +480,77 @@ fn run_source(
         }
         let lattice_id = sourced.lattice_id;
         let emitted_ns = epoch.elapsed().as_nanos() as u64;
+        // Burst boundaries are journaled as the stream crosses them — the
+        // window itself is applied inside the source, keyed by round index
+        // only, so the episode replays exactly.
+        if let Some(overlay) = source.burst_overlay(lattice_id as usize) {
+            if sourced.round == overlay.start_round {
+                obs.publish(
+                    EventKind::BurstStart,
+                    EventSeverity::Warning,
+                    Some(lattice_id),
+                    None,
+                    emitted_ns,
+                    overlay.start_round,
+                );
+            } else if sourced.round == overlay.end_round() {
+                obs.publish(
+                    EventKind::BurstEnd,
+                    EventSeverity::Info,
+                    Some(lattice_id),
+                    None,
+                    emitted_ns,
+                    overlay.end_round(),
+                );
+            }
+        }
         let packet = SyndromePacket::new(lattice_id, sourced.round, emitted_ns, &sourced.syndrome);
+        // A scheduled corruption poisons the encoded record *after* the
+        // checksum is written — a bit flipped on the wire, not at the
+        // source — so the worker's codec must catch it.
+        let poison = injector.corrupt(lattice_id, sourced.round);
         let loaded = skid.accept_with(|slot| {
             slot.resize(words, 0);
             codec.encode(&packet, slot);
+            if let Some((word, bit)) = poison {
+                slot[word % words] ^= 1u64 << (bit & 63);
+            }
         });
         debug_assert!(loaded, "the source skid is emptied every round");
         let lattice_counters = &counters.per_lattice[lattice_id as usize];
         counters.generated.fetch_add(1, Ordering::Relaxed);
         lattice_counters.generated.fetch_add(1, Ordering::Relaxed);
-        let channel = &channels[router.route(lattice_id, sourced.round, channels.len())];
-        match gate.policy(lattice_id as usize) {
+        let channel_index = router.route(lattice_id, sourced.round, channels.len());
+        let channel = &channels[channel_index];
+        let stalls_scheduled = injector.has_stalls();
+        // `delivered`: the record reached a channel.  A delivered *poisoned*
+        // record is shed-accounted below (the worker will quarantine it, so
+        // its budget credit is refunded here and it never counts as
+        // enqueued) — the backlog, frame and residual books stay exact.
+        let delivered = match gate.policy(lattice_id as usize) {
             PushPolicy::Block => {
                 // Two credit loops, both lossless: the lattice's own budget
                 // lane first, then a channel credit; every refused retry is
                 // one counted backpressure spin.  Stall *events* are
                 // published once per contended round (value = spins), not
                 // per spin — the journal records episodes, the counters
-                // record magnitude.
+                // record magnitude.  Each lane spins at most `watchdog`
+                // long; past that the round is force-shed with a
+                // WatchdogTrip so a dead consumer cannot hang the run.
+                let mut tripped = false;
                 let mut budget_spins = 0u64;
+                let mut deadline: Option<Instant> = None;
                 while gate.admit(lattice_id as usize) == Admission::Blocked {
                     counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
                     lattice_counters
                         .backpressure_spins
                         .fetch_add(1, Ordering::Relaxed);
                     budget_spins += 1;
+                    let limit = *deadline.get_or_insert_with(|| Instant::now() + watchdog);
+                    if budget_spins & 0xFF == 0 && Instant::now() >= limit {
+                        tripped = true;
+                        break;
+                    }
                     std::hint::spin_loop();
                     thread::yield_now();
                 }
@@ -407,37 +565,76 @@ fn run_source(
                     );
                 }
                 let mut send_spins = 0u64;
-                while skid.drain_with(|record| channel.try_send(record)) == 0 {
-                    counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
-                    lattice_counters
-                        .backpressure_spins
-                        .fetch_add(1, Ordering::Relaxed);
-                    send_spins += 1;
-                    std::hint::spin_loop();
-                    thread::yield_now();
+                if !tripped {
+                    let mut deadline: Option<Instant> = None;
+                    loop {
+                        let refused = stalls_scheduled
+                            && injector.stall_active(
+                                channel_index,
+                                emitted_total,
+                                epoch.elapsed().as_nanos() as u64,
+                            );
+                        if !refused && skid.drain_with(|record| channel.try_send(record)) > 0 {
+                            break;
+                        }
+                        counters.backpressure_spins.fetch_add(1, Ordering::Relaxed);
+                        lattice_counters
+                            .backpressure_spins
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_spins += 1;
+                        let limit = *deadline.get_or_insert_with(|| Instant::now() + watchdog);
+                        if send_spins & 0xFF == 0 && Instant::now() >= limit {
+                            tripped = true;
+                            // The budget credit acquired above is held for a
+                            // round that will never be decoded: it goes home.
+                            gate.refund(lattice_id as usize);
+                            break;
+                        }
+                        std::hint::spin_loop();
+                        thread::yield_now();
+                    }
+                    if send_spins > 0 {
+                        obs.publish(
+                            EventKind::BackpressureStall,
+                            EventSeverity::Info,
+                            Some(lattice_id),
+                            None,
+                            emitted_ns,
+                            send_spins,
+                        );
+                    }
                 }
-                if send_spins > 0 {
+                if tripped {
+                    skid.discard_front();
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    lattice_shed[lattice_id as usize].push(sourced.round);
                     obs.publish(
-                        EventKind::BackpressureStall,
-                        EventSeverity::Info,
+                        EventKind::WatchdogTrip,
+                        EventSeverity::Critical,
                         Some(lattice_id),
                         None,
-                        emitted_ns,
-                        send_spins,
+                        epoch.elapsed().as_nanos() as u64,
+                        sourced.round,
                     );
                 }
-                counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
+                !tripped
             }
             PushPolicy::Drop => {
                 // Shed when the lattice's budget lane refuses *or* the
-                // channel has no credit; a shed round is recorded so the
-                // frame path and the residual analysis can feed it an
-                // identity correction later.
+                // channel has no credit (or is stalled); a shed round is
+                // recorded so the frame path and the residual analysis can
+                // feed it an identity correction later.
                 let admission = gate.admit(lattice_id as usize);
+                let stalled = stalls_scheduled
+                    && injector.stall_active(
+                        channel_index,
+                        emitted_total,
+                        epoch.elapsed().as_nanos() as u64,
+                    );
                 let delivered = match admission {
                     Admission::Granted => {
-                        if skid.drain_with(|record| channel.try_send(record)) > 0 {
+                        if !stalled && skid.drain_with(|record| channel.try_send(record)) > 0 {
                             true
                         } else {
                             // The granted budget credit goes home unused.
@@ -447,10 +644,7 @@ fn run_source(
                     }
                     _ => false,
                 };
-                if delivered {
-                    counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                    lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
-                } else {
+                if !delivered {
                     skid.discard_front();
                     counters.dropped.fetch_add(1, Ordering::Relaxed);
                     lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
@@ -475,7 +669,21 @@ fn run_source(
                         sourced.round,
                     );
                 }
+                delivered
             }
+        };
+        if delivered && poison.is_some() {
+            // The poisoned record is on the wire; the worker will reject
+            // it, so the round is shed-accounted *now* and its budget
+            // credit (which `credit_decode` would have returned) refunded.
+            gate.refund(lattice_id as usize);
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
+            lattice_shed[lattice_id as usize].push(sourced.round);
+            injector.corruption_delivered();
+        } else if delivered {
+            counters.enqueued.fetch_add(1, Ordering::Relaxed);
+            lattice_counters.enqueued.fetch_add(1, Ordering::Relaxed);
         }
         let stats = &mut lattice_stats[lattice_id as usize];
         // Reuse the emission timestamp: it is this round's generation
@@ -531,6 +739,8 @@ pub struct PipelineGraph<'a> {
     router: Box<dyn RouteStage>,
     consume: ConsumePolicy,
     obs: ObsPlane,
+    injector: FaultInjector,
+    watchdog: Duration,
 }
 
 impl<'a> PipelineGraph<'a> {
@@ -564,6 +774,8 @@ impl<'a> PipelineGraph<'a> {
             router: options.router.unwrap_or_else(|| Box::new(SpreadRouter)),
             consume: options.consume,
             obs,
+            injector: FaultInjector::new(config.fault.clone()),
+            watchdog: options.watchdog,
         }
     }
 
@@ -594,6 +806,8 @@ impl<'a> PipelineGraph<'a> {
             router,
             consume,
             obs,
+            injector,
+            watchdog,
         } = self;
         let done = AtomicBool::new(false);
         // The sampler outlives the source: it keeps sampling while workers
@@ -617,6 +831,7 @@ impl<'a> PipelineGraph<'a> {
                     let gate = &gate;
                     let done = &done;
                     let obs = &obs;
+                    let injector = &injector;
                     s.spawn(move || {
                         run_worker(WorkerSeat {
                             worker_id,
@@ -635,13 +850,15 @@ impl<'a> PipelineGraph<'a> {
                             batch_size: config.batch_size,
                             consume,
                             obs,
+                            injector,
                         })
                     })
                 })
                 .collect();
 
             let source_run = run_source(
-                config, set, &codec, &channels, &gate, &*router, counters, epoch, &obs,
+                config, set, &codec, &channels, &gate, &*router, counters, epoch, &obs, &injector,
+                watchdog,
             );
             done.store(true, Ordering::Release);
 
@@ -680,6 +897,7 @@ impl<'a> PipelineGraph<'a> {
             snapshots: obs.take_snapshots(),
             journal: obs.journal_snapshot(),
             metrics: obs.registry().snapshot(),
+            fault: injector.snapshot(),
         }
     }
 }
@@ -795,6 +1013,7 @@ mod tests {
         let done = AtomicBool::new(true);
         let factory = greedy_factory();
         let obs = ObsPlane::new(ObsConfig::default());
+        let injector = FaultInjector::disabled();
         let (output, reports) = run_worker(WorkerSeat {
             worker_id: 0,
             set: &set,
@@ -809,6 +1028,7 @@ mod tests {
             batch_size: 4,
             consume: ConsumePolicy::OwnThenSteal,
             obs: &obs,
+            injector: &injector,
         });
         let snap = counters.snapshot();
         assert_eq!(snap.decoded, 20);
@@ -864,6 +1084,7 @@ mod tests {
         let done = AtomicBool::new(true);
         let factory = greedy_factory();
         let obs = ObsPlane::new(ObsConfig::default());
+        let injector = FaultInjector::disabled();
         let (output, _) = run_worker(WorkerSeat {
             worker_id: 0,
             set: &set,
@@ -878,6 +1099,7 @@ mod tests {
             batch_size: 4,
             consume: ConsumePolicy::OwnThenSteal,
             obs: &obs,
+            injector: &injector,
         });
         assert_eq!(counters.snapshot().decoded, 10);
         assert_eq!(counters.per_lattice[0].snapshot().decoded, 6);
@@ -973,5 +1195,96 @@ mod tests {
                 "all channel credits are home at quiescence"
             );
         }
+    }
+
+    /// An injected worker crash is caught, journaled and answered by a
+    /// restart that adopts the dead worker's frame shard: every generated
+    /// round is still decoded exactly once.
+    #[test]
+    fn crashed_worker_is_restarted_and_no_round_is_lost() {
+        crate::fault::silence_injected_crash_panics();
+        let mut config = MachineConfig::new(&[3, 3], 11);
+        for spec in &mut config.lattices {
+            spec.rounds = 100;
+            spec.cadence_cycles = 0;
+        }
+        config.workers = 2;
+        config.queue_capacity = 64;
+        config.fault = crate::fault::FaultPlan::default().crash_worker(0, 10);
+        let set = LatticeSet::new(config.lattices.clone()).unwrap();
+        let counters = RuntimeCounters::with_topology(set.len(), config.workers);
+        let graph = PipelineGraph::new(&config, &set, PipelineOptions::default());
+        let factory = greedy_factory();
+        let run = graph.run(&factory, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.generated, 200);
+        assert_eq!(snap.decoded, 200, "the restarted worker drains the rest");
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(run.fault.crashes, 1);
+        assert_eq!(run.journal.counts.worker_crash, 1);
+        assert_eq!(run.journal.counts.worker_restart, 1);
+        // The crashed worker's shard survived: the merged per-lattice frames
+        // carry every round.
+        let committed: u64 = run
+            .worker_outputs
+            .iter()
+            .flat_map(|w| w.per_lattice.iter())
+            .map(|l| l.frame.recorded_cycles())
+            .sum();
+        assert_eq!(committed, 200);
+    }
+
+    /// A poisoned record is quarantined by the worker and shed-accounted by
+    /// the producer: books reconcile, nothing panics, nothing misdecodes.
+    #[test]
+    fn corrupted_record_is_quarantined_and_shed_accounted() {
+        let mut config = MachineConfig::new(&[3], 7);
+        config.lattices[0].rounds = 100;
+        config.lattices[0].cadence_cycles = 0;
+        config.workers = 1;
+        config.queue_capacity = 256;
+        config.fault = crate::fault::FaultPlan::default().corrupt_record(0, 5, 2, 13);
+        let set = LatticeSet::new(config.lattices.clone()).unwrap();
+        let counters = RuntimeCounters::with_topology(set.len(), config.workers);
+        let graph = PipelineGraph::new(&config, &set, PipelineOptions::default());
+        let factory = greedy_factory();
+        let run = graph.run(&factory, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.generated, 100);
+        assert_eq!(snap.decoded, 99, "the poisoned round is not decoded");
+        assert_eq!(snap.dropped, 1, "…it is shed-accounted");
+        assert_eq!(snap.quarantined, 1, "…and quarantined at the worker");
+        assert_eq!(run.fault.corruptions, 1);
+        assert_eq!(run.journal.counts.quarantine, 1);
+        assert_eq!(run.lattice_shed[0], vec![5]);
+    }
+
+    /// A channel whose consumer never drains (an infinite injected stall on
+    /// a Block lane) trips the watchdog: the run ends with force-shed
+    /// rounds and WatchdogTrip events instead of hanging forever.
+    #[test]
+    fn dead_consumer_trips_the_watchdog_instead_of_hanging() {
+        let mut config = MachineConfig::new(&[3], 3);
+        config.lattices[0].rounds = 4;
+        config.lattices[0].cadence_cycles = 0;
+        config.workers = 1;
+        config.queue_capacity = 16;
+        config.fault = crate::fault::FaultPlan::default().stall_channel(0, 0, u64::MAX);
+        let set = LatticeSet::new(config.lattices.clone()).unwrap();
+        let counters = RuntimeCounters::with_topology(set.len(), config.workers);
+        let options = PipelineOptions {
+            watchdog: Duration::from_millis(20),
+            ..PipelineOptions::default()
+        };
+        let graph = PipelineGraph::new(&config, &set, options);
+        let factory = greedy_factory();
+        let run = graph.run(&factory, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.generated, 4);
+        assert_eq!(snap.decoded, 0, "the channel never delivered a round");
+        assert_eq!(snap.dropped, 4, "every round was force-shed");
+        assert_eq!(run.journal.counts.watchdog_trip, 4);
+        assert_eq!(run.fault.stalls, 1);
+        assert_eq!(run.lattice_shed[0], vec![0, 1, 2, 3]);
     }
 }

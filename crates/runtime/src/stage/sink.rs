@@ -333,7 +333,7 @@ mod tests {
                 &SyndromePacket::new(lattice_id, round, 0, &syndrome),
                 &mut record,
             );
-            let decoded = stage.decode(&record);
+            let decoded = stage.decode(&record).expect("clean record decodes");
             sink.commit(&decoded);
             let id = decoded.lattice_id as usize;
             sink.record_latency(id, 10, 20);

@@ -102,6 +102,9 @@ pub struct RuntimeCounters {
     pub stolen: AtomicU64,
     /// Decode batches executed (each covering 1..=batch_size packets).
     pub batches: AtomicU64,
+    /// Wire records a worker rejected as undecodable (failed header
+    /// validation or checksum) and quarantined instead of decoded.
+    pub quarantined: AtomicU64,
     /// One counter slice per registered lattice, indexed by lattice id.
     pub per_lattice: Vec<LatticeCounters>,
     /// One counter slice per decode worker, indexed by worker id (empty
@@ -143,6 +146,7 @@ impl RuntimeCounters {
             stall_polls: self.stall_polls.load(Ordering::Relaxed),
             stolen: self.stolen.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -179,6 +183,8 @@ pub struct CounterSnapshot {
     pub stolen: u64,
     /// Decode batches executed.
     pub batches: u64,
+    /// Wire records rejected as undecodable and quarantined by a worker.
+    pub quarantined: u64,
 }
 
 impl CounterSnapshot {
@@ -657,6 +663,10 @@ pub struct RuntimeReport {
     /// Every registered observability metric by name, read at quiescence
     /// (the machine-readable twin of [`RuntimeReport::stages`]).
     pub metrics: Vec<MetricSample>,
+    /// The run's fault ledger: injected versus observed versus recovered,
+    /// reconciled exactly (all-zero and `enabled: false` for a plan-free
+    /// run).
+    pub fault: crate::fault::FaultReport,
 }
 
 impl RuntimeReport {
@@ -767,6 +777,9 @@ impl fmt::Display for RuntimeReport {
             self.journal.counts.verdict_flip,
             self.journal.overwritten,
         )?;
+        if self.fault.enabled || self.counters.quarantined > 0 || self.fault.watchdog_trips > 0 {
+            writeln!(f, "  fault: {}", self.fault)?;
+        }
         writeln!(
             f,
             "  queue: max depth {} | final backlog {} rounds | shed {} rounds | {}",

@@ -7,7 +7,7 @@ use nisqplus_runtime::report::{report_from_str, report_to_string};
 use nisqplus_runtime::{
     ExportError, LatticeSpec, LogHistogram, MachineConfig, MetricsSnapshot, NoiseSpec,
     PipelineOptions, PushPolicy, RuntimeConfig, RuntimeEvent, RuntimeObserver, StreamingEngine,
-    ThrottledDecoder,
+    ThrottledDecoder, SCHEMA_VERSION,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -106,12 +106,16 @@ fn multi_lattice_qos_report_round_trips_through_json() {
     assert_eq!(&reloaded, report, "JSON must round-trip bit-for-bit");
 
     // A document from a future schema is refused, loudly and typed.
-    let bumped = text.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+    let bumped = text.replacen(
+        &format!("\"schema_version\": {SCHEMA_VERSION}"),
+        &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
+        1,
+    );
     assert_ne!(bumped, text, "the header must be present to bump");
     match report_from_str(&bumped) {
         Err(ExportError::Version { found, expected }) => {
-            assert_eq!(found, 2);
-            assert_eq!(expected, 1);
+            assert_eq!(found, SCHEMA_VERSION + 1);
+            assert_eq!(expected, SCHEMA_VERSION);
         }
         other => panic!("bumped schema must fail with Version, got {other:?}"),
     }

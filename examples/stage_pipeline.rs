@@ -76,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             consume: ConsumePolicy::Priority,
             channels: Some(2),
             observer: None,
+            ..PipelineOptions::default()
         },
         &factory,
     );
