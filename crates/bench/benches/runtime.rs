@@ -14,7 +14,11 @@
 //! After the timed suite, [`emit_bench_artifacts`] writes the
 //! schema-versioned perf artifacts `BENCH_streaming.json` and
 //! `BENCH_lattices.json` at the repository root (validated in CI by
-//! `cargo run --example validate_bench`).
+//! `cargo run --example validate_bench`).  Setting `NISQ_BENCH_SOAK=1`
+//! additionally runs the soak harness (`nisqplus_bench::soak`) after the
+//! suite and regenerates `BENCH_soak.json` — the same driver as
+//! `cargo run --release --example soak`, honouring the same
+//! `NISQ_SOAK_*` environment knobs.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use nisqplus_core::SfqMeshDecoder;
@@ -149,6 +153,48 @@ fn assert_obs_hot_path_is_allocation_free() {
     assert_eq!(hist.count(), 513);
     assert_eq!(journal.published(), 513);
     eprintln!("alloc-guard: obs hot path      : 0 allocations over 512 records + 512 publishes");
+}
+
+/// The streaming-residual guard: classifying a decoded round's residual
+/// (and a shed round's) sits directly on the worker and producer hot paths
+/// when residual analysis streams, so with the scratch residual buffer
+/// prepared it must not allocate either — otherwise soak-scale runs would
+/// pay a heap round-trip per round.
+fn assert_streaming_residual_classification_is_allocation_free() {
+    use nisqplus_qec::logical::{classify_both_sectors_into, classify_shed_round, ResidualTally};
+    let (lattice, syndromes) = sample_syndromes(7, 0.05, 32);
+    let model = PureDephasing::new(0.05).expect("valid probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC1A55);
+    let errors: Vec<PauliString> = (0..32).map(|_| model.sample(&lattice, &mut rng)).collect();
+    let mut decoder = UnionFindDecoder::new();
+    decoder.prepare(&lattice);
+    let mut correction = PauliString::identity(lattice.num_data());
+    let mut residual = PauliString::identity(lattice.num_data());
+    let mut tally = ResidualTally::default();
+    // Warm-up: one classify of each kind before counting starts.
+    let (x, z) = classify_both_sectors_into(&lattice, &errors[0], &correction, &mut residual);
+    tally.record_states(x, z);
+    let _ = classify_shed_round(&lattice, &errors[0]);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for (error, syndrome) in errors.iter().zip(&syndromes) {
+        for sector in Sector::ALL {
+            decoder.decode_into(&lattice, syndrome, sector, &mut correction);
+        }
+        let (x, z) = classify_both_sectors_into(&lattice, error, &correction, &mut residual);
+        tally.record_states(x, z);
+        let (sx, sz) = classify_shed_round(&lattice, error);
+        tally.record_states(sx, sz);
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "streaming residual classification performed {allocated} heap allocations over 32 \
+         decode+classify rounds; the in-stream residual path must not allocate"
+    );
+    assert_eq!(tally.rounds, 65);
+    eprintln!(
+        "alloc-guard: residual classify  : 0 allocations over 32 decoded + 32 shed classifications"
+    );
 }
 
 /// The fault plane's allocation guard: with an empty [`FaultPlan`] (the
@@ -395,8 +441,19 @@ criterion_group! {
 
 fn main() {
     assert_steady_state_decode_is_allocation_free();
+    assert_streaming_residual_classification_is_allocation_free();
     assert_obs_hot_path_is_allocation_free();
     assert_fault_hooks_are_allocation_free();
     benches();
     emit_bench_artifacts();
+    // Opt-in soak mode: drive the sustained multi-lattice soak and
+    // regenerate BENCH_soak.json as part of the bench run.
+    if std::env::var_os("NISQ_BENCH_SOAK").is_some() {
+        let (_, outcome, _) = nisqplus_bench::soak::run_and_emit();
+        eprintln!(
+            "soak: {} rounds, verdict {}",
+            outcome.report.counters.generated,
+            outcome.report.verdict()
+        );
+    }
 }

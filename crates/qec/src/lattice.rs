@@ -612,6 +612,42 @@ impl Lattice {
             }
         }
     }
+
+    /// Returns `true` if `operator` triggers no detection event in `sector`,
+    /// i.e. it commutes with every stabilizer of that sector.
+    ///
+    /// This is the allocation-free equivalent of checking that
+    /// [`Lattice::defects`] on [`Lattice::syndrome_of`]`(operator)` is empty
+    /// for one sector, with early exit on the first hot stabilizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operator` is not indexed by this lattice's data qubits.
+    #[must_use]
+    pub fn sector_is_clear(&self, operator: &PauliString, sector: Sector) -> bool {
+        assert_eq!(
+            operator.len(),
+            self.num_data(),
+            "operator acts on {} qubits but lattice has {} data qubits",
+            operator.len(),
+            self.num_data()
+        );
+        let kind = sector.ancilla_kind();
+        for (a, &k) in self.ancilla_kinds.iter().enumerate() {
+            if k != kind {
+                continue;
+            }
+            let hot = match kind {
+                QubitKind::AncillaX => operator.z_overlap_parity(&self.stabilizer_supports[a]),
+                QubitKind::AncillaZ => operator.x_overlap_parity(&self.stabilizer_supports[a]),
+                QubitKind::Data => unreachable!("ancilla list contains a data qubit"),
+            };
+            if hot {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

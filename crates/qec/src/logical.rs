@@ -102,6 +102,79 @@ pub fn classify_both_sectors(
     )
 }
 
+/// Classifies an already-composed residual operator in one sector without
+/// allocating.
+///
+/// Produces exactly the same state as [`classify_residual`] would for any
+/// `(error, correction)` pair composing to `residual`: the stabilizer check
+/// runs directly over the sector's supports ([`Lattice::sector_is_clear`])
+/// instead of materializing a [`Syndrome`](crate::syndrome::Syndrome) and a
+/// defect list, which makes it safe to call from allocation-free decode
+/// loops.
+///
+/// # Panics
+///
+/// Panics if `residual` is not indexed by the lattice's data qubits.
+#[must_use]
+pub fn classify_residual_operator(
+    lattice: &Lattice,
+    residual: &PauliString,
+    sector: Sector,
+) -> LogicalState {
+    if !lattice.sector_is_clear(residual, sector) {
+        return LogicalState::InvalidCorrection;
+    }
+    let anticommutes = match sector {
+        Sector::X => residual.z_overlap_parity(lattice.logical_x_support()),
+        Sector::Z => residual.x_overlap_parity(lattice.logical_z_support()),
+    };
+    if anticommutes {
+        LogicalState::LogicalError
+    } else {
+        LogicalState::Success
+    }
+}
+
+/// Composes `error` with `correction` into the caller-provided `residual`
+/// scratch buffer and classifies both sectors without allocating.
+///
+/// `residual`'s existing allocation is reused whenever it already holds at
+/// least `error.len()` operators, so a worker can keep one scratch string per
+/// lattice and classify round after round heap-free.  Returns the per-sector
+/// states `(x_sector, z_sector)`, byte-identical to
+/// [`classify_both_sectors`].
+///
+/// # Panics
+///
+/// Panics if `error` and `correction` act on different numbers of qubits, or
+/// are not indexed by the lattice's data qubits.
+pub fn classify_both_sectors_into(
+    lattice: &Lattice,
+    error: &PauliString,
+    correction: &PauliString,
+    residual: &mut PauliString,
+) -> (LogicalState, LogicalState) {
+    residual.copy_from(error);
+    residual.compose_with(correction);
+    (
+        classify_residual_operator(lattice, residual, Sector::X),
+        classify_residual_operator(lattice, residual, Sector::Z),
+    )
+}
+
+/// Classifies a shed (identity-corrected) round from the error alone.
+///
+/// A shed round's residual *is* its error, so no composition scratch is
+/// needed; the result matches [`classify_both_sectors`] with an identity
+/// correction, allocation-free.
+#[must_use]
+pub fn classify_shed_round(lattice: &Lattice, error: &PauliString) -> (LogicalState, LogicalState) {
+    (
+        classify_residual_operator(lattice, error, Sector::X),
+        classify_residual_operator(lattice, error, Sector::Z),
+    )
+}
+
 /// A streaming tally of per-round residual classifications.
 ///
 /// The decoding-backlog argument makes load-shedding tempting — drop a round
@@ -380,6 +453,65 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.failures(), 3);
+    }
+
+    #[test]
+    fn streaming_classification_matches_the_allocating_path() {
+        // Sweep a deterministic family of (error, correction) pairs through
+        // both the allocating classifier and the scratch-buffer one; they
+        // must agree state-for-state in both sectors.
+        let lat = lattice();
+        let n = lat.num_data();
+        let mut scratch = PauliString::identity(n);
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..200 {
+            let mut error = PauliString::identity(n);
+            let mut correction = PauliString::identity(n);
+            for _ in 0..4 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let q = (state >> 33) as usize % n;
+                let p = Pauli::ERRORS[(state >> 20) as usize % 3];
+                error.apply(q, p);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let q = (state >> 33) as usize % n;
+                let p = Pauli::ERRORS[(state >> 20) as usize % 3];
+                correction.apply(q, p);
+            }
+            let expected = classify_both_sectors(&lat, &error, &correction);
+            let streamed = classify_both_sectors_into(&lat, &error, &correction, &mut scratch);
+            assert_eq!(streamed, expected);
+            let shed_expected = classify_both_sectors(&lat, &error, &PauliString::identity(n));
+            assert_eq!(classify_shed_round(&lat, &error), shed_expected);
+        }
+    }
+
+    #[test]
+    fn operator_classification_detects_each_state() {
+        let lat = lattice();
+        let q = lat.cell(Coord::new(2, 2)).index;
+        let detectable = PauliString::from_sparse(lat.num_data(), &[q], Pauli::Z);
+        assert_eq!(
+            classify_residual_operator(&lat, &detectable, Sector::X),
+            LogicalState::InvalidCorrection
+        );
+        let col: Vec<usize> = (0..lat.size())
+            .step_by(2)
+            .map(|r| lat.cell(Coord::new(r, 4)).index)
+            .collect();
+        let logical = PauliString::from_sparse(lat.num_data(), &col, Pauli::Z);
+        assert_eq!(
+            classify_residual_operator(&lat, &logical, Sector::X),
+            LogicalState::LogicalError
+        );
+        let identity = PauliString::identity(lat.num_data());
+        assert_eq!(
+            classify_residual_operator(&lat, &identity, Sector::X),
+            LogicalState::Success
+        );
     }
 
     #[test]

@@ -323,6 +323,78 @@ impl PauliString {
     pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
         self.ops.iter().copied()
     }
+
+    /// Overwrites this string with the contents of `other`, reusing the
+    /// existing allocation when it is large enough.
+    ///
+    /// This is the copy analogue of [`PauliString::fill_identity`] for
+    /// allocation-free hot loops.
+    pub fn copy_from(&mut self, other: &PauliString) {
+        self.ops.clear();
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// The number of `u64` words [`PauliString::pack_into`] writes for a
+    /// string on `len` qubits: two bitplanes (X components, then Z
+    /// components) of `ceil(len / 64)` words each.
+    #[must_use]
+    pub fn packed_words(len: usize) -> usize {
+        2 * len.div_ceil(64)
+    }
+
+    /// Packs the string into `out` as two bitplanes: X-component bits first,
+    /// then Z-component bits, each plane `ceil(len / 64)` words wide with
+    /// qubit `i` at bit `i % 64` of word `i / 64`.
+    ///
+    /// Exactly [`PauliString::packed_words`]`(self.len())` words are written;
+    /// any extra words in `out` are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `packed_words(self.len())`.
+    pub fn pack_into(&self, out: &mut [u64]) {
+        let plane = self.ops.len().div_ceil(64);
+        assert!(
+            out.len() >= 2 * plane,
+            "need {} words to pack {} qubits, got {}",
+            2 * plane,
+            self.ops.len(),
+            out.len()
+        );
+        out[..2 * plane].fill(0);
+        for (i, p) in self.ops.iter().enumerate() {
+            if p.has_x_component() {
+                out[i / 64] |= 1 << (i % 64);
+            }
+            if p.has_z_component() {
+                out[plane + i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+
+    /// Unpacks two bitplanes written by [`PauliString::pack_into`] into this
+    /// string, keeping its current length.  Bits beyond `self.len()` in each
+    /// plane are ignored, so round-tripping through zero-padded buffers is
+    /// lossless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `packed_words(self.len())`.
+    pub fn unpack_from(&mut self, words: &[u64]) {
+        let plane = self.ops.len().div_ceil(64);
+        assert!(
+            words.len() >= 2 * plane,
+            "need {} words to unpack {} qubits, got {}",
+            2 * plane,
+            self.ops.len(),
+            words.len()
+        );
+        for (i, op) in self.ops.iter_mut().enumerate() {
+            let x = (words[i / 64] >> (i % 64)) & 1 == 1;
+            let z = (words[plane + i / 64] >> (i % 64)) & 1 == 1;
+            *op = Pauli::from_components(x, z);
+        }
+    }
 }
 
 impl Index<usize> for PauliString {
@@ -493,5 +565,60 @@ mod tests {
         let s: PauliString = [Pauli::X, Pauli::I, Pauli::Z].into_iter().collect();
         assert_eq!(s.len(), 3);
         assert_eq!(s.weight(), 2);
+    }
+
+    #[test]
+    fn copy_from_reuses_the_buffer() {
+        let src = PauliString::from_sparse(5, &[1, 3], Pauli::Y);
+        let mut dst = PauliString::identity(5);
+        let base = dst.ops.as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.ops.as_ptr(), base, "copy_from must not reallocate");
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_every_pauli() {
+        let mut s = PauliString::identity(130);
+        for (i, p) in (0..130).zip(Pauli::ALL.iter().cycle()) {
+            s.set(i, *p);
+        }
+        let mut words = vec![u64::MAX; PauliString::packed_words(130)];
+        s.pack_into(&mut words);
+        let mut out = PauliString::identity(130);
+        out.unpack_from(&words);
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn packed_words_covers_both_planes() {
+        assert_eq!(PauliString::packed_words(0), 0);
+        assert_eq!(PauliString::packed_words(1), 2);
+        assert_eq!(PauliString::packed_words(64), 2);
+        assert_eq!(PauliString::packed_words(65), 4);
+    }
+
+    #[test]
+    fn pack_ignores_trailing_capacity_and_unpack_ignores_padding_bits() {
+        let s = PauliString::from_sparse(3, &[0, 2], Pauli::X);
+        let mut words = vec![0u64; PauliString::packed_words(3) + 2];
+        words[PauliString::packed_words(3)] = 0xdead;
+        s.pack_into(&mut words);
+        assert_eq!(words[PauliString::packed_words(3)], 0xdead);
+        // Pollute padding bits above qubit 2 in both planes: unpack must not see them.
+        let mut polluted = words.clone();
+        polluted[0] |= !0b111;
+        polluted[1] |= !0b111;
+        let mut out = PauliString::identity(3);
+        out.unpack_from(&polluted);
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn pack_into_short_buffer_panics() {
+        let s = PauliString::identity(65);
+        let mut words = vec![0u64; 2];
+        s.pack_into(&mut words);
     }
 }

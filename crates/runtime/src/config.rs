@@ -27,6 +27,24 @@ pub enum PushPolicy {
     Drop,
 }
 
+/// How residual classification runs when
+/// [`MachineConfig::analyze_residuals`] is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ResidualMode {
+    /// Classify residuals *in stream*: packets carry the round's seeded
+    /// error ([`crate::packet::PacketCodec::with_error_payload`]), workers
+    /// classify immediately after decoding, and the producer classifies shed
+    /// rounds as it sheds them.  Memory stays O(lattices) no matter how many
+    /// rounds stream — the soak-scale default.
+    #[default]
+    Streaming,
+    /// The original end-of-run oracle: record every correction, then replay
+    /// each lattice's seeded error stream and classify round by round.
+    /// Memory grows O(rounds); kept as the equivalence reference the
+    /// streaming path is tested against.
+    Replay,
+}
+
 /// Configuration of the live observability plane
 /// ([`crate::obs::ObsPlane`]): snapshot cadence, journal capacity, and the
 /// optional end-of-run report export.
@@ -125,12 +143,29 @@ pub struct RuntimeConfig {
     /// returns them sorted by `(lattice, round)` — the hook the
     /// stream-versus-batch equivalence tests use.
     pub record_corrections: bool,
-    /// When `true`, the engine replays the seeded error stream at the end of
-    /// the run and classifies every round's residual (shed rounds count as
-    /// identity corrections), filling
+    /// When `true`, every round's residual is classified (shed rounds count
+    /// as identity corrections), filling
     /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual)
-    /// — the measured logical cost of shedding versus backpressure.
+    /// — the measured logical cost of shedding versus backpressure.  *How*
+    /// the classification runs is [`RuntimeConfig::residual_mode`].
     pub analyze_residuals: bool,
+    /// Streaming (in-worker, bounded-memory) versus replay (end-of-run
+    /// oracle) residual classification; ignored unless
+    /// [`RuntimeConfig::analyze_residuals`] is on.
+    pub residual_mode: ResidualMode,
+    /// When set, each worker keeps at most this many recorded corrections as
+    /// a ring of the *most recent* rounds instead of the full history —
+    /// the soak-scale memory bound for
+    /// [`RuntimeConfig::record_corrections`].  `None` keeps every correction
+    /// (required by [`ResidualMode::Replay`]).
+    pub correction_cap: Option<usize>,
+    /// When `true` (the default), the producer keeps the exact round indices
+    /// it shed per lattice
+    /// ([`PipelineRun::lattice_shed`](crate::stage::PipelineRun::lattice_shed)).
+    /// Soak runs turn this off to stay O(1) per lattice under sustained
+    /// shedding; the shed *counters* always run.  Required by
+    /// [`ResidualMode::Replay`], which replays shed rounds by index.
+    pub track_shed_rounds: bool,
 }
 
 impl RuntimeConfig {
@@ -162,6 +197,9 @@ impl RuntimeConfig {
             max_depth_samples: 4096,
             record_corrections: false,
             analyze_residuals: false,
+            residual_mode: ResidualMode::Streaming,
+            correction_cap: None,
+            track_shed_rounds: true,
         }
     }
 
@@ -196,6 +234,9 @@ impl From<RuntimeConfig> for MachineConfig {
             max_depth_samples: config.max_depth_samples,
             record_corrections: config.record_corrections,
             analyze_residuals: config.analyze_residuals,
+            residual_mode: config.residual_mode,
+            correction_cap: config.correction_cap,
+            track_shed_rounds: config.track_shed_rounds,
             obs: ObsConfig::default(),
             fault: FaultPlan::default(),
         }
@@ -230,11 +271,19 @@ pub struct MachineConfig {
     /// When `true`, per-round corrections are kept, sorted by
     /// `(lattice, round)`.
     pub record_corrections: bool,
-    /// When `true`, the engine replays every lattice's seeded error stream
-    /// at the end of the run and classifies each round's residual (shed
-    /// rounds count as identity corrections), filling
+    /// When `true`, every round's residual is classified (shed rounds count
+    /// as identity corrections), filling
     /// [`LatticeReport::residual`](crate::telemetry::LatticeReport::residual).
     pub analyze_residuals: bool,
+    /// Streaming (in-worker, bounded-memory) versus replay (end-of-run
+    /// oracle) residual classification (see [`ResidualMode`]).
+    pub residual_mode: ResidualMode,
+    /// Ring bound on recorded corrections per worker (see
+    /// [`RuntimeConfig::correction_cap`]).
+    pub correction_cap: Option<usize>,
+    /// Whether the producer keeps exact shed round indices (see
+    /// [`RuntimeConfig::track_shed_rounds`]).
+    pub track_shed_rounds: bool,
     /// The live observability plane: snapshot cadence, journal capacity,
     /// optional report export.
     pub obs: ObsConfig,
@@ -279,9 +328,28 @@ impl MachineConfig {
             max_depth_samples: template.max_depth_samples,
             record_corrections: template.record_corrections,
             analyze_residuals: template.analyze_residuals,
+            residual_mode: template.residual_mode,
+            correction_cap: template.correction_cap,
+            track_shed_rounds: template.track_shed_rounds,
             obs: ObsConfig::default(),
             fault: FaultPlan::default(),
         }
+    }
+
+    /// `true` when this run classifies residuals in stream: packets carry
+    /// errors, workers classify after decoding, the producer classifies shed
+    /// rounds.
+    #[must_use]
+    pub fn streams_residuals(&self) -> bool {
+        self.analyze_residuals && self.residual_mode == ResidualMode::Streaming
+    }
+
+    /// `true` when this run classifies residuals with the end-of-run replay
+    /// oracle (which needs the full correction history and exact shed round
+    /// indices).
+    #[must_use]
+    pub fn replays_residuals(&self) -> bool {
+        self.analyze_residuals && self.residual_mode == ResidualMode::Replay
     }
 
     /// The push policy `spec` runs under: its own override, or this

@@ -21,7 +21,11 @@
 //! ([`BacklogModel`](nisqplus_system::backlog::BacklogModel)), one
 //! [`StageReport`](crate::stage::StageReport) per pipeline stage, and —
 //! when [`MachineConfig::analyze_residuals`] is set — the measured logical
-//! cost of shedding, by replaying each lattice's seeded error stream.
+//! cost of shedding: classified in-stream under
+//! [`ResidualMode::Streaming`](crate::config::ResidualMode) (workers tally
+//! decoded rounds as they commit, the producer tallies shed rounds as it
+//! sheds), or by replaying each lattice's seeded error stream at end of run
+//! under [`ResidualMode::Replay`](crate::config::ResidualMode).
 //! [`StreamingEngine::run_with`] accepts custom
 //! [`PipelineOptions`] (placement, consumption discipline, channel fan-out)
 //! for experiments the default wiring can't express, e.g. strict-priority
@@ -33,16 +37,18 @@
 //! the residual analysis.
 
 use crate::frame::ShardedPauliFrame;
-use crate::lattice_set::{LatticeSet, LatticeSpec};
+use crate::lattice_set::LatticeSet;
 use crate::obs::HistogramSnapshot;
-use crate::source::{InterleavedSource, SyndromeSource};
+use crate::residual::{analyze_lattice_residuals, streaming_residual_report};
+use crate::source::InterleavedSource;
 use crate::stage::{PipelineGraph, PipelineOptions, PipelineRun};
 use crate::telemetry::{
-    LatencyProfile, LatticeDepthSample, LatticeReport, ResidualReport, RuntimeCounters,
-    RuntimeReport, WorkerCounters,
+    LatencyProfile, LatticeDepthSample, LatticeReport, RuntimeCounters, RuntimeReport,
+    WorkerCounters,
 };
 use nisqplus_decoders::traits::DecoderFactory;
 use nisqplus_qec::frame::PauliFrame;
+use nisqplus_qec::logical::ResidualTally;
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::QecError;
 use nisqplus_system::backlog::{BacklogComparison, MeasuredBacklog};
@@ -171,6 +177,20 @@ impl StreamingEngine {
             config.batch_size > 0,
             "batch window needs at least one round"
         );
+        if config.replays_residuals() {
+            // The replay oracle walks the full correction history and the
+            // exact shed-round lists; both memory bounds must stay off.
+            assert!(
+                config.correction_cap.is_none(),
+                "replay residual analysis needs the full correction history \
+                 (correction_cap must be None)"
+            );
+            assert!(
+                config.track_shed_rounds,
+                "replay residual analysis needs the exact shed rounds \
+                 (track_shed_rounds must stay on)"
+            );
+        }
         let set = Arc::new(LatticeSet::new(config.lattices.clone())?);
         // Surface configuration errors now rather than inside the source
         // stage: building a throwaway source validates every noise spec,
@@ -247,6 +267,7 @@ impl StreamingEngine {
             final_backlog,
             lattice_stats,
             lattice_shed,
+            shed_tallies,
             stage_reports,
             elapsed_s,
             snapshots,
@@ -278,12 +299,17 @@ impl StreamingEngine {
         let mut per_lattice_total: Vec<HistogramSnapshot> =
             vec![HistogramSnapshot::empty(); set.len()];
         let mut per_lattice_shards: Vec<Vec<PauliFrame>> = vec![Vec::new(); set.len()];
+        // The streaming residual path's decoded-round tallies, merged across
+        // workers per lattice (absorb is an order-independent integer sum,
+        // so worker interleaving cannot change the result).
+        let mut decoded_tallies: Vec<ResidualTally> = vec![ResidualTally::default(); set.len()];
         let mut corrections = Vec::new();
         for output in worker_outputs {
             corrections.extend(output.corrections);
             for (lattice_id, lattice_output) in output.per_lattice.into_iter().enumerate() {
                 per_lattice_decode[lattice_id].merge(&lattice_output.decode_hist);
                 per_lattice_total[lattice_id].merge(&lattice_output.total_hist);
+                decoded_tallies[lattice_id].absorb(&lattice_output.residuals);
                 per_lattice_shards[lattice_id].push(lattice_output.frame);
             }
         }
@@ -300,7 +326,11 @@ impl StreamingEngine {
             let stats = &lattice_stats[lattice_id];
             let snapshot = counters.per_lattice[lattice_id].snapshot();
             let shed_rounds = &lattice_shed[lattice_id];
-            debug_assert_eq!(shed_rounds.len() as u64, snapshot.dropped);
+            if config.track_shed_rounds {
+                debug_assert_eq!(shed_rounds.len() as u64, snapshot.dropped);
+            } else {
+                debug_assert!(shed_rounds.is_empty(), "untracked shed lists stay empty");
+            }
             let inter_arrival_ns = stats.gen_elapsed_ns / spec.rounds as f64;
             let measured = MeasuredBacklog {
                 rounds: spec.rounds,
@@ -317,7 +347,15 @@ impl StreamingEngine {
                 inter_arrival_ns,
             };
             let comparison = BacklogComparison::against_model(&measured);
-            let residual = if config.analyze_residuals {
+            let residual = if config.streams_residuals() {
+                // Already classified in-stream: the workers tallied decoded
+                // rounds, the producer tallied shed rounds — nothing to
+                // replay, nothing O(rounds) to walk.
+                Some(streaming_residual_report(
+                    decoded_tallies[lattice_id],
+                    shed_tallies[lattice_id],
+                ))
+            } else if config.replays_residuals() {
                 Some(analyze_lattice_residuals(
                     lattice_id,
                     spec,
@@ -371,10 +409,13 @@ impl StreamingEngine {
             // the frame's recorded-cycle count owns up to every generated
             // round, so `total_recorded == generated` under shedding too.
             let mut shards = std::mem::take(&mut per_lattice_shards[lattice_id]);
-            if !shed_rounds.is_empty() {
+            // Counted off the dropped counter, not the shed-round list: the
+            // books must balance even when `track_shed_rounds` elides the
+            // per-round indices.
+            if snapshot.dropped > 0 {
                 let mut shed_shard = PauliFrame::new(lattice.num_data());
                 let identity = PauliString::identity(lattice.num_data());
-                for _ in shed_rounds {
+                for _ in 0..snapshot.dropped {
                     shed_shard.record(&identity);
                 }
                 shards.push(shed_shard);
@@ -466,56 +507,6 @@ impl StreamingEngine {
         }
         outcome
     }
-}
-
-/// The end-of-run drop-policy error analysis for one lattice: replay the
-/// lattice's seeded error stream and classify every round's residual against
-/// the correction that was actually applied — the decoder's output for
-/// decoded rounds, identity for shed rounds.
-///
-/// `corrections` is the run's full `(lattice, round)`-sorted correction list
-/// and `shed_rounds` the source's record of this lattice's dropped rounds
-/// (including quarantined and watchdog-shed rounds); together they cover
-/// every generated round exactly once.  A scheduled burst overlay is part of
-/// the stream's replayable identity, so the replay applies the same one.
-fn analyze_lattice_residuals(
-    lattice_id: usize,
-    spec: &LatticeSpec,
-    lattice: &Arc<nisqplus_qec::lattice::Lattice>,
-    corrections: &[RoundCorrection],
-    shed_rounds: &[u64],
-    burst: Option<crate::source::BurstOverlay>,
-) -> ResidualReport {
-    let mut source = SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)
-        .expect("noise validated in StreamingEngine::with_machine");
-    if let Some(overlay) = burst {
-        source = source
-            .with_burst(spec.noise, overlay)
-            .expect("burst overlay validated in StreamingEngine::with_machine");
-    }
-    let identity = PauliString::identity(lattice.num_data());
-    let mut report = ResidualReport::default();
-    let mut decoded = corrections
-        .iter()
-        .filter(|c| c.lattice_id as usize == lattice_id)
-        .peekable();
-    let mut shed = shed_rounds.iter().peekable();
-    for round in 0..spec.rounds {
-        let (error, _) = source.next_error_and_syndrome();
-        if decoded.peek().is_some_and(|c| c.round == round) {
-            let correction = &decoded.next().expect("peeked").correction;
-            report.decoded.record(lattice, &error, correction);
-        } else {
-            debug_assert_eq!(
-                shed.peek().copied().copied(),
-                Some(round),
-                "round neither decoded nor shed"
-            );
-            shed.next();
-            report.shed.record(lattice, &error, &identity);
-        }
-    }
-    report
 }
 
 #[cfg(test)]

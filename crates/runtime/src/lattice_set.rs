@@ -335,6 +335,14 @@ impl LatticeSet {
         self.lattices.iter().map(|l| l.num_ancillas()).collect()
     }
 
+    /// The data-qubit count of each lattice, in id order — what sizes the
+    /// packed-error payload of an error-carrying
+    /// [`PacketCodec`](crate::packet::PacketCodec).
+    #[must_use]
+    pub fn data_bits(&self) -> Vec<usize> {
+        self.lattices.iter().map(|l| l.num_data()).collect()
+    }
+
     /// The largest ancilla count across the set — what sizes the ring records.
     #[must_use]
     pub fn max_ancillas(&self) -> usize {

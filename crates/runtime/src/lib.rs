@@ -113,12 +113,13 @@ pub mod obs;
 pub mod packet;
 pub mod queue;
 pub mod report;
+mod residual;
 pub mod source;
 pub mod stage;
 pub mod telemetry;
 pub mod throttle;
 
-pub use config::ObsConfig;
+pub use config::{ObsConfig, ResidualMode};
 pub use engine::{
     MachineConfig, PushPolicy, RoundCorrection, RuntimeConfig, RuntimeOutcome, StreamingEngine,
 };

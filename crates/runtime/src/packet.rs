@@ -21,7 +21,19 @@
 //! timestamp or the payload is invisible to them — so the checksum is what
 //! turns *any* in-flight corruption into a typed [`PacketError::Corrupted`]
 //! instead of a silently wrong decode.
+//!
+//! Format version 4 adds an *opt-in* error payload: a codec built with
+//! [`PacketCodec::with_error_payload`] appends the round's seeded physical
+//! error — a [`PauliString`] packed as two bitplanes (X components, then Z
+//! components), sized for the largest lattice's data-qubit count — between
+//! the syndrome payload and the checksum trailer.  This is what lets workers
+//! classify residuals *in stream* instead of replaying every round at the end
+//! of a run.  Whether records carry errors is fixed at codec construction for
+//! the whole run (both sides are built from the same
+//! [`LatticeSet`](crate::lattice_set::LatticeSet)); the checksum covers the
+//! extra words automatically.
 
+use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::{PackedSyndrome, Syndrome};
 use std::fmt;
 
@@ -133,6 +145,12 @@ pub struct PacketCodec {
     lattice_bits: Vec<u32>,
     /// Payload words needed by the largest lattice.
     max_syndrome_words: usize,
+    /// Data-qubit count per lattice id when records carry the round's seeded
+    /// error as a packed Pauli payload; empty for errorless codecs.
+    lattice_data: Vec<u32>,
+    /// Error-payload words (two bitplanes sized for the largest lattice's
+    /// data-qubit count); `0` for errorless codecs.
+    error_words: usize,
 }
 
 /// Number of header words preceding the syndrome payload
@@ -164,8 +182,11 @@ impl PacketCodec {
     /// two-word header; version 2 added the lattice-id/ancilla header fields;
     /// version 3 appends the integrity-checksum trailer word, so a v2
     /// receiver cannot mistake a v3 record for its own format (and vice
-    /// versa: the version field is checked before anything else).
-    pub const VERSION: u16 = 3;
+    /// versa: the version field is checked before anything else); version 4
+    /// introduces the opt-in packed-error payload between syndrome and
+    /// trailer ([`PacketCodec::with_error_payload`]), so a pre-v4 receiver
+    /// can never misread error bitplanes as syndrome padding.
+    pub const VERSION: u16 = 4;
 
     /// Creates a single-lattice codec: lattice id 0 with `syndrome_bits`
     /// ancilla bits.
@@ -191,7 +212,62 @@ impl PacketCodec {
         PacketCodec {
             lattice_bits,
             max_syndrome_words: PackedSyndrome::words_for(max_bits),
+            lattice_data: Vec::new(),
+            error_words: 0,
         }
+    }
+
+    /// Creates a codec whose records additionally carry the round's seeded
+    /// physical error: `bits[id]` is the ancilla count and `data_qubits[id]`
+    /// the data-qubit count of the lattice registered under `id`.
+    ///
+    /// The error payload is two bitplanes sized for the largest lattice
+    /// ([`PauliString::packed_words`]); smaller lattices' planes are
+    /// zero-padded, like the syndrome payload.  Records from this codec must
+    /// be encoded with [`PacketCodec::encode_with_error`] and their error
+    /// read back with [`PacketCodec::decode_error_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or are empty.
+    #[must_use]
+    pub fn with_error_payload(bits: &[usize], data_qubits: &[usize]) -> Self {
+        assert_eq!(
+            bits.len(),
+            data_qubits.len(),
+            "every lattice needs both an ancilla and a data-qubit count"
+        );
+        let mut codec = Self::for_lattice_bits(bits);
+        codec.lattice_data = data_qubits
+            .iter()
+            .map(|&d| u32::try_from(d).expect("data-qubit count fits u32"))
+            .collect();
+        let max_data = *codec.lattice_data.iter().max().expect("non-empty") as usize;
+        codec.error_words = PauliString::packed_words(max_data);
+        codec
+    }
+
+    /// Returns `true` if records from this codec carry a packed error
+    /// payload ([`PacketCodec::with_error_payload`]).
+    #[must_use]
+    pub fn carries_errors(&self) -> bool {
+        !self.lattice_data.is_empty()
+    }
+
+    /// The data-qubit count registered for `lattice_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this codec carries no error payload or `lattice_id` is out
+    /// of range.
+    #[must_use]
+    pub fn data_bits(&self, lattice_id: u32) -> usize {
+        self.lattice_data[lattice_id as usize] as usize
+    }
+
+    /// Word offset of the error payload within a record.
+    fn error_offset(&self) -> usize {
+        HEADER_WORDS + self.max_syndrome_words
     }
 
     /// The number of registered lattices.
@@ -211,10 +287,11 @@ impl PacketCodec {
     }
 
     /// The fixed record size in `u64` words (header plus the largest
-    /// lattice's payload plus the checksum trailer).
+    /// lattice's syndrome payload, plus the error payload when this codec
+    /// carries one, plus the checksum trailer).
     #[must_use]
     pub fn words_per_packet(&self) -> usize {
-        HEADER_WORDS + self.max_syndrome_words + TRAILER_WORDS
+        HEADER_WORDS + self.max_syndrome_words + self.error_words + TRAILER_WORDS
     }
 
     /// Packs the version, lattice id and bit length into header word 0.
@@ -308,14 +385,11 @@ impl PacketCodec {
         Ok(lattice_id)
     }
 
-    /// Flattens a packet into `out`, zero-padding past the packet's payload.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `out` is not exactly [`PacketCodec::words_per_packet`] words
-    /// long, if the packet's lattice id is not registered, or if its syndrome
-    /// length does not match the registered lattice.
-    pub fn encode(&self, packet: &SyndromePacket, out: &mut [u64]) {
+    /// Writes the header and syndrome payload of `packet` into `out` and
+    /// returns the index one past the live syndrome words (the shared front
+    /// half of [`PacketCodec::encode`] and
+    /// [`PacketCodec::encode_with_error`]).
+    fn write_prefix(&self, packet: &SyndromePacket, out: &mut [u64]) -> usize {
         assert_eq!(out.len(), self.words_per_packet(), "record size mismatch");
         let registered = self
             .lattice_bits
@@ -334,9 +408,92 @@ impl PacketCodec {
         out[2] = packet.emitted_ns;
         let payload = packet.syndrome.words();
         out[HEADER_WORDS..HEADER_WORDS + payload.len()].copy_from_slice(payload);
+        HEADER_WORDS + payload.len()
+    }
+
+    /// Flattens a packet into `out`, zero-padding past the packet's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly [`PacketCodec::words_per_packet`] words
+    /// long, if the packet's lattice id is not registered, if its syndrome
+    /// length does not match the registered lattice, or if this codec was
+    /// built with [`PacketCodec::with_error_payload`] (error-carrying records
+    /// must state their error explicitly via
+    /// [`PacketCodec::encode_with_error`]).
+    pub fn encode(&self, packet: &SyndromePacket, out: &mut [u64]) {
+        assert!(
+            !self.carries_errors(),
+            "codec carries error payloads; encode records with encode_with_error"
+        );
+        let end = self.write_prefix(packet, out);
         let body = out.len() - TRAILER_WORDS;
-        out[HEADER_WORDS + payload.len()..body].fill(0);
+        out[end..body].fill(0);
         out[body] = record_checksum(&out[..body]);
+    }
+
+    /// Flattens a packet plus the round's seeded error into `out`
+    /// (error-carrying codecs only).  The error is packed as two bitplanes
+    /// after the syndrome payload; the checksum trailer covers it like every
+    /// other word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on everything [`PacketCodec::encode`] rejects, plus if this
+    /// codec carries no error payload or `error`'s length does not match the
+    /// lattice's registered data-qubit count.
+    pub fn encode_with_error(&self, packet: &SyndromePacket, error: &PauliString, out: &mut [u64]) {
+        assert!(
+            self.carries_errors(),
+            "codec carries no error payload; use encode"
+        );
+        let end = self.write_prefix(packet, out);
+        let err_off = self.error_offset();
+        out[end..err_off].fill(0);
+        let data = self.data_bits(packet.lattice_id);
+        assert_eq!(
+            error.len(),
+            data,
+            "error acts on {} qubits, lattice {} is registered with {} data qubits",
+            error.len(),
+            packet.lattice_id,
+            data
+        );
+        let packed = PauliString::packed_words(data);
+        error.pack_into(&mut out[err_off..err_off + packed]);
+        let body = out.len() - TRAILER_WORDS;
+        out[err_off + packed..body].fill(0);
+        out[body] = record_checksum(&out[..body]);
+    }
+
+    /// Unpacks the error payload of an already-verified record into `error`
+    /// without allocating — the companion of
+    /// [`PacketCodec::try_decode_into`] on the worker hot path.  `lattice_id`
+    /// must be the id returned by the verifying decode (the raw peeked id is
+    /// not trustworthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this codec carries no error payload, if `words` is not
+    /// exactly [`PacketCodec::words_per_packet`] words long, or if `error`'s
+    /// length does not match the lattice's registered data-qubit count.
+    pub fn decode_error_into(&self, words: &[u64], lattice_id: u32, error: &mut PauliString) {
+        assert!(
+            self.carries_errors(),
+            "codec carries no error payload to decode"
+        );
+        assert_eq!(words.len(), self.words_per_packet(), "record size mismatch");
+        let data = self.data_bits(lattice_id);
+        assert_eq!(
+            error.len(),
+            data,
+            "error buffer holds {} qubits, lattice {lattice_id} needs {}",
+            error.len(),
+            data
+        );
+        let off = self.error_offset();
+        let packed = PauliString::packed_words(data);
+        error.unpack_from(&words[off..off + packed]);
     }
 
     /// Restores a packet from a record, allocating the syndrome.
@@ -666,5 +823,88 @@ mod tests {
         assert!(err.to_string().contains("corrupted in flight"));
         let mut buffer = SyndromePacket::new(0, 0, 0, &Syndrome::new(40));
         assert_eq!(codec.try_decode_into(&record, &mut buffer), Err(err));
+    }
+
+    use nisqplus_qec::pauli::Pauli;
+
+    #[test]
+    fn error_payload_round_trips_across_mixed_lattices() {
+        // d=3 (8 ancillas, 13 data) and d=5 (40 ancillas, 41 data): records
+        // are sized for the larger lattice in both payloads.
+        let codec = PacketCodec::with_error_payload(&[8, 40], &[13, 41]);
+        assert!(codec.carries_errors());
+        assert_eq!(codec.data_bits(0), 13);
+        // 3 header + 1 syndrome + 2 error bitplanes + 1 trailer.
+        assert_eq!(codec.words_per_packet(), 3 + 1 + 2 + 1);
+        let mut record = vec![u64::MAX; codec.words_per_packet()];
+        for (id, bits, data) in [(0u32, 8usize, 13usize), (1, 40, 41)] {
+            let packet = SyndromePacket::new(id, 11, 110, &Syndrome::from_hot(bits, &[3]));
+            let mut error = PauliString::identity(data);
+            error.set(0, Pauli::Y);
+            error.set(data - 1, Pauli::Z);
+            codec.encode_with_error(&packet, &error, &mut record);
+            let mut buffer = SyndromePacket::new(id, 0, 0, &Syndrome::new(bits));
+            let lattice_id = codec.verify(&record).expect("valid record");
+            codec.try_decode_into(&record, &mut buffer).unwrap();
+            assert_eq!(buffer, packet);
+            let mut restored = PauliString::identity(data);
+            codec.decode_error_into(&record, lattice_id, &mut restored);
+            assert_eq!(restored, error);
+        }
+    }
+
+    #[test]
+    fn errorless_codecs_keep_their_record_size() {
+        // The error payload is strictly opt-in: the classic constructors
+        // produce byte-compatible sizes with the pre-v4 format.
+        assert_eq!(PacketCodec::new(40).words_per_packet(), 5);
+        assert!(!PacketCodec::new(40).carries_errors());
+        assert_eq!(
+            PacketCodec::with_error_payload(&[40], &[41]).words_per_packet(),
+            5 + 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "encode records with encode_with_error")]
+    fn error_carrying_codec_rejects_plain_encode() {
+        let codec = PacketCodec::with_error_payload(&[8], &[13]);
+        let packet = SyndromePacket::new(0, 0, 0, &Syndrome::new(8));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+    }
+
+    #[test]
+    #[should_panic(expected = "use encode")]
+    fn errorless_codec_rejects_encode_with_error() {
+        let codec = PacketCodec::new(8);
+        let packet = SyndromePacket::new(0, 0, 0, &Syndrome::new(8));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode_with_error(&packet, &PauliString::identity(13), &mut record);
+    }
+
+    #[test]
+    #[should_panic(expected = "data qubits")]
+    fn error_length_mismatch_is_rejected() {
+        let codec = PacketCodec::with_error_payload(&[8], &[13]);
+        let packet = SyndromePacket::new(0, 0, 0, &Syndrome::new(8));
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode_with_error(&packet, &PauliString::identity(12), &mut record);
+    }
+
+    #[test]
+    fn error_payload_corruption_is_detected() {
+        let codec = PacketCodec::with_error_payload(&[40], &[41]);
+        let packet = SyndromePacket::new(0, 3, 30, &Syndrome::from_hot(40, &[7]));
+        let error = PauliString::from_sparse(41, &[5, 9], Pauli::X);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode_with_error(&packet, &error, &mut record);
+        assert!(codec.verify(&record).is_ok());
+        // Flip a bit inside the error bitplanes: the checksum must catch it.
+        record[4] ^= 1 << 9;
+        assert!(matches!(
+            codec.verify(&record),
+            Err(PacketError::Corrupted { .. })
+        ));
     }
 }

@@ -1,0 +1,94 @@
+//! The residual-classification paths: streaming assembly and the replay
+//! oracle.
+//!
+//! Two ways to price a run's logical cost, selected by
+//! [`ResidualMode`](crate::config::ResidualMode):
+//!
+//! - **Streaming** (the default): each round's seeded error rides the wire
+//!   with its syndrome, the decoding worker classifies the residual the
+//!   moment the correction is committed, and the producer classifies shed
+//!   rounds as it sheds them.  Memory is O(lattices), not O(rounds) — no
+//!   correction history accumulates.  [`streaming_residual_report`] merely
+//!   folds the per-worker and producer tallies together.
+//! - **Replay** (the oracle): the classic end-of-run analysis.
+//!   [`analyze_lattice_residuals`] replays each lattice's seeded error
+//!   stream against the recorded correction history, so it needs every
+//!   correction kept ([`MachineConfig::correction_cap`] `None`) and the
+//!   exact shed-round lists ([`MachineConfig::track_shed_rounds`] on).
+//!
+//! [`ResidualTally::absorb`] is an order-independent integer sum, so the
+//! streaming merge is byte-identical to the replay classification of the
+//! same rounds — pinned by the equivalence tests in
+//! `tests/streaming_runtime.rs`.
+//!
+//! [`MachineConfig::correction_cap`]: crate::config::MachineConfig::correction_cap
+//! [`MachineConfig::track_shed_rounds`]: crate::config::MachineConfig::track_shed_rounds
+
+use crate::engine::RoundCorrection;
+use crate::lattice_set::LatticeSpec;
+use crate::source::SyndromeSource;
+use crate::telemetry::ResidualReport;
+use nisqplus_qec::logical::ResidualTally;
+use nisqplus_qec::pauli::PauliString;
+use std::sync::Arc;
+
+/// Folds the streaming path's tallies into one lattice's
+/// [`ResidualReport`]: the workers' merged decoded-round tallies plus the
+/// producer's shed-round tally.
+#[must_use]
+pub(crate) fn streaming_residual_report(
+    decoded: ResidualTally,
+    shed: ResidualTally,
+) -> ResidualReport {
+    ResidualReport { decoded, shed }
+}
+
+/// The end-of-run drop-policy error analysis for one lattice: replay the
+/// lattice's seeded error stream and classify every round's residual against
+/// the correction that was actually applied — the decoder's output for
+/// decoded rounds, identity for shed rounds.
+///
+/// `corrections` is the run's full `(lattice, round)`-sorted correction list
+/// and `shed_rounds` the source's record of this lattice's dropped rounds
+/// (including quarantined and watchdog-shed rounds); together they cover
+/// every generated round exactly once.  A scheduled burst overlay is part of
+/// the stream's replayable identity, so the replay applies the same one.
+pub(crate) fn analyze_lattice_residuals(
+    lattice_id: usize,
+    spec: &LatticeSpec,
+    lattice: &Arc<nisqplus_qec::lattice::Lattice>,
+    corrections: &[RoundCorrection],
+    shed_rounds: &[u64],
+    burst: Option<crate::source::BurstOverlay>,
+) -> ResidualReport {
+    let mut source = SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)
+        .expect("noise validated in StreamingEngine::with_machine");
+    if let Some(overlay) = burst {
+        source = source
+            .with_burst(spec.noise, overlay)
+            .expect("burst overlay validated in StreamingEngine::with_machine");
+    }
+    let identity = PauliString::identity(lattice.num_data());
+    let mut report = ResidualReport::default();
+    let mut decoded = corrections
+        .iter()
+        .filter(|c| c.lattice_id as usize == lattice_id)
+        .peekable();
+    let mut shed = shed_rounds.iter().peekable();
+    for round in 0..spec.rounds {
+        let (error, _) = source.next_error_and_syndrome();
+        if decoded.peek().is_some_and(|c| c.round == round) {
+            let correction = &decoded.next().expect("peeked").correction;
+            report.decoded.record(lattice, &error, correction);
+        } else {
+            debug_assert_eq!(
+                shed.peek().copied().copied(),
+                Some(round),
+                "round neither decoded nor shed"
+            );
+            shed.next();
+            report.shed.record(lattice, &error, &identity);
+        }
+    }
+    report
+}

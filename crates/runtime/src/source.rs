@@ -214,6 +214,13 @@ pub struct SourcedRound {
     pub due_ns: f64,
     /// The round's syndrome.
     pub syndrome: Syndrome,
+    /// The seeded physical error behind the syndrome.  Carrying it costs the
+    /// producer nothing extra — [`SyndromeSource::next_error_and_syndrome`]
+    /// consumes exactly the randomness [`SyndromeSource::next_syndrome`]
+    /// would — and is what lets the pipeline classify residuals *in stream*
+    /// (shed rounds at the producer, decoded rounds in the workers) instead
+    /// of replaying every lattice at the end of the run.
+    pub error: nisqplus_qec::pauli::PauliString,
 }
 
 /// Per-lattice stream state inside an [`InterleavedSource`].
@@ -367,11 +374,13 @@ impl InterleavedSource {
                 lattice_id: entry.lattice_id,
             }));
         }
+        let (error, syndrome) = stream.source.next_error_and_syndrome();
         Some(SourcedRound {
             lattice_id: entry.lattice_id as u32,
             round,
             due_ns: entry.due_ns,
-            syndrome: stream.source.next_syndrome(),
+            syndrome,
+            error,
         })
     }
 }
@@ -494,6 +503,12 @@ mod tests {
             assert_eq!(
                 per_lattice[round.lattice_id as usize].len() as u64,
                 round.round
+            );
+            // The carried error is the one behind the carried syndrome.
+            assert_eq!(
+                set.lattice(round.lattice_id as usize)
+                    .syndrome_of(&round.error),
+                round.syndrome
             );
             per_lattice[round.lattice_id as usize].push(round.syndrome);
         }

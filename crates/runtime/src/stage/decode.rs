@@ -24,6 +24,7 @@ use crate::lattice_set::{LatticeDecoder, LatticeSet};
 use crate::packet::{PacketCodec, PacketError, SyndromePacket};
 use nisqplus_decoders::traits::{DecoderFactory, DynDecoder};
 use nisqplus_qec::lattice::Sector;
+use nisqplus_qec::logical::{classify_both_sectors_into, LogicalState};
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::Syndrome;
 
@@ -39,6 +40,11 @@ pub struct DecodedRound<'a> {
     pub emitted_ns: u64,
     /// The composed X- and Z-sector correction for the round.
     pub correction: &'a PauliString,
+    /// The per-sector residual states of the round, classified in stream
+    /// against the error carried by the record — present exactly when the
+    /// codec carries an error payload
+    /// ([`PacketCodec::with_error_payload`]).
+    pub residual: Option<(LogicalState, LogicalState)>,
 }
 
 /// One lattice's reusable decode state: the prepared-decoder slot plus the
@@ -51,6 +57,11 @@ struct LatticeDecodeState {
     syndrome: Syndrome,
     x_buf: PauliString,
     z_buf: PauliString,
+    /// The record's carried error, unpacked here when the codec carries one.
+    error_buf: PauliString,
+    /// Scratch for the error∘correction composition during in-stream
+    /// residual classification.
+    residual_buf: PauliString,
 }
 
 /// The prepared-decoder decode stage of one worker thread.
@@ -110,6 +121,8 @@ impl<'a> DecodeStage<'a> {
                 syndrome: Syndrome::new(lattice.num_ancillas()),
                 x_buf: PauliString::identity(lattice.num_data()),
                 z_buf: PauliString::identity(lattice.num_data()),
+                error_buf: PauliString::identity(lattice.num_data()),
+                residual_buf: PauliString::identity(lattice.num_data()),
             });
         }
         DecodeStage {
@@ -146,12 +159,28 @@ impl<'a> DecodeStage<'a> {
         decoder.decode_into(lattice, &state.syndrome, Sector::X, &mut state.x_buf);
         decoder.decode_into(lattice, &state.syndrome, Sector::Z, &mut state.z_buf);
         state.x_buf.compose_with(&state.z_buf);
+        // In-stream residual classification: the record carries the seeded
+        // error behind its syndrome, so the residual can be judged right
+        // here, allocation-free, instead of by an end-of-run replay.
+        let residual = if self.codec.carries_errors() {
+            self.codec
+                .decode_error_into(record, lattice_id as u32, &mut state.error_buf);
+            Some(classify_both_sectors_into(
+                lattice,
+                &state.error_buf,
+                &state.x_buf,
+                &mut state.residual_buf,
+            ))
+        } else {
+            None
+        };
         self.decoded += 1;
         Ok(DecodedRound {
             lattice_id: state.packet.lattice_id,
             round: state.packet.round,
             emitted_ns: state.packet.emitted_ns,
             correction: &state.x_buf,
+            residual,
         })
     }
 
@@ -238,6 +267,33 @@ mod tests {
             assert_eq!(*decoded.correction, x);
         }
         assert_eq!(stage.decoded(), 3);
+    }
+
+    #[test]
+    fn error_carrying_records_are_classified_in_stream() {
+        use nisqplus_qec::logical::classify_both_sectors;
+        let set = set_of(&[3, 5]);
+        let codec = PacketCodec::with_error_payload(&set.ancilla_bits(), &set.data_bits());
+        let mut stage = DecodeStage::new(&set, &codec, &factory());
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for lattice_id in [0u32, 1, 0, 1] {
+            let spec = set.spec(lattice_id as usize);
+            let lattice = set.lattice(lattice_id as usize);
+            let mut source = SyndromeSource::new(lattice.clone(), spec.noise, spec.seed).unwrap();
+            let (error, syndrome) = source.next_error_and_syndrome();
+            let packet = SyndromePacket::new(lattice_id, 0, 5, &syndrome);
+            codec.encode_with_error(&packet, &error, &mut record);
+            let decoded = stage.decode(&record).expect("clean record decodes");
+            let expected = classify_both_sectors(lattice, &error, decoded.correction);
+            assert_eq!(decoded.residual, Some(expected));
+        }
+        // An errorless codec leaves the classification off.
+        let plain = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let mut plain_stage = DecodeStage::new(&set, &plain, &factory());
+        let mut plain_record = vec![0u64; plain.words_per_packet()];
+        let packet = SyndromePacket::new(0, 0, 5, &Syndrome::new(set.lattice(0).num_ancillas()));
+        plain.encode(&packet, &mut plain_record);
+        assert_eq!(plain_stage.decode(&plain_record).unwrap().residual, None);
     }
 
     #[test]

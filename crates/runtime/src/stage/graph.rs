@@ -35,8 +35,9 @@ use crate::stage::mux::{BatchMux, PriorityMux, RoundRobinMux, StealMux};
 use crate::stage::sink::{DepthSink, FrameSink, WorkerOutput};
 use crate::stage::skid::SkidBuffer;
 use crate::stage::StageReport;
-use crate::telemetry::{DepthSample, RuntimeCounters};
+use crate::telemetry::{DepthSample, LatticeCounters, RuntimeCounters};
 use nisqplus_decoders::traits::DecoderFactory;
+use nisqplus_qec::logical::{classify_shed_round, LogicalState, ResidualTally};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -153,8 +154,14 @@ pub struct PipelineRun {
     pub final_backlog: u64,
     /// Per-lattice source statistics, in lattice-id order.
     pub lattice_stats: Vec<LatticeGenStats>,
-    /// Rounds shed per lattice, in emission order.
+    /// Rounds shed per lattice, in emission order.  Empty per-lattice lists
+    /// when [`MachineConfig::track_shed_rounds`] is off — the counters still
+    /// carry the shed totals, only the O(rounds) round lists are elided.
     pub lattice_shed: Vec<Vec<u64>>,
+    /// Per-lattice residual tallies of the *shed* rounds, classified live by
+    /// the producer under the streaming residual path
+    /// ([`MachineConfig::streams_residuals`]); all-zero otherwise.
+    pub shed_tallies: Vec<ResidualTally>,
     /// One report per stage, in graph order: source, skid, gate,
     /// channels, per-worker decode and sink stages, depth sink.
     pub stage_reports: Vec<StageReport>,
@@ -196,6 +203,9 @@ pub struct WorkerSeat<'a> {
     pub factory: &'a dyn DecoderFactory,
     /// Whether committed corrections are kept per round.
     pub record_corrections: bool,
+    /// When recording corrections, keep only the most recent this many per
+    /// worker (`None` = unbounded; see [`MachineConfig::correction_cap`]).
+    pub correction_cap: Option<usize>,
     /// Maximum rounds decoded as one batch.
     pub batch_size: usize,
     /// The worker's consumption discipline.
@@ -236,10 +246,12 @@ pub fn run_worker(seat: WorkerSeat<'_>) -> (WorkerOutput, Vec<StageReport>) {
     // restart must not grow the registry.
     let decode_metrics =
         StageMetrics::register(seat.obs.registry(), &format!("decode.{worker_id}"));
-    let mut sink = FrameSink::new(seat.set, seat.record_corrections).with_obs(
-        StageMetrics::register(seat.obs.registry(), &format!("sink.{worker_id}")),
-        Arc::clone(seat.obs.decode_hist()),
-    );
+    let mut sink = FrameSink::new(seat.set, seat.record_corrections)
+        .with_correction_cap(seat.correction_cap)
+        .with_obs(
+            StageMetrics::register(seat.obs.registry(), &format!("sink.{worker_id}")),
+            Arc::clone(seat.obs.decode_hist()),
+        );
     let mut stall_polls = 0u64;
     let mut restarts = 0u64;
     loop {
@@ -383,6 +395,15 @@ fn worker_loop(seat: &WorkerSeat<'_>, sink: &mut FrameSink) -> (Vec<String>, u64
             };
             let lattice_id = decoded.lattice_id as usize;
             let emitted_ns = decoded.emitted_ns;
+            // The streaming residual path classified this round during the
+            // decode; a failure is surfaced live, not at end of run.
+            if let Some((x, z)) = decoded.residual {
+                if x != LogicalState::Success || z != LogicalState::Success {
+                    counters.per_lattice[lattice_id]
+                        .decode_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
             sink.commit(&decoded);
             let now = Instant::now();
             sink.record_latency(
@@ -419,7 +440,28 @@ struct SourceRun {
     final_backlog: u64,
     lattice_stats: Vec<LatticeGenStats>,
     lattice_shed: Vec<Vec<u64>>,
+    shed_tallies: Vec<ResidualTally>,
     reports: Vec<StageReport>,
+}
+
+/// Classifies one shed round under the streaming residual path.  A shed
+/// round gets the identity correction, so its residual *is* its seeded
+/// error: the classification folds into the lattice's shed tally, and a
+/// failure bumps the live `shed_failures` counter.  Allocation-free
+/// ([`classify_shed_round`] reads the error in place).
+fn tally_shed_round(
+    lattice: &nisqplus_qec::lattice::Lattice,
+    error: &nisqplus_qec::pauli::PauliString,
+    tally: &mut ResidualTally,
+    lattice_counters: &LatticeCounters,
+) {
+    let (x, z) = classify_shed_round(lattice, error);
+    tally.record_states(x, z);
+    if x != LogicalState::Success || z != LogicalState::Success {
+        lattice_counters
+            .shed_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// The source stage: paced interleaved generation, bit-packing into a skid
@@ -462,6 +504,10 @@ fn run_source(
     let words = codec.words_per_packet();
     let mut lattice_stats = vec![LatticeGenStats::default(); set.len()];
     let mut lattice_shed: Vec<Vec<u64>> = vec![Vec::new(); set.len()];
+    // Under the streaming residual path shed rounds are classified here,
+    // the moment they are shed — the replay path defers both to end of run.
+    let streaming = config.streams_residuals();
+    let mut shed_tallies = vec![ResidualTally::default(); set.len()];
     let mut emitted_total = 0u64;
 
     while let Some(sourced) = source.next_round() {
@@ -511,7 +557,14 @@ fn run_source(
         let poison = injector.corrupt(lattice_id, sourced.round);
         let loaded = skid.accept_with(|slot| {
             slot.resize(words, 0);
-            codec.encode(&packet, slot);
+            if codec.carries_errors() {
+                // The streaming residual path rides the wire: the round's
+                // seeded error travels with its syndrome so the decoding
+                // worker can classify the residual the moment it commits.
+                codec.encode_with_error(&packet, &sourced.error, slot);
+            } else {
+                codec.encode(&packet, slot);
+            }
             if let Some((word, bit)) = poison {
                 slot[word % words] ^= 1u64 << (bit & 63);
             }
@@ -608,7 +661,17 @@ fn run_source(
                     skid.discard_front();
                     counters.dropped.fetch_add(1, Ordering::Relaxed);
                     lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
-                    lattice_shed[lattice_id as usize].push(sourced.round);
+                    if streaming {
+                        tally_shed_round(
+                            set.lattice(lattice_id as usize),
+                            &sourced.error,
+                            &mut shed_tallies[lattice_id as usize],
+                            lattice_counters,
+                        );
+                    }
+                    if config.track_shed_rounds {
+                        lattice_shed[lattice_id as usize].push(sourced.round);
+                    }
                     obs.publish(
                         EventKind::WatchdogTrip,
                         EventSeverity::Critical,
@@ -648,7 +711,17 @@ fn run_source(
                     skid.discard_front();
                     counters.dropped.fetch_add(1, Ordering::Relaxed);
                     lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
-                    lattice_shed[lattice_id as usize].push(sourced.round);
+                    if streaming {
+                        tally_shed_round(
+                            set.lattice(lattice_id as usize),
+                            &sourced.error,
+                            &mut shed_tallies[lattice_id as usize],
+                            lattice_counters,
+                        );
+                    }
+                    if config.track_shed_rounds {
+                        lattice_shed[lattice_id as usize].push(sourced.round);
+                    }
                     if admission != Admission::Granted {
                         // Shed at the budget lane, not at a full channel.
                         obs.publish(
@@ -679,7 +752,17 @@ fn run_source(
             gate.refund(lattice_id as usize);
             counters.dropped.fetch_add(1, Ordering::Relaxed);
             lattice_counters.dropped.fetch_add(1, Ordering::Relaxed);
-            lattice_shed[lattice_id as usize].push(sourced.round);
+            if streaming {
+                tally_shed_round(
+                    set.lattice(lattice_id as usize),
+                    &sourced.error,
+                    &mut shed_tallies[lattice_id as usize],
+                    lattice_counters,
+                );
+            }
+            if config.track_shed_rounds {
+                lattice_shed[lattice_id as usize].push(sourced.round);
+            }
             injector.corruption_delivered();
         } else if delivered {
             counters.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -723,6 +806,7 @@ fn run_source(
         final_backlog,
         lattice_stats,
         lattice_shed,
+        shed_tallies,
         reports: vec![source_report, skid.report("skid"), depth_report],
     }
 }
@@ -753,7 +837,15 @@ impl<'a> PipelineGraph<'a> {
     #[must_use]
     pub fn new(config: &'a MachineConfig, set: &'a LatticeSet, options: PipelineOptions) -> Self {
         let obs = ObsPlane::with_observer(config.obs.clone(), options.observer);
-        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        // The streaming residual path widens the wire: each record carries
+        // its round's seeded error after the syndrome, so workers classify
+        // residuals as they commit.  Every other mode keeps the narrow v3
+        // layout.
+        let codec = if config.streams_residuals() {
+            PacketCodec::with_error_payload(&set.ancilla_bits(), &set.data_bits())
+        } else {
+            PacketCodec::for_lattice_bits(&set.ancilla_bits())
+        };
         let channel_count = options.channels.unwrap_or(config.workers).max(1);
         let per_channel_capacity = config.queue_capacity.div_ceil(channel_count);
         let channels = (0..channel_count)
@@ -843,10 +935,12 @@ impl<'a> PipelineGraph<'a> {
                             done,
                             epoch,
                             factory,
-                            // The residual analysis replays corrections per
-                            // round, so it needs them recorded too.
+                            // Only the *replay* residual path needs every
+                            // correction recorded — the streaming path
+                            // classifies in the worker and keeps nothing.
                             record_corrections: config.record_corrections
-                                || config.analyze_residuals,
+                                || config.replays_residuals(),
+                            correction_cap: config.correction_cap,
                             batch_size: config.batch_size,
                             consume,
                             obs,
@@ -892,6 +986,7 @@ impl<'a> PipelineGraph<'a> {
             final_backlog: source_run.final_backlog,
             lattice_stats: source_run.lattice_stats,
             lattice_shed: source_run.lattice_shed,
+            shed_tallies: source_run.shed_tallies,
             stage_reports,
             elapsed_s,
             snapshots: obs.take_snapshots(),
@@ -1025,6 +1120,7 @@ mod tests {
             epoch: Instant::now(),
             factory: &factory,
             record_corrections: true,
+            correction_cap: None,
             batch_size: 4,
             consume: ConsumePolicy::OwnThenSteal,
             obs: &obs,
@@ -1096,6 +1192,7 @@ mod tests {
             epoch: Instant::now(),
             factory: &factory,
             record_corrections: true,
+            correction_cap: None,
             batch_size: 4,
             consume: ConsumePolicy::OwnThenSteal,
             obs: &obs,

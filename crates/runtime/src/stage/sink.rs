@@ -25,6 +25,7 @@ use crate::stage::decode::DecodedRound;
 use crate::stage::StageReport;
 use crate::telemetry::{DepthSample, RuntimeCounters};
 use nisqplus_qec::frame::PauliFrame;
+use nisqplus_qec::logical::ResidualTally;
 use std::sync::Arc;
 
 /// One lattice's slice of a worker's output.
@@ -36,6 +37,11 @@ pub struct WorkerLatticeOutput {
     pub decode_hist: HistogramSnapshot,
     /// Emit-to-commit latency distribution, nanoseconds.
     pub total_hist: HistogramSnapshot,
+    /// The worker's in-stream residual tally for this lattice (empty unless
+    /// the run classifies residuals in stream).  Tallies are plain integer
+    /// sums, so the engine's cross-worker merge is order-independent —
+    /// byte-identical to the end-of-run replay oracle.
+    pub residuals: ResidualTally,
 }
 
 /// What one worker thread hands back when the stream ends.
@@ -56,6 +62,7 @@ struct LatticeSlot {
     frame: PauliFrame,
     decode: LocalHistogram,
     total: LocalHistogram,
+    residuals: ResidualTally,
 }
 
 /// One worker's commit stage: private frame shards, optional correction
@@ -65,6 +72,11 @@ pub struct FrameSink {
     slots: Vec<LatticeSlot>,
     corrections: Vec<RoundCorrection>,
     record_corrections: bool,
+    /// When set, `corrections` is a ring of at most this many entries
+    /// holding the most recent rounds; `None` keeps the full history.
+    correction_cap: Option<usize>,
+    /// Next ring slot to overwrite once the cap is reached.
+    correction_head: usize,
     committed: u64,
     metrics: StageMetrics,
     /// The machine-wide live decode histogram (shared with the
@@ -84,14 +96,26 @@ impl FrameSink {
                     frame: PauliFrame::new(lattice.num_data()),
                     decode: LocalHistogram::new(),
                     total: LocalHistogram::new(),
+                    residuals: ResidualTally::new(),
                 })
                 .collect(),
             corrections: Vec::new(),
             record_corrections,
+            correction_cap: None,
+            correction_head: 0,
             committed: 0,
             metrics: StageMetrics::detached(),
             live_decode: None,
         }
+    }
+
+    /// Bounds the recorded-correction history to a ring of the `cap` most
+    /// recent rounds (`None` — the default — keeps every correction).  A cap
+    /// of `0` records nothing while leaving recording formally on.
+    #[must_use]
+    pub fn with_correction_cap(mut self, cap: Option<usize>) -> Self {
+        self.correction_cap = cap;
+        self
     }
 
     /// Attaches registry-backed stage metrics and the run-wide live decode
@@ -104,16 +128,36 @@ impl FrameSink {
     }
 
     /// Commits one decoded round into its lattice's frame shard (and the
-    /// correction log, when recording).
+    /// correction log, when recording).  Rounds classified in stream
+    /// ([`DecodedRound::residual`]) fold into the lattice's
+    /// [`ResidualTally`] as they land — no per-round state survives beyond
+    /// four integer counters.
     pub fn commit(&mut self, round: &DecodedRound<'_>) {
         let slot = &mut self.slots[round.lattice_id as usize];
         slot.frame.record(round.correction);
+        if let Some((x, z)) = round.residual {
+            slot.residuals.record_states(x, z);
+        }
         if self.record_corrections {
-            self.corrections.push(RoundCorrection {
-                lattice_id: round.lattice_id,
-                round: round.round,
-                correction: round.correction.clone(),
-            });
+            match self.correction_cap {
+                Some(cap) if self.corrections.len() >= cap => {
+                    // Ring mode: overwrite the oldest entry in place, reusing
+                    // its correction buffer (no per-round allocation once the
+                    // ring is full).
+                    if cap > 0 {
+                        let entry = &mut self.corrections[self.correction_head];
+                        entry.lattice_id = round.lattice_id;
+                        entry.round = round.round;
+                        entry.correction.copy_from(round.correction);
+                        self.correction_head = (self.correction_head + 1) % cap;
+                    }
+                }
+                _ => self.corrections.push(RoundCorrection {
+                    lattice_id: round.lattice_id,
+                    round: round.round,
+                    correction: round.correction.clone(),
+                }),
+            }
         }
         self.committed += 1;
     }
@@ -152,6 +196,7 @@ impl FrameSink {
                     frame: slot.frame,
                     decode_hist: slot.decode.snapshot(),
                     total_hist: slot.total.snapshot(),
+                    residuals: slot.residuals,
                 })
                 .collect(),
             corrections: self.corrections,
@@ -351,6 +396,62 @@ mod tests {
     }
 
     #[test]
+    fn correction_cap_turns_the_history_into_a_most_recent_ring() {
+        let set = set_of(&[3]);
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let factory = || Box::new(GreedyMatchingDecoder::new()) as DynDecoder;
+        let mut stage = DecodeStage::new(&set, &codec, &factory);
+        let mut sink = FrameSink::new(&set, true).with_correction_cap(Some(2));
+        let spec = set.spec(0);
+        let mut source =
+            SyndromeSource::new(set.lattice(0).clone(), spec.noise, spec.seed).unwrap();
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for round in 0..5u64 {
+            let syndrome = source.next_syndrome();
+            codec.encode(&SyndromePacket::new(0, round, 0, &syndrome), &mut record);
+            let decoded = stage.decode(&record).unwrap();
+            sink.commit(&decoded);
+        }
+        assert_eq!(sink.committed(), 5);
+        let output = sink.finish(stage.lattice_decoders().to_vec());
+        let mut kept: Vec<u64> = output.corrections.iter().map(|c| c.round).collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![3, 4], "the ring keeps the newest rounds only");
+    }
+
+    #[test]
+    fn committed_rounds_fold_into_the_lattice_residual_tally() {
+        let set = set_of(&[3, 5]);
+        let codec = PacketCodec::with_error_payload(&set.ancilla_bits(), &set.data_bits());
+        let factory = || Box::new(GreedyMatchingDecoder::new()) as DynDecoder;
+        let mut stage = DecodeStage::new(&set, &codec, &factory);
+        let mut sink = FrameSink::new(&set, false);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        for (lattice_id, rounds) in [(0u32, 3u64), (1, 2)] {
+            let spec = set.spec(lattice_id as usize);
+            let mut source = SyndromeSource::new(
+                set.lattice(lattice_id as usize).clone(),
+                spec.noise,
+                spec.seed,
+            )
+            .unwrap();
+            for round in 0..rounds {
+                let (error, syndrome) = source.next_error_and_syndrome();
+                let packet = SyndromePacket::new(lattice_id, round, 0, &syndrome);
+                codec.encode_with_error(&packet, &error, &mut record);
+                sink.commit(&stage.decode(&record).unwrap());
+            }
+        }
+        let output = sink.finish(stage.lattice_decoders().to_vec());
+        assert_eq!(output.per_lattice[0].residuals.rounds, 3);
+        assert_eq!(output.per_lattice[1].residuals.rounds, 2);
+        assert_eq!(
+            output.per_lattice[0].residuals.successes + output.per_lattice[0].residuals.failures(),
+            3
+        );
+    }
+
+    #[test]
     fn frame_sink_feeds_the_live_aggregate_histogram() {
         let set = set_of(&[3]);
         let live_decode = Arc::new(LogHistogram::new());
@@ -445,6 +546,60 @@ mod tests {
             timeline.last().unwrap().round >= 9_999 - 2_048,
             "newest kept sample fell too far behind: round {}",
             timeline.last().unwrap().round
+        );
+    }
+
+    #[test]
+    fn depth_sink_preserves_the_first_sample_and_monotone_round_order() {
+        let counters = RuntimeCounters::with_lattices(1);
+        // Small cap over a long stream: the timeline compacts repeatedly,
+        // yet round 0 (index 0 is always even) and strict round ordering
+        // must survive every compaction.
+        let mut sink = DepthSink::new(0, 8);
+        for round in 0..5_000u64 {
+            counters.generated.store(round % 13, Ordering::Relaxed);
+            sink.observe(round, round * 3, 0, &counters);
+            let rounds: Vec<u64> = sink.timeline().iter().map(|s| s.round).collect();
+            assert_eq!(rounds.first(), Some(&0), "first sample dropped");
+            assert!(
+                rounds.windows(2).all(|w| w[0] < w[1]),
+                "round order broke at observe({round}): {rounds:?}"
+            );
+        }
+        let timeline = sink.finish();
+        assert_eq!(timeline[0].round, 0);
+        assert!(timeline
+            .windows(2)
+            .all(|w| w[0].elapsed_ns < w[1].elapsed_ns));
+    }
+
+    #[test]
+    fn depth_sink_timeline_is_deterministic_for_a_fixed_seed() {
+        // Two sinks fed the same seeded synthetic backlog trace must keep
+        // byte-identical timelines — down-sampling is stride arithmetic,
+        // never randomized.
+        let run = |seed: u64| {
+            let counters = RuntimeCounters::with_lattices(2);
+            let mut sink = DepthSink::new(0, 12);
+            let mut state = seed;
+            for round in 0..3_000u64 {
+                // xorshift64: a cheap deterministic pseudo-random backlog.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                counters.generated.store(state % 97, Ordering::Relaxed);
+                counters.per_lattice[0]
+                    .generated
+                    .store(state % 31, Ordering::Relaxed);
+                sink.observe(round, round * 11, state % 5, &counters);
+            }
+            sink.finish()
+        };
+        assert_eq!(run(0xDEC0DE), run(0xDEC0DE));
+        assert_ne!(
+            run(0xDEC0DE),
+            run(0xFACADE),
+            "different traces must differ (the equality above is not vacuous)"
         );
     }
 }

@@ -42,6 +42,17 @@ pub struct LatticeCounters {
     pub backpressure_spins: AtomicU64,
     /// This lattice's packets decoded and committed to its frame.
     pub decoded: AtomicU64,
+    /// Decoded rounds whose residual (error ∘ correction) was classified a
+    /// failure — a logical error or an invalid correction — by the
+    /// *streaming* residual path
+    /// ([`ResidualMode::Streaming`](crate::config::ResidualMode)).  Stays 0
+    /// under replay mode (classification happens after the run) and when the
+    /// residual analysis is off.
+    pub decode_failures: AtomicU64,
+    /// Shed rounds whose seeded error was itself a failure (the identity
+    /// correction left a logical error), classified live by the producer
+    /// under the streaming residual path.  Stays 0 under replay mode.
+    pub shed_failures: AtomicU64,
 }
 
 impl LatticeCounters {
@@ -54,6 +65,8 @@ impl LatticeCounters {
             dropped: self.dropped.load(Ordering::Relaxed),
             backpressure_spins: self.backpressure_spins.load(Ordering::Relaxed),
             decoded: self.decoded.load(Ordering::Relaxed),
+            decode_failures: self.decode_failures.load(Ordering::Relaxed),
+            shed_failures: self.shed_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -270,6 +283,33 @@ pub struct LatticeCounterSnapshot {
     pub backpressure_spins: u64,
     /// This lattice's packets decoded.
     pub decoded: u64,
+    /// Decoded rounds classified a residual failure by the streaming path
+    /// (0 under replay mode or with the analysis off).
+    pub decode_failures: u64,
+    /// Shed rounds classified a residual failure by the streaming path
+    /// (0 under replay mode or with the analysis off).
+    pub shed_failures: u64,
+}
+
+impl LatticeCounterSnapshot {
+    /// Total rounds the streaming residual path has flagged as failures so
+    /// far, decoded and shed together.
+    #[must_use]
+    pub fn live_failures(&self) -> u64 {
+        self.decode_failures + self.shed_failures
+    }
+
+    /// The live residual failure rate: flagged failures over rounds
+    /// generated so far.  0.0 before any round is generated, and 0.0 for
+    /// the whole run under replay mode (the live counters never move there).
+    #[must_use]
+    pub fn live_failure_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.live_failures() as f64 / self.generated as f64
+        }
+    }
 }
 
 /// One point of the queue-depth/backlog timeline, sampled by the source
@@ -861,6 +901,16 @@ impl fmt::Display for RuntimeReport {
                     residual.total().logical_error_rate() * 100.0,
                 )?;
             }
+            if lattice.counters.live_failures() > 0 {
+                write!(
+                    f,
+                    "\n      live residual counters: decode failures {} | shed failures {} \
+                     | rate {:.3}%",
+                    lattice.counters.decode_failures,
+                    lattice.counters.shed_failures,
+                    lattice.counters.live_failure_rate() * 100.0,
+                )?;
+            }
         }
         Ok(())
     }
@@ -900,6 +950,22 @@ mod tests {
         assert_eq!(snap.generated, 5);
         assert_eq!(snap.dropped, 2);
         assert_eq!(snap.decoded, 0);
+    }
+
+    #[test]
+    fn live_residual_counters_snapshot_and_rate() {
+        let counters = RuntimeCounters::with_lattices(1);
+        let lattice = &counters.per_lattice[0];
+        lattice.generated.store(100, Ordering::Relaxed);
+        lattice.decode_failures.store(3, Ordering::Relaxed);
+        lattice.shed_failures.store(2, Ordering::Relaxed);
+        let snap = lattice.snapshot();
+        assert_eq!(snap.decode_failures, 3);
+        assert_eq!(snap.shed_failures, 2);
+        assert_eq!(snap.live_failures(), 5);
+        assert!((snap.live_failure_rate() - 0.05).abs() < 1e-12);
+        // Rate is defined (0.0) before any round is generated.
+        assert_eq!(LatticeCounterSnapshot::default().live_failure_rate(), 0.0);
     }
 
     #[test]

@@ -101,9 +101,27 @@ fn multi_lattice_qos_report_round_trips_through_json() {
     assert_eq!(report.journal.counts.shed, report.counters.dropped);
     assert!(!report.metrics.is_empty());
 
+    // Streaming residuals (the default mode) moved the live per-lattice
+    // failure counters; the round trip below must carry them.
+    let live_failures: u64 = report
+        .lattices
+        .iter()
+        .map(|l| l.counters.live_failures())
+        .sum();
+    assert!(
+        live_failures > 0,
+        "a 600-round p=0.02 run must flag some residual failures live"
+    );
+
     let text = report_to_string(report);
     let reloaded = report_from_str(&text).expect("round trip");
     assert_eq!(&reloaded, report, "JSON must round-trip bit-for-bit");
+    let reloaded_failures: u64 = reloaded
+        .lattices
+        .iter()
+        .map(|l| l.counters.live_failures())
+        .sum();
+    assert_eq!(reloaded_failures, live_failures);
 
     // A document from a future schema is refused, loudly and typed.
     let bumped = text.replacen(

@@ -1,0 +1,210 @@
+//! Soak-scale regression suite: the streaming residual path against its
+//! replay oracle, and the bounded-memory guarantees that make million-round
+//! runs possible.
+//!
+//! * The equivalence property: a run classified *in stream* (workers tally
+//!   residuals the moment corrections commit, the producer tallies shed
+//!   rounds, nothing O(rounds) retained) must produce per-lattice
+//!   [`ResidualReport`]s identical to the same run classified by the
+//!   end-of-run replay oracle — across seeds, distances {3, 5, 7}, worker
+//!   counts and Block/Drop push policies.  [`ResidualTally::absorb`] is an
+//!   order-independent integer sum, so the merge order the scheduler
+//!   happens to pick cannot show through.
+//! * The memory property: growing a run 10× (20k → 200k rounds) must not
+//!   grow the retained telemetry — timelines, correction history, journal,
+//!   histograms and the serialized report all stay within a constant
+//!   factor.
+
+use nisqplus_decoders::{DynDecoder, GreedyMatchingDecoder};
+use nisqplus_runtime::report::report_to_string;
+use nisqplus_runtime::{
+    FaultPlan, LatticeSpec, MachineConfig, NoiseSpec, PushPolicy, ResidualMode, RuntimeOutcome,
+    StreamingEngine,
+};
+use proptest::prelude::*;
+
+fn greedy() -> DynDecoder {
+    Box::new(GreedyMatchingDecoder::new())
+}
+
+/// A three-lattice machine (d = 3, 5, 7) whose shedding is *deterministic*:
+/// the ring is deep enough that the Drop policy never sheds from fullness,
+/// and the only dropped rounds are the fault plan's corrupted records,
+/// quarantined by whichever worker receives them no matter how the
+/// scheduler interleaves.  That makes the streaming and replay runs decode
+/// and shed exactly the same round sets, so their residual reports must
+/// match exactly.
+fn residual_config(
+    mode: ResidualMode,
+    policy: PushPolicy,
+    seed: u64,
+    workers: usize,
+) -> MachineConfig {
+    let mut config = MachineConfig::new(&[3, 5, 7], seed);
+    for (i, spec) in config.lattices.iter_mut().enumerate() {
+        *spec = LatticeSpec::new([3, 5, 7][i])
+            .with_noise(NoiseSpec::PureDephasing { p: 0.04 })
+            .with_seed(seed + i as u64)
+            .with_rounds(40)
+            .with_cadence_cycles(0);
+    }
+    config.workers = workers;
+    config.queue_capacity = 512; // never fills: Drop cannot shed from fullness
+    config.push_policy = policy;
+    config.analyze_residuals = true;
+    config.residual_mode = mode;
+    config.record_corrections = true;
+    if mode == ResidualMode::Streaming {
+        // The soak-scale posture: prove equivalence holds with every
+        // O(rounds) structure bounded away.
+        config.correction_cap = Some(8);
+        config.track_shed_rounds = false;
+    }
+    // Deterministic sheds: two poisoned wire records, quarantined and
+    // counted as dropped in both runs.
+    config.fault = FaultPlan::default()
+        .corrupt_record(0, 2, 1, 3)
+        .corrupt_record(2, 7, 0, 11);
+    config
+}
+
+fn run(config: MachineConfig) -> RuntimeOutcome {
+    StreamingEngine::with_machine(config)
+        .expect("valid config")
+        .run(&greedy)
+}
+
+fn assert_streaming_matches_replay(policy: PushPolicy, seed: u64, workers: usize) {
+    let streaming = run(residual_config(
+        ResidualMode::Streaming,
+        policy,
+        seed,
+        workers,
+    ));
+    let replay = run(residual_config(ResidualMode::Replay, policy, seed, workers));
+    for (s, r) in streaming
+        .report
+        .lattices
+        .iter()
+        .zip(replay.report.lattices.iter())
+    {
+        assert_eq!(
+            s.residual, r.residual,
+            "lattice {} (d={}, {policy:?}, seed {seed}, {workers} workers): \
+             streaming residual report drifted from the replay oracle",
+            s.lattice_id, s.distance
+        );
+        assert_eq!(s.counters.decoded, r.counters.decoded);
+        assert_eq!(s.counters.dropped, r.counters.dropped);
+        // The streaming run's live counters must agree with its own tally.
+        let tally = s.residual.as_ref().expect("residuals on").total();
+        assert_eq!(s.counters.live_failures(), tally.failures());
+        // The replay run never touches the live counters.
+        assert_eq!(r.counters.live_failures(), 0);
+    }
+    // Both runs conserved every round: generated == decoded + dropped.
+    for report in [&streaming.report, &replay.report] {
+        for lattice in &report.lattices {
+            assert_eq!(
+                lattice.counters.generated,
+                lattice.counters.decoded + lattice.counters.dropped
+            );
+        }
+    }
+    // The streaming run kept only the capped correction ring; the replay
+    // run needed the full history.
+    assert!(streaming.corrections.len() <= 8 * workers.max(1) * 3);
+    assert_eq!(
+        replay.corrections.len() as u64,
+        replay.report.counters.decoded
+    );
+}
+
+#[test]
+fn streaming_residuals_match_replay_under_block_policy() {
+    assert_streaming_matches_replay(PushPolicy::Block, 2020, 2);
+}
+
+#[test]
+fn streaming_residuals_match_replay_under_drop_policy() {
+    assert_streaming_matches_replay(PushPolicy::Drop, 4242, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The full property: over random seeds, worker counts and both push
+    /// policies, the streaming classification is indistinguishable from the
+    /// replay oracle on every lattice of a mixed-distance machine.
+    #[test]
+    fn streaming_residuals_match_replay_for_any_seed(
+        seed in 0u64..1_000,
+        workers in 1usize..4,
+        drop_policy in any::<bool>(),
+    ) {
+        let policy = if drop_policy { PushPolicy::Drop } else { PushPolicy::Block };
+        assert_streaming_matches_replay(policy, seed, workers);
+    }
+}
+
+/// One soak-postured run: streaming residuals, capped correction ring, no
+/// shed-round lists, bounded timelines.  Returns the outcome and the size
+/// of the serialized report — the end-to-end proxy for retained telemetry.
+fn soak_postured_run(rounds_total: u64) -> (RuntimeOutcome, usize) {
+    let mut config = MachineConfig::new(&[3, 3], 0xB0B);
+    for spec in &mut config.lattices {
+        spec.rounds = rounds_total / 2;
+        spec.cadence_cycles = 0;
+        spec.noise = NoiseSpec::PureDephasing { p: 0.03 };
+    }
+    config.workers = 2;
+    config.queue_capacity = 256;
+    config.analyze_residuals = true;
+    config.record_corrections = true;
+    config.correction_cap = Some(16);
+    config.track_shed_rounds = false;
+    config.max_depth_samples = 256;
+    config.obs.snapshot_cadence_us = 0;
+    let outcome = run(config);
+    let json_len = report_to_string(&outcome.report).len();
+    (outcome, json_len)
+}
+
+/// Growing the run 10× must leave every retained structure at its cap and
+/// the serialized report within a constant factor — the memory regression
+/// gate for soak scale.
+#[test]
+fn telemetry_memory_is_bounded_in_the_round_count() {
+    let (small, small_len) = soak_postured_run(20_000);
+    let (large, large_len) = soak_postured_run(200_000);
+    // The correction history is a ring, not a log.
+    assert!(small.corrections.len() <= 16 * 2);
+    assert!(large.corrections.len() <= 16 * 2);
+    for outcome in [&small, &large] {
+        let report = &outcome.report;
+        assert!(report.depth_timeline.len() <= 256 + 1);
+        for lattice in &report.lattices {
+            assert!(lattice.backlog_timeline.len() <= 256 + 1);
+            // Streaming tallies classified every round without retaining any.
+            let residual = lattice.residual.as_ref().expect("residuals on");
+            assert_eq!(
+                residual.total().rounds,
+                lattice.counters.generated,
+                "every generated round classified exactly once"
+            );
+        }
+        assert_eq!(
+            report.counters.generated,
+            report.counters.decoded + report.counters.dropped
+        );
+    }
+    // 10× the rounds, same retained telemetry: the serialized report may
+    // drift a little (histogram shapes, bigger numbers print wider), but
+    // must stay within a constant factor — O(rounds) retention would show
+    // up as ~10×.
+    assert!(
+        (large_len as f64) < 2.0 * small_len as f64,
+        "200k-round report serialized to {large_len} bytes vs {small_len} at 20k — \
+         telemetry is growing with the round count"
+    );
+}

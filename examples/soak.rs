@@ -1,0 +1,55 @@
+//! The soak driver: one sustained multi-lattice streaming run at machine
+//! scale, emitting the repo-root `BENCH_soak.json` perf artifact.
+//!
+//! ```text
+//! cargo run --release --example soak                 # full: 1M rounds, 100 lattices
+//! NISQ_SOAK_SMOKE=1 cargo run --release --example soak   # CI smoke: 50k rounds, 16 lattices
+//! NISQ_SOAK_ROUNDS=200000 NISQ_SOAK_LATTICES=32 cargo run --release --example soak
+//! ```
+//!
+//! The full profile mixes distances (3/5/7) and QoS classes (blocking
+//! backpressure, load-shedding Drop lanes, one deliberately throttled lane),
+//! classifies every round's residual *in stream* — memory stays
+//! O(lattices), not O(rounds) — and asserts conservation (every generated
+//! round decoded or shed) per lattice before writing the artifact.  The
+//! smoke profile additionally demands every verdict come back `BOUNDED`.
+//! See `nisqplus_bench::soak` for the harness itself and
+//! `docs/OPERATIONS.md` ("Running a soak") for the operator's guide.
+
+fn main() {
+    let (profile, outcome, entries) = nisqplus_bench::soak::run_and_emit();
+    let report = &outcome.report;
+    println!(
+        "soak {}: {} lattices d={:?} | {} workers | {} rounds in {:.2} s ({:.0} rounds/s)",
+        if profile.smoke { "smoke" } else { "full" },
+        report.num_lattices,
+        report.distances,
+        report.workers,
+        report.counters.generated,
+        report.elapsed_s,
+        report.throughput_per_s,
+    );
+    println!(
+        "  decoded {} | shed {} ({:.3}%) | verdict {}",
+        report.counters.decoded,
+        report.counters.dropped,
+        100.0 * report.counters.dropped as f64 / report.counters.generated.max(1) as f64,
+        report.verdict(),
+    );
+    for entry in &entries {
+        println!(
+            "  {:<22} p99 decode {:>9.0} ns | p99 e2e {:>10.0} ns | shed {:>6.3}% | residual fail {:>6.4}% | {}",
+            entry.id,
+            entry.decode_p99_ns,
+            entry.total_p99_ns,
+            100.0 * entry.shed_rate,
+            100.0 * entry.residual_failure_rate,
+            entry.verdict,
+        );
+    }
+    let rss = nisqplus_bench::soak::peak_rss_bytes();
+    if rss > 0 {
+        println!("  peak RSS {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+    println!("soak: all invariants held (conservation, tally agreement, verdict gate)");
+}

@@ -1,8 +1,10 @@
 //! Validates the committed bench artifacts at the repository root.
 //!
 //! The runtime bench (`cargo bench --bench runtime`) ends by writing
-//! `BENCH_streaming.json` and `BENCH_lattices.json` — schema-versioned,
-//! machine-readable perf artifacts distilled from full engine runs.  This
+//! `BENCH_streaming.json` and `BENCH_lattices.json`, and the soak driver
+//! (`cargo run --release --example soak`) writes `BENCH_soak.json` —
+//! schema-versioned, machine-readable perf artifacts distilled from full
+//! engine runs.  This
 //! validator re-reads both through the same parser the artifacts were
 //! written with ([`nisqplus_runtime::report`]) and fails loudly when a file
 //! is missing, malformed, carries a stale `schema_version`, or contains an
@@ -17,7 +19,11 @@ use nisqplus_runtime::BenchEntry;
 use std::process::ExitCode;
 
 /// The artifacts every checkout must carry, relative to the repo root.
-const ARTIFACTS: &[&str] = &["BENCH_streaming.json", "BENCH_lattices.json"];
+const ARTIFACTS: &[&str] = &[
+    "BENCH_streaming.json",
+    "BENCH_lattices.json",
+    "BENCH_soak.json",
+];
 
 fn validate(path: &str) -> Result<(String, Vec<BenchEntry>), String> {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
@@ -49,7 +55,8 @@ fn main() -> ExitCode {
     }
     if failed {
         eprintln!(
-            "bench artifacts failed validation; regenerate with `cargo bench --bench runtime`"
+            "bench artifacts failed validation; regenerate with `cargo bench --bench runtime` \
+             (and `cargo run --release --example soak` for BENCH_soak.json)"
         );
         ExitCode::FAILURE
     } else {
