@@ -8,6 +8,7 @@
 
 use crate::fault::FaultPlan;
 use crate::lattice_set::LatticeSpec;
+use crate::scenario::ScenarioScript;
 use crate::source::NoiseSpec;
 use nisqplus_sim::timing::CycleTimeConverter;
 use serde::{Deserialize, Serialize};
@@ -221,6 +222,7 @@ impl From<RuntimeConfig> for MachineConfig {
                 seed: config.seed,
                 rounds: config.rounds,
                 cadence_cycles: config.cadence_cycles,
+                burst: None,
                 push_policy: None,
                 queue_budget: None,
                 shed_slo: None,
@@ -239,6 +241,7 @@ impl From<RuntimeConfig> for MachineConfig {
             track_shed_rounds: config.track_shed_rounds,
             obs: ObsConfig::default(),
             fault: FaultPlan::default(),
+            scenario: ScenarioScript::default(),
         }
     }
 }
@@ -292,6 +295,11 @@ pub struct MachineConfig {
     /// [`crate::fault`]).  Empty by default: a plan-free run pays nothing
     /// for the injection hooks.
     pub fault: FaultPlan,
+    /// The scripted elastic reconfigurations for this run — lattices added,
+    /// retired, or re-tuned at scripted machine-global rounds (see
+    /// [`crate::scenario`]).  Empty by default: a script-free run is a
+    /// static machine.
+    pub scenario: ScenarioScript,
 }
 
 impl MachineConfig {
@@ -333,6 +341,7 @@ impl MachineConfig {
             track_shed_rounds: template.track_shed_rounds,
             obs: ObsConfig::default(),
             fault: FaultPlan::default(),
+            scenario: ScenarioScript::default(),
         }
     }
 

@@ -40,6 +40,7 @@ use crate::frame::ShardedPauliFrame;
 use crate::lattice_set::LatticeSet;
 use crate::obs::HistogramSnapshot;
 use crate::residual::{analyze_lattice_residuals, streaming_residual_report};
+use crate::scenario::SyndromeTrace;
 use crate::source::InterleavedSource;
 use crate::stage::{PipelineGraph, PipelineOptions, PipelineRun};
 use crate::telemetry::{
@@ -82,6 +83,10 @@ pub struct RuntimeOutcome {
     /// Per-round corrections sorted by `(lattice_id, round)`; empty unless
     /// [`MachineConfig::record_corrections`] was set.
     pub corrections: Vec<RoundCorrection>,
+    /// The run's recorded syndrome trace; `None` unless the run was started
+    /// through [`record_run`](crate::scenario::record_run) (or with
+    /// [`PipelineOptions::record_trace`] set).
+    pub trace: Option<SyndromeTrace>,
 }
 
 impl RuntimeOutcome {
@@ -169,7 +174,9 @@ impl StreamingEngine {
     /// # Panics
     ///
     /// Panics if the lattice list is empty, any lattice streams zero rounds,
-    /// or `workers`, `queue_capacity` or `batch_size` is zero.
+    /// `workers`, `queue_capacity` or `batch_size` is zero, or the scenario
+    /// script fails [`ScenarioScript::validate`](crate::scenario::ScenarioScript::validate)
+    /// against the machine.
     pub fn with_machine(config: MachineConfig) -> Result<Self, QecError> {
         assert!(config.workers > 0, "worker pool needs at least one worker");
         assert!(config.queue_capacity > 0, "ring needs at least one slot");
@@ -204,6 +211,9 @@ impl StreamingEngine {
                 "burst fault names an unknown lattice"
             );
             probe.set_burst(lattice_id, set.spec(lattice_id).noise, burst.overlay)?;
+        }
+        if let Err(error) = config.scenario.validate(set.len()) {
+            panic!("invalid scenario script: {error}");
         }
         Ok(StreamingEngine { config, set })
     }
@@ -259,7 +269,6 @@ impl StreamingEngine {
     fn assemble_outcome(&self, run: PipelineRun, counters: &RuntimeCounters) -> RuntimeOutcome {
         let config = &self.config;
         let set = &self.set;
-        let total_rounds = set.total_rounds();
         let PipelineRun {
             worker_outputs,
             depth_timeline,
@@ -274,6 +283,8 @@ impl StreamingEngine {
             journal,
             metrics,
             fault: injections,
+            trace,
+            mut noise_epochs,
         } = run;
         // Per-lattice decoder names (same on every worker — they build from
         // the same factories); the machine-level headline joins the distinct
@@ -331,9 +342,14 @@ impl StreamingEngine {
             } else {
                 debug_assert!(shed_rounds.is_empty(), "untracked shed lists stay empty");
             }
-            let inter_arrival_ns = stats.gen_elapsed_ns / spec.rounds as f64;
+            // Elastic runs stream fewer rounds than configured — retired
+            // lattices truncate, dormant adds may never fire, replays serve
+            // whatever the trace holds — so every rate and model input is
+            // normalised by what the lattice *actually* generated.
+            let rounds_streamed = snapshot.generated;
+            let inter_arrival_ns = stats.gen_elapsed_ns / rounds_streamed.max(1) as f64;
             let measured = MeasuredBacklog {
-                rounds: spec.rounds,
+                rounds: rounds_streamed,
                 final_backlog: stats.final_backlog,
                 // Shed rounds are lost, not owed: they left the backlog the
                 // moment they were dropped, so they are accounted here
@@ -393,7 +409,8 @@ impl StreamingEngine {
                 queue_budget: spec.queue_budget,
                 shed_slo: spec.shed_slo,
                 residual,
-                rounds: spec.rounds,
+                rounds: rounds_streamed,
+                noise_epochs: std::mem::take(&mut noise_epochs[lattice_id]),
                 cadence_ns: config.cycle_time.cycles_to_ns(spec.cadence_cycles),
                 inter_arrival_ns,
                 counters: snapshot,
@@ -432,8 +449,11 @@ impl StreamingEngine {
 
         let decode_latency = LatencyProfile::from_histogram(&machine_decode);
         let total_latency = LatencyProfile::from_histogram(&machine_total);
-        let inter_arrival_ns = generation_elapsed_ns / total_rounds as f64;
         let snapshot = counters.snapshot();
+        // The machine-level books follow the same rule: rounds are what the
+        // source actually emitted, not what the specs configured.
+        let total_rounds = snapshot.generated;
+        let inter_arrival_ns = generation_elapsed_ns / total_rounds.max(1) as f64;
         let measured = MeasuredBacklog {
             rounds: total_rounds,
             final_backlog,
@@ -494,6 +514,7 @@ impl StreamingEngine {
             },
             frames,
             corrections,
+            trace,
         };
         if let Some(path) = &config.obs.export_path {
             // Export is best-effort telemetry: a failed write must never

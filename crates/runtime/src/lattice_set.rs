@@ -14,7 +14,7 @@
 //! admission seam: one gate lane per registered lattice.
 
 use crate::config::PushPolicy;
-use crate::source::NoiseSpec;
+use crate::source::{BurstOverlay, NoiseSpec};
 use nisqplus_decoders::traits::{DecoderFactory, DynDecoder, SharedDecoderFactory};
 use nisqplus_qec::lattice::Lattice;
 use nisqplus_qec::syndrome::PackedSyndrome;
@@ -120,6 +120,13 @@ pub struct LatticeSpec {
     /// pacing for this lattice: its rounds are interleaved round-robin with
     /// other unpaced lattices as fast as the producer can generate them.
     pub cadence_cycles: usize,
+    /// A physics-plane burst episode blanketing this lattice for a window of
+    /// its own rounds: the noise channel's rate is multiplied by the
+    /// overlay's factor inside the window.  Part of the stream's replayable
+    /// identity (unlike the fault plane's injected corruption, this is noise
+    /// the decoder must ride out).  `None` streams the base channel
+    /// throughout.
+    pub burst: Option<BurstOverlay>,
     /// This lattice's full-queue policy: `Some(Block)` for backpressure
     /// (lossless), `Some(Drop)` for load shedding, `None` to inherit the
     /// machine-wide [`MachineConfig::push_policy`](crate::MachineConfig).
@@ -156,6 +163,7 @@ impl LatticeSpec {
             seed: 2020,
             rounds: 10_000,
             cadence_cycles: crate::engine::RuntimeConfig::PAPER_CADENCE_CYCLES,
+            burst: None,
             push_policy: None,
             queue_budget: None,
             shed_slo: None,
@@ -189,6 +197,15 @@ impl LatticeSpec {
     #[must_use]
     pub fn with_cadence_cycles(mut self, cadence_cycles: usize) -> Self {
         self.cadence_cycles = cadence_cycles;
+        self
+    }
+
+    /// Overlays a burst-noise episode on this lattice's stream (accepts a
+    /// runtime [`BurstOverlay`] or a physics-plane
+    /// [`BurstEvent`](nisqplus_qec::BurstEvent)).
+    #[must_use]
+    pub fn with_burst(mut self, burst: impl Into<BurstOverlay>) -> Self {
+        self.burst = Some(burst.into());
         self
     }
 

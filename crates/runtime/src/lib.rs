@@ -63,6 +63,11 @@
 //!   [`MetricsSnapshot`]s to an optional [`RuntimeObserver`],
 //! * [`report`] — schema-versioned, dependency-free JSON export of the
 //!   final report and of the repo-root `BENCH_*.json` perf artifacts,
+//! * [`scenario`] — the scenario plane: versioned replayable
+//!   [`SyndromeTrace`]s (record a live run's full stream, replay it
+//!   byte-identically through the same pipeline) and scripted elastic
+//!   machines ([`ScenarioScript`]: lattices added, retired, or re-tuned at
+//!   scripted rounds, flowing through the packet header's compat guard),
 //! * [`telemetry`] — live atomic counters and the final [`RuntimeReport`]:
 //!   queue-depth timeline, latency histograms, throughput, and the measured
 //!   backlog growth compared against the closed-form
@@ -114,6 +119,7 @@ pub mod packet;
 pub mod queue;
 pub mod report;
 mod residual;
+pub mod scenario;
 pub mod source;
 pub mod stage;
 pub mod telemetry;
@@ -137,7 +143,14 @@ pub use obs::{
 pub use packet::{PacketCodec, PacketError, SyndromePacket};
 pub use queue::{RingFull, SpmcRing};
 pub use report::{BenchEntry, ExportError, Json, SCHEMA_VERSION};
-pub use source::{BurstOverlay, InterleavedSource, NoiseSpec, SourcedRound, SyndromeSource};
+pub use scenario::{
+    golden_summary, record_run, replay_run, GoldenSummary, ScenarioAction, ScenarioError,
+    ScenarioScript, SyndromeTrace, TraceRecorder, TraceSource, TRACE_VERSION,
+};
+pub use source::{
+    BurstOverlay, ElasticEvent, ElasticEventKind, InterleavedSource, NoiseEpoch, NoiseSpec,
+    SourcedRound, SyndromeSource,
+};
 pub use stage::{
     ClassRouter, ConsumePolicy, PipelineGraph, PipelineOptions, RouteStage, SpreadRouter,
     StageReport,

@@ -4,7 +4,8 @@
 //! whom*.  Every noteworthy pipeline incident — a shed round, a
 //! backpressure stall, an exhausted QoS budget, a cross-channel steal, a
 //! per-lattice verdict flip, a worker crash and its restart, a quarantined
-//! record, a burst-noise episode, a watchdog trip — is published as a
+//! record, a burst-noise episode, a watchdog trip, a scripted lattice
+//! coming online or retiring — is published as a
 //! [`RuntimeEvent`] with a severity and per-lattice/per-worker attribution.  The journal is a
 //! fixed-capacity ring: old events are overwritten (and counted as
 //! overwritten), publish never allocates, and per-kind/per-severity totals
@@ -82,10 +83,18 @@ pub enum EventKind {
     /// The producer's stall watchdog expired on a blocked seam and degraded
     /// the round instead of hanging (`value` = round force-shed).
     WatchdogTrip,
+    /// A scripted [`ScenarioScript`](crate::scenario::ScenarioScript) action
+    /// brought a dormant lattice online (`value` = the machine-global round
+    /// it fired at).
+    LatticeAdded,
+    /// A scripted action retired a lattice: its stream truncated, its
+    /// packet-header watermark armed (`value` = the rounds it emitted
+    /// before retiring).
+    LatticeRetired,
 }
 
 /// Number of [`EventKind`] variants (sizes the per-kind counter array).
-const KINDS: usize = 11;
+const KINDS: usize = 13;
 
 impl EventKind {
     /// A stable snake_case label (used in exports and logs).
@@ -103,6 +112,8 @@ impl EventKind {
             EventKind::BurstStart => "burst_start",
             EventKind::BurstEnd => "burst_end",
             EventKind::WatchdogTrip => "watchdog_trip",
+            EventKind::LatticeAdded => "lattice_added",
+            EventKind::LatticeRetired => "lattice_retired",
         }
     }
 
@@ -119,6 +130,8 @@ impl EventKind {
             EventKind::BurstStart => 8,
             EventKind::BurstEnd => 9,
             EventKind::WatchdogTrip => 10,
+            EventKind::LatticeAdded => 11,
+            EventKind::LatticeRetired => 12,
         }
     }
 }
@@ -201,6 +214,10 @@ pub struct EventCounts {
     pub burst_end: u64,
     /// [`EventKind::WatchdogTrip`] events published.
     pub watchdog_trip: u64,
+    /// [`EventKind::LatticeAdded`] events published.
+    pub lattice_added: u64,
+    /// [`EventKind::LatticeRetired`] events published.
+    pub lattice_retired: u64,
 }
 
 /// A plain-data copy of the journal's state: totals plus the most recent
@@ -369,6 +386,8 @@ impl EventJournal {
                 burst_start: self.count_of(EventKind::BurstStart),
                 burst_end: self.count_of(EventKind::BurstEnd),
                 watchdog_trip: self.count_of(EventKind::WatchdogTrip),
+                lattice_added: self.count_of(EventKind::LatticeAdded),
+                lattice_retired: self.count_of(EventKind::LatticeRetired),
             },
             recent,
         }

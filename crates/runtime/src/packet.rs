@@ -32,10 +32,19 @@
 //! the whole run (both sides are built from the same
 //! [`LatticeSet`](crate::lattice_set::LatticeSet)); the checksum covers the
 //! extra words automatically.
+//!
+//! The codec also carries the *retirement watermarks* of elastic runs:
+//! [`PacketCodec::retire_lattice`] marks a lattice id as retired after its
+//! final round, shared across codec clones, and [`PacketCodec::verify`]
+//! quarantines later rounds as [`PacketError::RetiredLattice`] while letting
+//! the in-flight backlog drain.  Watermarks are codec state, not wire
+//! layout, so the format version is unchanged.
 
 use nisqplus_qec::pauli::PauliString;
 use nisqplus_qec::syndrome::{PackedSyndrome, Syndrome};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One round of syndrome data in flight between generation and decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +110,19 @@ pub enum PacketError {
         /// The checksum found in the trailer word.
         found: u64,
     },
+    /// The record claims a round at or past its lattice's retirement
+    /// watermark ([`PacketCodec::retire_lattice`]): the lattice was retired
+    /// after emitting `final_round` rounds, so a straggler or forged record
+    /// for a later round is quarantined while in-flight earlier rounds still
+    /// drain to the final frame.
+    RetiredLattice {
+        /// The lattice id named by the header.
+        lattice_id: u32,
+        /// The round the record claims.
+        round: u64,
+        /// Rounds the lattice emitted before retiring (the watermark).
+        final_round: u64,
+    },
 }
 
 impl fmt::Display for PacketError {
@@ -126,6 +148,15 @@ impl fmt::Display for PacketError {
                 "packet record corrupted in flight: checksum {found:#018x} does not match \
                  contents ({expected:#018x})"
             ),
+            PacketError::RetiredLattice {
+                lattice_id,
+                round,
+                final_round,
+            } => write!(
+                f,
+                "packet claims round {round} of lattice {lattice_id}, which retired after \
+                 {final_round} rounds"
+            ),
         }
     }
 }
@@ -139,7 +170,7 @@ impl std::error::Error for PacketError {}
 /// words plus enough payload words for the *largest* lattice — for the whole
 /// run.  Smaller lattices' records are zero-padded; the header's bit-length
 /// field says how much payload is live.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PacketCodec {
     /// Ancilla count per lattice id.
     lattice_bits: Vec<u32>,
@@ -151,7 +182,29 @@ pub struct PacketCodec {
     /// Error-payload words (two bitplanes sized for the largest lattice's
     /// data-qubit count); `0` for errorless codecs.
     error_words: usize,
+    /// Per-lattice retirement watermark: records claiming round `>=` the
+    /// watermark are quarantined ([`PacketError::RetiredLattice`]);
+    /// `u64::MAX` means not retired.  Shared across clones, so retiring on
+    /// the producer's codec is immediately visible to every worker's.
+    retired: Arc<Vec<AtomicU64>>,
 }
+
+impl PartialEq for PacketCodec {
+    fn eq(&self, other: &Self) -> bool {
+        self.lattice_bits == other.lattice_bits
+            && self.max_syndrome_words == other.max_syndrome_words
+            && self.lattice_data == other.lattice_data
+            && self.error_words == other.error_words
+            && self.retired.len() == other.retired.len()
+            && self
+                .retired
+                .iter()
+                .zip(other.retired.iter())
+                .all(|(a, b)| a.load(Ordering::Acquire) == b.load(Ordering::Acquire))
+    }
+}
+
+impl Eq for PacketCodec {}
 
 /// Number of header words preceding the syndrome payload
 /// (version/lattice/bits, round, emitted_ns).
@@ -209,11 +262,50 @@ impl PacketCodec {
             .map(|&b| u32::try_from(b).expect("ancilla count fits u32"))
             .collect();
         let max_bits = *lattice_bits.iter().max().expect("non-empty") as usize;
+        let retired = Arc::new(
+            (0..lattice_bits.len())
+                .map(|_| AtomicU64::new(u64::MAX))
+                .collect::<Vec<_>>(),
+        );
         PacketCodec {
             lattice_bits,
             max_syndrome_words: PackedSyndrome::words_for(max_bits),
             lattice_data: Vec::new(),
             error_words: 0,
+            retired,
+        }
+    }
+
+    /// Retires a lattice at `final_round`: from now on, [`PacketCodec::verify`]
+    /// quarantines any record claiming round `>= final_round` for this
+    /// lattice as [`PacketError::RetiredLattice`], while records for earlier
+    /// rounds — the in-flight backlog draining to the final frame — still
+    /// verify normally.
+    ///
+    /// The watermark is shared across codec clones: the producer retires on
+    /// its codec and every worker's clone observes it, which is how scripted
+    /// [`RetireLattice`](crate::scenario::ScenarioAction::RetireLattice)
+    /// actions turn straggler records into typed quarantines instead of
+    /// decodes against a decommissioned patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    pub fn retire_lattice(&self, lattice_id: u32, final_round: u64) {
+        self.retired[lattice_id as usize].store(final_round, Ordering::Release);
+    }
+
+    /// The retirement watermark of `lattice_id`: `Some(final_round)` once
+    /// retired, `None` while live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice_id` is out of range.
+    #[must_use]
+    pub fn retirement(&self, lattice_id: u32) -> Option<u64> {
+        match self.retired[lattice_id as usize].load(Ordering::Acquire) {
+            u64::MAX => None,
+            final_round => Some(final_round),
         }
     }
 
@@ -381,6 +473,17 @@ impl PacketCodec {
         let found = words[body];
         if expected != found {
             return Err(PacketError::Corrupted { expected, found });
+        }
+        // Only after the checksum: a corrupted record's round word is noise,
+        // and `Corrupted` is the verdict that should win.
+        let final_round = self.retired[lattice_id as usize].load(Ordering::Acquire);
+        let round = words[1];
+        if round >= final_round {
+            return Err(PacketError::RetiredLattice {
+                lattice_id,
+                round,
+                final_round,
+            });
         }
         Ok(lattice_id)
     }
@@ -904,6 +1007,63 @@ mod tests {
         record[4] ^= 1 << 9;
         assert!(matches!(
             codec.verify(&record),
+            Err(PacketError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn retirement_quarantines_later_rounds_but_drains_earlier_ones() {
+        let codec = PacketCodec::for_lattice_bits(&[8, 24]);
+        let encode = |lattice_id: u32, round: u64| {
+            let bits = codec.syndrome_bits(lattice_id);
+            let packet = SyndromePacket::new(lattice_id, round, 0, &Syndrome::new(bits));
+            let mut record = vec![0u64; codec.words_per_packet()];
+            codec.encode(&packet, &mut record);
+            record
+        };
+        assert_eq!(codec.retirement(1), None);
+        assert!(codec.verify(&encode(1, 99)).is_ok());
+
+        codec.retire_lattice(1, 5);
+        assert_eq!(codec.retirement(1), Some(5));
+        // In-flight rounds below the watermark still drain.
+        assert_eq!(codec.verify(&encode(1, 4)), Ok(1));
+        // Rounds at or past it are quarantined with a typed verdict.
+        assert_eq!(
+            codec.verify(&encode(1, 5)),
+            Err(PacketError::RetiredLattice {
+                lattice_id: 1,
+                round: 5,
+                final_round: 5,
+            })
+        );
+        let err = codec.verify(&encode(1, 12)).unwrap_err();
+        assert!(err.to_string().contains("retired after 5 rounds"));
+        // Other lattices are untouched.
+        assert!(codec.verify(&encode(0, 1_000)).is_ok());
+    }
+
+    #[test]
+    fn retirement_propagates_to_clones_and_corruption_wins() {
+        let producer = PacketCodec::for_lattice_bits(&[8]);
+        let worker = producer.clone();
+        let packet = SyndromePacket::new(0, 7, 0, &Syndrome::new(8));
+        let mut record = vec![0u64; producer.words_per_packet()];
+        producer.encode(&packet, &mut record);
+        assert!(worker.verify(&record).is_ok());
+
+        producer.retire_lattice(0, 3);
+        // The worker's clone shares the watermark.
+        assert!(matches!(
+            worker.verify(&record),
+            Err(PacketError::RetiredLattice { round: 7, .. })
+        ));
+        // A corrupted record is reported as corruption, not retirement: its
+        // round word is untrustworthy.
+        let body = record.len() - 1;
+        record[body] ^= 1;
+        assert!(matches!(
+            worker.verify(&record),
             Err(PacketError::Corrupted { .. })
         ));
     }

@@ -14,7 +14,10 @@
 //! the credit channels.
 
 use crate::lattice_set::LatticeSet;
-use nisqplus_qec::error_model::{Depolarizing, ErrorModel, PureDephasing};
+use crate::scenario::script::{ScenarioAction, ScenarioError, ScenarioScript};
+use nisqplus_qec::error_model::{
+    BurstEvent, Depolarizing, DriftKind, DriftingErrorModel, ErrorModel, PureDephasing,
+};
 use nisqplus_qec::lattice::Lattice;
 use nisqplus_qec::syndrome::Syndrome;
 use nisqplus_qec::QecError;
@@ -37,15 +40,33 @@ pub enum NoiseSpec {
         /// Total error probability per data qubit per round.
         p: f64,
     },
+    /// Time-varying dephasing: the phase-flip probability follows a
+    /// [`DriftingErrorModel`] schedule over the lattice's round index.
+    Drifting {
+        /// The rate schedule (ramp or sinusoid).
+        model: DriftingErrorModel,
+    },
 }
 
 impl NoiseSpec {
-    /// The total physical error rate of the channel.
+    /// The total physical error rate of the channel (at round 0 for a
+    /// drifting channel).
     #[must_use]
     pub fn physical_error_rate(&self) -> f64 {
         match *self {
             NoiseSpec::PureDephasing { p } | NoiseSpec::Depolarizing { p } => p,
+            NoiseSpec::Drifting { model } => model.base_rate(),
         }
+    }
+
+    /// Checks that the channel's parameters are valid without building a
+    /// stream around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`QecError`] the channel constructor would.
+    pub fn validate(&self) -> Result<(), QecError> {
+        NoiseModel::build(*self).map(|_| ())
     }
 }
 
@@ -54,6 +75,7 @@ impl NoiseSpec {
 enum NoiseModel {
     Dephasing(PureDephasing),
     Depolarizing(Depolarizing),
+    Drifting(DriftingErrorModel),
 }
 
 impl NoiseModel {
@@ -61,7 +83,27 @@ impl NoiseModel {
         Ok(match noise {
             NoiseSpec::PureDephasing { p } => NoiseModel::Dephasing(PureDephasing::new(p)?),
             NoiseSpec::Depolarizing { p } => NoiseModel::Depolarizing(Depolarizing::new(p)?),
+            NoiseSpec::Drifting { model } => NoiseModel::Drifting(model),
         })
+    }
+
+    /// Samples one round's error pattern.  Every arm consumes exactly one
+    /// RNG draw per data qubit, so the random sequence — and with it every
+    /// later round — is independent of which channel (or which instantaneous
+    /// drifting rate) is active.
+    fn sample<R: rand::Rng + ?Sized>(
+        &self,
+        lattice: &Lattice,
+        rng: &mut R,
+        round: u64,
+    ) -> nisqplus_qec::pauli::PauliString {
+        match *self {
+            NoiseModel::Dephasing(m) => m.sample(lattice, rng),
+            NoiseModel::Depolarizing(m) => m.sample(lattice, rng),
+            NoiseModel::Drifting(d) => PureDephasing::new(d.rate_at(round))
+                .expect("rate_at clamps to [0, 1]")
+                .sample(lattice, rng),
+        }
     }
 }
 
@@ -109,7 +151,71 @@ impl BurstOverlay {
             NoiseSpec::Depolarizing { p } => NoiseSpec::Depolarizing {
                 p: (p * self.factor).clamp(0.0, 1.0),
             },
+            NoiseSpec::Drifting { model } => NoiseSpec::Drifting {
+                model: model.amplified(self.factor),
+            },
         }
+    }
+}
+
+impl From<BurstEvent> for BurstOverlay {
+    /// A physics-plane [`BurstEvent`] maps directly onto the stream overlay:
+    /// same window, same rate multiplier.
+    fn from(event: BurstEvent) -> Self {
+        BurstOverlay {
+            start_round: event.start_round,
+            rounds: event.rounds,
+            factor: event.factor,
+        }
+    }
+}
+
+/// One homogeneous stretch of a lattice's noise timeline, derived from the
+/// stream's actual history — base channel, scripted rate changes and burst
+/// windows — so run verdicts can be correlated with the noise regime that
+/// produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseEpoch {
+    /// First lattice round (inclusive) the epoch covers.
+    pub start_round: u64,
+    /// One past the last covered round.
+    pub end_round: u64,
+    /// Mean physical error rate over the epoch (sampled for drifting
+    /// channels, exact otherwise).
+    pub mean_rate: f64,
+    /// Human-readable regime label, e.g. `"dephasing"` or `"drift-ramp+burst"`.
+    pub label: String,
+}
+
+/// Mean rate of `spec` over lattice rounds `[start, end)`.
+fn segment_mean_rate(spec: NoiseSpec, start: u64, end: u64) -> f64 {
+    match spec {
+        NoiseSpec::PureDephasing { p } | NoiseSpec::Depolarizing { p } => p,
+        NoiseSpec::Drifting { model } => {
+            let len = end - start;
+            let samples = len.min(64);
+            let sum: f64 = (0..samples)
+                .map(|i| model.rate_at(start + i * len / samples))
+                .sum();
+            sum / samples as f64
+        }
+    }
+}
+
+/// Regime label for an epoch under `base` noise, burst-qualified.
+fn epoch_label(base: NoiseSpec, in_burst: bool) -> String {
+    let kind = match base {
+        NoiseSpec::PureDephasing { .. } => "dephasing",
+        NoiseSpec::Depolarizing { .. } => "depolarizing",
+        NoiseSpec::Drifting { model } => match model.kind() {
+            DriftKind::Ramp { .. } => "drift-ramp",
+            DriftKind::Sinusoid { .. } => "drift-sinusoid",
+        },
+    };
+    if in_burst {
+        format!("{kind}+burst")
+    } else {
+        kind.to_string()
     }
 }
 
@@ -122,6 +228,10 @@ pub struct SyndromeSource {
     burst: Option<(BurstOverlay, NoiseModel)>,
     rng: ChaCha8Rng,
     rounds_emitted: u64,
+    /// Base-channel history: `(round it took effect, channel)`, starting with
+    /// the construction channel at round 0.  This is what
+    /// [`SyndromeSource::noise_epochs`] derives the noise timeline from.
+    rate_changes: Vec<(u64, NoiseSpec)>,
 }
 
 impl SyndromeSource {
@@ -138,7 +248,86 @@ impl SyndromeSource {
             burst: None,
             rng: ChaCha8Rng::seed_from_u64(seed),
             rounds_emitted: 0,
+            rate_changes: vec![(0, noise)],
         })
+    }
+
+    /// Swaps the stream's base channel from the *next* round on — a scripted
+    /// re-calibration event.  Any burst overlay is re-amplified from the new
+    /// base.  Because every channel consumes one RNG draw per data qubit per
+    /// round, the swap never perturbs the random sequence: replaying the
+    /// stream with the same swaps at the same rounds reproduces it bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`QecError`] of the new channel if it is invalid (the
+    /// stream is left unchanged).
+    pub fn set_noise(&mut self, noise: NoiseSpec) -> Result<(), QecError> {
+        let model = NoiseModel::build(noise)?;
+        if let Some((overlay, amplified)) = &mut self.burst {
+            *amplified = NoiseModel::build(overlay.amplify(noise))?;
+        }
+        self.model = model;
+        self.rate_changes.push((self.rounds_emitted, noise));
+        Ok(())
+    }
+
+    /// The current base channel.
+    #[must_use]
+    pub fn noise(&self) -> NoiseSpec {
+        self.rate_changes.last().expect("construction entry").1
+    }
+
+    /// Derives the stream's noise timeline over rounds `[0, total_rounds)`:
+    /// one [`NoiseEpoch`] per homogeneous stretch, cut at every scripted
+    /// rate change and burst boundary.
+    #[must_use]
+    pub fn noise_epochs(&self, total_rounds: u64) -> Vec<NoiseEpoch> {
+        if total_rounds == 0 {
+            return Vec::new();
+        }
+        let mut cuts = std::collections::BTreeSet::new();
+        cuts.insert(0);
+        cuts.insert(total_rounds);
+        for &(round, _) in &self.rate_changes {
+            if round < total_rounds {
+                cuts.insert(round);
+            }
+        }
+        if let Some((overlay, _)) = self.burst {
+            if overlay.covers(0) || overlay.start_round < total_rounds {
+                cuts.insert(overlay.start_round.min(total_rounds));
+            }
+            if overlay.end_round() < total_rounds {
+                cuts.insert(overlay.end_round());
+            }
+        }
+        let bounds: Vec<u64> = cuts.into_iter().collect();
+        bounds
+            .windows(2)
+            .map(|win| {
+                let (start, end) = (win[0], win[1]);
+                let base = self
+                    .rate_changes
+                    .iter()
+                    .rev()
+                    .find(|&&(round, _)| round <= start)
+                    .map(|&(_, noise)| noise)
+                    .expect("round-0 base entry");
+                let in_burst = self.burst.is_some_and(|(overlay, _)| overlay.covers(start));
+                let effective = match self.burst {
+                    Some((overlay, _)) if in_burst => overlay.amplify(base),
+                    _ => base,
+                };
+                NoiseEpoch {
+                    start_round: start,
+                    end_round: end,
+                    mean_rate: segment_mean_rate(effective, start, end),
+                    label: epoch_label(base, in_burst),
+                }
+            })
+            .collect()
     }
 
     /// Overlays a time-varying burst episode on the stream: rounds the
@@ -192,10 +381,7 @@ impl SyndromeSource {
             Some((overlay, amplified)) if overlay.covers(self.rounds_emitted) => amplified,
             _ => self.model,
         };
-        let error = match model {
-            NoiseModel::Dephasing(m) => m.sample(&self.lattice, &mut self.rng),
-            NoiseModel::Depolarizing(m) => m.sample(&self.lattice, &mut self.rng),
-        };
+        let error = model.sample(&self.lattice, &mut self.rng, self.rounds_emitted);
         self.rounds_emitted += 1;
         let syndrome = self.lattice.syndrome_of(&error);
         (error, syndrome)
@@ -230,6 +416,38 @@ struct LatticeStream {
     cadence_ns: f64,
     rounds: u64,
     emitted: u64,
+    /// Virtual instant the stream's cadence is anchored at: `0.0` for
+    /// lattices live from the start, the activation instant for hot-added
+    /// ones (their round `k` is due at `base_ns + k * cadence_ns`).
+    base_ns: f64,
+}
+
+/// A scripted reconfiguration that has fired, drained by the pipeline (via
+/// [`InterleavedSource::take_elastic_events`]) for journaling and final-frame
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticEvent {
+    /// Machine-global round at which the action fired.
+    pub at_round: u64,
+    /// The lattice the action targeted.
+    pub lattice_id: u32,
+    /// What happened.
+    pub kind: ElasticEventKind,
+}
+
+/// The kind of a fired [`ElasticEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticEventKind {
+    /// A dormant lattice came online.
+    Added,
+    /// A lattice retired after emitting `final_round` rounds; records
+    /// claiming round `>= final_round` for it are now quarantinable.
+    Retired {
+        /// Rounds the lattice emitted before retiring.
+        final_round: u64,
+    },
+    /// A lattice's noise channel was swapped.
+    Retuned,
 }
 
 /// N seeded per-lattice syndrome streams, interleaved on independent
@@ -255,6 +473,17 @@ pub struct InterleavedSource {
     /// Min-heap of each non-exhausted lattice's next due round.
     due: std::collections::BinaryHeap<std::cmp::Reverse<DueEntry>>,
     remaining: u64,
+    /// Scripted actions sorted by firing round; `next_action` indexes the
+    /// first not yet fired.
+    actions: Vec<ScenarioAction>,
+    next_action: usize,
+    /// Machine-global rounds emitted so far — the clock scripts fire on.
+    global_emitted: u64,
+    /// Due instant of the most recently emitted round: the virtual "now"
+    /// hot-added lattices anchor their cadence at.
+    last_due_ns: f64,
+    /// Fired actions not yet drained by the pipeline.
+    fired: Vec<ElasticEvent>,
 }
 
 /// One lattice's next due round, ordered by `(due_ns, emitted, lattice_id)`.
@@ -295,11 +524,16 @@ impl InterleavedSource {
         let mut streams = Vec::with_capacity(set.len());
         let mut due = std::collections::BinaryHeap::with_capacity(set.len());
         for (lattice_id, spec, lattice) in set.iter() {
+            let mut source = SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)?;
+            if let Some(burst) = spec.burst {
+                source = source.with_burst(spec.noise, burst)?;
+            }
             streams.push(LatticeStream {
-                source: SyndromeSource::new(lattice.clone(), spec.noise, spec.seed)?,
+                source,
                 cadence_ns: cycle_time.cycles_to_ns(spec.cadence_cycles),
                 rounds: spec.rounds,
                 emitted: 0,
+                base_ns: 0.0,
             });
             due.push(std::cmp::Reverse(DueEntry {
                 due_ns: 0.0,
@@ -311,7 +545,132 @@ impl InterleavedSource {
             remaining: streams.iter().map(|s| s.rounds).sum(),
             streams,
             due,
+            actions: Vec::new(),
+            next_action: 0,
+            global_emitted: 0,
+            last_due_ns: 0.0,
+            fired: Vec::new(),
         })
+    }
+
+    /// Applies a scenario script: actions fire as the machine-global round
+    /// counter reaches them, and every lattice targeted by an `AddLattice`
+    /// starts *dormant* (emitting nothing until its action fires).  Apply
+    /// before emitting any rounds — the script is part of the stream's
+    /// replayable identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the script fails
+    /// [`ScenarioScript::validate`] against this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round has already been emitted.
+    pub fn apply_script(&mut self, script: &ScenarioScript) -> Result<(), ScenarioError> {
+        assert_eq!(
+            self.global_emitted, 0,
+            "scenario scripts must be applied before the stream starts"
+        );
+        script.validate(self.streams.len())?;
+        let actions = script.sorted_actions();
+        let dormant: std::collections::BTreeSet<usize> = actions
+            .iter()
+            .filter_map(|action| match *action {
+                ScenarioAction::AddLattice { lattice_id, .. } => Some(lattice_id as usize),
+                _ => None,
+            })
+            .collect();
+        if !dormant.is_empty() {
+            self.due = (0..self.streams.len())
+                .filter(|lattice_id| !dormant.contains(lattice_id))
+                .map(|lattice_id| {
+                    std::cmp::Reverse(DueEntry {
+                        due_ns: 0.0,
+                        emitted: 0,
+                        lattice_id,
+                    })
+                })
+                .collect();
+        }
+        self.actions = actions;
+        self.next_action = 0;
+        Ok(())
+    }
+
+    /// Drains the scripted actions that have fired since the last drain, in
+    /// firing order.
+    pub fn take_elastic_events(&mut self) -> Vec<ElasticEvent> {
+        std::mem::take(&mut self.fired)
+    }
+
+    /// Derives every lattice's noise timeline over the rounds it actually
+    /// emitted (retired lattices' timelines end at retirement, dormant ones
+    /// are empty).
+    #[must_use]
+    pub fn noise_epochs(&self) -> Vec<Vec<NoiseEpoch>> {
+        self.streams
+            .iter()
+            .map(|stream| stream.source.noise_epochs(stream.emitted))
+            .collect()
+    }
+
+    /// Fires every scripted action due at or before the current global
+    /// round.  Called before each emission (and on the terminal call, so a
+    /// retire scheduled for the final round still fires).
+    fn fire_due_actions(&mut self) {
+        while self.next_action < self.actions.len()
+            && self.actions[self.next_action].at_round() <= self.global_emitted
+        {
+            let action = self.actions[self.next_action];
+            self.next_action += 1;
+            let at_round = self.global_emitted;
+            match action {
+                ScenarioAction::AddLattice { lattice_id, .. } => {
+                    let stream = &mut self.streams[lattice_id as usize];
+                    stream.base_ns = self.last_due_ns;
+                    if stream.emitted < stream.rounds {
+                        self.due.push(std::cmp::Reverse(DueEntry {
+                            due_ns: self.last_due_ns,
+                            emitted: stream.emitted,
+                            lattice_id: lattice_id as usize,
+                        }));
+                    }
+                    self.fired.push(ElasticEvent {
+                        at_round,
+                        lattice_id,
+                        kind: ElasticEventKind::Added,
+                    });
+                }
+                ScenarioAction::RetireLattice { lattice_id, .. } => {
+                    let stream = &mut self.streams[lattice_id as usize];
+                    // Truncate the stream where it stands; the stale heap
+                    // entry (if any) is skipped lazily by `next_round`.
+                    self.remaining -= stream.rounds - stream.emitted;
+                    stream.rounds = stream.emitted;
+                    self.fired.push(ElasticEvent {
+                        at_round,
+                        lattice_id,
+                        kind: ElasticEventKind::Retired {
+                            final_round: stream.emitted,
+                        },
+                    });
+                }
+                ScenarioAction::SetErrorRate {
+                    lattice_id, noise, ..
+                } => {
+                    self.streams[lattice_id as usize]
+                        .source
+                        .set_noise(noise)
+                        .expect("noise validated by apply_script");
+                    self.fired.push(ElasticEvent {
+                        at_round,
+                        lattice_id,
+                        kind: ElasticEventKind::Retuned,
+                    });
+                }
+            }
+        }
     }
 
     /// Rounds left to emit across all lattices.
@@ -358,30 +717,39 @@ impl InterleavedSource {
         self.streams[lattice_id].source.burst()
     }
 
-    /// Emits the next due round, or `None` when every lattice's stream has
-    /// ended.
+    /// Emits the next due round, or `None` when every live lattice's stream
+    /// has ended (scripted actions due at the terminal round still fire).
     pub fn next_round(&mut self) -> Option<SourcedRound> {
-        let std::cmp::Reverse(entry) = self.due.pop()?;
-        let stream = &mut self.streams[entry.lattice_id];
-        debug_assert_eq!(stream.emitted, entry.emitted, "heap out of sync");
-        let round = entry.emitted;
-        stream.emitted += 1;
-        self.remaining -= 1;
-        if stream.emitted < stream.rounds {
-            self.due.push(std::cmp::Reverse(DueEntry {
-                due_ns: stream.emitted as f64 * stream.cadence_ns,
-                emitted: stream.emitted,
-                lattice_id: entry.lattice_id,
-            }));
+        self.fire_due_actions();
+        loop {
+            let std::cmp::Reverse(entry) = self.due.pop()?;
+            let stream = &mut self.streams[entry.lattice_id];
+            if entry.emitted >= stream.rounds {
+                // The lattice retired after this entry was pushed.
+                continue;
+            }
+            debug_assert_eq!(stream.emitted, entry.emitted, "heap out of sync");
+            let round = entry.emitted;
+            stream.emitted += 1;
+            self.remaining -= 1;
+            if stream.emitted < stream.rounds {
+                self.due.push(std::cmp::Reverse(DueEntry {
+                    due_ns: stream.base_ns + stream.emitted as f64 * stream.cadence_ns,
+                    emitted: stream.emitted,
+                    lattice_id: entry.lattice_id,
+                }));
+            }
+            self.global_emitted += 1;
+            self.last_due_ns = entry.due_ns;
+            let (error, syndrome) = stream.source.next_error_and_syndrome();
+            return Some(SourcedRound {
+                lattice_id: entry.lattice_id as u32,
+                round,
+                due_ns: entry.due_ns,
+                syndrome,
+                error,
+            });
         }
-        let (error, syndrome) = stream.source.next_error_and_syndrome();
-        Some(SourcedRound {
-            lattice_id: entry.lattice_id as u32,
-            round,
-            due_ns: entry.due_ns,
-            syndrome,
-            error,
-        })
     }
 }
 

@@ -69,6 +69,12 @@ pub struct DecodeStage<'a> {
     set: &'a LatticeSet,
     codec: &'a PacketCodec,
     decoders: Vec<DynDecoder>,
+    /// Whether each decoder slot has been `prepare`d yet.  Preparation is
+    /// lazy — it happens on the slot's first record — so a worker serving an
+    /// elastic machine never pays for distances whose lattices stay dormant
+    /// or whose records all land on other workers (hot-added lattices
+    /// included).
+    prepared: Vec<bool>,
     /// The name of the decoder serving each lattice, in lattice-id order.
     lattice_decoders: Vec<String>,
     states: Vec<LatticeDecodeState>,
@@ -85,10 +91,12 @@ impl std::fmt::Debug for DecodeStage<'_> {
 }
 
 impl<'a> DecodeStage<'a> {
-    /// Builds and prepares the stage for every lattice of `set`: one
-    /// decoder per distinct `(distance, factory)` pair — per-lattice
+    /// Builds the stage for every lattice of `set`: one decoder per
+    /// distinct `(code distance, factory)` pair — per-lattice
     /// [`LatticeSpec::decoder`](crate::lattice_set::LatticeSpec::decoder)
-    /// overrides beside the machine-wide `factory`.
+    /// overrides beside the machine-wide `factory`.  Decoders are built now
+    /// but `prepare`d lazily, each on the first record that routes to its
+    /// slot.
     #[must_use]
     pub fn new(set: &'a LatticeSet, codec: &'a PacketCodec, factory: &dyn DecoderFactory) -> Self {
         let mut decoders: Vec<DynDecoder> = Vec::new();
@@ -104,11 +112,10 @@ impl<'a> DecodeStage<'a> {
             {
                 Some(&(_, _, slot)) => slot,
                 None => {
-                    let mut decoder = match &spec.decoder {
+                    let decoder = match &spec.decoder {
                         Some(per_lattice) => per_lattice.build(),
                         None => factory.build(),
                     };
-                    decoder.prepare(lattice);
                     decoders.push(decoder);
                     slot_of.push((spec.distance, factory_key, decoders.len() - 1));
                     decoders.len() - 1
@@ -128,6 +135,7 @@ impl<'a> DecodeStage<'a> {
         DecodeStage {
             set,
             codec,
+            prepared: vec![false; decoders.len()],
             decoders,
             lattice_decoders,
             states,
@@ -154,6 +162,13 @@ impl<'a> DecodeStage<'a> {
         let state = &mut self.states[lattice_id];
         let decoder = &mut self.decoders[state.decoder_slot];
         let lattice = self.set.lattice(lattice_id);
+        if !self.prepared[state.decoder_slot] {
+            // First record for this slot: prepare now.  Lattices of equal
+            // distance are interned, so preparing against whichever lattice
+            // arrives first covers every lattice the slot serves.
+            decoder.prepare(lattice);
+            self.prepared[state.decoder_slot] = true;
+        }
         self.codec.try_decode_into(record, &mut state.packet)?;
         state.packet.syndrome.write_to_syndrome(&mut state.syndrome);
         decoder.decode_into(lattice, &state.syndrome, Sector::X, &mut state.x_buf);
@@ -231,6 +246,30 @@ mod tests {
         assert_eq!(stage.states[0].decoder_slot, stage.states[2].decoder_slot);
         assert_ne!(stage.states[0].decoder_slot, stage.states[1].decoder_slot);
         assert_eq!(stage.lattice_decoders().len(), 3);
+    }
+
+    #[test]
+    fn decoders_prepare_lazily_on_their_slots_first_record() {
+        let set = set_of(&[3, 5]);
+        let codec = PacketCodec::for_lattice_bits(&set.ancilla_bits());
+        let mut stage = DecodeStage::new(&set, &codec, &factory());
+        assert!(
+            stage.prepared.iter().all(|p| !p),
+            "construction prepares nothing"
+        );
+        // Decode one record for lattice 1 only: its slot prepares, the
+        // untouched d=3 slot stays cold — what makes hot-added distances
+        // free for workers that never see their records.
+        let spec = set.spec(1);
+        let mut source =
+            SyndromeSource::new(set.lattice(1).clone(), spec.noise, spec.seed).unwrap();
+        let syndrome = source.next_syndrome();
+        let packet = SyndromePacket::new(1, 0, 3, &syndrome);
+        let mut record = vec![0u64; codec.words_per_packet()];
+        codec.encode(&packet, &mut record);
+        stage.decode(&record).expect("clean record decodes");
+        assert!(stage.prepared[stage.states[1].decoder_slot]);
+        assert!(!stage.prepared[stage.states[0].decoder_slot]);
     }
 
     #[test]

@@ -27,7 +27,8 @@ use crate::obs::{
     RuntimeObserver, StageMetrics,
 };
 use crate::packet::{PacketCodec, SyndromePacket};
-use crate::source::InterleavedSource;
+use crate::scenario::{SyndromeTrace, TraceRecorder, TraceSource};
+use crate::source::{ElasticEvent, ElasticEventKind, InterleavedSource, NoiseEpoch, SourcedRound};
 use crate::stage::channel::CreditChannel;
 use crate::stage::decode::DecodeStage;
 use crate::stage::gate::{Admission, QosGate};
@@ -118,6 +119,14 @@ pub struct PipelineOptions {
     /// generous — orders of magnitude beyond any healthy stall — so
     /// existing runs and benches never meet it.
     pub watchdog: Duration,
+    /// Re-serve this recorded trace instead of sampling the seeded sources.
+    /// The trace's rounds flow through the same gate/route/decode pipeline
+    /// verbatim; the machine's scenario script and noise specs are ignored
+    /// (the trace already embodies their effects).
+    pub replay: Option<SyndromeTrace>,
+    /// Tap every emitted round into a [`TraceRecorder`]; the finished
+    /// [`SyndromeTrace`] is returned in [`PipelineRun::trace`].
+    pub record_trace: bool,
 }
 
 impl Default for PipelineOptions {
@@ -128,6 +137,8 @@ impl Default for PipelineOptions {
             channels: None,
             observer: None,
             watchdog: Duration::from_secs(5),
+            replay: None,
+            record_trace: false,
         }
     }
 }
@@ -178,6 +189,11 @@ pub struct PipelineRun {
     /// The fault injector's own books: how many scheduled faults fired
     /// (all-zero for a plan-free run).
     pub fault: FaultInjections,
+    /// The recorded trace, when [`PipelineOptions::record_trace`] was set.
+    pub trace: Option<SyndromeTrace>,
+    /// Each lattice's noise timeline over the rounds it actually emitted
+    /// (empty per-lattice lists on replay runs — the trace is the record).
+    pub noise_epochs: Vec<Vec<NoiseEpoch>>,
 }
 
 /// Everything one decode worker needs, bundled to keep spawn sites tidy
@@ -442,6 +458,95 @@ struct SourceRun {
     lattice_shed: Vec<Vec<u64>>,
     shed_tallies: Vec<ResidualTally>,
     reports: Vec<StageReport>,
+    trace: Option<SyndromeTrace>,
+    noise_epochs: Vec<Vec<NoiseEpoch>>,
+}
+
+/// Where the source stage's rounds come from: the live seeded sources (with
+/// scripted elasticity and fault-plan bursts applied) or a recorded trace
+/// re-served verbatim.  Everything downstream of the feed — pacing, QoS
+/// admission, routing, decode — is byte-identical between the two, which is
+/// what makes replay a regression oracle.
+enum RoundFeed {
+    Live(Box<InterleavedSource>),
+    Replay(TraceSource),
+}
+
+impl RoundFeed {
+    fn next_round(&mut self) -> Option<SourcedRound> {
+        match self {
+            RoundFeed::Live(source) => source.next_round(),
+            RoundFeed::Replay(source) => source.next_round(),
+        }
+    }
+
+    /// Scripted actions fired since the last drain.  A replay feed never
+    /// fires any: the recorded stream already reflects them.
+    fn take_elastic_events(&mut self) -> Vec<ElasticEvent> {
+        match self {
+            RoundFeed::Live(source) => source.take_elastic_events(),
+            RoundFeed::Replay(_) => Vec::new(),
+        }
+    }
+
+    fn burst_overlay(&self, lattice_id: usize) -> Option<crate::source::BurstOverlay> {
+        match self {
+            RoundFeed::Live(source) => source.burst_overlay(lattice_id),
+            RoundFeed::Replay(_) => None,
+        }
+    }
+
+    fn noise_epochs(&self, set: &LatticeSet) -> Vec<Vec<NoiseEpoch>> {
+        match self {
+            RoundFeed::Live(source) => source.noise_epochs(),
+            RoundFeed::Replay(_) => vec![Vec::new(); set.len()],
+        }
+    }
+}
+
+/// Applies the elastic events the feed fired during the last emission:
+/// journals them, arms the codec's retirement watermark (so stragglers for
+/// a retired lattice quarantine instead of decoding), and captures the
+/// retiring lattice's backlog at the instant its generation stopped.
+fn apply_elastic_events(
+    feed: &mut RoundFeed,
+    codec: &PacketCodec,
+    counters: &RuntimeCounters,
+    lattice_stats: &mut [LatticeGenStats],
+    obs: &ObsPlane,
+    epoch: Instant,
+) {
+    for event in feed.take_elastic_events() {
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        match event.kind {
+            ElasticEventKind::Added => {
+                obs.publish(
+                    EventKind::LatticeAdded,
+                    EventSeverity::Info,
+                    Some(event.lattice_id),
+                    None,
+                    now_ns,
+                    event.at_round,
+                );
+            }
+            ElasticEventKind::Retired { final_round } => {
+                codec.retire_lattice(event.lattice_id, final_round);
+                let lattice = event.lattice_id as usize;
+                lattice_stats[lattice].final_backlog = counters.per_lattice[lattice].backlog();
+                obs.publish(
+                    EventKind::LatticeRetired,
+                    EventSeverity::Warning,
+                    Some(event.lattice_id),
+                    None,
+                    now_ns,
+                    final_round,
+                );
+            }
+            // Re-tunes are physics, not topology: they surface as noise
+            // epochs in the report, not as journal events.
+            ElasticEventKind::Retuned => {}
+        }
+    }
 }
 
 /// Classifies one shed round under the streaming residual path.  A shed
@@ -482,16 +587,48 @@ fn run_source(
     obs: &ObsPlane,
     injector: &FaultInjector,
     watchdog: Duration,
+    replay: Option<SyndromeTrace>,
+    record_trace: bool,
 ) -> SourceRun {
-    let mut source = InterleavedSource::new(set, &config.cycle_time)
-        .expect("config validated in StreamingEngine::with_machine");
-    for burst in &injector.plan().bursts {
-        let lattice_id = burst.lattice_id as usize;
-        source
-            .set_burst(lattice_id, set.spec(lattice_id).noise, burst.overlay)
-            .expect("burst overlay validated in StreamingEngine::with_machine");
-    }
-    let total_rounds = set.total_rounds();
+    // How many rounds each lattice will emit: the trace's own tallies on
+    // replay (a retired lattice's recorded stream is already truncated), the
+    // configured per-lattice rounds live (retirement is handled by its
+    // elastic event as it fires).
+    let mut expected_rounds: Vec<u64> = set.iter().map(|(_, spec, _)| spec.rounds).collect();
+    let feed_total: u64;
+    let mut feed = match replay {
+        Some(trace) => {
+            expected_rounds = vec![0; set.len()];
+            for round in &trace.rounds {
+                expected_rounds[round.lattice_id as usize] += 1;
+            }
+            feed_total = trace.len() as u64;
+            RoundFeed::Replay(
+                TraceSource::new(trace, set).expect("trace validated against the machine"),
+            )
+        }
+        None => {
+            let mut source = InterleavedSource::new(set, &config.cycle_time)
+                .expect("config validated in StreamingEngine::with_machine");
+            for burst in &injector.plan().bursts {
+                let lattice_id = burst.lattice_id as usize;
+                source
+                    .set_burst(lattice_id, set.spec(lattice_id).noise, burst.overlay)
+                    .expect("burst overlay validated in StreamingEngine::with_machine");
+            }
+            source
+                .apply_script(&config.scenario)
+                .expect("scenario script validated in StreamingEngine::with_machine");
+            feed_total = set.total_rounds();
+            RoundFeed::Live(Box::new(source))
+        }
+    };
+    let mut recorder = if record_trace {
+        Some(TraceRecorder::new(set))
+    } else {
+        None
+    };
+    let total_rounds = feed_total;
     let mut depth = DepthSink::new(total_rounds, config.max_depth_samples)
         .with_metrics(StageMetrics::register(obs.registry(), "depth"));
     // The send seam's skid: an encoded record rests here while its channel
@@ -510,7 +647,16 @@ fn run_source(
     let mut shed_tallies = vec![ResidualTally::default(); set.len()];
     let mut emitted_total = 0u64;
 
-    while let Some(sourced) = source.next_round() {
+    while let Some(sourced) = feed.next_round() {
+        // The tap sees every emitted round — including ones the gate will
+        // shed — so a replay of the trace regenerates the *offered* load,
+        // not just the admitted slice.
+        if let Some(recorder) = recorder.as_mut() {
+            recorder.record(&sourced);
+        }
+        // Actions fired during this emission logically precede the round:
+        // arm retirement watermarks before the round is routed.
+        apply_elastic_events(&mut feed, codec, counters, &mut lattice_stats, obs, epoch);
         if sourced.due_ns > 0.0 {
             // Pace generation to the lattice's hardware cadence.
             // `yield_now` keeps the spin cooperative on machines with
@@ -529,7 +675,7 @@ fn run_source(
         // Burst boundaries are journaled as the stream crosses them — the
         // window itself is applied inside the source, keyed by round index
         // only, so the episode replays exactly.
-        if let Some(overlay) = source.burst_overlay(lattice_id as usize) {
+        if let Some(overlay) = feed.burst_overlay(lattice_id as usize) {
             if sourced.round == overlay.start_round {
                 obs.publish(
                     EventKind::BurstStart,
@@ -772,7 +918,7 @@ fn run_source(
         // Reuse the emission timestamp: it is this round's generation
         // instant, and it spares a second clock read per round.
         stats.gen_elapsed_ns = emitted_ns as f64;
-        if sourced.round + 1 == set.spec(lattice_id as usize).rounds {
+        if sourced.round + 1 == expected_rounds[lattice_id as usize] {
             // This lattice's generation just stopped: its backlog at this
             // instant is what its per-lattice model comparison predicts.
             stats.final_backlog = lattice_counters.backlog();
@@ -785,6 +931,10 @@ fn run_source(
         );
         emitted_total += 1;
     }
+    // The terminal `next_round` call still fires due actions (a retire
+    // scheduled for the final round, an add that never came online): drain
+    // them so their journal entries and watermarks land.
+    apply_elastic_events(&mut feed, codec, counters, &mut lattice_stats, obs, epoch);
     let generation_elapsed_ns = epoch.elapsed().as_nanos() as f64;
     // The backlog at the instant generation stops is the quantity the
     // closed-form model predicts (rounds keep arriving only while the
@@ -808,6 +958,8 @@ fn run_source(
         lattice_shed,
         shed_tallies,
         reports: vec![source_report, skid.report("skid"), depth_report],
+        noise_epochs: feed.noise_epochs(set),
+        trace: recorder.map(TraceRecorder::into_trace),
     }
 }
 
@@ -825,6 +977,8 @@ pub struct PipelineGraph<'a> {
     obs: ObsPlane,
     injector: FaultInjector,
     watchdog: Duration,
+    replay: Option<SyndromeTrace>,
+    record_trace: bool,
 }
 
 impl<'a> PipelineGraph<'a> {
@@ -868,6 +1022,8 @@ impl<'a> PipelineGraph<'a> {
             obs,
             injector: FaultInjector::new(config.fault.clone()),
             watchdog: options.watchdog,
+            replay: options.replay,
+            record_trace: options.record_trace,
         }
     }
 
@@ -900,6 +1056,8 @@ impl<'a> PipelineGraph<'a> {
             obs,
             injector,
             watchdog,
+            replay,
+            record_trace,
         } = self;
         let done = AtomicBool::new(false);
         // The sampler outlives the source: it keeps sampling while workers
@@ -951,8 +1109,19 @@ impl<'a> PipelineGraph<'a> {
                 .collect();
 
             let source_run = run_source(
-                config, set, &codec, &channels, &gate, &*router, counters, epoch, &obs, &injector,
+                config,
+                set,
+                &codec,
+                &channels,
+                &gate,
+                &*router,
+                counters,
+                epoch,
+                &obs,
+                &injector,
                 watchdog,
+                replay,
+                record_trace,
             );
             done.store(true, Ordering::Release);
 
@@ -993,6 +1162,8 @@ impl<'a> PipelineGraph<'a> {
             journal: obs.journal_snapshot(),
             metrics: obs.registry().snapshot(),
             fault: injector.snapshot(),
+            trace: source_run.trace,
+            noise_epochs: source_run.noise_epochs,
         }
     }
 }

@@ -19,6 +19,7 @@ use crate::config::PushPolicy;
 use crate::obs::{
     bucket_bounds, HistogramSnapshot, JournalSnapshot, MetricSample, MetricsSnapshot,
 };
+use crate::source::NoiseEpoch;
 use crate::stage::StageReport;
 use nisqplus_qec::logical::ResidualTally;
 use nisqplus_sim::stats::{histogram, quantile_sorted, Summary};
@@ -546,8 +547,15 @@ pub struct LatticeReport {
     pub shed_slo: Option<f64>,
     /// The end-of-run residual analysis, when the run requested it.
     pub residual: Option<ResidualReport>,
-    /// Rounds this lattice was configured to stream.
+    /// Rounds this lattice actually streamed (fewer than configured when a
+    /// scripted retirement truncated its stream or a scripted add never
+    /// fired).
     pub rounds: u64,
+    /// This lattice's noise timeline: one epoch per homogeneous stretch of
+    /// its error channel, cut at every scripted rate change and burst
+    /// boundary.  A single full-run epoch for stationary noise; empty on
+    /// trace replays (the trace is the record).
+    pub noise_epochs: Vec<NoiseEpoch>,
     /// This lattice's nominal syndrome-generation cadence in nanoseconds per
     /// round (`0.0` when unpaced).
     pub cadence_ns: f64,

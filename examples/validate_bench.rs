@@ -8,9 +8,12 @@
 //! validator re-reads both through the same parser the artifacts were
 //! written with ([`nisqplus_runtime::report`]) and fails loudly when a file
 //! is missing, malformed, carries a stale `schema_version`, or contains an
-//! entry with an impossible shape (unknown verdict, empty suite).  CI runs
-//! it before *and* after regenerating the artifacts, so a bench change that
-//! forgets to refresh the committed files cannot land silently.
+//! entry with an impossible shape (unknown verdict, empty suite, negative
+//! or non-finite rates, shed exceeding rounds).  The soak artifact gets one
+//! extra audit: its `soak/class/*` QoS-class entries must *partition* the
+//! `soak/aggregate` entry — lattices, rounds and shed counts sum exactly.
+//! CI runs it before *and* after regenerating the artifacts, so a bench
+//! change that forgets to refresh the committed files cannot land silently.
 //!
 //! Run with `cargo run --example validate_bench`.
 
@@ -27,7 +30,101 @@ const ARTIFACTS: &[&str] = &[
 
 fn validate(path: &str) -> Result<(String, Vec<BenchEntry>), String> {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
-    read_bench_document(format!("{root}{path}")).map_err(|error| format!("{path}: {error}"))
+    let (suite, entries) =
+        read_bench_document(format!("{root}{path}")).map_err(|error| format!("{path}: {error}"))?;
+    for entry in &entries {
+        validate_entry(entry).map_err(|error| format!("{path}: entry '{}': {error}", entry.id))?;
+    }
+    if suite == "soak" {
+        validate_soak_classes(&entries).map_err(|error| format!("{path}: {error}"))?;
+    }
+    Ok((suite, entries))
+}
+
+/// Shape checks every entry must pass regardless of suite: populated
+/// identity fields and non-negative rates and latencies.
+fn validate_entry(entry: &BenchEntry) -> Result<(), String> {
+    if entry.lattices == 0 {
+        return Err("serves zero lattices".into());
+    }
+    if entry.workers == 0 {
+        return Err("ran with zero workers".into());
+    }
+    if entry.rounds == 0 {
+        return Err("streamed zero rounds".into());
+    }
+    let rates = [
+        ("throughput_per_s", entry.throughput_per_s),
+        ("decode_mean_ns", entry.decode_mean_ns),
+        ("decode_p50_ns", entry.decode_p50_ns),
+        ("decode_p99_ns", entry.decode_p99_ns),
+        ("decode_p999_ns", entry.decode_p999_ns),
+        ("total_p99_ns", entry.total_p99_ns),
+        ("total_p999_ns", entry.total_p999_ns),
+        ("shed_rate", entry.shed_rate),
+        ("residual_failure_rate", entry.residual_failure_rate),
+    ];
+    for (name, value) in rates {
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!(
+                "{name} is {value}, expected a finite non-negative number"
+            ));
+        }
+    }
+    for (name, value) in [
+        ("shed_rate", entry.shed_rate),
+        ("residual_failure_rate", entry.residual_failure_rate),
+    ] {
+        if value > 1.0 {
+            return Err(format!("{name} is {value}, expected a fraction in [0, 1]"));
+        }
+    }
+    if entry.shed > entry.rounds {
+        return Err(format!(
+            "shed {} rounds out of only {} streamed",
+            entry.shed, entry.rounds
+        ));
+    }
+    Ok(())
+}
+
+/// The soak artifact's books must balance: the `soak/class/*` QoS-class
+/// breakdown partitions `soak/aggregate` — lattices, rounds and shed counts
+/// sum exactly.
+fn validate_soak_classes(entries: &[BenchEntry]) -> Result<(), String> {
+    let aggregate = entries
+        .iter()
+        .find(|entry| entry.id == "soak/aggregate")
+        .ok_or("missing the 'soak/aggregate' entry")?;
+    let classes: Vec<&BenchEntry> = entries
+        .iter()
+        .filter(|entry| entry.id.starts_with("soak/class/"))
+        .collect();
+    if classes.is_empty() {
+        return Err("no 'soak/class/*' entries to reconcile against the aggregate".into());
+    }
+    let lattices: usize = classes.iter().map(|entry| entry.lattices).sum();
+    let rounds: u64 = classes.iter().map(|entry| entry.rounds).sum();
+    let shed: u64 = classes.iter().map(|entry| entry.shed).sum();
+    if lattices != aggregate.lattices {
+        return Err(format!(
+            "class lattices sum to {lattices}, aggregate serves {}",
+            aggregate.lattices
+        ));
+    }
+    if rounds != aggregate.rounds {
+        return Err(format!(
+            "class rounds sum to {rounds}, aggregate streamed {}",
+            aggregate.rounds
+        ));
+    }
+    if shed != aggregate.shed {
+        return Err(format!(
+            "class shed counts sum to {shed}, aggregate shed {}",
+            aggregate.shed
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
